@@ -1,0 +1,186 @@
+//! Criterion benches over the protocol harness — one group per experiment
+//! id so `cargo bench` regenerates timing series for E1/E2/E3/E4/E5/E7 at
+//! reduced sizes. The `report` binary prints the full tables; these benches
+//! track the same code paths against regressions.
+
+use amc_bench::experiments::{e4_complexity, e5_crash};
+use amc_bench::setup::{build_federation, program_batch};
+use amc_mlt::ConflictPolicy;
+use amc_types::ProtocolKind;
+use amc_workload::{OpMix, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn spec(theta: f64, mix: OpMix, abort_prob: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        sites: 3,
+        objects_per_site: 64,
+        zipf_theta: theta,
+        ops_per_txn: 5,
+        sites_per_txn: 2,
+        mix,
+        intended_abort_prob: abort_prob,
+    }
+}
+
+/// E1: committed-batch wall time per protocol at low/high contention.
+fn e1_concurrency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_concurrency");
+    group.sample_size(10);
+    for protocol in ProtocolKind::ALL {
+        for theta in [0.0, 0.99] {
+            group.bench_with_input(
+                BenchmarkId::new(protocol.label(), format!("theta={theta}")),
+                &theta,
+                |b, &theta| {
+                    let s = spec(
+                        theta,
+                        OpMix {
+                            write: 0.0,
+                            increment: 0.9,
+                            reserve: 0.0,
+                        },
+                        0.0,
+                    );
+                    b.iter_batched(
+                        || {
+                            (
+                                build_federation(protocol, ConflictPolicy::Semantic, &s),
+                                program_batch(&s, 1, 40),
+                            )
+                        },
+                        |(fed, batch)| fed.run_concurrent(batch, 4),
+                        criterion::BatchSize::LargeInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// E2: commit-after batch time with and without injected post-ready aborts.
+fn e2_redo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_redo");
+    group.sample_size(10);
+    for p in [0.0, 0.3] {
+        group.bench_with_input(BenchmarkId::new("commit-after", format!("p={p}")), &p, |b, &p| {
+            let s = spec(0.0, OpMix::MIXED, 0.0);
+            b.iter_batched(
+                || {
+                    let fed = build_federation(ProtocolKind::CommitAfter, ConflictPolicy::Semantic, &s);
+                    for site in 1..=s.sites {
+                        fed.manager(amc_types::SiteId::new(site))
+                            .unwrap()
+                            .inject_post_ready_aborts(p, 99);
+                    }
+                    (fed, program_batch(&s, 2, 40))
+                },
+                |(fed, batch)| fed.run_concurrent(batch, 4),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// E3: abort-heavy batch per portable protocol.
+fn e3_abort_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_abort_cost");
+    group.sample_size(10);
+    for protocol in [ProtocolKind::CommitBefore, ProtocolKind::CommitAfter] {
+        for rate in [0.0, 0.4] {
+            group.bench_with_input(
+                BenchmarkId::new(protocol.label(), format!("abort={rate}")),
+                &rate,
+                |b, &rate| {
+                    let s = spec(0.0, OpMix::MIXED, rate);
+                    b.iter_batched(
+                        || {
+                            (
+                                build_federation(protocol, ConflictPolicy::Semantic, &s),
+                                program_batch(&s, 3, 40),
+                            )
+                        },
+                        |(fed, batch)| fed.run_concurrent(batch, 4),
+                        criterion::BatchSize::LargeInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// E4: failure-free simulated commit path (virtual protocol run, real time
+/// measures simulator + engine cost per protocol).
+fn e4_commit_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_commit_path");
+    group.sample_size(10);
+    for protocol in ProtocolKind::ALL {
+        group.bench_function(protocol.label(), |b| {
+            b.iter(|| {
+                let rows = e4_complexity::run(5);
+                std::hint::black_box(rows)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// E5: crash-recovery simulation per protocol.
+fn e5_crash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_crash");
+    group.sample_size(10);
+    group.bench_function("sweep", |b| {
+        b.iter(|| std::hint::black_box(e5_crash::run(&[100, 1_500], 20)));
+    });
+    group.finish();
+}
+
+/// E7: semantic vs read/write L1 conflicts on hot increments.
+fn e7_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_ablation");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("semantic", ConflictPolicy::Semantic),
+        ("read-write", ConflictPolicy::ReadWriteOnly),
+    ] {
+        group.bench_function(name, |b| {
+            let s = WorkloadSpec {
+                sites: 2,
+                objects_per_site: 16,
+                zipf_theta: 0.99,
+                ops_per_txn: 4,
+                sites_per_txn: 2,
+                mix: OpMix {
+                    write: 0.0,
+                    increment: 1.0,
+                    reserve: 0.0,
+                },
+                intended_abort_prob: 0.0,
+            };
+            b.iter_batched(
+                || {
+                    (
+                        build_federation(ProtocolKind::CommitBefore, policy, &s),
+                        program_batch(&s, 4, 40),
+                    )
+                },
+                |(fed, batch)| fed.run_concurrent(batch, 4),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    e1_concurrency,
+    e2_redo,
+    e3_abort_cost,
+    e4_commit_path,
+    e5_crash,
+    e7_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Micro-benchmarks for the substrate crates: storage, WAL, lock table,
+//! local engines. Not tied to a paper figure — they guard the foundations
+//! the protocol numbers stand on.
+
+use amc_engine::{LocalEngine, OccEngine, TplConfig, TwoPLEngine};
+use amc_lock::{LockTable, PageMode};
+use amc_storage::PageStore;
+use amc_types::{LocalTxnId, ObjectId, Operation, Value};
+use amc_wal::{LogManager, LogRecord};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn storage_put_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_storage");
+    group.sample_size(20);
+    group.bench_function("put_get_1k", |b| {
+        b.iter_batched(
+            || PageStore::new(64, 128),
+            |mut store| {
+                for i in 0..1_000u64 {
+                    store.put(ObjectId::new(i), Value::counter(i as i64)).unwrap();
+                }
+                for i in 0..1_000u64 {
+                    std::hint::black_box(store.get(ObjectId::new(i)).unwrap());
+                }
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn wal_append_force(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_wal");
+    group.sample_size(20);
+    group.bench_function("append_force_1k", |b| {
+        b.iter(|| {
+            let mut log = LogManager::new();
+            for i in 0..1_000u64 {
+                log.append(&LogRecord::Update {
+                    txn: LocalTxnId::new(i),
+                    obj: ObjectId::new(i),
+                    before: Some(Value::counter(0)),
+                    after: Some(Value::counter(1)),
+                });
+                if i % 10 == 0 {
+                    log.force();
+                }
+            }
+            log.force();
+            std::hint::black_box(log.stats())
+        });
+    });
+    group.finish();
+}
+
+fn lock_table_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_locks");
+    group.sample_size(20);
+    group.bench_function("grant_release_1k", |b| {
+        b.iter(|| {
+            let mut t: LockTable<u32, u64, PageMode> = LockTable::new();
+            for i in 0..1_000u64 {
+                t.request(i, (i % 64) as u32, PageMode::Exclusive);
+                t.release_all(i);
+            }
+            std::hint::black_box(t.stats())
+        });
+    });
+    group.finish();
+}
+
+fn engine_commit_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_engines");
+    group.sample_size(20);
+    group.bench_function("tpl_txn_commit", |b| {
+        let engine = TwoPLEngine::new(TplConfig::default());
+        engine
+            .load((0..128).map(|i| (ObjectId::new(i), Value::counter(0))))
+            .unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            let t = engine.begin().unwrap();
+            engine
+                .execute(t, &Operation::Increment { obj: ObjectId::new(i % 128), delta: 1 })
+                .unwrap();
+            engine.commit(t).unwrap();
+            i += 1;
+        });
+    });
+    group.bench_function("occ_txn_commit", |b| {
+        let engine = OccEngine::with_defaults();
+        engine
+            .load((0..128).map(|i| (ObjectId::new(i), Value::counter(0))))
+            .unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            let t = engine.begin().unwrap();
+            engine
+                .execute(t, &Operation::Increment { obj: ObjectId::new(i % 128), delta: 1 })
+                .unwrap();
+            engine.commit(t).unwrap();
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    storage_put_get,
+    wal_append_force,
+    lock_table_churn,
+    engine_commit_paths
+);
+criterion_main!(benches);

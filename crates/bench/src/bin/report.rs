@@ -1,0 +1,118 @@
+//! Regenerate the experiment tables of `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run --release -p amc-bench --bin report            # everything
+//! cargo run --release -p amc-bench --bin report -- e1 e4   # a subset
+//! cargo run --release -p amc-bench --bin report -- quick   # reduced sizes
+//! ```
+
+use amc_bench::experiments::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let wants = |id: &str| {
+        args.is_empty() || args.iter().all(|a| a == "quick") || args.iter().any(|a| a == id)
+    };
+    // Sizes: full vs quick.
+    let (txns, threads) = if quick { (60, 4) } else { (240, 6) };
+
+    println!("atomic commitment for integrated database systems — experiment report");
+    println!("(reproduction of Muth & Rakow, ICDE 1991; shapes, not 1991 hardware numbers)");
+    println!();
+
+    if wants("e1") {
+        let thetas = if quick {
+            vec![0.0, 0.99]
+        } else {
+            vec![0.0, 0.6, 0.9, 0.99]
+        };
+        let rows = e1_concurrency::run(txns, threads, &thetas);
+        print!("{}", e1_concurrency::table(&rows).render());
+        for v in e1_concurrency::verdicts(&rows) {
+            println!("{v}");
+        }
+        println!();
+    }
+
+    if wants("e2") {
+        let ps = if quick {
+            vec![0.0, 0.3]
+        } else {
+            vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+        };
+        let rows = e2_redo::run(txns, threads, &ps);
+        print!("{}", e2_redo::table(&rows).render());
+        for v in e2_redo::verdicts(&rows) {
+            println!("{v}");
+        }
+        println!();
+    }
+
+    if wants("e3") {
+        let rates = if quick {
+            vec![0.0, 0.4]
+        } else {
+            vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+        };
+        let rows = e3_abort_cost::run(txns, threads, &rates);
+        print!("{}", e3_abort_cost::table(&rows).render());
+        for v in e3_abort_cost::verdicts(&rows) {
+            println!("{v}");
+        }
+        println!();
+    }
+
+    if wants("e4") {
+        let rows = e4_complexity::run(if quick { 10 } else { 50 });
+        print!("{}", e4_complexity::table(&rows).render());
+        for v in e4_complexity::verdicts(&rows) {
+            println!("{v}");
+        }
+        println!();
+    }
+
+    if wants("e5") {
+        let crash_times = if quick {
+            vec![100, 1_500]
+        } else {
+            vec![100, 400, 800, 1_200, 1_600, 2_400]
+        };
+        let rows = e5_crash::run(&crash_times, 40);
+        print!("{}", e5_crash::table(&rows).render());
+        for v in e5_crash::verdicts(&rows) {
+            println!("{v}");
+        }
+        println!();
+        let rows = e5_crash::run_central(&crash_times, 40);
+        print!("{}", e5_crash::central_table(&rows).render());
+        for v in e5_crash::central_verdicts(&rows) {
+            println!("{v}");
+        }
+        println!();
+    }
+
+    if wants("e6") {
+        let seeds = if quick { vec![1] } else { vec![1, 2, 3] };
+        let rows = e6_correctness::run(&seeds, if quick { 40 } else { 120 }, threads);
+        print!("{}", e6_correctness::table(&rows).render());
+        for v in e6_correctness::verdicts(&rows) {
+            println!("{v}");
+        }
+        println!();
+    }
+
+    if wants("e7") {
+        let thetas = if quick {
+            vec![0.99]
+        } else {
+            vec![0.0, 0.9, 0.99]
+        };
+        let rows = e7_ablation::run(txns, threads, &thetas);
+        print!("{}", e7_ablation::table(&rows).render());
+        for v in e7_ablation::verdicts(&rows) {
+            println!("{v}");
+        }
+        println!();
+    }
+}

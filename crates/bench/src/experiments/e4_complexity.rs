@@ -1,0 +1,169 @@
+//! **E4 — message & log-write complexity** (§3.1–3.3, cf. [ML 83]/[DS 83]
+//! in the paper's related work).
+//!
+//! Exact per-transaction accounting on the deterministic simulator: how
+//! many protocol messages and how many log forces each protocol spends per
+//! committed global transaction on the failure-free path. The paper's
+//! shape: commit-before's commit path is the cheapest (submit + vote per
+//! participant, no decision round), 2PC the most expensive (work + prepare
+//! + decision + finished, plus the forced prepare record).
+
+use crate::table::{f2, TextTable};
+use amc_core::{FederationConfig, SimConfig, SimFederation};
+use amc_types::{GlobalVerdict, ObjectId, Operation, ProtocolKind, SimDuration, SiteId, Value};
+use std::collections::BTreeMap;
+
+/// One protocol's accounting.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Protocol.
+    pub protocol: ProtocolKind,
+    /// Messages per committed transaction.
+    pub msgs_per_txn: f64,
+    /// Log forces per committed transaction (across all sites).
+    pub forces_per_txn: f64,
+    /// Durable log bytes per committed transaction.
+    pub log_bytes_per_txn: f64,
+    /// Virtual commit latency (ms).
+    pub latency_ms: f64,
+}
+
+fn obj(site: u32, i: u64) -> ObjectId {
+    ObjectId::new(u64::from(site) * (1 << 32) + i)
+}
+
+/// Run `txns` disjoint two-site transfers per protocol on the simulator.
+pub fn run(txns: usize) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for protocol in ProtocolKind::ALL {
+        let cfg = SimConfig::new(FederationConfig::uniform(2, protocol));
+        let fed = SimFederation::new(cfg);
+        for s in 1..=2u32 {
+            let data: Vec<(ObjectId, Value)> = (0..txns as u64)
+                .map(|i| (obj(s, i), Value::counter(100)))
+                .collect();
+            fed.load_site(SiteId::new(s), &data);
+        }
+        let managers = fed.managers();
+        // Pre-run force baseline (bulk load may have forced nothing, but be
+        // exact anyway).
+        let forces_before: u64 = managers
+            .values()
+            .map(|m| m.handle().engine().log_stats().forces)
+            .sum();
+        let bytes_before: u64 = managers
+            .values()
+            .map(|m| m.handle().engine().log_stats().stable_bytes)
+            .sum();
+        // Disjoint transfers so no contention muddies the counts; stagger
+        // starts so the simulator interleaves them.
+        let programs: Vec<(SimDuration, BTreeMap<SiteId, Vec<Operation>>)> = (0..txns)
+            .map(|i| {
+                let program = BTreeMap::from([
+                    (
+                        SiteId::new(1),
+                        vec![Operation::Increment { obj: obj(1, i as u64), delta: -5 }],
+                    ),
+                    (
+                        SiteId::new(2),
+                        vec![Operation::Increment { obj: obj(2, i as u64), delta: 5 }],
+                    ),
+                ]);
+                (SimDuration::from_millis(i as u64 * 5), program)
+            })
+            .collect();
+        let report = fed.run(programs);
+        assert!(
+            report.errors.is_empty(),
+            "{protocol}: {:?}",
+            report.errors
+        );
+        let committed = report
+            .outcomes
+            .values()
+            .filter(|v| **v == GlobalVerdict::Commit)
+            .count() as f64;
+        assert!(committed > 0.0, "{protocol}: nothing committed");
+        let forces_after: u64 = managers
+            .values()
+            .map(|m| m.handle().engine().log_stats().forces)
+            .sum();
+        let bytes_after: u64 = managers
+            .values()
+            .map(|m| m.handle().engine().log_stats().stable_bytes)
+            .sum();
+        let mean_latency_us: f64 = report
+            .resolution
+            .values()
+            .map(|d| d.micros() as f64)
+            .sum::<f64>()
+            / committed;
+        rows.push(Row {
+            protocol,
+            msgs_per_txn: report.sent as f64 / committed,
+            forces_per_txn: (forces_after - forces_before) as f64 / committed,
+            log_bytes_per_txn: (bytes_after - bytes_before) as f64 / committed,
+            latency_ms: mean_latency_us / 1e3,
+        });
+    }
+    rows
+}
+
+/// Render the report table.
+pub fn table(rows: &[Row]) -> TextTable {
+    let mut t = TextTable::new(
+        "E4 — failure-free commit-path complexity per committed transaction (2 sites)",
+        &["protocol", "msgs/txn", "log-forces/txn", "log-bytes/txn", "virtual latency ms"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.protocol.label().to_string(),
+            f2(r.msgs_per_txn),
+            f2(r.forces_per_txn),
+            f2(r.log_bytes_per_txn),
+            f2(r.latency_ms),
+        ]);
+    }
+    t
+}
+
+/// Shape checks.
+pub fn verdicts(rows: &[Row]) -> Vec<String> {
+    let get = |p: ProtocolKind| rows.iter().find(|r| r.protocol == p);
+    let mut out = Vec::new();
+    if let (Some(before), Some(after), Some(two_pc)) = (
+        get(ProtocolKind::CommitBefore),
+        get(ProtocolKind::CommitAfter),
+        get(ProtocolKind::TwoPhaseCommit),
+    ) {
+        out.push(format!(
+            "[{}] E4-1: commit-before sends fewest messages ({:.1} < {:.1} < {:.1})",
+            if before.msgs_per_txn < after.msgs_per_txn
+                && after.msgs_per_txn < two_pc.msgs_per_txn
+            {
+                "PASS"
+            } else {
+                "FAIL"
+            },
+            before.msgs_per_txn,
+            after.msgs_per_txn,
+            two_pc.msgs_per_txn,
+        ));
+        out.push(format!(
+            "[{}] E4-2: 2PC pays the extra forced prepare records ({:.1} vs {:.1} forces/txn)",
+            if two_pc.forces_per_txn > before.forces_per_txn { "PASS" } else { "FAIL" },
+            two_pc.forces_per_txn,
+            before.forces_per_txn,
+        ));
+        out.push(format!(
+            "[{}] E4-3: commit-before has the lowest commit latency ({:.2} ms)",
+            if before.latency_ms <= after.latency_ms && before.latency_ms <= two_pc.latency_ms {
+                "PASS"
+            } else {
+                "FAIL"
+            },
+            before.latency_ms,
+        ));
+    }
+    out
+}

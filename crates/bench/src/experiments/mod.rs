@@ -1,0 +1,9 @@
+//! One module per experiment in `EXPERIMENTS.md`.
+
+pub mod e1_concurrency;
+pub mod e2_redo;
+pub mod e3_abort_cost;
+pub mod e4_complexity;
+pub mod e5_crash;
+pub mod e6_correctness;
+pub mod e7_ablation;

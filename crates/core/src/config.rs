@@ -1,0 +1,147 @@
+//! Federation configuration.
+
+use amc_engine::{OccEngine, TplConfig, TwoPLEngine};
+use amc_mlt::ConflictPolicy;
+use amc_net::{EngineHandle, LocalCommManager};
+use amc_types::{ProtocolKind, SiteId};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which engine flavour a site runs — the federation's heterogeneity axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Strict-2PL engine (preparable — can serve the 2PC baseline).
+    TwoPL,
+    /// Optimistic engine (not preparable: 2PC cannot run on it).
+    Occ,
+}
+
+/// Configuration for a federation instance.
+#[derive(Debug, Clone)]
+pub struct FederationConfig {
+    /// Commit protocol.
+    pub protocol: ProtocolKind,
+    /// L1 conflict policy (semantic vs read/write-only, for the E7
+    /// ablation). Ignored by the 2PC baseline, which has no L1 layer.
+    pub policy: ConflictPolicy,
+    /// One engine per local site; site ids are `1..=engines.len()`.
+    pub engines: Vec<EngineKind>,
+    /// Local 2PL engine tuning.
+    pub tpl: TplConfig,
+    /// How long a global transaction may wait for one L1 lock.
+    pub l1_timeout: Duration,
+    /// Modelled round-trip cost of one coordinator↔site exchange in the
+    /// threaded driver (network + handler service time). Zero disables the
+    /// model; the concurrency experiments set a realistic value so that
+    /// lock-tenure differences between the protocols are visible, exactly
+    /// as they were on 1991 networks where a message round trip dwarfed
+    /// local work.
+    pub message_delay: Duration,
+}
+
+impl FederationConfig {
+    /// `n` homogeneous 2PL sites under `protocol` with semantic conflicts.
+    pub fn uniform(n: u32, protocol: ProtocolKind) -> Self {
+        FederationConfig {
+            protocol,
+            policy: ConflictPolicy::Semantic,
+            engines: vec![EngineKind::TwoPL; n as usize],
+            tpl: TplConfig::default(),
+            l1_timeout: Duration::from_secs(2),
+            message_delay: Duration::ZERO,
+        }
+    }
+
+    /// A heterogeneous federation: alternating 2PL and OCC sites.
+    pub fn heterogeneous(n: u32, protocol: ProtocolKind) -> Self {
+        let engines = (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    EngineKind::TwoPL
+                } else {
+                    EngineKind::Occ
+                }
+            })
+            .collect();
+        FederationConfig {
+            engines,
+            ..Self::uniform(n, protocol)
+        }
+    }
+
+    /// Number of local sites.
+    pub fn site_count(&self) -> u32 {
+        self.engines.len() as u32
+    }
+
+    /// Whether this configuration can run at all: 2PC needs every engine to
+    /// be preparable (the paper's infeasibility argument, §3.1).
+    pub fn is_runnable(&self) -> bool {
+        self.protocol != ProtocolKind::TwoPhaseCommit
+            || self.engines.iter().all(|e| *e == EngineKind::TwoPL)
+    }
+
+    /// Build the per-site communication managers (fresh engines).
+    pub fn build_managers(&self) -> Vec<Arc<LocalCommManager>> {
+        self.engines
+            .iter()
+            .enumerate()
+            .map(|(i, kind)| {
+                let site = SiteId::new(i as u32 + 1);
+                let handle = match kind {
+                    EngineKind::TwoPL => {
+                        // 2PL engines are preparable; whether the protocol
+                        // may *use* prepare is decided by the protocol
+                        // itself. Modelling fidelity: under the two portable
+                        // protocols, hand out the sealed interface only.
+                        let engine = Arc::new(TwoPLEngine::new(self.tpl.clone()));
+                        if self.protocol == ProtocolKind::TwoPhaseCommit {
+                            EngineHandle::Preparable(engine)
+                        } else {
+                            EngineHandle::Plain(engine)
+                        }
+                    }
+                    EngineKind::Occ => EngineHandle::Plain(Arc::new(OccEngine::with_defaults())),
+                };
+                Arc::new(LocalCommManager::new(site, handle))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_builds_n_sites() {
+        let cfg = FederationConfig::uniform(3, ProtocolKind::CommitBefore);
+        assert_eq!(cfg.site_count(), 3);
+        assert!(cfg.is_runnable());
+        let managers = cfg.build_managers();
+        assert_eq!(managers.len(), 3);
+        assert_eq!(managers[0].site(), SiteId::new(1));
+        assert_eq!(managers[2].site(), SiteId::new(3));
+    }
+
+    #[test]
+    fn two_pc_on_heterogeneous_federation_is_not_runnable() {
+        // The paper's core observation: an OCC engine has no ready state,
+        // so classical 2PC cannot be deployed.
+        let cfg = FederationConfig::heterogeneous(2, ProtocolKind::TwoPhaseCommit);
+        assert!(!cfg.is_runnable());
+        for p in [ProtocolKind::CommitAfter, ProtocolKind::CommitBefore] {
+            assert!(FederationConfig::heterogeneous(2, p).is_runnable());
+        }
+    }
+
+    #[test]
+    fn portable_protocols_get_sealed_engines() {
+        let cfg = FederationConfig::uniform(1, ProtocolKind::CommitBefore);
+        let managers = cfg.build_managers();
+        assert!(managers[0].handle().preparable().is_none());
+        let cfg = FederationConfig::uniform(1, ProtocolKind::TwoPhaseCommit);
+        let managers = cfg.build_managers();
+        assert!(managers[0].handle().preparable().is_some());
+    }
+}

@@ -1,0 +1,732 @@
+//! The sans-IO coordinator state machine.
+//!
+//! One [`Coordinator`] drives one global transaction through the protocol
+//! selected at construction. It never performs IO: callers feed it
+//! [`CoordEvent`]s and interpret the returned [`CoordAction`]s (send this
+//! message, the decision is made, the transaction is finished). Both the
+//! threaded and the discrete-event runtimes drive the same machine, which
+//! is what makes the golden traces representative of the benchmarked code.
+//!
+//! State progression mirrors the global-transaction halves of Figs. 2, 4
+//! and 6: `Running → Inquiring → WaitingToCommit/WaitingToAbort →
+//! Committed/Aborted`.
+
+use amc_types::{
+    GlobalPhase, GlobalTxnId, GlobalVerdict, LocalVote, Operation, ProtocolKind, SiteId,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Input to the state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordEvent {
+    /// Kick off: ship the decomposed programs.
+    Start,
+    /// A vote (submit reply, or prepare reply for 2PC) arrived.
+    Vote {
+        /// Voting site.
+        site: SiteId,
+        /// Its vote.
+        vote: LocalVote,
+    },
+    /// A `finished` message arrived.
+    Finished {
+        /// Acknowledging site.
+        site: SiteId,
+    },
+    /// Retransmission timer fired (the driver decides the cadence; the
+    /// machine re-emits whatever is still outstanding).
+    Timer,
+}
+
+/// Output of the state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordAction {
+    /// Send `payload` to `site`.
+    Send {
+        /// Destination.
+        site: SiteId,
+        /// Message.
+        payload: amc_net::Payload,
+    },
+    /// The global decision has been made (emitted exactly once).
+    Decided(GlobalVerdict),
+    /// The protocol is complete; the global transaction reached its
+    /// terminal phase.
+    Done(GlobalVerdict),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Round {
+    /// Work shipped, collecting submit replies.
+    Work,
+    /// 2PC only: prepare shipped, collecting ready votes.
+    Prepare,
+    /// Decision shipped, collecting finished acks.
+    Finish,
+    /// Terminal.
+    Done,
+}
+
+/// Coordinator for one global transaction.
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    gtx: GlobalTxnId,
+    protocol: ProtocolKind,
+    programs: BTreeMap<SiteId, Vec<Operation>>,
+    round: Round,
+    votes: BTreeMap<SiteId, Option<LocalVote>>,
+    /// Sites we expect a `finished` from, with the payload to retransmit.
+    pending_finish: BTreeMap<SiteId, amc_net::Payload>,
+    /// Commit-before abort only: sites whose final state was unknown when
+    /// the decision fell. §3.3: the coordinator keeps inquiring — a site
+    /// that turns out to have committed still needs its undo.
+    awaiting_final_state: BTreeSet<SiteId>,
+    verdict: Option<GlobalVerdict>,
+}
+
+impl Coordinator {
+    /// A coordinator for `gtx` running `protocol` over the decomposed
+    /// `programs`.
+    pub fn new(
+        gtx: GlobalTxnId,
+        protocol: ProtocolKind,
+        programs: BTreeMap<SiteId, Vec<Operation>>,
+    ) -> Self {
+        assert!(!programs.is_empty(), "a global transaction needs participants");
+        assert!(
+            programs.keys().all(|s| !s.is_central()),
+            "the central system is not a participant"
+        );
+        let votes = programs.keys().map(|s| (*s, None)).collect();
+        Coordinator {
+            gtx,
+            protocol,
+            programs,
+            round: Round::Work,
+            votes,
+            pending_finish: BTreeMap::new(),
+            awaiting_final_state: BTreeSet::new(),
+            verdict: None,
+        }
+    }
+
+    /// This coordinator's transaction.
+    pub fn gtx(&self) -> GlobalTxnId {
+        self.gtx
+    }
+
+    /// Participant sites.
+    pub fn participants(&self) -> Vec<SiteId> {
+        self.programs.keys().copied().collect()
+    }
+
+    /// The decision, once made.
+    pub fn verdict(&self) -> Option<GlobalVerdict> {
+        self.verdict
+    }
+
+    /// The paper's global-transaction phase (Figs. 2/4/6 left columns).
+    pub fn phase(&self) -> GlobalPhase {
+        match (self.round, self.verdict) {
+            (Round::Work, _) if self.votes.values().all(Option::is_none) => GlobalPhase::Running,
+            (Round::Work, _) | (Round::Prepare, _) => GlobalPhase::Inquiring,
+            (Round::Finish, Some(GlobalVerdict::Commit)) => GlobalPhase::WaitingToCommit,
+            (Round::Finish, Some(GlobalVerdict::Abort)) => GlobalPhase::WaitingToAbort,
+            (Round::Done, Some(GlobalVerdict::Commit)) => GlobalPhase::Committed,
+            (Round::Done, _) => GlobalPhase::Aborted,
+            (Round::Finish, None) => unreachable!("finish round implies a verdict"),
+        }
+    }
+
+    /// True once the protocol is complete.
+    pub fn is_done(&self) -> bool {
+        self.round == Round::Done
+    }
+
+    /// Rebuild a coordinator after a **central-system crash** (the
+    /// coordinator-side half of crash recovery, cf. [Ske 81]):
+    ///
+    /// * `Some(verdict)` — the decision had been forced to the central log
+    ///   before the crash: resume the finish round and re-drive every
+    ///   participant (handlers are idempotent: markers, tombstones, state
+    ///   checks).
+    /// * `None` — no durable decision: **presume abort**. Participant
+    ///   votes are unknown; commit-before inquires for final states and
+    ///   undoes late "committed" answers, the decision-holding protocols
+    ///   ship the abort to everyone.
+    ///
+    /// Returns the rebuilt machine plus the actions to perform immediately.
+    pub fn resume(
+        gtx: GlobalTxnId,
+        protocol: ProtocolKind,
+        programs: BTreeMap<SiteId, Vec<Operation>>,
+        logged_verdict: Option<GlobalVerdict>,
+    ) -> (Self, Vec<CoordAction>) {
+        let mut c = Coordinator::new(gtx, protocol, programs);
+        let actions = match logged_verdict {
+            Some(GlobalVerdict::Commit) => {
+                // A commit was decided, so every participant had voted yes;
+                // whether any was read-only is lost with the crash — assume
+                // not and re-drive everyone (duplicates are absorbed).
+                for slot in c.votes.values_mut() {
+                    *slot = Some(LocalVote::Ready);
+                }
+                c.decide(GlobalVerdict::Commit)
+            }
+            // Aborts (logged or presumed): votes unknown — `decide` sends
+            // the abort / inquires as the protocol requires.
+            _ => c.decide(GlobalVerdict::Abort),
+        };
+        // Drop the duplicate `Decided` marker: the decision (if any) was
+        // already counted before the crash, and a presumed abort is
+        // reported through `Done`.
+        let actions = actions
+            .into_iter()
+            .filter(|a| !matches!(a, CoordAction::Decided(_)))
+            .collect();
+        (c, actions)
+    }
+
+    /// Feed one event; interpret the returned actions.
+    pub fn on_event(&mut self, event: CoordEvent) -> Vec<CoordAction> {
+        match event {
+            CoordEvent::Start => self.start(),
+            CoordEvent::Vote { site, vote } => self.on_vote(site, vote),
+            CoordEvent::Finished { site } => self.on_finished(site),
+            CoordEvent::Timer => self.on_timer(),
+        }
+    }
+
+    fn start(&mut self) -> Vec<CoordAction> {
+        assert_eq!(self.round, Round::Work, "start called twice");
+        self.programs
+            .iter()
+            .map(|(site, ops)| CoordAction::Send {
+                site: *site,
+                payload: amc_net::Payload::Submit {
+                    gtx: self.gtx,
+                    ops: ops.clone(),
+                },
+            })
+            .collect()
+    }
+
+    fn on_vote(&mut self, site: SiteId, vote: LocalVote) -> Vec<CoordAction> {
+        // Commit-before abort: late final-state answers keep arriving
+        // after the decision (§3.3's post-decision inquiry).
+        if self.round == Round::Finish {
+            return self.on_late_final_state(site, vote);
+        }
+        if self.round != Round::Work && self.round != Round::Prepare {
+            return Vec::new(); // stale duplicate
+        }
+        let Some(slot) = self.votes.get_mut(&site) else {
+            return Vec::new(); // not a participant; ignore
+        };
+        if self.round == Round::Work && slot.is_some() {
+            return Vec::new(); // duplicate
+        }
+        *slot = Some(vote);
+
+        // An abort vote decides immediately — no point waiting (§3.1).
+        if vote == LocalVote::Aborted {
+            return self.decide(GlobalVerdict::Abort);
+        }
+        if self.votes.values().any(Option::is_none) {
+            return Vec::new(); // still collecting
+        }
+        // All ready.
+        match (self.protocol, self.round) {
+            (ProtocolKind::TwoPhaseCommit, Round::Work) => {
+                // Work complete everywhere: start the voting phase proper.
+                self.round = Round::Prepare;
+                for slot in self.votes.values_mut() {
+                    *slot = None;
+                }
+                self.programs
+                    .keys()
+                    .map(|site| CoordAction::Send {
+                        site: *site,
+                        payload: amc_net::Payload::Prepare { gtx: self.gtx },
+                    })
+                    .collect()
+            }
+            _ => self.decide(GlobalVerdict::Commit),
+        }
+    }
+
+    fn decide(&mut self, verdict: GlobalVerdict) -> Vec<CoordAction> {
+        debug_assert!(self.verdict.is_none());
+        self.verdict = Some(verdict);
+        self.round = Round::Finish;
+        let mut actions = vec![CoordAction::Decided(verdict)];
+
+        for (site, _) in self.programs.iter() {
+            let voted = self.votes.get(site).copied().flatten();
+            // Read-only participants committed at their vote and dropped
+            // out of the decision round entirely.
+            if voted == Some(LocalVote::ReadyReadOnly) {
+                continue;
+            }
+            let payload = match (self.protocol, verdict) {
+                // 2PC and commit-after ship the decision to everyone; a
+                // participant that already aborted locally tolerates the
+                // duplicate abort (§3.2's state diagram).
+                (ProtocolKind::TwoPhaseCommit, v) | (ProtocolKind::CommitAfter, v) => {
+                    Some(amc_net::Payload::Decision {
+                        gtx: self.gtx,
+                        verdict: v,
+                    })
+                }
+                // Commit-before, commit: nothing to do — the locals already
+                // committed (§3.3: "does not need to start further
+                // actions").
+                (ProtocolKind::CommitBefore, GlobalVerdict::Commit) => None,
+                // Commit-before, abort: undo the sites that committed.
+                // Empty inverse_ops selects the manager-local undo-log.
+                // Sites with *unknown* final state must be inquired until
+                // they answer — a silent site may have committed (§3.3).
+                (ProtocolKind::CommitBefore, GlobalVerdict::Abort) => match voted {
+                    Some(LocalVote::Ready) => Some(amc_net::Payload::Undo {
+                        gtx: self.gtx,
+                        inverse_ops: Vec::new(),
+                    }),
+                    // Read-only: committed, but with no effects to invert.
+                    Some(LocalVote::ReadyReadOnly) => None,
+                    Some(LocalVote::Aborted) => None,
+                    None => {
+                        self.awaiting_final_state.insert(*site);
+                        actions.push(CoordAction::Send {
+                            site: *site,
+                            payload: amc_net::Payload::Prepare { gtx: self.gtx },
+                        });
+                        None
+                    }
+                },
+            };
+            if let Some(payload) = payload {
+                self.pending_finish.insert(*site, payload.clone());
+                actions.push(CoordAction::Send {
+                    site: *site,
+                    payload,
+                });
+            }
+        }
+        if self.pending_finish.is_empty() && self.awaiting_final_state.is_empty() {
+            self.round = Round::Done;
+            actions.push(CoordAction::Done(verdict));
+        }
+        actions
+    }
+
+    /// A final-state answer arriving after an abort decision (commit-before
+    /// only): a committed site gets its undo now.
+    fn on_late_final_state(&mut self, site: SiteId, vote: LocalVote) -> Vec<CoordAction> {
+        if !self.awaiting_final_state.remove(&site) {
+            return Vec::new(); // duplicate or unrelated
+        }
+        debug_assert_eq!(self.protocol, ProtocolKind::CommitBefore);
+        debug_assert_eq!(self.verdict, Some(GlobalVerdict::Abort));
+        *self.votes.get_mut(&site).expect("participant") = Some(vote);
+        let mut actions = Vec::new();
+        if vote == LocalVote::Ready {
+            let payload = amc_net::Payload::Undo {
+                gtx: self.gtx,
+                inverse_ops: Vec::new(),
+            };
+            self.pending_finish.insert(site, payload.clone());
+            actions.push(CoordAction::Send { site, payload });
+        }
+        if self.pending_finish.is_empty() && self.awaiting_final_state.is_empty() {
+            self.round = Round::Done;
+            actions.push(CoordAction::Done(
+                self.verdict.expect("decided"),
+            ));
+        }
+        actions
+    }
+
+    fn on_finished(&mut self, site: SiteId) -> Vec<CoordAction> {
+        if self.round != Round::Finish {
+            return Vec::new();
+        }
+        self.pending_finish.remove(&site);
+        if self.pending_finish.is_empty() && self.awaiting_final_state.is_empty() {
+            self.round = Round::Done;
+            return vec![CoordAction::Done(
+                self.verdict.expect("finish round has a verdict"),
+            )];
+        }
+        Vec::new()
+    }
+
+    /// Retransmit outstanding messages. In the work/prepare rounds the
+    /// missing piece is a vote: re-inquire with `Prepare` (the paper's
+    /// post-recovery inquiry — the managers answer from durable state). In
+    /// the finish round, re-send the decision — except that a commit-after
+    /// **commit** is retransmitted as `Redo` carrying the operations, since
+    /// a crashed site may have lost the running transaction and needs the
+    /// program to repeat it (§3.2).
+    fn on_timer(&mut self) -> Vec<CoordAction> {
+        match self.round {
+            Round::Work | Round::Prepare => self
+                .votes
+                .iter()
+                .filter(|(_, v)| v.is_none())
+                .map(|(site, _)| CoordAction::Send {
+                    site: *site,
+                    payload: amc_net::Payload::Prepare { gtx: self.gtx },
+                })
+                .collect(),
+            Round::Finish => self
+                .pending_finish
+                .iter()
+                .map(|(site, payload)| {
+                    let payload = match (self.protocol, self.verdict) {
+                        (ProtocolKind::CommitAfter, Some(GlobalVerdict::Commit)) => {
+                            amc_net::Payload::Redo {
+                                gtx: self.gtx,
+                                ops: self.programs[site].clone(),
+                            }
+                        }
+                        _ => payload.clone(),
+                    };
+                    CoordAction::Send {
+                        site: *site,
+                        payload,
+                    }
+                })
+                .collect(),
+            Round::Done => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amc_net::Payload;
+    use amc_types::Value;
+
+    fn gtx() -> GlobalTxnId {
+        GlobalTxnId::new(1)
+    }
+    fn site(n: u32) -> SiteId {
+        SiteId::new(n)
+    }
+
+    fn programs(sites: &[u32]) -> BTreeMap<SiteId, Vec<Operation>> {
+        sites
+            .iter()
+            .map(|s| {
+                (
+                    site(*s),
+                    vec![Operation::Increment {
+                        obj: amc_types::ObjectId::new(u64::from(*s)),
+                        delta: 1,
+                    }],
+                )
+            })
+            .collect()
+    }
+
+    fn sends(actions: &[CoordAction]) -> Vec<(SiteId, &'static str)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                CoordAction::Send { site, payload } => Some((*site, payload.label())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_phase_happy_path_matches_fig2() {
+        let mut c = Coordinator::new(gtx(), ProtocolKind::TwoPhaseCommit, programs(&[1, 2]));
+        assert_eq!(c.phase(), GlobalPhase::Running);
+        let a = c.on_event(CoordEvent::Start);
+        assert_eq!(sends(&a), vec![(site(1), "submit"), (site(2), "submit")]);
+        // Work replies.
+        assert!(c
+            .on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready })
+            .is_empty());
+        assert_eq!(c.phase(), GlobalPhase::Inquiring);
+        let a = c.on_event(CoordEvent::Vote { site: site(2), vote: LocalVote::Ready });
+        // All work done: the prepare round of Fig. 2.
+        assert_eq!(sends(&a), vec![(site(1), "prepare"), (site(2), "prepare")]);
+        // Ready votes.
+        assert!(c
+            .on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready })
+            .is_empty());
+        let a = c.on_event(CoordEvent::Vote { site: site(2), vote: LocalVote::Ready });
+        assert_eq!(a[0], CoordAction::Decided(GlobalVerdict::Commit));
+        assert_eq!(sends(&a[1..]), vec![(site(1), "commit"), (site(2), "commit")]);
+        assert_eq!(c.phase(), GlobalPhase::WaitingToCommit);
+        // Finished acks.
+        assert!(c.on_event(CoordEvent::Finished { site: site(1) }).is_empty());
+        let a = c.on_event(CoordEvent::Finished { site: site(2) });
+        assert_eq!(a, vec![CoordAction::Done(GlobalVerdict::Commit)]);
+        assert_eq!(c.phase(), GlobalPhase::Committed);
+        assert!(c.is_done());
+    }
+
+    #[test]
+    fn commit_after_skips_the_prepare_round() {
+        let mut c = Coordinator::new(gtx(), ProtocolKind::CommitAfter, programs(&[1, 2]));
+        c.on_event(CoordEvent::Start);
+        c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready });
+        let a = c.on_event(CoordEvent::Vote { site: site(2), vote: LocalVote::Ready });
+        // Votes double as submit replies (§3.2): decision follows directly.
+        assert_eq!(a[0], CoordAction::Decided(GlobalVerdict::Commit));
+        assert_eq!(sends(&a[1..]), vec![(site(1), "commit"), (site(2), "commit")]);
+    }
+
+    #[test]
+    fn commit_before_commit_sends_nothing_after_deciding() {
+        let mut c = Coordinator::new(gtx(), ProtocolKind::CommitBefore, programs(&[1, 2]));
+        c.on_event(CoordEvent::Start);
+        c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready });
+        let a = c.on_event(CoordEvent::Vote { site: site(2), vote: LocalVote::Ready });
+        // §3.3: no further actions; protocol completes in the same step.
+        assert_eq!(
+            a,
+            vec![
+                CoordAction::Decided(GlobalVerdict::Commit),
+                CoordAction::Done(GlobalVerdict::Commit),
+            ]
+        );
+        assert!(c.is_done());
+    }
+
+    #[test]
+    fn commit_before_abort_undoes_only_committed_sites() {
+        let mut c = Coordinator::new(gtx(), ProtocolKind::CommitBefore, programs(&[1, 2]));
+        c.on_event(CoordEvent::Start);
+        c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready });
+        let a = c.on_event(CoordEvent::Vote { site: site(2), vote: LocalVote::Aborted });
+        assert_eq!(a[0], CoordAction::Decided(GlobalVerdict::Abort));
+        // Only site 1 committed; only site 1 gets an undo (Fig. 6).
+        assert_eq!(sends(&a[1..]), vec![(site(1), "undo")]);
+        assert_eq!(c.phase(), GlobalPhase::WaitingToAbort);
+        let a = c.on_event(CoordEvent::Finished { site: site(1) });
+        assert_eq!(a, vec![CoordAction::Done(GlobalVerdict::Abort)]);
+    }
+
+    #[test]
+    fn abort_vote_in_work_round_aborts_without_waiting() {
+        let mut c = Coordinator::new(gtx(), ProtocolKind::TwoPhaseCommit, programs(&[1, 2]));
+        c.on_event(CoordEvent::Start);
+        let a = c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Aborted });
+        assert_eq!(a[0], CoordAction::Decided(GlobalVerdict::Abort));
+        // Abort decision still travels to every participant.
+        assert_eq!(sends(&a[1..]), vec![(site(1), "abort"), (site(2), "abort")]);
+    }
+
+    #[test]
+    fn commit_before_abort_with_no_committed_site_finishes_immediately() {
+        let mut c = Coordinator::new(gtx(), ProtocolKind::CommitBefore, programs(&[1]));
+        c.on_event(CoordEvent::Start);
+        let a = c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Aborted });
+        assert_eq!(
+            a,
+            vec![
+                CoordAction::Decided(GlobalVerdict::Abort),
+                CoordAction::Done(GlobalVerdict::Abort),
+            ]
+        );
+    }
+
+    #[test]
+    fn timer_reinquires_missing_votes() {
+        let mut c = Coordinator::new(gtx(), ProtocolKind::CommitBefore, programs(&[1, 2]));
+        c.on_event(CoordEvent::Start);
+        c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready });
+        let a = c.on_event(CoordEvent::Timer);
+        // Only the silent site is re-asked, with a Prepare inquiry.
+        assert_eq!(sends(&a), vec![(site(2), "prepare")]);
+    }
+
+    #[test]
+    fn timer_retransmits_commit_after_commit_as_redo() {
+        let mut c = Coordinator::new(gtx(), ProtocolKind::CommitAfter, programs(&[1]));
+        c.on_event(CoordEvent::Start);
+        c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready });
+        // Commit decision sent; the finished ack never arrives.
+        let a = c.on_event(CoordEvent::Timer);
+        match &a[0] {
+            CoordAction::Send {
+                site: s,
+                payload: Payload::Redo { ops, .. },
+            } => {
+                assert_eq!(*s, site(1));
+                assert_eq!(ops.len(), 1, "redo carries the program");
+            }
+            other => panic!("expected Redo, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timer_retransmits_undo_verbatim() {
+        let mut c = Coordinator::new(gtx(), ProtocolKind::CommitBefore, programs(&[1, 2]));
+        c.on_event(CoordEvent::Start);
+        c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready });
+        c.on_event(CoordEvent::Vote { site: site(2), vote: LocalVote::Aborted });
+        let a = c.on_event(CoordEvent::Timer);
+        assert_eq!(sends(&a), vec![(site(1), "undo")]);
+    }
+
+    #[test]
+    fn duplicates_and_strays_are_ignored() {
+        let mut c = Coordinator::new(gtx(), ProtocolKind::CommitAfter, programs(&[1]));
+        c.on_event(CoordEvent::Start);
+        assert!(c
+            .on_event(CoordEvent::Vote { site: site(9), vote: LocalVote::Ready })
+            .is_empty());
+        let a = c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready });
+        assert!(!a.is_empty());
+        // Late duplicate vote after decision: ignored.
+        assert!(c
+            .on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready })
+            .is_empty());
+        // Stray finished from a non-pending site: ignored, not done twice.
+        c.on_event(CoordEvent::Finished { site: site(1) });
+        assert!(c.is_done());
+        assert!(c.on_event(CoordEvent::Finished { site: site(1) }).is_empty());
+    }
+
+    #[test]
+    fn mixed_votes_in_2pc_prepare_round_abort() {
+        let mut c = Coordinator::new(gtx(), ProtocolKind::TwoPhaseCommit, programs(&[1, 2]));
+        c.on_event(CoordEvent::Start);
+        c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready });
+        c.on_event(CoordEvent::Vote { site: site(2), vote: LocalVote::Ready });
+        // Prepare round: site 2 cannot prepare.
+        c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready });
+        let a = c.on_event(CoordEvent::Vote { site: site(2), vote: LocalVote::Aborted });
+        assert_eq!(a[0], CoordAction::Decided(GlobalVerdict::Abort));
+        assert_eq!(c.verdict(), Some(GlobalVerdict::Abort));
+    }
+
+    #[test]
+    fn resume_with_logged_commit_redrives_participants() {
+        let (mut c, actions) = Coordinator::resume(
+            gtx(),
+            ProtocolKind::CommitAfter,
+            programs(&[1, 2]),
+            Some(GlobalVerdict::Commit),
+        );
+        // No duplicate Decided marker; the decision goes back out to every
+        // participant.
+        assert!(actions
+            .iter()
+            .all(|a| !matches!(a, CoordAction::Decided(_))));
+        assert_eq!(sends(&actions), vec![(site(1), "commit"), (site(2), "commit")]);
+        assert_eq!(c.verdict(), Some(GlobalVerdict::Commit));
+        c.on_event(CoordEvent::Finished { site: site(1) });
+        let a = c.on_event(CoordEvent::Finished { site: site(2) });
+        assert_eq!(a, vec![CoordAction::Done(GlobalVerdict::Commit)]);
+    }
+
+    #[test]
+    fn resume_without_log_presumes_abort() {
+        // Commit-before: unknown votes -> inquire everyone.
+        let (c, actions) = Coordinator::resume(
+            gtx(),
+            ProtocolKind::CommitBefore,
+            programs(&[1, 2]),
+            None,
+        );
+        assert_eq!(c.verdict(), Some(GlobalVerdict::Abort));
+        assert_eq!(
+            sends(&actions),
+            vec![(site(1), "prepare"), (site(2), "prepare")]
+        );
+        // 2PC: abort decision goes to everyone directly.
+        let (_, actions) = Coordinator::resume(
+            gtx(),
+            ProtocolKind::TwoPhaseCommit,
+            programs(&[1, 2]),
+            None,
+        );
+        assert_eq!(sends(&actions), vec![(site(1), "abort"), (site(2), "abort")]);
+    }
+
+    #[test]
+    fn resumed_commit_before_abort_undoes_late_committed_answer() {
+        let (mut c, _) = Coordinator::resume(
+            gtx(),
+            ProtocolKind::CommitBefore,
+            programs(&[1, 2]),
+            None,
+        );
+        // Site 1 answers the inquiry: it had committed.
+        let a = c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready });
+        assert_eq!(sends(&a), vec![(site(1), "undo")]);
+        // Site 2 never committed.
+        assert!(c
+            .on_event(CoordEvent::Vote { site: site(2), vote: LocalVote::Aborted })
+            .is_empty());
+        let a = c.on_event(CoordEvent::Finished { site: site(1) });
+        assert_eq!(a, vec![CoordAction::Done(GlobalVerdict::Abort)]);
+    }
+
+    #[test]
+    fn resume_commit_before_commit_is_immediately_done() {
+        let (c, actions) = Coordinator::resume(
+            gtx(),
+            ProtocolKind::CommitBefore,
+            programs(&[1, 2]),
+            Some(GlobalVerdict::Commit),
+        );
+        // Nothing to re-drive: the locals committed before the decision.
+        assert_eq!(actions, vec![CoordAction::Done(GlobalVerdict::Commit)]);
+        assert!(c.is_done());
+    }
+
+    #[test]
+    fn read_only_vote_is_yes_but_skips_decision_round() {
+        let mut c = Coordinator::new(gtx(), ProtocolKind::CommitAfter, programs(&[1, 2]));
+        c.on_event(CoordEvent::Start);
+        c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::ReadyReadOnly });
+        let a = c.on_event(CoordEvent::Vote { site: site(2), vote: LocalVote::Ready });
+        assert_eq!(a[0], CoordAction::Decided(GlobalVerdict::Commit));
+        // Only the updating site sees the decision.
+        assert_eq!(sends(&a[1..]), vec![(site(2), "commit")]);
+        let done = c.on_event(CoordEvent::Finished { site: site(2) });
+        assert_eq!(done, vec![CoordAction::Done(GlobalVerdict::Commit)]);
+    }
+
+    #[test]
+    fn all_read_only_votes_finish_without_any_decision_message() {
+        let mut c = Coordinator::new(gtx(), ProtocolKind::CommitAfter, programs(&[1, 2]));
+        c.on_event(CoordEvent::Start);
+        c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::ReadyReadOnly });
+        let a = c.on_event(CoordEvent::Vote { site: site(2), vote: LocalVote::ReadyReadOnly });
+        assert_eq!(
+            a,
+            vec![
+                CoordAction::Decided(GlobalVerdict::Commit),
+                CoordAction::Done(GlobalVerdict::Commit),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "participants")]
+    fn empty_participant_set_is_rejected() {
+        Coordinator::new(gtx(), ProtocolKind::CommitBefore, BTreeMap::new());
+    }
+
+    #[test]
+    fn value_type_used_in_programs() {
+        // Silence the unused-import lint in a meaningful way: programs may
+        // carry writes too.
+        let mut p = programs(&[1]);
+        p.get_mut(&site(1)).unwrap().push(Operation::Write {
+            obj: amc_types::ObjectId::new(1),
+            value: Value::counter(1),
+        });
+        let c = Coordinator::new(gtx(), ProtocolKind::CommitBefore, p);
+        assert_eq!(c.participants(), vec![site(1)]);
+    }
+}

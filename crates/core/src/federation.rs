@@ -1,0 +1,665 @@
+//! The threaded federation runtime.
+//!
+//! This is the "real machine" driver: communication-manager calls are
+//! synchronous function calls (zero network latency), many worker threads
+//! push global transactions through the same [`Coordinator`] state machine
+//! the simulator uses, and the engines' blocking lock managers provide the
+//! contention. It exists for the throughput experiments (E1–E3, E7), where
+//! wall-clock concurrency — not failure behaviour — is the measured
+//! quantity. Crashes belong to the discrete-event driver.
+//!
+//! Global concurrency control: for the two portable protocols, every L1
+//! lock of a global transaction is acquired (in canonical object order)
+//! *before* any engine work and released only at global end — the strict
+//! L1 two-phase discipline of §4.3 that discharges both serializability
+//! requirements. The 2PC baseline runs without an L1 layer; distributed
+//! 2PL at L0 (page locks held to the global end) is its isolation story,
+//! and participants are always submitted in ascending site order so
+//! cross-site lock cycles cannot form.
+
+use crate::config::FederationConfig;
+use crate::coordinator::{CoordAction, CoordEvent, Coordinator};
+use crate::metrics::RunMetrics;
+use amc_mlt::L1LockManager;
+use amc_net::comm::SubmitMode;
+use amc_net::{Envelope, LocalCommManager, MessageTrace, Payload};
+use amc_types::{
+    AbortReason, AmcError, AmcResult, GlobalTxnId, GlobalVerdict, ObjectId, Operation,
+    ProtocolKind, SimTime, SiteId, Value,
+};
+use amc_verify::{History, OpEvent};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Outcome of one global transaction attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// Globally committed.
+    Committed,
+    /// Globally aborted (a participant voted no).
+    Aborted,
+    /// Rejected at L1 lock acquisition before any engine work; the caller
+    /// should retry.
+    L1Rejected(AbortReason),
+}
+
+/// Per-transaction measurements returned to the driver loop.
+#[derive(Debug, Clone)]
+pub struct TxnReport {
+    /// The global transaction id this attempt ran under (oracle mapping).
+    pub gtx: GlobalTxnId,
+    /// What happened.
+    pub outcome: TxnOutcome,
+    /// End-to-end latency of the attempt.
+    pub latency: Duration,
+    /// L0 lock tenures per participating site (first submit → local
+    /// release), only populated for committed transactions.
+    pub l0_holds: Vec<Duration>,
+    /// Messages exchanged (requests + replies).
+    pub messages: u64,
+}
+
+/// A running federation: central system + communication managers + sealed
+/// engines.
+pub struct Federation {
+    cfg: FederationConfig,
+    managers: BTreeMap<SiteId, Arc<LocalCommManager>>,
+    l1: L1LockManager,
+    next_gtx: AtomicU64,
+    history: Mutex<History>,
+    trace: Mutex<MessageTrace>,
+    seq: AtomicU64,
+    record_history: bool,
+    record_trace: bool,
+}
+
+impl Federation {
+    /// Build a federation (fresh engines) from `cfg`.
+    ///
+    /// # Panics
+    /// When `cfg` is not runnable (2PC over a non-preparable engine) — the
+    /// paper's point is that such deployments cannot exist.
+    pub fn new(cfg: FederationConfig) -> Self {
+        assert!(
+            cfg.is_runnable(),
+            "2PC cannot run on a federation with non-preparable engines (§3.1)"
+        );
+        let managers = cfg
+            .build_managers()
+            .into_iter()
+            .map(|m| (m.site(), m))
+            .collect();
+        let l1 = L1LockManager::new(cfg.policy, cfg.l1_timeout);
+        Federation {
+            cfg,
+            managers,
+            l1,
+            next_gtx: AtomicU64::new(1),
+            history: Mutex::new(History::new()),
+            trace: Mutex::new(MessageTrace::new()),
+            seq: AtomicU64::new(1),
+            record_history: true,
+            record_trace: true,
+        }
+    }
+
+    /// Disable oracle/trace recording (benchmark hot paths).
+    pub fn set_recording(&mut self, history: bool, trace: bool) {
+        self.record_history = history;
+        self.record_trace = trace;
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FederationConfig {
+        &self.cfg
+    }
+
+    /// The communication manager of `site`.
+    pub fn manager(&self, site: SiteId) -> Option<&Arc<LocalCommManager>> {
+        self.managers.get(&site)
+    }
+
+    /// Load initial data into a site's engine.
+    pub fn load_site(&self, site: SiteId, data: &[(ObjectId, Value)]) -> AmcResult<()> {
+        self.managers
+            .get(&site)
+            .ok_or(AmcError::SiteDown(site))?
+            .handle()
+            .engine()
+            .bulk_load(data)
+    }
+
+    /// Final committed state of every site (markers included).
+    pub fn dumps(&self) -> AmcResult<BTreeMap<SiteId, BTreeMap<ObjectId, Value>>> {
+        self.managers
+            .iter()
+            .map(|(s, m)| Ok((*s, m.handle().engine().dump()?)))
+            .collect()
+    }
+
+    /// Snapshot of the recorded history (oracle input).
+    pub fn history(&self) -> History {
+        self.history.lock().clone()
+    }
+
+    /// Snapshot of the message trace.
+    pub fn trace(&self) -> MessageTrace {
+        self.trace.lock().clone()
+    }
+
+    /// Aggregate communication-manager counters.
+    pub fn comm_stats(&self) -> amc_net::CommStats {
+        let mut total = amc_net::CommStats::default();
+        for m in self.managers.values() {
+            let s = m.stats();
+            total.submits += s.submits;
+            total.votes_ready += s.votes_ready;
+            total.votes_aborted += s.votes_aborted;
+            total.redo_runs += s.redo_runs;
+            total.undo_runs += s.undo_runs;
+            total.pre_vote_retries += s.pre_vote_retries;
+            total.marker_checks += s.marker_checks;
+        }
+        total
+    }
+
+    /// Aggregate engine log counters (E4).
+    pub fn log_stats(&self) -> amc_wal::LogStats {
+        let mut total = amc_wal::LogStats::default();
+        for m in self.managers.values() {
+            let s = m.handle().engine().log_stats();
+            total.appends += s.appends;
+            total.forces += s.forces;
+            total.stable_records += s.stable_records;
+            total.stable_bytes += s.stable_bytes;
+        }
+        total
+    }
+
+    /// L1 lock-manager counters.
+    pub fn l1_stats(&self) -> amc_lock::LockStats {
+        self.l1.stats()
+    }
+
+    fn submit_mode(&self) -> SubmitMode {
+        match self.cfg.protocol {
+            ProtocolKind::TwoPhaseCommit => SubmitMode::TwoPhase,
+            ProtocolKind::CommitAfter => SubmitMode::CommitAfter,
+            ProtocolKind::CommitBefore => SubmitMode::CommitBefore,
+        }
+    }
+
+    fn record_envelope(&self, from: SiteId, to: SiteId, payload: &Payload) {
+        if self.record_trace {
+            self.trace
+                .lock()
+                .record(SimTime::ZERO, Envelope::new(from, to, payload.clone()));
+        }
+    }
+
+    /// Dispatch one coordinator message to a site's manager and return the
+    /// reply.
+    fn dispatch(&self, site: SiteId, payload: Payload) -> AmcResult<Payload> {
+        let manager = self
+            .managers
+            .get(&site)
+            .ok_or(AmcError::SiteDown(site))?;
+        self.record_envelope(SiteId::CENTRAL, site, &payload);
+        if !self.cfg.message_delay.is_zero() {
+            std::thread::sleep(self.cfg.message_delay);
+        }
+        let reply = match payload {
+            Payload::Submit { gtx, ops } => manager.handle_submit(gtx, ops, self.submit_mode())?,
+            Payload::Prepare { gtx } => manager.handle_prepare(gtx)?,
+            Payload::Decision { gtx, verdict } => manager.handle_decision(gtx, verdict)?,
+            Payload::Redo { gtx, ops } => manager.handle_redo(gtx, ops)?,
+            Payload::Undo { gtx, inverse_ops } => manager.handle_undo(gtx, inverse_ops)?,
+            Payload::Vote { .. } | Payload::Finished { .. } => {
+                return Err(AmcError::Protocol("central received its own reply".into()))
+            }
+        };
+        self.record_envelope(site, SiteId::CENTRAL, &reply);
+        Ok(reply)
+    }
+
+    /// Run one global transaction to completion.
+    pub fn run_transaction(
+        &self,
+        per_site: &BTreeMap<SiteId, Vec<Operation>>,
+    ) -> AmcResult<TxnReport> {
+        let start = Instant::now();
+        let gtx = GlobalTxnId::new(self.next_gtx.fetch_add(1, Ordering::Relaxed));
+
+        // --- L1 acquisition (portable protocols only) ---------------------
+        if self.cfg.protocol != ProtocolKind::TwoPhaseCommit {
+            // The whole lock set is known before execution starts, so fold
+            // each object's accesses into one *strongest* mode and acquire
+            // in canonical object order. Ordered acquisition removes lock
+            // cycles across objects; one-shot strongest-mode acquisition
+            // removes upgrade deadlocks on the same object. L1 deadlock is
+            // impossible by construction (timeouts remain the overload
+            // safety valve).
+            use amc_lock::LockMode;
+            let mut needed: BTreeMap<ObjectId, amc_lock::SemanticMode> = BTreeMap::new();
+            for op in per_site.values().flatten() {
+                let mode = self.cfg.policy.mode_for(op);
+                needed
+                    .entry(op.object())
+                    .and_modify(|m| *m = m.combine(mode))
+                    .or_insert(mode);
+            }
+            for (obj, mode) in needed {
+                use amc_lock::blocking::AcquireResult;
+                match self.l1.acquire_mode(gtx, obj, mode) {
+                    AcquireResult::Granted => {}
+                    AcquireResult::Deadlock => {
+                        self.l1.release_all(gtx);
+                        return Ok(TxnReport {
+                            gtx,
+                            outcome: TxnOutcome::L1Rejected(AbortReason::Deadlock),
+                            latency: start.elapsed(),
+                            l0_holds: Vec::new(),
+                            messages: 0,
+                        });
+                    }
+                    AcquireResult::Timeout => {
+                        self.l1.release_all(gtx);
+                        return Ok(TxnReport {
+                            gtx,
+                            outcome: TxnOutcome::L1Rejected(AbortReason::LockTimeout),
+                            latency: start.elapsed(),
+                            l0_holds: Vec::new(),
+                            messages: 0,
+                        });
+                    }
+                }
+            }
+        }
+
+        // --- Drive the coordinator synchronously --------------------------
+        let mut coordinator = Coordinator::new(gtx, self.cfg.protocol, per_site.clone());
+        let mut queue = std::collections::VecDeque::from([CoordEvent::Start]);
+        let mut messages = 0u64;
+        let mut submit_started: BTreeMap<SiteId, Instant> = BTreeMap::new();
+        let mut l0_released: BTreeMap<SiteId, Instant> = BTreeMap::new();
+        let mut final_verdict: Option<GlobalVerdict> = None;
+        let result: AmcResult<()> = (|| {
+            while let Some(event) = queue.pop_front() {
+                for action in coordinator.on_event(event) {
+                    match action {
+                        CoordAction::Send { site, payload } => {
+                            let is_submit = matches!(payload, Payload::Submit { .. });
+                            if is_submit {
+                                submit_started.insert(site, Instant::now());
+                            }
+                            messages += 2; // request + reply
+                            let reply = self.dispatch(site, payload)?;
+                            // L0 release points: commit-before releases at
+                            // local commit (submit reply); the others at the
+                            // decision/redo/undo reply.
+                            match (&reply, self.cfg.protocol) {
+                                (Payload::Vote { .. }, ProtocolKind::CommitBefore) => {
+                                    l0_released.insert(site, Instant::now());
+                                }
+                                (Payload::Finished { .. }, _) => {
+                                    l0_released.insert(site, Instant::now());
+                                }
+                                _ => {}
+                            }
+                            match reply {
+                                Payload::Vote { vote, .. } => {
+                                    if vote.is_yes() && self.record_history {
+                                        self.record_site_ops(gtx, site, per_site);
+                                    }
+                                    queue.push_back(CoordEvent::Vote { site, vote });
+                                }
+                                Payload::Finished { .. } => {
+                                    queue.push_back(CoordEvent::Finished { site });
+                                }
+                                other => {
+                                    return Err(AmcError::Protocol(format!(
+                                        "unexpected reply {other}"
+                                    )))
+                                }
+                            }
+                        }
+                        CoordAction::Decided(_) => {}
+                        CoordAction::Done(v) => final_verdict = Some(v),
+                    }
+                }
+            }
+            Ok(())
+        })();
+
+        // Strict L1 2PL: release only after every obligation (redo/undo)
+        // has been discharged.
+        if self.cfg.protocol != ProtocolKind::TwoPhaseCommit {
+            self.l1.release_all(gtx);
+        }
+        result?;
+
+        let verdict = final_verdict
+            .ok_or_else(|| AmcError::Protocol("coordinator never finished".into()))?;
+        if self.record_history {
+            self.history.lock().set_outcome(gtx, verdict);
+        }
+
+        // 2PC and commit-after hold L0 locks until the decision round; the
+        // sites that never saw a finish (commit-before commit path) already
+        // released at their vote.
+        let l0_holds = if verdict == GlobalVerdict::Commit {
+            submit_started
+                .iter()
+                .filter_map(|(site, t0)| l0_released.get(site).map(|t1| t1.duration_since(*t0)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        Ok(TxnReport {
+            gtx,
+            outcome: match verdict {
+                GlobalVerdict::Commit => TxnOutcome::Committed,
+                GlobalVerdict::Abort => TxnOutcome::Aborted,
+            },
+            latency: start.elapsed(),
+            l0_holds,
+            messages,
+        })
+    }
+
+    fn record_site_ops(
+        &self,
+        gtx: GlobalTxnId,
+        site: SiteId,
+        per_site: &BTreeMap<SiteId, Vec<Operation>>,
+    ) {
+        if let Some(ops) = per_site.get(&site) {
+            let mut history = self.history.lock();
+            for op in ops {
+                let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                history.record_op(OpEvent {
+                    gtx,
+                    site,
+                    seq,
+                    op: *op,
+                });
+            }
+        }
+    }
+
+    /// Run a batch of programs on `threads` worker threads. Each program is
+    /// `(per-site ops, intends_abort)`; erroneous global rejections *and*
+    /// erroneous global aborts (an abort of a program that did not intend
+    /// one) are retried (bounded); intended aborts are not.
+    pub fn run_concurrent(
+        self: &Arc<Self>,
+        programs: Vec<(BTreeMap<SiteId, Vec<Operation>>, bool)>,
+        threads: usize,
+    ) -> RunMetrics {
+        let mut metrics = RunMetrics::new(self.cfg.protocol);
+        let queue = Arc::new(Mutex::new(programs.into_iter().collect::<Vec<_>>()));
+        let results: Arc<Mutex<Vec<(TxnReport, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..threads.max(1) {
+                let fed = Arc::clone(self);
+                let queue = Arc::clone(&queue);
+                let results = Arc::clone(&results);
+                scope.spawn(move || loop {
+                    let Some((program, intends_abort)) = queue.lock().pop() else {
+                        return;
+                    };
+                    let mut attempts = 0;
+                    loop {
+                        attempts += 1;
+                        match fed.run_transaction(&program) {
+                            Ok(report) => {
+                                let erroneous_abort = report.outcome == TxnOutcome::Aborted
+                                    && !intends_abort;
+                                let retry = (matches!(report.outcome, TxnOutcome::L1Rejected(_))
+                                    || erroneous_abort)
+                                    && attempts < 10;
+                                results.lock().push((report, intends_abort));
+                                if retry {
+                                    continue;
+                                }
+                            }
+                            Err(e) => panic!("federation error: {e}"),
+                        }
+                        break;
+                    }
+                });
+            }
+        });
+        metrics.wall = start.elapsed();
+        for (report, intends_abort) in results.lock().drain(..) {
+            metrics.messages += report.messages;
+            match report.outcome {
+                TxnOutcome::Committed => {
+                    metrics.committed += 1;
+                    metrics.total_commit_latency += report.latency;
+                    for h in &report.l0_holds {
+                        metrics.total_l0_hold += *h;
+                        metrics.l0_hold_count += 1;
+                    }
+                }
+                TxnOutcome::Aborted => {
+                    if intends_abort {
+                        metrics.aborted_intended += 1;
+                    } else {
+                        metrics.aborted_erroneous += 1;
+                    }
+                }
+                TxnOutcome::L1Rejected(_) => metrics.l1_rejections += 1,
+            }
+        }
+        let comm = self.comm_stats();
+        metrics.redo_runs = comm.redo_runs;
+        metrics.undo_runs = comm.undo_runs;
+        metrics.pre_vote_retries = comm.pre_vote_retries;
+        let log = self.log_stats();
+        metrics.log_forces = log.forces;
+        metrics.log_bytes = log.stable_bytes;
+        metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amc_net::marker::is_marker;
+    use amc_verify::history::ConflictDefinition;
+
+    fn site(n: u32) -> SiteId {
+        SiteId::new(n)
+    }
+    fn obj(site_n: u32, idx: u64) -> ObjectId {
+        // Mirror the workload naming scheme without depending on it.
+        ObjectId::new(u64::from(site_n) * (1 << 32) + idx)
+    }
+    fn v(n: i64) -> Value {
+        Value::counter(n)
+    }
+
+    fn loaded(protocol: ProtocolKind, sites: u32) -> Arc<Federation> {
+        let fed = Federation::new(FederationConfig::uniform(sites, protocol));
+        for s in 1..=sites {
+            let data: Vec<(ObjectId, Value)> = (0..50).map(|i| (obj(s, i), v(100))).collect();
+            fed.load_site(site(s), &data).unwrap();
+        }
+        Arc::new(fed)
+    }
+
+    fn transfer(from_site: u32, to_site: u32, amount: i64) -> BTreeMap<SiteId, Vec<Operation>> {
+        BTreeMap::from([
+            (
+                site(from_site),
+                vec![Operation::Increment { obj: obj(from_site, 0), delta: -amount }],
+            ),
+            (
+                site(to_site),
+                vec![Operation::Increment { obj: obj(to_site, 0), delta: amount }],
+            ),
+        ])
+    }
+
+    fn user_sum(fed: &Federation) -> i64 {
+        fed.dumps()
+            .unwrap()
+            .values()
+            .flat_map(|d| d.iter())
+            .filter(|(o, _)| !is_marker(**o))
+            .map(|(_, val)| val.counter)
+            .sum()
+    }
+
+    #[test]
+    fn all_protocols_commit_a_simple_transfer() {
+        for protocol in ProtocolKind::ALL {
+            let fed = loaded(protocol, 2);
+            let report = fed.run_transaction(&transfer(1, 2, 30)).unwrap();
+            assert_eq!(report.outcome, TxnOutcome::Committed, "{protocol}");
+            let dumps = fed.dumps().unwrap();
+            assert_eq!(dumps[&site(1)][&obj(1, 0)], v(70), "{protocol}");
+            assert_eq!(dumps[&site(2)][&obj(2, 0)], v(130), "{protocol}");
+            assert!(report.messages >= 4);
+        }
+    }
+
+    #[test]
+    fn intended_abort_leaves_no_net_effect_under_all_protocols() {
+        for protocol in ProtocolKind::ALL {
+            let fed = loaded(protocol, 2);
+            let mut program = transfer(1, 2, 30);
+            // Site 2's program additionally reads a missing object: the
+            // transaction logic fails there.
+            program
+                .get_mut(&site(2))
+                .unwrap()
+                .push(Operation::Read { obj: obj(2, 999_999) });
+            let report = fed.run_transaction(&program).unwrap();
+            assert_eq!(report.outcome, TxnOutcome::Aborted, "{protocol}");
+            // Atomicity: no site shows any effect (commit-before undid
+            // site 1 via the inverse transaction).
+            assert_eq!(user_sum(&fed), 100 * 2 * 50, "{protocol}");
+            let dumps = fed.dumps().unwrap();
+            assert_eq!(dumps[&site(1)][&obj(1, 0)], v(100), "{protocol}");
+        }
+    }
+
+    #[test]
+    fn commit_before_uses_fewest_messages_on_the_commit_path() {
+        let mut counts = BTreeMap::new();
+        for protocol in ProtocolKind::ALL {
+            let fed = loaded(protocol, 2);
+            let report = fed.run_transaction(&transfer(1, 2, 5)).unwrap();
+            counts.insert(protocol.label(), report.messages);
+        }
+        // E4's shape: commit-before (4: 2×submit/vote) < commit-after (8)
+        // < 2PC (12: work + prepare + decision rounds).
+        assert!(counts["commit-before"] < counts["commit-after"]);
+        assert!(counts["commit-after"] < counts["2pc"]);
+    }
+
+    #[test]
+    fn concurrent_transfers_preserve_the_invariant() {
+        for protocol in ProtocolKind::ALL {
+            let fed = loaded(protocol, 3);
+            let programs: Vec<(BTreeMap<SiteId, Vec<Operation>>, bool)> = (0..60)
+                .map(|i| {
+                    let a = 1 + (i % 3) as u32;
+                    let b = 1 + ((i + 1) % 3) as u32;
+                    (transfer(a, b, 1 + (i % 7) as i64), false)
+                })
+                .collect();
+            let metrics = fed.run_concurrent(programs, 4);
+            assert_eq!(metrics.committed, 60, "{protocol}: {metrics:?}");
+            // Money conservation across the federation.
+            assert_eq!(user_sum(&fed), 100 * 3 * 50, "{protocol}");
+            // Oracle: conflict-serializable.
+            fed.history()
+                .check_serializable(ConflictDefinition::Commutativity)
+                .unwrap_or_else(|e| panic!("{protocol}: {e}"));
+        }
+    }
+
+    #[test]
+    fn history_and_equivalence_oracle_pass_end_to_end() {
+        let fed = loaded(ProtocolKind::CommitBefore, 2);
+        let initial: BTreeMap<ObjectId, Value> = (1..=2u32)
+            .flat_map(|s| (0..50).map(move |i| (obj(s, i), v(100))))
+            .collect();
+        let mut programs_by_gtx: BTreeMap<GlobalTxnId, Vec<Operation>> = BTreeMap::new();
+        for i in 0..20 {
+            let p = transfer(1, 2, i % 5);
+            let report = fed.run_transaction(&p).unwrap();
+            assert_eq!(report.outcome, TxnOutcome::Committed);
+            let gtx = GlobalTxnId::new(i as u64 + 1);
+            programs_by_gtx.insert(gtx, p.values().flatten().copied().collect());
+        }
+        let history = fed.history();
+        let order = history
+            .check_serializable(ConflictDefinition::Commutativity)
+            .unwrap();
+        let merged: BTreeMap<ObjectId, Value> = fed
+            .dumps()
+            .unwrap()
+            .into_values()
+            .flat_map(|d| d.into_iter())
+            .collect();
+        let divergences =
+            amc_verify::check_state_equivalence(&initial, &order, &programs_by_gtx, &merged);
+        assert!(divergences.is_empty(), "{divergences:?}");
+    }
+
+    #[test]
+    fn fig8_interleaving_commits_under_commit_before_semantic_locks() {
+        // Two global increments on the same objects, concurrently: must
+        // both commit without L1 rejections under the semantic policy.
+        let fed = loaded(ProtocolKind::CommitBefore, 2);
+        let programs = vec![(transfer(1, 2, 3), false); 20];
+        let metrics = fed.run_concurrent(programs, 8);
+        assert_eq!(metrics.committed, 20);
+        assert_eq!(metrics.l1_rejections, 0, "increments never conflict at L1");
+    }
+
+    #[test]
+    fn trace_respects_star_topology() {
+        let fed = loaded(ProtocolKind::CommitAfter, 2);
+        fed.run_transaction(&transfer(1, 2, 1)).unwrap();
+        for entry in fed.trace().entries() {
+            assert!(entry.envelope.respects_star_topology());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2PC cannot run")]
+    fn two_pc_panics_on_heterogeneous_federation() {
+        Federation::new(FederationConfig::heterogeneous(
+            2,
+            ProtocolKind::TwoPhaseCommit,
+        ));
+    }
+
+    #[test]
+    fn heterogeneous_federation_works_under_portable_protocols() {
+        for protocol in [ProtocolKind::CommitAfter, ProtocolKind::CommitBefore] {
+            let cfg = FederationConfig::heterogeneous(2, protocol);
+            let fed = Federation::new(cfg);
+            for s in 1..=2u32 {
+                let data: Vec<(ObjectId, Value)> =
+                    (0..10).map(|i| (obj(s, i), v(100))).collect();
+                fed.load_site(site(s), &data).unwrap();
+            }
+            let fed = Arc::new(fed);
+            let report = fed.run_transaction(&transfer(1, 2, 9)).unwrap();
+            assert_eq!(report.outcome, TxnOutcome::Committed, "{protocol}");
+            let dumps = fed.dumps().unwrap();
+            assert_eq!(dumps[&site(2)][&obj(2, 0)], v(109));
+        }
+    }
+}

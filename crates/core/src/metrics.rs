@@ -1,0 +1,146 @@
+//! Run metrics aggregated across a workload execution.
+
+use amc_types::ProtocolKind;
+use std::time::Duration;
+
+/// What one workload run measured. All counters are totals; derived rates
+/// come from the accessor methods.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Globally committed transactions.
+    pub committed: u64,
+    /// Global aborts caused by transaction logic (intended).
+    pub aborted_intended: u64,
+    /// Global aborts caused by local erroneous aborts propagating up
+    /// (commit-before voting aborted, 2PC prepare failures, ...).
+    pub aborted_erroneous: u64,
+    /// Global transactions killed at L1 acquisition (deadlock/timeout)
+    /// before touching any engine; the driver retries these.
+    pub l1_rejections: u64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Sum of per-transaction latencies (successful commits only).
+    pub total_commit_latency: Duration,
+    /// Sum of per-site L0 lock tenures (from first submit to local
+    /// release), commits only.
+    pub total_l0_hold: Duration,
+    /// Number of (transaction, site) tenures in `total_l0_hold`.
+    pub l0_hold_count: u64,
+    /// Protocol messages exchanged.
+    pub messages: u64,
+    /// Commit-after repetitions executed.
+    pub redo_runs: u64,
+    /// Commit-before inverse transactions executed.
+    pub undo_runs: u64,
+    /// Pre-vote retries at the communication managers.
+    pub pre_vote_retries: u64,
+    /// Log forces across all engines.
+    pub log_forces: u64,
+    /// Durable log bytes across all engines.
+    pub log_bytes: u64,
+}
+
+impl RunMetrics {
+    /// Empty metrics for `protocol`.
+    pub fn new(protocol: ProtocolKind) -> Self {
+        RunMetrics {
+            protocol,
+            committed: 0,
+            aborted_intended: 0,
+            aborted_erroneous: 0,
+            l1_rejections: 0,
+            wall: Duration::ZERO,
+            total_commit_latency: Duration::ZERO,
+            total_l0_hold: Duration::ZERO,
+            l0_hold_count: 0,
+            messages: 0,
+            redo_runs: 0,
+            undo_runs: 0,
+            pre_vote_retries: 0,
+            log_forces: 0,
+            log_bytes: 0,
+        }
+    }
+
+    /// Committed transactions per second.
+    pub fn throughput(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.committed as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Mean commit latency in milliseconds.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.committed == 0 {
+            return 0.0;
+        }
+        self.total_commit_latency.as_secs_f64() * 1e3 / self.committed as f64
+    }
+
+    /// Mean L0 lock tenure in milliseconds (E1's headline series).
+    pub fn mean_l0_hold_ms(&self) -> f64 {
+        if self.l0_hold_count == 0 {
+            return 0.0;
+        }
+        self.total_l0_hold.as_secs_f64() * 1e3 / self.l0_hold_count as f64
+    }
+
+    /// Messages per committed transaction (E4).
+    pub fn messages_per_commit(&self) -> f64 {
+        if self.committed == 0 {
+            return 0.0;
+        }
+        self.messages as f64 / self.committed as f64
+    }
+
+    /// Fraction of attempts that globally aborted.
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.committed + self.aborted_intended + self.aborted_erroneous;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.aborted_intended + self.aborted_erroneous) as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let mut m = RunMetrics::new(ProtocolKind::CommitBefore);
+        m.committed = 100;
+        m.wall = Duration::from_secs(2);
+        m.total_commit_latency = Duration::from_millis(500);
+        m.total_l0_hold = Duration::from_millis(300);
+        m.l0_hold_count = 200;
+        m.messages = 400;
+        assert!((m.throughput() - 50.0).abs() < 1e-9);
+        assert!((m.mean_latency_ms() - 5.0).abs() < 1e-9);
+        assert!((m.mean_l0_hold_ms() - 1.5).abs() < 1e-9);
+        assert!((m.messages_per_commit() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_division_is_guarded() {
+        let m = RunMetrics::new(ProtocolKind::TwoPhaseCommit);
+        assert_eq!(m.throughput(), 0.0);
+        assert_eq!(m.mean_latency_ms(), 0.0);
+        assert_eq!(m.mean_l0_hold_ms(), 0.0);
+        assert_eq!(m.messages_per_commit(), 0.0);
+        assert_eq!(m.abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn abort_rate_counts_both_kinds() {
+        let mut m = RunMetrics::new(ProtocolKind::CommitAfter);
+        m.committed = 80;
+        m.aborted_intended = 15;
+        m.aborted_erroneous = 5;
+        assert!((m.abort_rate() - 0.2).abs() < 1e-9);
+    }
+}

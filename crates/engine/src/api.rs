@@ -1,0 +1,130 @@
+//! Engine traits and shared reporting types.
+//!
+//! [`LocalEngine`] is the paper's integration contract: "we only demand each
+//! of the existing systems to have a transaction management ... the
+//! corresponding interface has to provide calls for *begin*, *abort* and
+//! *commit* of a transaction" (§2). Everything the commit protocols of §3.2
+//! and §3.3 do must go through this trait.
+//!
+//! [`PreparableEngine`] adds the ready state of §3.1. Real integrations do
+//! not have it — it exists here so the 2PC baseline can be measured against
+//! the two portable protocols.
+
+use amc_types::{
+    AbortReason, AmcResult, LocalRunState, LocalTxnId, ObjectId, OpResult, Operation, Value,
+};
+use amc_wal::LogStats;
+use std::collections::BTreeMap;
+
+/// Counters every engine maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Transactions begun.
+    pub begins: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions aborted for any reason.
+    pub aborts: u64,
+    /// Aborts initiated by the engine itself (deadlock, timeout,
+    /// validation, crash) — the paper's *erroneous* aborts.
+    pub erroneous_aborts: u64,
+    /// Operations executed.
+    pub ops: u64,
+    /// Lock waits observed (2PL engines only).
+    pub lock_waits: u64,
+}
+
+/// What restart recovery did (surfaced to the federation for E5/E8).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Transactions whose commit survived.
+    pub committed: Vec<LocalTxnId>,
+    /// Transactions rolled back (losers at the crash).
+    pub rolled_back: Vec<LocalTxnId>,
+    /// 2PC in-doubt transactions awaiting a coordinator decision.
+    pub in_doubt: Vec<LocalTxnId>,
+}
+
+/// The unmodifiable local transaction manager interface (§2).
+///
+/// Implementations are `Sync`: the central system drives many global
+/// transactions against the same engine concurrently.
+pub trait LocalEngine: Send + Sync {
+    /// Start a new local transaction.
+    fn begin(&self) -> AmcResult<LocalTxnId>;
+
+    /// Execute one operation inside `txn`.
+    ///
+    /// On an engine-initiated abort (deadlock victim, timeout, validation
+    /// failure, crash) the transaction is already rolled back when the
+    /// error surfaces; the caller must not call [`LocalEngine::abort`]
+    /// again.
+    fn execute(&self, txn: LocalTxnId, op: &Operation) -> AmcResult<OpResult>;
+
+    /// Commit `txn`. For an unmodified engine this transition is **atomic**
+    /// (§3.1): there is no observable intermediate state and no way to
+    /// interpose a global decision.
+    fn commit(&self, txn: LocalTxnId) -> AmcResult<()>;
+
+    /// Abort `txn`, rolling back its effects.
+    fn abort(&self, txn: LocalTxnId, reason: AbortReason) -> AmcResult<()>;
+
+    /// Observed state of a transaction (`None` once forgotten).
+    fn state_of(&self, txn: LocalTxnId) -> Option<LocalRunState>;
+
+    /// Whether the site is up.
+    fn is_up(&self) -> bool;
+
+    /// Simulate a site crash: volatile state (buffer pool, log tail,
+    /// active transactions, lock table) is lost.
+    fn crash(&self);
+
+    /// Run restart recovery after a crash; the engine accepts work again
+    /// afterwards.
+    fn recover(&self) -> AmcResult<RecoveryReport>;
+
+    /// Engine flavour, for reports ("2pl", "occ").
+    fn kind(&self) -> &'static str;
+
+    /// Counters.
+    fn stats(&self) -> EngineStats;
+
+    /// Administrative snapshot of **committed** state. Only meaningful when
+    /// no transaction is in flight (tests and the verification oracle call
+    /// it at quiescence).
+    fn dump(&self) -> AmcResult<BTreeMap<ObjectId, Value>>;
+
+    /// Bulk-load committed initial data (setup path, outside any
+    /// transaction). Flushes to stable storage.
+    fn bulk_load(&self, data: &[(ObjectId, Value)]) -> AmcResult<()>;
+
+    /// Write-ahead-log counters (experiment E4).
+    fn log_stats(&self) -> LogStats;
+}
+
+/// The *modified* engine interface classical 2PC needs (§3.1): a ready
+/// state reachable before commit, durable across crashes.
+pub trait PreparableEngine: LocalEngine {
+    /// Drive `txn` to the ready state: all its changes are on stable
+    /// storage and the transaction can follow either global decision, even
+    /// across a crash.
+    fn prepare(&self, txn: LocalTxnId) -> AmcResult<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_default_is_zeroed() {
+        let s = EngineStats::default();
+        assert_eq!(s.begins, 0);
+        assert_eq!(s.commits + s.aborts + s.ops, 0);
+    }
+
+    #[test]
+    fn recovery_report_default_is_empty() {
+        let r = RecoveryReport::default();
+        assert!(r.committed.is_empty() && r.rolled_back.is_empty() && r.in_doubt.is_empty());
+    }
+}

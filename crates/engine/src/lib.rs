@@ -1,0 +1,36 @@
+//! # amc-engine
+//!
+//! The "existing database systems" of the paper's Fig. 1, built from
+//! scratch and then deliberately **sealed**: the federation only ever talks
+//! to them through [`api::LocalEngine`] — `begin`, `execute`, `commit`,
+//! `abort` — because that is all a pre-existing transaction manager offers
+//! (§2). There is *no* ready state on that trait; the extended
+//! [`api::PreparableEngine`] models the "modified" engine classical 2PC
+//! would require (§3.1), and only the 2PC baseline is allowed to use it.
+//!
+//! Two heterogeneous implementations:
+//!
+//! * [`tpl::TwoPLEngine`] — strict two-phase locking over page locks, WAL
+//!   with value logging, restart recovery. Also implements
+//!   `PreparableEngine` so the 2PC baseline has something to run on.
+//! * [`occ::OccEngine`] — optimistic (backward validation) scheduler: no
+//!   read locks, private write buffers, validation at commit. It does
+//!   **not** implement `PreparableEngine`, which faithfully models the
+//!   paper's observation that a federation containing such an engine cannot
+//!   run classical 2PC at all.
+//!
+//! Both engines abort transactions on their own initiative — deadlock
+//! victims, lock timeouts, failed validation, crashes — which is precisely
+//! the "erroneous abort after ready" hazard that drives §3.2's redo
+//! protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod occ;
+pub mod tpl;
+
+pub use api::{EngineStats, LocalEngine, PreparableEngine, RecoveryReport};
+pub use occ::OccEngine;
+pub use tpl::{TplConfig, TwoPLEngine};

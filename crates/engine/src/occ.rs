@@ -1,0 +1,493 @@
+//! The optimistic (backward-validation) engine.
+//!
+//! The second "existing system" flavour: no read locks, private write
+//! buffers, and a validation phase at commit — the paper explicitly lists
+//! "aborted ... by an optimistic scheduler since the transaction did not
+//! survive the validation phase" among the §3.2 erroneous-abort sources.
+//!
+//! Crucially, this engine **cannot implement a ready state**: between
+//! validation and commit there is nothing to pause (validation *is* the
+//! commit decision), so it implements only [`LocalEngine`], never
+//! [`PreparableEngine`](crate::api::PreparableEngine). A federation that
+//! contains one of these cannot run classical 2PC — the motivating fact of
+//! the whole paper.
+
+use crate::api::{EngineStats, LocalEngine, RecoveryReport};
+use amc_storage::{PageStore, StableStorage};
+use amc_types::{
+    AbortReason, AmcError, AmcResult, LocalRunState, LocalTxnId, ObjectId, OpResult, Operation,
+    Value,
+};
+use amc_wal::{LogManager, LogRecord};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+
+/// Per-transaction private workspace.
+#[derive(Debug, Default)]
+struct OccTxn {
+    /// Object -> version observed at first read.
+    reads: HashMap<ObjectId, u64>,
+    /// Buffered writes: `None` = delete.
+    writes: BTreeMap<ObjectId, Option<Value>>,
+}
+
+struct Inner {
+    store: PageStore,
+    log: LogManager,
+    /// Committed version per object (bumped on each committed write).
+    versions: HashMap<ObjectId, u64>,
+    version_clock: u64,
+    active: HashMap<LocalTxnId, OccTxn>,
+    terminated: HashMap<LocalTxnId, LocalRunState>,
+    next_txn: u64,
+    up: bool,
+    stats: EngineStats,
+}
+
+/// An optimistic local database engine.
+pub struct OccEngine {
+    inner: Mutex<Inner>,
+}
+
+impl OccEngine {
+    /// A fresh engine with `buckets` hash buckets and `pool_frames` buffer
+    /// frames.
+    pub fn new(buckets: u32, pool_frames: usize) -> Self {
+        let store = PageStore::open(
+            StableStorage::new(buckets as usize + 8),
+            buckets,
+            pool_frames,
+        )
+        .expect("fresh store opens");
+        OccEngine {
+            inner: Mutex::new(Inner {
+                store,
+                log: LogManager::new(),
+                versions: HashMap::new(),
+                version_clock: 1,
+                active: HashMap::new(),
+                terminated: HashMap::new(),
+                next_txn: 1,
+                up: true,
+                stats: EngineStats::default(),
+            }),
+        }
+    }
+
+    /// Default sizing.
+    pub fn with_defaults() -> Self {
+        Self::new(64, 128)
+    }
+
+    /// Pre-load committed state (test/workload setup).
+    pub fn load(&self, data: impl IntoIterator<Item = (ObjectId, Value)>) -> AmcResult<()> {
+        let mut inner = self.inner.lock();
+        for (o, v) in data {
+            inner.store.put(o, v)?;
+        }
+        inner.store.flush()
+    }
+
+
+    /// The *committed* value an active transaction would observe, tracking
+    /// the read in its read set.
+    fn tracked_read(inner: &mut Inner, txn: LocalTxnId, obj: ObjectId) -> AmcResult<Option<Value>> {
+        let version = inner.versions.get(&obj).copied().unwrap_or(0);
+        let value = inner.store.get(obj)?;
+        let ctx = inner.active.get_mut(&txn).expect("caller verified");
+        ctx.reads.entry(obj).or_insert(version);
+        Ok(value)
+    }
+
+    /// The value as seen through the transaction's private buffer.
+    fn buffered_get(inner: &mut Inner, txn: LocalTxnId, obj: ObjectId) -> AmcResult<Option<Value>> {
+        if let Some(buffered) = inner
+            .active
+            .get(&txn)
+            .expect("caller verified")
+            .writes
+            .get(&obj)
+        {
+            return Ok(*buffered);
+        }
+        Self::tracked_read(inner, txn, obj)
+    }
+}
+
+impl LocalEngine for OccEngine {
+    fn begin(&self) -> AmcResult<LocalTxnId> {
+        let mut inner = self.inner.lock();
+        if !inner.up {
+            return Err(AmcError::SiteDown(amc_types::SiteId::new(u32::MAX)));
+        }
+        let txn = LocalTxnId::new(inner.next_txn);
+        inner.next_txn += 1;
+        inner.active.insert(txn, OccTxn::default());
+        inner.stats.begins += 1;
+        Ok(txn)
+    }
+
+    fn execute(&self, txn: LocalTxnId, op: &Operation) -> AmcResult<OpResult> {
+        let mut inner = self.inner.lock();
+        if !inner.up {
+            return Err(AmcError::SiteDown(amc_types::SiteId::new(u32::MAX)));
+        }
+        if !inner.active.contains_key(&txn) {
+            return Err(AmcError::UnknownTxn);
+        }
+        inner.stats.ops += 1;
+        match *op {
+            Operation::Read { obj } => {
+                let v = Self::buffered_get(&mut inner, txn, obj)?.ok_or(AmcError::NotFound(obj))?;
+                Ok(OpResult::Value(v))
+            }
+            Operation::Write { obj, value } => {
+                if Self::buffered_get(&mut inner, txn, obj)?.is_none() {
+                    return Err(AmcError::NotFound(obj));
+                }
+                let ctx = inner.active.get_mut(&txn).expect("checked");
+                ctx.writes.insert(obj, Some(value));
+                Ok(OpResult::Done)
+            }
+            Operation::Increment { obj, delta } => {
+                let cur =
+                    Self::buffered_get(&mut inner, txn, obj)?.ok_or(AmcError::NotFound(obj))?;
+                let ctx = inner.active.get_mut(&txn).expect("checked");
+                ctx.writes.insert(obj, Some(cur.incremented(delta)));
+                Ok(OpResult::Done)
+            }
+            Operation::Insert { obj, value } => {
+                if Self::buffered_get(&mut inner, txn, obj)?.is_some() {
+                    return Err(AmcError::AlreadyExists(obj));
+                }
+                let ctx = inner.active.get_mut(&txn).expect("checked");
+                ctx.writes.insert(obj, Some(value));
+                Ok(OpResult::Done)
+            }
+            Operation::Delete { obj } => {
+                if Self::buffered_get(&mut inner, txn, obj)?.is_none() {
+                    return Err(AmcError::NotFound(obj));
+                }
+                let ctx = inner.active.get_mut(&txn).expect("checked");
+                ctx.writes.insert(obj, None);
+                Ok(OpResult::Done)
+            }
+            Operation::Reserve { obj, amount } => {
+                let cur =
+                    Self::buffered_get(&mut inner, txn, obj)?.ok_or(AmcError::NotFound(obj))?;
+                if cur.counter < amount as i64 {
+                    return Err(AmcError::InsufficientStock {
+                        obj,
+                        have: cur.counter,
+                        want: amount,
+                    });
+                }
+                let ctx = inner.active.get_mut(&txn).expect("checked");
+                ctx.writes.insert(obj, Some(cur.incremented(-(amount as i64))));
+                Ok(OpResult::Done)
+            }
+        }
+    }
+
+    fn commit(&self, txn: LocalTxnId) -> AmcResult<()> {
+        let mut inner = self.inner.lock();
+        if !inner.up {
+            return Err(AmcError::SiteDown(amc_types::SiteId::new(u32::MAX)));
+        }
+        let Some(ctx) = inner.active.remove(&txn) else {
+            return Err(AmcError::UnknownTxn);
+        };
+        // Backward validation: every read version must still be current.
+        for (obj, seen) in &ctx.reads {
+            let current = inner.versions.get(obj).copied().unwrap_or(0);
+            if current != *seen {
+                inner.terminated.insert(txn, LocalRunState::Aborted);
+                inner.stats.aborts += 1;
+                inner.stats.erroneous_aborts += 1;
+                return Err(AmcError::Aborted(AbortReason::ValidationFailed));
+            }
+        }
+        // Apply + log the write set atomically (we hold the mutex).
+        if !ctx.writes.is_empty() {
+            inner.log.append(&LogRecord::Begin { txn });
+            for (&obj, &after) in &ctx.writes {
+                let before = inner.store.get(obj)?;
+                match after {
+                    Some(v) => {
+                        inner.store.put(obj, v)?;
+                    }
+                    None => {
+                        inner.store.remove(obj)?;
+                    }
+                }
+                inner.log.append(&LogRecord::Update {
+                    txn,
+                    obj,
+                    before,
+                    after,
+                });
+                let tick = inner.version_clock;
+                inner.version_clock += 1;
+                inner.versions.insert(obj, tick);
+            }
+            inner.log.append_forced(&LogRecord::Commit { txn });
+        }
+        inner.terminated.insert(txn, LocalRunState::Committed);
+        inner.stats.commits += 1;
+        Ok(())
+    }
+
+    fn abort(&self, txn: LocalTxnId, reason: AbortReason) -> AmcResult<()> {
+        let mut inner = self.inner.lock();
+        if !inner.up {
+            return Err(AmcError::SiteDown(amc_types::SiteId::new(u32::MAX)));
+        }
+        if inner.active.remove(&txn).is_none() {
+            return Err(AmcError::UnknownTxn);
+        }
+        inner.terminated.insert(txn, LocalRunState::Aborted);
+        inner.stats.aborts += 1;
+        if reason.is_erroneous() {
+            inner.stats.erroneous_aborts += 1;
+        }
+        Ok(())
+    }
+
+    fn state_of(&self, txn: LocalTxnId) -> Option<LocalRunState> {
+        let inner = self.inner.lock();
+        if inner.active.contains_key(&txn) {
+            Some(LocalRunState::Running)
+        } else {
+            inner.terminated.get(&txn).copied()
+        }
+    }
+
+    fn is_up(&self) -> bool {
+        self.inner.lock().up
+    }
+
+    fn crash(&self) {
+        let mut inner = self.inner.lock();
+        inner.up = false;
+        inner.store.crash();
+        inner.log.crash();
+        inner.versions.clear();
+        let victims: Vec<LocalTxnId> = inner.active.keys().copied().collect();
+        for t in victims {
+            inner.active.remove(&t);
+            inner.terminated.insert(t, LocalRunState::Aborted);
+            inner.stats.aborts += 1;
+            inner.stats.erroneous_aborts += 1;
+        }
+    }
+
+    fn recover(&self) -> AmcResult<RecoveryReport> {
+        let mut inner = self.inner.lock();
+        if inner.up {
+            return Err(AmcError::InvalidState("recover on a running site".into()));
+        }
+        let Inner { store, log, .. } = &mut *inner;
+        let outcome = amc_wal::recover(log, |obj, img| {
+            match img {
+                Some(v) => {
+                    store.put(obj, v)?;
+                }
+                None => {
+                    store.remove(obj)?;
+                }
+            }
+            Ok(())
+        })?;
+        inner.store.flush()?;
+        let active: Vec<LocalTxnId> = Vec::new();
+        inner.log.append_forced(&LogRecord::Checkpoint { active });
+        inner.up = true;
+        for t in &outcome.losers {
+            inner.terminated.insert(*t, LocalRunState::Aborted);
+        }
+        Ok(RecoveryReport {
+            committed: outcome.committed.iter().copied().collect(),
+            rolled_back: outcome.losers.iter().copied().collect(),
+            in_doubt: Vec::new(),
+        })
+    }
+
+    fn kind(&self) -> &'static str {
+        "occ"
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.inner.lock().stats
+    }
+
+    fn dump(&self) -> AmcResult<BTreeMap<ObjectId, Value>> {
+        let mut inner = self.inner.lock();
+        Ok(inner.store.scan()?.into_iter().collect())
+    }
+
+    fn bulk_load(&self, data: &[(ObjectId, Value)]) -> AmcResult<()> {
+        self.load(data.iter().copied())
+    }
+
+    fn log_stats(&self) -> amc_wal::LogStats {
+        self.inner.lock().log.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amc_types::Operation as Op;
+
+    fn obj(n: u64) -> ObjectId {
+        ObjectId::new(n)
+    }
+    fn v(n: i64) -> Value {
+        Value::counter(n)
+    }
+
+    fn engine_with(data: &[(u64, i64)]) -> OccEngine {
+        let e = OccEngine::with_defaults();
+        e.load(data.iter().map(|&(o, val)| (obj(o), v(val)))).unwrap();
+        e
+    }
+
+    #[test]
+    fn basic_roundtrip() {
+        let e = engine_with(&[(1, 10)]);
+        let t = e.begin().unwrap();
+        assert_eq!(
+            e.execute(t, &Op::Read { obj: obj(1) }).unwrap(),
+            OpResult::Value(v(10))
+        );
+        e.execute(t, &Op::Write { obj: obj(1), value: v(20) }).unwrap();
+        // Reads-own-writes through the buffer.
+        assert_eq!(
+            e.execute(t, &Op::Read { obj: obj(1) }).unwrap(),
+            OpResult::Value(v(20))
+        );
+        // Not visible to others before commit.
+        let t2 = e.begin().unwrap();
+        assert_eq!(
+            e.execute(t2, &Op::Read { obj: obj(1) }).unwrap(),
+            OpResult::Value(v(10))
+        );
+        e.commit(t).unwrap();
+        assert_eq!(e.dump().unwrap().get(&obj(1)), Some(&v(20)));
+    }
+
+    #[test]
+    fn stale_reader_fails_validation() {
+        let e = engine_with(&[(1, 10)]);
+        let reader = e.begin().unwrap();
+        e.execute(reader, &Op::Read { obj: obj(1) }).unwrap();
+        // A writer slips in and commits.
+        let writer = e.begin().unwrap();
+        e.execute(writer, &Op::Write { obj: obj(1), value: v(11) }).unwrap();
+        e.commit(writer).unwrap();
+        // The reader also wrote something, so its serialization point
+        // matters; validation must kill it.
+        e.execute(reader, &Op::Write { obj: obj(2), value: v(1) })
+            .unwrap_err(); // obj 2 does not exist -> NotFound, fine
+        e.execute(reader, &Op::Increment { obj: obj(1), delta: 1 })
+            .unwrap();
+        let err = e.commit(reader).unwrap_err();
+        assert_eq!(err, AmcError::Aborted(AbortReason::ValidationFailed));
+        assert_eq!(e.state_of(reader), Some(LocalRunState::Aborted));
+        // The blind writer's value stands.
+        assert_eq!(e.dump().unwrap().get(&obj(1)), Some(&v(11)));
+        assert_eq!(e.stats().erroneous_aborts, 1);
+    }
+
+    #[test]
+    fn non_conflicting_transactions_both_commit() {
+        let e = engine_with(&[(1, 10), (2, 20)]);
+        let a = e.begin().unwrap();
+        let b = e.begin().unwrap();
+        e.execute(a, &Op::Increment { obj: obj(1), delta: 1 }).unwrap();
+        e.execute(b, &Op::Increment { obj: obj(2), delta: 1 }).unwrap();
+        e.commit(a).unwrap();
+        e.commit(b).unwrap();
+        let d = e.dump().unwrap();
+        assert_eq!(d.get(&obj(1)), Some(&v(11)));
+        assert_eq!(d.get(&obj(2)), Some(&v(21)));
+    }
+
+    #[test]
+    fn concurrent_increments_conflict_under_occ() {
+        // Unlike the 2PL engine + L1 increment locks, plain OCC treats an
+        // increment as read-modify-write: one of two concurrent increments
+        // must fail validation.
+        let e = engine_with(&[(1, 0)]);
+        let a = e.begin().unwrap();
+        let b = e.begin().unwrap();
+        e.execute(a, &Op::Increment { obj: obj(1), delta: 1 }).unwrap();
+        e.execute(b, &Op::Increment { obj: obj(1), delta: 1 }).unwrap();
+        e.commit(a).unwrap();
+        assert_eq!(
+            e.commit(b).unwrap_err(),
+            AmcError::Aborted(AbortReason::ValidationFailed)
+        );
+        assert_eq!(e.dump().unwrap().get(&obj(1)), Some(&v(1)));
+    }
+
+    #[test]
+    fn abort_discards_buffers() {
+        let e = engine_with(&[(1, 10)]);
+        let t = e.begin().unwrap();
+        e.execute(t, &Op::Write { obj: obj(1), value: v(99) }).unwrap();
+        e.abort(t, AbortReason::Intended).unwrap();
+        assert_eq!(e.dump().unwrap().get(&obj(1)), Some(&v(10)));
+    }
+
+    #[test]
+    fn committed_state_survives_crash() {
+        let e = engine_with(&[(1, 10)]);
+        let t = e.begin().unwrap();
+        e.execute(t, &Op::Write { obj: obj(1), value: v(42) }).unwrap();
+        e.commit(t).unwrap();
+        e.crash();
+        let report = e.recover().unwrap();
+        assert!(report.committed.contains(&t));
+        assert_eq!(e.dump().unwrap().get(&obj(1)), Some(&v(42)));
+    }
+
+    #[test]
+    fn active_transactions_die_on_crash() {
+        let e = engine_with(&[(1, 10)]);
+        let t = e.begin().unwrap();
+        e.execute(t, &Op::Write { obj: obj(1), value: v(42) }).unwrap();
+        e.crash();
+        e.recover().unwrap();
+        assert_eq!(e.state_of(t), Some(LocalRunState::Aborted));
+        assert_eq!(e.dump().unwrap().get(&obj(1)), Some(&v(10)));
+    }
+
+    #[test]
+    fn read_only_transaction_never_validates_writes() {
+        let e = engine_with(&[(1, 10)]);
+        let t = e.begin().unwrap();
+        e.execute(t, &Op::Read { obj: obj(1) }).unwrap();
+        // Another writer commits.
+        let w = e.begin().unwrap();
+        e.execute(w, &Op::Write { obj: obj(1), value: v(11) }).unwrap();
+        e.commit(w).unwrap();
+        // Backward validation kills the stale reader too (its read is part
+        // of its serialization footprint).
+        assert!(e.commit(t).is_err());
+    }
+
+    #[test]
+    fn delete_and_insert_via_buffer() {
+        let e = engine_with(&[(1, 10)]);
+        let t = e.begin().unwrap();
+        e.execute(t, &Op::Delete { obj: obj(1) }).unwrap();
+        assert!(matches!(
+            e.execute(t, &Op::Read { obj: obj(1) }),
+            Err(AmcError::NotFound(_))
+        ));
+        e.execute(t, &Op::Insert { obj: obj(1), value: v(5) }).unwrap();
+        e.commit(t).unwrap();
+        assert_eq!(e.dump().unwrap().get(&obj(1)), Some(&v(5)));
+    }
+}

@@ -1,0 +1,854 @@
+//! The strict two-phase-locking engine.
+//!
+//! A faithful miniature of the classical architecture the paper assumes for
+//! "existing" systems: page-grained strict 2PL, write-ahead value logging,
+//! no-force/steal buffering, restart recovery. Engine-initiated aborts
+//! (deadlock victim, lock timeout, crash) surface as
+//! `AmcError::Aborted(reason)` with an *erroneous* reason — the §3.2 hazard.
+//!
+//! Locking granule: the **bucket-head page** of the touched object (the
+//! whole overflow chain shares its head's lock), which is what makes the
+//! Fig. 8 scenario real — two different objects on the same page conflict at
+//! L0 even when their L1 operations commute.
+//!
+//! Lock ordering: the state mutex is *never* held across a blocking lock
+//! acquisition; `execute` computes the target page, drops the mutex,
+//! acquires the page lock, then re-enters the mutex to apply the change.
+
+use crate::api::{EngineStats, LocalEngine, PreparableEngine, RecoveryReport};
+use amc_lock::{blocking::AcquireResult, BlockingLockManager, PageMode};
+use amc_storage::{PageStore, StableStorage};
+use amc_types::{
+    AbortReason, AmcError, AmcResult, LocalRunState, LocalTxnId, ObjectId, OpResult, Operation,
+    PageId, Value,
+};
+use amc_wal::{LogManager, LogRecord};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
+
+/// Construction parameters for a [`TwoPLEngine`].
+#[derive(Debug, Clone)]
+pub struct TplConfig {
+    /// Hash buckets in the page store.
+    pub buckets: u32,
+    /// Buffer pool frames.
+    pub pool_frames: usize,
+    /// How long a lock request may wait before the engine aborts the
+    /// requester with [`AbortReason::LockTimeout`].
+    pub lock_timeout: Duration,
+    /// Parked waiters re-run deadlock detection at this interval.
+    pub deadlock_check: Duration,
+    /// Modelled service time per operation, spent while holding the page
+    /// lock (zero disables). Benchmarks use it to restore the 1991-scale
+    /// ratio between local work and messaging, so that *re-executing* a
+    /// transaction (the §3.2 redo) costs what the paper assumes it costs.
+    pub op_service_time: Duration,
+}
+
+impl Default for TplConfig {
+    fn default() -> Self {
+        TplConfig {
+            buckets: 64,
+            pool_frames: 128,
+            lock_timeout: Duration::from_secs(2),
+            deadlock_check: Duration::from_millis(2),
+            op_service_time: Duration::ZERO,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TxnCtx {
+    state: LocalRunState,
+    /// Undo entries in execution order: `(object, image before the update,
+    /// image after the update)`.
+    undo: Vec<(ObjectId, Option<Value>, Option<Value>)>,
+}
+
+struct Inner {
+    store: PageStore,
+    log: LogManager,
+    active: HashMap<LocalTxnId, TxnCtx>,
+    terminated: HashMap<LocalTxnId, LocalRunState>,
+    next_txn: u64,
+    up: bool,
+    stats: EngineStats,
+}
+
+/// A strict-2PL local database engine.
+pub struct TwoPLEngine {
+    inner: Mutex<Inner>,
+    locks: BlockingLockManager<PageId, LocalTxnId, PageMode>,
+    cfg: TplConfig,
+}
+
+impl TwoPLEngine {
+    /// A fresh engine over a fresh simulated disk.
+    pub fn new(cfg: TplConfig) -> Self {
+        let store = PageStore::open(
+            StableStorage::new(cfg.buckets as usize + 8),
+            cfg.buckets,
+            cfg.pool_frames,
+        )
+        .expect("fresh store opens");
+        TwoPLEngine {
+            inner: Mutex::new(Inner {
+                store,
+                log: LogManager::new(),
+                active: HashMap::new(),
+                terminated: HashMap::new(),
+                next_txn: 1,
+                up: true,
+                stats: EngineStats::default(),
+            }),
+            locks: BlockingLockManager::new(cfg.deadlock_check),
+            cfg,
+        }
+    }
+
+    /// Convenience: default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(TplConfig::default())
+    }
+
+    /// Pre-load committed state without going through a transaction (test
+    /// and workload setup). Flushes to stable storage.
+    pub fn load(&self, data: impl IntoIterator<Item = (ObjectId, Value)>) -> AmcResult<()> {
+        let mut inner = self.inner.lock();
+        for (o, v) in data {
+            inner.store.put(o, v)?;
+        }
+        inner.store.flush()
+    }
+
+    /// Apply one operation to the store, returning `(result, before, after)`.
+    fn apply_op(
+        store: &mut PageStore,
+        op: &Operation,
+    ) -> AmcResult<(OpResult, Option<Value>, Option<Value>)> {
+        match *op {
+            Operation::Read { obj } => {
+                let v = store.get(obj)?.ok_or(AmcError::NotFound(obj))?;
+                Ok((OpResult::Value(v), Some(v), Some(v)))
+            }
+            Operation::Write { obj, value } => {
+                let before = store.get(obj)?.ok_or(AmcError::NotFound(obj))?;
+                store.put(obj, value)?;
+                Ok((OpResult::Done, Some(before), Some(value)))
+            }
+            Operation::Increment { obj, delta } => {
+                let before = store.get(obj)?.ok_or(AmcError::NotFound(obj))?;
+                let after = before.incremented(delta);
+                store.put(obj, after)?;
+                Ok((OpResult::Done, Some(before), Some(after)))
+            }
+            Operation::Insert { obj, value } => {
+                if store.get(obj)?.is_some() {
+                    return Err(AmcError::AlreadyExists(obj));
+                }
+                store.put(obj, value)?;
+                Ok((OpResult::Done, None, Some(value)))
+            }
+            Operation::Delete { obj } => {
+                let before = store.remove(obj)?.ok_or(AmcError::NotFound(obj))?;
+                Ok((OpResult::Done, Some(before), None))
+            }
+            Operation::Reserve { obj, amount } => {
+                let before = store.get(obj)?.ok_or(AmcError::NotFound(obj))?;
+                if before.counter < amount as i64 {
+                    return Err(AmcError::InsufficientStock {
+                        obj,
+                        have: before.counter,
+                        want: amount,
+                    });
+                }
+                let after = before.incremented(-(amount as i64));
+                store.put(obj, after)?;
+                Ok((OpResult::Done, Some(before), Some(after)))
+            }
+        }
+    }
+
+    /// Roll back and terminate `txn`; must be called *without* the state
+    /// mutex held.
+    fn abort_internal(&self, txn: LocalTxnId, reason: AbortReason) -> AmcResult<()> {
+        {
+            let mut inner = self.inner.lock();
+            let Some(ctx) = inner.active.remove(&txn) else {
+                return Err(AmcError::UnknownTxn);
+            };
+            // Undo in reverse, logging compensations so forward replay of
+            // this (finished) transaction nets out.
+            let undo = ctx.undo;
+            for &(obj, before, after) in undo.iter().rev() {
+                match before {
+                    Some(v) => {
+                        inner.store.put(obj, v)?;
+                    }
+                    None => {
+                        inner.store.remove(obj)?;
+                    }
+                }
+                inner.log.append(&LogRecord::Update {
+                    txn,
+                    obj,
+                    before: after,
+                    after: before,
+                });
+            }
+            inner.log.append(&LogRecord::Abort { txn });
+            inner.terminated.insert(txn, LocalRunState::Aborted);
+            inner.stats.aborts += 1;
+            if reason.is_erroneous() {
+                inner.stats.erroneous_aborts += 1;
+            }
+        }
+        self.locks.release_txn(txn);
+        Ok(())
+    }
+
+    /// The L0 lock hold count right now (observed by E1's instrumentation).
+    pub fn locks_held(&self) -> usize {
+        self.locks.granted_count()
+    }
+
+    /// Lock-manager counters (waits, victims) for reports.
+    pub fn lock_stats(&self) -> amc_lock::LockStats {
+        self.locks.stats()
+    }
+
+
+    /// Disk/buffer counters for E4.
+    pub fn io_stats(&self) -> (amc_storage::disk::DiskStats, amc_storage::buffer::BufferStats) {
+        self.inner.lock().store.stats()
+    }
+
+    /// Reset every statistics counter.
+    pub fn reset_stats(&self) {
+        let mut inner = self.inner.lock();
+        inner.stats = EngineStats::default();
+        inner.log.reset_stats();
+        inner.store.reset_stats();
+        drop(inner);
+        self.locks.reset_stats();
+    }
+}
+
+impl LocalEngine for TwoPLEngine {
+    fn begin(&self) -> AmcResult<LocalTxnId> {
+        let mut inner = self.inner.lock();
+        if !inner.up {
+            return Err(AmcError::SiteDown(amc_types::SiteId::new(u32::MAX)));
+        }
+        let txn = LocalTxnId::new(inner.next_txn);
+        inner.next_txn += 1;
+        inner.active.insert(
+            txn,
+            TxnCtx {
+                state: LocalRunState::Running,
+                undo: Vec::new(),
+            },
+        );
+        inner.log.append(&LogRecord::Begin { txn });
+        inner.stats.begins += 1;
+        Ok(txn)
+    }
+
+    fn execute(&self, txn: LocalTxnId, op: &Operation) -> AmcResult<OpResult> {
+        // Phase 1: validate the transaction and find the locking granule.
+        let page: PageId = {
+            let inner = self.inner.lock();
+            if !inner.up {
+                return Err(AmcError::SiteDown(amc_types::SiteId::new(u32::MAX)));
+            }
+            match inner.active.get(&txn) {
+                Some(ctx) if ctx.state == LocalRunState::Running => {}
+                Some(ctx) => {
+                    return Err(AmcError::InvalidState(format!(
+                        "execute in state {}",
+                        ctx.state
+                    )))
+                }
+                None => return Err(AmcError::UnknownTxn),
+            }
+            inner.store.page_of(op.object())
+        };
+
+        // Phase 2: block on the page lock with the mutex released.
+        let mode = if op.is_update() {
+            PageMode::Exclusive
+        } else {
+            PageMode::Shared
+        };
+        let already_waited = self.locks.stats().waits;
+        match self.locks.acquire(txn, page, mode, self.cfg.lock_timeout) {
+            AcquireResult::Granted => {}
+            AcquireResult::Deadlock => {
+                self.abort_internal(txn, AbortReason::Deadlock)?;
+                return Err(AmcError::Aborted(AbortReason::Deadlock));
+            }
+            AcquireResult::Timeout => {
+                self.abort_internal(txn, AbortReason::LockTimeout)?;
+                return Err(AmcError::Aborted(AbortReason::LockTimeout));
+            }
+        }
+        let _ = already_waited; // waits are visible via lock_stats()
+
+        // Modelled local work: holds the page lock (acquired above) but not
+        // the state mutex.
+        if !self.cfg.op_service_time.is_zero() {
+            std::thread::sleep(self.cfg.op_service_time);
+        }
+
+        // Phase 3: apply under the mutex.
+        let mut inner = self.inner.lock();
+        if !inner.up {
+            // Crashed while we were waiting for the lock.
+            return Err(AmcError::SiteDown(amc_types::SiteId::new(u32::MAX)));
+        }
+        if !inner.active.contains_key(&txn) {
+            return Err(AmcError::UnknownTxn);
+        }
+        let (result, before, after) = match Self::apply_op(&mut inner.store, op) {
+            Ok(x) => x,
+            Err(e) => {
+                // Logical failure (NotFound/AlreadyExists): the transaction
+                // stays running; the caller decides whether to abort. The
+                // page lock is retained (2PL).
+                inner.stats.ops += 1;
+                return Err(e);
+            }
+        };
+        inner.stats.ops += 1;
+        if op.is_update() {
+            inner.log.append(&LogRecord::Update {
+                txn,
+                obj: op.object(),
+                before,
+                after,
+            });
+            let ctx = inner.active.get_mut(&txn).expect("checked above");
+            ctx.undo.push((op.object(), before, after));
+        }
+        Ok(result)
+    }
+
+    fn commit(&self, txn: LocalTxnId) -> AmcResult<()> {
+        {
+            let mut inner = self.inner.lock();
+            if !inner.up {
+                return Err(AmcError::SiteDown(amc_types::SiteId::new(u32::MAX)));
+            }
+            match inner.active.get(&txn) {
+                Some(_) => {}
+                None => return Err(AmcError::UnknownTxn),
+            }
+            // The unmodified engine's atomic running->committed transition:
+            // append + force the commit record, done (§3.1).
+            inner.log.append_forced(&LogRecord::Commit { txn });
+            inner.active.remove(&txn);
+            inner.terminated.insert(txn, LocalRunState::Committed);
+            inner.stats.commits += 1;
+        }
+        self.locks.release_txn(txn);
+        Ok(())
+    }
+
+    fn abort(&self, txn: LocalTxnId, reason: AbortReason) -> AmcResult<()> {
+        {
+            let inner = self.inner.lock();
+            if !inner.up {
+                return Err(AmcError::SiteDown(amc_types::SiteId::new(u32::MAX)));
+            }
+        }
+        self.abort_internal(txn, reason)
+    }
+
+    fn state_of(&self, txn: LocalTxnId) -> Option<LocalRunState> {
+        let inner = self.inner.lock();
+        inner
+            .active
+            .get(&txn)
+            .map(|c| c.state)
+            .or_else(|| inner.terminated.get(&txn).copied())
+    }
+
+    fn is_up(&self) -> bool {
+        self.inner.lock().up
+    }
+
+    fn crash(&self) {
+        let victims: Vec<LocalTxnId> = {
+            let mut inner = self.inner.lock();
+            inner.up = false;
+            inner.store.crash();
+            inner.log.crash();
+            let victims: Vec<LocalTxnId> = inner.active.keys().copied().collect();
+            for t in &victims {
+                let ctx = inner.active.remove(t).expect("listed");
+                // Prepared transactions stay undecided: recovery will
+                // resurrect them from their forced Prepare records.
+                if ctx.state != LocalRunState::Ready {
+                    inner.terminated.insert(*t, LocalRunState::Aborted);
+                    inner.stats.aborts += 1;
+                    inner.stats.erroneous_aborts += 1;
+                }
+            }
+            victims
+        };
+        // Free the lock table so parked waiters wake (they will observe the
+        // site is down and fail their operation).
+        for t in victims {
+            self.locks.release_txn(t);
+        }
+    }
+
+    fn recover(&self) -> AmcResult<RecoveryReport> {
+        let mut inner = self.inner.lock();
+        if inner.up {
+            return Err(AmcError::InvalidState("recover on a running site".into()));
+        }
+        // Replay the durable log into the store.
+        let Inner { store, log, .. } = &mut *inner;
+        let outcome = amc_wal::recover(log, |obj, img| {
+            match img {
+                Some(v) => {
+                    store.put(obj, v)?;
+                }
+                None => {
+                    store.remove(obj)?;
+                }
+            }
+            Ok(())
+        })?;
+        inner.store.flush()?;
+
+        let report = RecoveryReport {
+            committed: outcome.committed.iter().copied().collect(),
+            rolled_back: outcome.losers.iter().copied().collect(),
+            in_doubt: outcome.in_doubt.iter().copied().collect(),
+        };
+
+        // Record losers as aborted.
+        for t in &outcome.losers {
+            inner.terminated.insert(*t, LocalRunState::Aborted);
+        }
+
+        // Resurrect in-doubt transactions: rebuild their undo lists from the
+        // log and re-take exclusive locks on their pages so they stay
+        // isolated until the coordinator decides (the blocking 2PC hazard).
+        let records = inner.log.stable_records()?;
+        let mut doubt_pages: HashMap<LocalTxnId, Vec<PageId>> = HashMap::new();
+        for t in &outcome.in_doubt {
+            inner.active.insert(
+                *t,
+                TxnCtx {
+                    state: LocalRunState::Ready,
+                    undo: Vec::new(),
+                },
+            );
+        }
+        for (_, r) in &records {
+            if let LogRecord::Update {
+                txn, obj, before, after, ..
+            } = r
+            {
+                if outcome.in_doubt.contains(txn) {
+                    let page = inner.store.page_of(*obj);
+                    doubt_pages.entry(*txn).or_default().push(page);
+                    inner
+                        .active
+                        .get_mut(txn)
+                        .expect("inserted above")
+                        .undo
+                        .push((*obj, *before, *after));
+                }
+            }
+        }
+        // Write a checkpoint: everything replayed is flushed; in-doubt txns
+        // remain active across it.
+        let active: Vec<LocalTxnId> = inner.active.keys().copied().collect();
+        inner.log.append_forced(&LogRecord::Checkpoint { active });
+        inner.up = true;
+        drop(inner);
+
+        // Nothing else is running during recovery, so these grants are
+        // immediate.
+        for (txn, pages) in doubt_pages {
+            for p in pages {
+                let r = self
+                    .locks
+                    .acquire(txn, p, PageMode::Exclusive, Duration::from_secs(1));
+                if r != AcquireResult::Granted {
+                    return Err(AmcError::Protocol(format!(
+                        "could not re-lock page {p} for in-doubt {txn}: {r:?}"
+                    )));
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    fn kind(&self) -> &'static str {
+        "2pl"
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.inner.lock().stats
+    }
+
+    fn dump(&self) -> AmcResult<BTreeMap<ObjectId, Value>> {
+        let mut inner = self.inner.lock();
+        Ok(inner.store.scan()?.into_iter().collect())
+    }
+
+    fn bulk_load(&self, data: &[(ObjectId, Value)]) -> AmcResult<()> {
+        self.load(data.iter().copied())
+    }
+
+    fn log_stats(&self) -> amc_wal::LogStats {
+        self.inner.lock().log.stats()
+    }
+}
+
+impl PreparableEngine for TwoPLEngine {
+    fn prepare(&self, txn: LocalTxnId) -> AmcResult<()> {
+        let mut inner = self.inner.lock();
+        if !inner.up {
+            return Err(AmcError::SiteDown(amc_types::SiteId::new(u32::MAX)));
+        }
+        let Some(ctx) = inner.active.get_mut(&txn) else {
+            return Err(AmcError::UnknownTxn);
+        };
+        if ctx.state != LocalRunState::Running {
+            return Err(AmcError::InvalidState(format!(
+                "prepare in state {}",
+                ctx.state
+            )));
+        }
+        ctx.state = LocalRunState::Ready;
+        // The §3.1 contract: all changes durable before answering ready.
+        inner.log.append_forced(&LogRecord::Prepare { txn });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amc_types::Operation as Op;
+
+    fn obj(n: u64) -> ObjectId {
+        ObjectId::new(n)
+    }
+    fn v(n: i64) -> Value {
+        Value::counter(n)
+    }
+
+    fn engine_with(data: &[(u64, i64)]) -> TwoPLEngine {
+        let e = TwoPLEngine::with_defaults();
+        e.load(data.iter().map(|&(o, val)| (obj(o), v(val)))).unwrap();
+        e
+    }
+
+    #[test]
+    fn read_write_commit_roundtrip() {
+        let e = engine_with(&[(1, 10)]);
+        let t = e.begin().unwrap();
+        assert_eq!(
+            e.execute(t, &Op::Read { obj: obj(1) }).unwrap(),
+            OpResult::Value(v(10))
+        );
+        e.execute(t, &Op::Write { obj: obj(1), value: v(20) }).unwrap();
+        e.commit(t).unwrap();
+        assert_eq!(e.state_of(t), Some(LocalRunState::Committed));
+        assert_eq!(e.dump().unwrap().get(&obj(1)), Some(&v(20)));
+    }
+
+    #[test]
+    fn abort_rolls_back_everything() {
+        let e = engine_with(&[(1, 10), (2, 20)]);
+        let t = e.begin().unwrap();
+        e.execute(t, &Op::Write { obj: obj(1), value: v(99) }).unwrap();
+        e.execute(t, &Op::Delete { obj: obj(2) }).unwrap();
+        e.execute(t, &Op::Insert { obj: obj(3), value: v(30) }).unwrap();
+        e.abort(t, AbortReason::Intended).unwrap();
+        let d = e.dump().unwrap();
+        assert_eq!(d.get(&obj(1)), Some(&v(10)));
+        assert_eq!(d.get(&obj(2)), Some(&v(20)));
+        assert_eq!(d.get(&obj(3)), None);
+        assert_eq!(e.state_of(t), Some(LocalRunState::Aborted));
+    }
+
+    #[test]
+    fn increment_applies_delta() {
+        let e = engine_with(&[(1, 10)]);
+        let t = e.begin().unwrap();
+        e.execute(t, &Op::Increment { obj: obj(1), delta: -3 }).unwrap();
+        e.commit(t).unwrap();
+        assert_eq!(e.dump().unwrap().get(&obj(1)), Some(&v(7)));
+    }
+
+    #[test]
+    fn logical_errors_do_not_abort() {
+        let e = engine_with(&[(1, 10)]);
+        let t = e.begin().unwrap();
+        assert!(matches!(
+            e.execute(t, &Op::Read { obj: obj(99) }),
+            Err(AmcError::NotFound(_))
+        ));
+        assert!(matches!(
+            e.execute(t, &Op::Insert { obj: obj(1), value: v(0) }),
+            Err(AmcError::AlreadyExists(_))
+        ));
+        // Still running and usable.
+        assert_eq!(e.state_of(t), Some(LocalRunState::Running));
+        e.execute(t, &Op::Write { obj: obj(1), value: v(11) }).unwrap();
+        e.commit(t).unwrap();
+        assert_eq!(e.dump().unwrap().get(&obj(1)), Some(&v(11)));
+    }
+
+    #[test]
+    fn committed_state_survives_crash() {
+        let e = engine_with(&[(1, 10)]);
+        let t = e.begin().unwrap();
+        e.execute(t, &Op::Write { obj: obj(1), value: v(42) }).unwrap();
+        e.commit(t).unwrap();
+        e.crash();
+        assert!(!e.is_up());
+        let report = e.recover().unwrap();
+        assert!(report.committed.contains(&t));
+        assert_eq!(e.dump().unwrap().get(&obj(1)), Some(&v(42)));
+    }
+
+    #[test]
+    fn invisible_uncommitted_work_vanishes_on_crash() {
+        // Nothing of the transaction was forced: recovery sees no trace and
+        // the volatile update is simply gone.
+        let e = engine_with(&[(1, 10)]);
+        let t = e.begin().unwrap();
+        e.execute(t, &Op::Write { obj: obj(1), value: v(42) }).unwrap();
+        e.crash();
+        let report = e.recover().unwrap();
+        assert!(report.rolled_back.is_empty());
+        assert_eq!(e.dump().unwrap().get(&obj(1)), Some(&v(10)));
+        assert_eq!(e.state_of(t), Some(LocalRunState::Aborted));
+    }
+
+    #[test]
+    fn durable_uncommitted_work_is_rolled_back_by_recovery() {
+        let e = engine_with(&[(1, 10), (2, 20)]);
+        let t = e.begin().unwrap();
+        e.execute(t, &Op::Write { obj: obj(1), value: v(42) }).unwrap();
+        // A second transaction commits, group-forcing the tail — t's update
+        // record is now durable without its commit.
+        let other = e.begin().unwrap();
+        e.execute(other, &Op::Write { obj: obj(2), value: v(21) }).unwrap();
+        e.commit(other).unwrap();
+        e.crash();
+        let report = e.recover().unwrap();
+        assert!(report.rolled_back.contains(&t), "report: {report:?}");
+        assert!(report.committed.contains(&other));
+        let d = e.dump().unwrap();
+        assert_eq!(d.get(&obj(1)), Some(&v(10)), "loser undone");
+        assert_eq!(d.get(&obj(2)), Some(&v(21)), "winner redone");
+        assert_eq!(e.state_of(t), Some(LocalRunState::Aborted));
+    }
+
+    #[test]
+    fn prepared_transaction_survives_crash_in_doubt() {
+        let e = engine_with(&[(1, 10)]);
+        let t = e.begin().unwrap();
+        e.execute(t, &Op::Write { obj: obj(1), value: v(42) }).unwrap();
+        e.prepare(t).unwrap();
+        assert_eq!(e.state_of(t), Some(LocalRunState::Ready));
+        e.crash();
+        let report = e.recover().unwrap();
+        assert_eq!(report.in_doubt, vec![t]);
+        assert_eq!(e.state_of(t), Some(LocalRunState::Ready));
+
+        // The in-doubt transaction still blocks access to its pages: a new
+        // transaction touching object 1 must time out.
+        let t2 = e.begin().unwrap();
+        let err = e
+            .execute(t2, &Op::Read { obj: obj(1) })
+            .expect_err("page is locked by the in-doubt txn");
+        assert!(matches!(
+            err,
+            AmcError::Aborted(AbortReason::LockTimeout) | AmcError::Aborted(AbortReason::Deadlock)
+        ));
+
+        // Coordinator decides commit: the change lands.
+        e.commit(t).unwrap();
+        assert_eq!(e.dump().unwrap().get(&obj(1)), Some(&v(42)));
+    }
+
+    #[test]
+    fn prepared_transaction_can_abort_after_recovery() {
+        let e = engine_with(&[(1, 10)]);
+        let t = e.begin().unwrap();
+        e.execute(t, &Op::Write { obj: obj(1), value: v(42) }).unwrap();
+        e.prepare(t).unwrap();
+        e.crash();
+        e.recover().unwrap();
+        e.abort(t, AbortReason::GlobalDecision).unwrap();
+        assert_eq!(e.dump().unwrap().get(&obj(1)), Some(&v(10)));
+    }
+
+    #[test]
+    fn conflicting_writers_serialize() {
+        let e = std::sync::Arc::new(engine_with(&[(1, 0)]));
+        let n = 4;
+        let per = 10;
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            let e = e.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut done = 0;
+                while done < per {
+                    let t = e.begin().unwrap();
+                    match e.execute(t, &Op::Increment { obj: obj(1), delta: 1 }) {
+                        Ok(_) => {
+                            e.commit(t).unwrap();
+                            done += 1;
+                        }
+                        Err(AmcError::Aborted(_)) => {} // deadlock victim: retry
+                        Err(e2) => panic!("unexpected: {e2}"),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(e.dump().unwrap().get(&obj(1)), Some(&v(n * per)));
+    }
+
+    #[test]
+    fn deadlock_produces_erroneous_abort() {
+        // Force two objects onto different pages with enough buckets, then
+        // build the classic crossed ordering.
+        let e = std::sync::Arc::new({
+            let cfg = TplConfig {
+                lock_timeout: Duration::from_millis(500),
+                ..TplConfig::default()
+            };
+            let e = TwoPLEngine::new(cfg);
+            e.load((0..32).map(|i| (obj(i), v(0)))).unwrap();
+            e
+        });
+        // Find two objects on different pages.
+        let (a, b) = {
+            let inner = e.inner.lock();
+            let pa = inner.store.page_of(obj(0));
+            let other = (1..32)
+                .find(|i| inner.store.page_of(obj(*i)) != pa)
+                .expect("64 buckets, 32 objects: some differ");
+            (obj(0), obj(other))
+        };
+        let e1 = e.clone();
+        let e2 = e.clone();
+        let (a1, b1) = (a, b);
+        let h1 = std::thread::spawn(move || {
+            let t = e1.begin().unwrap();
+            e1.execute(t, &Op::Write { obj: a1, value: v(1) }).unwrap();
+            std::thread::sleep(Duration::from_millis(30));
+            match e1.execute(t, &Op::Write { obj: b1, value: v(1) }) {
+                Ok(_) => {
+                    e1.commit(t).unwrap();
+                    true
+                }
+                Err(AmcError::Aborted(r)) => {
+                    assert!(r.is_erroneous());
+                    false
+                }
+                Err(other) => panic!("unexpected {other}"),
+            }
+        });
+        let h2 = std::thread::spawn(move || {
+            let t = e2.begin().unwrap();
+            e2.execute(t, &Op::Write { obj: b, value: v(2) }).unwrap();
+            std::thread::sleep(Duration::from_millis(30));
+            match e2.execute(t, &Op::Write { obj: a, value: v(2) }) {
+                Ok(_) => {
+                    e2.commit(t).unwrap();
+                    true
+                }
+                Err(AmcError::Aborted(r)) => {
+                    assert!(r.is_erroneous());
+                    false
+                }
+                Err(other) => panic!("unexpected {other}"),
+            }
+        });
+        let r1 = h1.join().unwrap();
+        let r2 = h2.join().unwrap();
+        assert!(
+            r1 || r2,
+            "at least one transaction survives the deadlock"
+        );
+        assert!(
+            e.stats().erroneous_aborts >= 1 || (r1 && r2),
+            "victim recorded as erroneous abort"
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let e = engine_with(&[(1, 0)]);
+        let t = e.begin().unwrap();
+        e.execute(t, &Op::Read { obj: obj(1) }).unwrap();
+        e.commit(t).unwrap();
+        let t2 = e.begin().unwrap();
+        e.abort(t2, AbortReason::Intended).unwrap();
+        let s = e.stats();
+        assert_eq!(s.begins, 2);
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.aborts, 1);
+        assert_eq!(s.erroneous_aborts, 0);
+        assert_eq!(s.ops, 1);
+    }
+
+    #[test]
+    fn unknown_txn_is_rejected() {
+        let e = engine_with(&[]);
+        let ghost = LocalTxnId::new(999);
+        assert!(matches!(e.commit(ghost), Err(AmcError::UnknownTxn)));
+        assert!(matches!(
+            e.abort(ghost, AbortReason::Intended),
+            Err(AmcError::UnknownTxn)
+        ));
+        assert!(matches!(
+            e.execute(ghost, &Op::Read { obj: obj(1) }),
+            Err(AmcError::UnknownTxn)
+        ));
+        assert_eq!(e.state_of(ghost), None);
+    }
+
+    #[test]
+    fn operations_rejected_while_down() {
+        let e = engine_with(&[(1, 1)]);
+        e.crash();
+        assert!(matches!(e.begin(), Err(AmcError::SiteDown(_))));
+        e.recover().unwrap();
+        assert!(e.begin().is_ok());
+    }
+
+    #[test]
+    fn double_crash_recover_cycles() {
+        let e = engine_with(&[(1, 1)]);
+        for round in 0..3 {
+            let t = e.begin().unwrap();
+            e.execute(t, &Op::Increment { obj: obj(1), delta: 1 }).unwrap();
+            e.commit(t).unwrap();
+            e.crash();
+            e.recover().unwrap();
+            assert_eq!(
+                e.dump().unwrap().get(&obj(1)),
+                Some(&v(2 + round)),
+                "round {round}"
+            );
+        }
+    }
+}

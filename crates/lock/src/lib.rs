@@ -1,0 +1,27 @@
+//! # amc-lock
+//!
+//! A generic lock manager used at **both** levels of the multi-level
+//! transaction hierarchy (§4 of the paper):
+//!
+//! * at **L0** the local 2PL engines lock *pages* in `Shared`/`Exclusive`
+//!   mode ([`modes::PageMode`]);
+//! * at **L1** the central system locks *objects* in semantic modes derived
+//!   from operation commutativity ([`modes::SemanticMode`]) — the Fig. 8
+//!   increment lock compatible with itself is the whole point.
+//!
+//! The core [`table::LockTable`] is **sans-blocking**: requests are granted
+//! or queued, never parked, so the same table drives the deterministic
+//! simulator and the threaded runtime. [`blocking::BlockingLockManager`]
+//! wraps it with condvars, timeouts and automatic deadlock victimisation for
+//! real threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocking;
+pub mod modes;
+pub mod table;
+
+pub use blocking::BlockingLockManager;
+pub use modes::{LockMode, PageMode, SemanticMode};
+pub use table::{LockOutcome, LockStats, LockTable};

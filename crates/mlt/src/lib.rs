@@ -1,0 +1,36 @@
+//! # amc-mlt
+//!
+//! The multi-level (open nested) transaction model of §4, adapted to the
+//! integrated database system:
+//!
+//! * level **L1** — global transactions over logical objects, with
+//!   *semantic* conflicts: two L1 actions conflict iff they do not
+//!   generally commute (§4.1). The increment/increment pair of Fig. 8
+//!   commutes, so both transactions may hold increment locks on `x`
+//!   simultaneously.
+//! * level **L0** — local transactions executed by the unmodifiable
+//!   engines, each ACID on its own (§4.2): "the existing transaction
+//!   managers can be integrated as transaction managers for transactions at
+//!   level L0".
+//!
+//! The crate provides the three mechanisms §4.3 says the commit-before
+//! protocol *reuses* (which is why that protocol adds no overhead):
+//!
+//! * [`inverse`] — inverse L1 actions (`Incr⁻¹ = Decr`, `Ins⁻¹ = Del`, ...),
+//!   the undo mechanism of multi-level recovery;
+//! * [`locks`] — the L1 lock manager: a thin policy wrapper over
+//!   [`amc_lock::BlockingLockManager`] with [`amc_lock::SemanticMode`]s,
+//!   including the read/write-only degraded mode for the E7 ablation;
+//! * [`undo_log`] — the central undo-log holding inverse actions per global
+//!   transaction, replayed (in reverse) on a global abort.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod inverse;
+pub mod locks;
+pub mod undo_log;
+
+pub use inverse::{inverse_of, needs_before_image};
+pub use locks::{ConflictPolicy, L1LockManager};
+pub use undo_log::CentralUndoLog;

@@ -1,0 +1,131 @@
+//! The central L1 undo-log.
+//!
+//! §4.3: "the L1 undo-log can be used to undo local L0 transactions which
+//! have to be undone due to the global decision" — and §3.3 allows the
+//! undo-log to live "in the global system". This is that component: as a
+//! global transaction executes, the global transaction manager appends the
+//! inverse of every update action (per site); on a global abort it emits
+//! one inverse *program* per site, in reverse execution order.
+
+use amc_types::{GlobalTxnId, Operation, SiteId};
+use std::collections::{BTreeMap, HashMap};
+
+/// One logged inverse action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UndoEntry {
+    /// Site where the forward action ran.
+    pub site: SiteId,
+    /// The inverse action.
+    pub inverse: Operation,
+}
+
+/// The central undo-log.
+#[derive(Debug, Default)]
+pub struct CentralUndoLog {
+    entries: HashMap<GlobalTxnId, Vec<UndoEntry>>,
+}
+
+impl CentralUndoLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an inverse action, in forward execution order.
+    pub fn record(&mut self, gtx: GlobalTxnId, site: SiteId, inverse: Operation) {
+        self.entries
+            .entry(gtx)
+            .or_default()
+            .push(UndoEntry { site, inverse });
+    }
+
+    /// Number of entries logged for `gtx`.
+    pub fn len(&self, gtx: GlobalTxnId) -> usize {
+        self.entries.get(&gtx).map_or(0, Vec::len)
+    }
+
+    /// True when nothing is logged for `gtx`.
+    pub fn is_empty(&self, gtx: GlobalTxnId) -> bool {
+        self.len(gtx) == 0
+    }
+
+    /// The per-site inverse programs, each in **reverse** execution order
+    /// (undo walks backwards through the forward history).
+    pub fn inverse_programs(&self, gtx: GlobalTxnId) -> BTreeMap<SiteId, Vec<Operation>> {
+        let mut out: BTreeMap<SiteId, Vec<Operation>> = BTreeMap::new();
+        if let Some(entries) = self.entries.get(&gtx) {
+            for e in entries.iter().rev() {
+                out.entry(e.site).or_default().push(e.inverse);
+            }
+        }
+        out
+    }
+
+    /// Drop the log of a finished transaction.
+    pub fn forget(&mut self, gtx: GlobalTxnId) {
+        self.entries.remove(&gtx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amc_types::{ObjectId, Value};
+
+    fn gtx(n: u64) -> GlobalTxnId {
+        GlobalTxnId::new(n)
+    }
+    fn site(n: u32) -> SiteId {
+        SiteId::new(n)
+    }
+    fn obj(n: u64) -> ObjectId {
+        ObjectId::new(n)
+    }
+
+    #[test]
+    fn programs_are_per_site_and_reversed() {
+        let mut log = CentralUndoLog::new();
+        log.record(gtx(1), site(1), Operation::Increment { obj: obj(1), delta: -5 });
+        log.record(gtx(1), site(2), Operation::Delete { obj: obj(9) });
+        log.record(gtx(1), site(1), Operation::Write { obj: obj(2), value: Value::counter(7) });
+        let programs = log.inverse_programs(gtx(1));
+        assert_eq!(
+            programs.get(&site(1)).unwrap(),
+            &vec![
+                Operation::Write { obj: obj(2), value: Value::counter(7) },
+                Operation::Increment { obj: obj(1), delta: -5 },
+            ],
+            "site 1's inverses come out newest-first"
+        );
+        assert_eq!(
+            programs.get(&site(2)).unwrap(),
+            &vec![Operation::Delete { obj: obj(9) }]
+        );
+    }
+
+    #[test]
+    fn transactions_are_isolated() {
+        let mut log = CentralUndoLog::new();
+        log.record(gtx(1), site(1), Operation::Delete { obj: obj(1) });
+        log.record(gtx(2), site(1), Operation::Delete { obj: obj(2) });
+        assert_eq!(log.len(gtx(1)), 1);
+        assert_eq!(log.len(gtx(2)), 1);
+        assert!(log.inverse_programs(gtx(1)).get(&site(1)).unwrap().len() == 1);
+    }
+
+    #[test]
+    fn forget_clears() {
+        let mut log = CentralUndoLog::new();
+        log.record(gtx(1), site(1), Operation::Delete { obj: obj(1) });
+        log.forget(gtx(1));
+        assert!(log.is_empty(gtx(1)));
+        assert!(log.inverse_programs(gtx(1)).is_empty());
+    }
+
+    #[test]
+    fn unknown_gtx_yields_empty_program() {
+        let log = CentralUndoLog::new();
+        assert!(log.inverse_programs(gtx(42)).is_empty());
+        assert!(log.is_empty(gtx(42)));
+    }
+}

@@ -1,0 +1,1095 @@
+//! The local communication manager (§2, Fig. 1).
+//!
+//! One of these sits on top of each existing database system. It "listens
+//! on the net for global calls and passes them to the existing database
+//! system" — and, crucially, it is where the two portable commit protocols
+//! put the machinery the unmodified engine lacks:
+//!
+//! * **commit-after** (§3.2): answer `prepare` with *ready* while the local
+//!   transaction is still in the *running* state; on a post-ready erroneous
+//!   abort, **repeat** the local transaction until it commits;
+//! * **commit-before** (§3.3): commit the local transaction immediately
+//!   after its last action; on a global abort, run the **inverse
+//!   transaction** until it commits.
+//!
+//! Both repetition loops are made exactly-once across crashes by the
+//! [`crate::marker`] scheme: every repeatable transaction also inserts a
+//! marker object, so "marker present" ⇔ "transaction committed" — the
+//! paper's "redo-log written into the existing database by the local
+//! transaction".
+//!
+//! **Durability of the manager's own state.** The `gtx → (ops, ltx)` map is
+//! treated as the communication manager's stable metadata log (the paper
+//! allows these components "implemented on top of the existing systems" to
+//! keep recovery state of their own). A site crash wipes the *engine's*
+//! volatile state — transactions die, the lock table empties — but the
+//! manager still remembers which global transactions it was serving; what it
+//! can no longer trust is whether their local transactions survived, and for
+//! that it consults the engine and the markers.
+
+use crate::marker::{forward_marker, undo_marker};
+use crate::message::Payload;
+use amc_mlt::{inverse_of, needs_before_image};
+use amc_engine::{LocalEngine, PreparableEngine};
+use amc_types::{
+    AbortReason, AmcError, AmcResult, GlobalTxnId, LocalRunState, LocalTxnId, LocalVote,
+    ObjectId, Operation, SiteId, Value,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Deterministic injector for post-ready erroneous aborts (experiment E2).
+///
+/// §3.2's hazard is an engine aborting a local transaction *after* the
+/// ready vote was sent. In the wild this comes from timeouts, deadlock
+/// victims or validation failures; the injector makes the probability a
+/// controlled knob: after a commit-after manager votes ready, it aborts
+/// the engine transaction with probability `p`, using a seeded counter
+/// sequence so runs are reproducible.
+#[derive(Debug)]
+struct AbortInjector {
+    p: f64,
+    /// Deterministic low-discrepancy sequence (Weyl) — avoids dragging a
+    /// full RNG into the manager.
+    state: u64,
+}
+
+impl AbortInjector {
+    fn fire(&mut self) -> bool {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let u = (self.state >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.p
+    }
+}
+
+/// Which protocol flavour a submit runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitMode {
+    /// 2PC baseline: run the operations, leave the transaction running,
+    /// wait for `prepare`. No marker (the ready state is durable instead).
+    TwoPhase,
+    /// Commit-after: run the operations (plus marker), leave running, vote
+    /// ready immediately — the §3.2 "answer prepare immediately after the
+    /// last action".
+    CommitAfter,
+    /// Commit-before: run the operations (plus marker) and commit at once;
+    /// the vote reports the commit outcome (§3.3).
+    CommitBefore,
+}
+
+/// Counters for E2/E4/E8.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Submits handled.
+    pub submits: u64,
+    /// Ready votes sent.
+    pub votes_ready: u64,
+    /// Abort votes sent.
+    pub votes_aborted: u64,
+    /// Full re-executions in the commit-after redo loop.
+    pub redo_runs: u64,
+    /// Inverse-transaction executions in the commit-before undo loop.
+    pub undo_runs: u64,
+    /// Pre-vote retries after erroneous aborts.
+    pub pre_vote_retries: u64,
+    /// Marker lookups performed.
+    pub marker_checks: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Work {
+    ops: Vec<Operation>,
+    mode: SubmitMode,
+    ltx: Option<LocalTxnId>,
+    /// Commit-before: the forward transaction committed locally.
+    committed_locally: bool,
+    /// The vote this manager reported (None until voted).
+    vote: Option<LocalVote>,
+    /// Commit-before: inverse actions captured at execution time, in
+    /// forward order (the local half of the §3.3 undo-log).
+    inverse_ops: Vec<Operation>,
+}
+
+impl Work {
+    /// A presumed-abort tombstone: the coordinator already treats this
+    /// transaction as aborted, so a late `Submit` must not execute.
+    fn tombstone(mode: SubmitMode) -> Work {
+        Work {
+            ops: Vec::new(),
+            mode,
+            ltx: None,
+            committed_locally: false,
+            vote: Some(LocalVote::Aborted),
+            inverse_ops: Vec::new(),
+        }
+    }
+
+    fn is_tombstone(&self) -> bool {
+        self.ltx.is_none() && !self.committed_locally && self.vote == Some(LocalVote::Aborted)
+    }
+}
+
+/// Handle to a sealed engine, optionally with the 2PC-only prepare
+/// extension.
+#[derive(Clone)]
+pub enum EngineHandle {
+    /// An unmodifiable engine (the integration reality).
+    Plain(Arc<dyn LocalEngine>),
+    /// A "modified" engine exposing the ready state (2PC baseline only).
+    Preparable(Arc<dyn PreparableEngine>),
+}
+
+impl EngineHandle {
+    /// The engine as the universal sealed interface.
+    pub fn engine(&self) -> &dyn LocalEngine {
+        match self {
+            EngineHandle::Plain(e) => e.as_ref(),
+            EngineHandle::Preparable(e) => e.as_ref(),
+        }
+    }
+
+    /// The prepare extension, when the engine was "modified".
+    pub fn preparable(&self) -> Option<&dyn PreparableEngine> {
+        match self {
+            EngineHandle::Plain(_) => None,
+            EngineHandle::Preparable(e) => Some(e.as_ref()),
+        }
+    }
+}
+
+/// The per-site communication manager.
+pub struct LocalCommManager {
+    site: SiteId,
+    handle: EngineHandle,
+    work: Mutex<HashMap<GlobalTxnId, Work>>,
+    stats: Mutex<CommStats>,
+    /// Repetition bound — the paper argues repetitions terminate; we bound
+    /// them anyway so a sick test fails loudly instead of spinning.
+    max_attempts: u32,
+    /// Pre-vote retry bound. Deliberately small: a submit that keeps
+    /// hitting erroneous aborts may be one leg of a *distributed* lock
+    /// cycle with another transaction's mandatory redo — and before the
+    /// vote nothing has been promised, so giving up (voting abort) is
+    /// always safe and breaks the cycle. This is the paper's "aborted by
+    /// the local transaction manager, e.g. because of time out".
+    pre_vote_retries: u32,
+    injector: Mutex<Option<AbortInjector>>,
+    /// Weyl counter feeding the retry-backoff jitter.
+    backoff_seed: std::sync::atomic::AtomicU64,
+}
+
+impl LocalCommManager {
+    /// Manager for `site` over `handle`.
+    pub fn new(site: SiteId, handle: EngineHandle) -> Self {
+        LocalCommManager {
+            site,
+            handle,
+            work: Mutex::new(HashMap::new()),
+            stats: Mutex::new(CommStats::default()),
+            max_attempts: 100,
+            pre_vote_retries: 5,
+            injector: Mutex::new(None),
+            backoff_seed: std::sync::atomic::AtomicU64::new(site.raw() as u64 * 7919),
+        }
+    }
+
+    /// Jittered backoff between repetition attempts. Retries restart with a
+    /// *fresh* local transaction id, which makes them the youngest — and
+    /// therefore the preferred deadlock victim — every time; without
+    /// spacing, two colliding repetition loops can victimise each other
+    /// indefinitely.
+    fn backoff(&self, attempt: u32) {
+        if attempt == 0 {
+            return;
+        }
+        let weyl = self
+            .backoff_seed
+            .fetch_add(0x9e37_79b9_7f4a_7c15, std::sync::atomic::Ordering::Relaxed);
+        let jitter_us = (weyl >> 48) % 700; // 0..700 µs
+        let base_us = u64::from(attempt.min(20)) * 200;
+        std::thread::sleep(std::time::Duration::from_micros(base_us + jitter_us));
+    }
+
+    /// Bound the redo/undo/retry loops (simulation configs use small
+    /// bounds so probe transactions fail fast instead of spinning).
+    pub fn set_max_attempts(&mut self, n: u32) {
+        self.max_attempts = n.max(1);
+    }
+
+    /// Arm the E2 injector: after each commit-after ready vote, the local
+    /// transaction is erroneously aborted with probability `p` (seeded,
+    /// deterministic). Pass `0.0` to disarm.
+    pub fn inject_post_ready_aborts(&self, p: f64, seed: u64) {
+        *self.injector.lock() = (p > 0.0).then_some(AbortInjector { p, state: seed });
+    }
+
+    /// This manager's site.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// The underlying engine handle.
+    pub fn handle(&self) -> &EngineHandle {
+        &self.handle
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CommStats {
+        *self.stats.lock()
+    }
+
+    /// The local transaction currently associated with `gtx`.
+    pub fn local_txn_of(&self, gtx: GlobalTxnId) -> Option<LocalTxnId> {
+        self.work.lock().get(&gtx).and_then(|w| w.ltx)
+    }
+
+    fn marker_op(gtx: GlobalTxnId, ltx: LocalTxnId, undo: bool) -> Operation {
+        let obj = if undo {
+            undo_marker(gtx)
+        } else {
+            forward_marker(gtx)
+        };
+        Operation::Insert {
+            obj,
+            value: Value::counter(ltx.raw() as i64),
+        }
+    }
+
+    /// Check whether a marker committed, via a small read-only transaction.
+    /// Retries erroneous aborts (the check itself can be a deadlock victim).
+    fn marker_present(&self, obj: ObjectId) -> AmcResult<bool> {
+        self.stats.lock().marker_checks += 1;
+        let engine = self.handle.engine();
+        for attempt in 0..self.max_attempts {
+            self.backoff(attempt);
+            let t = engine.begin()?;
+            match engine.execute(t, &Operation::Read { obj }) {
+                Ok(_) => {
+                    engine.commit(t)?;
+                    return Ok(true);
+                }
+                Err(AmcError::NotFound(_)) => {
+                    engine.commit(t)?;
+                    return Ok(false);
+                }
+                Err(AmcError::Aborted(r)) if r.is_erroneous() => continue,
+                Err(e) => {
+                    let _ = engine.abort(t, AbortReason::Intended);
+                    return Err(e);
+                }
+            }
+        }
+        Err(AmcError::Protocol("marker check never succeeded".into()))
+    }
+
+    /// Execute `ops` inside a fresh local transaction, leaving it in the
+    /// state `commit_now` dictates. Returns the local txn id on success, or
+    /// the abort classification.
+    ///
+    /// With `capture_inverses`, every update is preceded (where necessary)
+    /// by a read capturing the before image, and the op's inverse action is
+    /// appended to the vector — the undo information of §3.3. Commutative
+    /// increments need no capture read, which is the MLT cost advantage the
+    /// E7 ablation measures.
+    fn run_ops(
+        &self,
+        ops: &[Operation],
+        commit_now: bool,
+        mut capture_inverses: Option<&mut Vec<Operation>>,
+    ) -> AmcResult<Result<LocalTxnId, AbortReason>> {
+        let engine = self.handle.engine();
+        let ltx = engine.begin()?;
+        for op in ops {
+            let before = if capture_inverses.is_some() && needs_before_image(op) {
+                match engine.execute(ltx, &Operation::Read { obj: op.object() }) {
+                    Ok(r) => r.value(),
+                    Err(AmcError::NotFound(_)) => None,
+                    Err(AmcError::Aborted(r)) => return Ok(Err(r)),
+                    Err(AmcError::SiteDown(s)) => return Err(AmcError::SiteDown(s)),
+                    Err(e) => {
+                        engine.abort(ltx, AbortReason::Intended)?;
+                        return Err(e);
+                    }
+                }
+            } else {
+                None
+            };
+            match engine.execute(ltx, op) {
+                Ok(_) => {
+                    if let Some(inverses) = capture_inverses.as_deref_mut() {
+                        if let Some(inv) = inverse_of(op, before) {
+                            inverses.push(inv);
+                        }
+                    }
+                }
+                Err(AmcError::Aborted(r)) => return Ok(Err(r)), // already rolled back
+                Err(AmcError::SiteDown(s)) => return Err(AmcError::SiteDown(s)),
+                Err(_logical) => {
+                    // NotFound / AlreadyExists etc.: transaction logic says
+                    // no — an *intended* abort (§3.2's distinction).
+                    engine.abort(ltx, AbortReason::Intended)?;
+                    return Ok(Err(AbortReason::Intended));
+                }
+            }
+        }
+        if commit_now {
+            match engine.commit(ltx) {
+                Ok(()) => {}
+                Err(AmcError::Aborted(r)) => return Ok(Err(r)), // e.g. OCC validation
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Ok(ltx))
+    }
+
+    /// Handle a `Submit`: run the decomposed local transaction and vote.
+    pub fn handle_submit(
+        &self,
+        gtx: GlobalTxnId,
+        ops: Vec<Operation>,
+        mode: SubmitMode,
+    ) -> AmcResult<Payload> {
+        self.stats.lock().submits += 1;
+        // Duplicate or superseded submits must not execute again:
+        //
+        // * a tombstone means the coordinator already presumed this
+        //   transaction aborted (an abort decision or post-crash inquiry
+        //   beat the submit here) — executing now would resurrect dead
+        //   work;
+        // * an existing vote means an earlier copy of this submit already
+        //   ran (at-least-once delivery) — re-executing would collide with
+        //   the running original (or double-commit); answer idempotently.
+        if let Some(w) = self.work.lock().get(&gtx) {
+            if let Some(vote) = w.vote {
+                let vote = if w.is_tombstone() {
+                    LocalVote::Aborted
+                } else {
+                    vote
+                };
+                let mut stats = self.stats.lock();
+                match vote {
+                    LocalVote::Ready | LocalVote::ReadyReadOnly => stats.votes_ready += 1,
+                    LocalVote::Aborted => stats.votes_aborted += 1,
+                }
+                return Ok(Payload::Vote { gtx, vote });
+            }
+        }
+        // Read-only optimization (cf. the derived 2PC protocols of §5): a
+        // local transaction with no updates has nothing to redo or undo —
+        // under the portable protocols it commits right here (releasing its
+        // read locks) and drops out of the decision round. 2PC applies the
+        // same optimization at prepare time instead.
+        let read_only = ops.iter().all(|op| !op.is_update());
+        // The marker participates in the transaction for the two portable
+        // protocols (see module docs) — read-only transactions skip it
+        // (nothing to repeat, nothing to invert).
+        let with_marker = mode != SubmitMode::TwoPhase && !read_only;
+        let commit_now =
+            mode == SubmitMode::CommitBefore || (mode == SubmitMode::CommitAfter && read_only);
+
+        let mut outcome: Result<LocalTxnId, AbortReason> = Err(AbortReason::Injected);
+        let mut inverse_ops = Vec::new();
+        for attempt in 0..=self.pre_vote_retries {
+            let mut all_ops = ops.clone();
+            if with_marker {
+                // The ltx id inside the marker is informational; use a
+                // placeholder first, the real id is not known before begin.
+                all_ops.push(Self::marker_op(gtx, LocalTxnId::new(0), false));
+            }
+            inverse_ops.clear();
+            let capture = (mode == SubmitMode::CommitBefore).then_some(&mut inverse_ops);
+            outcome = self.run_ops(&all_ops, commit_now, capture)?;
+            match outcome {
+                Ok(_) => break,
+                Err(ref r) if r.is_erroneous() && attempt < self.pre_vote_retries => {
+                    // Pre-vote retry: nothing has been promised yet.
+                    self.stats.lock().pre_vote_retries += 1;
+                    self.backoff(attempt + 1);
+                    continue;
+                }
+                Err(_) => break,
+            }
+        }
+
+        let (vote, ltx, committed) = match outcome {
+            Ok(ltx) if read_only && mode != SubmitMode::TwoPhase => {
+                (LocalVote::ReadyReadOnly, Some(ltx), commit_now)
+            }
+            Ok(ltx) => (LocalVote::Ready, Some(ltx), commit_now),
+            Err(_) => (LocalVote::Aborted, None, false),
+        };
+        if !committed {
+            inverse_ops.clear();
+        }
+        self.work.lock().insert(
+            gtx,
+            Work {
+                ops,
+                mode,
+                ltx,
+                committed_locally: committed,
+                vote: Some(vote),
+                inverse_ops,
+            },
+        );
+        {
+            let mut stats = self.stats.lock();
+            match vote {
+                LocalVote::Ready | LocalVote::ReadyReadOnly => stats.votes_ready += 1,
+                LocalVote::Aborted => stats.votes_aborted += 1,
+            }
+        }
+        // E2 injection: the §3.2 hazard — an erroneous abort strikes the
+        // still-running transaction *after* the ready vote.
+        if mode == SubmitMode::CommitAfter && vote == LocalVote::Ready {
+            let fire = self
+                .injector
+                .lock()
+                .as_mut()
+                .is_some_and(AbortInjector::fire);
+            if fire {
+                if let Some(l) = ltx {
+                    let _ = self
+                        .handle
+                        .engine()
+                        .abort(l, AbortReason::LockTimeout);
+                }
+            }
+        }
+        Ok(Payload::Vote { gtx, vote })
+    }
+
+    /// Handle a `Prepare` inquiry.
+    ///
+    /// * 2PC: drive the engine to the ready state (requires a preparable
+    ///   engine — a plain engine here is a federation configuration error).
+    /// * commit-after / commit-before: report the current knowledge; after
+    ///   a crash the markers are the source of truth (§3.3: "after the
+    ///   local recovery is finished ... the answer to the prepare message
+    ///   is abort" — unless the commit survived).
+    pub fn handle_prepare(&self, gtx: GlobalTxnId) -> AmcResult<Payload> {
+        let work_snapshot = self.work.lock().get(&gtx).cloned();
+        let vote = match work_snapshot {
+            Some(w) => match w.mode {
+                SubmitMode::TwoPhase => {
+                    let Some(prep) = self.handle.preparable() else {
+                        return Err(AmcError::Protocol(format!(
+                            "{} runs a non-preparable engine under 2PC",
+                            self.site
+                        )));
+                    };
+                    let read_only = w.ops.iter().all(|op| !op.is_update());
+                    match w.ltx {
+                        Some(ltx) if self.handle.engine().state_of(ltx)
+                            == Some(LocalRunState::Ready) =>
+                        {
+                            // Re-inquiry of an already-prepared transaction.
+                            LocalVote::Ready
+                        }
+                        Some(ltx)
+                            if read_only
+                                && self.handle.engine().state_of(ltx)
+                                    == Some(LocalRunState::Running) =>
+                        {
+                            // Read-only optimization: commit now, drop out
+                            // of the decision round.
+                            match self.handle.engine().commit(ltx) {
+                                Ok(()) => LocalVote::ReadyReadOnly,
+                                Err(_) => LocalVote::Aborted,
+                            }
+                        }
+                        Some(ltx)
+                            if read_only
+                                && self.handle.engine().state_of(ltx)
+                                    == Some(LocalRunState::Committed) =>
+                        {
+                            // Duplicate prepare after the read-only commit.
+                            LocalVote::ReadyReadOnly
+                        }
+                        Some(ltx) => match prep.prepare(ltx) {
+                            Ok(()) => LocalVote::Ready,
+                            Err(_) => LocalVote::Aborted,
+                        },
+                        None => LocalVote::Aborted,
+                    }
+                }
+                SubmitMode::CommitAfter => match w.ltx {
+                    // Voted ready and the transaction still exists in some
+                    // live form (running, or already committed via redo).
+                    Some(ltx) => match self.handle.engine().state_of(ltx) {
+                        Some(LocalRunState::Running) | Some(LocalRunState::Committed) => {
+                            LocalVote::Ready
+                        }
+                        // Erroneously aborted after ready: *still ready* —
+                        // the redo mechanism guarantees eventual commit
+                        // (§3.2). Intended aborts voted Aborted at submit.
+                        _ if w.vote == Some(LocalVote::Ready) => LocalVote::Ready,
+                        _ => LocalVote::Aborted,
+                    },
+                    None => LocalVote::Aborted,
+                },
+                SubmitMode::CommitBefore => {
+                    if w.committed_locally {
+                        LocalVote::Ready
+                    } else if self.marker_present(forward_marker(gtx))? {
+                        // Crash raced the bookkeeping: the commit survived.
+                        LocalVote::Ready
+                    } else {
+                        LocalVote::Aborted
+                    }
+                }
+            },
+            // Unknown transaction: the submit never reached us, or our
+            // engine crashed before anything durable happened — unless a
+            // marker proves a commit-before transaction made it. A no-marker
+            // answer leaves a tombstone so a late submit cannot resurrect
+            // the transaction after we reported it aborted.
+            None => {
+                if self.marker_present(forward_marker(gtx))? {
+                    LocalVote::Ready
+                } else {
+                    self.work
+                        .lock()
+                        .entry(gtx)
+                        .or_insert_with(|| Work::tombstone(SubmitMode::CommitBefore));
+                    LocalVote::Aborted
+                }
+            }
+        };
+        let mut stats = self.stats.lock();
+        match vote {
+            LocalVote::Ready | LocalVote::ReadyReadOnly => stats.votes_ready += 1,
+            LocalVote::Aborted => stats.votes_aborted += 1,
+        }
+        Ok(Payload::Vote { gtx, vote })
+    }
+
+    /// The commit-after redo loop (§3.2, Fig. 4's double arrow): repeat the
+    /// local transaction until its marker proves a commit.
+    ///
+    /// Fast path first: when the *original* local transaction is still
+    /// running (e.g. the commit decision was lost in transit and arrives
+    /// again as a `Redo`), simply commit it — repetition is only for
+    /// transactions that no longer exist.
+    fn redo_until_committed(&self, gtx: GlobalTxnId, ops: &[Operation]) -> AmcResult<()> {
+        let live_ltx = self.work.lock().get(&gtx).and_then(|w| w.ltx);
+        if let Some(ltx) = live_ltx {
+            if self.handle.engine().state_of(ltx) == Some(LocalRunState::Running)
+                && self.handle.engine().commit(ltx).is_ok()
+            {
+                if let Some(w) = self.work.lock().get_mut(&gtx) {
+                    w.committed_locally = true;
+                }
+                return Ok(());
+            }
+        }
+        for attempt in 0..self.max_attempts {
+            self.backoff(attempt);
+            if self.marker_present(forward_marker(gtx))? {
+                return Ok(());
+            }
+            self.stats.lock().redo_runs += 1;
+            let mut all_ops = ops.to_vec();
+            all_ops.push(Self::marker_op(gtx, LocalTxnId::new(0), false));
+            match self.run_ops(&all_ops, true, None)? {
+                Ok(ltx) => {
+                    if let Some(w) = self.work.lock().get_mut(&gtx) {
+                        w.ltx = Some(ltx);
+                        w.committed_locally = true;
+                    }
+                    return Ok(());
+                }
+                Err(r) if r.is_erroneous() => continue,
+                Err(r) => {
+                    // §3.2's termination argument: the first run finished
+                    // all actions, so a repetition cannot fail for logical
+                    // reasons. If it does, a protocol invariant is broken.
+                    return Err(AmcError::Protocol(format!(
+                        "redo of {gtx} failed with intended abort ({r})"
+                    )));
+                }
+            }
+        }
+        Err(AmcError::Protocol(format!(
+            "redo of {gtx} exceeded {} attempts",
+            self.max_attempts
+        )))
+    }
+
+    /// Handle a `Decision`.
+    pub fn handle_decision(
+        &self,
+        gtx: GlobalTxnId,
+        verdict: amc_types::GlobalVerdict,
+    ) -> AmcResult<Payload> {
+        use amc_types::GlobalVerdict;
+        let work_snapshot = self.work.lock().get(&gtx).cloned();
+        let engine = self.handle.engine();
+        match work_snapshot {
+            // A commit decision can never legitimately follow a presumed
+            // abort: the coordinator decided commit only on unanimous ready
+            // votes, and a tombstone means we never voted ready.
+            Some(w) if w.is_tombstone() && verdict == GlobalVerdict::Commit => {
+                return Err(AmcError::Protocol(format!(
+                    "commit decision for presumed-aborted {gtx} at {}",
+                    self.site
+                )));
+            }
+            Some(w) => match (w.mode, verdict) {
+                (SubmitMode::TwoPhase, GlobalVerdict::Commit) => {
+                    let ltx = w.ltx.ok_or_else(|| {
+                        AmcError::Protocol(format!("commit decision for unstarted {gtx}"))
+                    })?;
+                    match engine.state_of(ltx) {
+                        Some(LocalRunState::Committed) => {} // duplicate decision
+                        _ => engine.commit(ltx)?,
+                    }
+                }
+                (SubmitMode::TwoPhase, GlobalVerdict::Abort) => {
+                    if let Some(ltx) = w.ltx {
+                        match engine.state_of(ltx) {
+                            Some(LocalRunState::Aborted) | None => {}
+                            _ => engine.abort(ltx, AbortReason::GlobalDecision)?,
+                        }
+                    }
+                }
+                (SubmitMode::CommitAfter, GlobalVerdict::Commit) => {
+                    if w.committed_locally {
+                        // Read-only participant: already committed at
+                        // submit; a stray decision needs no work.
+                        return Ok(Payload::Finished { gtx });
+                    }
+                    // Fast path: the original transaction is still running.
+                    let fast_committed = match w.ltx {
+                        Some(ltx) => engine.commit(ltx).is_ok(),
+                        None => false,
+                    };
+                    if fast_committed {
+                        if let Some(work) = self.work.lock().get_mut(&gtx) {
+                            work.committed_locally = true;
+                        }
+                    } else {
+                        // Erroneous abort after ready (or crash): repeat
+                        // until committed.
+                        self.redo_until_committed(gtx, &w.ops)?;
+                    }
+                }
+                (SubmitMode::CommitAfter, GlobalVerdict::Abort) => {
+                    if let Some(ltx) = w.ltx {
+                        match engine.state_of(ltx) {
+                            Some(LocalRunState::Running) => {
+                                engine.abort(ltx, AbortReason::GlobalDecision)?
+                            }
+                            _ => {} // already gone; nothing committed, nothing to do
+                        }
+                    }
+                }
+                (SubmitMode::CommitBefore, GlobalVerdict::Commit) => {
+                    // Already committed locally; the decision is a no-op
+                    // (§3.3: "the global transaction manager does not need
+                    // to start further actions").
+                }
+                (SubmitMode::CommitBefore, GlobalVerdict::Abort) => {
+                    // Abort of a *not-committed* local: nothing to do (it
+                    // aborted on its own). Undo of committed locals travels
+                    // in a separate `Undo` message carrying inverse ops.
+                    if let Some(ltx) = w.ltx {
+                        if engine.state_of(ltx) == Some(LocalRunState::Running) {
+                            engine.abort(ltx, AbortReason::GlobalDecision)?;
+                        }
+                    }
+                }
+            },
+            None => {
+                // Unknown gtx: tolerate duplicate/late abort decisions —
+                // the protocols retransmit — but leave a tombstone so a
+                // late submit cannot start work the coordinator already
+                // aborted. Commit decisions for work we never saw are a
+                // protocol bug.
+                if verdict == GlobalVerdict::Commit {
+                    return Err(AmcError::Protocol(format!(
+                        "commit decision for unknown {gtx} at {}",
+                        self.site
+                    )));
+                }
+                self.work
+                    .lock()
+                    .entry(gtx)
+                    .or_insert_with(|| Work::tombstone(SubmitMode::CommitAfter));
+            }
+        }
+        Ok(Payload::Finished { gtx })
+    }
+
+    /// Handle a `Redo` retransmission (commit-after, after a site crash).
+    pub fn handle_redo(&self, gtx: GlobalTxnId, ops: Vec<Operation>) -> AmcResult<Payload> {
+        // Adopt the shipped ops if the submit predates our knowledge.
+        {
+            let mut work = self.work.lock();
+            work.entry(gtx).or_insert(Work {
+                ops: ops.clone(),
+                mode: SubmitMode::CommitAfter,
+                ltx: None,
+                committed_locally: false,
+                vote: Some(LocalVote::Ready),
+                inverse_ops: Vec::new(),
+            });
+        }
+        self.redo_until_committed(gtx, &ops)?;
+        Ok(Payload::Finished { gtx })
+    }
+
+    /// Handle an `Undo` (commit-before, §3.3): run the inverse transaction
+    /// until it commits; the undo marker makes it exactly-once.
+    ///
+    /// When `inverse_ops` is empty, the manager's own undo-log (captured at
+    /// submit time) supplies the inverse program — the "implemented on top
+    /// of the existing systems" placement of §3.3; a non-empty argument is
+    /// the "in the global system" placement.
+    pub fn handle_undo(
+        &self,
+        gtx: GlobalTxnId,
+        inverse_ops: Vec<Operation>,
+    ) -> AmcResult<Payload> {
+        let inverse_ops = if inverse_ops.is_empty() {
+            let work = self.work.lock();
+            match work.get(&gtx) {
+                Some(w) => {
+                    // Captured forward-order; undo runs newest-first.
+                    let mut inv = w.inverse_ops.clone();
+                    inv.reverse();
+                    inv
+                }
+                None => Vec::new(),
+            }
+        } else {
+            inverse_ops
+        };
+        for attempt in 0..self.max_attempts {
+            self.backoff(attempt);
+            if self.marker_present(undo_marker(gtx))? {
+                return Ok(Payload::Finished { gtx });
+            }
+            self.stats.lock().undo_runs += 1;
+            let mut all_ops = inverse_ops.clone();
+            all_ops.push(Self::marker_op(gtx, LocalTxnId::new(0), true));
+            match self.run_ops(&all_ops, true, None)? {
+                Ok(_) => return Ok(Payload::Finished { gtx }),
+                Err(r) if r.is_erroneous() => continue, // Fig. 6: repeat inverse
+                Err(r) => {
+                    return Err(AmcError::Protocol(format!(
+                        "inverse transaction of {gtx} failed with intended abort ({r})"
+                    )))
+                }
+            }
+        }
+        Err(AmcError::Protocol(format!(
+            "undo of {gtx} exceeded {} attempts",
+            self.max_attempts
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amc_engine::{TplConfig, TwoPLEngine};
+    use amc_types::{GlobalVerdict, Operation as Op};
+
+    fn obj(n: u64) -> ObjectId {
+        ObjectId::new(n)
+    }
+    fn v(n: i64) -> Value {
+        Value::counter(n)
+    }
+    fn gtx(n: u64) -> GlobalTxnId {
+        GlobalTxnId::new(n)
+    }
+
+    fn manager_with(data: &[(u64, i64)]) -> (LocalCommManager, Arc<TwoPLEngine>) {
+        let engine = Arc::new(TwoPLEngine::new(TplConfig::default()));
+        engine
+            .load(data.iter().map(|&(o, val)| (obj(o), v(val))))
+            .unwrap();
+        let mgr = LocalCommManager::new(
+            SiteId::new(1),
+            EngineHandle::Preparable(engine.clone()),
+        );
+        (mgr, engine)
+    }
+
+    #[test]
+    fn commit_before_submit_commits_immediately() {
+        let (mgr, engine) = manager_with(&[(1, 10)]);
+        let p = mgr
+            .handle_submit(
+                gtx(1),
+                vec![Op::Increment { obj: obj(1), delta: 5 }],
+                SubmitMode::CommitBefore,
+            )
+            .unwrap();
+        assert_eq!(
+            p,
+            Payload::Vote {
+                gtx: gtx(1),
+                vote: LocalVote::Ready
+            }
+        );
+        // Durably committed, marker included.
+        assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(15)));
+        assert!(mgr.marker_present(forward_marker(gtx(1))).unwrap());
+    }
+
+    #[test]
+    fn commit_after_submit_leaves_running() {
+        let (mgr, engine) = manager_with(&[(1, 10)]);
+        let p = mgr
+            .handle_submit(
+                gtx(1),
+                vec![Op::Increment { obj: obj(1), delta: 5 }],
+                SubmitMode::CommitAfter,
+            )
+            .unwrap();
+        assert_eq!(
+            p,
+            Payload::Vote {
+                gtx: gtx(1),
+                vote: LocalVote::Ready
+            }
+        );
+        let ltx = mgr.local_txn_of(gtx(1)).unwrap();
+        assert_eq!(engine.state_of(ltx), Some(LocalRunState::Running));
+        // Decision commit completes it.
+        let f = mgr.handle_decision(gtx(1), GlobalVerdict::Commit).unwrap();
+        assert_eq!(f, Payload::Finished { gtx: gtx(1) });
+        assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(15)));
+    }
+
+    #[test]
+    fn intended_failure_votes_abort() {
+        let (mgr, engine) = manager_with(&[(1, 10)]);
+        let p = mgr
+            .handle_submit(
+                gtx(1),
+                vec![Op::Read { obj: obj(99) }], // does not exist
+                SubmitMode::CommitBefore,
+            )
+            .unwrap();
+        assert_eq!(
+            p,
+            Payload::Vote {
+                gtx: gtx(1),
+                vote: LocalVote::Aborted
+            }
+        );
+        assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(10)));
+        // No marker: nothing committed.
+        assert!(!mgr.marker_present(forward_marker(gtx(1))).unwrap());
+    }
+
+    #[test]
+    fn redo_after_erroneous_abort_commits_eventually() {
+        let (mgr, engine) = manager_with(&[(1, 10)]);
+        mgr.handle_submit(
+            gtx(1),
+            vec![Op::Increment { obj: obj(1), delta: 5 }],
+            SubmitMode::CommitAfter,
+        )
+        .unwrap();
+        // Simulate the §3.2 hazard: the engine erroneously aborts the
+        // running transaction after the ready vote.
+        let ltx = mgr.local_txn_of(gtx(1)).unwrap();
+        engine.abort(ltx, AbortReason::LockTimeout).unwrap();
+        // The decision still succeeds via the redo loop.
+        mgr.handle_decision(gtx(1), GlobalVerdict::Commit).unwrap();
+        assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(15)));
+        assert_eq!(mgr.stats().redo_runs, 1);
+    }
+
+    #[test]
+    fn redo_is_exactly_once_across_crash() {
+        let (mgr, engine) = manager_with(&[(1, 10)]);
+        mgr.handle_submit(
+            gtx(1),
+            vec![Op::Increment { obj: obj(1), delta: 5 }],
+            SubmitMode::CommitAfter,
+        )
+        .unwrap();
+        mgr.handle_decision(gtx(1), GlobalVerdict::Commit).unwrap();
+        assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(15)));
+        // Site crashes *after* the commit; the retransmitted Redo must not
+        // double-apply (E8).
+        engine.crash();
+        engine.recover().unwrap();
+        mgr.handle_redo(gtx(1), vec![Op::Increment { obj: obj(1), delta: 5 }])
+            .unwrap();
+        assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(15)));
+        assert_eq!(mgr.stats().redo_runs, 0, "marker short-circuits the redo");
+    }
+
+    #[test]
+    fn redo_after_crash_before_commit_applies_once() {
+        let (mgr, engine) = manager_with(&[(1, 10)]);
+        mgr.handle_submit(
+            gtx(1),
+            vec![Op::Increment { obj: obj(1), delta: 5 }],
+            SubmitMode::CommitAfter,
+        )
+        .unwrap();
+        // Crash while still running: the local transaction evaporates.
+        engine.crash();
+        engine.recover().unwrap();
+        mgr.handle_redo(gtx(1), vec![Op::Increment { obj: obj(1), delta: 5 }])
+            .unwrap();
+        assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(15)));
+        assert_eq!(mgr.stats().redo_runs, 1);
+        // A duplicate redo changes nothing.
+        mgr.handle_redo(gtx(1), vec![Op::Increment { obj: obj(1), delta: 5 }])
+            .unwrap();
+        assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(15)));
+    }
+
+    #[test]
+    fn undo_reverses_committed_work_exactly_once() {
+        let (mgr, engine) = manager_with(&[(1, 10)]);
+        mgr.handle_submit(
+            gtx(1),
+            vec![Op::Increment { obj: obj(1), delta: 5 }],
+            SubmitMode::CommitBefore,
+        )
+        .unwrap();
+        assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(15)));
+        // Global abort: run the inverse.
+        mgr.handle_undo(gtx(1), vec![Op::Increment { obj: obj(1), delta: -5 }])
+            .unwrap();
+        assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(10)));
+        assert_eq!(mgr.stats().undo_runs, 1);
+        // Duplicate undo (retransmission): marker stops it (E8).
+        mgr.handle_undo(gtx(1), vec![Op::Increment { obj: obj(1), delta: -5 }])
+            .unwrap();
+        assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(10)));
+        assert_eq!(mgr.stats().undo_runs, 1);
+    }
+
+    #[test]
+    fn undo_with_empty_ops_uses_local_undo_log() {
+        // The comm manager captured inverses at submit time (§3.3's
+        // undo-log "implemented on top of the existing systems").
+        let (mgr, engine) = manager_with(&[(1, 10), (2, 20)]);
+        mgr.handle_submit(
+            gtx(1),
+            vec![
+                Op::Write { obj: obj(1), value: v(111) },
+                Op::Increment { obj: obj(2), delta: 7 },
+                Op::Insert { obj: obj(3), value: v(3) },
+            ],
+            SubmitMode::CommitBefore,
+        )
+        .unwrap();
+        let d = engine.dump().unwrap();
+        assert_eq!(d.get(&obj(1)), Some(&v(111)));
+        assert_eq!(d.get(&obj(2)), Some(&v(27)));
+        assert_eq!(d.get(&obj(3)), Some(&v(3)));
+        // Global abort with an empty payload: local inverses must restore
+        // everything.
+        mgr.handle_undo(gtx(1), vec![]).unwrap();
+        let d = engine.dump().unwrap();
+        assert_eq!(d.get(&obj(1)), Some(&v(10)));
+        assert_eq!(d.get(&obj(2)), Some(&v(20)));
+        assert_eq!(d.get(&obj(3)), None);
+    }
+
+    #[test]
+    fn prepare_after_crash_answers_from_markers() {
+        let (mgr, engine) = manager_with(&[(1, 10)]);
+        // Committed-before transaction, then crash.
+        mgr.handle_submit(
+            gtx(1),
+            vec![Op::Increment { obj: obj(1), delta: 5 }],
+            SubmitMode::CommitBefore,
+        )
+        .unwrap();
+        engine.crash();
+        engine.recover().unwrap();
+        // §3.3: after recovery the answer comes from durable state.
+        let p = mgr.handle_prepare(gtx(1)).unwrap();
+        assert_eq!(
+            p,
+            Payload::Vote {
+                gtx: gtx(1),
+                vote: LocalVote::Ready
+            }
+        );
+        // And for a transaction that never committed:
+        let p = mgr.handle_prepare(gtx(99)).unwrap();
+        assert_eq!(
+            p,
+            Payload::Vote {
+                gtx: gtx(99),
+                vote: LocalVote::Aborted
+            }
+        );
+    }
+
+    #[test]
+    fn two_phase_prepare_then_commit() {
+        let (mgr, engine) = manager_with(&[(1, 10)]);
+        mgr.handle_submit(
+            gtx(1),
+            vec![Op::Write { obj: obj(1), value: v(42) }],
+            SubmitMode::TwoPhase,
+        )
+        .unwrap();
+        let p = mgr.handle_prepare(gtx(1)).unwrap();
+        assert_eq!(
+            p,
+            Payload::Vote {
+                gtx: gtx(1),
+                vote: LocalVote::Ready
+            }
+        );
+        let ltx = mgr.local_txn_of(gtx(1)).unwrap();
+        assert_eq!(engine.state_of(ltx), Some(LocalRunState::Ready));
+        mgr.handle_decision(gtx(1), GlobalVerdict::Commit).unwrap();
+        assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(42)));
+    }
+
+    #[test]
+    fn two_phase_on_plain_engine_is_a_config_error() {
+        let engine = Arc::new(TwoPLEngine::with_defaults());
+        engine.load([(obj(1), v(1))]).unwrap();
+        // Wrap as *plain* — the integration reality.
+        let mgr = LocalCommManager::new(SiteId::new(1), EngineHandle::Plain(engine));
+        mgr.handle_submit(gtx(1), vec![Op::Read { obj: obj(1) }], SubmitMode::TwoPhase)
+            .unwrap();
+        assert!(matches!(
+            mgr.handle_prepare(gtx(1)),
+            Err(AmcError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn decision_abort_rolls_back_running_work() {
+        let (mgr, engine) = manager_with(&[(1, 10)]);
+        mgr.handle_submit(
+            gtx(1),
+            vec![Op::Write { obj: obj(1), value: v(42) }],
+            SubmitMode::CommitAfter,
+        )
+        .unwrap();
+        mgr.handle_decision(gtx(1), GlobalVerdict::Abort).unwrap();
+        assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(10)));
+    }
+
+    #[test]
+    fn late_abort_decision_for_unknown_gtx_is_tolerated() {
+        let (mgr, _) = manager_with(&[]);
+        let p = mgr.handle_decision(gtx(9), GlobalVerdict::Abort).unwrap();
+        assert_eq!(p, Payload::Finished { gtx: gtx(9) });
+        assert!(matches!(
+            mgr.handle_decision(gtx(9), GlobalVerdict::Commit),
+            Err(AmcError::Protocol(_))
+        ));
+    }
+}

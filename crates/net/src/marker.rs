@@ -1,0 +1,69 @@
+//! Durable commit-propagation markers.
+//!
+//! §3.2/§3.3 demand that "committing the local transaction and propagating
+//! the commit to the redo mechanism must be executed atomically", and offer
+//! two implementations: write the log *into the existing database by the
+//! local transaction* (an extra relation), or make redo/undo idempotent.
+//! We implement the first: every redo-able (or undo) transaction also
+//! inserts a **marker object** whose id is derived from the global
+//! transaction id. The marker commits atomically with the transaction —
+//! it *is* part of the transaction — so after any crash, "has the marker"
+//! ⇔ "the transaction committed", and repetitions become exactly-once.
+//!
+//! Marker ids live in a reserved region (top bit set) so they can never
+//! collide with workload objects, and the verification oracle can filter
+//! them out of state comparisons.
+
+use amc_types::{GlobalTxnId, ObjectId};
+
+/// Top bit marks the reserved region.
+const MARKER_BIT: u64 = 1 << 63;
+/// Second-highest bit distinguishes undo markers from forward markers.
+const UNDO_BIT: u64 = 1 << 62;
+
+/// Marker inserted by a forward (or redone) local transaction of `gtx`.
+pub fn forward_marker(gtx: GlobalTxnId) -> ObjectId {
+    ObjectId::new(MARKER_BIT | gtx.raw())
+}
+
+/// Marker inserted by the inverse (undo) transaction of `gtx`.
+pub fn undo_marker(gtx: GlobalTxnId) -> ObjectId {
+    ObjectId::new(MARKER_BIT | UNDO_BIT | gtx.raw())
+}
+
+/// True for any object in the reserved marker region.
+pub fn is_marker(obj: ObjectId) -> bool {
+    obj.raw() & MARKER_BIT != 0
+}
+
+/// Largest workload object id that avoids the reserved region.
+pub const MAX_USER_OBJECT: u64 = (1 << 62) - 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markers_are_distinct_and_reserved() {
+        let g = GlobalTxnId::new(42);
+        let f = forward_marker(g);
+        let u = undo_marker(g);
+        assert_ne!(f, u);
+        assert!(is_marker(f));
+        assert!(is_marker(u));
+        assert!(!is_marker(ObjectId::new(MAX_USER_OBJECT)));
+    }
+
+    #[test]
+    fn markers_are_injective_in_gtx() {
+        let a = forward_marker(GlobalTxnId::new(1));
+        let b = forward_marker(GlobalTxnId::new(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gtx_recoverable_from_marker() {
+        let g = GlobalTxnId::new(123_456);
+        assert_eq!(forward_marker(g).raw() & MAX_USER_OBJECT, g.raw());
+    }
+}

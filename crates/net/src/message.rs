@@ -1,0 +1,224 @@
+//! Protocol messages.
+//!
+//! The names follow the paper's figures: `prepare`, `ready`/`abort` (here a
+//! [`Payload::Vote`]), `commit`/`abort` (a [`Payload::Decision`]), `undo`
+//! and `finished`. Two additions are implied but not drawn in the figures:
+//! `Submit` ships the decomposed local transaction's operations to a site
+//! (§2's decomposition step), and `Redo` retransmits them when a
+//! commit-after repetition is needed after a site crash (§3.2's redo-log
+//! kept "as a part of the global transaction manager").
+
+use amc_types::{GlobalTxnId, GlobalVerdict, LocalVote, Operation, SiteId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a message says.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Payload {
+    /// Central → local: execute these operations as one local transaction.
+    /// `mode` is implied by the protocol the federation runs.
+    Submit {
+        /// Global transaction.
+        gtx: GlobalTxnId,
+        /// The decomposed local program.
+        ops: Vec<Operation>,
+    },
+    /// Central → local: the `prepare` inquiry of Figs. 2/4/6.
+    Prepare {
+        /// Global transaction.
+        gtx: GlobalTxnId,
+    },
+    /// Local → central: `ready` or `abort` (the paper's vote messages).
+    Vote {
+        /// Global transaction.
+        gtx: GlobalTxnId,
+        /// Ready (can follow the decision) or aborted.
+        vote: LocalVote,
+    },
+    /// Central → local: the global decision (`commit` / `abort`).
+    Decision {
+        /// Global transaction.
+        gtx: GlobalTxnId,
+        /// The verdict.
+        verdict: GlobalVerdict,
+    },
+    /// Central → local (commit-after only): repeat the local transaction —
+    /// carries the operations so a crashed site needs no local state.
+    Redo {
+        /// Global transaction.
+        gtx: GlobalTxnId,
+        /// Operations to re-execute.
+        ops: Vec<Operation>,
+    },
+    /// Central → local (commit-before only): undo the locally committed
+    /// transaction by executing its inverse (§3.3).
+    Undo {
+        /// Global transaction.
+        gtx: GlobalTxnId,
+        /// The inverse operations, from the central undo-log.
+        inverse_ops: Vec<Operation>,
+    },
+    /// Local → central: decision fully applied at this site.
+    Finished {
+        /// Global transaction.
+        gtx: GlobalTxnId,
+    },
+}
+
+impl Payload {
+    /// The global transaction this message belongs to.
+    pub fn gtx(&self) -> GlobalTxnId {
+        match self {
+            Payload::Submit { gtx, .. }
+            | Payload::Prepare { gtx }
+            | Payload::Vote { gtx, .. }
+            | Payload::Decision { gtx, .. }
+            | Payload::Redo { gtx, .. }
+            | Payload::Undo { gtx, .. }
+            | Payload::Finished { gtx } => *gtx,
+        }
+    }
+
+    /// Short label for traces and E4 counters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Payload::Submit { .. } => "submit",
+            Payload::Prepare { .. } => "prepare",
+            Payload::Vote {
+                vote: LocalVote::Ready,
+                ..
+            } => "ready",
+            Payload::Vote {
+                vote: LocalVote::ReadyReadOnly,
+                ..
+            } => "ready-ro",
+            Payload::Vote {
+                vote: LocalVote::Aborted,
+                ..
+            } => "abort-vote",
+            Payload::Decision {
+                verdict: GlobalVerdict::Commit,
+                ..
+            } => "commit",
+            Payload::Decision {
+                verdict: GlobalVerdict::Abort,
+                ..
+            } => "abort",
+            Payload::Redo { .. } => "redo",
+            Payload::Undo { .. } => "undo",
+            Payload::Finished { .. } => "finished",
+        }
+    }
+}
+
+impl fmt::Display for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.label(), self.gtx())
+    }
+}
+
+/// A routed message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Sender site.
+    pub from: SiteId,
+    /// Destination site.
+    pub to: SiteId,
+    /// Content.
+    pub payload: Payload,
+}
+
+impl Envelope {
+    /// Construct.
+    pub fn new(from: SiteId, to: SiteId, payload: Payload) -> Self {
+        Envelope { from, to, payload }
+    }
+
+    /// The Fig. 1 invariant: every message involves the central system.
+    pub fn respects_star_topology(&self) -> bool {
+        (self.from.is_central() || self.to.is_central()) && self.from != self.to
+    }
+}
+
+impl fmt::Display for Envelope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}: {}", self.from, self.to, self.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gtx(n: u64) -> GlobalTxnId {
+        GlobalTxnId::new(n)
+    }
+
+    #[test]
+    fn labels_match_paper_vocabulary() {
+        assert_eq!(Payload::Prepare { gtx: gtx(1) }.label(), "prepare");
+        assert_eq!(
+            Payload::Vote {
+                gtx: gtx(1),
+                vote: LocalVote::Ready
+            }
+            .label(),
+            "ready"
+        );
+        assert_eq!(
+            Payload::Decision {
+                gtx: gtx(1),
+                verdict: GlobalVerdict::Commit
+            }
+            .label(),
+            "commit"
+        );
+        assert_eq!(Payload::Finished { gtx: gtx(1) }.label(), "finished");
+        assert_eq!(
+            Payload::Undo {
+                gtx: gtx(1),
+                inverse_ops: vec![]
+            }
+            .label(),
+            "undo"
+        );
+    }
+
+    #[test]
+    fn star_topology_invariant() {
+        let c = SiteId::CENTRAL;
+        let a = SiteId::new(1);
+        let b = SiteId::new(2);
+        let p = Payload::Prepare { gtx: gtx(1) };
+        assert!(Envelope::new(c, a, p.clone()).respects_star_topology());
+        assert!(Envelope::new(a, c, p.clone()).respects_star_topology());
+        assert!(!Envelope::new(a, b, p.clone()).respects_star_topology());
+        assert!(!Envelope::new(c, c, p).respects_star_topology());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Envelope::new(
+            SiteId::CENTRAL,
+            SiteId::new(2),
+            Payload::Prepare { gtx: gtx(7) },
+        );
+        assert_eq!(e.to_string(), "site-0 -> site-2: prepare(G7)");
+    }
+
+    #[test]
+    fn gtx_accessor_covers_all_variants() {
+        let variants = vec![
+            Payload::Submit { gtx: gtx(3), ops: vec![] },
+            Payload::Prepare { gtx: gtx(3) },
+            Payload::Vote { gtx: gtx(3), vote: LocalVote::Aborted },
+            Payload::Decision { gtx: gtx(3), verdict: GlobalVerdict::Abort },
+            Payload::Redo { gtx: gtx(3), ops: vec![] },
+            Payload::Undo { gtx: gtx(3), inverse_ops: vec![] },
+            Payload::Finished { gtx: gtx(3) },
+        ];
+        for p in variants {
+            assert_eq!(p.gtx(), gtx(3));
+        }
+    }
+}

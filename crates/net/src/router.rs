@@ -1,0 +1,229 @@
+//! The deterministic simulated network.
+//!
+//! The router owns no event queue: the simulation driver asks it to *admit*
+//! a message and gets back either `Deliver(after)` — schedule delivery
+//! `after` later — or `Dropped` (destination down, or loss injected). This
+//! keeps the router reusable: the DES driver schedules real events, unit
+//! tests just inspect decisions.
+//!
+//! Invariants enforced here:
+//! * star topology (Fig. 1) — non-central ↔ non-central traffic is a bug,
+//!   not a droppable condition;
+//! * messages *to* a down site vanish (its communication manager is dead);
+//! * messages *from* a down site cannot be sent (the driver shouldn't ask,
+//!   but a defensive drop keeps crash races honest).
+
+use crate::message::Envelope;
+use amc_sim::{LatencyModel, SimRng};
+use amc_types::{SimDuration, SiteId};
+use std::collections::HashSet;
+
+/// Router behaviour knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Latency applied to every delivered message.
+    pub latency: LatencyModel,
+    /// Independent loss probability per message.
+    pub loss_probability: f64,
+    /// Probability a delivered message is *duplicated* (at-least-once
+    /// delivery — retransmitting transports do this; the protocols must
+    /// tolerate it, which is what the markers and tombstones are for).
+    pub duplicate_probability: f64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            latency: LatencyModel::Fixed(SimDuration::from_micros(500)),
+            loss_probability: 0.0,
+            duplicate_probability: 0.0,
+        }
+    }
+}
+
+/// The router's verdict on one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routing {
+    /// Deliver after this delay.
+    Deliver(SimDuration),
+    /// Deliver twice, after each delay (duplication injected).
+    DeliverTwice(SimDuration, SimDuration),
+    /// Silently dropped (loss or down destination).
+    Dropped,
+}
+
+/// Deterministic star network.
+#[derive(Debug)]
+pub struct Router {
+    cfg: RouterConfig,
+    rng: SimRng,
+    down: HashSet<SiteId>,
+    sent: u64,
+    dropped: u64,
+    duplicated: u64,
+}
+
+impl Router {
+    /// New router with its own RNG stream.
+    pub fn new(cfg: RouterConfig, rng: SimRng) -> Self {
+        Router {
+            cfg,
+            rng,
+            down: HashSet::new(),
+            sent: 0,
+            dropped: 0,
+            duplicated: 0,
+        }
+    }
+
+    /// Mark a site down (crash).
+    pub fn site_down(&mut self, site: SiteId) {
+        self.down.insert(site);
+    }
+
+    /// Mark a site up again (restart).
+    pub fn site_up(&mut self, site: SiteId) {
+        self.down.remove(&site);
+    }
+
+    /// Whether a site is currently down.
+    pub fn is_down(&self, site: SiteId) -> bool {
+        self.down.contains(&site)
+    }
+
+    /// Decide what happens to `env`.
+    ///
+    /// # Panics
+    /// On a star-topology violation — that is a protocol bug, never a
+    /// runtime condition.
+    pub fn route(&mut self, env: &Envelope) -> Routing {
+        assert!(
+            env.respects_star_topology(),
+            "star topology violated: {env}"
+        );
+        self.sent += 1;
+        if self.down.contains(&env.from) || self.down.contains(&env.to) {
+            self.dropped += 1;
+            return Routing::Dropped;
+        }
+        if self.cfg.loss_probability > 0.0 && self.rng.chance(self.cfg.loss_probability) {
+            self.dropped += 1;
+            return Routing::Dropped;
+        }
+        let first = self.cfg.latency.sample(&mut self.rng);
+        if self.cfg.duplicate_probability > 0.0 && self.rng.chance(self.cfg.duplicate_probability)
+        {
+            self.duplicated += 1;
+            let second = self.cfg.latency.sample(&mut self.rng);
+            return Routing::DeliverTwice(first, second);
+        }
+        Routing::Deliver(first)
+    }
+
+    /// `(sent, dropped)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.sent, self.dropped)
+    }
+
+    /// Messages delivered twice.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Payload;
+    use amc_types::GlobalTxnId;
+
+    fn env(from: u32, to: u32) -> Envelope {
+        Envelope::new(
+            SiteId::new(from),
+            SiteId::new(to),
+            Payload::Prepare {
+                gtx: GlobalTxnId::new(1),
+            },
+        )
+    }
+
+    #[test]
+    fn fixed_latency_delivery() {
+        let mut r = Router::new(RouterConfig::default(), SimRng::new(1));
+        assert_eq!(
+            r.route(&env(0, 1)),
+            Routing::Deliver(SimDuration::from_micros(500))
+        );
+        assert_eq!(r.stats(), (1, 0));
+    }
+
+    #[test]
+    fn down_destination_drops() {
+        let mut r = Router::new(RouterConfig::default(), SimRng::new(1));
+        r.site_down(SiteId::new(1));
+        assert_eq!(r.route(&env(0, 1)), Routing::Dropped);
+        assert!(r.is_down(SiteId::new(1)));
+        r.site_up(SiteId::new(1));
+        assert!(matches!(r.route(&env(0, 1)), Routing::Deliver(_)));
+        assert_eq!(r.stats(), (2, 1));
+    }
+
+    #[test]
+    fn down_sender_drops() {
+        let mut r = Router::new(RouterConfig::default(), SimRng::new(1));
+        r.site_down(SiteId::new(1));
+        assert_eq!(r.route(&env(1, 0)), Routing::Dropped);
+    }
+
+    #[test]
+    #[should_panic(expected = "star topology")]
+    fn local_to_local_panics() {
+        let mut r = Router::new(RouterConfig::default(), SimRng::new(1));
+        r.route(&env(1, 2));
+    }
+
+    #[test]
+    fn loss_probability_drops_some() {
+        let mut r = Router::new(
+            RouterConfig {
+                loss_probability: 0.5,
+                ..RouterConfig::default()
+            },
+            SimRng::new(7),
+        );
+        let mut delivered = 0;
+        for _ in 0..200 {
+            if matches!(r.route(&env(0, 1)), Routing::Deliver(_)) {
+                delivered += 1;
+            }
+        }
+        assert!((50..150).contains(&delivered), "delivered {delivered}");
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let mut r = Router::new(
+            RouterConfig {
+                duplicate_probability: 1.0,
+                ..RouterConfig::default()
+            },
+            SimRng::new(3),
+        );
+        assert!(matches!(r.route(&env(0, 1)), Routing::DeliverTwice(_, _)));
+        assert_eq!(r.duplicated(), 1);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let cfg = RouterConfig {
+            loss_probability: 0.3,
+            latency: LatencyModel::Uniform(SimDuration(100), SimDuration(900)),
+            duplicate_probability: 0.2,
+        };
+        let mut a = Router::new(cfg.clone(), SimRng::new(5));
+        let mut b = Router::new(cfg, SimRng::new(5));
+        for _ in 0..100 {
+            assert_eq!(a.route(&env(0, 1)), b.route(&env(0, 1)));
+        }
+    }
+}

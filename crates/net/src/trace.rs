@@ -1,0 +1,159 @@
+//! Message tracing.
+//!
+//! Every experiment records its protocol traffic here. Two consumers:
+//! golden-trace tests (reproducing the message sequences of Figs. 2/4/6)
+//! and experiment E4 (message counts per protocol per transaction).
+
+use crate::message::Envelope;
+use amc_types::{GlobalTxnId, SimTime};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One recorded message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Virtual send time (SimTime::ZERO under the threaded driver).
+    pub at: SimTime,
+    /// The message.
+    pub envelope: Envelope,
+}
+
+/// An append-only message trace.
+#[derive(Debug, Clone, Default)]
+pub struct MessageTrace {
+    entries: Vec<TraceEntry>,
+}
+
+impl MessageTrace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a message.
+    pub fn record(&mut self, at: SimTime, envelope: Envelope) {
+        self.entries.push(TraceEntry { at, envelope });
+    }
+
+    /// All entries in record order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Total messages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Messages belonging to one global transaction, as `label@from->to`
+    /// strings — the golden-trace format.
+    pub fn labels_for(&self, gtx: GlobalTxnId) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|e| e.envelope.payload.gtx() == gtx)
+            .map(|e| {
+                format!(
+                    "{}:{}->{}",
+                    e.envelope.payload.label(),
+                    e.envelope.from.raw(),
+                    e.envelope.to.raw()
+                )
+            })
+            .collect()
+    }
+
+    /// Message counts per payload label (E4).
+    pub fn counts_by_label(&self) -> BTreeMap<&'static str, u64> {
+        let mut out = BTreeMap::new();
+        for e in &self.entries {
+            *out.entry(e.envelope.payload.label()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Messages per global transaction (E4 normalisation).
+    pub fn counts_by_gtx(&self) -> BTreeMap<GlobalTxnId, u64> {
+        let mut out = BTreeMap::new();
+        for e in &self.entries {
+            *out.entry(e.envelope.payload.gtx()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Render a human-readable transcript (used in example output and
+    /// docs).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for e in &self.entries {
+            let _ = writeln!(s, "[{}] {}", e.at, e.envelope);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Payload;
+    use amc_types::{LocalVote, SiteId};
+
+    fn gtx(n: u64) -> GlobalTxnId {
+        GlobalTxnId::new(n)
+    }
+
+    fn sample() -> MessageTrace {
+        let mut t = MessageTrace::new();
+        t.record(
+            SimTime(1),
+            Envelope::new(SiteId::CENTRAL, SiteId::new(1), Payload::Prepare { gtx: gtx(1) }),
+        );
+        t.record(
+            SimTime(2),
+            Envelope::new(
+                SiteId::new(1),
+                SiteId::CENTRAL,
+                Payload::Vote {
+                    gtx: gtx(1),
+                    vote: LocalVote::Ready,
+                },
+            ),
+        );
+        t.record(
+            SimTime(3),
+            Envelope::new(SiteId::CENTRAL, SiteId::new(2), Payload::Prepare { gtx: gtx(2) }),
+        );
+        t
+    }
+
+    #[test]
+    fn labels_filter_by_gtx() {
+        let t = sample();
+        assert_eq!(t.labels_for(gtx(1)), vec!["prepare:0->1", "ready:1->0"]);
+        assert_eq!(t.labels_for(gtx(2)), vec!["prepare:0->2"]);
+        assert!(t.labels_for(gtx(9)).is_empty());
+    }
+
+    #[test]
+    fn counts_by_label_and_gtx() {
+        let t = sample();
+        let by_label = t.counts_by_label();
+        assert_eq!(by_label.get("prepare"), Some(&2));
+        assert_eq!(by_label.get("ready"), Some(&1));
+        let by_gtx = t.counts_by_gtx();
+        assert_eq!(by_gtx.get(&gtx(1)), Some(&2));
+        assert_eq!(by_gtx.get(&gtx(2)), Some(&1));
+    }
+
+    #[test]
+    fn render_is_line_per_message() {
+        let t = sample();
+        let text = t.render();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("site-0 -> site-1: prepare(G1)"));
+    }
+}

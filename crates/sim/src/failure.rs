@@ -1,0 +1,148 @@
+//! Failure schedules for experiment E5 (blocking under crashes).
+//!
+//! A [`FailurePlan`] is a declarative list of site crash/restart events in
+//! virtual time. The simulation driver merges the plan into its event queue
+//! at start-up; during the run a crashed site drops inbound messages and
+//! its engine loses volatile state (buffer pool, log tail) exactly as the
+//! storage substrate models it.
+
+use amc_types::{SimDuration, SimTime, SiteId};
+
+/// What happens to a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The site fails: volatile state lost, messages dropped until restart.
+    Crash,
+    /// The site restarts: local restart recovery runs, then it answers
+    /// again.
+    Restart,
+}
+
+/// One scheduled failure event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureEvent {
+    /// When it happens.
+    pub at: SimTime,
+    /// Which site.
+    pub site: SiteId,
+    /// Crash or restart.
+    pub kind: FailureKind,
+}
+
+/// An ordered schedule of failure events.
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    events: Vec<FailureEvent>,
+}
+
+impl FailurePlan {
+    /// No failures.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Add a crash at `at`.
+    pub fn crash(mut self, site: SiteId, at: SimTime) -> Self {
+        self.events.push(FailureEvent {
+            at,
+            site,
+            kind: FailureKind::Crash,
+        });
+        self
+    }
+
+    /// Add a restart at `at`.
+    pub fn restart(mut self, site: SiteId, at: SimTime) -> Self {
+        self.events.push(FailureEvent {
+            at,
+            site,
+            kind: FailureKind::Restart,
+        });
+        self
+    }
+
+    /// Add a crash at `at` followed by a restart `outage` later.
+    pub fn outage(self, site: SiteId, at: SimTime, outage: SimDuration) -> Self {
+        self.crash(site, at).restart(site, at + outage)
+    }
+
+    /// The events in time order (stable for equal timestamps).
+    pub fn events(&self) -> Vec<FailureEvent> {
+        let mut e = self.events.clone();
+        e.sort_by_key(|ev| ev.at);
+        e
+    }
+
+    /// True when the plan contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Validate: every crash/restart pair for a site alternates, starting
+    /// with a crash. Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        let mut down: HashMap<SiteId, bool> = HashMap::new();
+        for ev in self.events() {
+            let is_down = down.entry(ev.site).or_insert(false);
+            match ev.kind {
+                FailureKind::Crash if *is_down => {
+                    return Err(format!("{} crashes at {} while already down", ev.site, ev.at))
+                }
+                FailureKind::Restart if !*is_down => {
+                    return Err(format!("{} restarts at {} while up", ev.site, ev.at))
+                }
+                FailureKind::Crash => *is_down = true,
+                FailureKind::Restart => *is_down = false,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outage_builds_crash_then_restart() {
+        let plan = FailurePlan::none().outage(SiteId::new(2), SimTime(100), SimDuration(50));
+        let events = plan.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, FailureKind::Crash);
+        assert_eq!(events[0].at, SimTime(100));
+        assert_eq!(events[1].kind, FailureKind::Restart);
+        assert_eq!(events[1].at, SimTime(150));
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn events_are_time_sorted() {
+        let plan = FailurePlan::none()
+            .crash(SiteId::new(1), SimTime(200))
+            .crash(SiteId::new(2), SimTime(100));
+        let events = plan.events();
+        assert_eq!(events[0].site, SiteId::new(2));
+        assert_eq!(events[1].site, SiteId::new(1));
+    }
+
+    #[test]
+    fn validation_rejects_double_crash() {
+        let plan = FailurePlan::none()
+            .crash(SiteId::new(1), SimTime(10))
+            .crash(SiteId::new(1), SimTime(20));
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_restart_while_up() {
+        let plan = FailurePlan::none().restart(SiteId::new(1), SimTime(10));
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn empty_plan_is_valid() {
+        assert!(FailurePlan::none().is_empty());
+        FailurePlan::none().validate().unwrap();
+    }
+}

@@ -1,0 +1,28 @@
+//! # amc-sim
+//!
+//! A small deterministic discrete-event simulation kernel. The protocol
+//! experiments need three things a wall clock cannot give:
+//!
+//! 1. **Reproducible traces** — Figs. 2/4/6 are reproduced as golden
+//!    message/state traces; those must not depend on thread scheduling.
+//! 2. **Precise failure injection** — E5 crashes the coordinator *between*
+//!    two specific protocol messages; only a virtual clock can express that.
+//! 3. **Virtual-time metrics** — lock hold times and time-to-resolution in
+//!    logical microseconds, immune to host noise.
+//!
+//! The kernel is intentionally generic: [`EventQueue`] orders opaque events
+//! by `(time, sequence)`; the driver in `amc-core` owns the world state and
+//! the event enum. [`SimRng`] wraps a seeded PRNG with the distributions the
+//! workloads need, and [`FailurePlan`] describes site crash/restart
+//! schedules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod failure;
+pub mod queue;
+pub mod rng;
+
+pub use failure::{FailureEvent, FailureKind, FailurePlan};
+pub use queue::EventQueue;
+pub use rng::{LatencyModel, SimRng};

@@ -1,0 +1,325 @@
+//! Buffer pool with clock (second-chance) eviction.
+//!
+//! The pool caches page frames between operations. It is **volatile**:
+//! [`BufferPool::crash`] discards every frame, including dirty ones — the
+//! WAL (in `amc-wal`) is what makes committed work survive. The engine
+//! layer decides when to flush (force at local commit for the 2PC/ready
+//! path; redo-from-log otherwise).
+//!
+//! Access is scoped: [`BufferPool::with_page`] pins a frame for the duration
+//! of a closure, so eviction can never pull a page out from under an
+//! in-flight operation.
+
+use crate::disk::StableStorage;
+use crate::page::Page;
+use amc_types::{AmcError, AmcResult, PageId};
+use std::collections::HashMap;
+
+/// Hit/miss/eviction accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Requests served from a resident frame.
+    pub hits: u64,
+    /// Requests that had to read from stable storage.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty frames written back during eviction or flush.
+    pub writebacks: u64,
+}
+
+#[derive(Debug)]
+struct Frame {
+    page: Page,
+    dirty: bool,
+    pinned: bool,
+    referenced: bool,
+}
+
+/// A fixed-capacity buffer pool over one [`StableStorage`].
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    frames: HashMap<PageId, Frame>,
+    /// Clock order: rotated vector of resident page ids.
+    clock: Vec<PageId>,
+    hand: usize,
+    stats: BufferStats,
+}
+
+impl BufferPool {
+    /// A pool holding at most `capacity` frames (must be ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "buffer pool needs at least one frame");
+        BufferPool {
+            capacity,
+            frames: HashMap::with_capacity(capacity),
+            clock: Vec::with_capacity(capacity),
+            hand: 0,
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Number of resident frames.
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Reset accounting (between benchmark phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = BufferStats::default();
+    }
+
+    /// Run `f` with mutable access to the page, faulting it in from `disk`
+    /// if necessary (or initializing a fresh page when the slot was never
+    /// written). The frame is pinned for the duration of `f`.
+    ///
+    /// `mark_dirty` must be true when `f` may modify the page.
+    pub fn with_page<R>(
+        &mut self,
+        id: PageId,
+        disk: &mut StableStorage,
+        mark_dirty: bool,
+        f: impl FnOnce(&mut Page) -> R,
+    ) -> AmcResult<R> {
+        self.fault_in(id, disk)?;
+        let frame = self.frames.get_mut(&id).expect("just faulted in");
+        frame.pinned = true;
+        frame.referenced = true;
+        if mark_dirty {
+            frame.dirty = true;
+        }
+        let out = f(&mut frame.page);
+        let frame = self.frames.get_mut(&id).expect("still resident");
+        frame.pinned = false;
+        Ok(out)
+    }
+
+    fn fault_in(&mut self, id: PageId, disk: &mut StableStorage) -> AmcResult<()> {
+        if self.frames.contains_key(&id) {
+            self.stats.hits += 1;
+            return Ok(());
+        }
+        self.stats.misses += 1;
+        if self.frames.len() >= self.capacity {
+            self.evict_one(disk)?;
+        }
+        let page = match disk.read_page(id)? {
+            Some(page) => page,
+            None => Page::new(id),
+        };
+        self.frames.insert(
+            id,
+            Frame {
+                page,
+                dirty: false,
+                pinned: false,
+                referenced: true,
+            },
+        );
+        self.clock.push(id);
+        Ok(())
+    }
+
+    /// Second-chance eviction: sweep the clock, clearing reference bits,
+    /// until an unpinned, unreferenced frame is found.
+    fn evict_one(&mut self, disk: &mut StableStorage) -> AmcResult<()> {
+        if self.clock.is_empty() {
+            return Err(AmcError::BufferExhausted);
+        }
+        // Two full sweeps guarantee progress unless everything is pinned.
+        for _ in 0..self.clock.len() * 2 {
+            let idx = self.hand % self.clock.len();
+            let id = self.clock[idx];
+            let frame = self.frames.get_mut(&id).expect("clock entry resident");
+            if frame.pinned {
+                self.hand += 1;
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                self.hand += 1;
+                continue;
+            }
+            if frame.dirty {
+                disk.write_page(&frame.page)?;
+                self.stats.writebacks += 1;
+            }
+            self.frames.remove(&id);
+            self.clock.remove(idx);
+            // Keep the hand where the removed slot was.
+            if !self.clock.is_empty() {
+                self.hand %= self.clock.len();
+            } else {
+                self.hand = 0;
+            }
+            self.stats.evictions += 1;
+            return Ok(());
+        }
+        Err(AmcError::BufferExhausted)
+    }
+
+    /// Write one dirty frame back (no-op if clean or absent).
+    pub fn flush_page(&mut self, id: PageId, disk: &mut StableStorage) -> AmcResult<()> {
+        if let Some(frame) = self.frames.get_mut(&id) {
+            if frame.dirty {
+                disk.write_page(&frame.page)?;
+                frame.dirty = false;
+                self.stats.writebacks += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Write every dirty frame back (checkpoint).
+    pub fn flush_all(&mut self, disk: &mut StableStorage) -> AmcResult<()> {
+        let ids: Vec<PageId> = self.frames.keys().copied().collect();
+        for id in ids {
+            self.flush_page(id, disk)?;
+        }
+        Ok(())
+    }
+
+    /// Crash: lose every frame, dirty or not. Stable storage is untouched.
+    pub fn crash(&mut self) {
+        self.frames.clear();
+        self.clock.clear();
+        self.hand = 0;
+    }
+
+    /// Test hook: whether a page is resident and dirty.
+    pub fn is_dirty(&self, id: PageId) -> bool {
+        self.frames.get(&id).is_some_and(|f| f.dirty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amc_types::{ObjectId, Value};
+
+    fn obj(n: u64) -> ObjectId {
+        ObjectId::new(n)
+    }
+    fn pid(n: u32) -> PageId {
+        PageId::new(n)
+    }
+
+    #[test]
+    fn read_through_and_hit() {
+        let mut disk = StableStorage::new(8);
+        let mut pool = BufferPool::new(4);
+        pool.with_page(pid(1), &mut disk, true, |p| {
+            p.upsert(obj(1), Value::counter(7)).unwrap();
+        })
+        .unwrap();
+        let v = pool
+            .with_page(pid(1), &mut disk, false, |p| p.get(obj(1)))
+            .unwrap();
+        assert_eq!(v, Some(Value::counter(7)));
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(pool.stats().misses, 1);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let mut disk = StableStorage::new(16);
+        let mut pool = BufferPool::new(2);
+        for i in 0..4u32 {
+            pool.with_page(pid(i), &mut disk, true, |p| {
+                p.upsert(obj(u64::from(i)), Value::counter(i64::from(i)))
+                    .unwrap();
+            })
+            .unwrap();
+        }
+        assert!(pool.resident() <= 2);
+        assert!(pool.stats().evictions >= 2);
+        // Evicted dirty pages must be durable.
+        let mut fresh = BufferPool::new(2);
+        let v = fresh
+            .with_page(pid(0), &mut disk, false, |p| p.get(obj(0)))
+            .unwrap();
+        assert_eq!(v, Some(Value::counter(0)));
+    }
+
+    #[test]
+    fn crash_loses_unflushed_updates() {
+        let mut disk = StableStorage::new(8);
+        let mut pool = BufferPool::new(4);
+        pool.with_page(pid(1), &mut disk, true, |p| {
+            p.upsert(obj(1), Value::counter(99)).unwrap();
+        })
+        .unwrap();
+        pool.crash();
+        let v = pool
+            .with_page(pid(1), &mut disk, false, |p| p.get(obj(1)))
+            .unwrap();
+        assert_eq!(v, None, "dirty frame must not survive a crash");
+    }
+
+    #[test]
+    fn flush_makes_updates_durable_across_crash() {
+        let mut disk = StableStorage::new(8);
+        let mut pool = BufferPool::new(4);
+        pool.with_page(pid(1), &mut disk, true, |p| {
+            p.upsert(obj(1), Value::counter(5)).unwrap();
+        })
+        .unwrap();
+        pool.flush_all(&mut disk).unwrap();
+        assert!(!pool.is_dirty(pid(1)));
+        pool.crash();
+        let v = pool
+            .with_page(pid(1), &mut disk, false, |p| p.get(obj(1)))
+            .unwrap();
+        assert_eq!(v, Some(Value::counter(5)));
+    }
+
+    #[test]
+    fn flush_page_is_selective() {
+        let mut disk = StableStorage::new(8);
+        let mut pool = BufferPool::new(4);
+        for i in 1..=2u32 {
+            pool.with_page(pid(i), &mut disk, true, |p| {
+                p.upsert(obj(u64::from(i)), Value::counter(1)).unwrap();
+            })
+            .unwrap();
+        }
+        pool.flush_page(pid(1), &mut disk).unwrap();
+        assert!(!pool.is_dirty(pid(1)));
+        assert!(pool.is_dirty(pid(2)));
+    }
+
+    #[test]
+    fn single_frame_pool_thrashes_but_works() {
+        let mut disk = StableStorage::new(64);
+        let mut pool = BufferPool::new(1);
+        for i in 0..10u32 {
+            pool.with_page(pid(i), &mut disk, true, |p| {
+                p.upsert(obj(u64::from(i)), Value::counter(i64::from(i)))
+                    .unwrap();
+            })
+            .unwrap();
+        }
+        for i in 0..10u32 {
+            let v = pool
+                .with_page(pid(i), &mut disk, false, |p| p.get(obj(u64::from(i))))
+                .unwrap();
+            assert_eq!(v, Some(Value::counter(i64::from(i))));
+        }
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut disk = StableStorage::new(8);
+        let mut pool = BufferPool::new(2);
+        pool.with_page(pid(1), &mut disk, false, |_| ()).unwrap();
+        assert_ne!(pool.stats(), BufferStats::default());
+        pool.reset_stats();
+        assert_eq!(pool.stats(), BufferStats::default());
+    }
+}

@@ -1,0 +1,92 @@
+//! FNV-1a checksums for page and log-record integrity.
+//!
+//! A cryptographic hash would be overkill: the threat model is torn or
+//! stale simulated I/O, not an adversary. FNV-1a is allocation-free,
+//! dependency-free and more than strong enough to catch the corruption the
+//! test suite injects.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Compute the 64-bit FNV-1a checksum of `data`.
+#[inline]
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &byte in data {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Incremental FNV-1a hasher for multi-part records.
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        Fnv1a { state: FNV_OFFSET }
+    }
+
+    /// Feed bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        for &byte in data {
+            self.state ^= u64::from(byte);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Final checksum.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let data = b"the quick brown fox".to_vec();
+        let base = fnv1a(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[i] ^= 1 << bit;
+                assert_ne!(fnv1a(&corrupted), base, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn incremental_matches_oneshot(chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..8)) {
+            let mut hasher = Fnv1a::new();
+            let mut all = Vec::new();
+            for chunk in &chunks {
+                hasher.update(chunk);
+                all.extend_from_slice(chunk);
+            }
+            prop_assert_eq!(hasher.finish(), fnv1a(&all));
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Simulated stable storage.
+//!
+//! A flat array of page images with **atomic page writes** (the classical
+//! stable-storage assumption the paper inherits from [Gra 78]): a write
+//! either fully replaces the page image or does not happen; there are no
+//! torn pages. Contents survive crashes — only the buffer pool is volatile.
+//!
+//! I/O is counted so experiment E4 can report physical writes per protocol.
+
+use crate::page::{Page, PAGE_SIZE};
+use amc_types::{AmcError, AmcResult, PageId};
+use bytes::Bytes;
+
+/// Cumulative I/O statistics for one simulated disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Page images read.
+    pub reads: u64,
+    /// Page images written.
+    pub writes: u64,
+}
+
+/// A simulated disk holding page images.
+#[derive(Debug, Clone)]
+pub struct StableStorage {
+    pages: Vec<Option<Bytes>>,
+    stats: DiskStats,
+}
+
+impl StableStorage {
+    /// A disk with room for `capacity` pages, all initially unallocated.
+    pub fn new(capacity: usize) -> Self {
+        StableStorage {
+            pages: vec![None; capacity],
+            stats: DiskStats::default(),
+        }
+    }
+
+    /// Number of page slots on the disk.
+    pub fn capacity(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Grow the disk if `page` lies beyond the current capacity.
+    fn ensure(&mut self, page: PageId) {
+        let idx = page.raw() as usize;
+        if idx >= self.pages.len() {
+            self.pages.resize(idx + 1, None);
+        }
+    }
+
+    /// Atomically write a page image.
+    pub fn write_page(&mut self, page: &Page) -> AmcResult<()> {
+        self.ensure(page.id());
+        let img = Bytes::copy_from_slice(&page.to_bytes());
+        self.pages[page.id().raw() as usize] = Some(img);
+        self.stats.writes += 1;
+        Ok(())
+    }
+
+    /// Read and verify a page image. `Ok(None)` when the slot was never
+    /// written (a fresh page the store will initialize).
+    pub fn read_page(&mut self, id: PageId) -> AmcResult<Option<Page>> {
+        let idx = id.raw() as usize;
+        let Some(Some(img)) = self.pages.get(idx) else {
+            return Ok(None);
+        };
+        self.stats.reads += 1;
+        if img.len() != PAGE_SIZE {
+            return Err(AmcError::Corruption(format!(
+                "stored image for {id} has {} bytes",
+                img.len()
+            )));
+        }
+        let page = Page::from_bytes(img)?;
+        if page.id() != id {
+            return Err(AmcError::Corruption(format!(
+                "slot {id} holds page {}",
+                page.id()
+            )));
+        }
+        Ok(Some(page))
+    }
+
+    /// True when the slot holds a page image.
+    pub fn is_allocated(&self, id: PageId) -> bool {
+        self.pages
+            .get(id.raw() as usize)
+            .is_some_and(Option::is_some)
+    }
+
+    /// I/O counters so far.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// Reset the I/O counters (e.g. between benchmark phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = DiskStats::default();
+    }
+
+    /// Test hook: corrupt one byte of a stored image to exercise checksum
+    /// verification.
+    pub fn corrupt_page(&mut self, id: PageId, byte_offset: usize) {
+        if let Some(Some(img)) = self.pages.get_mut(id.raw() as usize) {
+            let mut raw = img.to_vec();
+            if byte_offset < raw.len() {
+                raw[byte_offset] ^= 0xff;
+                *img = Bytes::from(raw);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amc_types::{ObjectId, Value};
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut disk = StableStorage::new(4);
+        let mut p = Page::new(PageId::new(2));
+        p.upsert(ObjectId::new(9), Value::counter(5)).unwrap();
+        disk.write_page(&p).unwrap();
+        let back = disk.read_page(PageId::new(2)).unwrap().unwrap();
+        assert_eq!(back, p);
+        assert_eq!(disk.stats(), DiskStats { reads: 1, writes: 1 });
+    }
+
+    #[test]
+    fn unallocated_reads_are_none() {
+        let mut disk = StableStorage::new(4);
+        assert!(disk.read_page(PageId::new(1)).unwrap().is_none());
+        assert!(disk.read_page(PageId::new(100)).unwrap().is_none());
+        assert!(!disk.is_allocated(PageId::new(1)));
+    }
+
+    #[test]
+    fn disk_grows_on_demand() {
+        let mut disk = StableStorage::new(1);
+        let p = Page::new(PageId::new(10));
+        disk.write_page(&p).unwrap();
+        assert!(disk.capacity() >= 11);
+        assert!(disk.is_allocated(PageId::new(10)));
+    }
+
+    #[test]
+    fn overwrite_replaces_atomically() {
+        let mut disk = StableStorage::new(2);
+        let mut p = Page::new(PageId::new(1));
+        p.upsert(ObjectId::new(1), Value::counter(1)).unwrap();
+        disk.write_page(&p).unwrap();
+        p.upsert(ObjectId::new(1), Value::counter(2)).unwrap();
+        disk.write_page(&p).unwrap();
+        let back = disk.read_page(PageId::new(1)).unwrap().unwrap();
+        assert_eq!(back.get(ObjectId::new(1)), Some(Value::counter(2)));
+    }
+
+    #[test]
+    fn corruption_surfaces_as_error() {
+        let mut disk = StableStorage::new(2);
+        disk.write_page(&Page::new(PageId::new(1))).unwrap();
+        disk.corrupt_page(PageId::new(1), 200);
+        assert!(matches!(
+            disk.read_page(PageId::new(1)),
+            Err(AmcError::Corruption(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_slot_detected() {
+        // Write page 3's image, then move it into slot 1 by hand.
+        let mut disk = StableStorage::new(4);
+        let p = Page::new(PageId::new(3));
+        disk.write_page(&p).unwrap();
+        let img = disk.pages[3].clone();
+        disk.pages[1] = img;
+        assert!(matches!(
+            disk.read_page(PageId::new(1)),
+            Err(AmcError::Corruption(_))
+        ));
+    }
+}

@@ -1,0 +1,283 @@
+//! Fixed-size slotted pages.
+//!
+//! A page stores up to [`Page::CAPACITY`] `(ObjectId, Value)` entries plus a
+//! link to an optional overflow page (used by [`crate::store::PageStore`]'s
+//! hash-partitioned layout). The on-disk format is:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  (b"AMCP")
+//! 4       4     page id
+//! 8       4     overflow link (u32::MAX = none)
+//! 12      2     entry count
+//! 14      2     padding (zero)
+//! 16      8     FNV-1a checksum over bytes [24, PAGE_SIZE)
+//! 24      ...   entries: obj id (8) + value (12), packed
+//! ```
+
+use crate::checksum::fnv1a;
+use amc_types::{AmcError, AmcResult, ObjectId, PageId, Value};
+
+/// On-disk page size in bytes.
+pub const PAGE_SIZE: usize = 4096;
+/// Size of the fixed header.
+pub const HEADER_SIZE: usize = 24;
+/// Size of one packed entry.
+pub const ENTRY_SIZE: usize = 8 + 12;
+
+const MAGIC: [u8; 4] = *b"AMCP";
+const NO_OVERFLOW: u32 = u32::MAX;
+
+/// An in-memory slotted page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page {
+    id: PageId,
+    overflow: Option<PageId>,
+    entries: Vec<(ObjectId, Value)>,
+}
+
+impl Page {
+    /// Maximum number of entries a page can hold.
+    pub const CAPACITY: usize = (PAGE_SIZE - HEADER_SIZE) / ENTRY_SIZE;
+
+    /// A fresh, empty page.
+    pub fn new(id: PageId) -> Self {
+        Page {
+            id,
+            overflow: None,
+            entries: Vec::new(),
+        }
+    }
+
+    /// This page's id.
+    #[inline]
+    pub fn id(&self) -> PageId {
+        self.id
+    }
+
+    /// The overflow page chained after this one, if any.
+    #[inline]
+    pub fn overflow(&self) -> Option<PageId> {
+        self.overflow
+    }
+
+    /// Set or clear the overflow link.
+    pub fn set_overflow(&mut self, next: Option<PageId>) {
+        self.overflow = next;
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when no further entry fits.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= Self::CAPACITY
+    }
+
+    /// Look up an object's value on this page (linear scan; pages are small
+    /// and hot pages live in the buffer pool).
+    pub fn get(&self, obj: ObjectId) -> Option<Value> {
+        self.entries.iter().find(|(o, _)| *o == obj).map(|(_, v)| *v)
+    }
+
+    /// Insert or overwrite an entry. Returns the previous value, or an error
+    /// if the page is full and the object is not already present.
+    pub fn upsert(&mut self, obj: ObjectId, value: Value) -> AmcResult<Option<Value>> {
+        if let Some(slot) = self.entries.iter_mut().find(|(o, _)| *o == obj) {
+            let old = slot.1;
+            slot.1 = value;
+            return Ok(Some(old));
+        }
+        if self.is_full() {
+            return Err(AmcError::InvalidState(format!(
+                "page {} full ({} entries)",
+                self.id,
+                self.entries.len()
+            )));
+        }
+        self.entries.push((obj, value));
+        Ok(None)
+    }
+
+    /// Remove an entry, returning its value if present.
+    pub fn remove(&mut self, obj: ObjectId) -> Option<Value> {
+        let pos = self.entries.iter().position(|(o, _)| *o == obj)?;
+        Some(self.entries.swap_remove(pos).1)
+    }
+
+    /// Iterate over live entries.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, Value)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Serialize to the on-disk format, computing the checksum.
+    pub fn to_bytes(&self) -> [u8; PAGE_SIZE] {
+        let mut buf = [0u8; PAGE_SIZE];
+        buf[0..4].copy_from_slice(&MAGIC);
+        buf[4..8].copy_from_slice(&self.id.raw().to_le_bytes());
+        let link = self.overflow.map_or(NO_OVERFLOW, PageId::raw);
+        buf[8..12].copy_from_slice(&link.to_le_bytes());
+        buf[12..14].copy_from_slice(&(self.entries.len() as u16).to_le_bytes());
+        let mut off = HEADER_SIZE;
+        for (obj, value) in &self.entries {
+            buf[off..off + 8].copy_from_slice(&obj.raw().to_le_bytes());
+            buf[off + 8..off + 20].copy_from_slice(&value.to_bytes());
+            off += ENTRY_SIZE;
+        }
+        let sum = fnv1a(&buf[HEADER_SIZE..]);
+        buf[16..24].copy_from_slice(&sum.to_le_bytes());
+        buf
+    }
+
+    /// Deserialize from the on-disk format, verifying magic and checksum.
+    pub fn from_bytes(bytes: &[u8]) -> AmcResult<Self> {
+        if bytes.len() != PAGE_SIZE {
+            return Err(AmcError::Corruption(format!(
+                "page image is {} bytes, expected {PAGE_SIZE}",
+                bytes.len()
+            )));
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(AmcError::Corruption("bad page magic".into()));
+        }
+        let stored_sum = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+        let actual_sum = fnv1a(&bytes[HEADER_SIZE..]);
+        if stored_sum != actual_sum {
+            return Err(AmcError::Corruption(format!(
+                "checksum mismatch: stored {stored_sum:#x}, computed {actual_sum:#x}"
+            )));
+        }
+        let id = PageId::new(u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")));
+        let link = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        let overflow = (link != NO_OVERFLOW).then(|| PageId::new(link));
+        let count = u16::from_le_bytes(bytes[12..14].try_into().expect("2 bytes")) as usize;
+        if count > Self::CAPACITY {
+            return Err(AmcError::Corruption(format!(
+                "entry count {count} exceeds capacity {}",
+                Self::CAPACITY
+            )));
+        }
+        let mut entries = Vec::with_capacity(count);
+        let mut off = HEADER_SIZE;
+        for _ in 0..count {
+            let obj = ObjectId::new(u64::from_le_bytes(
+                bytes[off..off + 8].try_into().expect("8 bytes"),
+            ));
+            let value =
+                Value::from_bytes(bytes[off + 8..off + 20].try_into().expect("12 bytes"));
+            entries.push((obj, value));
+            off += ENTRY_SIZE;
+        }
+        Ok(Page {
+            id,
+            overflow,
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn obj(n: u64) -> ObjectId {
+        ObjectId::new(n)
+    }
+
+    #[test]
+    fn capacity_is_sane() {
+        assert_eq!(Page::CAPACITY, (4096 - 24) / 20);
+        assert!(Page::CAPACITY > 100);
+    }
+
+    #[test]
+    fn upsert_get_remove() {
+        let mut p = Page::new(PageId::new(1));
+        assert_eq!(p.upsert(obj(1), Value::counter(10)).unwrap(), None);
+        assert_eq!(
+            p.upsert(obj(1), Value::counter(20)).unwrap(),
+            Some(Value::counter(10))
+        );
+        assert_eq!(p.get(obj(1)), Some(Value::counter(20)));
+        assert_eq!(p.remove(obj(1)), Some(Value::counter(20)));
+        assert_eq!(p.get(obj(1)), None);
+        assert_eq!(p.remove(obj(1)), None);
+    }
+
+    #[test]
+    fn full_page_rejects_new_but_accepts_overwrite() {
+        let mut p = Page::new(PageId::new(1));
+        for i in 0..Page::CAPACITY {
+            p.upsert(obj(i as u64), Value::counter(i as i64)).unwrap();
+        }
+        assert!(p.is_full());
+        assert!(p.upsert(obj(999_999), Value::ZERO).is_err());
+        // Overwriting an existing entry still works.
+        assert!(p.upsert(obj(0), Value::counter(-1)).is_ok());
+    }
+
+    #[test]
+    fn byte_roundtrip_with_overflow_link() {
+        let mut p = Page::new(PageId::new(7));
+        p.set_overflow(Some(PageId::new(42)));
+        p.upsert(obj(5), Value::tagged(3, 9)).unwrap();
+        let back = Page::from_bytes(&p.to_bytes()).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.overflow(), Some(PageId::new(42)));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let p = Page::new(PageId::new(1));
+        let mut img = p.to_bytes();
+        img[100] ^= 0xff;
+        assert!(matches!(
+            Page::from_bytes(&img),
+            Err(AmcError::Corruption(_))
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let p = Page::new(PageId::new(1));
+        let mut img = p.to_bytes();
+        img[0] = b'X';
+        assert!(matches!(
+            Page::from_bytes(&img),
+            Err(AmcError::Corruption(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_length_is_detected() {
+        assert!(Page::from_bytes(&[0u8; 100]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random_pages(
+            id in any::<u32>(),
+            overflow in proptest::option::of(any::<u32>().prop_map(|v| v % (u32::MAX - 1))),
+            keys in proptest::collection::btree_set(any::<u64>(), 0..Page::CAPACITY),
+        ) {
+            let mut p = Page::new(PageId::new(id));
+            p.set_overflow(overflow.map(PageId::new));
+            for (i, k) in keys.iter().enumerate() {
+                p.upsert(ObjectId::new(*k), Value::tagged(i as i64, i as u32)).unwrap();
+            }
+            let back = Page::from_bytes(&p.to_bytes()).unwrap();
+            prop_assert_eq!(back, p);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Transaction state enums shared between the protocol state machines and
+//! the trace/verification tooling.
+//!
+//! These mirror the state diagrams of Figs. 2, 4 and 6 in the paper. The
+//! actual transition logic lives in `amc-core`; keeping the state names here
+//! lets `amc-verify` and the golden-trace tests speak the same language
+//! without depending on the protocol implementations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which commit protocol a federation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// Classic two-phase commit — requires *modified* local transaction
+    /// managers exposing a ready state (§3.1). Baseline.
+    TwoPhaseCommit,
+    /// Local commitment **after** the global decision (§3.2): redo-log +
+    /// additional global concurrency control.
+    CommitAfter,
+    /// Local commitment **before** the global decision (§3.3): undo via
+    /// inverse transactions; pairs with multi-level transactions (§4).
+    CommitBefore,
+}
+
+impl ProtocolKind {
+    /// All protocols, in paper order. Handy for sweeps.
+    pub const ALL: [ProtocolKind; 3] = [
+        ProtocolKind::TwoPhaseCommit,
+        ProtocolKind::CommitAfter,
+        ProtocolKind::CommitBefore,
+    ];
+
+    /// Short label used in reports and bench ids.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProtocolKind::TwoPhaseCommit => "2pc",
+            ProtocolKind::CommitAfter => "commit-after",
+            ProtocolKind::CommitBefore => "commit-before",
+        }
+    }
+
+    /// Whether the protocol requires local engines to expose a ready state
+    /// (i.e. requires *modifying* existing transaction managers — the thing
+    /// the paper says is infeasible for integration).
+    pub fn requires_ready_state(&self) -> bool {
+        matches!(self, ProtocolKind::TwoPhaseCommit)
+    }
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Phase of a *global* transaction, superset of the global states in
+/// Figs. 2, 4 and 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GlobalPhase {
+    /// Executing its decomposed local transactions.
+    Running,
+    /// Sent `prepare`, collecting votes ("inquire" in the figures).
+    Inquiring,
+    /// Decision made: commit; waiting for locals to finish committing
+    /// ("waiting to commit", Figs. 2/4).
+    WaitingToCommit,
+    /// Decision made: abort; waiting for locals to finish aborting/undoing
+    /// ("waiting to abort", Fig. 6).
+    WaitingToAbort,
+    /// Terminal: globally committed.
+    Committed,
+    /// Terminal: globally aborted.
+    Aborted,
+}
+
+impl GlobalPhase {
+    /// True for the two terminal phases.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, GlobalPhase::Committed | GlobalPhase::Aborted)
+    }
+}
+
+impl fmt::Display for GlobalPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GlobalPhase::Running => "running",
+            GlobalPhase::Inquiring => "inquiring",
+            GlobalPhase::WaitingToCommit => "waiting-to-commit",
+            GlobalPhase::WaitingToAbort => "waiting-to-abort",
+            GlobalPhase::Committed => "committed",
+            GlobalPhase::Aborted => "aborted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The global decision, once made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GlobalVerdict {
+    /// All votes were yes: commit everywhere.
+    Commit,
+    /// At least one no/abort: abort everywhere.
+    Abort,
+}
+
+impl fmt::Display for GlobalVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GlobalVerdict::Commit => "commit",
+            GlobalVerdict::Abort => "abort",
+        })
+    }
+}
+
+/// A participant's vote on `prepare`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LocalVote {
+    /// Ready to follow either global decision (2PC: in the ready state;
+    /// commit-after: finished all actions but still *running*;
+    /// commit-before: already locally **committed**).
+    Ready,
+    /// Ready, and the local transaction performed no updates: the classic
+    /// read-only optimization — the participant commits immediately and
+    /// drops out of the rest of the protocol (cf. the derived 2PC
+    /// protocols the paper surveys in §5).
+    ReadyReadOnly,
+    /// Locally aborted / unable to commit.
+    Aborted,
+}
+
+impl LocalVote {
+    /// Whether the vote lets the global transaction proceed to commit.
+    pub fn is_yes(&self) -> bool {
+        !matches!(self, LocalVote::Aborted)
+    }
+
+    /// Whether the participant has dropped out of the decision round.
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, LocalVote::ReadyReadOnly)
+    }
+}
+
+/// Run-state of one local execution attempt, as observed through the
+/// unmodifiable `begin/commit/abort` interface (plus `ready` for the 2PC
+/// baseline's modified engines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LocalRunState {
+    /// Actions are executing (or done, but commit not yet requested).
+    Running,
+    /// 2PC only: prepared, changes on stable storage, can go either way.
+    Ready,
+    /// Terminal for the attempt: committed.
+    Committed,
+    /// Terminal for the attempt: aborted.
+    Aborted,
+}
+
+impl LocalRunState {
+    /// Legal transitions of the *unmodified* engine interface: Running may
+    /// go to Committed or Aborted, and nothing leaves a terminal state.
+    /// `Ready` is reachable only on preparable (modified) engines.
+    pub fn can_transition_to(&self, next: LocalRunState) -> bool {
+        use LocalRunState::*;
+        matches!(
+            (self, next),
+            (Running, Ready) | (Running, Committed) | (Running, Aborted) | (Ready, Committed) | (Ready, Aborted)
+        )
+    }
+}
+
+impl fmt::Display for LocalRunState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LocalRunState::Running => "running",
+            LocalRunState::Ready => "ready",
+            LocalRunState::Committed => "committed",
+            LocalRunState::Aborted => "aborted",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_labels_are_stable() {
+        assert_eq!(ProtocolKind::TwoPhaseCommit.label(), "2pc");
+        assert_eq!(ProtocolKind::CommitAfter.label(), "commit-after");
+        assert_eq!(ProtocolKind::CommitBefore.label(), "commit-before");
+    }
+
+    #[test]
+    fn only_2pc_needs_ready_state() {
+        assert!(ProtocolKind::TwoPhaseCommit.requires_ready_state());
+        assert!(!ProtocolKind::CommitAfter.requires_ready_state());
+        assert!(!ProtocolKind::CommitBefore.requires_ready_state());
+    }
+
+    #[test]
+    fn terminal_phases() {
+        assert!(GlobalPhase::Committed.is_terminal());
+        assert!(GlobalPhase::Aborted.is_terminal());
+        assert!(!GlobalPhase::Inquiring.is_terminal());
+        assert!(!GlobalPhase::WaitingToAbort.is_terminal());
+    }
+
+    #[test]
+    fn local_state_machine_shape() {
+        use LocalRunState::*;
+        // Atomic running→committed transition of unmodified engines (§3.1:
+        // "the state transition from running to committed is atomic").
+        assert!(Running.can_transition_to(Committed));
+        assert!(Running.can_transition_to(Aborted));
+        // 2PC's interruptible commit path.
+        assert!(Running.can_transition_to(Ready));
+        assert!(Ready.can_transition_to(Committed));
+        assert!(Ready.can_transition_to(Aborted));
+        // Terminal states are terminal.
+        assert!(!Committed.can_transition_to(Running));
+        assert!(!Committed.can_transition_to(Aborted));
+        assert!(!Aborted.can_transition_to(Committed));
+        // No skipping backwards.
+        assert!(!Ready.can_transition_to(Running));
+    }
+}

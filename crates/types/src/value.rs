@@ -1,0 +1,154 @@
+//! Database values.
+//!
+//! The paper's semantic-conflict machinery (Fig. 8, §4.1) is built around
+//! *commuting increments* on counter objects. [`Value`] therefore carries a
+//! signed 64-bit counter as its primary payload, plus an optional small tag
+//! that workloads use to stamp records (customer ids, flight numbers, ...).
+//! The tag takes part in equality but not in arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A stored database value: a counter plus an opaque tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Value {
+    /// Counter payload; the target of `Increment` operations.
+    pub counter: i64,
+    /// Opaque record tag (0 when unused). Overwritten by `Write`/`Insert`,
+    /// untouched by `Increment`.
+    pub tag: u32,
+}
+
+impl Value {
+    /// A zero counter with no tag.
+    pub const ZERO: Value = Value { counter: 0, tag: 0 };
+
+    /// A plain counter value.
+    #[inline]
+    pub const fn counter(counter: i64) -> Self {
+        Value { counter, tag: 0 }
+    }
+
+    /// A tagged record value.
+    #[inline]
+    pub const fn tagged(counter: i64, tag: u32) -> Self {
+        Value { counter, tag }
+    }
+
+    /// The value after applying an increment of `delta`.
+    ///
+    /// Uses wrapping arithmetic: increments must stay total so that the
+    /// inverse action (`Increment(-delta)`) is always an exact undo, which is
+    /// the property the commit-before protocol leans on (§3.3).
+    #[inline]
+    #[must_use]
+    pub fn incremented(self, delta: i64) -> Self {
+        Value {
+            counter: self.counter.wrapping_add(delta),
+            tag: self.tag,
+        }
+    }
+
+    /// Serialize to a fixed 12-byte little-endian representation.
+    ///
+    /// The storage engine stores values inside page slots; a fixed layout
+    /// keeps slot bookkeeping trivial and checksums stable.
+    #[inline]
+    pub fn to_bytes(self) -> [u8; 12] {
+        let mut out = [0u8; 12];
+        out[..8].copy_from_slice(&self.counter.to_le_bytes());
+        out[8..].copy_from_slice(&self.tag.to_le_bytes());
+        out
+    }
+
+    /// Deserialize from the fixed 12-byte representation.
+    #[inline]
+    pub fn from_bytes(bytes: &[u8; 12]) -> Self {
+        let mut c = [0u8; 8];
+        c.copy_from_slice(&bytes[..8]);
+        let mut t = [0u8; 4];
+        t.copy_from_slice(&bytes[8..]);
+        Value {
+            counter: i64::from_le_bytes(c),
+            tag: u32::from_le_bytes(t),
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::ZERO
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.tag == 0 {
+            write!(f, "{}", self.counter)
+        } else {
+            write!(f, "{}#{}", self.counter, self.tag)
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(counter: i64) -> Self {
+        Value::counter(counter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn increment_touches_counter_only() {
+        let v = Value::tagged(10, 77);
+        let w = v.incremented(-3);
+        assert_eq!(w.counter, 7);
+        assert_eq!(w.tag, 77);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::counter(5).to_string(), "5");
+        assert_eq!(Value::tagged(5, 9).to_string(), "5#9");
+    }
+
+    #[test]
+    fn byte_roundtrip_fixed_cases() {
+        for v in [
+            Value::ZERO,
+            Value::counter(i64::MAX),
+            Value::counter(i64::MIN),
+            Value::tagged(-1, u32::MAX),
+        ] {
+            assert_eq!(Value::from_bytes(&v.to_bytes()), v);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn byte_roundtrip(counter in any::<i64>(), tag in any::<u32>()) {
+            let v = Value { counter, tag };
+            prop_assert_eq!(Value::from_bytes(&v.to_bytes()), v);
+        }
+
+        /// Increment followed by its inverse is the identity — the algebraic
+        /// heart of commit-before undo (§3.3).
+        #[test]
+        fn increment_has_exact_inverse(counter in any::<i64>(), tag in any::<u32>(), delta in any::<i64>()) {
+            let v = Value { counter, tag };
+            prop_assert_eq!(v.incremented(delta).incremented(delta.wrapping_neg()), v);
+        }
+
+        /// Increments commute — the Fig. 8 property that makes the L1
+        /// increment lock mode compatible with itself.
+        #[test]
+        fn increments_commute(counter in any::<i64>(), a in any::<i64>(), b in any::<i64>()) {
+            let v = Value::counter(counter);
+            prop_assert_eq!(v.incremented(a).incremented(b), v.incremented(b).incremented(a));
+        }
+    }
+}

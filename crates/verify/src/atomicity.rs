@@ -1,0 +1,189 @@
+//! The all-or-nothing checker.
+//!
+//! Atomic commitment (§3): "a global transaction is atomically committed or
+//! aborted if all its subtransactions in the local databases follow the
+//! same global decision". The communication managers leave durable
+//! evidence — forward and undo markers — at every site; this module audits
+//! that evidence against the coordinator's verdicts.
+
+use amc_net::marker::{forward_marker, undo_marker};
+use amc_types::{GlobalTxnId, GlobalVerdict, ObjectId, SiteId, Value};
+use std::collections::BTreeMap;
+
+/// One detected atomicity violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AtomicityViolation {
+    /// A committed transaction's effects are missing at a participant.
+    MissingCommit {
+        /// The transaction.
+        gtx: GlobalTxnId,
+        /// The participant without a forward marker.
+        site: SiteId,
+    },
+    /// An aborted transaction left a committed forward without an undo.
+    DanglingForward {
+        /// The transaction.
+        gtx: GlobalTxnId,
+        /// The participant with a forward marker but no undo marker.
+        site: SiteId,
+    },
+    /// An undo marker exists for a transaction that committed globally.
+    SpuriousUndo {
+        /// The transaction.
+        gtx: GlobalTxnId,
+        /// The offending participant.
+        site: SiteId,
+    },
+}
+
+/// Audit marker evidence.
+///
+/// * `dumps` — final committed state per participant site (from
+///   `LocalEngine::dump`), including marker objects;
+/// * `verdicts` — the coordinator's decision per global transaction;
+/// * `participants` — which sites each transaction performed **updates**
+///   at (read-only participants use the read-only optimization and write
+///   no markers — exclude them).
+///
+/// 2PC federations leave no markers; call this only for the two portable
+/// protocols (whose managers write them).
+pub fn check_atomicity(
+    dumps: &BTreeMap<SiteId, BTreeMap<ObjectId, Value>>,
+    verdicts: &BTreeMap<GlobalTxnId, GlobalVerdict>,
+    participants: &BTreeMap<GlobalTxnId, Vec<SiteId>>,
+) -> Vec<AtomicityViolation> {
+    let mut violations = Vec::new();
+    for (gtx, verdict) in verdicts {
+        let empty = Vec::new();
+        let sites = participants.get(gtx).unwrap_or(&empty);
+        for site in sites {
+            let Some(dump) = dumps.get(site) else {
+                continue;
+            };
+            let fwd = dump.contains_key(&forward_marker(*gtx));
+            let undo = dump.contains_key(&undo_marker(*gtx));
+            match verdict {
+                GlobalVerdict::Commit => {
+                    if !fwd {
+                        violations.push(AtomicityViolation::MissingCommit {
+                            gtx: *gtx,
+                            site: *site,
+                        });
+                    }
+                    if undo {
+                        violations.push(AtomicityViolation::SpuriousUndo {
+                            gtx: *gtx,
+                            site: *site,
+                        });
+                    }
+                }
+                GlobalVerdict::Abort => {
+                    if fwd && !undo {
+                        violations.push(AtomicityViolation::DanglingForward {
+                            gtx: *gtx,
+                            site: *site,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gtx(n: u64) -> GlobalTxnId {
+        GlobalTxnId::new(n)
+    }
+    fn site(n: u32) -> SiteId {
+        SiteId::new(n)
+    }
+
+    fn setup(
+        fwd: &[(u64, u32)],
+        undo: &[(u64, u32)],
+    ) -> BTreeMap<SiteId, BTreeMap<ObjectId, Value>> {
+        let mut dumps: BTreeMap<SiteId, BTreeMap<ObjectId, Value>> = BTreeMap::new();
+        for s in 1..=3u32 {
+            dumps.insert(site(s), BTreeMap::new());
+        }
+        for &(g, s) in fwd {
+            dumps
+                .get_mut(&site(s))
+                .unwrap()
+                .insert(forward_marker(gtx(g)), Value::ZERO);
+        }
+        for &(g, s) in undo {
+            dumps
+                .get_mut(&site(s))
+                .unwrap()
+                .insert(undo_marker(gtx(g)), Value::ZERO);
+        }
+        dumps
+    }
+
+    #[test]
+    fn clean_commit_passes() {
+        let dumps = setup(&[(1, 1), (1, 2)], &[]);
+        let verdicts = BTreeMap::from([(gtx(1), GlobalVerdict::Commit)]);
+        let participants = BTreeMap::from([(gtx(1), vec![site(1), site(2)])]);
+        assert!(check_atomicity(&dumps, &verdicts, &participants).is_empty());
+    }
+
+    #[test]
+    fn partial_commit_is_flagged() {
+        let dumps = setup(&[(1, 1)], &[]); // site 2 missing
+        let verdicts = BTreeMap::from([(gtx(1), GlobalVerdict::Commit)]);
+        let participants = BTreeMap::from([(gtx(1), vec![site(1), site(2)])]);
+        let v = check_atomicity(&dumps, &verdicts, &participants);
+        assert_eq!(
+            v,
+            vec![AtomicityViolation::MissingCommit {
+                gtx: gtx(1),
+                site: site(2)
+            }]
+        );
+    }
+
+    #[test]
+    fn clean_abort_with_undo_passes() {
+        // Site 1 committed locally then undid; site 2 never committed.
+        let dumps = setup(&[(1, 1)], &[(1, 1)]);
+        let verdicts = BTreeMap::from([(gtx(1), GlobalVerdict::Abort)]);
+        let participants = BTreeMap::from([(gtx(1), vec![site(1), site(2)])]);
+        assert!(check_atomicity(&dumps, &verdicts, &participants).is_empty());
+    }
+
+    #[test]
+    fn dangling_forward_after_abort_is_flagged() {
+        let dumps = setup(&[(1, 1)], &[]);
+        let verdicts = BTreeMap::from([(gtx(1), GlobalVerdict::Abort)]);
+        let participants = BTreeMap::from([(gtx(1), vec![site(1)])]);
+        let v = check_atomicity(&dumps, &verdicts, &participants);
+        assert_eq!(
+            v,
+            vec![AtomicityViolation::DanglingForward {
+                gtx: gtx(1),
+                site: site(1)
+            }]
+        );
+    }
+
+    #[test]
+    fn spurious_undo_after_commit_is_flagged() {
+        let dumps = setup(&[(1, 1)], &[(1, 1)]);
+        let verdicts = BTreeMap::from([(gtx(1), GlobalVerdict::Commit)]);
+        let participants = BTreeMap::from([(gtx(1), vec![site(1)])]);
+        let v = check_atomicity(&dumps, &verdicts, &participants);
+        assert_eq!(
+            v,
+            vec![AtomicityViolation::SpuriousUndo {
+                gtx: gtx(1),
+                site: site(1)
+            }]
+        );
+    }
+}

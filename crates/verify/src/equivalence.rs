@@ -1,0 +1,159 @@
+//! Final-state equivalence: the strongest end-to-end check.
+//!
+//! Given the committed global transactions, a serialization order for them
+//! (from [`crate::history::History::check_serializable`]), the initial
+//! database state and each transaction's operation program, replay the
+//! programs on the [`crate::model::ModelDb`] in that order and demand the
+//! result equals the federation's actual final state (markers filtered
+//! out). Passing this means the execution was not merely conflict-
+//! serializable on paper — it *computed* the same answer as some serial
+//! execution.
+
+use crate::model::ModelDb;
+use amc_net::marker::is_marker;
+use amc_types::{GlobalTxnId, ObjectId, Operation, Value};
+use std::collections::BTreeMap;
+
+/// A detected divergence between the model and the federation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateDivergence {
+    /// The object that differs.
+    pub obj: ObjectId,
+    /// Model's value (`None` = absent).
+    pub expected: Option<Value>,
+    /// Federation's value (`None` = absent).
+    pub actual: Option<Value>,
+}
+
+/// Replay `order` over `initial` and compare with `actual_state`.
+///
+/// `programs` maps each committed transaction to its full operation list
+/// (all sites merged, in submit order). Marker objects in `actual_state`
+/// are ignored. Returns every divergence (empty = equivalent).
+pub fn check_state_equivalence(
+    initial: &BTreeMap<ObjectId, Value>,
+    order: &[GlobalTxnId],
+    programs: &BTreeMap<GlobalTxnId, Vec<Operation>>,
+    actual_state: &BTreeMap<ObjectId, Value>,
+) -> Vec<StateDivergence> {
+    let mut model = ModelDb::with(initial.clone());
+    for gtx in order {
+        if let Some(ops) = programs.get(gtx) {
+            // Committed transactions must replay cleanly; a logical failure
+            // here means the serialization order is wrong, which the
+            // comparison below will expose as divergences.
+            let _ = model.apply_atomic(ops);
+        }
+    }
+    let expected = model.into_state();
+    let mut divergences = Vec::new();
+    let actual_filtered: BTreeMap<ObjectId, Value> = actual_state
+        .iter()
+        .filter(|(o, _)| !is_marker(**o))
+        .map(|(o, v)| (*o, *v))
+        .collect();
+    for (obj, v) in &expected {
+        match actual_filtered.get(obj) {
+            Some(a) if a == v => {}
+            other => divergences.push(StateDivergence {
+                obj: *obj,
+                expected: Some(*v),
+                actual: other.copied(),
+            }),
+        }
+    }
+    for (obj, a) in &actual_filtered {
+        if !expected.contains_key(obj) {
+            divergences.push(StateDivergence {
+                obj: *obj,
+                expected: None,
+                actual: Some(*a),
+            });
+        }
+    }
+    divergences
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amc_net::marker::forward_marker;
+
+    fn obj(n: u64) -> ObjectId {
+        ObjectId::new(n)
+    }
+    fn v(n: i64) -> Value {
+        Value::counter(n)
+    }
+    fn gtx(n: u64) -> GlobalTxnId {
+        GlobalTxnId::new(n)
+    }
+
+    #[test]
+    fn matching_states_pass() {
+        let initial = BTreeMap::from([(obj(1), v(10))]);
+        let programs = BTreeMap::from([(
+            gtx(1),
+            vec![Operation::Increment { obj: obj(1), delta: 5 }],
+        )]);
+        let mut actual = BTreeMap::from([(obj(1), v(15))]);
+        // Marker noise must be ignored.
+        actual.insert(forward_marker(gtx(1)), v(0));
+        assert!(
+            check_state_equivalence(&initial, &[gtx(1)], &programs, &actual).is_empty()
+        );
+    }
+
+    #[test]
+    fn divergence_is_reported() {
+        let initial = BTreeMap::from([(obj(1), v(10))]);
+        let programs = BTreeMap::from([(
+            gtx(1),
+            vec![Operation::Increment { obj: obj(1), delta: 5 }],
+        )]);
+        let actual = BTreeMap::from([(obj(1), v(14))]); // lost update
+        let div = check_state_equivalence(&initial, &[gtx(1)], &programs, &actual);
+        assert_eq!(
+            div,
+            vec![StateDivergence {
+                obj: obj(1),
+                expected: Some(v(15)),
+                actual: Some(v(14)),
+            }]
+        );
+    }
+
+    #[test]
+    fn extra_objects_are_divergences() {
+        let initial = BTreeMap::new();
+        let programs = BTreeMap::new();
+        let actual = BTreeMap::from([(obj(9), v(1))]);
+        let div = check_state_equivalence(&initial, &[], &programs, &actual);
+        assert_eq!(div.len(), 1);
+        assert_eq!(div[0].expected, None);
+    }
+
+    #[test]
+    fn order_matters_for_non_commuting_programs() {
+        let initial = BTreeMap::from([(obj(1), v(0))]);
+        let programs = BTreeMap::from([
+            (gtx(1), vec![Operation::Write { obj: obj(1), value: v(1) }]),
+            (gtx(2), vec![Operation::Write { obj: obj(1), value: v(2) }]),
+        ]);
+        let actual_t2_last = BTreeMap::from([(obj(1), v(2))]);
+        assert!(check_state_equivalence(
+            &initial,
+            &[gtx(1), gtx(2)],
+            &programs,
+            &actual_t2_last
+        )
+        .is_empty());
+        assert!(!check_state_equivalence(
+            &initial,
+            &[gtx(2), gtx(1)],
+            &programs,
+            &actual_t2_last
+        )
+        .is_empty());
+    }
+}

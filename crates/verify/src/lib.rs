@@ -1,0 +1,30 @@
+//! # amc-verify
+//!
+//! The testing oracle for experiment E6 and the integration suite. Nothing
+//! here runs in the protocols' hot path — this crate exists to *check* what
+//! the federation did:
+//!
+//! * [`model`] — a reference interpreter: apply operation programs to a
+//!   plain map, the semantics every engine must agree with;
+//! * [`history`] — a recorder of executed operations plus the conflict-
+//!   graph serializability checker (cycle detection over non-commuting
+//!   pairs, §2's "global serializability");
+//! * [`atomicity`] — the all-or-nothing checker: a committed global
+//!   transaction's effects are present at every participant, an aborted
+//!   one's nowhere (§3's atomic commitment requirement);
+//! * [`equivalence`] — the strongest check: replay the committed global
+//!   transactions in a serialization order on the model and demand the
+//!   result equals the federation's actual final state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomicity;
+pub mod equivalence;
+pub mod history;
+pub mod model;
+
+pub use atomicity::check_atomicity;
+pub use equivalence::check_state_equivalence;
+pub use history::{History, OpEvent, SerializabilityError};
+pub use model::ModelDb;

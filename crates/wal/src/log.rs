@@ -1,0 +1,288 @@
+//! The append-only log manager.
+//!
+//! Records are appended to a **volatile tail** and become durable when the
+//! tail is *forced* (the WAL rule: force up to a transaction's commit record
+//! before acknowledging the commit). A crash discards the tail; the stable
+//! prefix survives as encoded, checksummed frames.
+//!
+//! Force counts are tracked for experiment E4 (log-write complexity per
+//! protocol, cf. [ML 83] in the paper's related work).
+
+use crate::record::LogRecord;
+use amc_types::{AmcResult, Lsn};
+
+/// Log I/O accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogStats {
+    /// Records appended (volatile).
+    pub appends: u64,
+    /// Force (fsync-equivalent) operations that actually wrote something.
+    pub forces: u64,
+    /// Records made durable.
+    pub stable_records: u64,
+    /// Bytes made durable.
+    pub stable_bytes: u64,
+}
+
+/// An append-only write-ahead log with a volatile tail.
+#[derive(Debug, Default)]
+pub struct LogManager {
+    /// Durable frames, in LSN order; the first frame has LSN `truncated + 1`.
+    stable: Vec<Vec<u8>>,
+    /// Volatile frames not yet forced.
+    tail: Vec<Vec<u8>>,
+    /// Records reclaimed from the front (see [`LogManager::truncate_before`]).
+    truncated: u64,
+    stats: LogStats,
+}
+
+impl LogManager {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a record to the volatile tail, returning its LSN.
+    pub fn append(&mut self, record: &LogRecord) -> Lsn {
+        self.tail.push(record.encode());
+        self.stats.appends += 1;
+        self.head()
+    }
+
+    /// LSN of the most recently appended record (0 when empty).
+    pub fn head(&self) -> Lsn {
+        Lsn::new(self.truncated + (self.stable.len() + self.tail.len()) as u64)
+    }
+
+    /// LSN up to which the log is durable.
+    pub fn durable(&self) -> Lsn {
+        Lsn::new(self.truncated + self.stable.len() as u64)
+    }
+
+    /// Force the whole tail to stable storage.
+    pub fn force(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        self.stats.forces += 1;
+        for frame in self.tail.drain(..) {
+            self.stats.stable_records += 1;
+            self.stats.stable_bytes += frame.len() as u64;
+            self.stable.push(frame);
+        }
+    }
+
+    /// Append and immediately force — the commit-record fast path.
+    pub fn append_forced(&mut self, record: &LogRecord) -> Lsn {
+        let lsn = self.append(record);
+        self.force();
+        lsn
+    }
+
+    /// Crash: the volatile tail is lost.
+    pub fn crash(&mut self) {
+        self.tail.clear();
+    }
+
+    /// Decode and return all durable records in LSN order.
+    pub fn stable_records(&self) -> AmcResult<Vec<(Lsn, LogRecord)>> {
+        self.stable
+            .iter()
+            .enumerate()
+            .map(|(i, frame)| {
+                Ok((
+                    Lsn::new(self.truncated + i as u64 + 1),
+                    LogRecord::decode(frame)?,
+                ))
+            })
+            .collect()
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> LogStats {
+        self.stats
+    }
+
+    /// Reset accounting (between benchmark phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = LogStats::default();
+    }
+
+    /// Truncate the durable prefix before `lsn` (log reclamation after a
+    /// checkpoint). Records with LSN < `lsn` are discarded; LSNs are **not**
+    /// renumbered — subsequent reads simply start later.
+    ///
+    /// Only safe when recovery will never need the truncated records, i.e.
+    /// after a checkpoint with no transaction active across it.
+    pub fn truncate_before(&mut self, lsn: Lsn) {
+        let keep_from = lsn.raw().saturating_sub(self.truncated + 1) as usize;
+        if keep_from == 0 || self.stable.is_empty() {
+            return;
+        }
+        let keep_from = keep_from.min(self.stable.len());
+        self.truncated += keep_from as u64;
+        self.stable.drain(..keep_from);
+    }
+
+    /// Number of records truncated from the front (LSN offset).
+    pub fn truncated(&self) -> u64 {
+        self.truncated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amc_types::LocalTxnId;
+
+    fn begin(n: u64) -> LogRecord {
+        LogRecord::Begin {
+            txn: LocalTxnId::new(n),
+        }
+    }
+
+    #[test]
+    fn lsns_are_sequential() {
+        let mut log = LogManager::new();
+        assert_eq!(log.append(&begin(1)), Lsn::new(1));
+        assert_eq!(log.append(&begin(2)), Lsn::new(2));
+        assert_eq!(log.head(), Lsn::new(2));
+        assert_eq!(log.durable(), Lsn::ZERO);
+    }
+
+    #[test]
+    fn force_makes_tail_durable() {
+        let mut log = LogManager::new();
+        log.append(&begin(1));
+        log.append(&begin(2));
+        log.force();
+        assert_eq!(log.durable(), Lsn::new(2));
+        let records = log.stable_records().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].1, begin(1));
+        assert_eq!(records[1].1, begin(2));
+    }
+
+    #[test]
+    fn crash_drops_unforced_tail_only() {
+        let mut log = LogManager::new();
+        log.append(&begin(1));
+        log.force();
+        log.append(&begin(2));
+        log.crash();
+        let records = log.stable_records().unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].1, begin(1));
+        // Head restarts from the durable point.
+        assert_eq!(log.head(), Lsn::new(1));
+    }
+
+    #[test]
+    fn empty_force_is_free() {
+        let mut log = LogManager::new();
+        log.force();
+        log.force();
+        assert_eq!(log.stats().forces, 0);
+        log.append(&begin(1));
+        log.force();
+        assert_eq!(log.stats().forces, 1);
+    }
+
+    #[test]
+    fn append_forced_is_durable_immediately() {
+        let mut log = LogManager::new();
+        log.append_forced(&begin(9));
+        log.crash();
+        assert_eq!(log.stable_records().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn truncation_preserves_lsns_and_tail_reads() {
+        let mut log = LogManager::new();
+        for i in 1..=6u64 {
+            log.append(&begin(i));
+        }
+        log.force();
+        assert_eq!(log.head(), Lsn::new(6));
+        // Reclaim everything before LSN 4.
+        log.truncate_before(Lsn::new(4));
+        assert_eq!(log.truncated(), 3);
+        let records = log.stable_records().unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].0, Lsn::new(4), "LSNs are not renumbered");
+        assert_eq!(records[0].1, begin(4));
+        // Appends continue from the same sequence.
+        assert_eq!(log.append(&begin(7)), Lsn::new(7));
+        log.force();
+        assert_eq!(log.durable(), Lsn::new(7));
+    }
+
+    #[test]
+    fn truncate_before_is_idempotent_and_clamped() {
+        let mut log = LogManager::new();
+        for i in 1..=3u64 {
+            log.append(&begin(i));
+        }
+        log.force();
+        log.truncate_before(Lsn::new(2));
+        log.truncate_before(Lsn::new(2)); // repeat: no-op
+        assert_eq!(log.truncated(), 1);
+        // Truncating past the end clamps to the durable prefix.
+        log.truncate_before(Lsn::new(100));
+        assert_eq!(log.truncated(), 3);
+        assert!(log.stable_records().unwrap().is_empty());
+        assert_eq!(log.head(), Lsn::new(3));
+    }
+
+    #[test]
+    fn checkpoint_truncate_recover_cycle() {
+        use crate::recovery::recover_into_map;
+        use amc_types::{ObjectId, Value};
+        use std::collections::BTreeMap;
+
+        let mut log = LogManager::new();
+        let mut state: BTreeMap<ObjectId, Value> = BTreeMap::new();
+        // Transaction 1 commits; state is "flushed" (our map plays the
+        // disk); checkpoint with no active transactions; truncate.
+        log.append(&LogRecord::Begin { txn: LocalTxnId::new(1) });
+        log.append(&LogRecord::Update {
+            txn: LocalTxnId::new(1),
+            obj: ObjectId::new(9),
+            before: None,
+            after: Some(Value::counter(5)),
+        });
+        log.append(&LogRecord::Commit { txn: LocalTxnId::new(1) });
+        log.force();
+        state.insert(ObjectId::new(9), Value::counter(5)); // flushed
+        log.append_forced(&LogRecord::Checkpoint { active: vec![] });
+        log.truncate_before(log.durable());
+        // A post-checkpoint transaction commits.
+        log.append(&LogRecord::Begin { txn: LocalTxnId::new(2) });
+        log.append(&LogRecord::Update {
+            txn: LocalTxnId::new(2),
+            obj: ObjectId::new(9),
+            before: Some(Value::counter(5)),
+            after: Some(Value::counter(6)),
+        });
+        log.append(&LogRecord::Commit { txn: LocalTxnId::new(2) });
+        log.force();
+        // Crash + recover over the truncated log: only txn 2 replays, and
+        // the final state is correct.
+        let out = recover_into_map(&log, &mut state).unwrap();
+        assert!(out.committed.contains(&LocalTxnId::new(2)));
+        assert!(!out.committed.contains(&LocalTxnId::new(1)), "reclaimed");
+        assert_eq!(state[&ObjectId::new(9)], Value::counter(6));
+    }
+
+    #[test]
+    fn stats_count_bytes_and_records() {
+        let mut log = LogManager::new();
+        log.append(&begin(1));
+        log.append(&begin(2));
+        log.force();
+        let s = log.stats();
+        assert_eq!(s.appends, 2);
+        assert_eq!(s.stable_records, 2);
+        assert!(s.stable_bytes > 0);
+    }
+}

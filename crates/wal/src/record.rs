@@ -1,0 +1,332 @@
+//! Log record types and their checksummed binary encoding.
+//!
+//! Frame layout (little-endian):
+//!
+//! ```text
+//! 0    4   payload length n
+//! 4    8   FNV-1a checksum of the payload
+//! 12   n   payload: tag byte + fields
+//! ```
+//!
+//! `Option<Value>` fields encode as a presence byte followed by the value's
+//! fixed 12-byte form. `None` before-images mean "object did not exist";
+//! `None` after-images mean "object deleted".
+
+use amc_types::{AmcError, AmcResult, LocalTxnId, ObjectId, Value};
+
+const TAG_BEGIN: u8 = 1;
+const TAG_UPDATE: u8 = 2;
+const TAG_COMMIT: u8 = 3;
+const TAG_ABORT: u8 = 4;
+const TAG_CHECKPOINT: u8 = 5;
+const TAG_PREPARE: u8 = 6;
+
+/// One write-ahead-log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogRecord {
+    /// A local transaction started.
+    Begin {
+        /// The transaction.
+        txn: LocalTxnId,
+    },
+    /// A state transition of one object: `before -> after`.
+    ///
+    /// Rollback writes (compensations) are logged as ordinary `Update`s of
+    /// the same transaction with the images swapped; forward replay then
+    /// reproduces the rollback naturally.
+    Update {
+        /// The transaction.
+        txn: LocalTxnId,
+        /// Object touched.
+        obj: ObjectId,
+        /// Image before the update (`None` = absent).
+        before: Option<Value>,
+        /// Image after the update (`None` = deleted).
+        after: Option<Value>,
+    },
+    /// 2PC only: the transaction reached the *ready* state; its updates
+    /// are durable and it must survive a crash as an in-doubt transaction
+    /// awaiting the coordinator's decision (§3.1).
+    Prepare {
+        /// The transaction.
+        txn: LocalTxnId,
+    },
+    /// The transaction committed (durability point once forced).
+    Commit {
+        /// The transaction.
+        txn: LocalTxnId,
+    },
+    /// The transaction aborted after rolling back (its compensating
+    /// `Update`s precede this record).
+    Abort {
+        /// The transaction.
+        txn: LocalTxnId,
+    },
+    /// Fuzzy checkpoint: every update strictly before this record has been
+    /// forced to stable page storage; `active` lists transactions in flight.
+    Checkpoint {
+        /// Transactions active at checkpoint time.
+        active: Vec<LocalTxnId>,
+    },
+}
+
+impl LogRecord {
+    /// The transaction a record belongs to, if any.
+    pub fn txn(&self) -> Option<LocalTxnId> {
+        match self {
+            LogRecord::Begin { txn }
+            | LogRecord::Update { txn, .. }
+            | LogRecord::Prepare { txn }
+            | LogRecord::Commit { txn }
+            | LogRecord::Abort { txn } => Some(*txn),
+            LogRecord::Checkpoint { .. } => None,
+        }
+    }
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        fn put_opt_value(out: &mut Vec<u8>, v: &Option<Value>) {
+            match v {
+                Some(v) => {
+                    out.push(1);
+                    out.extend_from_slice(&v.to_bytes());
+                }
+                None => {
+                    out.push(0);
+                    out.extend_from_slice(&[0u8; 12]);
+                }
+            }
+        }
+        match self {
+            LogRecord::Begin { txn } => {
+                out.push(TAG_BEGIN);
+                out.extend_from_slice(&txn.raw().to_le_bytes());
+            }
+            LogRecord::Update {
+                txn,
+                obj,
+                before,
+                after,
+            } => {
+                out.push(TAG_UPDATE);
+                out.extend_from_slice(&txn.raw().to_le_bytes());
+                out.extend_from_slice(&obj.raw().to_le_bytes());
+                put_opt_value(out, before);
+                put_opt_value(out, after);
+            }
+            LogRecord::Prepare { txn } => {
+                out.push(TAG_PREPARE);
+                out.extend_from_slice(&txn.raw().to_le_bytes());
+            }
+            LogRecord::Commit { txn } => {
+                out.push(TAG_COMMIT);
+                out.extend_from_slice(&txn.raw().to_le_bytes());
+            }
+            LogRecord::Abort { txn } => {
+                out.push(TAG_ABORT);
+                out.extend_from_slice(&txn.raw().to_le_bytes());
+            }
+            LogRecord::Checkpoint { active } => {
+                out.push(TAG_CHECKPOINT);
+                out.extend_from_slice(&(active.len() as u32).to_le_bytes());
+                for t in active {
+                    out.extend_from_slice(&t.raw().to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Encode into a checksummed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(64);
+        self.encode_payload(&mut payload);
+        let sum = fnv1a(&payload);
+        let mut frame = Vec::with_capacity(12 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&sum.to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame
+    }
+
+    /// Decode one frame, verifying length and checksum.
+    pub fn decode(frame: &[u8]) -> AmcResult<Self> {
+        if frame.len() < 13 {
+            return Err(AmcError::Corruption("log frame too short".into()));
+        }
+        let len = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes")) as usize;
+        if frame.len() != 12 + len {
+            return Err(AmcError::Corruption(format!(
+                "log frame length mismatch: header says {len}, frame has {}",
+                frame.len() - 12
+            )));
+        }
+        let stored = u64::from_le_bytes(frame[4..12].try_into().expect("8 bytes"));
+        let payload = &frame[12..];
+        if fnv1a(payload) != stored {
+            return Err(AmcError::Corruption("log frame checksum mismatch".into()));
+        }
+        Self::decode_payload(payload)
+    }
+
+    fn decode_payload(p: &[u8]) -> AmcResult<Self> {
+        fn get_u64(p: &[u8], off: usize) -> AmcResult<u64> {
+            p.get(off..off + 8)
+                .and_then(|s| s.try_into().ok())
+                .map(u64::from_le_bytes)
+                .ok_or_else(|| AmcError::Corruption("truncated log payload".into()))
+        }
+        fn get_opt_value(p: &[u8], off: usize) -> AmcResult<Option<Value>> {
+            let flag = *p
+                .get(off)
+                .ok_or_else(|| AmcError::Corruption("truncated log payload".into()))?;
+            let bytes: &[u8; 12] = p
+                .get(off + 1..off + 13)
+                .and_then(|s| s.try_into().ok())
+                .ok_or_else(|| AmcError::Corruption("truncated log payload".into()))?;
+            Ok(match flag {
+                0 => None,
+                1 => Some(Value::from_bytes(bytes)),
+                f => {
+                    return Err(AmcError::Corruption(format!(
+                        "bad option flag {f} in log payload"
+                    )))
+                }
+            })
+        }
+        let tag = *p
+            .first()
+            .ok_or_else(|| AmcError::Corruption("empty log payload".into()))?;
+        match tag {
+            TAG_BEGIN => Ok(LogRecord::Begin {
+                txn: LocalTxnId::new(get_u64(p, 1)?),
+            }),
+            TAG_UPDATE => Ok(LogRecord::Update {
+                txn: LocalTxnId::new(get_u64(p, 1)?),
+                obj: ObjectId::new(get_u64(p, 9)?),
+                before: get_opt_value(p, 17)?,
+                after: get_opt_value(p, 30)?,
+            }),
+            TAG_PREPARE => Ok(LogRecord::Prepare {
+                txn: LocalTxnId::new(get_u64(p, 1)?),
+            }),
+            TAG_COMMIT => Ok(LogRecord::Commit {
+                txn: LocalTxnId::new(get_u64(p, 1)?),
+            }),
+            TAG_ABORT => Ok(LogRecord::Abort {
+                txn: LocalTxnId::new(get_u64(p, 1)?),
+            }),
+            TAG_CHECKPOINT => {
+                let n = p
+                    .get(1..5)
+                    .and_then(|s| s.try_into().ok())
+                    .map(u32::from_le_bytes)
+                    .ok_or_else(|| AmcError::Corruption("truncated checkpoint".into()))?
+                    as usize;
+                let mut active = Vec::with_capacity(n);
+                for i in 0..n {
+                    active.push(LocalTxnId::new(get_u64(p, 5 + 8 * i)?));
+                }
+                Ok(LogRecord::Checkpoint { active })
+            }
+            t => Err(AmcError::Corruption(format!("unknown log tag {t}"))),
+        }
+    }
+}
+
+/// FNV-1a, duplicated from `amc-storage` to keep the crates independent
+/// (the WAL is a sibling substrate, not a client, of page storage).
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in data {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ltx(n: u64) -> LocalTxnId {
+        LocalTxnId::new(n)
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let records = vec![
+            LogRecord::Begin { txn: ltx(1) },
+            LogRecord::Update {
+                txn: ltx(1),
+                obj: ObjectId::new(9),
+                before: None,
+                after: Some(Value::counter(5)),
+            },
+            LogRecord::Update {
+                txn: ltx(1),
+                obj: ObjectId::new(9),
+                before: Some(Value::counter(5)),
+                after: None,
+            },
+            LogRecord::Prepare { txn: ltx(1) },
+            LogRecord::Commit { txn: ltx(1) },
+            LogRecord::Abort { txn: ltx(2) },
+            LogRecord::Checkpoint { active: vec![] },
+            LogRecord::Checkpoint {
+                active: vec![ltx(3), ltx(4), ltx(5)],
+            },
+        ];
+        for r in records {
+            assert_eq!(LogRecord::decode(&r.encode()).unwrap(), r, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn corrupted_frames_are_rejected() {
+        let r = LogRecord::Commit { txn: ltx(7) };
+        let mut frame = r.encode();
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01;
+        assert!(LogRecord::decode(&frame).is_err());
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let r = LogRecord::Begin { txn: ltx(7) };
+        let frame = r.encode();
+        assert!(LogRecord::decode(&frame[..frame.len() - 1]).is_err());
+        assert!(LogRecord::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn txn_accessor() {
+        assert_eq!(LogRecord::Begin { txn: ltx(3) }.txn(), Some(ltx(3)));
+        assert_eq!(LogRecord::Checkpoint { active: vec![] }.txn(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random_updates(
+            txn in any::<u64>(),
+            obj in any::<u64>(),
+            before in proptest::option::of((any::<i64>(), any::<u32>())),
+            after in proptest::option::of((any::<i64>(), any::<u32>())),
+        ) {
+            let r = LogRecord::Update {
+                txn: ltx(txn),
+                obj: ObjectId::new(obj),
+                before: before.map(|(c, t)| Value::tagged(c, t)),
+                after: after.map(|(c, t)| Value::tagged(c, t)),
+            };
+            prop_assert_eq!(LogRecord::decode(&r.encode()).unwrap(), r);
+        }
+
+        #[test]
+        fn roundtrip_random_checkpoints(active in proptest::collection::vec(any::<u64>(), 0..50)) {
+            let r = LogRecord::Checkpoint {
+                active: active.into_iter().map(ltx).collect(),
+            };
+            prop_assert_eq!(LogRecord::decode(&r.encode()).unwrap(), r);
+        }
+    }
+}

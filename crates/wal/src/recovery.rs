@@ -1,0 +1,316 @@
+//! Restart recovery.
+//!
+//! Three passes over the durable log, in the spirit of ARIES but simplified
+//! by value logging (every step idempotent):
+//!
+//! 1. **Analysis** — find the last checkpoint; classify every transaction
+//!    seen since (plus those active at the checkpoint) as *finished*
+//!    (commit or abort record present), **in-doubt** (a forced `Prepare`
+//!    but no decision — 2PC's ready state surviving the crash) or *loser*.
+//! 2. **Redo** — forward from the checkpoint, re-apply every `Update` of a
+//!    finished transaction (aborted ones included: their compensating
+//!    updates come later in the log and net out the rollback).
+//! 3. **Undo** — backward over the whole log, restore the `before` image of
+//!    every update belonging to a loser.
+//!
+//! The caller supplies an `apply` callback (`obj`, `image`) so the module is
+//! independent of the concrete store; `amc-engine` wires it to its
+//! `PageStore`.
+
+use crate::log::LogManager;
+use crate::record::LogRecord;
+use amc_types::{AmcResult, LocalTxnId, ObjectId, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What recovery found and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// Transactions with a durable commit record.
+    pub committed: BTreeSet<LocalTxnId>,
+    /// Transactions with a durable abort record (rollback already logged).
+    pub aborted: BTreeSet<LocalTxnId>,
+    /// In-doubt: prepared but undecided (2PC ready state). Their updates
+    /// are redone and must stay isolated until the coordinator decides.
+    pub in_doubt: BTreeSet<LocalTxnId>,
+    /// Losers: active at the crash, rolled back by the undo pass.
+    pub losers: BTreeSet<LocalTxnId>,
+    /// Number of redo applications performed.
+    pub redo_applied: u64,
+    /// Number of undo applications performed.
+    pub undo_applied: u64,
+}
+
+/// Run restart recovery over `log`, applying images through `apply`.
+///
+/// `apply(obj, Some(v))` must set the object to `v`; `apply(obj, None)` must
+/// delete it. Both must be idempotent — trivially true for a store keyed by
+/// object id.
+pub fn recover(
+    log: &LogManager,
+    mut apply: impl FnMut(ObjectId, Option<Value>) -> AmcResult<()>,
+) -> AmcResult<RecoveryOutcome> {
+    let records = log.stable_records()?;
+
+    // --- Analysis ---------------------------------------------------------
+    // Find the last checkpoint and the transactions active across it.
+    let mut ckpt_idx = 0usize;
+    let mut ckpt_active: BTreeSet<LocalTxnId> = BTreeSet::new();
+    for (i, (_, r)) in records.iter().enumerate() {
+        if let LogRecord::Checkpoint { active } = r {
+            ckpt_idx = i + 1; // redo starts after the checkpoint record
+            ckpt_active = active.iter().copied().collect();
+        }
+    }
+
+    let mut outcome = RecoveryOutcome::default();
+    let mut seen: BTreeSet<LocalTxnId> = ckpt_active;
+    let mut prepared: BTreeSet<LocalTxnId> = BTreeSet::new();
+    for (_, r) in &records {
+        if let Some(t) = r.txn() {
+            seen.insert(t);
+        }
+        match r {
+            LogRecord::Prepare { txn } => {
+                prepared.insert(*txn);
+            }
+            LogRecord::Commit { txn } => {
+                outcome.committed.insert(*txn);
+            }
+            LogRecord::Abort { txn } => {
+                outcome.aborted.insert(*txn);
+            }
+            _ => {}
+        }
+    }
+    outcome.in_doubt = prepared
+        .iter()
+        .copied()
+        .filter(|t| !outcome.committed.contains(t) && !outcome.aborted.contains(t))
+        .collect();
+    outcome.losers = seen
+        .iter()
+        .copied()
+        .filter(|t| {
+            !outcome.committed.contains(t)
+                && !outcome.aborted.contains(t)
+                && !outcome.in_doubt.contains(t)
+        })
+        .collect();
+
+    // --- Redo -------------------------------------------------------------
+    // Forward from the checkpoint: re-apply updates of finished txns.
+    for (_, r) in &records[ckpt_idx.min(records.len())..] {
+        if let LogRecord::Update { txn, obj, after, .. } = r {
+            if outcome.committed.contains(txn)
+                || outcome.aborted.contains(txn)
+                || outcome.in_doubt.contains(txn)
+            {
+                apply(*obj, *after)?;
+                outcome.redo_applied += 1;
+            }
+        }
+    }
+
+    // --- Undo -------------------------------------------------------------
+    // Backward over the whole log: restore before-images of losers.
+    for (_, r) in records.iter().rev() {
+        if let LogRecord::Update { txn, obj, before, .. } = r {
+            if outcome.losers.contains(txn) {
+                apply(*obj, *before)?;
+                outcome.undo_applied += 1;
+            }
+        }
+    }
+
+    Ok(outcome)
+}
+
+/// Convenience for tests and small tools: recover into a [`BTreeMap`] model.
+pub fn recover_into_map(
+    log: &LogManager,
+    state: &mut BTreeMap<ObjectId, Value>,
+) -> AmcResult<RecoveryOutcome> {
+    recover(log, |obj, img| {
+        match img {
+            Some(v) => {
+                state.insert(obj, v);
+            }
+            None => {
+                state.remove(&obj);
+            }
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ltx(n: u64) -> LocalTxnId {
+        LocalTxnId::new(n)
+    }
+    fn obj(n: u64) -> ObjectId {
+        ObjectId::new(n)
+    }
+    fn v(n: i64) -> Value {
+        Value::counter(n)
+    }
+
+    fn update(t: u64, o: u64, before: Option<i64>, after: Option<i64>) -> LogRecord {
+        LogRecord::Update {
+            txn: ltx(t),
+            obj: obj(o),
+            before: before.map(v),
+            after: after.map(v),
+        }
+    }
+
+    #[test]
+    fn committed_transaction_is_redone() {
+        let mut log = LogManager::new();
+        log.append(&LogRecord::Begin { txn: ltx(1) });
+        log.append(&update(1, 10, None, Some(5)));
+        log.append(&LogRecord::Commit { txn: ltx(1) });
+        log.force();
+
+        let mut state = BTreeMap::new();
+        let out = recover_into_map(&log, &mut state).unwrap();
+        assert!(out.committed.contains(&ltx(1)));
+        assert!(out.losers.is_empty());
+        assert_eq!(state.get(&obj(10)), Some(&v(5)));
+        assert_eq!(out.redo_applied, 1);
+    }
+
+    #[test]
+    fn loser_is_undone_even_if_its_writes_hit_disk() {
+        let mut log = LogManager::new();
+        log.append(&LogRecord::Begin { txn: ltx(1) });
+        log.append(&update(1, 10, Some(1), Some(99)));
+        log.force(); // durable update record, no commit -> loser
+
+        // Simulate the dirty page having been evicted pre-crash.
+        let mut state = BTreeMap::from([(obj(10), v(99))]);
+        let out = recover_into_map(&log, &mut state).unwrap();
+        assert!(out.losers.contains(&ltx(1)));
+        assert_eq!(state.get(&obj(10)), Some(&v(1)), "before image restored");
+        assert_eq!(out.undo_applied, 1);
+    }
+
+    #[test]
+    fn loser_insert_is_deleted_on_undo() {
+        let mut log = LogManager::new();
+        log.append(&LogRecord::Begin { txn: ltx(1) });
+        log.append(&update(1, 10, None, Some(7)));
+        log.force();
+
+        let mut state = BTreeMap::from([(obj(10), v(7))]);
+        recover_into_map(&log, &mut state).unwrap();
+        assert!(!state.contains_key(&obj(10)));
+    }
+
+    #[test]
+    fn cleanly_aborted_transaction_nets_out() {
+        // Abort path: forward update then compensating update then Abort.
+        let mut log = LogManager::new();
+        log.append(&LogRecord::Begin { txn: ltx(1) });
+        log.append(&update(1, 10, Some(1), Some(50)));
+        log.append(&update(1, 10, Some(50), Some(1))); // compensation
+        log.append(&LogRecord::Abort { txn: ltx(1) });
+        log.force();
+
+        let mut state = BTreeMap::from([(obj(10), v(1))]);
+        let out = recover_into_map(&log, &mut state).unwrap();
+        assert!(out.aborted.contains(&ltx(1)));
+        assert!(out.losers.is_empty());
+        assert_eq!(state.get(&obj(10)), Some(&v(1)));
+    }
+
+    #[test]
+    fn unforced_commit_means_loser() {
+        let mut log = LogManager::new();
+        log.append(&LogRecord::Begin { txn: ltx(1) });
+        log.append(&update(1, 10, Some(1), Some(2)));
+        log.force();
+        log.append(&LogRecord::Commit { txn: ltx(1) }); // never forced
+        log.crash();
+
+        let mut state = BTreeMap::from([(obj(10), v(2))]);
+        let out = recover_into_map(&log, &mut state).unwrap();
+        assert!(out.losers.contains(&ltx(1)));
+        assert_eq!(state.get(&obj(10)), Some(&v(1)));
+    }
+
+    #[test]
+    fn undo_runs_in_reverse_order() {
+        // Loser wrote the same object twice; the *first* before-image must
+        // win.
+        let mut log = LogManager::new();
+        log.append(&LogRecord::Begin { txn: ltx(1) });
+        log.append(&update(1, 10, Some(1), Some(2)));
+        log.append(&update(1, 10, Some(2), Some(3)));
+        log.force();
+
+        let mut state = BTreeMap::from([(obj(10), v(3))]);
+        recover_into_map(&log, &mut state).unwrap();
+        assert_eq!(state.get(&obj(10)), Some(&v(1)));
+    }
+
+    #[test]
+    fn checkpoint_bounds_redo_but_not_undo() {
+        let mut log = LogManager::new();
+        // T1 commits before the checkpoint; its pages are on disk by the
+        // checkpoint contract, so redo must skip it.
+        log.append(&LogRecord::Begin { txn: ltx(1) });
+        log.append(&update(1, 10, None, Some(1)));
+        log.append(&LogRecord::Commit { txn: ltx(1) });
+        // T2 is active across the checkpoint.
+        log.append(&LogRecord::Begin { txn: ltx(2) });
+        log.append(&update(2, 20, Some(5), Some(6)));
+        log.append(&LogRecord::Checkpoint {
+            active: vec![ltx(2)],
+        });
+        log.force();
+
+        // Disk state at checkpoint: both updates flushed.
+        let mut state = BTreeMap::from([(obj(10), v(1)), (obj(20), v(6))]);
+        let out = recover_into_map(&log, &mut state).unwrap();
+        assert_eq!(out.redo_applied, 0, "checkpoint bounds redo");
+        assert!(out.losers.contains(&ltx(2)));
+        assert_eq!(
+            state.get(&obj(20)),
+            Some(&v(5)),
+            "pre-checkpoint update of a loser must still be undone"
+        );
+        assert_eq!(state.get(&obj(10)), Some(&v(1)));
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let mut log = LogManager::new();
+        log.append(&LogRecord::Begin { txn: ltx(1) });
+        log.append(&update(1, 10, Some(0), Some(5)));
+        log.append(&LogRecord::Commit { txn: ltx(1) });
+        log.append(&LogRecord::Begin { txn: ltx(2) });
+        log.append(&update(2, 11, Some(9), Some(100)));
+        log.force();
+
+        let mut s1 = BTreeMap::from([(obj(10), v(0)), (obj(11), v(100))]);
+        recover_into_map(&log, &mut s1).unwrap();
+        let snapshot = s1.clone();
+        // Crash during recovery, recover again: same result (E8).
+        recover_into_map(&log, &mut s1).unwrap();
+        assert_eq!(s1, snapshot);
+        assert_eq!(s1.get(&obj(10)), Some(&v(5)));
+        assert_eq!(s1.get(&obj(11)), Some(&v(9)));
+    }
+
+    #[test]
+    fn empty_log_recovers_to_nothing() {
+        let log = LogManager::new();
+        let mut state = BTreeMap::new();
+        let out = recover_into_map(&log, &mut state).unwrap();
+        assert_eq!(out, RecoveryOutcome::default());
+        assert!(state.is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! # amc-workload
+//!
+//! Synthetic workloads exercising the federation the way the paper's
+//! motivating scenarios would: global transactions decomposed into per-site
+//! local programs, with tunable contention (Zipf skew over a hot set),
+//! operation mix (commuting increments vs. non-commuting writes), fan-out
+//! (sites per transaction) and an intended-abort rate realised *through
+//! transaction logic* (a read of a non-existent object), so intended aborts
+//! travel the same code path real ones would.
+//!
+//! Three named scenarios mirror the integration use-cases of §1:
+//!
+//! * **bank** — money transfers between accounts at different institutions
+//!   (pure increments: the MLT sweet spot);
+//! * **inventory** — order placement: stock decrements plus order-record
+//!   inserts (mixed commutativity);
+//! * **travel** — trip booking across airline/hotel/car databases
+//!   (read-check-then-write: the conservative end).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod program;
+pub mod scenario;
+pub mod transfers;
+
+pub use generator::{OpMix, WorkloadGen, WorkloadSpec};
+pub use program::{object, site_of_object, GlobalProgram, OBJECTS_PER_SITE_STRIDE};
+pub use scenario::Scenario;
+pub use transfers::{TransferGen, TransferSpec};

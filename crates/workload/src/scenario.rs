@@ -1,0 +1,110 @@
+//! Named scenarios for the examples and domain benchmarks.
+
+use crate::generator::{OpMix, WorkloadSpec};
+
+/// The three motivating integration scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Inter-bank transfers: increments only, high commutativity.
+    Bank,
+    /// Order processing: stock decrements plus order-record writes.
+    Inventory,
+    /// Trip booking: read-check-then-write across three databases.
+    Travel,
+}
+
+impl Scenario {
+    /// A tuned [`WorkloadSpec`] for the scenario.
+    pub fn spec(&self) -> WorkloadSpec {
+        match self {
+            Scenario::Bank => WorkloadSpec {
+                sites: 3,
+                objects_per_site: 500,
+                zipf_theta: 0.6,
+                ops_per_txn: 4,
+                sites_per_txn: 2,
+                mix: OpMix {
+                    write: 0.0,
+                    increment: 1.0,
+                    reserve: 0.0,
+                },
+                intended_abort_prob: 0.02,
+            },
+            Scenario::Inventory => WorkloadSpec {
+                sites: 4,
+                objects_per_site: 400,
+                zipf_theta: 0.8,
+                ops_per_txn: 6,
+                sites_per_txn: 2,
+                mix: OpMix {
+                    write: 0.1,
+                    increment: 0.2,
+                    reserve: 0.4,
+                },
+                intended_abort_prob: 0.05,
+            },
+            Scenario::Travel => WorkloadSpec {
+                sites: 3,
+                objects_per_site: 200,
+                zipf_theta: 0.9,
+                ops_per_txn: 6,
+                sites_per_txn: 3,
+                mix: OpMix {
+                    write: 0.3,
+                    increment: 0.1,
+                    reserve: 0.3,
+                },
+                intended_abort_prob: 0.1,
+            },
+        }
+    }
+
+    /// Scenario name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::Bank => "bank",
+            Scenario::Inventory => "inventory",
+            Scenario::Travel => "travel",
+        }
+    }
+
+    /// Every scenario.
+    pub const ALL: [Scenario; 3] = [Scenario::Bank, Scenario::Inventory, Scenario::Travel];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_are_internally_consistent() {
+        for s in Scenario::ALL {
+            let spec = s.spec();
+            assert!(spec.sites >= 1);
+            assert!(spec.sites_per_txn <= spec.sites);
+            assert!(spec.mix.write + spec.mix.increment + spec.mix.reserve <= 1.0);
+            assert!((0.0..=1.0).contains(&spec.intended_abort_prob));
+            assert!(!s.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn bank_is_pure_increments() {
+        let spec = Scenario::Bank.spec();
+        assert_eq!(spec.mix.write, 0.0);
+        assert_eq!(spec.mix.increment, 1.0);
+    }
+
+    #[test]
+    fn travel_is_write_heavy_and_wide() {
+        let spec = Scenario::Travel.spec();
+        assert!(spec.mix.write >= 0.3);
+        assert_eq!(spec.sites_per_txn, 3);
+    }
+
+    #[test]
+    fn inventory_is_escrow_heavy() {
+        let spec = Scenario::Inventory.spec();
+        assert!(spec.mix.reserve >= 0.3);
+    }
+}

@@ -1,0 +1,162 @@
+//! Balanced-transfer programs: the invariant-preserving workload.
+//!
+//! Unlike the generic generator (whose increments are independent draws),
+//! a transfer moves `amount` from one site's account to another's, so the
+//! federation-wide total is invariant — the property the bank example and
+//! the conservation tests audit. A configurable fraction of transfers name
+//! a non-existent beneficiary, which aborts the transaction through its own
+//! logic (the intended-abort path of §3.2/§3.3).
+
+use crate::program::{object, GlobalProgram};
+use amc_sim::SimRng;
+use amc_types::{Operation, SiteId};
+use std::collections::BTreeMap;
+
+/// Parameters for a balanced-transfer stream.
+#[derive(Debug, Clone)]
+pub struct TransferSpec {
+    /// Number of local sites (1-based ids).
+    pub sites: u32,
+    /// Accounts per site.
+    pub accounts_per_site: u64,
+    /// Zipf skew over account indices.
+    pub zipf_theta: f64,
+    /// Maximum transfer amount (drawn uniformly from `1..=max`).
+    pub max_amount: i64,
+    /// Probability the beneficiary account does not exist (intended abort).
+    pub bad_beneficiary_prob: f64,
+}
+
+impl Default for TransferSpec {
+    fn default() -> Self {
+        TransferSpec {
+            sites: 3,
+            accounts_per_site: 256,
+            zipf_theta: 0.6,
+            max_amount: 50,
+            bad_beneficiary_prob: 0.0,
+        }
+    }
+}
+
+/// Generator of balanced transfers.
+#[derive(Debug)]
+pub struct TransferGen {
+    spec: TransferSpec,
+    rng: SimRng,
+}
+
+impl TransferGen {
+    /// Seeded generator.
+    pub fn new(spec: TransferSpec, seed: u64) -> Self {
+        assert!(spec.sites >= 2, "a transfer needs two sites");
+        TransferGen {
+            spec,
+            rng: SimRng::new(seed),
+        }
+    }
+
+    /// Draw one transfer program.
+    pub fn next_program(&mut self) -> GlobalProgram {
+        let sites = u64::from(self.spec.sites);
+        let from = SiteId::new(1 + self.rng.below(sites) as u32);
+        let to = loop {
+            let t = SiteId::new(1 + self.rng.below(sites) as u32);
+            if t != from {
+                break t;
+            }
+        };
+        let amount = 1 + self.rng.below(self.spec.max_amount.max(1) as u64) as i64;
+        let intends_abort = self.rng.chance(self.spec.bad_beneficiary_prob);
+        let to_account = if intends_abort {
+            // Outside the loaded range: the increment fails with NotFound.
+            object(to, self.spec.accounts_per_site + 1_000)
+        } else {
+            object(to, self.rng.zipf(self.spec.accounts_per_site, self.spec.zipf_theta))
+        };
+        let from_account = object(
+            from,
+            self.rng.zipf(self.spec.accounts_per_site, self.spec.zipf_theta),
+        );
+        let per_site = BTreeMap::from([
+            (
+                from,
+                vec![Operation::Increment { obj: from_account, delta: -amount }],
+            ),
+            (
+                to,
+                vec![Operation::Increment { obj: to_account, delta: amount }],
+            ),
+        ]);
+        GlobalProgram {
+            per_site,
+            intends_abort,
+        }
+    }
+
+    /// Draw a batch.
+    pub fn programs(&mut self, n: usize) -> Vec<GlobalProgram> {
+        (0..n).map(|_| self.next_program()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amc_types::Operation;
+
+    #[test]
+    fn transfers_are_balanced() {
+        let mut g = TransferGen::new(TransferSpec::default(), 9);
+        for p in g.programs(200) {
+            if p.intends_abort {
+                continue;
+            }
+            let total: i64 = p
+                .merged_ops()
+                .iter()
+                .map(|op| match op {
+                    Operation::Increment { delta, .. } => *delta,
+                    _ => panic!("transfers are increments only"),
+                })
+                .sum();
+            assert_eq!(total, 0, "unbalanced transfer {p:?}");
+            assert_eq!(p.sites().len(), 2);
+            p.check_placement().unwrap();
+        }
+    }
+
+    #[test]
+    fn bad_beneficiary_rate_is_respected() {
+        let mut g = TransferGen::new(
+            TransferSpec {
+                bad_beneficiary_prob: 0.25,
+                ..TransferSpec::default()
+            },
+            4,
+        );
+        let n = 2000;
+        let bad = g.programs(n).iter().filter(|p| p.intends_abort).count();
+        let rate = bad as f64 / n as f64;
+        assert!((0.2..0.3).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn determinism() {
+        let a: Vec<_> = TransferGen::new(TransferSpec::default(), 7).programs(20);
+        let b: Vec<_> = TransferGen::new(TransferSpec::default(), 7).programs(20);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "two sites")]
+    fn single_site_rejected() {
+        TransferGen::new(
+            TransferSpec {
+                sites: 1,
+                ..TransferSpec::default()
+            },
+            1,
+        );
+    }
+}

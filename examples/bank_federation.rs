@@ -1,0 +1,131 @@
+//! Bank federation: the paper's sweet spot — commuting transfers across
+//! heterogeneous institutions, run concurrently under all three protocols
+//! to show the concurrency gap and verify money conservation.
+//!
+//! One of the banks runs an *optimistic* engine, so classical 2PC cannot be
+//! deployed at all (§3.1): the example runs 2PC on a homogeneous federation
+//! for comparison and the portable protocols on the heterogeneous one.
+//!
+//! ```text
+//! cargo run --release --example bank_federation
+//! ```
+
+use amc::core::{Federation, FederationConfig, ProtocolKind};
+use amc::sim::SimRng;
+use amc::types::{Operation, SiteId};
+use amc::workload::{object, Scenario};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Balanced transfers: -amount at one bank, +amount at another, so the
+/// federation-wide total is invariant. A small fraction of transfers name a
+/// non-existent beneficiary account — the intended-abort path.
+fn transfer_programs(
+    sites: u32,
+    accounts: u64,
+    n: usize,
+    seed: u64,
+) -> Vec<(BTreeMap<SiteId, Vec<Operation>>, bool)> {
+    let mut rng = SimRng::new(seed);
+    (0..n)
+        .map(|_| {
+            let from = SiteId::new(1 + rng.below(u64::from(sites)) as u32);
+            let to = loop {
+                let t = SiteId::new(1 + rng.below(u64::from(sites)) as u32);
+                if t != from {
+                    break t;
+                }
+            };
+            let amount = 1 + rng.below(50) as i64;
+            let bad_beneficiary = rng.chance(0.02);
+            let to_account = if bad_beneficiary {
+                object(to, accounts + 1_000) // not a real account
+            } else {
+                object(to, rng.zipf(accounts, 0.6))
+            };
+            let program = BTreeMap::from([
+                (
+                    from,
+                    vec![Operation::Increment {
+                        obj: object(from, rng.zipf(accounts, 0.6)),
+                        delta: -amount,
+                    }],
+                ),
+                (
+                    to,
+                    vec![Operation::Increment { obj: to_account, delta: amount }],
+                ),
+            ]);
+            (program, bad_beneficiary)
+        })
+        .collect()
+}
+
+fn total_balance(fed: &Federation) -> i64 {
+    fed.dumps()
+        .expect("dumps")
+        .values()
+        .flat_map(|d| d.iter())
+        .filter(|(o, _)| !amc::net::marker::is_marker(**o))
+        .map(|(_, v)| v.counter)
+        .sum()
+}
+
+fn main() {
+    let scenario = Scenario::Bank;
+    let spec = scenario.spec();
+    let transfers = 300;
+    let threads = 6;
+
+    println!("bank federation: {} sites, {} transfers, {} worker threads", spec.sites, transfers, threads);
+    println!("{:-<72}", "");
+
+    for protocol in ProtocolKind::ALL {
+        // 2PC demands modified (preparable) engines everywhere; the
+        // portable protocols run on the heterogeneous mix with an OCC bank.
+        let mut cfg = if protocol == ProtocolKind::TwoPhaseCommit {
+            FederationConfig::uniform(spec.sites, protocol)
+        } else {
+            FederationConfig::heterogeneous(spec.sites, protocol)
+        };
+        cfg.message_delay = Duration::from_micros(300); // 1991-scale RTT
+        let fed = Federation::new(cfg);
+        for s in 1..=spec.sites {
+            let site = SiteId::new(s);
+            fed.load_site(site, &spec.initial_data(site)).expect("load");
+        }
+        let fed = Arc::new(fed);
+
+        let initial_total = total_balance(&fed);
+        let programs = transfer_programs(spec.sites, spec.objects_per_site, transfers, 2024);
+        let metrics = fed.run_concurrent(programs, threads);
+        let engines: String = (1..=spec.sites)
+            .map(|s| fed.manager(SiteId::new(s)).unwrap().handle().engine().kind())
+            .collect::<Vec<_>>()
+            .join("/");
+
+        println!(
+            "{:<14} engines {:<12} {:>7.0} txn/s  {:>4} commits  {:>3} intended aborts  L0 hold {:>6.2} ms",
+            protocol.label(),
+            engines,
+            metrics.throughput(),
+            metrics.committed,
+            metrics.aborted_intended,
+            metrics.mean_l0_hold_ms(),
+        );
+
+        // Transfers are pure increments: the total must be conserved even
+        // across aborted-and-undone transactions.
+        assert_eq!(
+            total_balance(&fed),
+            initial_total,
+            "{protocol}: money leaked"
+        );
+    }
+
+    println!("{:-<72}", "");
+    println!("money conserved under every protocol; commit-before shows the");
+    println!("shortest L0 lock tenure and the highest throughput (§4.3).");
+
+}

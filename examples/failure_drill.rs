@@ -1,0 +1,79 @@
+//! Failure drill: crash a participant mid-protocol on the deterministic
+//! simulator and watch each protocol recover — the §3.2/§3.3 failure
+//! machinery in action, with full message transcripts.
+//!
+//! ```text
+//! cargo run --example failure_drill
+//! ```
+
+use amc::core::{FederationConfig, ProtocolKind, SimConfig, SimFederation};
+use amc::sim::FailurePlan;
+use amc::types::{GlobalTxnId, ObjectId, Operation, SimDuration, SimTime, SiteId, Value};
+use std::collections::BTreeMap;
+
+fn obj(site: u32, i: u64) -> ObjectId {
+    ObjectId::new(u64::from(site) * (1 << 32) + i)
+}
+
+fn main() {
+    println!("failure drill: site 2 crashes 1.2 ms into the protocol, restarts 40 ms later");
+    println!("{:=<76}", "");
+
+    for protocol in ProtocolKind::ALL {
+        let mut cfg = SimConfig::new(FederationConfig::uniform(2, protocol));
+        cfg.failures = FailurePlan::none().outage(
+            SiteId::new(2),
+            SimTime(1_200),
+            SimDuration::from_millis(40),
+        );
+        let fed = SimFederation::new(cfg);
+        for s in 1..=2u32 {
+            fed.load_site(SiteId::new(s), &[(obj(s, 0), Value::counter(100))]);
+        }
+        let managers = fed.managers();
+
+        let program = BTreeMap::from([
+            (
+                SiteId::new(1),
+                vec![Operation::Increment { obj: obj(1, 0), delta: -30 }],
+            ),
+            (
+                SiteId::new(2),
+                vec![Operation::Increment { obj: obj(2, 0), delta: 30 }],
+            ),
+        ]);
+        let report = fed.run(vec![(SimDuration::ZERO, program)]);
+
+        let gtx = GlobalTxnId::new(1);
+        println!();
+        println!("--- {} ---", protocol.label());
+        println!(
+            "verdict: {:?}   resolved after {:.1} ms (virtual)   {} retransmissions",
+            report.outcomes.get(&gtx),
+            report
+                .resolution
+                .get(&gtx)
+                .map_or(f64::NAN, |d| d.micros() as f64 / 1e3),
+            report.retransmissions,
+        );
+        let dumps = SimFederation::dumps(&managers);
+        let v1 = dumps[&SiteId::new(1)][&obj(1, 0)].counter;
+        let v2 = dumps[&SiteId::new(2)][&obj(2, 0)].counter;
+        println!("final balances: site1={v1} site2={v2} (atomic: {})",
+            (v1, v2) == (70, 130) || (v1, v2) == (100, 100));
+        println!("transcript:");
+        for line in report.trace.render().lines() {
+            println!("  {line}");
+        }
+        assert!(
+            (v1, v2) == (70, 130) || (v1, v2) == (100, 100),
+            "{protocol}: atomicity violated"
+        );
+    }
+
+    println!();
+    println!("{:=<76}", "");
+    println!("all three protocols resolved the crash atomically; note how");
+    println!("commit-before either finished before the crash or aborted and");
+    println!("undid the surviving site with an inverse transaction (§3.3).");
+}

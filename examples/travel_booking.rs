@@ -1,0 +1,98 @@
+//! Travel booking: a trip spans an airline, a hotel chain and a car-rental
+//! company — three different database systems. Bookings use **escrow
+//! reserves** (the VODAK-style semantic operation): concurrent bookings on
+//! the same flight interleave at L1, overselling is impossible, and a trip
+//! that fails at one company is undone at the others by restocking inverse
+//! transactions (§3.3).
+//!
+//! ```text
+//! cargo run --example travel_booking
+//! ```
+
+use amc::core::{Federation, FederationConfig, ProtocolKind, TxnOutcome};
+use amc::types::{ObjectId, Operation, SiteId, Value};
+use std::collections::BTreeMap;
+
+const AIRLINE: SiteId = SiteId::new(1);
+const HOTEL: SiteId = SiteId::new(2);
+const CARS: SiteId = SiteId::new(3);
+
+fn inventory(site: SiteId, idx: u64) -> ObjectId {
+    ObjectId::new(u64::from(site.raw()) * (1 << 32) + idx)
+}
+
+/// A trip books one unit at each company; `hotel_exists` models a booking
+/// for a hotel that is not in the hotel chain's database — the business
+/// rule failure that must abort the whole trip.
+fn trip(flight: u64, hotel: u64, car: u64, hotel_exists: bool) -> BTreeMap<SiteId, Vec<Operation>> {
+    let hotel_obj = if hotel_exists {
+        inventory(HOTEL, hotel)
+    } else {
+        inventory(HOTEL, 999_999) // not in the catalogue
+    };
+    BTreeMap::from([
+        (
+            AIRLINE,
+            vec![Operation::Reserve { obj: inventory(AIRLINE, flight), amount: 1 }],
+        ),
+        (
+            HOTEL,
+            vec![Operation::Reserve { obj: hotel_obj, amount: 1 }],
+        ),
+        (
+            CARS,
+            vec![Operation::Reserve { obj: inventory(CARS, car), amount: 1 }],
+        ),
+    ])
+}
+
+fn main() {
+    let federation = Federation::new(FederationConfig::uniform(3, ProtocolKind::CommitBefore));
+    for site in [AIRLINE, HOTEL, CARS] {
+        let stock: Vec<(ObjectId, Value)> =
+            (0..10).map(|i| (inventory(site, i), Value::counter(50))).collect();
+        federation.load_site(site, &stock).expect("load");
+    }
+
+    println!("travel agency over airline/hotel/car databases (commit-before + MLT)");
+    println!("{:-<68}", "");
+
+    let mut booked = 0;
+    let mut rejected = 0;
+    for customer in 0..20u64 {
+        // Every 4th customer asks for a hotel that does not exist.
+        let hotel_exists = customer % 4 != 3;
+        let program = trip(customer % 10, customer % 10, customer % 10, hotel_exists);
+        let report = federation.run_transaction(&program).expect("run");
+        match report.outcome {
+            TxnOutcome::Committed => booked += 1,
+            TxnOutcome::Aborted => rejected += 1,
+            TxnOutcome::L1Rejected(_) => unreachable!("no contention here"),
+        }
+        println!(
+            "customer {customer:>2}: {:<9} ({} messages)",
+            match report.outcome {
+                TxnOutcome::Committed => "booked",
+                _ => "rejected",
+            },
+            report.messages,
+        );
+    }
+
+    println!("{:-<68}", "");
+    println!("booked {booked}, rejected {rejected}");
+
+    // The invariant the §3.3 undo machinery guarantees: every rejected trip
+    // left airline and car inventory exactly as it found it — the committed
+    // airline/car legs were undone by inverse transactions.
+    let dumps = federation.dumps().expect("dumps");
+    let remaining: i64 = (0..10)
+        .map(|i| dumps[&AIRLINE][&inventory(AIRLINE, i)].counter)
+        .sum();
+    assert_eq!(remaining, 500 - booked, "airline seats match bookings");
+    let cars: i64 = (0..10)
+        .map(|i| dumps[&CARS][&inventory(CARS, i)].counter)
+        .sum();
+    assert_eq!(cars, 500 - booked, "cars match bookings");
+    println!("inventory audit passed: rejected trips left no trace");
+}

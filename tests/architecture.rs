@@ -1,0 +1,103 @@
+//! F1 — the Fig. 1 architecture invariants: star topology, one connection
+//! per site, no local-to-local traffic, and integration of additional
+//! systems without disturbing existing ones.
+
+use amc::core::{Federation, FederationConfig, ProtocolKind};
+use amc::types::{ObjectId, Operation, SiteId, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+fn obj(site: u32, i: u64) -> ObjectId {
+    ObjectId::new(u64::from(site) * (1 << 32) + i)
+}
+
+fn loaded(protocol: ProtocolKind, sites: u32) -> Federation {
+    let fed = Federation::new(FederationConfig::uniform(sites, protocol));
+    for s in 1..=sites {
+        let data: Vec<(ObjectId, Value)> =
+            (0..16).map(|i| (obj(s, i), Value::counter(100))).collect();
+        fed.load_site(SiteId::new(s), &data).unwrap();
+    }
+    fed
+}
+
+fn spread_program(sites: u32) -> BTreeMap<SiteId, Vec<Operation>> {
+    (1..=sites)
+        .map(|s| {
+            (
+                SiteId::new(s),
+                vec![Operation::Increment { obj: obj(s, 0), delta: 1 }],
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn every_message_involves_the_central_system() {
+    for protocol in ProtocolKind::ALL {
+        let fed = loaded(protocol, 4);
+        fed.run_transaction(&spread_program(4)).unwrap();
+        let trace = fed.trace();
+        assert!(!trace.is_empty());
+        for entry in trace.entries() {
+            assert!(
+                entry.envelope.respects_star_topology(),
+                "{protocol}: {}",
+                entry.envelope
+            );
+        }
+    }
+}
+
+#[test]
+fn locals_never_exchange_messages_directly() {
+    for protocol in ProtocolKind::ALL {
+        let fed = loaded(protocol, 3);
+        fed.run_transaction(&spread_program(3)).unwrap();
+        for entry in fed.trace().entries() {
+            let e = &entry.envelope;
+            assert!(
+                e.from.is_central() || e.to.is_central(),
+                "{protocol}: local-to-local message {e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn adding_a_site_does_not_disturb_existing_ones() {
+    // §2: "the integration of additional systems ... does not cause further
+    // problems affecting the already integrated existing database systems".
+    // Run the same two-site program on a 2-site and on a 5-site federation;
+    // the untouched sites see zero traffic and identical outcomes.
+    for protocol in ProtocolKind::ALL {
+        let small = loaded(protocol, 2);
+        let large = loaded(protocol, 5);
+        let program = spread_program(2);
+        let a = small.run_transaction(&program).unwrap();
+        let b = large.run_transaction(&program).unwrap();
+        assert_eq!(a.outcome, b.outcome, "{protocol}");
+        assert_eq!(a.messages, b.messages, "{protocol}: traffic changed");
+        let touched: BTreeSet<SiteId> = large
+            .trace()
+            .entries()
+            .iter()
+            .flat_map(|e| [e.envelope.from, e.envelope.to])
+            .filter(|s| !s.is_central())
+            .collect();
+        assert_eq!(
+            touched,
+            BTreeSet::from([SiteId::new(1), SiteId::new(2)]),
+            "{protocol}: uninvolved sites saw traffic"
+        );
+    }
+}
+
+#[test]
+fn per_transaction_traffic_scales_linearly_with_participants() {
+    for protocol in ProtocolKind::ALL {
+        let fed = loaded(protocol, 4);
+        let two = fed.run_transaction(&spread_program(2)).unwrap().messages;
+        let four = fed.run_transaction(&spread_program(4)).unwrap().messages;
+        assert_eq!(four, two * 2, "{protocol}: {two} vs {four}");
+    }
+}

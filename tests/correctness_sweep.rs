@@ -1,0 +1,42 @@
+//! E6 as an integration test: randomized concurrent workloads audited by
+//! the full oracle stack (serializability, atomicity, state equivalence),
+//! across all three protocols and both conflict definitions.
+
+use amc_bench::experiments::e6_correctness;
+use amc::types::ProtocolKind;
+
+#[test]
+fn oracle_audit_passes_for_all_protocols() {
+    for protocol in ProtocolKind::ALL {
+        for seed in [11, 42] {
+            let row = e6_correctness::run_one(protocol, seed, 60, 4);
+            assert_eq!(
+                row.serializability_violations, 0,
+                "{protocol} seed {seed}: serializability"
+            );
+            assert_eq!(
+                row.atomicity_violations, 0,
+                "{protocol} seed {seed}: atomicity"
+            );
+            assert_eq!(
+                row.state_divergences, 0,
+                "{protocol} seed {seed}: state equivalence"
+            );
+            assert!(row.committed > 0, "{protocol} seed {seed}: no commits?");
+        }
+    }
+}
+
+#[test]
+fn protocols_agree_on_commit_abort_split() {
+    // The same deterministic workload must reach the same intended-abort
+    // decisions under every protocol (erroneous aborts are retried away by
+    // the drivers).
+    let mut splits = Vec::new();
+    for protocol in ProtocolKind::ALL {
+        let row = e6_correctness::run_one(protocol, 7, 50, 4);
+        splits.push((row.committed, row.aborted));
+    }
+    assert_eq!(splits[0], splits[1], "2pc vs commit-after");
+    assert_eq!(splits[1], splits[2], "commit-after vs commit-before");
+}

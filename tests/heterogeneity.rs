@@ -1,0 +1,122 @@
+//! The paper's motivating constraint, end to end: a federation containing
+//! an engine without a ready state (OCC) cannot run 2PC, while both
+//! portable protocols integrate it unchanged — including through OCC's
+//! characteristic validation-failure aborts.
+
+use amc::core::{Federation, FederationConfig, ProtocolKind, TxnOutcome};
+use amc::types::{ObjectId, Operation, SiteId, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn obj(site: u32, i: u64) -> ObjectId {
+    ObjectId::new(u64::from(site) * (1 << 32) + i)
+}
+
+fn hetero(protocol: ProtocolKind) -> Arc<Federation> {
+    let fed = Federation::new(FederationConfig::heterogeneous(4, protocol));
+    for s in 1..=4u32 {
+        let data: Vec<(ObjectId, Value)> =
+            (0..32).map(|i| (obj(s, i), Value::counter(100))).collect();
+        fed.load_site(SiteId::new(s), &data).unwrap();
+    }
+    Arc::new(fed)
+}
+
+#[test]
+fn federation_mixes_engine_kinds() {
+    let fed = hetero(ProtocolKind::CommitBefore);
+    let kinds: Vec<&str> = (1..=4u32)
+        .map(|s| fed.manager(SiteId::new(s)).unwrap().handle().engine().kind())
+        .collect();
+    assert_eq!(kinds, vec!["2pl", "occ", "2pl", "occ"]);
+}
+
+#[test]
+fn portable_protocols_commit_across_engine_kinds() {
+    for protocol in [ProtocolKind::CommitAfter, ProtocolKind::CommitBefore] {
+        let fed = hetero(protocol);
+        // Span a 2PL site and an OCC site.
+        let program = BTreeMap::from([
+            (
+                SiteId::new(1),
+                vec![Operation::Increment { obj: obj(1, 0), delta: -9 }],
+            ),
+            (
+                SiteId::new(2),
+                vec![Operation::Increment { obj: obj(2, 0), delta: 9 }],
+            ),
+        ]);
+        let report = fed.run_transaction(&program).unwrap();
+        assert_eq!(report.outcome, TxnOutcome::Committed, "{protocol}");
+        let dumps = fed.dumps().unwrap();
+        assert_eq!(dumps[&SiteId::new(1)][&obj(1, 0)], Value::counter(91));
+        assert_eq!(dumps[&SiteId::new(2)][&obj(2, 0)], Value::counter(109));
+    }
+}
+
+#[test]
+fn concurrent_load_on_heterogeneous_federation_stays_consistent() {
+    for protocol in [ProtocolKind::CommitAfter, ProtocolKind::CommitBefore] {
+        let fed = hetero(protocol);
+        let programs: Vec<(BTreeMap<SiteId, Vec<Operation>>, bool)> = (0..80)
+            .map(|i| {
+                let a = 1 + (i % 4) as u32;
+                let b = 1 + ((i + 1) % 4) as u32;
+                let amount = 1 + (i % 5) as i64;
+                (
+                    BTreeMap::from([
+                        (
+                            SiteId::new(a),
+                            vec![Operation::Increment { obj: obj(a, i as u64 % 32), delta: -amount }],
+                        ),
+                        (
+                            SiteId::new(b),
+                            vec![Operation::Increment { obj: obj(b, i as u64 % 32), delta: amount }],
+                        ),
+                    ]),
+                    false,
+                )
+            })
+            .collect();
+        let metrics = fed.run_concurrent(programs, 6);
+        assert_eq!(metrics.committed, 80, "{protocol}: {metrics:?}");
+        // Conservation across engines of different kinds.
+        let total: i64 = fed
+            .dumps()
+            .unwrap()
+            .values()
+            .flat_map(|d| d.iter())
+            .filter(|(o, _)| !amc::net::marker::is_marker(**o))
+            .map(|(_, v)| v.counter)
+            .sum();
+        assert_eq!(total, 4 * 32 * 100, "{protocol}");
+    }
+}
+
+#[test]
+fn occ_validation_failures_surface_as_erroneous_aborts_and_are_absorbed() {
+    // Hammer one hot OCC object: validation failures are §3.2's erroneous
+    // aborts; pre-vote retries and the redo loop must absorb them all.
+    let fed = hetero(ProtocolKind::CommitAfter);
+    let programs: Vec<(BTreeMap<SiteId, Vec<Operation>>, bool)> = (0..40)
+        .map(|_| {
+            (
+                BTreeMap::from([(
+                    SiteId::new(2), // the OCC site
+                    vec![
+                        Operation::Read { obj: obj(2, 0) },
+                        Operation::Increment { obj: obj(2, 0), delta: 1 },
+                    ],
+                )]),
+                false,
+            )
+        })
+        .collect();
+    let metrics = fed.run_concurrent(programs, 6);
+    assert_eq!(metrics.committed, 40, "metrics: {metrics:?}");
+    assert_eq!(
+        fed.dumps().unwrap()[&SiteId::new(2)][&obj(2, 0)],
+        Value::counter(140),
+        "every increment exactly once despite validation failures"
+    );
+}

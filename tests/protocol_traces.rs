@@ -1,0 +1,291 @@
+//! F2–F5 — golden message traces reproducing the state/message diagrams of
+//! Figs. 2, 4 and 6, on the deterministic simulator.
+//!
+//! Mapping note: the paper's figures begin at the `prepare` inquiry; in this
+//! implementation the work shipment (`submit`) carries the inquiry
+//! implicitly and its reply is the `ready`/`abort` vote, so the figures'
+//! `prepare → ready` appears as `submit → ready` on the failure-free path.
+//! The explicit `prepare` message appears where the paper uses it: in 2PC's
+//! dedicated voting round and in post-crash re-inquiry.
+
+use amc::core::{FederationConfig, ProtocolKind, SimConfig, SimFederation};
+use amc::sim::FailurePlan;
+use amc::types::{
+    GlobalTxnId, GlobalVerdict, ObjectId, Operation, SimDuration, SimTime, SiteId, Value,
+};
+use std::collections::BTreeMap;
+
+fn obj(site: u32, i: u64) -> ObjectId {
+    ObjectId::new(u64::from(site) * (1 << 32) + i)
+}
+
+fn sim(protocol: ProtocolKind, failures: FailurePlan) -> SimFederation {
+    let mut cfg = SimConfig::new(FederationConfig::uniform(2, protocol));
+    cfg.failures = failures;
+    let fed = SimFederation::new(cfg);
+    for s in 1..=2u32 {
+        fed.load_site(
+            SiteId::new(s),
+            &[(obj(s, 0), Value::counter(100)), (obj(s, 1), Value::counter(100))],
+        );
+    }
+    fed
+}
+
+fn transfer() -> BTreeMap<SiteId, Vec<Operation>> {
+    BTreeMap::from([
+        (
+            SiteId::new(1),
+            vec![Operation::Increment { obj: obj(1, 0), delta: -30 }],
+        ),
+        (
+            SiteId::new(2),
+            vec![Operation::Increment { obj: obj(2, 0), delta: 30 }],
+        ),
+    ])
+}
+
+fn failing_at_site_2() -> BTreeMap<SiteId, Vec<Operation>> {
+    let mut p = transfer();
+    p.get_mut(&SiteId::new(2))
+        .unwrap()
+        .push(Operation::Read { obj: obj(2, 999) }); // does not exist
+    p
+}
+
+const G1: GlobalTxnId = GlobalTxnId::new(1);
+
+/// F2: Fig. 2 — 2PC commit: work, prepare round, decision, finish.
+#[test]
+fn fig2_two_phase_commit_trace() {
+    let report = sim(ProtocolKind::TwoPhaseCommit, FailurePlan::none())
+        .run(vec![(SimDuration::ZERO, transfer())]);
+    assert_eq!(
+        report.trace.labels_for(G1),
+        vec![
+            "submit:0->1",
+            "submit:0->2",
+            "ready:1->0",
+            "ready:2->0",
+            "prepare:0->1",
+            "prepare:0->2",
+            "ready:1->0",
+            "ready:2->0",
+            "commit:0->1",
+            "commit:0->2",
+            "finished:1->0",
+            "finished:2->0",
+        ]
+    );
+    assert_eq!(report.outcomes[&G1], GlobalVerdict::Commit);
+}
+
+/// F2 (abort side): a participant that cannot finish its work forces a
+/// global abort delivered to every participant.
+#[test]
+fn fig2_two_phase_abort_trace() {
+    let report = sim(ProtocolKind::TwoPhaseCommit, FailurePlan::none())
+        .run(vec![(SimDuration::ZERO, failing_at_site_2())]);
+    let labels = report.trace.labels_for(G1);
+    assert_eq!(
+        labels,
+        vec![
+            "submit:0->1",
+            "submit:0->2",
+            "ready:1->0",
+            "abort-vote:2->0",
+            "abort:0->1",
+            "abort:0->2",
+            "finished:1->0",
+            "finished:2->0",
+        ]
+    );
+    assert_eq!(report.outcomes[&G1], GlobalVerdict::Abort);
+}
+
+/// F4: Fig. 4 — commit-after: votes double as work replies; the decision
+/// goes out while locals are still *running*.
+#[test]
+fn fig4_commit_after_trace() {
+    let report = sim(ProtocolKind::CommitAfter, FailurePlan::none())
+        .run(vec![(SimDuration::ZERO, transfer())]);
+    assert_eq!(
+        report.trace.labels_for(G1),
+        vec![
+            "submit:0->1",
+            "submit:0->2",
+            "ready:1->0",
+            "ready:2->0",
+            "commit:0->1",
+            "commit:0->2",
+            "finished:1->0",
+            "finished:2->0",
+        ]
+    );
+}
+
+/// F4 (redo): after a post-decision crash, the commit is retransmitted as a
+/// `redo` carrying the operations (Fig. 4's repetition loop).
+#[test]
+fn fig4_redo_retransmission_after_crash() {
+    // Crash site 2 right when the decision is in flight (votes arrive at
+    // ~1400 µs with 500 µs latency + 200 µs service each way).
+    let failures =
+        FailurePlan::none().outage(SiteId::new(2), SimTime(1_450), SimDuration::from_millis(25));
+    let report =
+        sim(ProtocolKind::CommitAfter, failures).run(vec![(SimDuration::ZERO, transfer())]);
+    let labels = report.trace.labels_for(G1);
+    assert_eq!(report.outcomes.get(&G1), Some(&GlobalVerdict::Commit));
+    assert!(
+        labels.iter().any(|l| l == "redo:0->2"),
+        "expected a redo retransmission, got {labels:?}"
+    );
+}
+
+/// F5: Fig. 6 — commit-before commit path: two messages per site, done.
+#[test]
+fn fig6_commit_before_commit_trace() {
+    let report = sim(ProtocolKind::CommitBefore, FailurePlan::none())
+        .run(vec![(SimDuration::ZERO, transfer())]);
+    assert_eq!(
+        report.trace.labels_for(G1),
+        vec!["submit:0->1", "submit:0->2", "ready:1->0", "ready:2->0"]
+    );
+    assert_eq!(report.outcomes[&G1], GlobalVerdict::Commit);
+}
+
+/// F5 (undo): Fig. 6's abort side — the committed site is undone by an
+/// inverse transaction, the aborted site needs nothing.
+#[test]
+fn fig6_commit_before_undo_trace() {
+    let report = sim(ProtocolKind::CommitBefore, FailurePlan::none())
+        .run(vec![(SimDuration::ZERO, failing_at_site_2())]);
+    let labels = report.trace.labels_for(G1);
+    assert_eq!(
+        labels,
+        vec![
+            "submit:0->1",
+            "submit:0->2",
+            "ready:1->0",
+            "abort-vote:2->0",
+            "undo:0->1",
+            "finished:1->0",
+        ]
+    );
+    assert_eq!(report.outcomes[&G1], GlobalVerdict::Abort);
+}
+
+/// F3: the commit-point orderings of Figs. 3/5/7 — observed through the
+/// decision-vs-local-commit order in the traces.
+#[test]
+fn fig3_5_7_commit_point_orderings() {
+    // 2PC: decision between ready and commit messages (middle).
+    let two_pc = sim(ProtocolKind::TwoPhaseCommit, FailurePlan::none())
+        .run(vec![(SimDuration::ZERO, transfer())]);
+    let labels = two_pc.trace.labels_for(G1);
+    let ready_pos = labels.iter().position(|l| l.starts_with("ready")).unwrap();
+    let commit_pos = labels.iter().position(|l| l.starts_with("commit")).unwrap();
+    assert!(ready_pos < commit_pos, "Fig. 3: decision in the middle");
+
+    // Commit-after: the local commit (triggered by the decision message)
+    // happens after every vote — there is no local commit before "commit".
+    let after = sim(ProtocolKind::CommitAfter, FailurePlan::none())
+        .run(vec![(SimDuration::ZERO, transfer())]);
+    let labels = after.trace.labels_for(G1);
+    let last_vote = labels.iter().rposition(|l| l.starts_with("ready")).unwrap();
+    let decision = labels.iter().position(|l| l.starts_with("commit")).unwrap();
+    assert!(last_vote < decision, "Fig. 5: decision before local commits");
+
+    // Commit-before: no decision message exists at all on the commit path —
+    // local commits all precede the (silent) decision (Fig. 7).
+    let before = sim(ProtocolKind::CommitBefore, FailurePlan::none())
+        .run(vec![(SimDuration::ZERO, transfer())]);
+    let labels = before.trace.labels_for(G1);
+    assert!(
+        labels.iter().all(|l| !l.starts_with("commit:")),
+        "Fig. 7: no commit message on the wire"
+    );
+}
+
+/// §5 extension — the read-only participant optimization: a site whose
+/// local transaction performed no updates votes `ready-ro`, commits
+/// immediately and drops out of the decision round, under every protocol.
+#[test]
+fn read_only_participant_drops_out_of_decision_round() {
+    let read_only_program = || {
+        BTreeMap::from([
+            (
+                SiteId::new(1),
+                vec![Operation::Increment { obj: obj(1, 0), delta: 1 }],
+            ),
+            (SiteId::new(2), vec![Operation::Read { obj: obj(2, 0) }]),
+        ])
+    };
+    // 2PC: the read-only site answers the prepare inquiry with ready-ro
+    // and receives no decision.
+    let report = sim(ProtocolKind::TwoPhaseCommit, FailurePlan::none())
+        .run(vec![(SimDuration::ZERO, read_only_program())]);
+    assert_eq!(
+        report.trace.labels_for(G1),
+        vec![
+            "submit:0->1",
+            "submit:0->2",
+            "ready:1->0",
+            "ready:2->0",
+            "prepare:0->1",
+            "prepare:0->2",
+            "ready:1->0",
+            "ready-ro:2->0",
+            "commit:0->1",
+            "finished:1->0",
+        ]
+    );
+    assert_eq!(report.outcomes[&G1], GlobalVerdict::Commit);
+
+    // Commit-after: the read-only site commits at submit time and is
+    // excluded from the decision fan-out.
+    let report = sim(ProtocolKind::CommitAfter, FailurePlan::none())
+        .run(vec![(SimDuration::ZERO, read_only_program())]);
+    assert_eq!(
+        report.trace.labels_for(G1),
+        vec![
+            "submit:0->1",
+            "submit:0->2",
+            "ready:1->0",
+            "ready-ro:2->0",
+            "commit:0->1",
+            "finished:1->0",
+        ]
+    );
+    assert_eq!(report.outcomes[&G1], GlobalVerdict::Commit);
+}
+
+/// Read-only participants of an *aborted* commit-before transaction need
+/// no undo: there is nothing to invert.
+#[test]
+fn read_only_participant_needs_no_undo_on_abort() {
+    let program = BTreeMap::from([
+        (SiteId::new(1), vec![Operation::Read { obj: obj(1, 0) }]),
+        (
+            SiteId::new(2),
+            vec![
+                Operation::Increment { obj: obj(2, 0), delta: 1 },
+                Operation::Read { obj: obj(2, 999) }, // fails: intended abort
+            ],
+        ),
+    ]);
+    let report = sim(ProtocolKind::CommitBefore, FailurePlan::none())
+        .run(vec![(SimDuration::ZERO, program)]);
+    assert_eq!(report.outcomes[&G1], GlobalVerdict::Abort);
+    let labels = report.trace.labels_for(G1);
+    assert_eq!(
+        labels,
+        vec![
+            "submit:0->1",
+            "submit:0->2",
+            "ready-ro:1->0",
+            "abort-vote:2->0",
+        ],
+        "no undo message: the read-only commit has no effects to invert"
+    );
+}
