@@ -63,22 +63,30 @@ fn e2_redo(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_redo");
     group.sample_size(10);
     for p in [0.0, 0.3] {
-        group.bench_with_input(BenchmarkId::new("commit-after", format!("p={p}")), &p, |b, &p| {
-            let s = spec(0.0, OpMix::MIXED, 0.0);
-            b.iter_batched(
-                || {
-                    let fed = build_federation(ProtocolKind::CommitAfter, ConflictPolicy::Semantic, &s);
-                    for site in 1..=s.sites {
-                        fed.manager(amc_types::SiteId::new(site))
-                            .unwrap()
-                            .inject_post_ready_aborts(p, 99);
-                    }
-                    (fed, program_batch(&s, 2, 40))
-                },
-                |(fed, batch)| fed.run_concurrent(batch, 4),
-                criterion::BatchSize::LargeInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::new("commit-after", format!("p={p}")),
+            &p,
+            |b, &p| {
+                let s = spec(0.0, OpMix::MIXED, 0.0);
+                b.iter_batched(
+                    || {
+                        let fed = build_federation(
+                            ProtocolKind::CommitAfter,
+                            ConflictPolicy::Semantic,
+                            &s,
+                        );
+                        for site in 1..=s.sites {
+                            fed.manager(amc_types::SiteId::new(site))
+                                .unwrap()
+                                .inject_post_ready_aborts(p, 99);
+                        }
+                        (fed, program_batch(&s, 2, 40))
+                    },
+                    |(fed, batch)| fed.run_concurrent(batch, 4),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
     }
     group.finish();
 }

@@ -17,7 +17,9 @@ fn storage_put_get(c: &mut Criterion) {
             || PageStore::new(64, 128),
             |mut store| {
                 for i in 0..1_000u64 {
-                    store.put(ObjectId::new(i), Value::counter(i as i64)).unwrap();
+                    store
+                        .put(ObjectId::new(i), Value::counter(i as i64))
+                        .unwrap();
                 }
                 for i in 0..1_000u64 {
                     std::hint::black_box(store.get(ObjectId::new(i)).unwrap());
@@ -81,7 +83,13 @@ fn engine_commit_paths(c: &mut Criterion) {
         b.iter(|| {
             let t = engine.begin().unwrap();
             engine
-                .execute(t, &Operation::Increment { obj: ObjectId::new(i % 128), delta: 1 })
+                .execute(
+                    t,
+                    &Operation::Increment {
+                        obj: ObjectId::new(i % 128),
+                        delta: 1,
+                    },
+                )
                 .unwrap();
             engine.commit(t).unwrap();
             i += 1;
@@ -96,7 +104,13 @@ fn engine_commit_paths(c: &mut Criterion) {
         b.iter(|| {
             let t = engine.begin().unwrap();
             engine
-                .execute(t, &Operation::Increment { obj: ObjectId::new(i % 128), delta: 1 })
+                .execute(
+                    t,
+                    &Operation::Increment {
+                        obj: ObjectId::new(i % 128),
+                        delta: 1,
+                    },
+                )
                 .unwrap();
             engine.commit(t).unwrap();
             i += 1;

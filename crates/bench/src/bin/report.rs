@@ -90,6 +90,17 @@ fn main() {
             println!("{v}");
         }
         println!();
+        let seeds: Vec<u64> = if quick {
+            (0..4).collect()
+        } else {
+            (0..20).collect()
+        };
+        let rows = e5_crash::run_nemesis(&seeds);
+        print!("{}", e5_crash::nemesis_table(&rows).render());
+        for v in e5_crash::nemesis_verdicts(&rows) {
+            println!("{v}");
+        }
+        println!();
     }
 
     if wants("e6") {

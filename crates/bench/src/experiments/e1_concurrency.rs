@@ -105,10 +105,7 @@ pub fn table(rows: &[Row]) -> TextTable {
 /// verdict lines).
 pub fn verdicts(rows: &[Row]) -> Vec<String> {
     let mut out = Vec::new();
-    let hot = rows
-        .iter()
-        .filter(|r| r.theta >= 0.9)
-        .collect::<Vec<_>>();
+    let hot = rows.iter().filter(|r| r.theta >= 0.9).collect::<Vec<_>>();
     let get = |p: ProtocolKind| hot.iter().find(|r| r.protocol == p);
     if let (Some(before), Some(after), Some(two_pc)) = (
         get(ProtocolKind::CommitBefore),
@@ -123,7 +120,11 @@ pub fn verdicts(rows: &[Row]) -> Vec<String> {
         ));
         out.push(format!(
             "[{}] C2b: commit-before throughput >= 2PC under contention ({:.1} vs {:.1} txn/s)",
-            if before.throughput >= two_pc.throughput { "PASS" } else { "FAIL" },
+            if before.throughput >= two_pc.throughput {
+                "PASS"
+            } else {
+                "FAIL"
+            },
             before.throughput,
             two_pc.throughput,
         ));

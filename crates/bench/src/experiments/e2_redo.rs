@@ -109,7 +109,11 @@ pub fn verdicts(rows: &[Row]) -> Vec<String> {
     if let (Some(first), Some(last)) = (rows.first(), rows.last()) {
         out.push(format!(
             "[{}] C3a-1: redo rate grows with p ({:.3} at p={:.1} -> {:.3} at p={:.1})",
-            if last.redos_per_commit > first.redos_per_commit { "PASS" } else { "FAIL" },
+            if last.redos_per_commit > first.redos_per_commit {
+                "PASS"
+            } else {
+                "FAIL"
+            },
             first.redos_per_commit,
             first.p,
             last.redos_per_commit,
@@ -117,13 +121,21 @@ pub fn verdicts(rows: &[Row]) -> Vec<String> {
         ));
         out.push(format!(
             "[{}] C3a-2: throughput declines with p ({:.1} -> {:.1} txn/s)",
-            if last.throughput < first.throughput { "PASS" } else { "FAIL" },
+            if last.throughput < first.throughput {
+                "PASS"
+            } else {
+                "FAIL"
+            },
             first.throughput,
             last.throughput,
         ));
         out.push(format!(
             "[{}] C3a-3: atomicity holds — every submitted txn still commits ({} commits)",
-            if rows.iter().all(|r| r.committed > 0) { "PASS" } else { "FAIL" },
+            if rows.iter().all(|r| r.committed > 0) {
+                "PASS"
+            } else {
+                "FAIL"
+            },
             last.committed,
         ));
     }

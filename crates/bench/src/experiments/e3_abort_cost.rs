@@ -116,21 +116,33 @@ pub fn verdicts(rows: &[Row]) -> Vec<String> {
     if let (Some(cb), Some(ca)) = (cb_high, ca_high) {
         out.push(format!(
             "[{}] C3b-1: commit-before runs inverse txns on intended aborts ({:.2}/abort)",
-            if cb.undos_per_abort > 0.0 { "PASS" } else { "FAIL" },
+            if cb.undos_per_abort > 0.0 {
+                "PASS"
+            } else {
+                "FAIL"
+            },
             cb.undos_per_abort,
         ));
         out.push(format!(
             "[{}] C3b-2: commit-after needs no undo machinery ({:.2}/abort)",
-            if ca.undos_per_abort == 0.0 { "PASS" } else { "FAIL" },
+            if ca.undos_per_abort == 0.0 {
+                "PASS"
+            } else {
+                "FAIL"
+            },
             ca.undos_per_abort,
         ));
     }
     // The relative gap between the protocols must shrink as aborts rise.
     let gap_at = |rate_lo: bool| -> Option<f64> {
         let pick = |p: ProtocolKind| {
-            rows.iter()
-                .filter(|r| r.protocol == p)
-                .find(|r| if rate_lo { r.abort_rate <= 0.01 } else { r.abort_rate >= 0.3 })
+            rows.iter().filter(|r| r.protocol == p).find(|r| {
+                if rate_lo {
+                    r.abort_rate <= 0.01
+                } else {
+                    r.abort_rate >= 0.3
+                }
+            })
         };
         let cb = pick(ProtocolKind::CommitBefore)?;
         let ca = pick(ProtocolKind::CommitAfter)?;

@@ -10,6 +10,7 @@
 
 use crate::table::{f2, TextTable};
 use amc_core::{FederationConfig, SimConfig, SimFederation};
+use amc_net::NetStats;
 use amc_types::{GlobalVerdict, ObjectId, Operation, ProtocolKind, SimDuration, SiteId, Value};
 use std::collections::BTreeMap;
 
@@ -26,6 +27,8 @@ pub struct Row {
     pub log_bytes_per_txn: f64,
     /// Virtual commit latency (ms).
     pub latency_ms: f64,
+    /// Full router accounting (all zero drops on this failure-free path).
+    pub net: NetStats,
 }
 
 fn obj(site: u32, i: u64) -> ObjectId {
@@ -62,22 +65,24 @@ pub fn run(txns: usize) -> Vec<Row> {
                 let program = BTreeMap::from([
                     (
                         SiteId::new(1),
-                        vec![Operation::Increment { obj: obj(1, i as u64), delta: -5 }],
+                        vec![Operation::Increment {
+                            obj: obj(1, i as u64),
+                            delta: -5,
+                        }],
                     ),
                     (
                         SiteId::new(2),
-                        vec![Operation::Increment { obj: obj(2, i as u64), delta: 5 }],
+                        vec![Operation::Increment {
+                            obj: obj(2, i as u64),
+                            delta: 5,
+                        }],
                     ),
                 ]);
                 (SimDuration::from_millis(i as u64 * 5), program)
             })
             .collect();
         let report = fed.run(programs);
-        assert!(
-            report.errors.is_empty(),
-            "{protocol}: {:?}",
-            report.errors
-        );
+        assert!(report.errors.is_empty(), "{protocol}: {:?}", report.errors);
         let committed = report
             .outcomes
             .values()
@@ -104,6 +109,7 @@ pub fn run(txns: usize) -> Vec<Row> {
             forces_per_txn: (forces_after - forces_before) as f64 / committed,
             log_bytes_per_txn: (bytes_after - bytes_before) as f64 / committed,
             latency_ms: mean_latency_us / 1e3,
+            net: report.net,
         });
     }
     rows
@@ -113,7 +119,14 @@ pub fn run(txns: usize) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> TextTable {
     let mut t = TextTable::new(
         "E4 — failure-free commit-path complexity per committed transaction (2 sites)",
-        &["protocol", "msgs/txn", "log-forces/txn", "log-bytes/txn", "virtual latency ms"],
+        &[
+            "protocol",
+            "msgs/txn",
+            "log-forces/txn",
+            "log-bytes/txn",
+            "virtual latency ms",
+            "net sent/drop/dup",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -122,6 +135,7 @@ pub fn table(rows: &[Row]) -> TextTable {
             f2(r.forces_per_txn),
             f2(r.log_bytes_per_txn),
             f2(r.latency_ms),
+            format!("{}/{}/{}", r.net.sent, r.net.dropped, r.net.duplicated),
         ]);
     }
     t
@@ -138,8 +152,7 @@ pub fn verdicts(rows: &[Row]) -> Vec<String> {
     ) {
         out.push(format!(
             "[{}] E4-1: commit-before sends fewest messages ({:.1} < {:.1} < {:.1})",
-            if before.msgs_per_txn < after.msgs_per_txn
-                && after.msgs_per_txn < two_pc.msgs_per_txn
+            if before.msgs_per_txn < after.msgs_per_txn && after.msgs_per_txn < two_pc.msgs_per_txn
             {
                 "PASS"
             } else {
@@ -151,7 +164,11 @@ pub fn verdicts(rows: &[Row]) -> Vec<String> {
         ));
         out.push(format!(
             "[{}] E4-2: 2PC pays the extra forced prepare records ({:.1} vs {:.1} forces/txn)",
-            if two_pc.forces_per_txn > before.forces_per_txn { "PASS" } else { "FAIL" },
+            if two_pc.forces_per_txn > before.forces_per_txn {
+                "PASS"
+            } else {
+                "FAIL"
+            },
             two_pc.forces_per_txn,
             before.forces_per_txn,
         ));

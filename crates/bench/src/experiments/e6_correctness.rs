@@ -73,7 +73,9 @@ pub fn run_one(protocol: ProtocolKind, seed: u64, txns: usize, threads: usize) -
             let work = &work;
             let executed = &executed;
             scope.spawn(move || loop {
-                let Some(program) = work.lock().pop() else { return };
+                let Some(program) = work.lock().pop() else {
+                    return;
+                };
                 let mut attempts = 0;
                 loop {
                     attempts += 1;
@@ -92,11 +94,9 @@ pub fn run_one(protocol: ProtocolKind, seed: u64, txns: usize, threads: usize) -
                             continue;
                         }
                         outcome => {
-                            executed.lock().push((
-                                report.gtx,
-                                program.merged_ops(),
-                                outcome,
-                            ));
+                            executed
+                                .lock()
+                                .push((report.gtx, program.merged_ops(), outcome));
                             break; // next program
                         }
                     }
@@ -164,8 +164,8 @@ pub fn run_one(protocol: ProtocolKind, seed: u64, txns: usize, threads: usize) -
                 .into_values()
                 .flat_map(|d| d.into_iter())
                 .collect();
-            amc_verify::check_state_equivalence(&initial, &order, &programs_by_gtx, &merged)
-                .len() as u64
+            amc_verify::check_state_equivalence(&initial, &order, &programs_by_gtx, &merged).len()
+                as u64
         }
         Err(_) => u64::MAX, // no order to replay
     };
@@ -223,9 +223,7 @@ pub fn table(rows: &[Row]) -> TextTable {
 /// Shape check: zeros everywhere.
 pub fn verdicts(rows: &[Row]) -> Vec<String> {
     let clean = rows.iter().all(|r| {
-        r.serializability_violations == 0
-            && r.atomicity_violations == 0
-            && r.state_divergences == 0
+        r.serializability_violations == 0 && r.atomicity_violations == 0 && r.state_divergences == 0
     });
     vec![format!(
         "[{}] E6: zero violations across {} audited runs",

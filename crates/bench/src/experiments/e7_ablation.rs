@@ -123,13 +123,21 @@ pub fn verdicts(rows: &[Row]) -> Vec<String> {
         ));
         out.push(format!(
             "[{}] C4-2: semantic MLT beats flat 2PC ({:.1} vs {:.1} txn/s)",
-            if semantic.throughput > flat.throughput { "PASS" } else { "FAIL" },
+            if semantic.throughput > flat.throughput {
+                "PASS"
+            } else {
+                "FAIL"
+            },
             semantic.throughput,
             flat.throughput,
         ));
         out.push(format!(
             "[{}] C4-3: increments never collide at L1 under the semantic policy ({} rejections)",
-            if semantic.l1_rejections == 0 { "PASS" } else { "FAIL" },
+            if semantic.l1_rejections == 0 {
+                "PASS"
+            } else {
+                "FAIL"
+            },
             semantic.l1_rejections,
         ));
     }

@@ -92,7 +92,10 @@ impl Coordinator {
         protocol: ProtocolKind,
         programs: BTreeMap<SiteId, Vec<Operation>>,
     ) -> Self {
-        assert!(!programs.is_empty(), "a global transaction needs participants");
+        assert!(
+            !programs.is_empty(),
+            "a global transaction needs participants"
+        );
         assert!(
             programs.keys().all(|s| !s.is_central()),
             "the central system is not a participant"
@@ -339,9 +342,7 @@ impl Coordinator {
         }
         if self.pending_finish.is_empty() && self.awaiting_final_state.is_empty() {
             self.round = Round::Done;
-            actions.push(CoordAction::Done(
-                self.verdict.expect("decided"),
-            ));
+            actions.push(CoordAction::Done(self.verdict.expect("decided")));
         }
         actions
     }
@@ -366,7 +367,9 @@ impl Coordinator {
     /// the finish round, re-send the decision — except that a commit-after
     /// **commit** is retransmitted as `Redo` carrying the operations, since
     /// a crashed site may have lost the running transaction and needs the
-    /// program to repeat it (§3.2).
+    /// program to repeat it (§3.2) — and re-inquire every site whose final
+    /// state is still unknown after a commit-before abort: losing either
+    /// the one-shot inquiry or its answer must not end the inquiry (§3.3).
     fn on_timer(&mut self) -> Vec<CoordAction> {
         match self.round {
             Round::Work | Round::Prepare => self
@@ -396,6 +399,14 @@ impl Coordinator {
                         payload,
                     }
                 })
+                .chain(
+                    self.awaiting_final_state
+                        .iter()
+                        .map(|site| CoordAction::Send {
+                            site: *site,
+                            payload: amc_net::Payload::Prepare { gtx: self.gtx },
+                        }),
+                )
                 .collect(),
             Round::Done => Vec::new(),
         }
@@ -448,22 +459,39 @@ mod tests {
         assert_eq!(sends(&a), vec![(site(1), "submit"), (site(2), "submit")]);
         // Work replies.
         assert!(c
-            .on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready })
+            .on_event(CoordEvent::Vote {
+                site: site(1),
+                vote: LocalVote::Ready
+            })
             .is_empty());
         assert_eq!(c.phase(), GlobalPhase::Inquiring);
-        let a = c.on_event(CoordEvent::Vote { site: site(2), vote: LocalVote::Ready });
+        let a = c.on_event(CoordEvent::Vote {
+            site: site(2),
+            vote: LocalVote::Ready,
+        });
         // All work done: the prepare round of Fig. 2.
         assert_eq!(sends(&a), vec![(site(1), "prepare"), (site(2), "prepare")]);
         // Ready votes.
         assert!(c
-            .on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready })
+            .on_event(CoordEvent::Vote {
+                site: site(1),
+                vote: LocalVote::Ready
+            })
             .is_empty());
-        let a = c.on_event(CoordEvent::Vote { site: site(2), vote: LocalVote::Ready });
+        let a = c.on_event(CoordEvent::Vote {
+            site: site(2),
+            vote: LocalVote::Ready,
+        });
         assert_eq!(a[0], CoordAction::Decided(GlobalVerdict::Commit));
-        assert_eq!(sends(&a[1..]), vec![(site(1), "commit"), (site(2), "commit")]);
+        assert_eq!(
+            sends(&a[1..]),
+            vec![(site(1), "commit"), (site(2), "commit")]
+        );
         assert_eq!(c.phase(), GlobalPhase::WaitingToCommit);
         // Finished acks.
-        assert!(c.on_event(CoordEvent::Finished { site: site(1) }).is_empty());
+        assert!(c
+            .on_event(CoordEvent::Finished { site: site(1) })
+            .is_empty());
         let a = c.on_event(CoordEvent::Finished { site: site(2) });
         assert_eq!(a, vec![CoordAction::Done(GlobalVerdict::Commit)]);
         assert_eq!(c.phase(), GlobalPhase::Committed);
@@ -474,19 +502,34 @@ mod tests {
     fn commit_after_skips_the_prepare_round() {
         let mut c = Coordinator::new(gtx(), ProtocolKind::CommitAfter, programs(&[1, 2]));
         c.on_event(CoordEvent::Start);
-        c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready });
-        let a = c.on_event(CoordEvent::Vote { site: site(2), vote: LocalVote::Ready });
+        c.on_event(CoordEvent::Vote {
+            site: site(1),
+            vote: LocalVote::Ready,
+        });
+        let a = c.on_event(CoordEvent::Vote {
+            site: site(2),
+            vote: LocalVote::Ready,
+        });
         // Votes double as submit replies (§3.2): decision follows directly.
         assert_eq!(a[0], CoordAction::Decided(GlobalVerdict::Commit));
-        assert_eq!(sends(&a[1..]), vec![(site(1), "commit"), (site(2), "commit")]);
+        assert_eq!(
+            sends(&a[1..]),
+            vec![(site(1), "commit"), (site(2), "commit")]
+        );
     }
 
     #[test]
     fn commit_before_commit_sends_nothing_after_deciding() {
         let mut c = Coordinator::new(gtx(), ProtocolKind::CommitBefore, programs(&[1, 2]));
         c.on_event(CoordEvent::Start);
-        c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready });
-        let a = c.on_event(CoordEvent::Vote { site: site(2), vote: LocalVote::Ready });
+        c.on_event(CoordEvent::Vote {
+            site: site(1),
+            vote: LocalVote::Ready,
+        });
+        let a = c.on_event(CoordEvent::Vote {
+            site: site(2),
+            vote: LocalVote::Ready,
+        });
         // §3.3: no further actions; protocol completes in the same step.
         assert_eq!(
             a,
@@ -502,8 +545,14 @@ mod tests {
     fn commit_before_abort_undoes_only_committed_sites() {
         let mut c = Coordinator::new(gtx(), ProtocolKind::CommitBefore, programs(&[1, 2]));
         c.on_event(CoordEvent::Start);
-        c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready });
-        let a = c.on_event(CoordEvent::Vote { site: site(2), vote: LocalVote::Aborted });
+        c.on_event(CoordEvent::Vote {
+            site: site(1),
+            vote: LocalVote::Ready,
+        });
+        let a = c.on_event(CoordEvent::Vote {
+            site: site(2),
+            vote: LocalVote::Aborted,
+        });
         assert_eq!(a[0], CoordAction::Decided(GlobalVerdict::Abort));
         // Only site 1 committed; only site 1 gets an undo (Fig. 6).
         assert_eq!(sends(&a[1..]), vec![(site(1), "undo")]);
@@ -516,7 +565,10 @@ mod tests {
     fn abort_vote_in_work_round_aborts_without_waiting() {
         let mut c = Coordinator::new(gtx(), ProtocolKind::TwoPhaseCommit, programs(&[1, 2]));
         c.on_event(CoordEvent::Start);
-        let a = c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Aborted });
+        let a = c.on_event(CoordEvent::Vote {
+            site: site(1),
+            vote: LocalVote::Aborted,
+        });
         assert_eq!(a[0], CoordAction::Decided(GlobalVerdict::Abort));
         // Abort decision still travels to every participant.
         assert_eq!(sends(&a[1..]), vec![(site(1), "abort"), (site(2), "abort")]);
@@ -526,7 +578,10 @@ mod tests {
     fn commit_before_abort_with_no_committed_site_finishes_immediately() {
         let mut c = Coordinator::new(gtx(), ProtocolKind::CommitBefore, programs(&[1]));
         c.on_event(CoordEvent::Start);
-        let a = c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Aborted });
+        let a = c.on_event(CoordEvent::Vote {
+            site: site(1),
+            vote: LocalVote::Aborted,
+        });
         assert_eq!(
             a,
             vec![
@@ -540,7 +595,10 @@ mod tests {
     fn timer_reinquires_missing_votes() {
         let mut c = Coordinator::new(gtx(), ProtocolKind::CommitBefore, programs(&[1, 2]));
         c.on_event(CoordEvent::Start);
-        c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready });
+        c.on_event(CoordEvent::Vote {
+            site: site(1),
+            vote: LocalVote::Ready,
+        });
         let a = c.on_event(CoordEvent::Timer);
         // Only the silent site is re-asked, with a Prepare inquiry.
         assert_eq!(sends(&a), vec![(site(2), "prepare")]);
@@ -550,7 +608,10 @@ mod tests {
     fn timer_retransmits_commit_after_commit_as_redo() {
         let mut c = Coordinator::new(gtx(), ProtocolKind::CommitAfter, programs(&[1]));
         c.on_event(CoordEvent::Start);
-        c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready });
+        c.on_event(CoordEvent::Vote {
+            site: site(1),
+            vote: LocalVote::Ready,
+        });
         // Commit decision sent; the finished ack never arrives.
         let a = c.on_event(CoordEvent::Timer);
         match &a[0] {
@@ -569,10 +630,43 @@ mod tests {
     fn timer_retransmits_undo_verbatim() {
         let mut c = Coordinator::new(gtx(), ProtocolKind::CommitBefore, programs(&[1, 2]));
         c.on_event(CoordEvent::Start);
-        c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready });
-        c.on_event(CoordEvent::Vote { site: site(2), vote: LocalVote::Aborted });
+        c.on_event(CoordEvent::Vote {
+            site: site(1),
+            vote: LocalVote::Ready,
+        });
+        c.on_event(CoordEvent::Vote {
+            site: site(2),
+            vote: LocalVote::Aborted,
+        });
         let a = c.on_event(CoordEvent::Timer);
         assert_eq!(sends(&a), vec![(site(1), "undo")]);
+    }
+
+    #[test]
+    fn timer_reinquires_unknown_final_state_after_abort() {
+        // Commit-before, abort decided while site 1's final state was
+        // unknown (it never answered the submit). The one-shot inquiry sent
+        // at decision time can be lost; every timer must re-ask until the
+        // site answers, or a single dropped message wedges the transaction.
+        let (mut c, actions) =
+            Coordinator::resume(gtx(), ProtocolKind::CommitBefore, programs(&[1, 2]), None);
+        assert_eq!(
+            sends(&actions),
+            vec![(site(1), "prepare"), (site(2), "prepare")]
+        );
+        // Site 2 answers; site 1's inquiry (or its answer) is lost.
+        c.on_event(CoordEvent::Vote {
+            site: site(2),
+            vote: LocalVote::Aborted,
+        });
+        let a = c.on_event(CoordEvent::Timer);
+        assert_eq!(sends(&a), vec![(site(1), "prepare")]);
+        // The late answer still lands and completes the protocol.
+        let a = c.on_event(CoordEvent::Vote {
+            site: site(1),
+            vote: LocalVote::Aborted,
+        });
+        assert_eq!(a, vec![CoordAction::Done(GlobalVerdict::Abort)]);
     }
 
     #[test]
@@ -580,29 +674,52 @@ mod tests {
         let mut c = Coordinator::new(gtx(), ProtocolKind::CommitAfter, programs(&[1]));
         c.on_event(CoordEvent::Start);
         assert!(c
-            .on_event(CoordEvent::Vote { site: site(9), vote: LocalVote::Ready })
+            .on_event(CoordEvent::Vote {
+                site: site(9),
+                vote: LocalVote::Ready
+            })
             .is_empty());
-        let a = c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready });
+        let a = c.on_event(CoordEvent::Vote {
+            site: site(1),
+            vote: LocalVote::Ready,
+        });
         assert!(!a.is_empty());
         // Late duplicate vote after decision: ignored.
         assert!(c
-            .on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready })
+            .on_event(CoordEvent::Vote {
+                site: site(1),
+                vote: LocalVote::Ready
+            })
             .is_empty());
         // Stray finished from a non-pending site: ignored, not done twice.
         c.on_event(CoordEvent::Finished { site: site(1) });
         assert!(c.is_done());
-        assert!(c.on_event(CoordEvent::Finished { site: site(1) }).is_empty());
+        assert!(c
+            .on_event(CoordEvent::Finished { site: site(1) })
+            .is_empty());
     }
 
     #[test]
     fn mixed_votes_in_2pc_prepare_round_abort() {
         let mut c = Coordinator::new(gtx(), ProtocolKind::TwoPhaseCommit, programs(&[1, 2]));
         c.on_event(CoordEvent::Start);
-        c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready });
-        c.on_event(CoordEvent::Vote { site: site(2), vote: LocalVote::Ready });
+        c.on_event(CoordEvent::Vote {
+            site: site(1),
+            vote: LocalVote::Ready,
+        });
+        c.on_event(CoordEvent::Vote {
+            site: site(2),
+            vote: LocalVote::Ready,
+        });
         // Prepare round: site 2 cannot prepare.
-        c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready });
-        let a = c.on_event(CoordEvent::Vote { site: site(2), vote: LocalVote::Aborted });
+        c.on_event(CoordEvent::Vote {
+            site: site(1),
+            vote: LocalVote::Ready,
+        });
+        let a = c.on_event(CoordEvent::Vote {
+            site: site(2),
+            vote: LocalVote::Aborted,
+        });
         assert_eq!(a[0], CoordAction::Decided(GlobalVerdict::Abort));
         assert_eq!(c.verdict(), Some(GlobalVerdict::Abort));
     }
@@ -620,7 +737,10 @@ mod tests {
         assert!(actions
             .iter()
             .all(|a| !matches!(a, CoordAction::Decided(_))));
-        assert_eq!(sends(&actions), vec![(site(1), "commit"), (site(2), "commit")]);
+        assert_eq!(
+            sends(&actions),
+            vec![(site(1), "commit"), (site(2), "commit")]
+        );
         assert_eq!(c.verdict(), Some(GlobalVerdict::Commit));
         c.on_event(CoordEvent::Finished { site: site(1) });
         let a = c.on_event(CoordEvent::Finished { site: site(2) });
@@ -630,41 +750,38 @@ mod tests {
     #[test]
     fn resume_without_log_presumes_abort() {
         // Commit-before: unknown votes -> inquire everyone.
-        let (c, actions) = Coordinator::resume(
-            gtx(),
-            ProtocolKind::CommitBefore,
-            programs(&[1, 2]),
-            None,
-        );
+        let (c, actions) =
+            Coordinator::resume(gtx(), ProtocolKind::CommitBefore, programs(&[1, 2]), None);
         assert_eq!(c.verdict(), Some(GlobalVerdict::Abort));
         assert_eq!(
             sends(&actions),
             vec![(site(1), "prepare"), (site(2), "prepare")]
         );
         // 2PC: abort decision goes to everyone directly.
-        let (_, actions) = Coordinator::resume(
-            gtx(),
-            ProtocolKind::TwoPhaseCommit,
-            programs(&[1, 2]),
-            None,
+        let (_, actions) =
+            Coordinator::resume(gtx(), ProtocolKind::TwoPhaseCommit, programs(&[1, 2]), None);
+        assert_eq!(
+            sends(&actions),
+            vec![(site(1), "abort"), (site(2), "abort")]
         );
-        assert_eq!(sends(&actions), vec![(site(1), "abort"), (site(2), "abort")]);
     }
 
     #[test]
     fn resumed_commit_before_abort_undoes_late_committed_answer() {
-        let (mut c, _) = Coordinator::resume(
-            gtx(),
-            ProtocolKind::CommitBefore,
-            programs(&[1, 2]),
-            None,
-        );
+        let (mut c, _) =
+            Coordinator::resume(gtx(), ProtocolKind::CommitBefore, programs(&[1, 2]), None);
         // Site 1 answers the inquiry: it had committed.
-        let a = c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::Ready });
+        let a = c.on_event(CoordEvent::Vote {
+            site: site(1),
+            vote: LocalVote::Ready,
+        });
         assert_eq!(sends(&a), vec![(site(1), "undo")]);
         // Site 2 never committed.
         assert!(c
-            .on_event(CoordEvent::Vote { site: site(2), vote: LocalVote::Aborted })
+            .on_event(CoordEvent::Vote {
+                site: site(2),
+                vote: LocalVote::Aborted
+            })
             .is_empty());
         let a = c.on_event(CoordEvent::Finished { site: site(1) });
         assert_eq!(a, vec![CoordAction::Done(GlobalVerdict::Abort)]);
@@ -687,8 +804,14 @@ mod tests {
     fn read_only_vote_is_yes_but_skips_decision_round() {
         let mut c = Coordinator::new(gtx(), ProtocolKind::CommitAfter, programs(&[1, 2]));
         c.on_event(CoordEvent::Start);
-        c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::ReadyReadOnly });
-        let a = c.on_event(CoordEvent::Vote { site: site(2), vote: LocalVote::Ready });
+        c.on_event(CoordEvent::Vote {
+            site: site(1),
+            vote: LocalVote::ReadyReadOnly,
+        });
+        let a = c.on_event(CoordEvent::Vote {
+            site: site(2),
+            vote: LocalVote::Ready,
+        });
         assert_eq!(a[0], CoordAction::Decided(GlobalVerdict::Commit));
         // Only the updating site sees the decision.
         assert_eq!(sends(&a[1..]), vec![(site(2), "commit")]);
@@ -700,8 +823,14 @@ mod tests {
     fn all_read_only_votes_finish_without_any_decision_message() {
         let mut c = Coordinator::new(gtx(), ProtocolKind::CommitAfter, programs(&[1, 2]));
         c.on_event(CoordEvent::Start);
-        c.on_event(CoordEvent::Vote { site: site(1), vote: LocalVote::ReadyReadOnly });
-        let a = c.on_event(CoordEvent::Vote { site: site(2), vote: LocalVote::ReadyReadOnly });
+        c.on_event(CoordEvent::Vote {
+            site: site(1),
+            vote: LocalVote::ReadyReadOnly,
+        });
+        let a = c.on_event(CoordEvent::Vote {
+            site: site(2),
+            vote: LocalVote::ReadyReadOnly,
+        });
         assert_eq!(
             a,
             vec![

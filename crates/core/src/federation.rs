@@ -203,10 +203,7 @@ impl Federation {
     /// Dispatch one coordinator message to a site's manager and return the
     /// reply.
     fn dispatch(&self, site: SiteId, payload: Payload) -> AmcResult<Payload> {
-        let manager = self
-            .managers
-            .get(&site)
-            .ok_or(AmcError::SiteDown(site))?;
+        let manager = self.managers.get(&site).ok_or(AmcError::SiteDown(site))?;
         self.record_envelope(SiteId::CENTRAL, site, &payload);
         if !self.cfg.message_delay.is_zero() {
             std::thread::sleep(self.cfg.message_delay);
@@ -341,8 +338,8 @@ impl Federation {
         }
         result?;
 
-        let verdict = final_verdict
-            .ok_or_else(|| AmcError::Protocol("coordinator never finished".into()))?;
+        let verdict =
+            final_verdict.ok_or_else(|| AmcError::Protocol("coordinator never finished".into()))?;
         if self.record_history {
             self.history.lock().set_outcome(gtx, verdict);
         }
@@ -418,8 +415,8 @@ impl Federation {
                         attempts += 1;
                         match fed.run_transaction(&program) {
                             Ok(report) => {
-                                let erroneous_abort = report.outcome == TxnOutcome::Aborted
-                                    && !intends_abort;
+                                let erroneous_abort =
+                                    report.outcome == TxnOutcome::Aborted && !intends_abort;
                                 let retry = (matches!(report.outcome, TxnOutcome::L1Rejected(_))
                                     || erroneous_abort)
                                     && attempts < 10;
@@ -498,11 +495,17 @@ mod tests {
         BTreeMap::from([
             (
                 site(from_site),
-                vec![Operation::Increment { obj: obj(from_site, 0), delta: -amount }],
+                vec![Operation::Increment {
+                    obj: obj(from_site, 0),
+                    delta: -amount,
+                }],
             ),
             (
                 site(to_site),
-                vec![Operation::Increment { obj: obj(to_site, 0), delta: amount }],
+                vec![Operation::Increment {
+                    obj: obj(to_site, 0),
+                    delta: amount,
+                }],
             ),
         ])
     }
@@ -537,10 +540,9 @@ mod tests {
             let mut program = transfer(1, 2, 30);
             // Site 2's program additionally reads a missing object: the
             // transaction logic fails there.
-            program
-                .get_mut(&site(2))
-                .unwrap()
-                .push(Operation::Read { obj: obj(2, 999_999) });
+            program.get_mut(&site(2)).unwrap().push(Operation::Read {
+                obj: obj(2, 999_999),
+            });
             let report = fed.run_transaction(&program).unwrap();
             assert_eq!(report.outcome, TxnOutcome::Aborted, "{protocol}");
             // Atomicity: no site shows any effect (commit-before undid
@@ -651,8 +653,7 @@ mod tests {
             let cfg = FederationConfig::heterogeneous(2, protocol);
             let fed = Federation::new(cfg);
             for s in 1..=2u32 {
-                let data: Vec<(ObjectId, Value)> =
-                    (0..10).map(|i| (obj(s, i), v(100))).collect();
+                let data: Vec<(ObjectId, Value)> = (0..10).map(|i| (obj(s, i), v(100))).collect();
                 fed.load_site(site(s), &data).unwrap();
             }
             let fed = Arc::new(fed);

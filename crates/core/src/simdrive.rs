@@ -27,9 +27,9 @@
 use crate::config::FederationConfig;
 use crate::coordinator::{CoordAction, CoordEvent, Coordinator};
 use amc_net::comm::SubmitMode;
-use amc_net::router::{Routing, RouterConfig};
+use amc_net::router::{NetStats, RouterConfig, Routing};
 use amc_net::{Envelope, LocalCommManager, MessageTrace, Payload, Router};
-use amc_sim::{EventQueue, FailureEvent, FailureKind, FailurePlan, SimRng};
+use amc_sim::{EventQueue, FailurePlan, FaultEvent, FaultKind, FaultPlan, LinkDir, SimRng};
 use amc_types::{
     AmcError, GlobalTxnId, GlobalVerdict, Operation, ProtocolKind, SimDuration, SimTime, SiteId,
 };
@@ -45,14 +45,23 @@ pub struct SimConfig {
     pub router: RouterConfig,
     /// RNG seed (drives latency and loss).
     pub seed: u64,
-    /// Crash/restart schedule.
+    /// Crash/restart schedule (E5 legacy form; merged with `faults`).
     pub failures: FailurePlan,
+    /// Composed nemesis schedule: crashes (optionally with torn WAL
+    /// tails), link partitions, loss bursts.
+    pub faults: FaultPlan,
     /// Local handler service time (per message).
     pub service_time: SimDuration,
     /// Coordinator retransmission period.
     pub retransmit_every: SimDuration,
     /// Hard stop for the virtual clock.
     pub horizon: SimDuration,
+    /// **Chaos-harness knob, deliberately unsafe**: skip forcing global
+    /// decisions to the central decision log. A central crash then forgets
+    /// decided-commit transactions and presumed abort tears them apart —
+    /// exactly the bug the chaos sweep + shrinker demo must catch. Never
+    /// set outside tests.
+    pub unsafe_skip_decision_log: bool,
 }
 
 impl SimConfig {
@@ -68,10 +77,20 @@ impl SimConfig {
             router: RouterConfig::default(),
             seed: 42,
             failures: FailurePlan::none(),
+            faults: FaultPlan::none(),
             service_time: SimDuration::from_micros(200),
             retransmit_every: SimDuration::from_millis(20),
             horizon: SimDuration::from_millis(10_000),
+            unsafe_skip_decision_log: false,
         }
+    }
+
+    /// The legacy crash/restart schedule and the composed fault schedule
+    /// merged into one time-ordered plan.
+    fn merged_faults(&self) -> FaultPlan {
+        let mut events = FaultPlan::from(&self.failures).events();
+        events.extend(self.faults.events());
+        FaultPlan::from_events(events)
     }
 }
 
@@ -88,6 +107,9 @@ pub struct SimReport {
     pub sent: u64,
     /// Dropped by loss or down sites.
     pub dropped: u64,
+    /// Full network accounting (supersets `sent`/`dropped`, which stay for
+    /// compatibility): duplications and partition-caused drops included.
+    pub net: NetStats,
     /// Coordinator timer firings that retransmitted something.
     pub retransmissions: u64,
     /// Transactions unresolved when the horizon hit.
@@ -102,7 +124,7 @@ pub struct SimReport {
 #[derive(Debug)]
 enum Event {
     Deliver(Envelope),
-    Failure(FailureEvent),
+    Fault(FaultEvent),
     Start(GlobalTxnId),
     Timer(GlobalTxnId),
 }
@@ -140,6 +162,7 @@ impl SimFederation {
     pub fn new(cfg: SimConfig) -> Self {
         assert!(cfg.federation.is_runnable(), "unrunnable federation");
         cfg.failures.validate().expect("invalid failure plan");
+        cfg.merged_faults().validate().expect("invalid fault plan");
         let managers: BTreeMap<SiteId, Arc<LocalCommManager>> = cfg
             .federation
             .build_managers()
@@ -212,9 +235,14 @@ impl SimFederation {
                 CoordAction::Decided(v) => {
                     // Force the decision to the central log *before* the
                     // decision messages leave (they are queued behind this
-                    // in `actions`, so the order is faithful).
-                    self.central_log.insert(gtx, v);
-                    self.central_log_forces += 1;
+                    // in `actions`, so the order is faithful). The unsafe
+                    // chaos knob omits the force: a central crash then
+                    // presumes abort for a decision other sites may already
+                    // have applied — the atomicity bug the shrinker hunts.
+                    if !self.cfg.unsafe_skip_decision_log {
+                        self.central_log.insert(gtx, v);
+                        self.central_log_forces += 1;
+                    }
                 }
                 CoordAction::Done(v) => {
                     let now = self.queue.now();
@@ -324,11 +352,12 @@ impl SimFederation {
         for (i, (at, program)) in programs.into_iter().enumerate() {
             let gtx = GlobalTxnId::new(i as u64 + 1);
             self.programs.insert(gtx, program);
-            self.queue.schedule_at(SimTime::ZERO + at, Event::Start(gtx));
+            self.queue
+                .schedule_at(SimTime::ZERO + at, Event::Start(gtx));
         }
         let mut pending_failures = 0u32;
-        for ev in self.cfg.failures.events() {
-            self.queue.schedule_at(ev.at, Event::Failure(ev));
+        for ev in self.cfg.merged_faults().events() {
+            self.queue.schedule_at(ev.at, Event::Fault(ev));
             pending_failures += 1;
         }
 
@@ -383,28 +412,57 @@ impl SimFederation {
                         self.handle_at_site(env.to, env.payload);
                     }
                 }
-                Event::Failure(ev) => {
+                Event::Fault(ev) => {
                     pending_failures -= 1;
                     match (ev.kind, ev.site.is_central()) {
-                        (FailureKind::Crash, true) => {
+                        (FaultKind::Crash { .. }, true) => {
                             // Central crash: volatile coordinator state is
-                            // lost; the decision log survives.
+                            // lost; the decision log survives. A torn local
+                            // WAL tail has no analogue here — the decision
+                            // log force is modelled as atomic.
                             self.central_down = true;
                             self.router.site_down(SiteId::CENTRAL);
                             self.txns.clear();
                         }
-                        (FailureKind::Restart, true) => {
+                        (FaultKind::Restart, true) => {
                             self.resume_central();
                         }
-                        (FailureKind::Crash, false) => {
+                        (FaultKind::Crash { torn }, false) => {
                             self.router.site_down(ev.site);
-                            self.managers[&ev.site].handle().engine().crash();
+                            let manager = &self.managers[&ev.site];
+                            match torn {
+                                Some(t) => {
+                                    manager.handle().engine().crash_partial(t.keep_frames, true)
+                                }
+                                None => manager.handle().engine().crash(),
+                            }
                         }
-                        (FailureKind::Restart, false) => {
+                        (FaultKind::Restart, false) => {
                             self.router.site_up(ev.site);
                             if let Err(e) = self.managers[&ev.site].handle().engine().recover() {
                                 self.errors.push(format!("recovery at {}: {e}", ev.site));
                             }
+                        }
+                        (FaultKind::PartitionStart { dir }, _) => match dir {
+                            LinkDir::ToCentral => {
+                                self.router.partition(ev.site, SiteId::CENTRAL);
+                            }
+                            LinkDir::FromCentral => {
+                                self.router.partition(SiteId::CENTRAL, ev.site);
+                            }
+                            LinkDir::Both => {
+                                self.router.partition_both(ev.site, SiteId::CENTRAL);
+                            }
+                        },
+                        (FaultKind::PartitionHeal, _) => {
+                            // Heal whatever direction(s) the start severed.
+                            self.router.heal_both(ev.site, SiteId::CENTRAL);
+                        }
+                        (FaultKind::LossBurstStart { probability }, _) => {
+                            self.router.set_loss_burst(probability);
+                        }
+                        (FaultKind::LossBurstEnd, _) => {
+                            self.router.clear_loss_burst();
                         }
                     }
                 }
@@ -418,7 +476,7 @@ impl SimFederation {
             }
         }
 
-        let (sent, dropped) = self.router.stats();
+        let net = self.router.stats();
         let mut outcomes = BTreeMap::new();
         let mut resolution = BTreeMap::new();
         let mut unresolved = Vec::new();
@@ -426,11 +484,7 @@ impl SimFederation {
             match self.completed.get(gtx) {
                 Some((v, done_at)) => {
                     outcomes.insert(*gtx, *v);
-                    let started = self
-                        .start_times
-                        .get(gtx)
-                        .copied()
-                        .unwrap_or(SimTime::ZERO);
+                    let started = self.start_times.get(gtx).copied().unwrap_or(SimTime::ZERO);
                     resolution.insert(*gtx, done_at.since(started));
                 }
                 None => unresolved.push(*gtx),
@@ -440,8 +494,9 @@ impl SimFederation {
             outcomes,
             resolution,
             trace: self.trace,
-            sent,
-            dropped,
+            sent: net.sent,
+            dropped: net.dropped,
+            net,
             retransmissions: self.retransmissions,
             unresolved,
             errors: self.errors,
@@ -481,8 +536,20 @@ mod tests {
 
     fn transfer(a: u32, b: u32, amt: i64) -> BTreeMap<SiteId, Vec<Operation>> {
         BTreeMap::from([
-            (site(a), vec![Operation::Increment { obj: obj(a, 0), delta: -amt }]),
-            (site(b), vec![Operation::Increment { obj: obj(b, 0), delta: amt }]),
+            (
+                site(a),
+                vec![Operation::Increment {
+                    obj: obj(a, 0),
+                    delta: -amt,
+                }],
+            ),
+            (
+                site(b),
+                vec![Operation::Increment {
+                    obj: obj(b, 0),
+                    delta: amt,
+                }],
+            ),
         ])
     }
 
@@ -512,8 +579,16 @@ mod tests {
             );
             assert!(report.unresolved.is_empty());
             let dumps = SimFederation::dumps(&managers);
-            assert_eq!(dumps[&site(1)][&obj(1, 0)], Value::counter(70), "{protocol}");
-            assert_eq!(dumps[&site(2)][&obj(2, 0)], Value::counter(130), "{protocol}");
+            assert_eq!(
+                dumps[&site(1)][&obj(1, 0)],
+                Value::counter(70),
+                "{protocol}"
+            );
+            assert_eq!(
+                dumps[&site(2)][&obj(2, 0)],
+                Value::counter(130),
+                "{protocol}"
+            );
         }
     }
 
@@ -526,12 +601,7 @@ mod tests {
         // further actions").
         assert_eq!(
             report.trace.labels_for(GlobalTxnId::new(1)),
-            vec![
-                "submit:0->1",
-                "submit:0->2",
-                "ready:1->0",
-                "ready:2->0",
-            ]
+            vec!["submit:0->1", "submit:0->2", "ready:1->0", "ready:2->0",]
         );
     }
 
@@ -563,11 +633,8 @@ mod tests {
         // Site 2 crashes just after the submit leaves the central system
         // but before executing it, and restarts later; §3.3: the answer to
         // the post-recovery inquiry is abort, and site 1 gets undone.
-        let failures = FailurePlan::none().outage(
-            site(2),
-            SimTime(100),
-            SimDuration::from_millis(50),
-        );
+        let failures =
+            FailurePlan::none().outage(site(2), SimTime(100), SimDuration::from_millis(50));
         let fed = sim(ProtocolKind::CommitBefore, failures);
         let managers = fed.managers();
         let report = fed.run(vec![(SimDuration::ZERO, transfer(1, 2, 30))]);
@@ -614,6 +681,71 @@ mod tests {
             Some(GlobalVerdict::Abort) => {
                 assert_eq!((v1, v2), (100, 100), "aborted everywhere");
             }
+            None => panic!("unresolved: {:?}", report.unresolved),
+        }
+    }
+
+    fn load(fed: &SimFederation) {
+        for s in 1..=2u32 {
+            let data: Vec<(ObjectId, Value)> =
+                (0..10).map(|i| (obj(s, i), Value::counter(100))).collect();
+            fed.load_site(site(s), &data);
+        }
+    }
+
+    #[test]
+    fn partition_window_delays_but_does_not_prevent_commit() {
+        // Sever both directions of site 2's link mid-protocol while both
+        // endpoints stay live; retransmission after the heal finishes the
+        // job. This is the non-crash failure 2PC's blocking argument is
+        // really about.
+        let mut cfg = SimConfig::new(FederationConfig::uniform(2, ProtocolKind::TwoPhaseCommit));
+        cfg.faults = FaultPlan::none().partition_window(
+            site(2),
+            SimTime(100),
+            SimDuration::from_millis(30),
+            LinkDir::Both,
+        );
+        let fed = SimFederation::new(cfg);
+        load(&fed);
+        let managers = fed.managers();
+        let report = fed.run(vec![(SimDuration::ZERO, transfer(1, 2, 30))]);
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        assert_eq!(
+            report.outcomes.get(&GlobalTxnId::new(1)),
+            Some(&GlobalVerdict::Commit),
+            "unresolved: {:?}",
+            report.unresolved
+        );
+        assert!(report.net.partitioned_drops > 0, "the partition never bit");
+        assert!(report.retransmissions > 0, "the heal needed the timer");
+        let dumps = SimFederation::dumps(&managers);
+        assert_eq!(dumps[&site(1)][&obj(1, 0)], Value::counter(70));
+        assert_eq!(dumps[&site(2)][&obj(2, 0)], Value::counter(130));
+    }
+
+    #[test]
+    fn torn_tail_crash_mid_txn_still_ends_atomic() {
+        // Site 2 crashes mid-force while the transfer is in flight: one
+        // tail frame becomes durable, the next lands torn. Restart recovery
+        // truncates the tear, the protocol repairs, and whatever the
+        // verdict is the transfer must be all-or-nothing.
+        let mut cfg = SimConfig::new(FederationConfig::uniform(2, ProtocolKind::CommitAfter));
+        cfg.faults = FaultPlan::none()
+            .crash_torn(site(2), SimTime(800), 1)
+            .restart(site(2), SimTime(30_000));
+        let fed = SimFederation::new(cfg);
+        load(&fed);
+        let managers = fed.managers();
+        let report = fed.run(vec![(SimDuration::ZERO, transfer(1, 2, 30))]);
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        let dumps = SimFederation::dumps(&managers);
+        let v1 = dumps[&site(1)][&obj(1, 0)].counter;
+        let v2 = dumps[&site(2)][&obj(2, 0)].counter;
+        assert_eq!(v1 + v2, 200, "conservation violated: {v1} + {v2}");
+        match report.outcomes.get(&GlobalTxnId::new(1)) {
+            Some(GlobalVerdict::Commit) => assert_eq!((v1, v2), (70, 130)),
+            Some(GlobalVerdict::Abort) => assert_eq!((v1, v2), (100, 100)),
             None => panic!("unresolved: {:?}", report.unresolved),
         }
     }

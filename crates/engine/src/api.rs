@@ -79,6 +79,17 @@ pub trait LocalEngine: Send + Sync {
     /// active transactions, lock table) is lost.
     fn crash(&self);
 
+    /// Simulate a crash **during a log force**: `keep_frames` frames of the
+    /// volatile tail become durable and, when `torn_frame` is set, the next
+    /// frame lands checksum-corrupt for restart recovery to truncate.
+    ///
+    /// The default falls back to a clean [`LocalEngine::crash`] (no tail
+    /// survives) so engines without a partial-force model stay correct.
+    fn crash_partial(&self, keep_frames: u32, torn_frame: bool) {
+        let _ = (keep_frames, torn_frame);
+        self.crash();
+    }
+
     /// Run restart recovery after a crash; the engine accepts work again
     /// afterwards.
     fn recover(&self) -> AmcResult<RecoveryReport>;

@@ -88,7 +88,6 @@ impl OccEngine {
         inner.store.flush()
     }
 
-
     /// The *committed* value an active transaction would observe, tracking
     /// the read in its read set.
     fn tracked_read(inner: &mut Inner, txn: LocalTxnId, obj: ObjectId) -> AmcResult<Option<Value>> {
@@ -97,6 +96,26 @@ impl OccEngine {
         let ctx = inner.active.get_mut(&txn).expect("caller verified");
         ctx.reads.entry(obj).or_insert(version);
         Ok(value)
+    }
+
+    /// Shared crash path: `partial` carries `(keep_frames, torn)` when the
+    /// crash strikes mid-`force()`, persisting part of the log tail.
+    fn crash_impl(&self, partial: Option<(u32, bool)>) {
+        let mut inner = self.inner.lock();
+        inner.up = false;
+        inner.store.crash();
+        match partial {
+            Some((keep, torn)) => inner.log.crash_during_force(keep as usize, torn),
+            None => inner.log.crash(),
+        }
+        inner.versions.clear();
+        let victims: Vec<LocalTxnId> = inner.active.keys().copied().collect();
+        for t in victims {
+            inner.active.remove(&t);
+            inner.terminated.insert(t, LocalRunState::Aborted);
+            inner.stats.aborts += 1;
+            inner.stats.erroneous_aborts += 1;
+        }
     }
 
     /// The value as seen through the transaction's private buffer.
@@ -183,7 +202,8 @@ impl LocalEngine for OccEngine {
                     });
                 }
                 let ctx = inner.active.get_mut(&txn).expect("checked");
-                ctx.writes.insert(obj, Some(cur.incremented(-(amount as i64))));
+                ctx.writes
+                    .insert(obj, Some(cur.incremented(-(amount as i64))));
                 Ok(OpResult::Done)
             }
         }
@@ -267,18 +287,11 @@ impl LocalEngine for OccEngine {
     }
 
     fn crash(&self) {
-        let mut inner = self.inner.lock();
-        inner.up = false;
-        inner.store.crash();
-        inner.log.crash();
-        inner.versions.clear();
-        let victims: Vec<LocalTxnId> = inner.active.keys().copied().collect();
-        for t in victims {
-            inner.active.remove(&t);
-            inner.terminated.insert(t, LocalRunState::Aborted);
-            inner.stats.aborts += 1;
-            inner.stats.erroneous_aborts += 1;
-        }
+        self.crash_impl(None);
+    }
+
+    fn crash_partial(&self, keep_frames: u32, torn_frame: bool) {
+        self.crash_impl(Some((keep_frames, torn_frame)));
     }
 
     fn recover(&self) -> AmcResult<RecoveryReport> {
@@ -348,7 +361,8 @@ mod tests {
 
     fn engine_with(data: &[(u64, i64)]) -> OccEngine {
         let e = OccEngine::with_defaults();
-        e.load(data.iter().map(|&(o, val)| (obj(o), v(val)))).unwrap();
+        e.load(data.iter().map(|&(o, val)| (obj(o), v(val))))
+            .unwrap();
         e
     }
 
@@ -360,7 +374,14 @@ mod tests {
             e.execute(t, &Op::Read { obj: obj(1) }).unwrap(),
             OpResult::Value(v(10))
         );
-        e.execute(t, &Op::Write { obj: obj(1), value: v(20) }).unwrap();
+        e.execute(
+            t,
+            &Op::Write {
+                obj: obj(1),
+                value: v(20),
+            },
+        )
+        .unwrap();
         // Reads-own-writes through the buffer.
         assert_eq!(
             e.execute(t, &Op::Read { obj: obj(1) }).unwrap(),
@@ -383,14 +404,33 @@ mod tests {
         e.execute(reader, &Op::Read { obj: obj(1) }).unwrap();
         // A writer slips in and commits.
         let writer = e.begin().unwrap();
-        e.execute(writer, &Op::Write { obj: obj(1), value: v(11) }).unwrap();
+        e.execute(
+            writer,
+            &Op::Write {
+                obj: obj(1),
+                value: v(11),
+            },
+        )
+        .unwrap();
         e.commit(writer).unwrap();
         // The reader also wrote something, so its serialization point
         // matters; validation must kill it.
-        e.execute(reader, &Op::Write { obj: obj(2), value: v(1) })
-            .unwrap_err(); // obj 2 does not exist -> NotFound, fine
-        e.execute(reader, &Op::Increment { obj: obj(1), delta: 1 })
-            .unwrap();
+        e.execute(
+            reader,
+            &Op::Write {
+                obj: obj(2),
+                value: v(1),
+            },
+        )
+        .unwrap_err(); // obj 2 does not exist -> NotFound, fine
+        e.execute(
+            reader,
+            &Op::Increment {
+                obj: obj(1),
+                delta: 1,
+            },
+        )
+        .unwrap();
         let err = e.commit(reader).unwrap_err();
         assert_eq!(err, AmcError::Aborted(AbortReason::ValidationFailed));
         assert_eq!(e.state_of(reader), Some(LocalRunState::Aborted));
@@ -404,8 +444,22 @@ mod tests {
         let e = engine_with(&[(1, 10), (2, 20)]);
         let a = e.begin().unwrap();
         let b = e.begin().unwrap();
-        e.execute(a, &Op::Increment { obj: obj(1), delta: 1 }).unwrap();
-        e.execute(b, &Op::Increment { obj: obj(2), delta: 1 }).unwrap();
+        e.execute(
+            a,
+            &Op::Increment {
+                obj: obj(1),
+                delta: 1,
+            },
+        )
+        .unwrap();
+        e.execute(
+            b,
+            &Op::Increment {
+                obj: obj(2),
+                delta: 1,
+            },
+        )
+        .unwrap();
         e.commit(a).unwrap();
         e.commit(b).unwrap();
         let d = e.dump().unwrap();
@@ -421,8 +475,22 @@ mod tests {
         let e = engine_with(&[(1, 0)]);
         let a = e.begin().unwrap();
         let b = e.begin().unwrap();
-        e.execute(a, &Op::Increment { obj: obj(1), delta: 1 }).unwrap();
-        e.execute(b, &Op::Increment { obj: obj(1), delta: 1 }).unwrap();
+        e.execute(
+            a,
+            &Op::Increment {
+                obj: obj(1),
+                delta: 1,
+            },
+        )
+        .unwrap();
+        e.execute(
+            b,
+            &Op::Increment {
+                obj: obj(1),
+                delta: 1,
+            },
+        )
+        .unwrap();
         e.commit(a).unwrap();
         assert_eq!(
             e.commit(b).unwrap_err(),
@@ -435,7 +503,14 @@ mod tests {
     fn abort_discards_buffers() {
         let e = engine_with(&[(1, 10)]);
         let t = e.begin().unwrap();
-        e.execute(t, &Op::Write { obj: obj(1), value: v(99) }).unwrap();
+        e.execute(
+            t,
+            &Op::Write {
+                obj: obj(1),
+                value: v(99),
+            },
+        )
+        .unwrap();
         e.abort(t, AbortReason::Intended).unwrap();
         assert_eq!(e.dump().unwrap().get(&obj(1)), Some(&v(10)));
     }
@@ -444,7 +519,14 @@ mod tests {
     fn committed_state_survives_crash() {
         let e = engine_with(&[(1, 10)]);
         let t = e.begin().unwrap();
-        e.execute(t, &Op::Write { obj: obj(1), value: v(42) }).unwrap();
+        e.execute(
+            t,
+            &Op::Write {
+                obj: obj(1),
+                value: v(42),
+            },
+        )
+        .unwrap();
         e.commit(t).unwrap();
         e.crash();
         let report = e.recover().unwrap();
@@ -456,7 +538,14 @@ mod tests {
     fn active_transactions_die_on_crash() {
         let e = engine_with(&[(1, 10)]);
         let t = e.begin().unwrap();
-        e.execute(t, &Op::Write { obj: obj(1), value: v(42) }).unwrap();
+        e.execute(
+            t,
+            &Op::Write {
+                obj: obj(1),
+                value: v(42),
+            },
+        )
+        .unwrap();
         e.crash();
         e.recover().unwrap();
         assert_eq!(e.state_of(t), Some(LocalRunState::Aborted));
@@ -470,7 +559,14 @@ mod tests {
         e.execute(t, &Op::Read { obj: obj(1) }).unwrap();
         // Another writer commits.
         let w = e.begin().unwrap();
-        e.execute(w, &Op::Write { obj: obj(1), value: v(11) }).unwrap();
+        e.execute(
+            w,
+            &Op::Write {
+                obj: obj(1),
+                value: v(11),
+            },
+        )
+        .unwrap();
         e.commit(w).unwrap();
         // Backward validation kills the stale reader too (its read is part
         // of its serialization footprint).
@@ -486,7 +582,14 @@ mod tests {
             e.execute(t, &Op::Read { obj: obj(1) }),
             Err(AmcError::NotFound(_))
         ));
-        e.execute(t, &Op::Insert { obj: obj(1), value: v(5) }).unwrap();
+        e.execute(
+            t,
+            &Op::Insert {
+                obj: obj(1),
+                value: v(5),
+            },
+        )
+        .unwrap();
         e.commit(t).unwrap();
         assert_eq!(e.dump().unwrap().get(&obj(1)), Some(&v(5)));
     }

@@ -208,6 +208,37 @@ impl TwoPLEngine {
         Ok(())
     }
 
+    /// Shared crash path: `partial` carries `(keep_frames, torn)` when the
+    /// crash strikes mid-`force()`, persisting part of the log tail.
+    fn crash_impl(&self, partial: Option<(u32, bool)>) {
+        let victims: Vec<LocalTxnId> = {
+            let mut inner = self.inner.lock();
+            inner.up = false;
+            inner.store.crash();
+            match partial {
+                Some((keep, torn)) => inner.log.crash_during_force(keep as usize, torn),
+                None => inner.log.crash(),
+            }
+            let victims: Vec<LocalTxnId> = inner.active.keys().copied().collect();
+            for t in &victims {
+                let ctx = inner.active.remove(t).expect("listed");
+                // Prepared transactions stay undecided: recovery will
+                // resurrect them from their forced Prepare records.
+                if ctx.state != LocalRunState::Ready {
+                    inner.terminated.insert(*t, LocalRunState::Aborted);
+                    inner.stats.aborts += 1;
+                    inner.stats.erroneous_aborts += 1;
+                }
+            }
+            victims
+        };
+        // Free the lock table so parked waiters wake (they will observe the
+        // site is down and fail their operation).
+        for t in victims {
+            self.locks.release_txn(t);
+        }
+    }
+
     /// The L0 lock hold count right now (observed by E1's instrumentation).
     pub fn locks_held(&self) -> usize {
         self.locks.granted_count()
@@ -218,9 +249,13 @@ impl TwoPLEngine {
         self.locks.stats()
     }
 
-
     /// Disk/buffer counters for E4.
-    pub fn io_stats(&self) -> (amc_storage::disk::DiskStats, amc_storage::buffer::BufferStats) {
+    pub fn io_stats(
+        &self,
+    ) -> (
+        amc_storage::disk::DiskStats,
+        amc_storage::buffer::BufferStats,
+    ) {
         self.inner.lock().store.stats()
     }
 
@@ -379,29 +414,11 @@ impl LocalEngine for TwoPLEngine {
     }
 
     fn crash(&self) {
-        let victims: Vec<LocalTxnId> = {
-            let mut inner = self.inner.lock();
-            inner.up = false;
-            inner.store.crash();
-            inner.log.crash();
-            let victims: Vec<LocalTxnId> = inner.active.keys().copied().collect();
-            for t in &victims {
-                let ctx = inner.active.remove(t).expect("listed");
-                // Prepared transactions stay undecided: recovery will
-                // resurrect them from their forced Prepare records.
-                if ctx.state != LocalRunState::Ready {
-                    inner.terminated.insert(*t, LocalRunState::Aborted);
-                    inner.stats.aborts += 1;
-                    inner.stats.erroneous_aborts += 1;
-                }
-            }
-            victims
-        };
-        // Free the lock table so parked waiters wake (they will observe the
-        // site is down and fail their operation).
-        for t in victims {
-            self.locks.release_txn(t);
-        }
+        self.crash_impl(None);
+    }
+
+    fn crash_partial(&self, keep_frames: u32, torn_frame: bool) {
+        self.crash_impl(Some((keep_frames, torn_frame)));
     }
 
     fn recover(&self) -> AmcResult<RecoveryReport> {
@@ -451,7 +468,11 @@ impl LocalEngine for TwoPLEngine {
         }
         for (_, r) in &records {
             if let LogRecord::Update {
-                txn, obj, before, after, ..
+                txn,
+                obj,
+                before,
+                after,
+                ..
             } = r
             {
                 if outcome.in_doubt.contains(txn) {
@@ -548,7 +569,8 @@ mod tests {
 
     fn engine_with(data: &[(u64, i64)]) -> TwoPLEngine {
         let e = TwoPLEngine::with_defaults();
-        e.load(data.iter().map(|&(o, val)| (obj(o), v(val)))).unwrap();
+        e.load(data.iter().map(|&(o, val)| (obj(o), v(val))))
+            .unwrap();
         e
     }
 
@@ -560,7 +582,14 @@ mod tests {
             e.execute(t, &Op::Read { obj: obj(1) }).unwrap(),
             OpResult::Value(v(10))
         );
-        e.execute(t, &Op::Write { obj: obj(1), value: v(20) }).unwrap();
+        e.execute(
+            t,
+            &Op::Write {
+                obj: obj(1),
+                value: v(20),
+            },
+        )
+        .unwrap();
         e.commit(t).unwrap();
         assert_eq!(e.state_of(t), Some(LocalRunState::Committed));
         assert_eq!(e.dump().unwrap().get(&obj(1)), Some(&v(20)));
@@ -570,9 +599,23 @@ mod tests {
     fn abort_rolls_back_everything() {
         let e = engine_with(&[(1, 10), (2, 20)]);
         let t = e.begin().unwrap();
-        e.execute(t, &Op::Write { obj: obj(1), value: v(99) }).unwrap();
+        e.execute(
+            t,
+            &Op::Write {
+                obj: obj(1),
+                value: v(99),
+            },
+        )
+        .unwrap();
         e.execute(t, &Op::Delete { obj: obj(2) }).unwrap();
-        e.execute(t, &Op::Insert { obj: obj(3), value: v(30) }).unwrap();
+        e.execute(
+            t,
+            &Op::Insert {
+                obj: obj(3),
+                value: v(30),
+            },
+        )
+        .unwrap();
         e.abort(t, AbortReason::Intended).unwrap();
         let d = e.dump().unwrap();
         assert_eq!(d.get(&obj(1)), Some(&v(10)));
@@ -585,7 +628,14 @@ mod tests {
     fn increment_applies_delta() {
         let e = engine_with(&[(1, 10)]);
         let t = e.begin().unwrap();
-        e.execute(t, &Op::Increment { obj: obj(1), delta: -3 }).unwrap();
+        e.execute(
+            t,
+            &Op::Increment {
+                obj: obj(1),
+                delta: -3,
+            },
+        )
+        .unwrap();
         e.commit(t).unwrap();
         assert_eq!(e.dump().unwrap().get(&obj(1)), Some(&v(7)));
     }
@@ -599,12 +649,25 @@ mod tests {
             Err(AmcError::NotFound(_))
         ));
         assert!(matches!(
-            e.execute(t, &Op::Insert { obj: obj(1), value: v(0) }),
+            e.execute(
+                t,
+                &Op::Insert {
+                    obj: obj(1),
+                    value: v(0)
+                }
+            ),
             Err(AmcError::AlreadyExists(_))
         ));
         // Still running and usable.
         assert_eq!(e.state_of(t), Some(LocalRunState::Running));
-        e.execute(t, &Op::Write { obj: obj(1), value: v(11) }).unwrap();
+        e.execute(
+            t,
+            &Op::Write {
+                obj: obj(1),
+                value: v(11),
+            },
+        )
+        .unwrap();
         e.commit(t).unwrap();
         assert_eq!(e.dump().unwrap().get(&obj(1)), Some(&v(11)));
     }
@@ -613,7 +676,14 @@ mod tests {
     fn committed_state_survives_crash() {
         let e = engine_with(&[(1, 10)]);
         let t = e.begin().unwrap();
-        e.execute(t, &Op::Write { obj: obj(1), value: v(42) }).unwrap();
+        e.execute(
+            t,
+            &Op::Write {
+                obj: obj(1),
+                value: v(42),
+            },
+        )
+        .unwrap();
         e.commit(t).unwrap();
         e.crash();
         assert!(!e.is_up());
@@ -628,7 +698,14 @@ mod tests {
         // the volatile update is simply gone.
         let e = engine_with(&[(1, 10)]);
         let t = e.begin().unwrap();
-        e.execute(t, &Op::Write { obj: obj(1), value: v(42) }).unwrap();
+        e.execute(
+            t,
+            &Op::Write {
+                obj: obj(1),
+                value: v(42),
+            },
+        )
+        .unwrap();
         e.crash();
         let report = e.recover().unwrap();
         assert!(report.rolled_back.is_empty());
@@ -637,14 +714,70 @@ mod tests {
     }
 
     #[test]
+    fn torn_tail_crash_recovers_durable_prefix() {
+        // Commit A durably, then leave B's records in the volatile tail and
+        // crash mid-force: one frame becomes durable, the next lands torn.
+        // Recovery must truncate the torn frame and land exactly on A's
+        // committed state — twice, to prove idempotence (E8).
+        let e = engine_with(&[(1, 10), (2, 20)]);
+        let a = e.begin().unwrap();
+        e.execute(
+            a,
+            &Op::Write {
+                obj: obj(1),
+                value: v(11),
+            },
+        )
+        .unwrap();
+        e.commit(a).unwrap();
+        let b = e.begin().unwrap();
+        e.execute(
+            b,
+            &Op::Write {
+                obj: obj(2),
+                value: v(99),
+            },
+        )
+        .unwrap();
+        // Tail now holds B's Begin + Update; keep the Begin, tear the rest.
+        e.crash_partial(1, true);
+        let report = e.recover().unwrap();
+        assert!(report.committed.contains(&a));
+        assert!(report.rolled_back.contains(&b), "B's Begin survived: loser");
+        let d = e.dump().unwrap();
+        assert_eq!(d.get(&obj(1)), Some(&v(11)));
+        assert_eq!(d.get(&obj(2)), Some(&v(20)), "torn update never applied");
+        // Crash again cleanly and re-recover: same state.
+        e.crash();
+        e.recover().unwrap();
+        let d2 = e.dump().unwrap();
+        assert_eq!(d2.get(&obj(1)), Some(&v(11)));
+        assert_eq!(d2.get(&obj(2)), Some(&v(20)));
+    }
+
+    #[test]
     fn durable_uncommitted_work_is_rolled_back_by_recovery() {
         let e = engine_with(&[(1, 10), (2, 20)]);
         let t = e.begin().unwrap();
-        e.execute(t, &Op::Write { obj: obj(1), value: v(42) }).unwrap();
+        e.execute(
+            t,
+            &Op::Write {
+                obj: obj(1),
+                value: v(42),
+            },
+        )
+        .unwrap();
         // A second transaction commits, group-forcing the tail — t's update
         // record is now durable without its commit.
         let other = e.begin().unwrap();
-        e.execute(other, &Op::Write { obj: obj(2), value: v(21) }).unwrap();
+        e.execute(
+            other,
+            &Op::Write {
+                obj: obj(2),
+                value: v(21),
+            },
+        )
+        .unwrap();
         e.commit(other).unwrap();
         e.crash();
         let report = e.recover().unwrap();
@@ -660,7 +793,14 @@ mod tests {
     fn prepared_transaction_survives_crash_in_doubt() {
         let e = engine_with(&[(1, 10)]);
         let t = e.begin().unwrap();
-        e.execute(t, &Op::Write { obj: obj(1), value: v(42) }).unwrap();
+        e.execute(
+            t,
+            &Op::Write {
+                obj: obj(1),
+                value: v(42),
+            },
+        )
+        .unwrap();
         e.prepare(t).unwrap();
         assert_eq!(e.state_of(t), Some(LocalRunState::Ready));
         e.crash();
@@ -688,7 +828,14 @@ mod tests {
     fn prepared_transaction_can_abort_after_recovery() {
         let e = engine_with(&[(1, 10)]);
         let t = e.begin().unwrap();
-        e.execute(t, &Op::Write { obj: obj(1), value: v(42) }).unwrap();
+        e.execute(
+            t,
+            &Op::Write {
+                obj: obj(1),
+                value: v(42),
+            },
+        )
+        .unwrap();
         e.prepare(t).unwrap();
         e.crash();
         e.recover().unwrap();
@@ -708,7 +855,13 @@ mod tests {
                 let mut done = 0;
                 while done < per {
                     let t = e.begin().unwrap();
-                    match e.execute(t, &Op::Increment { obj: obj(1), delta: 1 }) {
+                    match e.execute(
+                        t,
+                        &Op::Increment {
+                            obj: obj(1),
+                            delta: 1,
+                        },
+                    ) {
                         Ok(_) => {
                             e.commit(t).unwrap();
                             done += 1;
@@ -752,9 +905,22 @@ mod tests {
         let (a1, b1) = (a, b);
         let h1 = std::thread::spawn(move || {
             let t = e1.begin().unwrap();
-            e1.execute(t, &Op::Write { obj: a1, value: v(1) }).unwrap();
+            e1.execute(
+                t,
+                &Op::Write {
+                    obj: a1,
+                    value: v(1),
+                },
+            )
+            .unwrap();
             std::thread::sleep(Duration::from_millis(30));
-            match e1.execute(t, &Op::Write { obj: b1, value: v(1) }) {
+            match e1.execute(
+                t,
+                &Op::Write {
+                    obj: b1,
+                    value: v(1),
+                },
+            ) {
                 Ok(_) => {
                     e1.commit(t).unwrap();
                     true
@@ -768,9 +934,22 @@ mod tests {
         });
         let h2 = std::thread::spawn(move || {
             let t = e2.begin().unwrap();
-            e2.execute(t, &Op::Write { obj: b, value: v(2) }).unwrap();
+            e2.execute(
+                t,
+                &Op::Write {
+                    obj: b,
+                    value: v(2),
+                },
+            )
+            .unwrap();
             std::thread::sleep(Duration::from_millis(30));
-            match e2.execute(t, &Op::Write { obj: a, value: v(2) }) {
+            match e2.execute(
+                t,
+                &Op::Write {
+                    obj: a,
+                    value: v(2),
+                },
+            ) {
                 Ok(_) => {
                     e2.commit(t).unwrap();
                     true
@@ -784,10 +963,7 @@ mod tests {
         });
         let r1 = h1.join().unwrap();
         let r2 = h2.join().unwrap();
-        assert!(
-            r1 || r2,
-            "at least one transaction survives the deadlock"
-        );
+        assert!(r1 || r2, "at least one transaction survives the deadlock");
         assert!(
             e.stats().erroneous_aborts >= 1 || (r1 && r2),
             "victim recorded as erroneous abort"
@@ -840,7 +1016,14 @@ mod tests {
         let e = engine_with(&[(1, 1)]);
         for round in 0..3 {
             let t = e.begin().unwrap();
-            e.execute(t, &Op::Increment { obj: obj(1), delta: 1 }).unwrap();
+            e.execute(
+                t,
+                &Op::Increment {
+                    obj: obj(1),
+                    delta: 1,
+                },
+            )
+            .unwrap();
             e.commit(t).unwrap();
             e.crash();
             e.recover().unwrap();

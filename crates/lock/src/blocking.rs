@@ -165,14 +165,20 @@ mod tests {
     #[test]
     fn uncontended_acquire_is_immediate() {
         let m = mgr();
-        assert_eq!(m.acquire(1, 10, PageMode::Exclusive, LONG), AcquireResult::Granted);
+        assert_eq!(
+            m.acquire(1, 10, PageMode::Exclusive, LONG),
+            AcquireResult::Granted
+        );
         m.release_txn(1);
     }
 
     #[test]
     fn waiter_wakes_on_release() {
         let m = mgr();
-        assert_eq!(m.acquire(1, 10, PageMode::Exclusive, LONG), AcquireResult::Granted);
+        assert_eq!(
+            m.acquire(1, 10, PageMode::Exclusive, LONG),
+            AcquireResult::Granted
+        );
         let m2 = m.clone();
         let h = thread::spawn(move || m2.acquire(2, 10, PageMode::Exclusive, LONG));
         thread::sleep(Duration::from_millis(20));
@@ -184,8 +190,14 @@ mod tests {
     #[test]
     fn deadlock_dooms_exactly_one() {
         let m = mgr();
-        assert_eq!(m.acquire(1, 10, PageMode::Exclusive, LONG), AcquireResult::Granted);
-        assert_eq!(m.acquire(2, 20, PageMode::Exclusive, LONG), AcquireResult::Granted);
+        assert_eq!(
+            m.acquire(1, 10, PageMode::Exclusive, LONG),
+            AcquireResult::Granted
+        );
+        assert_eq!(
+            m.acquire(2, 20, PageMode::Exclusive, LONG),
+            AcquireResult::Granted
+        );
         let ma = m.clone();
         let a = thread::spawn(move || {
             let r = ma.acquire(1, 20, PageMode::Exclusive, LONG);
@@ -223,7 +235,10 @@ mod tests {
     #[test]
     fn timeout_fires_when_holder_sits() {
         let m = mgr();
-        assert_eq!(m.acquire(1, 10, PageMode::Exclusive, LONG), AcquireResult::Granted);
+        assert_eq!(
+            m.acquire(1, 10, PageMode::Exclusive, LONG),
+            AcquireResult::Granted
+        );
         let r = m.acquire(2, 10, PageMode::Exclusive, Duration::from_millis(30));
         assert_eq!(r, AcquireResult::Timeout);
         // Holder unaffected.
@@ -269,8 +284,14 @@ mod tests {
     #[test]
     fn readers_proceed_in_parallel() {
         let m = mgr();
-        assert_eq!(m.acquire(1, 10, PageMode::Shared, LONG), AcquireResult::Granted);
-        assert_eq!(m.acquire(2, 10, PageMode::Shared, LONG), AcquireResult::Granted);
+        assert_eq!(
+            m.acquire(1, 10, PageMode::Shared, LONG),
+            AcquireResult::Granted
+        );
+        assert_eq!(
+            m.acquire(2, 10, PageMode::Shared, LONG),
+            AcquireResult::Granted
+        );
         assert_eq!(m.granted_count(), 2);
         m.release_txn(1);
         m.release_txn(2);

@@ -138,7 +138,10 @@ mod tests {
     fn semantic_matrix_matches_fig8() {
         use SemanticMode::*;
         assert!(Read.compatible(Read));
-        assert!(Increment.compatible(Increment), "Fig. 8: increments interleave");
+        assert!(
+            Increment.compatible(Increment),
+            "Fig. 8: increments interleave"
+        );
         assert!(!Increment.compatible(Read));
         assert!(!Increment.compatible(Write));
         assert!(!Write.compatible(Write));
@@ -188,7 +191,10 @@ mod tests {
                 }
             }
         }
-        assert_eq!(PageMode::Shared.combine(PageMode::Exclusive), PageMode::Exclusive);
+        assert_eq!(
+            PageMode::Shared.combine(PageMode::Exclusive),
+            PageMode::Exclusive
+        );
     }
 
     #[test]
@@ -229,10 +235,7 @@ mod tests {
     fn rw_projection_is_strictly_more_conservative() {
         let obj = ObjectId::new(1);
         let incr = Operation::Increment { obj, delta: 1 };
-        assert_eq!(
-            SemanticMode::for_operation(&incr),
-            SemanticMode::Increment
-        );
+        assert_eq!(SemanticMode::for_operation(&incr), SemanticMode::Increment);
         assert_eq!(
             SemanticMode::for_operation_rw_only(&incr),
             SemanticMode::Write

@@ -129,8 +129,7 @@ where
             return LockOutcome::Queued;
         }
 
-        let compatible_with_granted =
-            state.granted.iter().all(|(_, m)| mode.compatible(*m));
+        let compatible_with_granted = state.granted.iter().all(|(_, m)| mode.compatible(*m));
         if compatible_with_granted && state.queue.is_empty() {
             state.granted.push((txn, mode));
             self.held.entry(txn).or_default().insert(resource);
@@ -240,12 +239,9 @@ where
 
     /// The mode `txn` holds on `resource`, if any.
     pub fn held_mode(&self, txn: T, resource: R) -> Option<M> {
-        self.resources.get(&resource).and_then(|s| {
-            s.granted
-                .iter()
-                .find(|(t, _)| *t == txn)
-                .map(|(_, m)| *m)
-        })
+        self.resources
+            .get(&resource)
+            .and_then(|s| s.granted.iter().find(|(t, _)| *t == txn).map(|(_, m)| *m))
     }
 
     /// Whether `txn` is queued anywhere.
@@ -420,8 +416,8 @@ mod tests {
         let mut t = T::new();
         t.request(1, 10, PageMode::Shared);
         t.request(2, 10, PageMode::Exclusive); // queued
-        // A shared request would be compatible with the grant but must not
-        // overtake the queued X.
+                                               // A shared request would be compatible with the grant but must not
+                                               // overtake the queued X.
         assert_eq!(t.request(3, 10, PageMode::Shared), LockOutcome::Queued);
         let woken = t.release_all(1);
         assert_eq!(woken, vec![2], "X goes first");

@@ -67,8 +67,8 @@ mod tests {
         match *op {
             Operation::Read { obj } => state.get(&obj).map(|_| ()).ok_or(()),
             Operation::Write { obj, value } => {
-                if state.contains_key(&obj) {
-                    state.insert(obj, value);
+                if let Some(slot) = state.get_mut(&obj) {
+                    *slot = value;
                     Ok(())
                 } else {
                     Err(())
@@ -79,14 +79,13 @@ mod tests {
                 state.insert(obj, v.incremented(delta));
                 Ok(())
             }
-            Operation::Insert { obj, value } => {
-                if state.contains_key(&obj) {
-                    Err(())
-                } else {
-                    state.insert(obj, value);
+            Operation::Insert { obj, value } => match state.entry(obj) {
+                std::collections::btree_map::Entry::Occupied(_) => Err(()),
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(value);
                     Ok(())
                 }
-            }
+            },
             Operation::Delete { obj } => state.remove(&obj).map(|_| ()).ok_or(()),
             Operation::Reserve { obj, amount } => {
                 let v = state.get(&obj).copied().ok_or(())?;
@@ -105,8 +104,21 @@ mod tests {
             obj: obj(1),
             delta: 4
         }));
-        let inv = inverse_of(&Operation::Increment { obj: obj(1), delta: 4 }, None).unwrap();
-        assert_eq!(inv, Operation::Increment { obj: obj(1), delta: -4 });
+        let inv = inverse_of(
+            &Operation::Increment {
+                obj: obj(1),
+                delta: 4,
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            inv,
+            Operation::Increment {
+                obj: obj(1),
+                delta: -4
+            }
+        );
     }
 
     #[test]
@@ -130,11 +142,17 @@ mod tests {
 
     #[test]
     fn reserve_inverse_is_a_restock() {
-        let r = Operation::Reserve { obj: obj(1), amount: 7 };
+        let r = Operation::Reserve {
+            obj: obj(1),
+            amount: 7,
+        };
         assert!(!needs_before_image(&r), "escrow undo needs no before image");
         assert_eq!(
             inverse_of(&r, None),
-            Some(Operation::Increment { obj: obj(1), delta: 7 })
+            Some(Operation::Increment {
+                obj: obj(1),
+                delta: 7
+            })
         );
     }
 

@@ -116,7 +116,10 @@ mod tests {
     }
 
     fn incr(o: u64) -> Operation {
-        Operation::Increment { obj: obj(o), delta: 1 }
+        Operation::Increment {
+            obj: obj(o),
+            delta: 1,
+        }
     }
     fn write(o: u64) -> Operation {
         Operation::Write {
@@ -130,7 +133,11 @@ mod tests {
         let m = L1LockManager::new(ConflictPolicy::Semantic, Duration::from_millis(50));
         assert_eq!(m.acquire_for(gtx(1), &incr(1)), AcquireResult::Granted);
         assert_eq!(m.acquire_for(gtx(2), &incr(1)), AcquireResult::Granted);
-        assert_eq!(m.granted_count(), 2, "both transactions hold the increment lock");
+        assert_eq!(
+            m.granted_count(),
+            2,
+            "both transactions hold the increment lock"
+        );
         m.release_all(gtx(1));
         m.release_all(gtx(2));
     }

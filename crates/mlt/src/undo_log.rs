@@ -85,15 +85,35 @@ mod tests {
     #[test]
     fn programs_are_per_site_and_reversed() {
         let mut log = CentralUndoLog::new();
-        log.record(gtx(1), site(1), Operation::Increment { obj: obj(1), delta: -5 });
+        log.record(
+            gtx(1),
+            site(1),
+            Operation::Increment {
+                obj: obj(1),
+                delta: -5,
+            },
+        );
         log.record(gtx(1), site(2), Operation::Delete { obj: obj(9) });
-        log.record(gtx(1), site(1), Operation::Write { obj: obj(2), value: Value::counter(7) });
+        log.record(
+            gtx(1),
+            site(1),
+            Operation::Write {
+                obj: obj(2),
+                value: Value::counter(7),
+            },
+        );
         let programs = log.inverse_programs(gtx(1));
         assert_eq!(
             programs.get(&site(1)).unwrap(),
             &vec![
-                Operation::Write { obj: obj(2), value: Value::counter(7) },
-                Operation::Increment { obj: obj(1), delta: -5 },
+                Operation::Write {
+                    obj: obj(2),
+                    value: Value::counter(7)
+                },
+                Operation::Increment {
+                    obj: obj(1),
+                    delta: -5
+                },
             ],
             "site 1's inverses come out newest-first"
         );

@@ -29,11 +29,11 @@
 
 use crate::marker::{forward_marker, undo_marker};
 use crate::message::Payload;
-use amc_mlt::{inverse_of, needs_before_image};
 use amc_engine::{LocalEngine, PreparableEngine};
+use amc_mlt::{inverse_of, needs_before_image};
 use amc_types::{
-    AbortReason, AmcError, AmcResult, GlobalTxnId, LocalRunState, LocalTxnId, LocalVote,
-    ObjectId, Operation, SiteId, Value,
+    AbortReason, AmcError, AmcResult, GlobalTxnId, LocalRunState, LocalTxnId, LocalVote, ObjectId,
+    Operation, SiteId, Value,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -450,10 +450,7 @@ impl LocalCommManager {
                 .is_some_and(AbortInjector::fire);
             if fire {
                 if let Some(l) = ltx {
-                    let _ = self
-                        .handle
-                        .engine()
-                        .abort(l, AbortReason::LockTimeout);
+                    let _ = self.handle.engine().abort(l, AbortReason::LockTimeout);
                 }
             }
         }
@@ -481,8 +478,8 @@ impl LocalCommManager {
                     };
                     let read_only = w.ops.iter().all(|op| !op.is_update());
                     match w.ltx {
-                        Some(ltx) if self.handle.engine().state_of(ltx)
-                            == Some(LocalRunState::Ready) =>
+                        Some(ltx)
+                            if self.handle.engine().state_of(ltx) == Some(LocalRunState::Ready) =>
                         {
                             // Re-inquiry of an already-prepared transaction.
                             LocalVote::Ready
@@ -677,11 +674,10 @@ impl LocalCommManager {
                 }
                 (SubmitMode::CommitAfter, GlobalVerdict::Abort) => {
                     if let Some(ltx) = w.ltx {
-                        match engine.state_of(ltx) {
-                            Some(LocalRunState::Running) => {
-                                engine.abort(ltx, AbortReason::GlobalDecision)?
-                            }
-                            _ => {} // already gone; nothing committed, nothing to do
+                        // Anything but Running is already gone; nothing
+                        // committed, nothing to do.
+                        if let Some(LocalRunState::Running) = engine.state_of(ltx) {
+                            engine.abort(ltx, AbortReason::GlobalDecision)?;
                         }
                     }
                 }
@@ -747,11 +743,7 @@ impl LocalCommManager {
     /// submit time) supplies the inverse program — the "implemented on top
     /// of the existing systems" placement of §3.3; a non-empty argument is
     /// the "in the global system" placement.
-    pub fn handle_undo(
-        &self,
-        gtx: GlobalTxnId,
-        inverse_ops: Vec<Operation>,
-    ) -> AmcResult<Payload> {
+    pub fn handle_undo(&self, gtx: GlobalTxnId, inverse_ops: Vec<Operation>) -> AmcResult<Payload> {
         let inverse_ops = if inverse_ops.is_empty() {
             let work = self.work.lock();
             match work.get(&gtx) {
@@ -812,10 +804,7 @@ mod tests {
         engine
             .load(data.iter().map(|&(o, val)| (obj(o), v(val))))
             .unwrap();
-        let mgr = LocalCommManager::new(
-            SiteId::new(1),
-            EngineHandle::Preparable(engine.clone()),
-        );
+        let mgr = LocalCommManager::new(SiteId::new(1), EngineHandle::Preparable(engine.clone()));
         (mgr, engine)
     }
 
@@ -825,7 +814,10 @@ mod tests {
         let p = mgr
             .handle_submit(
                 gtx(1),
-                vec![Op::Increment { obj: obj(1), delta: 5 }],
+                vec![Op::Increment {
+                    obj: obj(1),
+                    delta: 5,
+                }],
                 SubmitMode::CommitBefore,
             )
             .unwrap();
@@ -847,7 +839,10 @@ mod tests {
         let p = mgr
             .handle_submit(
                 gtx(1),
-                vec![Op::Increment { obj: obj(1), delta: 5 }],
+                vec![Op::Increment {
+                    obj: obj(1),
+                    delta: 5,
+                }],
                 SubmitMode::CommitAfter,
             )
             .unwrap();
@@ -893,7 +888,10 @@ mod tests {
         let (mgr, engine) = manager_with(&[(1, 10)]);
         mgr.handle_submit(
             gtx(1),
-            vec![Op::Increment { obj: obj(1), delta: 5 }],
+            vec![Op::Increment {
+                obj: obj(1),
+                delta: 5,
+            }],
             SubmitMode::CommitAfter,
         )
         .unwrap();
@@ -912,7 +910,10 @@ mod tests {
         let (mgr, engine) = manager_with(&[(1, 10)]);
         mgr.handle_submit(
             gtx(1),
-            vec![Op::Increment { obj: obj(1), delta: 5 }],
+            vec![Op::Increment {
+                obj: obj(1),
+                delta: 5,
+            }],
             SubmitMode::CommitAfter,
         )
         .unwrap();
@@ -922,8 +923,14 @@ mod tests {
         // double-apply (E8).
         engine.crash();
         engine.recover().unwrap();
-        mgr.handle_redo(gtx(1), vec![Op::Increment { obj: obj(1), delta: 5 }])
-            .unwrap();
+        mgr.handle_redo(
+            gtx(1),
+            vec![Op::Increment {
+                obj: obj(1),
+                delta: 5,
+            }],
+        )
+        .unwrap();
         assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(15)));
         assert_eq!(mgr.stats().redo_runs, 0, "marker short-circuits the redo");
     }
@@ -933,20 +940,35 @@ mod tests {
         let (mgr, engine) = manager_with(&[(1, 10)]);
         mgr.handle_submit(
             gtx(1),
-            vec![Op::Increment { obj: obj(1), delta: 5 }],
+            vec![Op::Increment {
+                obj: obj(1),
+                delta: 5,
+            }],
             SubmitMode::CommitAfter,
         )
         .unwrap();
         // Crash while still running: the local transaction evaporates.
         engine.crash();
         engine.recover().unwrap();
-        mgr.handle_redo(gtx(1), vec![Op::Increment { obj: obj(1), delta: 5 }])
-            .unwrap();
+        mgr.handle_redo(
+            gtx(1),
+            vec![Op::Increment {
+                obj: obj(1),
+                delta: 5,
+            }],
+        )
+        .unwrap();
         assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(15)));
         assert_eq!(mgr.stats().redo_runs, 1);
         // A duplicate redo changes nothing.
-        mgr.handle_redo(gtx(1), vec![Op::Increment { obj: obj(1), delta: 5 }])
-            .unwrap();
+        mgr.handle_redo(
+            gtx(1),
+            vec![Op::Increment {
+                obj: obj(1),
+                delta: 5,
+            }],
+        )
+        .unwrap();
         assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(15)));
     }
 
@@ -955,19 +977,34 @@ mod tests {
         let (mgr, engine) = manager_with(&[(1, 10)]);
         mgr.handle_submit(
             gtx(1),
-            vec![Op::Increment { obj: obj(1), delta: 5 }],
+            vec![Op::Increment {
+                obj: obj(1),
+                delta: 5,
+            }],
             SubmitMode::CommitBefore,
         )
         .unwrap();
         assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(15)));
         // Global abort: run the inverse.
-        mgr.handle_undo(gtx(1), vec![Op::Increment { obj: obj(1), delta: -5 }])
-            .unwrap();
+        mgr.handle_undo(
+            gtx(1),
+            vec![Op::Increment {
+                obj: obj(1),
+                delta: -5,
+            }],
+        )
+        .unwrap();
         assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(10)));
         assert_eq!(mgr.stats().undo_runs, 1);
         // Duplicate undo (retransmission): marker stops it (E8).
-        mgr.handle_undo(gtx(1), vec![Op::Increment { obj: obj(1), delta: -5 }])
-            .unwrap();
+        mgr.handle_undo(
+            gtx(1),
+            vec![Op::Increment {
+                obj: obj(1),
+                delta: -5,
+            }],
+        )
+        .unwrap();
         assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(10)));
         assert_eq!(mgr.stats().undo_runs, 1);
     }
@@ -980,9 +1017,18 @@ mod tests {
         mgr.handle_submit(
             gtx(1),
             vec![
-                Op::Write { obj: obj(1), value: v(111) },
-                Op::Increment { obj: obj(2), delta: 7 },
-                Op::Insert { obj: obj(3), value: v(3) },
+                Op::Write {
+                    obj: obj(1),
+                    value: v(111),
+                },
+                Op::Increment {
+                    obj: obj(2),
+                    delta: 7,
+                },
+                Op::Insert {
+                    obj: obj(3),
+                    value: v(3),
+                },
             ],
             SubmitMode::CommitBefore,
         )
@@ -1006,7 +1052,10 @@ mod tests {
         // Committed-before transaction, then crash.
         mgr.handle_submit(
             gtx(1),
-            vec![Op::Increment { obj: obj(1), delta: 5 }],
+            vec![Op::Increment {
+                obj: obj(1),
+                delta: 5,
+            }],
             SubmitMode::CommitBefore,
         )
         .unwrap();
@@ -1037,7 +1086,10 @@ mod tests {
         let (mgr, engine) = manager_with(&[(1, 10)]);
         mgr.handle_submit(
             gtx(1),
-            vec![Op::Write { obj: obj(1), value: v(42) }],
+            vec![Op::Write {
+                obj: obj(1),
+                value: v(42),
+            }],
             SubmitMode::TwoPhase,
         )
         .unwrap();
@@ -1074,7 +1126,10 @@ mod tests {
         let (mgr, engine) = manager_with(&[(1, 10)]);
         mgr.handle_submit(
             gtx(1),
-            vec![Op::Write { obj: obj(1), value: v(42) }],
+            vec![Op::Write {
+                obj: obj(1),
+                value: v(42),
+            }],
             SubmitMode::CommitAfter,
         )
         .unwrap();

@@ -31,5 +31,5 @@ pub mod trace;
 
 pub use comm::{CommStats, EngineHandle, LocalCommManager, SubmitMode};
 pub use message::{Envelope, Payload};
-pub use router::{Router, RouterConfig};
+pub use router::{NetStats, Router, RouterConfig};
 pub use trace::{MessageTrace, TraceEntry};

@@ -209,12 +209,27 @@ mod tests {
     #[test]
     fn gtx_accessor_covers_all_variants() {
         let variants = vec![
-            Payload::Submit { gtx: gtx(3), ops: vec![] },
+            Payload::Submit {
+                gtx: gtx(3),
+                ops: vec![],
+            },
             Payload::Prepare { gtx: gtx(3) },
-            Payload::Vote { gtx: gtx(3), vote: LocalVote::Aborted },
-            Payload::Decision { gtx: gtx(3), verdict: GlobalVerdict::Abort },
-            Payload::Redo { gtx: gtx(3), ops: vec![] },
-            Payload::Undo { gtx: gtx(3), inverse_ops: vec![] },
+            Payload::Vote {
+                gtx: gtx(3),
+                vote: LocalVote::Aborted,
+            },
+            Payload::Decision {
+                gtx: gtx(3),
+                verdict: GlobalVerdict::Abort,
+            },
+            Payload::Redo {
+                gtx: gtx(3),
+                ops: vec![],
+            },
+            Payload::Undo {
+                gtx: gtx(3),
+                inverse_ops: vec![],
+            },
             Payload::Finished { gtx: gtx(3) },
         ];
         for p in variants {

@@ -11,7 +11,11 @@
 //!   not a droppable condition;
 //! * messages *to* a down site vanish (its communication manager is dead);
 //! * messages *from* a down site cannot be sent (the driver shouldn't ask,
-//!   but a defensive drop keeps crash races honest).
+//!   but a defensive drop keeps crash races honest);
+//! * messages crossing a **severed link** vanish while both endpoints stay
+//!   live — the partition fault the nemesis composes with crashes. Links
+//!   are directed, so an asymmetric partition (site hears the central, the
+//!   central never hears the site) is expressible.
 
 use crate::message::Envelope;
 use amc_sim::{LatencyModel, SimRng};
@@ -52,15 +56,35 @@ pub enum Routing {
     Dropped,
 }
 
+/// Network traffic accounting, per router lifetime.
+///
+/// Replaces the old `(sent, dropped)` tuple so new drop causes can be
+/// accounted without breaking every caller again.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages admitted (including ones subsequently dropped).
+    pub sent: u64,
+    /// Messages dropped for any reason (down endpoint, severed link, loss).
+    pub dropped: u64,
+    /// Messages delivered twice (duplication injected).
+    pub duplicated: u64,
+    /// Subset of `dropped` caused by a severed link (partition), as opposed
+    /// to a down endpoint or random loss.
+    pub partitioned_drops: u64,
+}
+
 /// Deterministic star network.
 #[derive(Debug)]
 pub struct Router {
     cfg: RouterConfig,
     rng: SimRng,
     down: HashSet<SiteId>,
-    sent: u64,
-    dropped: u64,
-    duplicated: u64,
+    /// Severed directed links: a message `from -> to` listed here vanishes
+    /// even though both endpoints are live.
+    partitioned: HashSet<(SiteId, SiteId)>,
+    /// While set, overrides `cfg.loss_probability` (a nemesis loss burst).
+    burst_loss: Option<f64>,
+    stats: NetStats,
 }
 
 impl Router {
@@ -70,9 +94,9 @@ impl Router {
             cfg,
             rng,
             down: HashSet::new(),
-            sent: 0,
-            dropped: 0,
-            duplicated: 0,
+            partitioned: HashSet::new(),
+            burst_loss: None,
+            stats: NetStats::default(),
         }
     }
 
@@ -91,6 +115,45 @@ impl Router {
         self.down.contains(&site)
     }
 
+    /// Sever the directed link `from -> to`: messages in that direction are
+    /// dropped while both endpoints stay live. Idempotent.
+    pub fn partition(&mut self, from: SiteId, to: SiteId) {
+        self.partitioned.insert((from, to));
+    }
+
+    /// Heal the directed link `from -> to`. Idempotent.
+    pub fn heal(&mut self, from: SiteId, to: SiteId) {
+        self.partitioned.remove(&(from, to));
+    }
+
+    /// Sever both directions between `a` and `b`.
+    pub fn partition_both(&mut self, a: SiteId, b: SiteId) {
+        self.partition(a, b);
+        self.partition(b, a);
+    }
+
+    /// Heal both directions between `a` and `b`.
+    pub fn heal_both(&mut self, a: SiteId, b: SiteId) {
+        self.heal(a, b);
+        self.heal(b, a);
+    }
+
+    /// Whether the directed link `from -> to` is currently severed.
+    pub fn is_partitioned(&self, from: SiteId, to: SiteId) -> bool {
+        self.partitioned.contains(&(from, to))
+    }
+
+    /// Begin a loss burst: until [`Router::clear_loss_burst`], every message
+    /// is lost with `probability` instead of the configured baseline.
+    pub fn set_loss_burst(&mut self, probability: f64) {
+        self.burst_loss = Some(probability.clamp(0.0, 1.0));
+    }
+
+    /// End a loss burst, restoring the configured loss probability.
+    pub fn clear_loss_burst(&mut self) {
+        self.burst_loss = None;
+    }
+
     /// Decide what happens to `env`.
     ///
     /// # Panics
@@ -101,33 +164,38 @@ impl Router {
             env.respects_star_topology(),
             "star topology violated: {env}"
         );
-        self.sent += 1;
+        self.stats.sent += 1;
         if self.down.contains(&env.from) || self.down.contains(&env.to) {
-            self.dropped += 1;
+            self.stats.dropped += 1;
             return Routing::Dropped;
         }
-        if self.cfg.loss_probability > 0.0 && self.rng.chance(self.cfg.loss_probability) {
-            self.dropped += 1;
+        if self.partitioned.contains(&(env.from, env.to)) {
+            self.stats.dropped += 1;
+            self.stats.partitioned_drops += 1;
+            return Routing::Dropped;
+        }
+        let loss = self.burst_loss.unwrap_or(self.cfg.loss_probability);
+        if loss > 0.0 && self.rng.chance(loss) {
+            self.stats.dropped += 1;
             return Routing::Dropped;
         }
         let first = self.cfg.latency.sample(&mut self.rng);
-        if self.cfg.duplicate_probability > 0.0 && self.rng.chance(self.cfg.duplicate_probability)
-        {
-            self.duplicated += 1;
+        if self.cfg.duplicate_probability > 0.0 && self.rng.chance(self.cfg.duplicate_probability) {
+            self.stats.duplicated += 1;
             let second = self.cfg.latency.sample(&mut self.rng);
             return Routing::DeliverTwice(first, second);
         }
         Routing::Deliver(first)
     }
 
-    /// `(sent, dropped)` counters.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.sent, self.dropped)
+    /// Traffic counters so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
     }
 
     /// Messages delivered twice.
     pub fn duplicated(&self) -> u64 {
-        self.duplicated
+        self.stats.duplicated
     }
 }
 
@@ -154,7 +222,13 @@ mod tests {
             r.route(&env(0, 1)),
             Routing::Deliver(SimDuration::from_micros(500))
         );
-        assert_eq!(r.stats(), (1, 0));
+        assert_eq!(
+            r.stats(),
+            NetStats {
+                sent: 1,
+                ..NetStats::default()
+            }
+        );
     }
 
     #[test]
@@ -165,7 +239,9 @@ mod tests {
         assert!(r.is_down(SiteId::new(1)));
         r.site_up(SiteId::new(1));
         assert!(matches!(r.route(&env(0, 1)), Routing::Deliver(_)));
-        assert_eq!(r.stats(), (2, 1));
+        let s = r.stats();
+        assert_eq!((s.sent, s.dropped), (2, 1));
+        assert_eq!(s.partitioned_drops, 0, "down endpoint is not a partition");
     }
 
     #[test]
@@ -211,6 +287,48 @@ mod tests {
         );
         assert!(matches!(r.route(&env(0, 1)), Routing::DeliverTwice(_, _)));
         assert_eq!(r.duplicated(), 1);
+    }
+
+    #[test]
+    fn severed_link_drops_one_direction_only() {
+        let mut r = Router::new(RouterConfig::default(), SimRng::new(1));
+        r.partition(SiteId::new(1), SiteId::new(0));
+        assert_eq!(r.route(&env(1, 0)), Routing::Dropped, "severed direction");
+        assert!(
+            matches!(r.route(&env(0, 1)), Routing::Deliver(_)),
+            "reverse link intact"
+        );
+        assert!(r.is_partitioned(SiteId::new(1), SiteId::new(0)));
+        assert!(!r.is_partitioned(SiteId::new(0), SiteId::new(1)));
+        let s = r.stats();
+        assert_eq!(s.partitioned_drops, 1);
+        assert_eq!(s.dropped, 1);
+    }
+
+    #[test]
+    fn heal_restores_the_link() {
+        let mut r = Router::new(RouterConfig::default(), SimRng::new(1));
+        r.partition_both(SiteId::new(0), SiteId::new(2));
+        assert_eq!(r.route(&env(0, 2)), Routing::Dropped);
+        assert_eq!(r.route(&env(2, 0)), Routing::Dropped);
+        r.heal_both(SiteId::new(0), SiteId::new(2));
+        assert!(matches!(r.route(&env(0, 2)), Routing::Deliver(_)));
+        assert!(matches!(r.route(&env(2, 0)), Routing::Deliver(_)));
+        assert_eq!(r.stats().partitioned_drops, 2);
+    }
+
+    #[test]
+    fn loss_burst_overrides_baseline_and_clears() {
+        let mut r = Router::new(RouterConfig::default(), SimRng::new(9));
+        r.set_loss_burst(1.0);
+        for _ in 0..10 {
+            assert_eq!(r.route(&env(0, 1)), Routing::Dropped);
+        }
+        r.clear_loss_burst();
+        assert!(matches!(r.route(&env(0, 1)), Routing::Deliver(_)));
+        let s = r.stats();
+        assert_eq!((s.sent, s.dropped), (11, 10));
+        assert_eq!(s.partitioned_drops, 0, "burst loss is not a partition");
     }
 
     #[test]

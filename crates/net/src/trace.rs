@@ -110,7 +110,11 @@ mod tests {
         let mut t = MessageTrace::new();
         t.record(
             SimTime(1),
-            Envelope::new(SiteId::CENTRAL, SiteId::new(1), Payload::Prepare { gtx: gtx(1) }),
+            Envelope::new(
+                SiteId::CENTRAL,
+                SiteId::new(1),
+                Payload::Prepare { gtx: gtx(1) },
+            ),
         );
         t.record(
             SimTime(2),
@@ -125,7 +129,11 @@ mod tests {
         );
         t.record(
             SimTime(3),
-            Envelope::new(SiteId::CENTRAL, SiteId::new(2), Payload::Prepare { gtx: gtx(2) }),
+            Envelope::new(
+                SiteId::CENTRAL,
+                SiteId::new(2),
+                Payload::Prepare { gtx: gtx(2) },
+            ),
         );
         t
     }

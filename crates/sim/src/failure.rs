@@ -87,7 +87,10 @@ impl FailurePlan {
             let is_down = down.entry(ev.site).or_insert(false);
             match ev.kind {
                 FailureKind::Crash if *is_down => {
-                    return Err(format!("{} crashes at {} while already down", ev.site, ev.at))
+                    return Err(format!(
+                        "{} crashes at {} while already down",
+                        ev.site, ev.at
+                    ))
                 }
                 FailureKind::Restart if !*is_down => {
                     return Err(format!("{} restarts at {} while up", ev.site, ev.at))

@@ -15,14 +15,23 @@
 //! the event enum. [`SimRng`] wraps a seeded PRNG with the distributions the
 //! workloads need, and [`FailurePlan`] describes site crash/restart
 //! schedules.
+//!
+//! [`nemesis`] extends the hand-written schedules into chaos territory:
+//! composed crash/partition/loss-burst/torn-tail [`FaultPlan`]s, a seeded
+//! generator, and a shrinker that minimizes oracle-violating schedules.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod failure;
+pub mod nemesis;
 pub mod queue;
 pub mod rng;
 
 pub use failure::{FailureEvent, FailureKind, FailurePlan};
+pub use nemesis::{
+    generate as generate_faults, shrink as shrink_faults, FaultEvent, FaultKind, FaultPlan,
+    LinkDir, NemesisConfig, TornTail,
+};
 pub use queue::EventQueue;
 pub use rng::{LatencyModel, SimRng};

@@ -1,0 +1,683 @@
+//! The nemesis: composed fault schedules, their seeded generator, and a
+//! schedule shrinker.
+//!
+//! [`FailurePlan`](crate::FailurePlan) covers E5's hand-written crash
+//! schedules; chaos testing needs more. A [`FaultPlan`] composes four fault
+//! families into one virtual-time schedule:
+//!
+//! * **crash / restart** — whole-site failures, optionally with a **torn
+//!   WAL tail** (the crash strikes mid-`force()`, leaving a checksum-corrupt
+//!   final frame for restart recovery to truncate);
+//! * **partition / heal** — a directed central↔site link severed while both
+//!   endpoints stay live (the failure 2PC's blocking argument is about);
+//! * **loss burst** — a window in which the network-wide loss probability
+//!   spikes.
+//!
+//! [`generate`] draws a valid plan from a seed — same `(config, seed)` pair,
+//! same schedule, forever — and [`shrink`] minimizes a schedule that
+//! reproduces an oracle violation to the smallest reproducing prefix, then
+//! greedily drops events, Jepsen/QuickCheck style.
+
+use crate::failure::{FailureKind, FailurePlan};
+use crate::rng::SimRng;
+use amc_types::{SimDuration, SimTime, SiteId};
+
+/// Which direction(s) of a central↔site link a partition severs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDir {
+    /// Site → central severed: votes/acks vanish, decisions still arrive.
+    ToCentral,
+    /// Central → site severed: decisions vanish, votes still arrive.
+    FromCentral,
+    /// Both directions severed.
+    Both,
+}
+
+/// A torn WAL tail accompanying a crash: the crash hits mid-`force()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornTail {
+    /// Tail frames that become fully durable before the tear (clamped to
+    /// the tail length at crash time).
+    pub keep_frames: u32,
+}
+
+/// One fault family event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The site fails. With `torn`, the crash interrupts a log force,
+    /// persisting `keep_frames` whole frames plus one torn frame.
+    Crash {
+        /// Mid-force crash shape, if any.
+        torn: Option<TornTail>,
+    },
+    /// The site restarts and runs local restart recovery.
+    Restart,
+    /// Sever the site's link(s) with the central system.
+    PartitionStart {
+        /// Severed direction(s).
+        dir: LinkDir,
+    },
+    /// Heal whatever partition is open for this site.
+    PartitionHeal,
+    /// Begin a network-wide loss burst at this probability.
+    LossBurstStart {
+        /// Per-message loss probability during the burst.
+        probability: f64,
+    },
+    /// End the loss burst, restoring baseline loss.
+    LossBurstEnd,
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When it fires.
+    pub at: SimTime,
+    /// The site it concerns. Loss bursts are network-wide and carry
+    /// [`SiteId::CENTRAL`] by convention.
+    pub site: SiteId,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// An ordered, composable schedule of faults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Build directly from an event list (the shrinker's constructor).
+    pub fn from_events(events: Vec<FaultEvent>) -> Self {
+        FaultPlan { events }
+    }
+
+    /// Add a clean crash.
+    pub fn crash(mut self, site: SiteId, at: SimTime) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            site,
+            kind: FaultKind::Crash { torn: None },
+        });
+        self
+    }
+
+    /// Add a crash that tears the WAL tail mid-force.
+    pub fn crash_torn(mut self, site: SiteId, at: SimTime, keep_frames: u32) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            site,
+            kind: FaultKind::Crash {
+                torn: Some(TornTail { keep_frames }),
+            },
+        });
+        self
+    }
+
+    /// Add a restart.
+    pub fn restart(mut self, site: SiteId, at: SimTime) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            site,
+            kind: FaultKind::Restart,
+        });
+        self
+    }
+
+    /// Add a crash at `at` and a restart `outage` later.
+    pub fn outage(self, site: SiteId, at: SimTime, outage: SimDuration) -> Self {
+        self.crash(site, at).restart(site, at + outage)
+    }
+
+    /// Sever the site's central link(s) at `at`.
+    pub fn partition(mut self, site: SiteId, at: SimTime, dir: LinkDir) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            site,
+            kind: FaultKind::PartitionStart { dir },
+        });
+        self
+    }
+
+    /// Heal the site's open partition at `at`.
+    pub fn heal(mut self, site: SiteId, at: SimTime) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            site,
+            kind: FaultKind::PartitionHeal,
+        });
+        self
+    }
+
+    /// Sever at `at`, heal `hold` later.
+    pub fn partition_window(
+        self,
+        site: SiteId,
+        at: SimTime,
+        hold: SimDuration,
+        dir: LinkDir,
+    ) -> Self {
+        self.partition(site, at, dir).heal(site, at + hold)
+    }
+
+    /// Raise network-wide loss to `probability` for `hold`.
+    pub fn loss_burst(mut self, at: SimTime, hold: SimDuration, probability: f64) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            site: SiteId::CENTRAL,
+            kind: FaultKind::LossBurstStart { probability },
+        });
+        self.events.push(FaultEvent {
+            at: at + hold,
+            site: SiteId::CENTRAL,
+            kind: FaultKind::LossBurstEnd,
+        });
+        self
+    }
+
+    /// The events in time order (stable for equal timestamps).
+    pub fn events(&self) -> Vec<FaultEvent> {
+        let mut e = self.events.clone();
+        e.sort_by_key(|ev| ev.at);
+        e
+    }
+
+    /// Number of events in the plan.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the plan contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The plan consisting of the first `n` events in time order. Because
+    /// [`FaultPlan::validate`] only constrains alternation *prefixes*, every
+    /// prefix of a valid plan is itself valid.
+    pub fn truncated(&self, n: usize) -> FaultPlan {
+        let mut events = self.events();
+        events.truncate(n);
+        FaultPlan { events }
+    }
+
+    /// Validate the schedule. Per site, crash/restart must alternate
+    /// (starting up) and partition start/heal must alternate (starting
+    /// healed); loss bursts must alternate globally; burst probabilities
+    /// must lie in `[0, 1]`. Returns the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        let mut down: HashMap<SiteId, bool> = HashMap::new();
+        let mut cut: HashMap<SiteId, bool> = HashMap::new();
+        let mut burst = false;
+        for ev in self.events() {
+            match ev.kind {
+                FaultKind::Crash { .. } => {
+                    let d = down.entry(ev.site).or_insert(false);
+                    if *d {
+                        return Err(format!(
+                            "{} crashes at {} while already down",
+                            ev.site, ev.at
+                        ));
+                    }
+                    *d = true;
+                }
+                FaultKind::Restart => {
+                    let d = down.entry(ev.site).or_insert(false);
+                    if !*d {
+                        return Err(format!("{} restarts at {} while up", ev.site, ev.at));
+                    }
+                    *d = false;
+                }
+                FaultKind::PartitionStart { .. } => {
+                    if ev.site.is_central() {
+                        return Err(format!(
+                            "partition event at {} targets the central site; name the \
+                             non-central endpoint of the link",
+                            ev.at
+                        ));
+                    }
+                    let c = cut.entry(ev.site).or_insert(false);
+                    if *c {
+                        return Err(format!(
+                            "{} partitions at {} while already partitioned",
+                            ev.site, ev.at
+                        ));
+                    }
+                    *c = true;
+                }
+                FaultKind::PartitionHeal => {
+                    let c = cut.entry(ev.site).or_insert(false);
+                    if !*c {
+                        return Err(format!(
+                            "{} heals at {} while not partitioned",
+                            ev.site, ev.at
+                        ));
+                    }
+                    *c = false;
+                }
+                FaultKind::LossBurstStart { probability } => {
+                    if !(0.0..=1.0).contains(&probability) {
+                        return Err(format!(
+                            "loss burst at {} has probability {probability} outside [0, 1]",
+                            ev.at
+                        ));
+                    }
+                    if burst {
+                        return Err(format!(
+                            "loss burst starts at {} while one is already active",
+                            ev.at
+                        ));
+                    }
+                    burst = true;
+                }
+                FaultKind::LossBurstEnd => {
+                    if !burst {
+                        return Err(format!("loss burst ends at {} with none active", ev.at));
+                    }
+                    burst = false;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<&FailurePlan> for FaultPlan {
+    /// Lift a legacy E5 crash/restart schedule into the composed form.
+    fn from(plan: &FailurePlan) -> Self {
+        FaultPlan {
+            events: plan
+                .events()
+                .into_iter()
+                .map(|ev| FaultEvent {
+                    at: ev.at,
+                    site: ev.site,
+                    kind: match ev.kind {
+                        FailureKind::Crash => FaultKind::Crash { torn: None },
+                        FailureKind::Restart => FaultKind::Restart,
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Knobs for the seeded schedule generator.
+#[derive(Debug, Clone)]
+pub struct NemesisConfig {
+    /// Non-central sites faults may target.
+    pub sites: Vec<SiteId>,
+    /// All fault activity completes (restart/heal/burst-end included)
+    /// strictly before this time, leaving the tail of the run for the
+    /// protocols to quiesce.
+    pub fault_horizon: SimTime,
+    /// Maximum incidents (an incident is a crash+restart, a
+    /// partition+heal, or a burst start+end pair) across the plan.
+    pub max_incidents: usize,
+    /// Allow whole-site crash/restart incidents.
+    pub allow_crashes: bool,
+    /// Allow torn WAL tails on crashes.
+    pub allow_torn_tails: bool,
+    /// Allow link partitions.
+    pub allow_partitions: bool,
+    /// Allow network-wide loss bursts.
+    pub allow_loss_bursts: bool,
+    /// Allow the central site itself to crash (tests presumed abort).
+    pub include_central_crash: bool,
+    /// Shortest incident duration.
+    pub min_hold: SimDuration,
+    /// Longest incident duration.
+    pub max_hold: SimDuration,
+}
+
+impl Default for NemesisConfig {
+    fn default() -> Self {
+        NemesisConfig {
+            sites: vec![SiteId::new(1), SiteId::new(2)],
+            fault_horizon: SimTime(5_000_000), // 5 virtual seconds
+            max_incidents: 6,
+            allow_crashes: true,
+            allow_torn_tails: true,
+            allow_partitions: true,
+            allow_loss_bursts: true,
+            include_central_crash: true,
+            min_hold: SimDuration::from_micros(5_000),
+            max_hold: SimDuration::from_micros(200_000),
+        }
+    }
+}
+
+/// Generate a valid composed fault schedule from `seed`.
+///
+/// Determinism contract: same `(cfg, seed)`, same plan. The generator keeps
+/// one timeline cursor per lane — each site is a lane (its crashes and
+/// partitions never overlap, so a plan never partitions a down site), and
+/// the network-wide burst is its own lane — which makes every emitted plan
+/// pass [`FaultPlan::validate`] by construction.
+pub fn generate(cfg: &NemesisConfig, seed: u64) -> FaultPlan {
+    let mut rng = SimRng::new(seed);
+    let mut plan = FaultPlan::none();
+
+    // Candidate incident kinds under the config's switches.
+    #[derive(Clone, Copy)]
+    enum Incident {
+        Crash,
+        CentralCrash,
+        Partition,
+        Burst,
+    }
+    let mut kinds: Vec<Incident> = Vec::new();
+    if cfg.allow_crashes && !cfg.sites.is_empty() {
+        // Weight site crashes double: they exercise the most machinery.
+        kinds.push(Incident::Crash);
+        kinds.push(Incident::Crash);
+    }
+    if cfg.allow_crashes && cfg.include_central_crash {
+        kinds.push(Incident::CentralCrash);
+    }
+    if cfg.allow_partitions && !cfg.sites.is_empty() {
+        kinds.push(Incident::Partition);
+        kinds.push(Incident::Partition);
+    }
+    if cfg.allow_loss_bursts {
+        kinds.push(Incident::Burst);
+    }
+    if kinds.is_empty() || cfg.max_incidents == 0 {
+        return plan;
+    }
+
+    // Per-lane cursors: the next time a lane is free. Lane 0..sites.len()
+    // are the configured sites, then the central site, then the burst lane.
+    let span = cfg.fault_horizon.0;
+    let n_incidents = rng.range_inclusive(1, cfg.max_incidents as u64);
+    let mut site_free: Vec<u64> = vec![0; cfg.sites.len()];
+    let mut central_free: u64 = 0;
+    let mut burst_free: u64 = 0;
+
+    for _ in 0..n_incidents {
+        let kind = kinds[rng.below(kinds.len() as u64) as usize];
+        let hold = rng.range_inclusive(cfg.min_hold.micros(), cfg.max_hold.micros());
+        let (free, site) = match kind {
+            Incident::Crash | Incident::Partition => {
+                let i = rng.below(cfg.sites.len() as u64) as usize;
+                (&mut site_free[i], cfg.sites[i])
+            }
+            Incident::CentralCrash => (&mut central_free, SiteId::CENTRAL),
+            Incident::Burst => (&mut burst_free, SiteId::CENTRAL),
+        };
+        // Place the incident uniformly in the lane's remaining room; skip
+        // it when the lane is too crowded to finish before the horizon.
+        let latest_start = match span.checked_sub(hold) {
+            Some(l) if l > *free => l,
+            _ => continue,
+        };
+        let start = rng.range_inclusive(*free + 1, latest_start);
+        *free = start + hold;
+        let (at, end) = (SimTime(start), SimTime(start + hold));
+        plan = match kind {
+            Incident::Crash => {
+                if cfg.allow_torn_tails && rng.chance(0.5) {
+                    let keep = rng.below(3) as u32;
+                    plan.crash_torn(site, at, keep).restart(site, end)
+                } else {
+                    plan.outage(site, at, SimDuration::from_micros(hold))
+                }
+            }
+            Incident::CentralCrash => plan.outage(site, at, SimDuration::from_micros(hold)),
+            Incident::Partition => {
+                let dir = match rng.below(3) {
+                    0 => LinkDir::ToCentral,
+                    1 => LinkDir::FromCentral,
+                    _ => LinkDir::Both,
+                };
+                plan.partition_window(site, at, SimDuration::from_micros(hold), dir)
+            }
+            Incident::Burst => {
+                let p = 0.3 + 0.7 * rng.unit();
+                plan.loss_burst(at, SimDuration::from_micros(hold), p)
+            }
+        };
+    }
+    debug_assert!(plan.validate().is_ok(), "generator emitted invalid plan");
+    plan
+}
+
+/// Minimize a fault schedule that makes `reproduces` return `true`.
+///
+/// Two passes, both deterministic:
+/// 1. **Prefix search** — find the shortest time-ordered prefix that still
+///    reproduces (the violation usually hinges on the first few faults);
+/// 2. **Greedy removal** — try deleting each remaining event (latest
+///    first), keeping deletions that leave the plan valid and still
+///    reproducing.
+///
+/// `reproduces` is typically "run the simulation with this plan and check
+/// the oracle"; it must be deterministic for the result to mean anything.
+/// If the full plan does not reproduce, it is returned unchanged.
+pub fn shrink(plan: &FaultPlan, mut reproduces: impl FnMut(&FaultPlan) -> bool) -> FaultPlan {
+    if !reproduces(plan) {
+        return plan.clone();
+    }
+    // Pass 1: shortest reproducing prefix.
+    let mut best = plan.clone();
+    for n in 0..plan.len() {
+        let prefix = plan.truncated(n);
+        debug_assert!(prefix.validate().is_ok());
+        if reproduces(&prefix) {
+            best = prefix;
+            break;
+        }
+    }
+    // Pass 2: greedy single-event removal, latest event first (earlier
+    // events more often carry the causal load).
+    let mut events = best.events();
+    let mut i = events.len();
+    while i > 0 {
+        i -= 1;
+        let mut candidate = events.clone();
+        candidate.remove(i);
+        let candidate = FaultPlan::from_events(candidate);
+        if candidate.validate().is_ok() && reproduces(&candidate) {
+            events.remove(i);
+        }
+    }
+    FaultPlan::from_events(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: u32) -> SiteId {
+        SiteId::new(n)
+    }
+
+    #[test]
+    fn builders_produce_valid_plans() {
+        let plan = FaultPlan::none()
+            .outage(s(1), SimTime(100), SimDuration(50))
+            .partition_window(s(2), SimTime(120), SimDuration(80), LinkDir::Both)
+            .loss_burst(SimTime(300), SimDuration(40), 0.9)
+            .crash_torn(s(2), SimTime(500), 1)
+            .restart(s(2), SimTime(600));
+        plan.validate().unwrap();
+        assert_eq!(plan.len(), 8);
+        let events = plan.events();
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn validation_catches_overlapping_incidents() {
+        let double_crash = FaultPlan::none()
+            .crash(s(1), SimTime(10))
+            .crash(s(1), SimTime(20));
+        assert!(double_crash.validate().is_err());
+
+        let heal_without_partition = FaultPlan::none().heal(s(1), SimTime(10));
+        assert!(heal_without_partition.validate().is_err());
+
+        let double_burst = FaultPlan::none()
+            .loss_burst(SimTime(10), SimDuration(100), 0.5)
+            .loss_burst(SimTime(50), SimDuration(100), 0.5);
+        assert!(double_burst.validate().is_err());
+
+        let bad_probability = FaultPlan::none().loss_burst(SimTime(10), SimDuration(5), 1.5);
+        assert!(bad_probability.validate().is_err());
+
+        let central_partition =
+            FaultPlan::none().partition(SiteId::CENTRAL, SimTime(10), LinkDir::Both);
+        assert!(central_partition.validate().is_err());
+    }
+
+    #[test]
+    fn crash_and_partition_on_different_sites_may_overlap() {
+        let plan = FaultPlan::none()
+            .outage(s(1), SimTime(100), SimDuration(500))
+            .partition_window(s(2), SimTime(200), SimDuration(500), LinkDir::ToCentral);
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn legacy_failure_plans_lift() {
+        let legacy = FailurePlan::none().outage(s(2), SimTime(100), SimDuration(50));
+        let plan = FaultPlan::from(&legacy);
+        plan.validate().unwrap();
+        assert_eq!(plan.len(), 2);
+        assert!(matches!(
+            plan.events()[0].kind,
+            FaultKind::Crash { torn: None }
+        ));
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_valid() {
+        let cfg = NemesisConfig::default();
+        for seed in 0..200 {
+            let a = generate(&cfg, seed);
+            let b = generate(&cfg, seed);
+            assert_eq!(a, b, "seed {seed} not reproducible");
+            a.validate()
+                .unwrap_or_else(|e| panic!("seed {seed} invalid: {e}"));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_plans() {
+        let cfg = NemesisConfig::default();
+        let distinct: std::collections::BTreeSet<usize> =
+            (0..50).map(|seed| generate(&cfg, seed).len()).collect();
+        assert!(distinct.len() > 1, "all 50 plans have identical length");
+    }
+
+    #[test]
+    fn generated_faults_respect_the_horizon() {
+        let cfg = NemesisConfig::default();
+        for seed in 0..100 {
+            for ev in generate(&cfg, seed).events() {
+                assert!(
+                    ev.at < cfg.fault_horizon,
+                    "seed {seed}: event at {} beyond horizon",
+                    ev.at
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generator_honours_switches() {
+        let cfg = NemesisConfig {
+            allow_crashes: false,
+            allow_loss_bursts: false,
+            ..NemesisConfig::default()
+        };
+        for seed in 0..50 {
+            for ev in generate(&cfg, seed).events() {
+                assert!(
+                    matches!(
+                        ev.kind,
+                        FaultKind::PartitionStart { .. } | FaultKind::PartitionHeal
+                    ),
+                    "seed {seed}: unexpected {ev:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_faults_off_means_empty_plans() {
+        let cfg = NemesisConfig {
+            allow_crashes: false,
+            allow_partitions: false,
+            allow_loss_bursts: false,
+            ..NemesisConfig::default()
+        };
+        assert!(generate(&cfg, 7).is_empty());
+    }
+
+    #[test]
+    fn prefixes_of_valid_plans_are_valid() {
+        let cfg = NemesisConfig::default();
+        for seed in 0..50 {
+            let plan = generate(&cfg, seed);
+            for n in 0..=plan.len() {
+                plan.truncated(n)
+                    .validate()
+                    .unwrap_or_else(|e| panic!("seed {seed} prefix {n}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn shrinker_finds_the_minimal_prefix() {
+        // The "oracle" fires as soon as the plan contains site 1's crash.
+        let plan = FaultPlan::none()
+            .loss_burst(SimTime(10), SimDuration(10), 0.5)
+            .outage(s(1), SimTime(100), SimDuration(50))
+            .partition_window(s(2), SimTime(300), SimDuration(50), LinkDir::Both);
+        let trigger = |p: &FaultPlan| {
+            p.events()
+                .iter()
+                .any(|e| e.site == s(1) && matches!(e.kind, FaultKind::Crash { .. }))
+        };
+        let small = shrink(&plan, trigger);
+        small.validate().unwrap();
+        assert_eq!(small.len(), 1, "exactly the crash remains: {small:?}");
+        assert!(trigger(&small));
+    }
+
+    #[test]
+    fn shrinker_returns_full_plan_when_nothing_reproduces() {
+        let plan = FaultPlan::none().outage(s(1), SimTime(10), SimDuration(5));
+        let shrunk = shrink(&plan, |_| false);
+        assert_eq!(shrunk, plan);
+    }
+
+    #[test]
+    fn shrinker_on_conjunctive_triggers_keeps_both_events() {
+        // Violation needs the crash AND the partition.
+        let plan = FaultPlan::none()
+            .outage(s(1), SimTime(100), SimDuration(50))
+            .loss_burst(SimTime(200), SimDuration(20), 0.7)
+            .partition_window(s(2), SimTime(300), SimDuration(50), LinkDir::Both);
+        let trigger = |p: &FaultPlan| {
+            let evs = p.events();
+            let crash = evs
+                .iter()
+                .any(|e| e.site == s(1) && matches!(e.kind, FaultKind::Crash { .. }));
+            let cut = evs
+                .iter()
+                .any(|e| matches!(e.kind, FaultKind::PartitionStart { .. }));
+            crash && cut
+        };
+        let small = shrink(&plan, trigger);
+        small.validate().unwrap();
+        assert!(trigger(&small));
+        assert_eq!(small.len(), 2, "crash + partition survive: {small:?}");
+    }
+}

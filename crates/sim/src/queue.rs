@@ -82,7 +82,11 @@ impl<E> EventQueue<E> {
     /// bug in the driver; it is clamped to *now* so the queue stays
     /// monotone, and flagged in debug builds.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;

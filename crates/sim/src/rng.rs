@@ -117,7 +117,10 @@ impl LatencyModel {
             LatencyModel::Exponential { mean, min } => {
                 let d = rng.exponential(mean);
                 let cap = SimDuration::from_micros(mean.micros().saturating_mul(10));
-                SimDuration::from_micros(d.micros().clamp(min.micros(), cap.micros().max(min.micros())))
+                SimDuration::from_micros(
+                    d.micros()
+                        .clamp(min.micros(), cap.micros().max(min.micros())),
+                )
             }
         }
     }

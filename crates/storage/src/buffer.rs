@@ -100,6 +100,11 @@ impl BufferPool {
         Ok(out)
     }
 
+    /// Bounded retries against injected transient read errors before the
+    /// failure is surfaced to the engine. Real buffer managers retry media
+    /// errors a few times before declaring the page unreadable.
+    const READ_RETRIES: usize = 8;
+
     fn fault_in(&mut self, id: PageId, disk: &mut StableStorage) -> AmcResult<()> {
         if self.frames.contains_key(&id) {
             self.stats.hits += 1;
@@ -109,7 +114,7 @@ impl BufferPool {
         if self.frames.len() >= self.capacity {
             self.evict_one(disk)?;
         }
-        let page = match disk.read_page(id)? {
+        let page = match Self::read_with_retry(id, disk)? {
             Some(page) => page,
             None => Page::new(id),
         };
@@ -124,6 +129,17 @@ impl BufferPool {
         );
         self.clock.push(id);
         Ok(())
+    }
+
+    fn read_with_retry(id: PageId, disk: &mut StableStorage) -> AmcResult<Option<Page>> {
+        let mut last = None;
+        for _ in 0..Self::READ_RETRIES {
+            match disk.read_page(id) {
+                Err(AmcError::TransientIo(m)) => last = Some(AmcError::TransientIo(m)),
+                other => return other,
+            }
+        }
+        Err(last.expect("loop ran at least once"))
     }
 
     /// Second-chance eviction: sweep the clock, clearing reference bits,
@@ -311,6 +327,56 @@ mod tests {
                 .unwrap();
             assert_eq!(v, Some(Value::counter(i64::from(i))));
         }
+    }
+
+    #[test]
+    fn transient_read_errors_are_retried() {
+        use crate::fault::FaultConfig;
+        let mut disk = StableStorage::new(8);
+        let mut pool = BufferPool::new(4);
+        pool.with_page(pid(1), &mut disk, true, |p| {
+            p.upsert(obj(1), Value::counter(7)).unwrap();
+        })
+        .unwrap();
+        pool.flush_all(&mut disk).unwrap();
+        pool.crash(); // force the next access to hit the disk
+        disk.inject_faults(FaultConfig {
+            read_error_probability: 0.3,
+            lost_write_probability: 0.0,
+            seed: 21,
+        });
+        // At p=0.3 and 8 retries, failing a whole access needs 8 straight
+        // misses (p ≈ 7e-5); 20 accesses virtually always succeed.
+        for _ in 0..20 {
+            pool.crash();
+            let v = pool
+                .with_page(pid(1), &mut disk, false, |p| p.get(obj(1)))
+                .unwrap();
+            assert_eq!(v, Some(Value::counter(7)));
+        }
+        assert!(disk.stats().read_faults > 0, "faults actually fired");
+    }
+
+    #[test]
+    fn persistent_read_errors_surface() {
+        use crate::fault::FaultConfig;
+        let mut disk = StableStorage::new(8);
+        let mut pool = BufferPool::new(4);
+        pool.with_page(pid(1), &mut disk, true, |p| {
+            p.upsert(obj(1), Value::counter(7)).unwrap();
+        })
+        .unwrap();
+        pool.flush_all(&mut disk).unwrap();
+        pool.crash();
+        disk.inject_faults(FaultConfig {
+            read_error_probability: 1.0,
+            lost_write_probability: 0.0,
+            seed: 2,
+        });
+        let err = pool
+            .with_page(pid(1), &mut disk, false, |p| p.get(obj(1)))
+            .unwrap_err();
+        assert!(matches!(err, AmcError::TransientIo(_)), "{err:?}");
     }
 
     #[test]

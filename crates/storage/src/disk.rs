@@ -6,7 +6,13 @@
 //! torn pages. Contents survive crashes — only the buffer pool is volatile.
 //!
 //! I/O is counted so experiment E4 can report physical writes per protocol.
+//!
+//! The nemesis can attach a seeded [`FaultConfig`] to a disk: reads then
+//! fail transiently with some probability (callers retry — see
+//! `BufferPool`), and writes can be silently *lost* (acknowledged but never
+//! stored), the classic fault stable-storage constructions mask.
 
+use crate::fault::{FaultConfig, FaultState};
 use crate::page::{Page, PAGE_SIZE};
 use amc_types::{AmcError, AmcResult, PageId};
 use bytes::Bytes;
@@ -18,6 +24,10 @@ pub struct DiskStats {
     pub reads: u64,
     /// Page images written.
     pub writes: u64,
+    /// Injected transient read errors.
+    pub read_faults: u64,
+    /// Writes acknowledged but silently lost (injected).
+    pub lost_writes: u64,
 }
 
 /// A simulated disk holding page images.
@@ -25,6 +35,7 @@ pub struct DiskStats {
 pub struct StableStorage {
     pages: Vec<Option<Bytes>>,
     stats: DiskStats,
+    faults: Option<FaultState>,
 }
 
 impl StableStorage {
@@ -33,7 +44,19 @@ impl StableStorage {
         StableStorage {
             pages: vec![None; capacity],
             stats: DiskStats::default(),
+            faults: None,
         }
+    }
+
+    /// Attach a seeded fault configuration. Subsequent reads/writes fail
+    /// according to its probabilities, deterministically per seed.
+    pub fn inject_faults(&mut self, cfg: FaultConfig) {
+        self.faults = Some(FaultState::new(cfg));
+    }
+
+    /// Detach fault injection; the disk behaves perfectly again.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
     }
 
     /// Number of page slots on the disk.
@@ -50,17 +73,38 @@ impl StableStorage {
     }
 
     /// Atomically write a page image.
+    ///
+    /// With faults injected, the write may be silently **lost**: it is
+    /// acknowledged (`Ok`) but the previous image stays on the medium —
+    /// exactly the failure a caller cannot detect without reading back.
     pub fn write_page(&mut self, page: &Page) -> AmcResult<()> {
         self.ensure(page.id());
+        self.stats.writes += 1;
+        if let Some(f) = &mut self.faults {
+            if f.rng.chance(f.cfg.lost_write_probability) {
+                self.stats.lost_writes += 1;
+                return Ok(());
+            }
+        }
         let img = Bytes::copy_from_slice(&page.to_bytes());
         self.pages[page.id().raw() as usize] = Some(img);
-        self.stats.writes += 1;
         Ok(())
     }
 
     /// Read and verify a page image. `Ok(None)` when the slot was never
     /// written (a fresh page the store will initialize).
+    ///
+    /// With faults injected, the read may fail with
+    /// [`AmcError::TransientIo`]; retrying redraws the fault dice.
     pub fn read_page(&mut self, id: PageId) -> AmcResult<Option<Page>> {
+        if let Some(f) = &mut self.faults {
+            if f.rng.chance(f.cfg.read_error_probability) {
+                self.stats.read_faults += 1;
+                return Err(AmcError::TransientIo(format!(
+                    "injected read error on {id}"
+                )));
+            }
+        }
         let idx = id.raw() as usize;
         let Some(Some(img)) = self.pages.get(idx) else {
             return Ok(None);
@@ -125,7 +169,14 @@ mod tests {
         disk.write_page(&p).unwrap();
         let back = disk.read_page(PageId::new(2)).unwrap().unwrap();
         assert_eq!(back, p);
-        assert_eq!(disk.stats(), DiskStats { reads: 1, writes: 1 });
+        assert_eq!(
+            disk.stats(),
+            DiskStats {
+                reads: 1,
+                writes: 1,
+                ..DiskStats::default()
+            }
+        );
     }
 
     #[test]
@@ -166,6 +217,76 @@ mod tests {
             disk.read_page(PageId::new(1)),
             Err(AmcError::Corruption(_))
         ));
+    }
+
+    #[test]
+    fn injected_read_errors_are_transient() {
+        let mut disk = StableStorage::new(2);
+        let mut p = Page::new(PageId::new(1));
+        p.upsert(ObjectId::new(1), Value::counter(3)).unwrap();
+        disk.write_page(&p).unwrap();
+        disk.inject_faults(FaultConfig {
+            read_error_probability: 0.5,
+            lost_write_probability: 0.0,
+            seed: 11,
+        });
+        let mut errors = 0;
+        let mut oks = 0;
+        for _ in 0..100 {
+            match disk.read_page(PageId::new(1)) {
+                Err(AmcError::TransientIo(_)) => errors += 1,
+                Ok(Some(page)) => {
+                    assert_eq!(page.get(ObjectId::new(1)), Some(Value::counter(3)));
+                    oks += 1;
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert!(errors > 10 && oks > 10, "errors {errors}, oks {oks}");
+        assert_eq!(disk.stats().read_faults, errors);
+        disk.clear_faults();
+        assert!(disk.read_page(PageId::new(1)).is_ok());
+    }
+
+    #[test]
+    fn lost_writes_keep_the_old_image() {
+        let mut disk = StableStorage::new(2);
+        let mut p = Page::new(PageId::new(1));
+        p.upsert(ObjectId::new(1), Value::counter(1)).unwrap();
+        disk.write_page(&p).unwrap();
+        disk.inject_faults(FaultConfig {
+            read_error_probability: 0.0,
+            lost_write_probability: 1.0,
+            seed: 5,
+        });
+        p.upsert(ObjectId::new(1), Value::counter(2)).unwrap();
+        disk.write_page(&p).unwrap(); // acknowledged ...
+        assert_eq!(disk.stats().lost_writes, 1);
+        disk.clear_faults();
+        let back = disk.read_page(PageId::new(1)).unwrap().unwrap();
+        assert_eq!(
+            back.get(ObjectId::new(1)),
+            Some(Value::counter(1)),
+            "... but never stored"
+        );
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut disk = StableStorage::new(2);
+            disk.write_page(&Page::new(PageId::new(1))).unwrap();
+            disk.inject_faults(FaultConfig {
+                read_error_probability: 0.4,
+                lost_write_probability: 0.0,
+                seed,
+            });
+            (0..50)
+                .map(|_| disk.read_page(PageId::new(1)).is_err())
+                .collect()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4), "different seeds diverge");
     }
 
     #[test]

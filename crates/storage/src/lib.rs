@@ -27,10 +27,12 @@
 pub mod buffer;
 pub mod checksum;
 pub mod disk;
+pub mod fault;
 pub mod page;
 pub mod store;
 
 pub use buffer::BufferPool;
 pub use disk::StableStorage;
+pub use fault::FaultConfig;
 pub use page::Page;
 pub use store::PageStore;

@@ -87,7 +87,10 @@ impl Page {
     /// Look up an object's value on this page (linear scan; pages are small
     /// and hot pages live in the buffer pool).
     pub fn get(&self, obj: ObjectId) -> Option<Value> {
-        self.entries.iter().find(|(o, _)| *o == obj).map(|(_, v)| *v)
+        self.entries
+            .iter()
+            .find(|(o, _)| *o == obj)
+            .map(|(_, v)| *v)
     }
 
     /// Insert or overwrite an entry. Returns the previous value, or an error
@@ -173,8 +176,7 @@ impl Page {
             let obj = ObjectId::new(u64::from_le_bytes(
                 bytes[off..off + 8].try_into().expect("8 bytes"),
             ));
-            let value =
-                Value::from_bytes(bytes[off + 8..off + 20].try_into().expect("12 bytes"));
+            let value = Value::from_bytes(bytes[off + 8..off + 20].try_into().expect("12 bytes"));
             entries.push((obj, value));
             off += ENTRY_SIZE;
         }
@@ -198,7 +200,7 @@ mod tests {
     #[test]
     fn capacity_is_sane() {
         assert_eq!(Page::CAPACITY, (4096 - 24) / 20);
-        assert!(Page::CAPACITY > 100);
+        const { assert!(Page::CAPACITY > 100) };
     }
 
     #[test]

@@ -71,8 +71,12 @@ impl PageStore {
 
     /// Convenience constructor over a fresh disk.
     pub fn new(buckets: u32, pool_frames: usize) -> Self {
-        Self::open(StableStorage::new(buckets as usize + 8), buckets, pool_frames)
-            .expect("fresh store cannot fail to open")
+        Self::open(
+            StableStorage::new(buckets as usize + 8),
+            buckets,
+            pool_frames,
+        )
+        .expect("fresh store cannot fail to open")
     }
 
     /// The bucket-head page an object hashes to. Exposed so the engines can
@@ -187,10 +191,11 @@ impl PageStore {
         let fresh = PageId::new(self.next_free);
         self.next_free += 1;
         let cursor = self.next_free;
-        self.pool.with_page(META_PAGE, &mut self.disk, true, |meta| {
-            meta.upsert(META_CURSOR, Value::counter(i64::from(cursor)))
-                .expect("meta page never fills");
-        })?;
+        self.pool
+            .with_page(META_PAGE, &mut self.disk, true, |meta| {
+                meta.upsert(META_CURSOR, Value::counter(i64::from(cursor)))
+                    .expect("meta page never fills");
+            })?;
         Ok(fresh)
     }
 

@@ -83,6 +83,9 @@ pub enum AmcError {
     SiteDown(crate::ids::SiteId),
     /// Page checksum mismatch or other stable-storage corruption.
     Corruption(String),
+    /// A transient I/O failure (e.g. an injected disk read error). Unlike
+    /// [`AmcError::Corruption`] the operation may succeed if retried.
+    TransientIo(String),
     /// Buffer pool exhausted: all frames pinned.
     BufferExhausted,
     /// A protocol invariant was violated (bug or byzantine input).
@@ -125,6 +128,7 @@ impl fmt::Display for AmcError {
             AmcError::UnknownTxn => write!(f, "unknown or terminated transaction"),
             AmcError::SiteDown(s) => write!(f, "{s} is down"),
             AmcError::Corruption(m) => write!(f, "storage corruption: {m}"),
+            AmcError::TransientIo(m) => write!(f, "transient i/o failure: {m}"),
             AmcError::BufferExhausted => write!(f, "buffer pool exhausted"),
             AmcError::Protocol(m) => write!(f, "protocol violation: {m}"),
             AmcError::InvalidState(m) => write!(f, "invalid state: {m}"),
@@ -167,7 +171,10 @@ mod tests {
             AmcError::NotFound(ObjectId::new(4)).to_string(),
             "object obj-4 not found"
         );
-        assert_eq!(AmcError::SiteDown(SiteId::new(2)).to_string(), "site-2 is down");
+        assert_eq!(
+            AmcError::SiteDown(SiteId::new(2)).to_string(),
+            "site-2 is down"
+        );
     }
 
     #[test]

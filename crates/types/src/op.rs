@@ -199,9 +199,18 @@ mod tests {
 
     #[test]
     fn reserves_commute_with_reserves_only() {
-        let r1 = Operation::Reserve { obj: obj(1), amount: 2 };
-        let r2 = Operation::Reserve { obj: obj(1), amount: 5 };
-        let i = Operation::Increment { obj: obj(1), delta: 1 };
+        let r1 = Operation::Reserve {
+            obj: obj(1),
+            amount: 2,
+        };
+        let r2 = Operation::Reserve {
+            obj: obj(1),
+            amount: 5,
+        };
+        let i = Operation::Increment {
+            obj: obj(1),
+            delta: 1,
+        };
         let rd = Operation::Read { obj: obj(1) };
         assert!(r1.commutes_with(&r2));
         assert!(!r1.commutes_with(&i), "restock sees/changes the bound");
@@ -237,7 +246,10 @@ mod tests {
                 value: Value::ZERO,
             },
             Operation::Delete { obj: obj(1) },
-            Operation::Reserve { obj: obj(1), amount: 1 },
+            Operation::Reserve {
+                obj: obj(1),
+                amount: 1,
+            },
         ];
         for a in &ops {
             for b in &ops {

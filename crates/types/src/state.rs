@@ -164,7 +164,11 @@ impl LocalRunState {
         use LocalRunState::*;
         matches!(
             (self, next),
-            (Running, Ready) | (Running, Committed) | (Running, Aborted) | (Ready, Committed) | (Ready, Aborted)
+            (Running, Ready)
+                | (Running, Committed)
+                | (Running, Aborted)
+                | (Ready, Committed)
+                | (Ready, Aborted)
         )
     }
 }

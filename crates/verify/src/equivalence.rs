@@ -94,14 +94,15 @@ mod tests {
         let initial = BTreeMap::from([(obj(1), v(10))]);
         let programs = BTreeMap::from([(
             gtx(1),
-            vec![Operation::Increment { obj: obj(1), delta: 5 }],
+            vec![Operation::Increment {
+                obj: obj(1),
+                delta: 5,
+            }],
         )]);
         let mut actual = BTreeMap::from([(obj(1), v(15))]);
         // Marker noise must be ignored.
         actual.insert(forward_marker(gtx(1)), v(0));
-        assert!(
-            check_state_equivalence(&initial, &[gtx(1)], &programs, &actual).is_empty()
-        );
+        assert!(check_state_equivalence(&initial, &[gtx(1)], &programs, &actual).is_empty());
     }
 
     #[test]
@@ -109,7 +110,10 @@ mod tests {
         let initial = BTreeMap::from([(obj(1), v(10))]);
         let programs = BTreeMap::from([(
             gtx(1),
-            vec![Operation::Increment { obj: obj(1), delta: 5 }],
+            vec![Operation::Increment {
+                obj: obj(1),
+                delta: 5,
+            }],
         )]);
         let actual = BTreeMap::from([(obj(1), v(14))]); // lost update
         let div = check_state_equivalence(&initial, &[gtx(1)], &programs, &actual);
@@ -137,23 +141,29 @@ mod tests {
     fn order_matters_for_non_commuting_programs() {
         let initial = BTreeMap::from([(obj(1), v(0))]);
         let programs = BTreeMap::from([
-            (gtx(1), vec![Operation::Write { obj: obj(1), value: v(1) }]),
-            (gtx(2), vec![Operation::Write { obj: obj(1), value: v(2) }]),
+            (
+                gtx(1),
+                vec![Operation::Write {
+                    obj: obj(1),
+                    value: v(1),
+                }],
+            ),
+            (
+                gtx(2),
+                vec![Operation::Write {
+                    obj: obj(1),
+                    value: v(2),
+                }],
+            ),
         ]);
         let actual_t2_last = BTreeMap::from([(obj(1), v(2))]);
-        assert!(check_state_equivalence(
-            &initial,
-            &[gtx(1), gtx(2)],
-            &programs,
-            &actual_t2_last
-        )
-        .is_empty());
-        assert!(!check_state_equivalence(
-            &initial,
-            &[gtx(2), gtx(1)],
-            &programs,
-            &actual_t2_last
-        )
-        .is_empty());
+        assert!(
+            check_state_equivalence(&initial, &[gtx(1), gtx(2)], &programs, &actual_t2_last)
+                .is_empty()
+        );
+        assert!(
+            !check_state_equivalence(&initial, &[gtx(2), gtx(1)], &programs, &actual_t2_last)
+                .is_empty()
+        );
     }
 }

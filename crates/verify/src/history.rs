@@ -154,7 +154,6 @@ impl History {
             .filter(|(_, d)| **d == 0)
             .map(|(n, _)| *n)
             .collect();
-        let mut indegree = indegree;
         while let Some(&n) = ready.iter().next() {
             ready.remove(&n);
             order.push(n);
@@ -233,7 +232,10 @@ mod tests {
         }
     }
     fn incr(o: u64) -> Operation {
-        Operation::Increment { obj: obj(o), delta: 1 }
+        Operation::Increment {
+            obj: obj(o),
+            delta: 1,
+        }
     }
 
     fn committed_history(events: Vec<OpEvent>) -> History {
@@ -259,7 +261,9 @@ mod tests {
             ev(2, 1, 2, write(1)),
             ev(2, 2, 2, write(2)),
         ]);
-        let order = h.check_serializable(ConflictDefinition::Commutativity).unwrap();
+        let order = h
+            .check_serializable(ConflictDefinition::Commutativity)
+            .unwrap();
         assert_eq!(order, vec![gtx(1), gtx(2)]);
     }
 
@@ -275,7 +279,10 @@ mod tests {
         let err = h
             .check_serializable(ConflictDefinition::Commutativity)
             .unwrap_err();
-        assert!(err.cycle.contains(&gtx(1)) && err.cycle.contains(&gtx(2)), "{err}");
+        assert!(
+            err.cycle.contains(&gtx(1)) && err.cycle.contains(&gtx(2)),
+            "{err}"
+        );
     }
 
     #[test]
@@ -291,7 +298,8 @@ mod tests {
         assert!(h
             .conflict_edges(ConflictDefinition::Commutativity)
             .is_empty());
-        h.check_serializable(ConflictDefinition::Commutativity).unwrap();
+        h.check_serializable(ConflictDefinition::Commutativity)
+            .unwrap();
         // Under the classical definition the same history is rejected —
         // semantic conflicts strictly enlarge the admissible set (§4.1).
         assert!(h.check_serializable(ConflictDefinition::ReadWrite).is_err());

@@ -42,7 +42,11 @@ impl ModelDb {
                 Ok(OpResult::Done)
             }
             Operation::Increment { obj, delta } => {
-                let v = self.state.get(&obj).copied().ok_or(AmcError::NotFound(obj))?;
+                let v = self
+                    .state
+                    .get(&obj)
+                    .copied()
+                    .ok_or(AmcError::NotFound(obj))?;
                 self.state.insert(obj, v.incremented(delta));
                 Ok(OpResult::Done)
             }
@@ -59,7 +63,11 @@ impl ModelDb {
                 .map(|_| OpResult::Done)
                 .ok_or(AmcError::NotFound(obj)),
             Operation::Reserve { obj, amount } => {
-                let v = self.state.get(&obj).copied().ok_or(AmcError::NotFound(obj))?;
+                let v = self
+                    .state
+                    .get(&obj)
+                    .copied()
+                    .ok_or(AmcError::NotFound(obj))?;
                 if v.counter < amount as i64 {
                     return Err(AmcError::InsufficientStock {
                         obj,
@@ -137,15 +145,25 @@ mod tests {
             m.apply(&Operation::Read { obj: obj(2) }),
             Err(AmcError::NotFound(_))
         ));
-        m.apply(&Operation::Increment { obj: obj(1), delta: 5 }).unwrap();
+        m.apply(&Operation::Increment {
+            obj: obj(1),
+            delta: 5,
+        })
+        .unwrap();
         assert_eq!(m.get(obj(1)), Some(v(15)));
         assert!(matches!(
-            m.apply(&Operation::Insert { obj: obj(1), value: v(0) }),
+            m.apply(&Operation::Insert {
+                obj: obj(1),
+                value: v(0)
+            }),
             Err(AmcError::AlreadyExists(_))
         ));
         m.apply(&Operation::Delete { obj: obj(1) }).unwrap();
         assert!(matches!(
-            m.apply(&Operation::Write { obj: obj(1), value: v(0) }),
+            m.apply(&Operation::Write {
+                obj: obj(1),
+                value: v(0)
+            }),
             Err(AmcError::NotFound(_))
         ));
     }
@@ -155,7 +173,10 @@ mod tests {
         let mut m = ModelDb::with([(obj(1), v(10))]);
         let before = m.clone();
         let err = m.apply_atomic(&[
-            Operation::Write { obj: obj(1), value: v(99) },
+            Operation::Write {
+                obj: obj(1),
+                value: v(99),
+            },
             Operation::Read { obj: obj(404) }, // fails
         ]);
         assert!(err.is_err());
@@ -166,8 +187,14 @@ mod tests {
     fn apply_atomic_commits_on_success() {
         let mut m = ModelDb::with([(obj(1), v(10))]);
         m.apply_atomic(&[
-            Operation::Increment { obj: obj(1), delta: 1 },
-            Operation::Insert { obj: obj(2), value: v(2) },
+            Operation::Increment {
+                obj: obj(1),
+                delta: 1,
+            },
+            Operation::Insert {
+                obj: obj(2),
+                value: v(2),
+            },
         ])
         .unwrap();
         assert_eq!(m.get(obj(1)), Some(v(11)));

@@ -84,6 +84,78 @@ impl LogManager {
         self.tail.clear();
     }
 
+    /// Crash **in the middle of a `force()`**: a prefix of the volatile tail
+    /// reaches stable storage, the rest is lost, and — if `torn` is set and
+    /// at least one more frame was in flight — the next frame lands
+    /// checksum-corrupt (a torn write, the crash mode the per-frame FNV-1a
+    /// checksums exist to catch).
+    ///
+    /// `keep_frames` is the number of tail frames that became fully durable
+    /// (clamped to the tail length). No force is ever acknowledged here, so
+    /// [`LogStats::forces`] is not incremented; the surviving frames do count
+    /// toward `stable_records`/`stable_bytes` because they physically hit the
+    /// medium.
+    pub fn crash_during_force(&mut self, keep_frames: usize, torn: bool) {
+        let keep = keep_frames.min(self.tail.len());
+        for frame in self.tail.drain(..keep) {
+            self.stats.stable_records += 1;
+            self.stats.stable_bytes += frame.len() as u64;
+            self.stable.push(frame);
+        }
+        if torn {
+            if let Some(mut frame) = self.tail.first().cloned() {
+                // Flip the last payload byte: length header stays intact,
+                // the checksum no longer matches — a classic torn frame.
+                if let Some(last) = frame.last_mut() {
+                    *last ^= 0xFF;
+                }
+                self.stats.stable_bytes += frame.len() as u64;
+                self.stable.push(frame);
+            }
+        }
+        self.tail.clear();
+    }
+
+    /// Drop a torn final frame from the durable prefix, if present.
+    ///
+    /// Returns `Ok(true)` when exactly the *last* stable frame failed to
+    /// decode and was truncated, `Ok(false)` when every frame is intact.
+    /// A corrupt frame anywhere **before** the end is not a torn tail — it
+    /// is mid-log corruption, and recovery must not silently drop committed
+    /// history — so that stays a fatal [`amc_types::AmcError::Corruption`].
+    pub fn truncate_torn_tail(&mut self) -> AmcResult<bool> {
+        let mut first_bad = None;
+        for (i, frame) in self.stable.iter().enumerate() {
+            if LogRecord::decode(frame).is_err() {
+                first_bad = Some(i);
+                break;
+            }
+        }
+        match first_bad {
+            None => Ok(false),
+            Some(i) if i + 1 == self.stable.len() => {
+                self.stable.pop();
+                Ok(true)
+            }
+            Some(i) => Err(amc_types::AmcError::Corruption(format!(
+                "mid-log corruption at LSN {} (not a torn tail; {} frames follow)",
+                self.truncated + i as u64 + 1,
+                self.stable.len() - i - 1
+            ))),
+        }
+    }
+
+    /// Test hook: corrupt the durable frame at `idx` (0-based into the
+    /// current stable prefix) by flipping its final byte. Used to exercise
+    /// the mid-log-corruption-is-fatal path.
+    pub fn corrupt_stable(&mut self, idx: usize) {
+        if let Some(frame) = self.stable.get_mut(idx) {
+            if let Some(last) = frame.last_mut() {
+                *last ^= 0xFF;
+            }
+        }
+    }
+
     /// Decode and return all durable records in LSN order.
     pub fn stable_records(&self) -> AmcResult<Vec<(Lsn, LogRecord)>> {
         self.stable
@@ -244,34 +316,126 @@ mod tests {
         let mut state: BTreeMap<ObjectId, Value> = BTreeMap::new();
         // Transaction 1 commits; state is "flushed" (our map plays the
         // disk); checkpoint with no active transactions; truncate.
-        log.append(&LogRecord::Begin { txn: LocalTxnId::new(1) });
+        log.append(&LogRecord::Begin {
+            txn: LocalTxnId::new(1),
+        });
         log.append(&LogRecord::Update {
             txn: LocalTxnId::new(1),
             obj: ObjectId::new(9),
             before: None,
             after: Some(Value::counter(5)),
         });
-        log.append(&LogRecord::Commit { txn: LocalTxnId::new(1) });
+        log.append(&LogRecord::Commit {
+            txn: LocalTxnId::new(1),
+        });
         log.force();
         state.insert(ObjectId::new(9), Value::counter(5)); // flushed
         log.append_forced(&LogRecord::Checkpoint { active: vec![] });
         log.truncate_before(log.durable());
         // A post-checkpoint transaction commits.
-        log.append(&LogRecord::Begin { txn: LocalTxnId::new(2) });
+        log.append(&LogRecord::Begin {
+            txn: LocalTxnId::new(2),
+        });
         log.append(&LogRecord::Update {
             txn: LocalTxnId::new(2),
             obj: ObjectId::new(9),
             before: Some(Value::counter(5)),
             after: Some(Value::counter(6)),
         });
-        log.append(&LogRecord::Commit { txn: LocalTxnId::new(2) });
+        log.append(&LogRecord::Commit {
+            txn: LocalTxnId::new(2),
+        });
         log.force();
         // Crash + recover over the truncated log: only txn 2 replays, and
         // the final state is correct.
-        let out = recover_into_map(&log, &mut state).unwrap();
+        let out = recover_into_map(&mut log, &mut state).unwrap();
         assert!(out.committed.contains(&LocalTxnId::new(2)));
         assert!(!out.committed.contains(&LocalTxnId::new(1)), "reclaimed");
         assert_eq!(state[&ObjectId::new(9)], Value::counter(6));
+    }
+
+    #[test]
+    fn crash_during_force_keeps_a_prefix() {
+        let mut log = LogManager::new();
+        log.append(&begin(1));
+        log.append(&begin(2));
+        log.append(&begin(3));
+        log.crash_during_force(2, false);
+        let records = log.stable_records().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].1, begin(1));
+        assert_eq!(records[1].1, begin(2));
+        assert_eq!(log.head(), Lsn::new(2), "unforced frame 3 is gone");
+        assert!(!log.truncate_torn_tail().unwrap(), "no torn frame written");
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let mut log = LogManager::new();
+        log.append(&begin(1));
+        log.force();
+        log.append(&begin(2));
+        log.append(&begin(3));
+        // Crash mid-force: frame 2 lands intact, frame 3 lands torn.
+        log.crash_during_force(1, true);
+        assert!(
+            log.stable_records().is_err(),
+            "raw read still sees the torn frame"
+        );
+        assert!(log.truncate_torn_tail().unwrap());
+        let records = log.stable_records().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].1, begin(2));
+        // Idempotent: a second pass finds nothing to do.
+        assert!(!log.truncate_torn_tail().unwrap());
+    }
+
+    #[test]
+    fn torn_frame_with_no_durable_prefix() {
+        let mut log = LogManager::new();
+        log.append(&begin(1));
+        log.crash_during_force(0, true);
+        assert!(log.truncate_torn_tail().unwrap());
+        assert!(log.stable_records().unwrap().is_empty());
+        assert_eq!(log.head(), Lsn::ZERO);
+    }
+
+    #[test]
+    fn mid_log_corruption_stays_fatal() {
+        let mut log = LogManager::new();
+        log.append(&begin(1));
+        log.append(&begin(2));
+        log.append(&begin(3));
+        log.force();
+        log.corrupt_stable(1); // middle frame: committed history damaged
+        let err = log.truncate_torn_tail().unwrap_err();
+        assert!(
+            matches!(err, amc_types::AmcError::Corruption(ref m) if m.contains("mid-log")),
+            "{err:?}"
+        );
+        // Nothing was dropped.
+        assert!(log.stable_records().is_err());
+    }
+
+    #[test]
+    fn corrupt_final_frame_via_hook_is_a_torn_tail() {
+        let mut log = LogManager::new();
+        log.append(&begin(1));
+        log.append(&begin(2));
+        log.force();
+        log.corrupt_stable(1);
+        assert!(log.truncate_torn_tail().unwrap());
+        assert_eq!(log.stable_records().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn crash_during_force_clamps_keep_frames() {
+        let mut log = LogManager::new();
+        log.append(&begin(1));
+        log.crash_during_force(10, true);
+        // Everything fit; no frame was left to tear.
+        assert_eq!(log.stable_records().unwrap().len(), 1);
+        assert!(!log.truncate_torn_tail().unwrap());
     }
 
     #[test]

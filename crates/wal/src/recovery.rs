@@ -16,6 +16,14 @@
 //! The caller supplies an `apply` callback (`obj`, `image`) so the module is
 //! independent of the concrete store; `amc-engine` wires it to its
 //! `PageStore`.
+//!
+//! Before the analysis pass, recovery inspects the durable prefix for a
+//! **torn tail**: a crash in the middle of a `force()` can leave exactly one
+//! checksum-corrupt frame at the end of the log. That frame was never
+//! acknowledged to anyone (the force did not return), so dropping it is
+//! correct — recovery truncates it and proceeds over the intact prefix.
+//! Corruption anywhere *earlier* means committed history was damaged and
+//! stays fatal.
 
 use crate::log::LogManager;
 use crate::record::LogRecord;
@@ -38,6 +46,9 @@ pub struct RecoveryOutcome {
     pub redo_applied: u64,
     /// Number of undo applications performed.
     pub undo_applied: u64,
+    /// True when a torn (checksum-corrupt) final frame was truncated before
+    /// the analysis pass — evidence of a crash mid-`force()`.
+    pub torn_tail_truncated: bool,
 }
 
 /// Run restart recovery over `log`, applying images through `apply`.
@@ -46,9 +57,12 @@ pub struct RecoveryOutcome {
 /// delete it. Both must be idempotent — trivially true for a store keyed by
 /// object id.
 pub fn recover(
-    log: &LogManager,
+    log: &mut LogManager,
     mut apply: impl FnMut(ObjectId, Option<Value>) -> AmcResult<()>,
 ) -> AmcResult<RecoveryOutcome> {
+    // A torn final frame is the unacknowledged victim of a crash during
+    // force(): truncate it. Mid-log corruption propagates as a fatal error.
+    let torn_tail_truncated = log.truncate_torn_tail()?;
     let records = log.stable_records()?;
 
     // --- Analysis ---------------------------------------------------------
@@ -62,7 +76,10 @@ pub fn recover(
         }
     }
 
-    let mut outcome = RecoveryOutcome::default();
+    let mut outcome = RecoveryOutcome {
+        torn_tail_truncated,
+        ..RecoveryOutcome::default()
+    };
     let mut seen: BTreeSet<LocalTxnId> = ckpt_active;
     let mut prepared: BTreeSet<LocalTxnId> = BTreeSet::new();
     for (_, r) in &records {
@@ -100,7 +117,10 @@ pub fn recover(
     // --- Redo -------------------------------------------------------------
     // Forward from the checkpoint: re-apply updates of finished txns.
     for (_, r) in &records[ckpt_idx.min(records.len())..] {
-        if let LogRecord::Update { txn, obj, after, .. } = r {
+        if let LogRecord::Update {
+            txn, obj, after, ..
+        } = r
+        {
             if outcome.committed.contains(txn)
                 || outcome.aborted.contains(txn)
                 || outcome.in_doubt.contains(txn)
@@ -114,7 +134,10 @@ pub fn recover(
     // --- Undo -------------------------------------------------------------
     // Backward over the whole log: restore before-images of losers.
     for (_, r) in records.iter().rev() {
-        if let LogRecord::Update { txn, obj, before, .. } = r {
+        if let LogRecord::Update {
+            txn, obj, before, ..
+        } = r
+        {
             if outcome.losers.contains(txn) {
                 apply(*obj, *before)?;
                 outcome.undo_applied += 1;
@@ -127,7 +150,7 @@ pub fn recover(
 
 /// Convenience for tests and small tools: recover into a [`BTreeMap`] model.
 pub fn recover_into_map(
-    log: &LogManager,
+    log: &mut LogManager,
     state: &mut BTreeMap<ObjectId, Value>,
 ) -> AmcResult<RecoveryOutcome> {
     recover(log, |obj, img| {
@@ -175,7 +198,7 @@ mod tests {
         log.force();
 
         let mut state = BTreeMap::new();
-        let out = recover_into_map(&log, &mut state).unwrap();
+        let out = recover_into_map(&mut log, &mut state).unwrap();
         assert!(out.committed.contains(&ltx(1)));
         assert!(out.losers.is_empty());
         assert_eq!(state.get(&obj(10)), Some(&v(5)));
@@ -191,7 +214,7 @@ mod tests {
 
         // Simulate the dirty page having been evicted pre-crash.
         let mut state = BTreeMap::from([(obj(10), v(99))]);
-        let out = recover_into_map(&log, &mut state).unwrap();
+        let out = recover_into_map(&mut log, &mut state).unwrap();
         assert!(out.losers.contains(&ltx(1)));
         assert_eq!(state.get(&obj(10)), Some(&v(1)), "before image restored");
         assert_eq!(out.undo_applied, 1);
@@ -205,7 +228,7 @@ mod tests {
         log.force();
 
         let mut state = BTreeMap::from([(obj(10), v(7))]);
-        recover_into_map(&log, &mut state).unwrap();
+        recover_into_map(&mut log, &mut state).unwrap();
         assert!(!state.contains_key(&obj(10)));
     }
 
@@ -220,7 +243,7 @@ mod tests {
         log.force();
 
         let mut state = BTreeMap::from([(obj(10), v(1))]);
-        let out = recover_into_map(&log, &mut state).unwrap();
+        let out = recover_into_map(&mut log, &mut state).unwrap();
         assert!(out.aborted.contains(&ltx(1)));
         assert!(out.losers.is_empty());
         assert_eq!(state.get(&obj(10)), Some(&v(1)));
@@ -236,7 +259,7 @@ mod tests {
         log.crash();
 
         let mut state = BTreeMap::from([(obj(10), v(2))]);
-        let out = recover_into_map(&log, &mut state).unwrap();
+        let out = recover_into_map(&mut log, &mut state).unwrap();
         assert!(out.losers.contains(&ltx(1)));
         assert_eq!(state.get(&obj(10)), Some(&v(1)));
     }
@@ -252,7 +275,7 @@ mod tests {
         log.force();
 
         let mut state = BTreeMap::from([(obj(10), v(3))]);
-        recover_into_map(&log, &mut state).unwrap();
+        recover_into_map(&mut log, &mut state).unwrap();
         assert_eq!(state.get(&obj(10)), Some(&v(1)));
     }
 
@@ -274,7 +297,7 @@ mod tests {
 
         // Disk state at checkpoint: both updates flushed.
         let mut state = BTreeMap::from([(obj(10), v(1)), (obj(20), v(6))]);
-        let out = recover_into_map(&log, &mut state).unwrap();
+        let out = recover_into_map(&mut log, &mut state).unwrap();
         assert_eq!(out.redo_applied, 0, "checkpoint bounds redo");
         assert!(out.losers.contains(&ltx(2)));
         assert_eq!(
@@ -296,10 +319,10 @@ mod tests {
         log.force();
 
         let mut s1 = BTreeMap::from([(obj(10), v(0)), (obj(11), v(100))]);
-        recover_into_map(&log, &mut s1).unwrap();
+        recover_into_map(&mut log, &mut s1).unwrap();
         let snapshot = s1.clone();
         // Crash during recovery, recover again: same result (E8).
-        recover_into_map(&log, &mut s1).unwrap();
+        recover_into_map(&mut log, &mut s1).unwrap();
         assert_eq!(s1, snapshot);
         assert_eq!(s1.get(&obj(10)), Some(&v(5)));
         assert_eq!(s1.get(&obj(11)), Some(&v(9)));
@@ -307,10 +330,71 @@ mod tests {
 
     #[test]
     fn empty_log_recovers_to_nothing() {
-        let log = LogManager::new();
+        let mut log = LogManager::new();
         let mut state = BTreeMap::new();
-        let out = recover_into_map(&log, &mut state).unwrap();
+        let out = recover_into_map(&mut log, &mut state).unwrap();
         assert_eq!(out, RecoveryOutcome::default());
         assert!(state.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_prefix_recovers() {
+        // T1 commits durably; crash strikes mid-force of T2's records,
+        // tearing the first in-flight frame. Recovery must truncate the torn
+        // frame and recover T1 exactly as if the force never started.
+        let mut log = LogManager::new();
+        log.append(&LogRecord::Begin { txn: ltx(1) });
+        log.append(&update(1, 10, Some(0), Some(5)));
+        log.append(&LogRecord::Commit { txn: ltx(1) });
+        log.force();
+        log.append(&LogRecord::Begin { txn: ltx(2) });
+        log.append(&update(2, 11, Some(9), Some(100)));
+        log.crash_during_force(0, true);
+
+        let mut state = BTreeMap::from([(obj(10), v(0)), (obj(11), v(9))]);
+        let out = recover_into_map(&mut log, &mut state).unwrap();
+        assert!(out.torn_tail_truncated);
+        assert!(out.committed.contains(&ltx(1)));
+        assert!(!out.losers.contains(&ltx(2)), "T2 left no durable trace");
+        assert_eq!(state.get(&obj(10)), Some(&v(5)));
+        assert_eq!(state.get(&obj(11)), Some(&v(9)));
+
+        // Replaying recovery is idempotent (E8): same state, no torn flag.
+        let snapshot = state.clone();
+        let again = recover_into_map(&mut log, &mut state).unwrap();
+        assert!(!again.torn_tail_truncated);
+        assert_eq!(state, snapshot);
+    }
+
+    #[test]
+    fn torn_commit_record_demotes_txn_to_loser() {
+        // The commit record itself is the torn frame: the commit was never
+        // acknowledged, so the transaction must roll back as a loser.
+        let mut log = LogManager::new();
+        log.append(&LogRecord::Begin { txn: ltx(1) });
+        log.append(&update(1, 10, Some(1), Some(2)));
+        log.force();
+        log.append(&LogRecord::Commit { txn: ltx(1) });
+        log.crash_during_force(0, true);
+
+        let mut state = BTreeMap::from([(obj(10), v(2))]);
+        let out = recover_into_map(&mut log, &mut state).unwrap();
+        assert!(out.torn_tail_truncated);
+        assert!(out.losers.contains(&ltx(1)));
+        assert_eq!(state.get(&obj(10)), Some(&v(1)), "update undone");
+    }
+
+    #[test]
+    fn mid_log_corruption_fails_recovery() {
+        let mut log = LogManager::new();
+        log.append(&LogRecord::Begin { txn: ltx(1) });
+        log.append(&update(1, 10, Some(1), Some(2)));
+        log.append(&LogRecord::Commit { txn: ltx(1) });
+        log.force();
+        log.corrupt_stable(1); // damage committed history, not the tail
+        let mut state = BTreeMap::new();
+        let err = recover_into_map(&mut log, &mut state).unwrap_err();
+        assert!(matches!(err, amc_types::AmcError::Corruption(_)), "{err:?}");
+        assert!(state.is_empty(), "no partial recovery happened");
     }
 }

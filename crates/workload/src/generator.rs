@@ -116,7 +116,8 @@ impl WorkloadGen {
 
     /// Draw a (possibly hot) object index.
     fn draw_index(&mut self) -> u64 {
-        self.rng.zipf(self.spec.objects_per_site, self.spec.zipf_theta)
+        self.rng
+            .zipf(self.spec.objects_per_site, self.spec.zipf_theta)
     }
 
     /// Generate the next global transaction program.
@@ -164,12 +165,9 @@ impl WorkloadGen {
             // Transaction logic that must fail: read an object that is
             // never created (index beyond the loaded range).
             let site = sites[0];
-            per_site
-                .entry(site)
-                .or_default()
-                .push(Operation::Read {
-                    obj: object(site, self.spec.objects_per_site + 1_000_000),
-                });
+            per_site.entry(site).or_default().push(Operation::Read {
+                obj: object(site, self.spec.objects_per_site + 1_000_000),
+            });
         }
         GlobalProgram {
             per_site,
@@ -246,11 +244,10 @@ mod tests {
         );
         let p = g.next_program();
         assert!(p.intends_abort);
-        let missing = p
-            .merged_ops()
-            .iter()
-            .any(|op| matches!(op, Operation::Read { obj }
-                if obj.raw() % crate::program::OBJECTS_PER_SITE_STRIDE >= 1000));
+        let missing = p.merged_ops().iter().any(|op| {
+            matches!(op, Operation::Read { obj }
+                if obj.raw() % crate::program::OBJECTS_PER_SITE_STRIDE >= 1000)
+        });
         assert!(missing);
     }
 
@@ -276,10 +273,7 @@ mod tests {
                 }
             }
         }
-        assert!(
-            head * 3 > total,
-            "hot head got {head}/{total} accesses"
-        );
+        assert!(head * 3 > total, "hot head got {head}/{total} accesses");
         let _ = site_of_object(object(SiteId::new(1), 0));
     }
 

@@ -15,7 +15,10 @@ pub const OBJECTS_PER_SITE_STRIDE: u64 = 1 << 32;
 /// The object with `index` at `site` (sites are 1-based; 0 is the central
 /// system which stores no workload data).
 pub fn object(site: SiteId, index: u64) -> ObjectId {
-    assert!(!site.is_central(), "central system stores no workload objects");
+    assert!(
+        !site.is_central(),
+        "central system stores no workload objects"
+    );
     assert!(index < OBJECTS_PER_SITE_STRIDE);
     ObjectId::new(u64::from(site.raw()) * OBJECTS_PER_SITE_STRIDE + index)
 }
@@ -66,10 +69,7 @@ impl GlobalProgram {
             for op in ops {
                 let home = site_of_object(op.object());
                 if home != *site {
-                    return Err(format!(
-                        "op {op} on {} filed under {site}",
-                        home
-                    ));
+                    return Err(format!("op {op} on {} filed under {site}", home));
                 }
             }
         }

@@ -72,20 +72,31 @@ impl TransferGen {
             // Outside the loaded range: the increment fails with NotFound.
             object(to, self.spec.accounts_per_site + 1_000)
         } else {
-            object(to, self.rng.zipf(self.spec.accounts_per_site, self.spec.zipf_theta))
+            object(
+                to,
+                self.rng
+                    .zipf(self.spec.accounts_per_site, self.spec.zipf_theta),
+            )
         };
         let from_account = object(
             from,
-            self.rng.zipf(self.spec.accounts_per_site, self.spec.zipf_theta),
+            self.rng
+                .zipf(self.spec.accounts_per_site, self.spec.zipf_theta),
         );
         let per_site = BTreeMap::from([
             (
                 from,
-                vec![Operation::Increment { obj: from_account, delta: -amount }],
+                vec![Operation::Increment {
+                    obj: from_account,
+                    delta: -amount,
+                }],
             ),
             (
                 to,
-                vec![Operation::Increment { obj: to_account, delta: amount }],
+                vec![Operation::Increment {
+                    obj: to_account,
+                    delta: amount,
+                }],
             ),
         ]);
         GlobalProgram {

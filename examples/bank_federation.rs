@@ -54,7 +54,10 @@ fn transfer_programs(
                 ),
                 (
                     to,
-                    vec![Operation::Increment { obj: to_account, delta: amount }],
+                    vec![Operation::Increment {
+                        obj: to_account,
+                        delta: amount,
+                    }],
                 ),
             ]);
             (program, bad_beneficiary)
@@ -78,7 +81,10 @@ fn main() {
     let transfers = 300;
     let threads = 6;
 
-    println!("bank federation: {} sites, {} transfers, {} worker threads", spec.sites, transfers, threads);
+    println!(
+        "bank federation: {} sites, {} transfers, {} worker threads",
+        spec.sites, transfers, threads
+    );
     println!("{:-<72}", "");
 
     for protocol in ProtocolKind::ALL {
@@ -101,7 +107,13 @@ fn main() {
         let programs = transfer_programs(spec.sites, spec.objects_per_site, transfers, 2024);
         let metrics = fed.run_concurrent(programs, threads);
         let engines: String = (1..=spec.sites)
-            .map(|s| fed.manager(SiteId::new(s)).unwrap().handle().engine().kind())
+            .map(|s| {
+                fed.manager(SiteId::new(s))
+                    .unwrap()
+                    .handle()
+                    .engine()
+                    .kind()
+            })
             .collect::<Vec<_>>()
             .join("/");
 
@@ -127,5 +139,4 @@ fn main() {
     println!("{:-<72}", "");
     println!("money conserved under every protocol; commit-before shows the");
     println!("shortest L0 lock tenure and the highest throughput (§4.3).");
-
 }

@@ -65,7 +65,10 @@ fn main() {
             .map(|(_, v)| v.counter)
             .min()
             .unwrap_or(0);
-        assert!(min_stock >= 0, "{protocol}: oversold! min stock {min_stock}");
+        assert!(
+            min_stock >= 0,
+            "{protocol}: oversold! min stock {min_stock}"
+        );
 
         println!(
             "{:<14} {:>7.0} orders/s  {:>4} filled  {:>3} rejected  undo-restocks {:>3}  min stock {:>3}",

@@ -12,10 +12,7 @@ use std::collections::BTreeMap;
 fn main() {
     // Three "existing" database systems behind sealed begin/commit/abort
     // interfaces, coordinated by a central system (Fig. 1 of the paper).
-    let federation = Federation::new(FederationConfig::uniform(
-        3,
-        ProtocolKind::CommitBefore,
-    ));
+    let federation = Federation::new(FederationConfig::uniform(3, ProtocolKind::CommitBefore));
 
     // Each site owns a slice of the object space. Load an account per site.
     let account = |site: u32| ObjectId::new(u64::from(site) * (1 << 32));
@@ -30,12 +27,18 @@ fn main() {
     let program: BTreeMap<SiteId, Vec<Operation>> = BTreeMap::from([
         (
             SiteId::new(1),
-            vec![Operation::Increment { obj: account(1), delta: -250 }],
+            vec![Operation::Increment {
+                obj: account(1),
+                delta: -250,
+            }],
         ),
         (SiteId::new(2), vec![Operation::Read { obj: account(2) }]),
         (
             SiteId::new(3),
-            vec![Operation::Increment { obj: account(3), delta: 250 }],
+            vec![Operation::Increment {
+                obj: account(3),
+                delta: 250,
+            }],
         ),
     ]);
 

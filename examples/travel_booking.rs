@@ -33,15 +33,24 @@ fn trip(flight: u64, hotel: u64, car: u64, hotel_exists: bool) -> BTreeMap<SiteI
     BTreeMap::from([
         (
             AIRLINE,
-            vec![Operation::Reserve { obj: inventory(AIRLINE, flight), amount: 1 }],
+            vec![Operation::Reserve {
+                obj: inventory(AIRLINE, flight),
+                amount: 1,
+            }],
         ),
         (
             HOTEL,
-            vec![Operation::Reserve { obj: hotel_obj, amount: 1 }],
+            vec![Operation::Reserve {
+                obj: hotel_obj,
+                amount: 1,
+            }],
         ),
         (
             CARS,
-            vec![Operation::Reserve { obj: inventory(CARS, car), amount: 1 }],
+            vec![Operation::Reserve {
+                obj: inventory(CARS, car),
+                amount: 1,
+            }],
         ),
     ])
 }
@@ -49,8 +58,9 @@ fn trip(flight: u64, hotel: u64, car: u64, hotel_exists: bool) -> BTreeMap<SiteI
 fn main() {
     let federation = Federation::new(FederationConfig::uniform(3, ProtocolKind::CommitBefore));
     for site in [AIRLINE, HOTEL, CARS] {
-        let stock: Vec<(ObjectId, Value)> =
-            (0..10).map(|i| (inventory(site, i), Value::counter(50))).collect();
+        let stock: Vec<(ObjectId, Value)> = (0..10)
+            .map(|i| (inventory(site, i), Value::counter(50)))
+            .collect();
         federation.load_site(site, &stock).expect("load");
     }
 

@@ -20,7 +20,10 @@ fn run_with(
     duplication: f64,
     seed: u64,
     failures: FailurePlan,
-) -> (amc::core::SimReport, BTreeMap<SiteId, BTreeMap<ObjectId, Value>>) {
+) -> (
+    amc::core::SimReport,
+    BTreeMap<SiteId, BTreeMap<ObjectId, Value>>,
+) {
     let mut cfg = SimConfig::new(FederationConfig::uniform(2, protocol));
     cfg.router.loss_probability = loss;
     cfg.router.duplicate_probability = duplication;
@@ -45,11 +48,17 @@ fn run_with(
                 BTreeMap::from([
                     (
                         SiteId::new(1),
-                        vec![Operation::Increment { obj: obj(1, i), delta: -10 }],
+                        vec![Operation::Increment {
+                            obj: obj(1, i),
+                            delta: -10,
+                        }],
                     ),
                     (
                         SiteId::new(2),
-                        vec![Operation::Increment { obj: obj(2, i), delta: 10 }],
+                        vec![Operation::Increment {
+                            obj: obj(2, i),
+                            delta: 10,
+                        }],
                     ),
                 ]),
             )
@@ -89,7 +98,11 @@ fn duplication_alone_is_harmless() {
                 "{protocol} seed {seed}: {:?}",
                 report.unresolved
             );
-            assert!(report.errors.is_empty(), "{protocol} seed {seed}: {:?}", report.errors);
+            assert!(
+                report.errors.is_empty(),
+                "{protocol} seed {seed}: {:?}",
+                report.errors
+            );
             check_exactly_once(&report, &dumps, &format!("{protocol} seed {seed}"));
         }
     }

@@ -25,7 +25,10 @@ fn spread_program(sites: u32) -> BTreeMap<SiteId, Vec<Operation>> {
         .map(|s| {
             (
                 SiteId::new(s),
-                vec![Operation::Increment { obj: obj(s, 0), delta: 1 }],
+                vec![Operation::Increment {
+                    obj: obj(s, 0),
+                    delta: 1,
+                }],
             )
         })
         .collect()

@@ -126,7 +126,10 @@ fn in_doubt_window_also_blocks_same_page_neighbours() {
         ..TplConfig::default()
     }));
     engine
-        .load([(X, Value::counter(100)), (ObjectId::new(2), Value::counter(7))])
+        .load([
+            (X, Value::counter(100)),
+            (ObjectId::new(2), Value::counter(7)),
+        ])
         .unwrap();
     let t = engine.begin().unwrap();
     engine
@@ -138,7 +141,12 @@ fn in_doubt_window_also_blocks_same_page_neighbours() {
 
     // A probe on the *other* object, same page: blocked.
     let p = engine.begin().unwrap();
-    let r = engine.execute(p, &Operation::Read { obj: ObjectId::new(2) });
+    let r = engine.execute(
+        p,
+        &Operation::Read {
+            obj: ObjectId::new(2),
+        },
+    );
     assert!(
         matches!(r, Err(AmcError::Aborted(_))),
         "neighbour object must be blocked by the in-doubt page lock"
@@ -146,7 +154,12 @@ fn in_doubt_window_also_blocks_same_page_neighbours() {
     engine.abort(t, AbortReason::GlobalDecision).unwrap();
     let p = engine.begin().unwrap();
     engine
-        .execute(p, &Operation::Read { obj: ObjectId::new(2) })
+        .execute(
+            p,
+            &Operation::Read {
+                obj: ObjectId::new(2),
+            },
+        )
         .unwrap();
     engine.commit(p).unwrap();
 }

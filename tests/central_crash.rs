@@ -25,16 +25,26 @@ fn transfer(i: u64) -> BTreeMap<SiteId, Vec<Operation>> {
     BTreeMap::from([
         (
             SiteId::new(1),
-            vec![Operation::Increment { obj: obj(1, i), delta: -30 }],
+            vec![Operation::Increment {
+                obj: obj(1, i),
+                delta: -30,
+            }],
         ),
         (
             SiteId::new(2),
-            vec![Operation::Increment { obj: obj(2, i), delta: 30 }],
+            vec![Operation::Increment {
+                obj: obj(2, i),
+                delta: 30,
+            }],
         ),
     ])
 }
 
-fn run(protocol: ProtocolKind, crash_at_us: u64, outage_ms: u64) -> (
+fn run(
+    protocol: ProtocolKind,
+    crash_at_us: u64,
+    outage_ms: u64,
+) -> (
     amc::core::SimReport,
     BTreeMap<SiteId, BTreeMap<ObjectId, Value>>,
 ) {
@@ -142,11 +152,8 @@ fn presumed_abort_undoes_committed_locals_under_commit_before() {
 #[test]
 fn client_requests_during_central_outage_are_served_after_restart() {
     let mut cfg = SimConfig::new(FederationConfig::uniform(2, ProtocolKind::CommitBefore));
-    cfg.failures = FailurePlan::none().outage(
-        SiteId::CENTRAL,
-        SimTime(10),
-        SimDuration::from_millis(20),
-    );
+    cfg.failures =
+        FailurePlan::none().outage(SiteId::CENTRAL, SimTime(10), SimDuration::from_millis(20));
     let fed = SimFederation::new(cfg);
     for s in 1..=2u32 {
         let data: Vec<(ObjectId, Value)> =

@@ -42,7 +42,12 @@ fn transfers_conserve_money_under_every_protocol() {
         for s in 1..=spec.sites {
             let site = SiteId::new(s);
             let data: Vec<_> = (0..spec.accounts_per_site)
-                .map(|i| (amc::workload::object(site, i), amc::types::Value::counter(1_000)))
+                .map(|i| {
+                    (
+                        amc::workload::object(site, i),
+                        amc::types::Value::counter(1_000),
+                    )
+                })
                 .collect();
             fed.load_site(site, &data).unwrap();
         }
@@ -57,7 +62,11 @@ fn transfers_conserve_money_under_every_protocol() {
             .collect();
         let metrics = fed.run_concurrent(programs, 6);
 
-        assert_eq!(total(&fed), before, "{protocol}: money drifted: {metrics:?}");
+        assert_eq!(
+            total(&fed),
+            before,
+            "{protocol}: money drifted: {metrics:?}"
+        );
         assert!(metrics.committed > 0, "{protocol}");
         assert!(
             metrics.aborted_intended > 0,
@@ -84,7 +93,12 @@ fn heterogeneous_conservation_under_portable_protocols() {
         for s in 1..=spec.sites {
             let site = SiteId::new(s);
             let data: Vec<_> = (0..spec.accounts_per_site)
-                .map(|i| (amc::workload::object(site, i), amc::types::Value::counter(1_000)))
+                .map(|i| {
+                    (
+                        amc::workload::object(site, i),
+                        amc::types::Value::counter(1_000),
+                    )
+                })
                 .collect();
             fed.load_site(site, &data).unwrap();
         }

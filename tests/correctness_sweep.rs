@@ -2,8 +2,8 @@
 //! the full oracle stack (serializability, atomicity, state equivalence),
 //! across all three protocols and both conflict definitions.
 
-use amc_bench::experiments::e6_correctness;
 use amc::types::ProtocolKind;
+use amc_bench::experiments::e6_correctness;
 
 #[test]
 fn oracle_audit_passes_for_all_protocols() {

@@ -20,7 +20,10 @@ fn loaded(protocol: ProtocolKind) -> Arc<Federation> {
     for s in 1..=2u32 {
         fed.load_site(
             SiteId::new(s),
-            &[(obj(s, 0), Value::counter(10)), (obj(s, 1), Value::counter(10))],
+            &[
+                (obj(s, 0), Value::counter(10)),
+                (obj(s, 1), Value::counter(10)),
+            ],
         )
         .unwrap();
     }
@@ -31,11 +34,17 @@ fn booking(units: u64) -> BTreeMap<SiteId, Vec<Operation>> {
     BTreeMap::from([
         (
             SiteId::new(1),
-            vec![Operation::Reserve { obj: obj(1, 0), amount: units }],
+            vec![Operation::Reserve {
+                obj: obj(1, 0),
+                amount: units,
+            }],
         ),
         (
             SiteId::new(2),
-            vec![Operation::Reserve { obj: obj(2, 0), amount: units }],
+            vec![Operation::Reserve {
+                obj: obj(2, 0),
+                amount: units,
+            }],
         ),
     ])
 }
@@ -51,7 +60,10 @@ fn concurrent_reserves_interleave_and_never_oversell() {
     let metrics = fed.run_concurrent(programs, 8);
     assert_eq!(metrics.committed, 10, "{metrics:?}");
     assert_eq!(metrics.aborted_intended, 10);
-    assert_eq!(metrics.l1_rejections, 0, "reserves hold compatible L1 locks");
+    assert_eq!(
+        metrics.l1_rejections, 0,
+        "reserves hold compatible L1 locks"
+    );
     let dumps = fed.dumps().unwrap();
     assert_eq!(dumps[&SiteId::new(1)][&obj(1, 0)], Value::counter(0));
     assert_eq!(dumps[&SiteId::new(2)][&obj(2, 0)], Value::counter(0));
@@ -65,11 +77,17 @@ fn aborted_booking_restocks_via_inverse_transaction() {
     let program = BTreeMap::from([
         (
             SiteId::new(1),
-            vec![Operation::Reserve { obj: obj(1, 0), amount: 4 }],
+            vec![Operation::Reserve {
+                obj: obj(1, 0),
+                amount: 4,
+            }],
         ),
         (
             SiteId::new(2),
-            vec![Operation::Reserve { obj: obj(2, 0), amount: 999 }], // overdraw
+            vec![Operation::Reserve {
+                obj: obj(2, 0),
+                amount: 999,
+            }], // overdraw
         ),
     ]);
     let report = fed.run_transaction(&program).unwrap();

@@ -26,7 +26,13 @@ fn hetero(protocol: ProtocolKind) -> Arc<Federation> {
 fn federation_mixes_engine_kinds() {
     let fed = hetero(ProtocolKind::CommitBefore);
     let kinds: Vec<&str> = (1..=4u32)
-        .map(|s| fed.manager(SiteId::new(s)).unwrap().handle().engine().kind())
+        .map(|s| {
+            fed.manager(SiteId::new(s))
+                .unwrap()
+                .handle()
+                .engine()
+                .kind()
+        })
         .collect();
     assert_eq!(kinds, vec!["2pl", "occ", "2pl", "occ"]);
 }
@@ -39,11 +45,17 @@ fn portable_protocols_commit_across_engine_kinds() {
         let program = BTreeMap::from([
             (
                 SiteId::new(1),
-                vec![Operation::Increment { obj: obj(1, 0), delta: -9 }],
+                vec![Operation::Increment {
+                    obj: obj(1, 0),
+                    delta: -9,
+                }],
             ),
             (
                 SiteId::new(2),
-                vec![Operation::Increment { obj: obj(2, 0), delta: 9 }],
+                vec![Operation::Increment {
+                    obj: obj(2, 0),
+                    delta: 9,
+                }],
             ),
         ]);
         let report = fed.run_transaction(&program).unwrap();
@@ -67,11 +79,17 @@ fn concurrent_load_on_heterogeneous_federation_stays_consistent() {
                     BTreeMap::from([
                         (
                             SiteId::new(a),
-                            vec![Operation::Increment { obj: obj(a, i as u64 % 32), delta: -amount }],
+                            vec![Operation::Increment {
+                                obj: obj(a, i as u64 % 32),
+                                delta: -amount,
+                            }],
                         ),
                         (
                             SiteId::new(b),
-                            vec![Operation::Increment { obj: obj(b, i as u64 % 32), delta: amount }],
+                            vec![Operation::Increment {
+                                obj: obj(b, i as u64 % 32),
+                                delta: amount,
+                            }],
                         ),
                     ]),
                     false,
@@ -105,7 +123,10 @@ fn occ_validation_failures_surface_as_erroneous_aborts_and_are_absorbed() {
                     SiteId::new(2), // the OCC site
                     vec![
                         Operation::Read { obj: obj(2, 0) },
-                        Operation::Increment { obj: obj(2, 0), delta: 1 },
+                        Operation::Increment {
+                            obj: obj(2, 0),
+                            delta: 1,
+                        },
                     ],
                 )]),
                 false,

@@ -25,7 +25,10 @@ fn setup() -> (LocalCommManager, Arc<TwoPLEngine>) {
 const G: GlobalTxnId = GlobalTxnId::new(1);
 
 fn incr(delta: i64) -> Vec<Operation> {
-    vec![Operation::Increment { obj: ObjectId::new(1), delta }]
+    vec![Operation::Increment {
+        obj: ObjectId::new(1),
+        delta,
+    }]
 }
 
 fn counter(engine: &TwoPLEngine) -> i64 {
@@ -37,7 +40,8 @@ fn counter(engine: &TwoPLEngine) -> i64 {
 #[test]
 fn redo_window_crash_after_commit() {
     let (mgr, engine) = setup();
-    mgr.handle_submit(G, incr(5), SubmitMode::CommitAfter).unwrap();
+    mgr.handle_submit(G, incr(5), SubmitMode::CommitAfter)
+        .unwrap();
     mgr.handle_decision(G, GlobalVerdict::Commit).unwrap();
     assert_eq!(counter(&engine), 105);
 
@@ -56,7 +60,8 @@ fn redo_window_crash_after_commit() {
 #[test]
 fn redo_window_crash_before_commit() {
     let (mgr, engine) = setup();
-    mgr.handle_submit(G, incr(5), SubmitMode::CommitAfter).unwrap();
+    mgr.handle_submit(G, incr(5), SubmitMode::CommitAfter)
+        .unwrap();
     // Decision never arrives; crash kills the running transaction.
     engine.crash();
     engine.recover().unwrap();
@@ -73,7 +78,8 @@ fn redo_window_crash_before_commit() {
 #[test]
 fn undo_window_crash_after_undo_commit() {
     let (mgr, engine) = setup();
-    mgr.handle_submit(G, incr(5), SubmitMode::CommitBefore).unwrap();
+    mgr.handle_submit(G, incr(5), SubmitMode::CommitBefore)
+        .unwrap();
     assert_eq!(counter(&engine), 105);
     // Global abort: undo runs and commits...
     mgr.handle_undo(G, vec![]).unwrap();
@@ -93,7 +99,8 @@ fn undo_window_crash_after_undo_commit() {
 #[test]
 fn undo_window_crash_before_undo_commit() {
     let (mgr, engine) = setup();
-    mgr.handle_submit(G, incr(5), SubmitMode::CommitBefore).unwrap();
+    mgr.handle_submit(G, incr(5), SubmitMode::CommitBefore)
+        .unwrap();
     assert_eq!(counter(&engine), 105);
     // Crash races the undo: it never ran.
     engine.crash();
@@ -111,7 +118,8 @@ fn undo_window_crash_before_undo_commit() {
 #[test]
 fn forward_commit_survives_and_answers_inquiry() {
     let (mgr, engine) = setup();
-    mgr.handle_submit(G, incr(5), SubmitMode::CommitBefore).unwrap();
+    mgr.handle_submit(G, incr(5), SubmitMode::CommitBefore)
+        .unwrap();
     engine.crash();
     engine.recover().unwrap();
     assert_eq!(counter(&engine), 105);

@@ -24,10 +24,19 @@ fn obj(site: u32, i: u64) -> ObjectId {
 fn fig8_lock_level_reenactment() {
     // L1: both transactions hold increment locks on x simultaneously.
     let mut l1: LockTable<u64, u32, SemanticMode> = LockTable::new();
-    assert_eq!(l1.request(1, 1, SemanticMode::Increment), LockOutcome::Granted);
-    assert_eq!(l1.request(2, 1, SemanticMode::Increment), LockOutcome::Granted);
+    assert_eq!(
+        l1.request(1, 1, SemanticMode::Increment),
+        LockOutcome::Granted
+    );
+    assert_eq!(
+        l1.request(2, 1, SemanticMode::Increment),
+        LockOutcome::Granted
+    );
     // And T1's increment lock on y too.
-    assert_eq!(l1.request(1, 2, SemanticMode::Increment), LockOutcome::Granted);
+    assert_eq!(
+        l1.request(1, 2, SemanticMode::Increment),
+        LockOutcome::Granted
+    );
 
     // L0: the page transactions take turns on page p, releasing at each
     // L0 end-of-transaction — T2's page access happens *between* T1's.
@@ -42,7 +51,10 @@ fn fig8_lock_level_reenactment() {
     // A single-level transaction would still hold p: simulate by keeping
     // the grant — the second transaction must queue.
     let mut flat: LockTable<u32, u64, PageMode> = LockTable::new();
-    assert_eq!(flat.request(1, 7, PageMode::Exclusive), LockOutcome::Granted);
+    assert_eq!(
+        flat.request(1, 7, PageMode::Exclusive),
+        LockOutcome::Granted
+    );
     assert_eq!(flat.request(2, 7, PageMode::Exclusive), LockOutcome::Queued);
 }
 
@@ -54,7 +66,10 @@ fn fig8_end_to_end_interleaving() {
     let fed = Federation::new(FederationConfig::uniform(1, ProtocolKind::CommitBefore));
     fed.load_site(
         SiteId::new(1),
-        &[(obj(1, 0), Value::counter(0)), (obj(1, 1), Value::counter(0))],
+        &[
+            (obj(1, 0), Value::counter(0)),
+            (obj(1, 1), Value::counter(0)),
+        ],
     )
     .unwrap();
     let fed = Arc::new(fed);
@@ -63,13 +78,22 @@ fn fig8_end_to_end_interleaving() {
     let t1 = BTreeMap::from([(
         SiteId::new(1),
         vec![
-            Operation::Increment { obj: obj(1, 0), delta: 1 },
-            Operation::Increment { obj: obj(1, 1), delta: 1 },
+            Operation::Increment {
+                obj: obj(1, 0),
+                delta: 1,
+            },
+            Operation::Increment {
+                obj: obj(1, 1),
+                delta: 1,
+            },
         ],
     )]);
     let t2 = BTreeMap::from([(
         SiteId::new(1),
-        vec![Operation::Increment { obj: obj(1, 0), delta: 1 }],
+        vec![Operation::Increment {
+            obj: obj(1, 0),
+            delta: 1,
+        }],
     )]);
 
     let mut handles = Vec::new();
@@ -101,12 +125,24 @@ fn fig8_inverse_action_undo_preserves_concurrent_increment() {
     // T1 increments x and commits; T2 increments x and commits.
     let t1 = engine.begin().unwrap();
     engine
-        .execute(t1, &Operation::Increment { obj: ObjectId::new(1), delta: 5 })
+        .execute(
+            t1,
+            &Operation::Increment {
+                obj: ObjectId::new(1),
+                delta: 5,
+            },
+        )
         .unwrap();
     engine.commit(t1).unwrap();
     let t2 = engine.begin().unwrap();
     engine
-        .execute(t2, &Operation::Increment { obj: ObjectId::new(1), delta: 7 })
+        .execute(
+            t2,
+            &Operation::Increment {
+                obj: ObjectId::new(1),
+                delta: 7,
+            },
+        )
         .unwrap();
     engine.commit(t2).unwrap();
 
@@ -114,14 +150,17 @@ fn fig8_inverse_action_undo_preserves_concurrent_increment() {
     // multi-level recovery prescribes.
     let undo = engine.begin().unwrap();
     engine
-        .execute(undo, &Operation::Increment { obj: ObjectId::new(1), delta: -5 })
+        .execute(
+            undo,
+            &Operation::Increment {
+                obj: ObjectId::new(1),
+                delta: -5,
+            },
+        )
         .unwrap();
     engine.commit(undo).unwrap();
 
     // T2's increment survives — a before-image (page-state) undo of T1
     // would have set the counter back to 0 and lost it.
-    assert_eq!(
-        engine.dump().unwrap()[&ObjectId::new(1)],
-        Value::counter(7)
-    );
+    assert_eq!(engine.dump().unwrap()[&ObjectId::new(1)], Value::counter(7));
 }

@@ -30,9 +30,15 @@ fn arb_event(max_site: u32) -> impl Strategy<Value = CoordEvent> {
     prop_oneof![
         (1..=max_site, any::<bool>()).prop_map(|(s, ready)| CoordEvent::Vote {
             site: SiteId::new(s),
-            vote: if ready { LocalVote::Ready } else { LocalVote::Aborted },
+            vote: if ready {
+                LocalVote::Ready
+            } else {
+                LocalVote::Aborted
+            },
         }),
-        (1..=max_site).prop_map(|s| CoordEvent::Finished { site: SiteId::new(s) }),
+        (1..=max_site).prop_map(|s| CoordEvent::Finished {
+            site: SiteId::new(s)
+        }),
         Just(CoordEvent::Timer),
     ]
 }
@@ -206,7 +212,7 @@ proptest! {
                 table.request(txn, resource, mode);
                 live.insert(txn);
             }
-            table.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+            table.check_invariants().map_err(TestCaseError::fail)?;
             // Deadlock victims must always be live waiters.
             for v in table.detect_deadlock_victims() {
                 prop_assert!(live.contains(&v));

@@ -26,7 +26,10 @@ fn sim(protocol: ProtocolKind, failures: FailurePlan) -> SimFederation {
     for s in 1..=2u32 {
         fed.load_site(
             SiteId::new(s),
-            &[(obj(s, 0), Value::counter(100)), (obj(s, 1), Value::counter(100))],
+            &[
+                (obj(s, 0), Value::counter(100)),
+                (obj(s, 1), Value::counter(100)),
+            ],
         );
     }
     fed
@@ -36,11 +39,17 @@ fn transfer() -> BTreeMap<SiteId, Vec<Operation>> {
     BTreeMap::from([
         (
             SiteId::new(1),
-            vec![Operation::Increment { obj: obj(1, 0), delta: -30 }],
+            vec![Operation::Increment {
+                obj: obj(1, 0),
+                delta: -30,
+            }],
         ),
         (
             SiteId::new(2),
-            vec![Operation::Increment { obj: obj(2, 0), delta: 30 }],
+            vec![Operation::Increment {
+                obj: obj(2, 0),
+                delta: 30,
+            }],
         ),
     ])
 }
@@ -194,7 +203,10 @@ fn fig3_5_7_commit_point_orderings() {
     let labels = after.trace.labels_for(G1);
     let last_vote = labels.iter().rposition(|l| l.starts_with("ready")).unwrap();
     let decision = labels.iter().position(|l| l.starts_with("commit")).unwrap();
-    assert!(last_vote < decision, "Fig. 5: decision before local commits");
+    assert!(
+        last_vote < decision,
+        "Fig. 5: decision before local commits"
+    );
 
     // Commit-before: no decision message exists at all on the commit path —
     // local commits all precede the (silent) decision (Fig. 7).
@@ -216,7 +228,10 @@ fn read_only_participant_drops_out_of_decision_round() {
         BTreeMap::from([
             (
                 SiteId::new(1),
-                vec![Operation::Increment { obj: obj(1, 0), delta: 1 }],
+                vec![Operation::Increment {
+                    obj: obj(1, 0),
+                    delta: 1,
+                }],
             ),
             (SiteId::new(2), vec![Operation::Read { obj: obj(2, 0) }]),
         ])
@@ -269,7 +284,10 @@ fn read_only_participant_needs_no_undo_on_abort() {
         (
             SiteId::new(2),
             vec![
-                Operation::Increment { obj: obj(2, 0), delta: 1 },
+                Operation::Increment {
+                    obj: obj(2, 0),
+                    delta: 1,
+                },
                 Operation::Read { obj: obj(2, 999) }, // fails: intended abort
             ],
         ),
