@@ -1,0 +1,179 @@
+//! Trace explainer: reproduce a seeded nemesis chaos run and print the
+//! causal event timeline of one (or every) global transaction.
+//!
+//! ```text
+//! cargo run -p amc-bench --bin explain -- --seed 7
+//! cargo run -p amc-bench --bin explain -- --seed 7 --txn 3 --protocol 2pc
+//! cargo run -p amc-bench --bin explain -- --seed 636 --protocol commit-after --skip-decision-log
+//! ```
+//!
+//! The run is the E5c scenario: two sites, five staggered disjoint
+//! transfers, and a generated fault schedule (crashes with torn WAL tails,
+//! directed partitions, loss bursts) — all derived deterministically from
+//! `--seed`, so the printed timeline is bit-for-bit reproducible. The
+//! `--skip-decision-log` knob disables the central decision-log force (the
+//! injected atomicity bug the chaos harness hunts); the timeline then shows
+//! the causal chain of the violation: `decide commit` → central `crash` →
+//! `resume (no decision record: presume abort)`.
+//!
+//! Exits non-zero when the requested timeline is empty.
+
+use amc_core::{FederationConfig, SimConfig, SimFederation};
+use amc_sim::{generate_faults, NemesisConfig};
+use amc_types::{GlobalTxnId, ObjectId, Operation, ProtocolKind, SimDuration, SiteId, Value};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const OBJS: u64 = 5;
+const PER_OBJ: i64 = 100;
+
+fn obj(site: u32, i: u64) -> ObjectId {
+    ObjectId::new(u64::from(site) * (1 << 32) + i)
+}
+
+struct Args {
+    seed: u64,
+    txn: Option<u64>,
+    protocol: ProtocolKind,
+    skip_decision_log: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: explain --seed <u64> [--txn <1..={OBJS}>] \
+         [--protocol 2pc|commit-after|commit-before] [--skip-decision-log]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut seed = None;
+    let mut txn = None;
+    let mut protocol = ProtocolKind::CommitBefore;
+    let mut skip_decision_log = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = it.next().and_then(|v| v.parse().ok());
+                if seed.is_none() {
+                    usage();
+                }
+            }
+            "--txn" => {
+                txn = it.next().and_then(|v| v.parse().ok());
+                if txn.is_none() {
+                    usage();
+                }
+            }
+            "--protocol" => {
+                let label = it.next().unwrap_or_default();
+                match ProtocolKind::ALL.iter().find(|p| p.label() == label) {
+                    Some(p) => protocol = *p,
+                    None => usage(),
+                }
+            }
+            "--skip-decision-log" => skip_decision_log = true,
+            _ => usage(),
+        }
+    }
+    let Some(seed) = seed else { usage() };
+    Args {
+        seed,
+        txn,
+        protocol,
+        skip_decision_log,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let plan = generate_faults(&NemesisConfig::default(), args.seed);
+    let mut cfg = SimConfig::new(FederationConfig::uniform(2, args.protocol));
+    cfg.seed = args.seed;
+    cfg.faults = plan.clone();
+    cfg.retransmit_every = SimDuration::from_millis(5);
+    cfg.horizon = SimDuration::from_millis(30_000);
+    cfg.unsafe_skip_decision_log = args.skip_decision_log;
+    let fed = SimFederation::new(cfg);
+    for s in 1..=2u32 {
+        let data: Vec<(ObjectId, Value)> = (0..OBJS)
+            .map(|i| (obj(s, i), Value::counter(PER_OBJ)))
+            .collect();
+        fed.load_site(SiteId::new(s), &data);
+    }
+    let programs: Vec<(SimDuration, BTreeMap<SiteId, Vec<Operation>>)> = (0..OBJS)
+        .map(|i| {
+            (
+                SimDuration::from_millis(i * 20),
+                BTreeMap::from([
+                    (
+                        SiteId::new(1),
+                        vec![Operation::Increment {
+                            obj: obj(1, i),
+                            delta: -10,
+                        }],
+                    ),
+                    (
+                        SiteId::new(2),
+                        vec![Operation::Increment {
+                            obj: obj(2, i),
+                            delta: 10,
+                        }],
+                    ),
+                ]),
+            )
+        })
+        .collect();
+    let report = fed.run(programs);
+
+    println!(
+        "nemesis run: seed {} protocol {} faults {} ({} events recorded, {} evicted)",
+        args.seed,
+        args.protocol.label(),
+        plan.len(),
+        report.events.total_recorded(),
+        report.events.evicted(),
+    );
+    if args.skip_decision_log {
+        println!("decision-log force DISABLED (--skip-decision-log): expect atomicity damage");
+    }
+    println!();
+
+    let txns: Vec<u64> = match args.txn {
+        Some(t) => vec![t],
+        None => (1..=OBJS).collect(),
+    };
+    let mut empty = false;
+    for t in txns {
+        let gtx = GlobalTxnId::new(t);
+        let verdict = report
+            .outcomes
+            .get(&gtx)
+            .map_or("UNRESOLVED".to_string(), |v| v.to_string());
+        println!("=== {gtx}: verdict {verdict} ===");
+        let timeline = report.events.render_timeline(gtx);
+        if timeline.is_empty() {
+            println!("(no events — transaction never started?)");
+            empty = true;
+        } else {
+            print!("{timeline}");
+        }
+        println!();
+    }
+
+    let derived = report.events.derive();
+    println!("derived (all transactions):");
+    println!("  commit latency us   {}", derived.commit_latency_us);
+    println!("  resolve latency us  {}", derived.resolve_latency_us);
+    println!("  blocking window us  {}", derived.blocking_window_us);
+    println!("  redo chain depth    {}", derived.redo_depth);
+    println!("  undo chain depth    {}", derived.undo_depth);
+    println!("  messages per txn    {}", derived.msgs_per_txn);
+
+    if empty {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -8,7 +8,7 @@
 //! hold L0 locks to the global end and lose the multi-level advantage.
 
 use crate::setup::{build_federation, program_batch};
-use crate::table::{f2, TextTable};
+use crate::table::{f2, opt2, TextTable};
 use amc_mlt::ConflictPolicy;
 use amc_types::ProtocolKind;
 use amc_workload::{OpMix, WorkloadSpec};
@@ -20,12 +20,16 @@ pub struct Row {
     pub protocol: ProtocolKind,
     /// Zipf skew.
     pub theta: f64,
-    /// Committed txns per second.
-    pub throughput: f64,
+    /// Committed txns per second (`None` when the run measured nothing).
+    pub throughput: Option<f64>,
     /// Mean L0 lock tenure (ms).
-    pub l0_hold_ms: f64,
+    pub l0_hold_ms: Option<f64>,
     /// Mean commit latency (ms).
-    pub latency_ms: f64,
+    pub latency_ms: Option<f64>,
+    /// Median commit latency (ms).
+    pub latency_p50_ms: Option<f64>,
+    /// Tail (p99) commit latency (ms).
+    pub latency_p99_ms: Option<f64>,
     /// Commits achieved.
     pub committed: u64,
     /// Erroneous global aborts + L1 rejections (contention casualties).
@@ -65,6 +69,8 @@ pub fn run(txns: usize, threads: usize, thetas: &[f64]) -> Vec<Row> {
                 throughput: m.throughput(),
                 l0_hold_ms: m.mean_l0_hold_ms(),
                 latency_ms: m.mean_latency_ms(),
+                latency_p50_ms: m.latency_p50_ms(),
+                latency_p99_ms: m.latency_p99_ms(),
                 committed: m.committed,
                 contention_aborts: m.aborted_erroneous + m.l1_rejections,
             });
@@ -83,6 +89,8 @@ pub fn table(rows: &[Row]) -> TextTable {
             "txn/s",
             "l0-hold ms",
             "latency ms",
+            "lat p50 ms",
+            "lat p99 ms",
             "commits",
             "contention-aborts",
         ],
@@ -91,9 +99,11 @@ pub fn table(rows: &[Row]) -> TextTable {
         t.row(vec![
             f2(r.theta),
             r.protocol.label().to_string(),
-            f2(r.throughput),
-            f2(r.l0_hold_ms),
-            f2(r.latency_ms),
+            opt2(r.throughput),
+            opt2(r.l0_hold_ms),
+            opt2(r.latency_ms),
+            opt2(r.latency_p50_ms),
+            opt2(r.latency_p99_ms),
             r.committed.to_string(),
             r.contention_aborts.to_string(),
         ]);
@@ -112,32 +122,39 @@ pub fn verdicts(rows: &[Row]) -> Vec<String> {
         get(ProtocolKind::CommitAfter),
         get(ProtocolKind::TwoPhaseCommit),
     ) {
+        // An absent measurement (n=0) can never PASS a superiority claim.
+        let bt = before.throughput.unwrap_or(0.0);
+        let at = after.throughput.unwrap_or(0.0);
+        let tt = two_pc.throughput.unwrap_or(0.0);
+        let bh = before.l0_hold_ms.unwrap_or(f64::MAX);
+        let ah = after.l0_hold_ms.unwrap_or(f64::MAX);
+        let th = two_pc.l0_hold_ms.unwrap_or(f64::MAX);
         out.push(format!(
             "[{}] C2a: commit-before throughput >= commit-after under contention ({:.1} vs {:.1} txn/s)",
-            if before.throughput >= after.throughput { "PASS" } else { "FAIL" },
-            before.throughput,
-            after.throughput,
+            if before.throughput.is_some() && bt >= at { "PASS" } else { "FAIL" },
+            bt,
+            at,
         ));
         out.push(format!(
             "[{}] C2b: commit-before throughput >= 2PC under contention ({:.1} vs {:.1} txn/s)",
-            if before.throughput >= two_pc.throughput {
+            if before.throughput.is_some() && bt >= tt {
                 "PASS"
             } else {
                 "FAIL"
             },
-            before.throughput,
-            two_pc.throughput,
+            bt,
+            tt,
         ));
         out.push(format!(
             "[{}] C2c: commit-before holds L0 locks shortest ({:.2} ms vs {:.2} / {:.2})",
-            if before.l0_hold_ms <= after.l0_hold_ms && before.l0_hold_ms <= two_pc.l0_hold_ms {
+            if before.l0_hold_ms.is_some() && bh <= ah && bh <= th {
                 "PASS"
             } else {
                 "FAIL"
             },
-            before.l0_hold_ms,
-            after.l0_hold_ms,
-            two_pc.l0_hold_ms,
+            before.l0_hold_ms.unwrap_or(0.0),
+            after.l0_hold_ms.unwrap_or(0.0),
+            two_pc.l0_hold_ms.unwrap_or(0.0),
         ));
     }
     out

@@ -10,7 +10,7 @@
 //! monotone throughput decline.
 
 use crate::setup::{build_federation, program_batch};
-use crate::table::{f2, f3, TextTable};
+use crate::table::{f2, f3, opt2, TextTable};
 use amc_mlt::ConflictPolicy;
 use amc_types::{ProtocolKind, SiteId};
 use amc_workload::{OpMix, WorkloadSpec};
@@ -20,12 +20,16 @@ use amc_workload::{OpMix, WorkloadSpec};
 pub struct Row {
     /// Injected post-ready abort probability.
     pub p: f64,
-    /// Committed txns per second.
-    pub throughput: f64,
+    /// Committed txns per second (`None` when the run measured nothing).
+    pub throughput: Option<f64>,
     /// Redo executions per committed transaction.
     pub redos_per_commit: f64,
     /// Mean commit latency (ms).
-    pub latency_ms: f64,
+    pub latency_ms: Option<f64>,
+    /// Median commit latency (ms).
+    pub latency_p50_ms: Option<f64>,
+    /// Tail (p99) commit latency (ms).
+    pub latency_p99_ms: Option<f64>,
     /// Commits achieved.
     pub committed: u64,
 }
@@ -75,11 +79,17 @@ pub fn run(txns: usize, threads: usize, probabilities: &[f64]) -> Vec<Row> {
                         0.0
                     },
                     latency_ms: m.mean_latency_ms(),
+                    latency_p50_ms: m.latency_p50_ms(),
+                    latency_p99_ms: m.latency_p99_ms(),
                     committed: m.committed,
                 }
             })
             .collect();
-        candidates.sort_by(|a, b| a.throughput.total_cmp(&b.throughput));
+        candidates.sort_by(|a, b| {
+            a.throughput
+                .unwrap_or(0.0)
+                .total_cmp(&b.throughput.unwrap_or(0.0))
+        });
         rows.push(candidates.swap_remove(1)); // median by throughput
     }
     rows
@@ -89,14 +99,24 @@ pub fn run(txns: usize, threads: usize, probabilities: &[f64]) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> TextTable {
     let mut t = TextTable::new(
         "E2 — commit-after redo cost vs post-ready erroneous-abort probability",
-        &["p", "txn/s", "redos/commit", "latency ms", "commits"],
+        &[
+            "p",
+            "txn/s",
+            "redos/commit",
+            "latency ms",
+            "lat p50 ms",
+            "lat p99 ms",
+            "commits",
+        ],
     );
     for r in rows {
         t.row(vec![
             f2(r.p),
-            f2(r.throughput),
+            opt2(r.throughput),
             f3(r.redos_per_commit),
-            f2(r.latency_ms),
+            opt2(r.latency_ms),
+            opt2(r.latency_p50_ms),
+            opt2(r.latency_p99_ms),
             r.committed.to_string(),
         ]);
     }
@@ -119,15 +139,17 @@ pub fn verdicts(rows: &[Row]) -> Vec<String> {
             last.redos_per_commit,
             last.p,
         ));
+        let first_t = first.throughput.unwrap_or(0.0);
+        let last_t = last.throughput.unwrap_or(0.0);
         out.push(format!(
             "[{}] C3a-2: throughput declines with p ({:.1} -> {:.1} txn/s)",
-            if last.throughput < first.throughput {
+            if first.throughput.is_some() && last_t < first_t {
                 "PASS"
             } else {
                 "FAIL"
             },
-            first.throughput,
-            last.throughput,
+            first_t,
+            last_t,
         ));
         out.push(format!(
             "[{}] C3a-3: atomicity holds — every submitted txn still commits ({} commits)",

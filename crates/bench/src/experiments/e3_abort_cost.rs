@@ -9,7 +9,7 @@
 //! commit-before advantage shrinks (or inverts) as the abort rate grows.
 
 use crate::setup::{build_federation, program_batch};
-use crate::table::{f2, f3, TextTable};
+use crate::table::{f2, f3, opt2, TextTable};
 use amc_mlt::ConflictPolicy;
 use amc_types::ProtocolKind;
 use amc_workload::{OpMix, WorkloadSpec};
@@ -26,6 +26,10 @@ pub struct Row {
     pub completions_per_s: f64,
     /// Inverse transactions executed per intended abort.
     pub undos_per_abort: f64,
+    /// Median commit latency (ms); `None` when nothing committed.
+    pub latency_p50_ms: Option<f64>,
+    /// Tail (p99) commit latency (ms); `None` when nothing committed.
+    pub latency_p99_ms: Option<f64>,
     /// Commits achieved.
     pub committed: u64,
     /// Intended aborts observed.
@@ -68,6 +72,8 @@ pub fn run(txns: usize, threads: usize, abort_rates: &[f64]) -> Vec<Row> {
                 } else {
                     0.0
                 },
+                latency_p50_ms: m.latency_p50_ms(),
+                latency_p99_ms: m.latency_p99_ms(),
                 committed: m.committed,
                 aborted,
             });
@@ -85,6 +91,8 @@ pub fn table(rows: &[Row]) -> TextTable {
             "protocol",
             "completions/s",
             "undos/abort",
+            "lat p50 ms",
+            "lat p99 ms",
             "commits",
             "aborts",
         ],
@@ -95,6 +103,8 @@ pub fn table(rows: &[Row]) -> TextTable {
             r.protocol.label().to_string(),
             f2(r.completions_per_s),
             f3(r.undos_per_abort),
+            opt2(r.latency_p50_ms),
+            opt2(r.latency_p99_ms),
             r.committed.to_string(),
             r.aborted.to_string(),
         ]);

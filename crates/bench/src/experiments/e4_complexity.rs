@@ -8,9 +8,10 @@
 //! participant, no decision round), 2PC the most expensive (work + prepare
 //! + decision + finished, plus the forced prepare record).
 
-use crate::table::{f2, TextTable};
+use crate::table::{f2, opt2, TextTable};
 use amc_core::{FederationConfig, SimConfig, SimFederation};
 use amc_net::NetStats;
+use amc_obs::Histogram;
 use amc_types::{GlobalVerdict, ObjectId, Operation, ProtocolKind, SimDuration, SiteId, Value};
 use std::collections::BTreeMap;
 
@@ -27,6 +28,10 @@ pub struct Row {
     pub log_bytes_per_txn: f64,
     /// Virtual commit latency (ms).
     pub latency_ms: f64,
+    /// Median virtual commit latency (ms).
+    pub latency_p50_ms: Option<f64>,
+    /// Tail (p99) virtual commit latency (ms).
+    pub latency_p99_ms: Option<f64>,
     /// Full router accounting (all zero drops on this failure-free path).
     pub net: NetStats,
 }
@@ -103,12 +108,18 @@ pub fn run(txns: usize) -> Vec<Row> {
             .map(|d| d.micros() as f64)
             .sum::<f64>()
             / committed;
+        let mut latency_us = Histogram::new();
+        for d in report.resolution.values() {
+            latency_us.record(d.micros());
+        }
         rows.push(Row {
             protocol,
             msgs_per_txn: report.sent as f64 / committed,
             forces_per_txn: (forces_after - forces_before) as f64 / committed,
             log_bytes_per_txn: (bytes_after - bytes_before) as f64 / committed,
             latency_ms: mean_latency_us / 1e3,
+            latency_p50_ms: latency_us.p50().map(|us| us as f64 / 1e3),
+            latency_p99_ms: latency_us.p99().map(|us| us as f64 / 1e3),
             net: report.net,
         });
     }
@@ -125,6 +136,8 @@ pub fn table(rows: &[Row]) -> TextTable {
             "log-forces/txn",
             "log-bytes/txn",
             "virtual latency ms",
+            "lat p50 ms",
+            "lat p99 ms",
             "net sent/drop/dup",
         ],
     );
@@ -135,6 +148,8 @@ pub fn table(rows: &[Row]) -> TextTable {
             f2(r.forces_per_txn),
             f2(r.log_bytes_per_txn),
             f2(r.latency_ms),
+            opt2(r.latency_p50_ms),
+            opt2(r.latency_p99_ms),
             format!("{}/{}/{}", r.net.sent, r.net.dropped, r.net.duplicated),
         ]);
     }

@@ -11,7 +11,7 @@
 //! page locks until the decision arrives (demonstrated separately by the
 //! blocking probe in the integration suite).
 
-use crate::table::{f2, TextTable};
+use crate::table::{opt2, TextTable};
 use amc_core::{FederationConfig, SimConfig, SimFederation};
 use amc_net::NetStats;
 use amc_sim::{generate_faults, FailurePlan, NemesisConfig};
@@ -29,8 +29,12 @@ pub struct Row {
     pub crash_at_us: u64,
     /// Verdict (`None` = unresolved at horizon — a blocking failure).
     pub verdict: Option<GlobalVerdict>,
-    /// Virtual resolution time (ms).
-    pub resolution_ms: f64,
+    /// Virtual resolution time (ms); `None` when unresolved.
+    pub resolution_ms: Option<f64>,
+    /// Longest §5 blocking window (ms): a 2PC participant sitting prepared
+    /// with locks held until the decision arrived. `None` for the portable
+    /// protocols — they never enter the in-doubt state.
+    pub blocking_ms: Option<f64>,
     /// Coordinator retransmissions needed.
     pub retransmissions: u64,
     /// Whether final state is atomic (both sites agree on all-or-nothing).
@@ -90,10 +94,13 @@ pub fn run(crash_times_us: &[u64], outage_ms: u64) -> Vec<Row> {
                 protocol,
                 crash_at_us: crash_at,
                 verdict,
-                resolution_ms: report
-                    .resolution
-                    .get(&gtx)
-                    .map_or(f64::NAN, |d| d.micros() as f64 / 1e3),
+                resolution_ms: report.resolution.get(&gtx).map(|d| d.micros() as f64 / 1e3),
+                blocking_ms: report
+                    .events
+                    .derive()
+                    .blocking_window_us
+                    .max()
+                    .map(|us| us as f64 / 1e3),
                 retransmissions: report.retransmissions,
                 atomic,
             });
@@ -151,10 +158,13 @@ pub fn run_central(crash_times_us: &[u64], outage_ms: u64) -> Vec<Row> {
                 protocol,
                 crash_at_us: crash_at,
                 verdict,
-                resolution_ms: report
-                    .resolution
-                    .get(&gtx)
-                    .map_or(f64::NAN, |d| d.micros() as f64 / 1e3),
+                resolution_ms: report.resolution.get(&gtx).map(|d| d.micros() as f64 / 1e3),
+                blocking_ms: report
+                    .events
+                    .derive()
+                    .blocking_window_us
+                    .max()
+                    .map(|us| us as f64 / 1e3),
                 retransmissions: report.retransmissions,
                 atomic,
             });
@@ -172,6 +182,7 @@ pub fn central_table(rows: &[Row]) -> TextTable {
             "crash at us",
             "verdict",
             "resolution ms",
+            "block ms",
             "retransmits",
             "atomic",
         ],
@@ -182,11 +193,8 @@ pub fn central_table(rows: &[Row]) -> TextTable {
             r.crash_at_us.to_string(),
             r.verdict
                 .map_or("UNRESOLVED".to_string(), |v| v.to_string()),
-            if r.resolution_ms.is_nan() {
-                "-".into()
-            } else {
-                f2(r.resolution_ms)
-            },
+            opt2(r.resolution_ms),
+            opt2(r.blocking_ms),
             r.retransmissions.to_string(),
             if r.atomic { "yes" } else { "NO" }.to_string(),
         ]);
@@ -251,6 +259,12 @@ pub struct NemesisRow {
     pub retransmissions: u64,
     /// Full router accounting.
     pub net: NetStats,
+    /// Median start→done virtual latency over resolved transfers (ms).
+    pub resolve_p50_ms: Option<f64>,
+    /// Tail (p99) start→done virtual latency (ms).
+    pub resolve_p99_ms: Option<f64>,
+    /// Longest §5 blocking window (2PC in-doubt participants) in ms.
+    pub blocking_ms: Option<f64>,
 }
 
 /// Run the nemesis sweep: one generated schedule per `(protocol, seed)`.
@@ -325,6 +339,7 @@ pub fn run_nemesis(seeds: &[u64]) -> Vec<NemesisRow> {
             if total != 2 * OBJS as i64 * PER_OBJ {
                 violations += 1;
             }
+            let derived = report.events.derive();
             rows.push(NemesisRow {
                 protocol,
                 seed,
@@ -335,6 +350,9 @@ pub fn run_nemesis(seeds: &[u64]) -> Vec<NemesisRow> {
                 violations,
                 retransmissions: report.retransmissions,
                 net: report.net,
+                resolve_p50_ms: derived.resolve_latency_us.p50().map(|us| us as f64 / 1e3),
+                resolve_p99_ms: derived.resolve_latency_us.p99().map(|us| us as f64 / 1e3),
+                blocking_ms: derived.blocking_window_us.max().map(|us| us as f64 / 1e3),
             });
         }
     }
@@ -354,6 +372,9 @@ pub fn nemesis_table(rows: &[NemesisRow]) -> TextTable {
             "unresolved",
             "violations",
             "retransmits",
+            "res p50 ms",
+            "res p99 ms",
+            "block ms",
             "net sent/drop/part/dup",
         ],
     );
@@ -367,6 +388,9 @@ pub fn nemesis_table(rows: &[NemesisRow]) -> TextTable {
             r.unresolved.to_string(),
             r.violations.to_string(),
             r.retransmissions.to_string(),
+            opt2(r.resolve_p50_ms),
+            opt2(r.resolve_p99_ms),
+            opt2(r.blocking_ms),
             format!(
                 "{}/{}/{}/{}",
                 r.net.sent, r.net.dropped, r.net.partitioned_drops, r.net.duplicated
@@ -408,6 +432,7 @@ pub fn table(rows: &[Row]) -> TextTable {
             "crash at us",
             "verdict",
             "resolution ms",
+            "block ms",
             "retransmits",
             "atomic",
         ],
@@ -418,11 +443,8 @@ pub fn table(rows: &[Row]) -> TextTable {
             r.crash_at_us.to_string(),
             r.verdict
                 .map_or("UNRESOLVED".to_string(), |v| v.to_string()),
-            if r.resolution_ms.is_nan() {
-                "-".into()
-            } else {
-                f2(r.resolution_ms)
-            },
+            opt2(r.resolution_ms),
+            opt2(r.blocking_ms),
             r.retransmissions.to_string(),
             if r.atomic { "yes" } else { "NO" }.to_string(),
         ]);

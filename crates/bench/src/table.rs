@@ -74,6 +74,13 @@ pub fn f3(x: f64) -> String {
     format!("{x:.3}")
 }
 
+/// Format an optional statistic with 2 decimals. An absent value (the
+/// underlying sample count was zero) renders as `n=0` — never NaN, never a
+/// fabricated 0.00.
+pub fn opt2(x: Option<f64>) -> String {
+    x.map_or_else(|| "n=0".to_string(), f2)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +111,7 @@ mod tests {
     fn float_formatting() {
         assert_eq!(f2(1.2345), "1.23");
         assert_eq!(f3(1.2345), "1.234");
+        assert_eq!(opt2(Some(1.2345)), "1.23");
+        assert_eq!(opt2(None), "n=0");
     }
 }

@@ -11,6 +11,7 @@
 //! and 6: `Running → Inquiring → WaitingToCommit/WaitingToAbort →
 //! Committed/Aborted`.
 
+use amc_obs::{EventKind, ObsSink};
 use amc_types::{
     GlobalPhase, GlobalTxnId, GlobalVerdict, LocalVote, Operation, ProtocolKind, SiteId,
 };
@@ -82,6 +83,7 @@ pub struct Coordinator {
     /// that turns out to have committed still needs its undo.
     awaiting_final_state: BTreeSet<SiteId>,
     verdict: Option<GlobalVerdict>,
+    obs: ObsSink,
 }
 
 impl Coordinator {
@@ -110,7 +112,18 @@ impl Coordinator {
             pending_finish: BTreeMap::new(),
             awaiting_final_state: BTreeSet::new(),
             verdict: None,
+            obs: ObsSink::disabled(),
         }
+    }
+
+    /// Attach an observability sink; votes, decisions, inquiries and
+    /// completion emit events attributed to the central system.
+    pub fn set_obs(&mut self, sink: ObsSink) {
+        self.obs = sink;
+    }
+
+    fn emit(&self, kind: EventKind) {
+        self.obs.emit(Some(self.gtx), SiteId::new(0), kind);
     }
 
     /// This coordinator's transaction.
@@ -230,6 +243,7 @@ impl Coordinator {
             return Vec::new(); // duplicate
         }
         *slot = Some(vote);
+        self.emit(EventKind::Vote { from: site, vote });
 
         // An abort vote decides immediately — no point waiting (§3.1).
         if vote == LocalVote::Aborted {
@@ -262,6 +276,7 @@ impl Coordinator {
         debug_assert!(self.verdict.is_none());
         self.verdict = Some(verdict);
         self.round = Round::Finish;
+        self.emit(EventKind::Decide { verdict });
         let mut actions = vec![CoordAction::Decided(verdict)];
 
         for (site, _) in self.programs.iter() {
@@ -299,6 +314,11 @@ impl Coordinator {
                     Some(LocalVote::Aborted) => None,
                     None => {
                         self.awaiting_final_state.insert(*site);
+                        self.obs.emit(
+                            Some(self.gtx),
+                            SiteId::new(0),
+                            EventKind::Inquiry { to: *site },
+                        );
                         actions.push(CoordAction::Send {
                             site: *site,
                             payload: amc_net::Payload::Prepare { gtx: self.gtx },
@@ -317,6 +337,7 @@ impl Coordinator {
         }
         if self.pending_finish.is_empty() && self.awaiting_final_state.is_empty() {
             self.round = Round::Done;
+            self.emit(EventKind::Done { verdict });
             actions.push(CoordAction::Done(verdict));
         }
         actions
@@ -331,6 +352,7 @@ impl Coordinator {
         debug_assert_eq!(self.protocol, ProtocolKind::CommitBefore);
         debug_assert_eq!(self.verdict, Some(GlobalVerdict::Abort));
         *self.votes.get_mut(&site).expect("participant") = Some(vote);
+        self.emit(EventKind::Vote { from: site, vote });
         let mut actions = Vec::new();
         if vote == LocalVote::Ready {
             let payload = amc_net::Payload::Undo {
@@ -342,7 +364,9 @@ impl Coordinator {
         }
         if self.pending_finish.is_empty() && self.awaiting_final_state.is_empty() {
             self.round = Round::Done;
-            actions.push(CoordAction::Done(self.verdict.expect("decided")));
+            let verdict = self.verdict.expect("decided");
+            self.emit(EventKind::Done { verdict });
+            actions.push(CoordAction::Done(verdict));
         }
         actions
     }
@@ -354,9 +378,9 @@ impl Coordinator {
         self.pending_finish.remove(&site);
         if self.pending_finish.is_empty() && self.awaiting_final_state.is_empty() {
             self.round = Round::Done;
-            return vec![CoordAction::Done(
-                self.verdict.expect("finish round has a verdict"),
-            )];
+            let verdict = self.verdict.expect("finish round has a verdict");
+            self.emit(EventKind::Done { verdict });
+            return vec![CoordAction::Done(verdict)];
         }
         Vec::new()
     }
@@ -376,9 +400,12 @@ impl Coordinator {
                 .votes
                 .iter()
                 .filter(|(_, v)| v.is_none())
-                .map(|(site, _)| CoordAction::Send {
-                    site: *site,
-                    payload: amc_net::Payload::Prepare { gtx: self.gtx },
+                .map(|(site, _)| {
+                    self.emit(EventKind::Inquiry { to: *site });
+                    CoordAction::Send {
+                        site: *site,
+                        payload: amc_net::Payload::Prepare { gtx: self.gtx },
+                    }
                 })
                 .collect(),
             Round::Finish => self
@@ -399,14 +426,13 @@ impl Coordinator {
                         payload,
                     }
                 })
-                .chain(
-                    self.awaiting_final_state
-                        .iter()
-                        .map(|site| CoordAction::Send {
-                            site: *site,
-                            payload: amc_net::Payload::Prepare { gtx: self.gtx },
-                        }),
-                )
+                .chain(self.awaiting_final_state.iter().map(|site| {
+                    self.emit(EventKind::Inquiry { to: *site });
+                    CoordAction::Send {
+                        site: *site,
+                        payload: amc_net::Payload::Prepare { gtx: self.gtx },
+                    }
+                }))
                 .collect(),
             Round::Done => Vec::new(),
         }

@@ -439,9 +439,11 @@ impl Federation {
                 TxnOutcome::Committed => {
                     metrics.committed += 1;
                     metrics.total_commit_latency += report.latency;
+                    metrics.latency_us.record(report.latency.as_micros() as u64);
                     for h in &report.l0_holds {
                         metrics.total_l0_hold += *h;
                         metrics.l0_hold_count += 1;
+                        metrics.l0_hold_us.record(h.as_micros() as u64);
                     }
                 }
                 TxnOutcome::Aborted => {

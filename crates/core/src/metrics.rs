@@ -1,10 +1,13 @@
 //! Run metrics aggregated across a workload execution.
 
+use amc_obs::Histogram;
 use amc_types::ProtocolKind;
 use std::time::Duration;
 
 /// What one workload run measured. All counters are totals; derived rates
-/// come from the accessor methods.
+/// come from the accessor methods, which return `None` instead of a bogus
+/// number when the underlying count is zero (an idle run has no mean
+/// latency — reports must say "n=0", never divide into NaN or fake a 0.0).
 #[derive(Debug, Clone)]
 pub struct RunMetrics {
     /// Protocol under test.
@@ -28,6 +31,11 @@ pub struct RunMetrics {
     pub total_l0_hold: Duration,
     /// Number of (transaction, site) tenures in `total_l0_hold`.
     pub l0_hold_count: u64,
+    /// Per-commit latency distribution in microseconds (p50/p99 for the
+    /// E-report tables; the totals above stay for compatibility).
+    pub latency_us: Histogram,
+    /// Per-(transaction, site) L0 tenure distribution in microseconds.
+    pub l0_hold_us: Histogram,
     /// Protocol messages exchanged.
     pub messages: u64,
     /// Commit-after repetitions executed.
@@ -55,6 +63,8 @@ impl RunMetrics {
             total_commit_latency: Duration::ZERO,
             total_l0_hold: Duration::ZERO,
             l0_hold_count: 0,
+            latency_us: Histogram::new(),
+            l0_hold_us: Histogram::new(),
             messages: 0,
             redo_runs: 0,
             undo_runs: 0,
@@ -64,45 +74,69 @@ impl RunMetrics {
         }
     }
 
-    /// Committed transactions per second.
-    pub fn throughput(&self) -> f64 {
+    /// Committed transactions per second; `None` for a zero-length run.
+    pub fn throughput(&self) -> Option<f64> {
         if self.wall.is_zero() {
-            return 0.0;
+            return None;
         }
-        self.committed as f64 / self.wall.as_secs_f64()
+        Some(self.committed as f64 / self.wall.as_secs_f64())
     }
 
-    /// Mean commit latency in milliseconds.
-    pub fn mean_latency_ms(&self) -> f64 {
+    /// Mean commit latency in milliseconds; `None` when nothing committed.
+    pub fn mean_latency_ms(&self) -> Option<f64> {
         if self.committed == 0 {
-            return 0.0;
+            return None;
         }
-        self.total_commit_latency.as_secs_f64() * 1e3 / self.committed as f64
+        Some(self.total_commit_latency.as_secs_f64() * 1e3 / self.committed as f64)
     }
 
-    /// Mean L0 lock tenure in milliseconds (E1's headline series).
-    pub fn mean_l0_hold_ms(&self) -> f64 {
+    /// Median commit latency in milliseconds; `None` when nothing
+    /// committed.
+    pub fn latency_p50_ms(&self) -> Option<f64> {
+        self.latency_us.p50().map(|us| us as f64 / 1e3)
+    }
+
+    /// 99th-percentile commit latency in milliseconds; `None` when nothing
+    /// committed.
+    pub fn latency_p99_ms(&self) -> Option<f64> {
+        self.latency_us.p99().map(|us| us as f64 / 1e3)
+    }
+
+    /// Mean L0 lock tenure in milliseconds (E1's headline series); `None`
+    /// when no tenure was recorded.
+    pub fn mean_l0_hold_ms(&self) -> Option<f64> {
         if self.l0_hold_count == 0 {
-            return 0.0;
+            return None;
         }
-        self.total_l0_hold.as_secs_f64() * 1e3 / self.l0_hold_count as f64
+        Some(self.total_l0_hold.as_secs_f64() * 1e3 / self.l0_hold_count as f64)
     }
 
-    /// Messages per committed transaction (E4).
-    pub fn messages_per_commit(&self) -> f64 {
+    /// Median L0 lock tenure in milliseconds.
+    pub fn l0_hold_p50_ms(&self) -> Option<f64> {
+        self.l0_hold_us.p50().map(|us| us as f64 / 1e3)
+    }
+
+    /// 99th-percentile L0 lock tenure in milliseconds.
+    pub fn l0_hold_p99_ms(&self) -> Option<f64> {
+        self.l0_hold_us.p99().map(|us| us as f64 / 1e3)
+    }
+
+    /// Messages per committed transaction (E4); `None` when nothing
+    /// committed.
+    pub fn messages_per_commit(&self) -> Option<f64> {
         if self.committed == 0 {
-            return 0.0;
+            return None;
         }
-        self.messages as f64 / self.committed as f64
+        Some(self.messages as f64 / self.committed as f64)
     }
 
-    /// Fraction of attempts that globally aborted.
-    pub fn abort_rate(&self) -> f64 {
+    /// Fraction of attempts that globally aborted; `None` when nothing ran.
+    pub fn abort_rate(&self) -> Option<f64> {
         let total = self.committed + self.aborted_intended + self.aborted_erroneous;
         if total == 0 {
-            return 0.0;
+            return None;
         }
-        (self.aborted_intended + self.aborted_erroneous) as f64 / total as f64
+        Some((self.aborted_intended + self.aborted_erroneous) as f64 / total as f64)
     }
 }
 
@@ -119,20 +153,32 @@ mod tests {
         m.total_l0_hold = Duration::from_millis(300);
         m.l0_hold_count = 200;
         m.messages = 400;
-        assert!((m.throughput() - 50.0).abs() < 1e-9);
-        assert!((m.mean_latency_ms() - 5.0).abs() < 1e-9);
-        assert!((m.mean_l0_hold_ms() - 1.5).abs() < 1e-9);
-        assert!((m.messages_per_commit() - 4.0).abs() < 1e-9);
+        assert!((m.throughput().unwrap() - 50.0).abs() < 1e-9);
+        assert!((m.mean_latency_ms().unwrap() - 5.0).abs() < 1e-9);
+        assert!((m.mean_l0_hold_ms().unwrap() - 1.5).abs() < 1e-9);
+        assert!((m.messages_per_commit().unwrap() - 4.0).abs() < 1e-9);
     }
 
     #[test]
-    fn zero_division_is_guarded() {
+    fn empty_run_yields_none_not_nan() {
         let m = RunMetrics::new(ProtocolKind::TwoPhaseCommit);
-        assert_eq!(m.throughput(), 0.0);
-        assert_eq!(m.mean_latency_ms(), 0.0);
-        assert_eq!(m.mean_l0_hold_ms(), 0.0);
-        assert_eq!(m.messages_per_commit(), 0.0);
-        assert_eq!(m.abort_rate(), 0.0);
+        assert_eq!(m.throughput(), None);
+        assert_eq!(m.mean_latency_ms(), None);
+        assert_eq!(m.mean_l0_hold_ms(), None);
+        assert_eq!(m.messages_per_commit(), None);
+        assert_eq!(m.abort_rate(), None);
+        assert_eq!(m.latency_p50_ms(), None);
+        assert_eq!(m.l0_hold_p99_ms(), None);
+    }
+
+    #[test]
+    fn percentiles_come_from_the_histograms() {
+        let mut m = RunMetrics::new(ProtocolKind::CommitAfter);
+        for us in [1_000, 2_000, 3_000, 4_000, 100_000] {
+            m.latency_us.record(us);
+        }
+        assert!((m.latency_p50_ms().unwrap() - 3.0).abs() < 1e-9);
+        assert!((m.latency_p99_ms().unwrap() - 100.0).abs() < 1e-9);
     }
 
     #[test]
@@ -141,6 +187,6 @@ mod tests {
         m.committed = 80;
         m.aborted_intended = 15;
         m.aborted_erroneous = 5;
-        assert!((m.abort_rate() - 0.2).abs() < 1e-9);
+        assert!((m.abort_rate().unwrap() - 0.2).abs() < 1e-9);
     }
 }

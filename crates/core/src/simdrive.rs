@@ -29,6 +29,7 @@ use crate::coordinator::{CoordAction, CoordEvent, Coordinator};
 use amc_net::comm::SubmitMode;
 use amc_net::router::{NetStats, RouterConfig, Routing};
 use amc_net::{Envelope, LocalCommManager, MessageTrace, Payload, Router};
+use amc_obs::{EventKind, EventLog, ObsSink};
 use amc_sim::{EventQueue, FailurePlan, FaultEvent, FaultKind, FaultPlan, LinkDir, SimRng};
 use amc_types::{
     AmcError, GlobalTxnId, GlobalVerdict, Operation, ProtocolKind, SimDuration, SimTime, SiteId,
@@ -62,6 +63,10 @@ pub struct SimConfig {
     /// exactly the bug the chaos sweep + shrinker demo must catch. Never
     /// set outside tests.
     pub unsafe_skip_decision_log: bool,
+    /// Retention bound for the structured event log (ring buffer; the
+    /// oldest events are evicted past this). Events are stamped with the
+    /// virtual clock, so equal seeds give bit-identical logs.
+    pub event_cap: usize,
 }
 
 impl SimConfig {
@@ -82,6 +87,7 @@ impl SimConfig {
             retransmit_every: SimDuration::from_millis(20),
             horizon: SimDuration::from_millis(10_000),
             unsafe_skip_decision_log: false,
+            event_cap: amc_obs::log::DEFAULT_EVENT_CAP,
         }
     }
 
@@ -119,6 +125,11 @@ pub struct SimReport {
     pub errors: Vec<String>,
     /// Final virtual time.
     pub end_time: SimTime,
+    /// Structured event log: every protocol transition, message fate,
+    /// fault and recovery step, stamped with the virtual clock. Feed to
+    /// [`EventLog::timeline`] / [`EventLog::derive`] for per-transaction
+    /// explanations and histogram metrics.
+    pub events: EventLog,
 }
 
 #[derive(Debug)]
@@ -155,6 +166,9 @@ pub struct SimFederation {
     central_log_forces: u64,
     start_times: BTreeMap<GlobalTxnId, SimTime>,
     completed: BTreeMap<GlobalTxnId, (GlobalVerdict, SimTime)>,
+    /// Master observability sink: shared (via clone) with the router, the
+    /// managers (and through them engines and WALs) and every coordinator.
+    obs: ObsSink,
 }
 
 impl SimFederation {
@@ -163,14 +177,21 @@ impl SimFederation {
         assert!(cfg.federation.is_runnable(), "unrunnable federation");
         cfg.failures.validate().expect("invalid failure plan");
         cfg.merged_faults().validate().expect("invalid fault plan");
+        let obs = ObsSink::enabled(cfg.event_cap);
         let managers: BTreeMap<SiteId, Arc<LocalCommManager>> = cfg
             .federation
             .build_managers()
             .into_iter()
-            .map(|m| (m.site(), m))
+            .map(|mut m| {
+                Arc::get_mut(&mut m)
+                    .expect("freshly built manager is unshared")
+                    .set_obs(obs.clone());
+                (m.site(), m)
+            })
             .collect();
         let mut rng = SimRng::new(cfg.seed);
-        let router = Router::new(cfg.router.clone(), rng.fork());
+        let mut router = Router::new(cfg.router.clone(), rng.fork());
+        router.attach_obs(obs.clone());
         SimFederation {
             cfg,
             managers,
@@ -186,6 +207,7 @@ impl SimFederation {
             central_log_forces: 0,
             start_times: BTreeMap::new(),
             completed: BTreeMap::new(),
+            obs,
         }
     }
 
@@ -330,8 +352,11 @@ impl SimFederation {
         for gtx in unfinished {
             let program = self.programs[&gtx].clone();
             let logged = self.central_log.get(&gtx).copied();
-            let (coordinator, actions) =
+            self.obs
+                .emit(Some(gtx), SiteId::CENTRAL, EventKind::Resume { logged });
+            let (mut coordinator, actions) =
                 Coordinator::resume(gtx, self.cfg.federation.protocol, program, logged);
+            coordinator.set_obs(self.obs.clone());
             let done = coordinator.is_done();
             self.txns.insert(gtx, TxnState { coordinator, done });
             self.apply_actions(gtx, actions);
@@ -366,6 +391,10 @@ impl SimFederation {
             if at > horizon {
                 break;
             }
+            // Mirror the virtual clock into the sink so every emission —
+            // including those from managers and engines that never see the
+            // queue — carries the event's time.
+            self.obs.set_now(at);
             match event {
                 Event::Start(gtx) => {
                     if self.central_down {
@@ -375,8 +404,11 @@ impl SimFederation {
                         continue;
                     }
                     let program = self.programs[&gtx].clone();
+                    self.obs
+                        .emit(Some(gtx), SiteId::CENTRAL, EventKind::TxnStart);
                     let mut coordinator =
                         Coordinator::new(gtx, self.cfg.federation.protocol, program);
+                    coordinator.set_obs(self.obs.clone());
                     let actions = coordinator.on_event(CoordEvent::Start);
                     self.start_times.insert(gtx, at);
                     self.txns.insert(
@@ -406,6 +438,14 @@ impl SimFederation {
                         .schedule_after(self.cfg.retransmit_every, Event::Timer(gtx));
                 }
                 Event::Deliver(env) => {
+                    self.obs.emit(
+                        Some(env.payload.gtx()),
+                        env.to,
+                        EventKind::MsgDeliver {
+                            label: env.payload.label(),
+                            from: env.from,
+                        },
+                    );
                     if env.to.is_central() {
                         self.handle_at_central(env.payload, env.from);
                     } else {
@@ -414,6 +454,17 @@ impl SimFederation {
                 }
                 Event::Fault(ev) => {
                     pending_failures -= 1;
+                    match ev.kind {
+                        FaultKind::Crash { torn } => self.obs.emit(
+                            None,
+                            ev.site,
+                            EventKind::Crash {
+                                torn: torn.is_some(),
+                            },
+                        ),
+                        FaultKind::Restart => self.obs.emit(None, ev.site, EventKind::Restart),
+                        _ => {}
+                    }
                     match (ev.kind, ev.site.is_central()) {
                         (FaultKind::Crash { .. }, true) => {
                             // Central crash: volatile coordinator state is
@@ -501,6 +552,7 @@ impl SimFederation {
             unresolved,
             errors: self.errors,
             end_time: self.queue.now(),
+            events: self.obs.snapshot(),
         }
     }
 

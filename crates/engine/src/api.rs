@@ -10,8 +10,9 @@
 //! not have it — it exists here so the 2PC baseline can be measured against
 //! the two portable protocols.
 
+use amc_obs::ObsSink;
 use amc_types::{
-    AbortReason, AmcResult, LocalRunState, LocalTxnId, ObjectId, OpResult, Operation, Value,
+    AbortReason, AmcResult, LocalRunState, LocalTxnId, ObjectId, OpResult, Operation, SiteId, Value,
 };
 use amc_wal::LogStats;
 use std::collections::BTreeMap;
@@ -111,6 +112,14 @@ pub trait LocalEngine: Send + Sync {
 
     /// Write-ahead-log counters (experiment E4).
     fn log_stats(&self) -> LogStats;
+
+    /// Attach an observability sink (events attributed to `site`). The
+    /// default discards the sink — an *unmodifiable* existing system owes
+    /// us no telemetry; the in-tree engines forward it to their WAL so
+    /// forces show up in per-transaction timelines.
+    fn attach_obs(&self, sink: ObsSink, site: SiteId) {
+        let _ = (sink, site);
+    }
 }
 
 /// The *modified* engine interface classical 2PC needs (§3.1): a ready

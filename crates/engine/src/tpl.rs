@@ -531,6 +531,10 @@ impl LocalEngine for TwoPLEngine {
     fn log_stats(&self) -> amc_wal::LogStats {
         self.inner.lock().log.stats()
     }
+
+    fn attach_obs(&self, sink: amc_obs::ObsSink, site: amc_types::SiteId) {
+        self.inner.lock().log.attach_obs(sink, site);
+    }
 }
 
 impl PreparableEngine for TwoPLEngine {

@@ -13,7 +13,8 @@
 
 use amc_lock::blocking::AcquireResult;
 use amc_lock::{BlockingLockManager, LockStats, SemanticMode};
-use amc_types::{GlobalTxnId, ObjectId, Operation};
+use amc_obs::{EventKind, ObsSink};
+use amc_types::{GlobalTxnId, ObjectId, Operation, SiteId};
 use std::time::Duration;
 
 /// How L1 modes are derived from operations.
@@ -40,6 +41,7 @@ pub struct L1LockManager {
     inner: BlockingLockManager<ObjectId, GlobalTxnId, SemanticMode>,
     policy: ConflictPolicy,
     timeout: Duration,
+    obs: ObsSink,
 }
 
 impl L1LockManager {
@@ -49,7 +51,38 @@ impl L1LockManager {
             inner: BlockingLockManager::new(Duration::from_millis(2)),
             policy,
             timeout,
+            obs: ObsSink::disabled(),
         }
+    }
+
+    /// Attach an observability sink; acquisitions emit lock wait/grant
+    /// events attributed to the central system (L1 lives there).
+    pub fn set_obs(&mut self, sink: ObsSink) {
+        self.obs = sink;
+    }
+
+    fn acquire_observed(
+        &self,
+        gtx: GlobalTxnId,
+        obj: ObjectId,
+        mode: SemanticMode,
+    ) -> AcquireResult {
+        if self.obs.is_enabled() {
+            self.obs
+                .emit(Some(gtx), SiteId::new(0), EventKind::LockWait { obj });
+        }
+        let result = self.inner.acquire(gtx, obj, mode, self.timeout);
+        if self.obs.is_enabled() {
+            self.obs.emit(
+                Some(gtx),
+                SiteId::new(0),
+                EventKind::LockGrant {
+                    obj,
+                    granted: result == AcquireResult::Granted,
+                },
+            );
+        }
+        result
     }
 
     /// The active policy.
@@ -61,8 +94,7 @@ impl L1LockManager {
     /// acquire result so callers can map deadlock/timeout to a global
     /// abort.
     pub fn acquire_for(&self, gtx: GlobalTxnId, op: &Operation) -> AcquireResult {
-        self.inner
-            .acquire(gtx, op.object(), self.policy.mode_for(op), self.timeout)
+        self.acquire_observed(gtx, op.object(), self.policy.mode_for(op))
     }
 
     /// Acquire an explicit mode on an object. Callers that know a
@@ -76,7 +108,7 @@ impl L1LockManager {
         obj: ObjectId,
         mode: SemanticMode,
     ) -> AcquireResult {
-        self.inner.acquire(gtx, obj, mode, self.timeout)
+        self.acquire_observed(gtx, obj, mode)
     }
 
     /// Release every L1 lock of `gtx` — only at global end (strict 2PL at
@@ -174,6 +206,35 @@ mod tests {
         assert_eq!(m.acquire_for(gtx(2), &write(2)), AcquireResult::Granted);
         m.release_all(gtx(1));
         m.release_all(gtx(2));
+    }
+
+    #[test]
+    fn lock_events_flow_to_attached_sink() {
+        let sink = ObsSink::enabled(16);
+        let mut m = L1LockManager::new(ConflictPolicy::ReadWriteOnly, Duration::from_millis(10));
+        m.set_obs(sink.clone());
+        assert_eq!(m.acquire_for(gtx(1), &write(1)), AcquireResult::Granted);
+        assert_eq!(m.acquire_for(gtx(2), &write(1)), AcquireResult::Timeout);
+        m.release_all(gtx(1));
+        let kinds: Vec<String> = sink
+            .snapshot()
+            .events()
+            .map(|e| format!("{}:{}", e.txn.unwrap(), e.kind.label()))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "G1:lock-wait",
+                "G1:lock-grant",
+                "G2:lock-wait",
+                "G2:lock-grant"
+            ]
+        );
+        let rejected = sink
+            .snapshot()
+            .events()
+            .any(|e| matches!(e.kind, EventKind::LockGrant { granted: false, .. }));
+        assert!(rejected, "the timeout must surface as a rejected grant");
     }
 
     #[test]

@@ -31,6 +31,7 @@ use crate::marker::{forward_marker, undo_marker};
 use crate::message::Payload;
 use amc_engine::{LocalEngine, PreparableEngine};
 use amc_mlt::{inverse_of, needs_before_image};
+use amc_obs::{EventKind, ObsSink};
 use amc_types::{
     AbortReason, AmcError, AmcResult, GlobalTxnId, LocalRunState, LocalTxnId, LocalVote, ObjectId,
     Operation, SiteId, Value,
@@ -177,6 +178,8 @@ pub struct LocalCommManager {
     injector: Mutex<Option<AbortInjector>>,
     /// Weyl counter feeding the retry-backoff jitter.
     backoff_seed: std::sync::atomic::AtomicU64,
+    /// Observability sink (disabled unless a driver attaches one).
+    obs: ObsSink,
 }
 
 impl LocalCommManager {
@@ -191,7 +194,16 @@ impl LocalCommManager {
             pre_vote_retries: 5,
             injector: Mutex::new(None),
             backoff_seed: std::sync::atomic::AtomicU64::new(site.raw() as u64 * 7919),
+            obs: ObsSink::disabled(),
         }
+    }
+
+    /// Attach an observability sink; redo/undo attempts and the 2PC
+    /// in-doubt window emit events attributed to this site. Also forwarded
+    /// to the engine's WAL so log forces are attributed correctly.
+    pub fn set_obs(&mut self, sink: ObsSink) {
+        self.handle.engine().attach_obs(sink.clone(), self.site);
+        self.obs = sink;
     }
 
     /// Jittered backoff between repetition attempts. Retries restart with a
@@ -505,7 +517,13 @@ impl LocalCommManager {
                             LocalVote::ReadyReadOnly
                         }
                         Some(ltx) => match prep.prepare(ltx) {
-                            Ok(()) => LocalVote::Ready,
+                            Ok(()) => {
+                                // The §5 blocking hazard starts here: the
+                                // participant is in doubt until a decision
+                                // arrives.
+                                self.obs.emit(Some(gtx), self.site, EventKind::BlockEnter);
+                                LocalVote::Ready
+                            }
                             Err(_) => LocalVote::Aborted,
                         },
                         None => LocalVote::Aborted,
@@ -587,6 +605,13 @@ impl LocalCommManager {
                 return Ok(());
             }
             self.stats.lock().redo_runs += 1;
+            self.obs.emit(
+                Some(gtx),
+                self.site,
+                EventKind::RedoRun {
+                    attempt: u64::from(attempt) + 1,
+                },
+            );
             let mut all_ops = ops.to_vec();
             all_ops.push(Self::marker_op(gtx, LocalTxnId::new(0), false));
             match self.run_ops(&all_ops, true, None)? {
@@ -642,6 +667,8 @@ impl LocalCommManager {
                         Some(LocalRunState::Committed) => {} // duplicate decision
                         _ => engine.commit(ltx)?,
                     }
+                    self.obs
+                        .emit(Some(gtx), self.site, EventKind::BlockExit { verdict });
                 }
                 (SubmitMode::TwoPhase, GlobalVerdict::Abort) => {
                     if let Some(ltx) = w.ltx {
@@ -650,6 +677,8 @@ impl LocalCommManager {
                             _ => engine.abort(ltx, AbortReason::GlobalDecision)?,
                         }
                     }
+                    self.obs
+                        .emit(Some(gtx), self.site, EventKind::BlockExit { verdict });
                 }
                 (SubmitMode::CommitAfter, GlobalVerdict::Commit) => {
                     if w.committed_locally {
@@ -764,6 +793,13 @@ impl LocalCommManager {
                 return Ok(Payload::Finished { gtx });
             }
             self.stats.lock().undo_runs += 1;
+            self.obs.emit(
+                Some(gtx),
+                self.site,
+                EventKind::UndoRun {
+                    attempt: u64::from(attempt) + 1,
+                },
+            );
             let mut all_ops = inverse_ops.clone();
             all_ops.push(Self::marker_op(gtx, LocalTxnId::new(0), true));
             match self.run_ops(&all_ops, true, None)? {

@@ -18,6 +18,7 @@
 //!   central never hears the site) is expressible.
 
 use crate::message::Envelope;
+use amc_obs::{DropCause, EventKind, ObsSink};
 use amc_sim::{LatencyModel, SimRng};
 use amc_types::{SimDuration, SiteId};
 use std::collections::HashSet;
@@ -73,6 +74,23 @@ pub struct NetStats {
     pub partitioned_drops: u64,
 }
 
+impl NetStats {
+    /// Counter-wise difference `self - earlier` (saturating): the traffic
+    /// since an earlier [`Router::stats`] snapshot. Multi-run sweeps that
+    /// reuse one router take a snapshot per run and diff, instead of
+    /// reporting lifetime totals as if they were per-run.
+    pub fn since(&self, earlier: &NetStats) -> NetStats {
+        NetStats {
+            sent: self.sent.saturating_sub(earlier.sent),
+            dropped: self.dropped.saturating_sub(earlier.dropped),
+            duplicated: self.duplicated.saturating_sub(earlier.duplicated),
+            partitioned_drops: self
+                .partitioned_drops
+                .saturating_sub(earlier.partitioned_drops),
+        }
+    }
+}
+
 /// Deterministic star network.
 #[derive(Debug)]
 pub struct Router {
@@ -85,6 +103,7 @@ pub struct Router {
     /// While set, overrides `cfg.loss_probability` (a nemesis loss burst).
     burst_loss: Option<f64>,
     stats: NetStats,
+    obs: ObsSink,
 }
 
 impl Router {
@@ -97,7 +116,14 @@ impl Router {
             partitioned: HashSet::new(),
             burst_loss: None,
             stats: NetStats::default(),
+            obs: ObsSink::disabled(),
         }
+    }
+
+    /// Attach an observability sink; every admitted message emits a
+    /// `MsgSend` (or `MsgDrop` with its cause) event.
+    pub fn attach_obs(&mut self, sink: ObsSink) {
+        self.obs = sink;
     }
 
     /// Mark a site down (crash).
@@ -167,17 +193,31 @@ impl Router {
         self.stats.sent += 1;
         if self.down.contains(&env.from) || self.down.contains(&env.to) {
             self.stats.dropped += 1;
+            self.emit_drop(env, DropCause::EndpointDown);
             return Routing::Dropped;
         }
         if self.partitioned.contains(&(env.from, env.to)) {
             self.stats.dropped += 1;
             self.stats.partitioned_drops += 1;
+            self.emit_drop(env, DropCause::Partitioned);
             return Routing::Dropped;
         }
         let loss = self.burst_loss.unwrap_or(self.cfg.loss_probability);
         if loss > 0.0 && self.rng.chance(loss) {
             self.stats.dropped += 1;
+            self.emit_drop(env, DropCause::Loss);
             return Routing::Dropped;
+        }
+        if self.obs.is_enabled() {
+            self.obs.emit(
+                Some(env.payload.gtx()),
+                env.from,
+                EventKind::MsgSend {
+                    label: env.payload.label(),
+                    from: env.from,
+                    to: env.to,
+                },
+            );
         }
         let first = self.cfg.latency.sample(&mut self.rng);
         if self.cfg.duplicate_probability > 0.0 && self.rng.chance(self.cfg.duplicate_probability) {
@@ -188,9 +228,31 @@ impl Router {
         Routing::Deliver(first)
     }
 
+    fn emit_drop(&self, env: &Envelope, cause: DropCause) {
+        if self.obs.is_enabled() {
+            self.obs.emit(
+                Some(env.payload.gtx()),
+                env.from,
+                EventKind::MsgDrop {
+                    label: env.payload.label(),
+                    from: env.from,
+                    to: env.to,
+                    cause,
+                },
+            );
+        }
+    }
+
     /// Traffic counters so far.
     pub fn stats(&self) -> NetStats {
         self.stats
+    }
+
+    /// Zero the traffic counters. A sweep that reuses one router across
+    /// runs calls this between them so each run reports its own traffic
+    /// (the alternative is diffing snapshots via [`NetStats::since`]).
+    pub fn reset_stats(&mut self) {
+        self.stats = NetStats::default();
     }
 
     /// Messages delivered twice.
@@ -329,6 +391,57 @@ mod tests {
         let s = r.stats();
         assert_eq!((s.sent, s.dropped), (11, 10));
         assert_eq!(s.partitioned_drops, 0, "burst loss is not a partition");
+    }
+
+    #[test]
+    fn reused_router_does_not_carry_counters_across_runs() {
+        // Regression: a sweep reusing one router must not attribute run 1's
+        // traffic to run 2 — either reset between runs or diff snapshots.
+        let mut r = Router::new(RouterConfig::default(), SimRng::new(1));
+        r.site_down(SiteId::new(1));
+        r.route(&env(0, 1)); // run 1: one send, one drop
+        let run1 = r.stats();
+        assert_eq!((run1.sent, run1.dropped), (1, 1));
+
+        // Snapshot-delta view of run 2.
+        r.site_up(SiteId::new(1));
+        r.route(&env(0, 1));
+        let run2 = r.stats().since(&run1);
+        assert_eq!((run2.sent, run2.dropped), (1, 0), "delta is per-run");
+
+        // Reset view of run 3.
+        r.reset_stats();
+        assert_eq!(r.stats(), NetStats::default());
+        r.route(&env(0, 1));
+        let run3 = r.stats();
+        assert_eq!((run3.sent, run3.dropped), (1, 0), "reset is per-run");
+    }
+
+    #[test]
+    fn obs_sink_sees_sends_and_drop_causes() {
+        let sink = amc_obs::ObsSink::enabled(16);
+        let mut r = Router::new(RouterConfig::default(), SimRng::new(1));
+        r.attach_obs(sink.clone());
+        r.route(&env(0, 1));
+        r.partition(SiteId::new(0), SiteId::new(1));
+        r.route(&env(0, 1));
+        r.site_down(SiteId::new(1));
+        r.route(&env(0, 1));
+        let log = sink.snapshot();
+        let kinds: Vec<&'static str> = log.events().map(|e| e.kind.label()).collect();
+        assert_eq!(kinds, vec!["msg-send", "msg-drop", "msg-drop"]);
+        let causes: Vec<DropCause> = log
+            .events()
+            .filter_map(|e| match e.kind {
+                EventKind::MsgDrop { cause, .. } => Some(cause),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            causes,
+            vec![DropCause::Partitioned, DropCause::EndpointDown]
+        );
+        assert!(log.events().all(|e| e.txn == Some(GlobalTxnId::new(1))));
     }
 
     #[test]

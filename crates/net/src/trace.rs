@@ -18,36 +18,73 @@ pub struct TraceEntry {
     pub envelope: Envelope,
 }
 
-/// An append-only message trace.
-#[derive(Debug, Clone, Default)]
+/// Default retention bound: far above any single run's traffic (the golden
+/// traces are tens of messages, a worst-case 30 s nemesis run a few tens of
+/// thousands) while keeping memory flat across a 200-seed sweep.
+pub const DEFAULT_TRACE_CAP: usize = 65_536;
+
+/// A bounded message trace.
+///
+/// When the bound is hit the **oldest half** of the retained entries is
+/// evicted in one batch (amortized O(1) per record) and counted in
+/// [`MessageTrace::evicted`]. Eviction is deterministic, so per-seed trace
+/// comparisons remain exact even when a pathological run overflows.
+#[derive(Debug, Clone)]
 pub struct MessageTrace {
     entries: Vec<TraceEntry>,
+    cap: usize,
+    evicted: u64,
+}
+
+impl Default for MessageTrace {
+    fn default() -> Self {
+        Self::bounded(DEFAULT_TRACE_CAP)
+    }
 }
 
 impl MessageTrace {
-    /// Empty trace.
+    /// Empty trace with the default retention bound.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Empty trace retaining at most `cap` entries (clamped to ≥ 2).
+    pub fn bounded(cap: usize) -> Self {
+        MessageTrace {
+            entries: Vec::new(),
+            cap: cap.max(2),
+            evicted: 0,
+        }
+    }
+
     /// Record a message.
     pub fn record(&mut self, at: SimTime, envelope: Envelope) {
+        if self.entries.len() >= self.cap {
+            let drop = self.cap / 2;
+            self.entries.drain(..drop);
+            self.evicted += drop as u64;
+        }
         self.entries.push(TraceEntry { at, envelope });
     }
 
-    /// All entries in record order.
+    /// Retained entries in record order.
     pub fn entries(&self) -> &[TraceEntry] {
         &self.entries
     }
 
-    /// Total messages.
+    /// Retained messages.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// True when nothing was recorded.
+    /// True when nothing is retained.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Entries evicted to honour the retention bound (0 in normal runs).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
     }
 
     /// Messages belonging to one global transaction, as `label@from->to`
@@ -163,5 +200,34 @@ mod tests {
         let text = t.render();
         assert_eq!(text.lines().count(), 3);
         assert!(text.contains("site-0 -> site-1: prepare(G1)"));
+    }
+
+    #[test]
+    fn bounded_trace_evicts_oldest_batch() {
+        let mut t = MessageTrace::bounded(4);
+        for i in 1..=6u64 {
+            t.record(
+                SimTime(i),
+                Envelope::new(
+                    SiteId::CENTRAL,
+                    SiteId::new(1),
+                    Payload::Prepare { gtx: gtx(i) },
+                ),
+            );
+        }
+        // Hitting the cap at entry 5 dropped the oldest half (entries 1–2).
+        assert_eq!(t.evicted(), 2);
+        assert_eq!(t.len(), 4);
+        let first = t.entries().first().unwrap().at;
+        assert_eq!(first, SimTime(3), "oldest retained entry");
+        assert!(t.labels_for(gtx(1)).is_empty(), "evicted entries are gone");
+        assert_eq!(t.labels_for(gtx(6)), vec!["prepare:0->1"]);
+    }
+
+    #[test]
+    fn default_cap_never_bites_small_traces() {
+        let t = sample();
+        assert_eq!(t.evicted(), 0);
+        assert_eq!(t.len(), 3);
     }
 }

@@ -1,0 +1,121 @@
+//! The shared emission handle every layer carries.
+
+use crate::event::EventKind;
+use crate::log::EventLog;
+use amc_types::{GlobalTxnId, SimTime, SiteId};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct SinkInner {
+    /// The driver's virtual clock, mirrored here so layers without access
+    /// to the event loop stamp events correctly. Microseconds.
+    now: AtomicU64,
+    log: Mutex<EventLog>,
+}
+
+/// A cheap-to-clone handle to one run's [`EventLog`].
+///
+/// Layers store an `ObsSink` unconditionally; the default
+/// ([`ObsSink::disabled`]) holds no buffer and every [`ObsSink::emit`] is a
+/// single branch. The discrete-event driver creates an enabled sink per
+/// run, advances its clock with [`ObsSink::set_now`] as it pops events, and
+/// snapshots the log into the run report at the end.
+#[derive(Debug, Clone, Default)]
+pub struct ObsSink {
+    inner: Option<Arc<SinkInner>>,
+}
+
+impl ObsSink {
+    /// A no-op sink: emissions are discarded.
+    pub fn disabled() -> Self {
+        ObsSink { inner: None }
+    }
+
+    /// An active sink whose ring buffer holds at most `cap` events.
+    pub fn enabled(cap: usize) -> Self {
+        ObsSink {
+            inner: Some(Arc::new(SinkInner {
+                now: AtomicU64::new(0),
+                log: Mutex::new(EventLog::new(cap)),
+            })),
+        }
+    }
+
+    /// Whether emissions are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Advance the mirrored virtual clock (driver only).
+    pub fn set_now(&self, at: SimTime) {
+        if let Some(inner) = &self.inner {
+            inner.now.store(at.micros(), Ordering::Relaxed);
+        }
+    }
+
+    /// The mirrored virtual clock.
+    pub fn now(&self) -> SimTime {
+        match &self.inner {
+            Some(inner) => SimTime(inner.now.load(Ordering::Relaxed)),
+            None => SimTime::ZERO,
+        }
+    }
+
+    /// Record one event, stamped with the mirrored clock.
+    pub fn emit(&self, txn: Option<GlobalTxnId>, site: SiteId, kind: EventKind) {
+        if let Some(inner) = &self.inner {
+            let at = SimTime(inner.now.load(Ordering::Relaxed));
+            inner.log.lock().push(at, txn, site, kind);
+        }
+    }
+
+    /// Clone the current log contents (the run report's snapshot).
+    pub fn snapshot(&self) -> EventLog {
+        match &self.inner {
+            Some(inner) => inner.log.lock().clone(),
+            None => EventLog::new(1),
+        }
+    }
+
+    /// Run `f` against the live log; `None` when disabled.
+    pub fn with_log<R>(&self, f: impl FnOnce(&EventLog) -> R) -> Option<R> {
+        self.inner.as_ref().map(|inner| f(&inner.log.lock()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn disabled_sink_discards() {
+        let sink = ObsSink::disabled();
+        sink.emit(None, SiteId::new(1), EventKind::Restart);
+        assert!(!sink.is_enabled());
+        assert!(sink.snapshot().is_empty());
+        assert_eq!(sink.with_log(|l| l.len()), None);
+    }
+
+    #[test]
+    fn enabled_sink_stamps_with_mirrored_clock() {
+        let sink = ObsSink::enabled(16);
+        sink.set_now(SimTime(250));
+        sink.emit(None, SiteId::new(2), EventKind::Crash { torn: false });
+        sink.set_now(SimTime(900));
+        sink.emit(None, SiteId::new(2), EventKind::Restart);
+        let log = sink.snapshot();
+        let at: Vec<SimTime> = log.events().map(|e| e.at).collect();
+        assert_eq!(at, vec![SimTime(250), SimTime(900)]);
+    }
+
+    #[test]
+    fn clones_share_one_log() {
+        let sink = ObsSink::enabled(16);
+        let clone = sink.clone();
+        clone.emit(None, SiteId::new(1), EventKind::Restart);
+        assert_eq!(sink.snapshot().len(), 1);
+    }
+}

@@ -9,7 +9,8 @@
 //! protocol, cf. [ML 83] in the paper's related work).
 
 use crate::record::LogRecord;
-use amc_types::{AmcResult, Lsn};
+use amc_obs::{EventKind, ObsSink};
+use amc_types::{AmcResult, Lsn, SiteId};
 
 /// Log I/O accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -34,6 +35,10 @@ pub struct LogManager {
     /// Records reclaimed from the front (see [`LogManager::truncate_before`]).
     truncated: u64,
     stats: LogStats,
+    /// Observability sink; disabled (free) unless a driver attaches one.
+    obs: ObsSink,
+    /// The site this log belongs to, for event attribution.
+    obs_site: Option<SiteId>,
 }
 
 impl LogManager {
@@ -65,11 +70,28 @@ impl LogManager {
             return;
         }
         self.stats.forces += 1;
+        let records = self.tail.len() as u64;
+        let mut bytes = 0u64;
         for frame in self.tail.drain(..) {
             self.stats.stable_records += 1;
             self.stats.stable_bytes += frame.len() as u64;
+            bytes += frame.len() as u64;
             self.stable.push(frame);
         }
+        if self.obs.is_enabled() {
+            self.obs.emit(
+                None,
+                self.obs_site.unwrap_or(SiteId::new(0)),
+                EventKind::LogForce { records, bytes },
+            );
+        }
+    }
+
+    /// Attach an observability sink; subsequent [`LogManager::force`] calls
+    /// emit [`EventKind::LogForce`] attributed to `site`.
+    pub fn attach_obs(&mut self, sink: ObsSink, site: SiteId) {
+        self.obs = sink;
+        self.obs_site = Some(site);
     }
 
     /// Append and immediately force — the commit-record fast path.
@@ -436,6 +458,26 @@ mod tests {
         // Everything fit; no frame was left to tear.
         assert_eq!(log.stable_records().unwrap().len(), 1);
         assert!(!log.truncate_torn_tail().unwrap());
+    }
+
+    #[test]
+    fn attached_obs_sees_acknowledged_forces_only() {
+        let sink = amc_obs::ObsSink::enabled(16);
+        let mut log = LogManager::new();
+        log.attach_obs(sink.clone(), SiteId::new(3));
+        log.append_forced(&begin(1));
+        log.force(); // empty tail: no force, no event
+        log.append(&begin(2));
+        log.crash_during_force(1, false); // unacknowledged: no event
+        let snap = sink.snapshot();
+        assert_eq!(snap.len(), 1);
+        let e = snap.events().next().unwrap();
+        assert_eq!(e.site, SiteId::new(3));
+        assert!(
+            matches!(e.kind, EventKind::LogForce { records: 1, .. }),
+            "{:?}",
+            e.kind
+        );
     }
 
     #[test]

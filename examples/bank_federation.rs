@@ -121,10 +121,10 @@ fn main() {
             "{:<14} engines {:<12} {:>7.0} txn/s  {:>4} commits  {:>3} intended aborts  L0 hold {:>6.2} ms",
             protocol.label(),
             engines,
-            metrics.throughput(),
+            metrics.throughput().unwrap_or(0.0),
             metrics.committed,
             metrics.aborted_intended,
-            metrics.mean_l0_hold_ms(),
+            metrics.mean_l0_hold_ms().unwrap_or(0.0),
         );
 
         // Transfers are pure increments: the total must be conserved even

@@ -73,7 +73,7 @@ fn main() {
         println!(
             "{:<14} {:>7.0} orders/s  {:>4} filled  {:>3} rejected  undo-restocks {:>3}  min stock {:>3}",
             protocol.label(),
-            metrics.throughput(),
+            metrics.throughput().unwrap_or(0.0),
             metrics.committed,
             metrics.aborted_intended,
             metrics.undo_runs,
