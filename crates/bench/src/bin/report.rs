@@ -126,4 +126,14 @@ fn main() {
         }
         println!();
     }
+
+    if wants("e9") {
+        let thread_counts = [1usize, 2, 4, 8];
+        let rows = e9_threaded::run(if quick { 60 } else { 200 }, &thread_counts);
+        print!("{}", e9_threaded::table(&rows).render());
+        for v in e9_threaded::verdicts(&rows) {
+            println!("{v}");
+        }
+        println!();
+    }
 }

@@ -7,3 +7,4 @@ pub mod e4_complexity;
 pub mod e5_crash;
 pub mod e6_correctness;
 pub mod e7_ablation;
+pub mod e9_threaded;

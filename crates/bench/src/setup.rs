@@ -4,6 +4,7 @@ use amc_core::{Federation, FederationConfig, ProtocolKind};
 use amc_engine::TplConfig;
 use amc_mlt::ConflictPolicy;
 use amc_types::{Operation, SiteId};
+use amc_wal::GroupCommitConfig;
 use amc_workload::{GlobalProgram, WorkloadGen, WorkloadSpec};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -33,11 +34,22 @@ pub fn build_federation(
         // Local work is not free in 1991: ~50 µs per operation, so a
         // repeated execution (redo) has a visible cost.
         op_service_time: Duration::from_micros(50),
+        // Commit-record forces cost a modelled ~0.5 ms of "disk" (a 1991
+        // fsync is not free either), and leaders linger briefly so
+        // concurrent committers share one force — the group-commit
+        // amortization E9 measures.
+        group_commit: GroupCommitConfig {
+            force_latency: Duration::from_micros(500),
+            max_wait: Duration::from_micros(200),
+            ..GroupCommitConfig::default()
+        },
     };
     cfg.l1_timeout = Duration::from_millis(500);
-    // One coordinator<->site round trip costs ~0.3 ms — the 1991-scale
-    // ratio of communication to local work that makes lock tenure matter.
-    cfg.message_delay = Duration::from_micros(300);
+    // One coordinator<->site exchange costs ~0.15 ms *per leg* (the delay
+    // applies to the request and the reply symmetrically, so a round trip
+    // is ~0.3 ms) — the 1991-scale ratio of communication to local work
+    // that makes lock tenure matter.
+    cfg.message_delay = Duration::from_micros(150);
     let mut fed = Federation::new(cfg);
     // Benchmarks skip the oracle bookkeeping; correctness runs (E6)
     // re-enable it explicitly.

@@ -94,14 +94,16 @@ impl FederationConfig {
                         // may *use* prepare is decided by the protocol
                         // itself. Modelling fidelity: under the two portable
                         // protocols, hand out the sealed interface only.
-                        let engine = Arc::new(TwoPLEngine::new(self.tpl.clone()));
+                        let engine = Arc::new(TwoPLEngine::new_at(self.tpl.clone(), site));
                         if self.protocol == ProtocolKind::TwoPhaseCommit {
                             EngineHandle::Preparable(engine)
                         } else {
                             EngineHandle::Plain(engine)
                         }
                     }
-                    EngineKind::Occ => EngineHandle::Plain(Arc::new(OccEngine::with_defaults())),
+                    EngineKind::Occ => {
+                        EngineHandle::Plain(Arc::new(OccEngine::with_defaults_at(site)))
+                    }
                 };
                 Arc::new(LocalCommManager::new(site, handle))
             })

@@ -173,6 +173,8 @@ impl Federation {
             let s = m.handle().engine().log_stats();
             total.appends += s.appends;
             total.forces += s.forces;
+            total.group_forces += s.group_forces;
+            total.batched_commits += s.batched_commits;
             total.stable_records += s.stable_records;
             total.stable_bytes += s.stable_bytes;
         }
@@ -205,6 +207,7 @@ impl Federation {
     fn dispatch(&self, site: SiteId, payload: Payload) -> AmcResult<Payload> {
         let manager = self.managers.get(&site).ok_or(AmcError::SiteDown(site))?;
         self.record_envelope(SiteId::CENTRAL, site, &payload);
+        // Request leg.
         if !self.cfg.message_delay.is_zero() {
             std::thread::sleep(self.cfg.message_delay);
         }
@@ -218,6 +221,11 @@ impl Federation {
                 return Err(AmcError::Protocol("central received its own reply".into()))
             }
         };
+        // Reply leg: the model charges both directions of the exchange, not
+        // just the request (a `messages` count of n means n modelled hops).
+        if !self.cfg.message_delay.is_zero() {
+            std::thread::sleep(self.cfg.message_delay);
+        }
         self.record_envelope(site, SiteId::CENTRAL, &reply);
         Ok(reply)
     }
@@ -398,7 +406,14 @@ impl Federation {
         threads: usize,
     ) -> RunMetrics {
         let mut metrics = RunMetrics::new(self.cfg.protocol);
-        let queue = Arc::new(Mutex::new(programs.into_iter().collect::<Vec<_>>()));
+        // FIFO: workers take programs in submission order (a `Vec::pop`
+        // here once drained the batch back-to-front, starving early
+        // submissions under bounded drivers).
+        let queue = Arc::new(Mutex::new(
+            programs
+                .into_iter()
+                .collect::<std::collections::VecDeque<_>>(),
+        ));
         let results: Arc<Mutex<Vec<(TxnReport, bool)>>> = Arc::new(Mutex::new(Vec::new()));
         let start = Instant::now();
         std::thread::scope(|scope| {
@@ -407,7 +422,7 @@ impl Federation {
                 let queue = Arc::clone(&queue);
                 let results = Arc::clone(&results);
                 scope.spawn(move || loop {
-                    let Some((program, intends_abort)) = queue.lock().pop() else {
+                    let Some((program, intends_abort)) = queue.lock().pop_front() else {
                         return;
                     };
                     let mut attempts = 0;
@@ -463,6 +478,8 @@ impl Federation {
         let log = self.log_stats();
         metrics.log_forces = log.forces;
         metrics.log_bytes = log.stable_bytes;
+        metrics.group_forces = log.group_forces;
+        metrics.batched_commits = log.batched_commits;
         metrics
     }
 }
@@ -629,6 +646,66 @@ mod tests {
         let metrics = fed.run_concurrent(programs, 8);
         assert_eq!(metrics.committed, 20);
         assert_eq!(metrics.l1_rejections, 0, "increments never conflict at L1");
+    }
+
+    #[test]
+    fn run_concurrent_drains_programs_in_submission_order() {
+        // Regression: the work queue was drained LIFO (`Vec::pop`), so the
+        // last-submitted program ran first. With one worker thread the
+        // execution order is exactly the drain order; make each program
+        // overwrite the same object and require the *last submitted* write
+        // to be the survivor.
+        let fed = loaded(ProtocolKind::CommitBefore, 1);
+        let n = 12i64;
+        let programs: Vec<(BTreeMap<SiteId, Vec<Operation>>, bool)> = (0..n)
+            .map(|i| {
+                (
+                    BTreeMap::from([(
+                        site(1),
+                        vec![Operation::Write {
+                            obj: obj(1, 0),
+                            value: v(1000 + i),
+                        }],
+                    )]),
+                    false,
+                )
+            })
+            .collect();
+        let metrics = fed.run_concurrent(programs, 1);
+        assert_eq!(metrics.committed, n as u64);
+        assert_eq!(
+            fed.dumps().unwrap()[&site(1)][&obj(1, 0)],
+            v(1000 + n - 1),
+            "FIFO: the last-submitted write must win"
+        );
+    }
+
+    #[test]
+    fn message_delay_applies_to_both_legs() {
+        // Regression: only the request leg slept, so a transaction of n
+        // modelled hops cost n/2 delays. Every hop must pay.
+        let delay = Duration::from_millis(4);
+        let mut cfg = FederationConfig::uniform(1, ProtocolKind::CommitBefore);
+        cfg.message_delay = delay;
+        let fed = Federation::new(cfg);
+        fed.load_site(site(1), &[(obj(1, 0), v(100))]).unwrap();
+        let report = fed
+            .run_transaction(&BTreeMap::from([(
+                site(1),
+                vec![Operation::Increment {
+                    obj: obj(1, 0),
+                    delta: 1,
+                }],
+            )]))
+            .unwrap();
+        assert_eq!(report.outcome, TxnOutcome::Committed);
+        assert!(
+            report.latency >= delay * report.messages as u32,
+            "latency {:?} must cover {} hops × {:?}",
+            report.latency,
+            report.messages,
+            delay
+        );
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub struct RunMetrics {
     pub log_forces: u64,
     /// Durable log bytes across all engines.
     pub log_bytes: u64,
+    /// Physical forces issued by the group-commit leaders (E9).
+    pub group_forces: u64,
+    /// Commit/prepare records acknowledged through group-commit batches.
+    pub batched_commits: u64,
 }
 
 impl RunMetrics {
@@ -71,6 +75,8 @@ impl RunMetrics {
             pre_vote_retries: 0,
             log_forces: 0,
             log_bytes: 0,
+            group_forces: 0,
+            batched_commits: 0,
         }
     }
 
@@ -128,6 +134,17 @@ impl RunMetrics {
             return None;
         }
         Some(self.messages as f64 / self.committed as f64)
+    }
+
+    /// Physical log forces per durably acknowledged commit/prepare record
+    /// (E9's headline series: 1.0 when every record pays its own force,
+    /// below 1 once group commit batches). `None` when no record was
+    /// acknowledged through the durable path.
+    pub fn forces_per_commit(&self) -> Option<f64> {
+        if self.batched_commits == 0 {
+            return None;
+        }
+        Some(self.log_forces as f64 / self.batched_commits as f64)
     }
 
     /// Fraction of attempts that globally aborted; `None` when nothing ran.

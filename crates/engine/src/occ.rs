@@ -14,6 +14,7 @@
 
 use crate::api::{EngineStats, LocalEngine, RecoveryReport};
 use amc_storage::{PageStore, StableStorage};
+use amc_types::SiteId;
 use amc_types::{
     AbortReason, AmcError, AmcResult, LocalRunState, LocalTxnId, ObjectId, OpResult, Operation,
     Value,
@@ -21,6 +22,7 @@ use amc_types::{
 use amc_wal::{LogManager, LogRecord};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Per-transaction private workspace.
 #[derive(Debug, Default)]
@@ -47,12 +49,15 @@ struct Inner {
 /// An optimistic local database engine.
 pub struct OccEngine {
     inner: Mutex<Inner>,
+    /// The site this engine serves, carried in `SiteDown` errors so report
+    /// tables attribute failures to the real site (0 = unattached).
+    site: AtomicU32,
 }
 
 impl OccEngine {
     /// A fresh engine with `buckets` hash buckets and `pool_frames` buffer
-    /// frames.
-    pub fn new(buckets: u32, pool_frames: usize) -> Self {
+    /// frames, serving `site`.
+    pub fn new_at(buckets: u32, pool_frames: usize, site: SiteId) -> Self {
         let store = PageStore::open(
             StableStorage::new(buckets as usize + 8),
             buckets,
@@ -71,12 +76,27 @@ impl OccEngine {
                 up: true,
                 stats: EngineStats::default(),
             }),
+            site: AtomicU32::new(site.raw()),
         }
+    }
+
+    /// A fresh engine not yet attributed to a site.
+    pub fn new(buckets: u32, pool_frames: usize) -> Self {
+        Self::new_at(buckets, pool_frames, SiteId::new(0))
     }
 
     /// Default sizing.
     pub fn with_defaults() -> Self {
         Self::new(64, 128)
+    }
+
+    /// Default sizing, serving `site`.
+    pub fn with_defaults_at(site: SiteId) -> Self {
+        Self::new_at(64, 128, site)
+    }
+
+    fn site_down(&self) -> AmcError {
+        AmcError::SiteDown(SiteId::new(self.site.load(Ordering::Relaxed)))
     }
 
     /// Pre-load committed state (test/workload setup).
@@ -137,7 +157,7 @@ impl LocalEngine for OccEngine {
     fn begin(&self) -> AmcResult<LocalTxnId> {
         let mut inner = self.inner.lock();
         if !inner.up {
-            return Err(AmcError::SiteDown(amc_types::SiteId::new(u32::MAX)));
+            return Err(self.site_down());
         }
         let txn = LocalTxnId::new(inner.next_txn);
         inner.next_txn += 1;
@@ -149,7 +169,7 @@ impl LocalEngine for OccEngine {
     fn execute(&self, txn: LocalTxnId, op: &Operation) -> AmcResult<OpResult> {
         let mut inner = self.inner.lock();
         if !inner.up {
-            return Err(AmcError::SiteDown(amc_types::SiteId::new(u32::MAX)));
+            return Err(self.site_down());
         }
         if !inner.active.contains_key(&txn) {
             return Err(AmcError::UnknownTxn);
@@ -212,7 +232,7 @@ impl LocalEngine for OccEngine {
     fn commit(&self, txn: LocalTxnId) -> AmcResult<()> {
         let mut inner = self.inner.lock();
         if !inner.up {
-            return Err(AmcError::SiteDown(amc_types::SiteId::new(u32::MAX)));
+            return Err(self.site_down());
         }
         let Some(ctx) = inner.active.remove(&txn) else {
             return Err(AmcError::UnknownTxn);
@@ -260,7 +280,7 @@ impl LocalEngine for OccEngine {
     fn abort(&self, txn: LocalTxnId, reason: AbortReason) -> AmcResult<()> {
         let mut inner = self.inner.lock();
         if !inner.up {
-            return Err(AmcError::SiteDown(amc_types::SiteId::new(u32::MAX)));
+            return Err(self.site_down());
         }
         if inner.active.remove(&txn).is_none() {
             return Err(AmcError::UnknownTxn);

@@ -11,20 +11,28 @@
 //! Fig. 8 scenario real — two different objects on the same page conflict at
 //! L0 even when their L1 operations commute.
 //!
-//! Lock ordering: the state mutex is *never* held across a blocking lock
-//! acquisition; `execute` computes the target page, drops the mutex,
-//! acquires the page lock, then re-enters the mutex to apply the change.
+//! Synchronization: the engine has **no** single state mutex. Each component
+//! carries its own — the transaction table ([`TxnTable`]), the buffer pool /
+//! page store, the WAL (behind [`GroupCommitter`]), and the striped page
+//! lock manager — so lock waits, modelled op service time, and commit-record
+//! forces no longer serialize unrelated transactions (E9 measures exactly
+//! this). Internal lock order: `txns` → `store` → `wal`; page locks are
+//! acquired while holding none of the three. Strict 2PL is what keeps the
+//! out-of-mutex WAL appends sound: conflicting updates are ordered by their
+//! page lock, which is held past the append, so the log orders every
+//! conflicting pair exactly as the store applied them.
 
 use crate::api::{EngineStats, LocalEngine, PreparableEngine, RecoveryReport};
 use amc_lock::{blocking::AcquireResult, BlockingLockManager, PageMode};
 use amc_storage::{PageStore, StableStorage};
 use amc_types::{
     AbortReason, AmcError, AmcResult, LocalRunState, LocalTxnId, ObjectId, OpResult, Operation,
-    PageId, Value,
+    PageId, SiteId, Value,
 };
-use amc_wal::{LogManager, LogRecord};
+use amc_wal::{GroupCommitConfig, GroupCommitter, LogManager, LogRecord};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Duration;
 
 /// Construction parameters for a [`TwoPLEngine`].
@@ -44,6 +52,10 @@ pub struct TplConfig {
     /// ratio between local work and messaging, so that *re-executing* a
     /// transaction (the §3.2 redo) costs what the paper assumes it costs.
     pub op_service_time: Duration,
+    /// Group-commit batching for the WAL. The default (zero force latency,
+    /// zero linger) degenerates to `append_forced` semantics, so the
+    /// deterministic simulator and single-threaded tests are unaffected.
+    pub group_commit: GroupCommitConfig,
 }
 
 impl Default for TplConfig {
@@ -54,6 +66,7 @@ impl Default for TplConfig {
             lock_timeout: Duration::from_secs(2),
             deadlock_check: Duration::from_millis(2),
             op_service_time: Duration::ZERO,
+            group_commit: GroupCommitConfig::default(),
         }
     }
 }
@@ -66,9 +79,9 @@ struct TxnCtx {
     undo: Vec<(ObjectId, Option<Value>, Option<Value>)>,
 }
 
-struct Inner {
-    store: PageStore,
-    log: LogManager,
+/// Transaction metadata, liveness flag and counters — one of the engine's
+/// independently locked components.
+struct TxnTable {
     active: HashMap<LocalTxnId, TxnCtx>,
     terminated: HashMap<LocalTxnId, LocalRunState>,
     next_txn: u64,
@@ -78,14 +91,19 @@ struct Inner {
 
 /// A strict-2PL local database engine.
 pub struct TwoPLEngine {
-    inner: Mutex<Inner>,
+    txns: Mutex<TxnTable>,
+    store: Mutex<PageStore>,
+    wal: GroupCommitter,
     locks: BlockingLockManager<PageId, LocalTxnId, PageMode>,
     cfg: TplConfig,
+    /// The site this engine serves, carried in `SiteDown` errors so report
+    /// tables attribute failures to the real site (0 = unattached).
+    site: AtomicU32,
 }
 
 impl TwoPLEngine {
-    /// A fresh engine over a fresh simulated disk.
-    pub fn new(cfg: TplConfig) -> Self {
+    /// A fresh engine over a fresh simulated disk, serving `site`.
+    pub fn new_at(cfg: TplConfig, site: SiteId) -> Self {
         let store = PageStore::open(
             StableStorage::new(cfg.buckets as usize + 8),
             cfg.buckets,
@@ -93,18 +111,24 @@ impl TwoPLEngine {
         )
         .expect("fresh store opens");
         TwoPLEngine {
-            inner: Mutex::new(Inner {
-                store,
-                log: LogManager::new(),
+            txns: Mutex::new(TxnTable {
                 active: HashMap::new(),
                 terminated: HashMap::new(),
                 next_txn: 1,
                 up: true,
                 stats: EngineStats::default(),
             }),
+            store: Mutex::new(store),
+            wal: GroupCommitter::new(LogManager::new(), cfg.group_commit),
             locks: BlockingLockManager::new(cfg.deadlock_check),
             cfg,
+            site: AtomicU32::new(site.raw()),
         }
+    }
+
+    /// A fresh engine not yet attributed to a site.
+    pub fn new(cfg: TplConfig) -> Self {
+        Self::new_at(cfg, SiteId::new(0))
     }
 
     /// Convenience: default configuration.
@@ -112,14 +136,23 @@ impl TwoPLEngine {
         Self::new(TplConfig::default())
     }
 
+    /// The site this engine reports in `SiteDown` errors.
+    fn site(&self) -> SiteId {
+        SiteId::new(self.site.load(Ordering::Relaxed))
+    }
+
+    fn site_down(&self) -> AmcError {
+        AmcError::SiteDown(self.site())
+    }
+
     /// Pre-load committed state without going through a transaction (test
     /// and workload setup). Flushes to stable storage.
     pub fn load(&self, data: impl IntoIterator<Item = (ObjectId, Value)>) -> AmcResult<()> {
-        let mut inner = self.inner.lock();
+        let mut store = self.store.lock();
         for (o, v) in data {
-            inner.store.put(o, v)?;
+            store.put(o, v)?;
         }
-        inner.store.flush()
+        store.flush()
     }
 
     /// Apply one operation to the store, returning `(result, before, after)`.
@@ -170,38 +203,46 @@ impl TwoPLEngine {
         }
     }
 
-    /// Roll back and terminate `txn`; must be called *without* the state
-    /// mutex held.
+    /// Roll back and terminate `txn`; must be called *without* any engine
+    /// component mutex held. The transaction's page locks stay held for the
+    /// whole rollback (strict 2PL), so nobody observes intermediate undo
+    /// state even though the component mutexes interleave.
     fn abort_internal(&self, txn: LocalTxnId, reason: AbortReason) -> AmcResult<()> {
-        {
-            let mut inner = self.inner.lock();
-            let Some(ctx) = inner.active.remove(&txn) else {
+        let ctx = {
+            let mut txns = self.txns.lock();
+            let Some(ctx) = txns.active.remove(&txn) else {
                 return Err(AmcError::UnknownTxn);
             };
-            // Undo in reverse, logging compensations so forward replay of
-            // this (finished) transaction nets out.
-            let undo = ctx.undo;
-            for &(obj, before, after) in undo.iter().rev() {
+            ctx
+        };
+        // Undo in reverse, logging compensations so forward replay of this
+        // (finished) transaction nets out.
+        {
+            let mut store = self.store.lock();
+            for &(obj, before, after) in ctx.undo.iter().rev() {
                 match before {
                     Some(v) => {
-                        inner.store.put(obj, v)?;
+                        store.put(obj, v)?;
                     }
                     None => {
-                        inner.store.remove(obj)?;
+                        store.remove(obj)?;
                     }
                 }
-                inner.log.append(&LogRecord::Update {
+                self.wal.append(&LogRecord::Update {
                     txn,
                     obj,
                     before: after,
                     after: before,
                 });
             }
-            inner.log.append(&LogRecord::Abort { txn });
-            inner.terminated.insert(txn, LocalRunState::Aborted);
-            inner.stats.aborts += 1;
+        }
+        self.wal.append(&LogRecord::Abort { txn });
+        {
+            let mut txns = self.txns.lock();
+            txns.terminated.insert(txn, LocalRunState::Aborted);
+            txns.stats.aborts += 1;
             if reason.is_erroneous() {
-                inner.stats.erroneous_aborts += 1;
+                txns.stats.erroneous_aborts += 1;
             }
         }
         self.locks.release_txn(txn);
@@ -212,22 +253,24 @@ impl TwoPLEngine {
     /// crash strikes mid-`force()`, persisting part of the log tail.
     fn crash_impl(&self, partial: Option<(u32, bool)>) {
         let victims: Vec<LocalTxnId> = {
-            let mut inner = self.inner.lock();
-            inner.up = false;
-            inner.store.crash();
+            let mut txns = self.txns.lock();
+            txns.up = false;
+            self.store.lock().crash();
+            // Waking parked committers (epoch bump) happens here, while the
+            // liveness flag is already down — they fail with SiteDown.
             match partial {
-                Some((keep, torn)) => inner.log.crash_during_force(keep as usize, torn),
-                None => inner.log.crash(),
+                Some((keep, torn)) => self.wal.crash_during_force(keep as usize, torn),
+                None => self.wal.crash(),
             }
-            let victims: Vec<LocalTxnId> = inner.active.keys().copied().collect();
+            let victims: Vec<LocalTxnId> = txns.active.keys().copied().collect();
             for t in &victims {
-                let ctx = inner.active.remove(t).expect("listed");
+                let ctx = txns.active.remove(t).expect("listed");
                 // Prepared transactions stay undecided: recovery will
                 // resurrect them from their forced Prepare records.
                 if ctx.state != LocalRunState::Ready {
-                    inner.terminated.insert(*t, LocalRunState::Aborted);
-                    inner.stats.aborts += 1;
-                    inner.stats.erroneous_aborts += 1;
+                    txns.terminated.insert(*t, LocalRunState::Aborted);
+                    txns.stats.aborts += 1;
+                    txns.stats.erroneous_aborts += 1;
                 }
             }
             victims
@@ -256,48 +299,48 @@ impl TwoPLEngine {
         amc_storage::disk::DiskStats,
         amc_storage::buffer::BufferStats,
     ) {
-        self.inner.lock().store.stats()
+        self.store.lock().stats()
     }
 
     /// Reset every statistics counter.
     pub fn reset_stats(&self) {
-        let mut inner = self.inner.lock();
-        inner.stats = EngineStats::default();
-        inner.log.reset_stats();
-        inner.store.reset_stats();
-        drop(inner);
+        self.txns.lock().stats = EngineStats::default();
+        self.wal.with_log(|log| log.reset_stats());
+        self.store.lock().reset_stats();
         self.locks.reset_stats();
     }
 }
 
 impl LocalEngine for TwoPLEngine {
     fn begin(&self) -> AmcResult<LocalTxnId> {
-        let mut inner = self.inner.lock();
-        if !inner.up {
-            return Err(AmcError::SiteDown(amc_types::SiteId::new(u32::MAX)));
+        let mut txns = self.txns.lock();
+        if !txns.up {
+            return Err(self.site_down());
         }
-        let txn = LocalTxnId::new(inner.next_txn);
-        inner.next_txn += 1;
-        inner.active.insert(
+        let txn = LocalTxnId::new(txns.next_txn);
+        txns.next_txn += 1;
+        txns.active.insert(
             txn,
             TxnCtx {
                 state: LocalRunState::Running,
                 undo: Vec::new(),
             },
         );
-        inner.log.append(&LogRecord::Begin { txn });
-        inner.stats.begins += 1;
+        txns.stats.begins += 1;
+        // `txns` → `wal` nesting keeps the Begin record atomic with the
+        // table insert (a crash can't separate them).
+        self.wal.append(&LogRecord::Begin { txn });
         Ok(txn)
     }
 
     fn execute(&self, txn: LocalTxnId, op: &Operation) -> AmcResult<OpResult> {
         // Phase 1: validate the transaction and find the locking granule.
-        let page: PageId = {
-            let inner = self.inner.lock();
-            if !inner.up {
-                return Err(AmcError::SiteDown(amc_types::SiteId::new(u32::MAX)));
+        {
+            let txns = self.txns.lock();
+            if !txns.up {
+                return Err(self.site_down());
             }
-            match inner.active.get(&txn) {
+            match txns.active.get(&txn) {
                 Some(ctx) if ctx.state == LocalRunState::Running => {}
                 Some(ctx) => {
                     return Err(AmcError::InvalidState(format!(
@@ -307,16 +350,15 @@ impl LocalEngine for TwoPLEngine {
                 }
                 None => return Err(AmcError::UnknownTxn),
             }
-            inner.store.page_of(op.object())
-        };
+        }
+        let page: PageId = self.store.lock().page_of(op.object());
 
-        // Phase 2: block on the page lock with the mutex released.
+        // Phase 2: block on the page lock with no component mutex held.
         let mode = if op.is_update() {
             PageMode::Exclusive
         } else {
             PageMode::Shared
         };
-        let already_waited = self.locks.stats().waits;
         match self.locks.acquire(txn, page, mode, self.cfg.lock_timeout) {
             AcquireResult::Granted => {}
             AcquireResult::Deadlock => {
@@ -328,63 +370,80 @@ impl LocalEngine for TwoPLEngine {
                 return Err(AmcError::Aborted(AbortReason::LockTimeout));
             }
         }
-        let _ = already_waited; // waits are visible via lock_stats()
 
-        // Modelled local work: holds the page lock (acquired above) but not
-        // the state mutex.
+        // Modelled local work: holds the page lock (acquired above), which
+        // serializes only transactions touching this page — not the engine.
         if !self.cfg.op_service_time.is_zero() {
             std::thread::sleep(self.cfg.op_service_time);
         }
 
-        // Phase 3: apply under the mutex.
-        let mut inner = self.inner.lock();
-        if !inner.up {
-            // Crashed while we were waiting for the lock.
-            return Err(AmcError::SiteDown(amc_types::SiteId::new(u32::MAX)));
-        }
-        if !inner.active.contains_key(&txn) {
-            return Err(AmcError::UnknownTxn);
-        }
-        let (result, before, after) = match Self::apply_op(&mut inner.store, op) {
+        // Phase 3: apply to the store, then log + register undo under the
+        // transaction table. The page lock (held past commit) orders every
+        // conflicting pair identically in the store and the log; a crash
+        // between the two phases is driver-initiated and quiesced in both
+        // runtimes, so the store image cannot outlive its log record.
+        let applied = {
+            let mut store = self.store.lock();
+            Self::apply_op(&mut store, op)
+        };
+        let (result, before, after) = match applied {
             Ok(x) => x,
             Err(e) => {
                 // Logical failure (NotFound/AlreadyExists): the transaction
                 // stays running; the caller decides whether to abort. The
                 // page lock is retained (2PL).
-                inner.stats.ops += 1;
+                self.txns.lock().stats.ops += 1;
                 return Err(e);
             }
         };
-        inner.stats.ops += 1;
+        let mut txns = self.txns.lock();
+        if !txns.up {
+            // Crashed while we were applying; the store image is gone too.
+            return Err(self.site_down());
+        }
+        txns.stats.ops += 1;
         if op.is_update() {
-            inner.log.append(&LogRecord::Update {
+            let Some(ctx) = txns.active.get_mut(&txn) else {
+                return Err(AmcError::UnknownTxn);
+            };
+            ctx.undo.push((op.object(), before, after));
+            self.wal.append(&LogRecord::Update {
                 txn,
                 obj: op.object(),
                 before,
                 after,
             });
-            let ctx = inner.active.get_mut(&txn).expect("checked above");
-            ctx.undo.push((op.object(), before, after));
         }
         Ok(result)
     }
 
     fn commit(&self, txn: LocalTxnId) -> AmcResult<()> {
         {
-            let mut inner = self.inner.lock();
-            if !inner.up {
-                return Err(AmcError::SiteDown(amc_types::SiteId::new(u32::MAX)));
+            let txns = self.txns.lock();
+            if !txns.up {
+                return Err(self.site_down());
             }
-            match inner.active.get(&txn) {
-                Some(_) => {}
-                None => return Err(AmcError::UnknownTxn),
+            if !txns.active.contains_key(&txn) {
+                return Err(AmcError::UnknownTxn);
             }
-            // The unmodified engine's atomic running->committed transition:
-            // append + force the commit record, done (§3.1).
-            inner.log.append_forced(&LogRecord::Commit { txn });
-            inner.active.remove(&txn);
-            inner.terminated.insert(txn, LocalRunState::Committed);
-            inner.stats.commits += 1;
+        }
+        // The unmodified engine's atomic running->committed transition:
+        // append + force the commit record (§3.1) — via group commit, with
+        // no component mutex held, so concurrent committers share one force.
+        if !self.wal.append_durable(&LogRecord::Commit { txn }) {
+            // A crash wiped the record before it was forced: the commit
+            // never happened (crash_impl already drained the transaction).
+            return Err(self.site_down());
+        }
+        {
+            let mut txns = self.txns.lock();
+            // The record is durable, so the transaction is committed even
+            // if a crash raced us here and drained `active` already —
+            // recovery will redo it; make the terminal state agree.
+            if txns.active.remove(&txn).is_some() {
+                txns.stats.commits += 1;
+            }
+            txns.terminated.insert(txn, LocalRunState::Committed);
         }
         self.locks.release_txn(txn);
         Ok(())
@@ -392,25 +451,24 @@ impl LocalEngine for TwoPLEngine {
 
     fn abort(&self, txn: LocalTxnId, reason: AbortReason) -> AmcResult<()> {
         {
-            let inner = self.inner.lock();
-            if !inner.up {
-                return Err(AmcError::SiteDown(amc_types::SiteId::new(u32::MAX)));
+            let txns = self.txns.lock();
+            if !txns.up {
+                return Err(self.site_down());
             }
         }
         self.abort_internal(txn, reason)
     }
 
     fn state_of(&self, txn: LocalTxnId) -> Option<LocalRunState> {
-        let inner = self.inner.lock();
-        inner
-            .active
+        let txns = self.txns.lock();
+        txns.active
             .get(&txn)
             .map(|c| c.state)
-            .or_else(|| inner.terminated.get(&txn).copied())
+            .or_else(|| txns.terminated.get(&txn).copied())
     }
 
     fn is_up(&self) -> bool {
-        self.inner.lock().up
+        self.txns.lock().up
     }
 
     fn crash(&self) {
@@ -422,24 +480,28 @@ impl LocalEngine for TwoPLEngine {
     }
 
     fn recover(&self) -> AmcResult<RecoveryReport> {
-        let mut inner = self.inner.lock();
-        if inner.up {
+        // `txns` → `store` → `wal` — the engine-wide lock order; holding
+        // the first two quiesces the engine for the whole replay.
+        let mut txns = self.txns.lock();
+        if txns.up {
             return Err(AmcError::InvalidState("recover on a running site".into()));
         }
+        let mut store = self.store.lock();
         // Replay the durable log into the store.
-        let Inner { store, log, .. } = &mut *inner;
-        let outcome = amc_wal::recover(log, |obj, img| {
-            match img {
-                Some(v) => {
-                    store.put(obj, v)?;
+        let outcome = self.wal.with_log(|log| {
+            amc_wal::recover(log, |obj, img| {
+                match img {
+                    Some(v) => {
+                        store.put(obj, v)?;
+                    }
+                    None => {
+                        store.remove(obj)?;
+                    }
                 }
-                None => {
-                    store.remove(obj)?;
-                }
-            }
-            Ok(())
+                Ok(())
+            })
         })?;
-        inner.store.flush()?;
+        store.flush()?;
 
         let report = RecoveryReport {
             committed: outcome.committed.iter().copied().collect(),
@@ -449,16 +511,16 @@ impl LocalEngine for TwoPLEngine {
 
         // Record losers as aborted.
         for t in &outcome.losers {
-            inner.terminated.insert(*t, LocalRunState::Aborted);
+            txns.terminated.insert(*t, LocalRunState::Aborted);
         }
 
         // Resurrect in-doubt transactions: rebuild their undo lists from the
         // log and re-take exclusive locks on their pages so they stay
         // isolated until the coordinator decides (the blocking 2PC hazard).
-        let records = inner.log.stable_records()?;
+        let records = self.wal.with_log(|log| log.stable_records())?;
         let mut doubt_pages: HashMap<LocalTxnId, Vec<PageId>> = HashMap::new();
         for t in &outcome.in_doubt {
-            inner.active.insert(
+            txns.active.insert(
                 *t,
                 TxnCtx {
                     state: LocalRunState::Ready,
@@ -476,10 +538,9 @@ impl LocalEngine for TwoPLEngine {
             } = r
             {
                 if outcome.in_doubt.contains(txn) {
-                    let page = inner.store.page_of(*obj);
+                    let page = store.page_of(*obj);
                     doubt_pages.entry(*txn).or_default().push(page);
-                    inner
-                        .active
+                    txns.active
                         .get_mut(txn)
                         .expect("inserted above")
                         .undo
@@ -489,10 +550,13 @@ impl LocalEngine for TwoPLEngine {
         }
         // Write a checkpoint: everything replayed is flushed; in-doubt txns
         // remain active across it.
-        let active: Vec<LocalTxnId> = inner.active.keys().copied().collect();
-        inner.log.append_forced(&LogRecord::Checkpoint { active });
-        inner.up = true;
-        drop(inner);
+        let active: Vec<LocalTxnId> = txns.active.keys().copied().collect();
+        self.wal.with_log(|log| {
+            log.append_forced(&LogRecord::Checkpoint { active });
+        });
+        txns.up = true;
+        drop(store);
+        drop(txns);
 
         // Nothing else is running during recovery, so these grants are
         // immediate.
@@ -516,12 +580,11 @@ impl LocalEngine for TwoPLEngine {
     }
 
     fn stats(&self) -> EngineStats {
-        self.inner.lock().stats
+        self.txns.lock().stats
     }
 
     fn dump(&self) -> AmcResult<BTreeMap<ObjectId, Value>> {
-        let mut inner = self.inner.lock();
-        Ok(inner.store.scan()?.into_iter().collect())
+        Ok(self.store.lock().scan()?.into_iter().collect())
     }
 
     fn bulk_load(&self, data: &[(ObjectId, Value)]) -> AmcResult<()> {
@@ -529,32 +592,40 @@ impl LocalEngine for TwoPLEngine {
     }
 
     fn log_stats(&self) -> amc_wal::LogStats {
-        self.inner.lock().log.stats()
+        self.wal.stats()
     }
 
-    fn attach_obs(&self, sink: amc_obs::ObsSink, site: amc_types::SiteId) {
-        self.inner.lock().log.attach_obs(sink, site);
+    fn attach_obs(&self, sink: amc_obs::ObsSink, site: SiteId) {
+        self.site.store(site.raw(), Ordering::Relaxed);
+        self.wal.with_log(|log| log.attach_obs(sink, site));
     }
 }
 
 impl PreparableEngine for TwoPLEngine {
     fn prepare(&self, txn: LocalTxnId) -> AmcResult<()> {
-        let mut inner = self.inner.lock();
-        if !inner.up {
-            return Err(AmcError::SiteDown(amc_types::SiteId::new(u32::MAX)));
+        {
+            let mut txns = self.txns.lock();
+            if !txns.up {
+                return Err(self.site_down());
+            }
+            let Some(ctx) = txns.active.get_mut(&txn) else {
+                return Err(AmcError::UnknownTxn);
+            };
+            if ctx.state != LocalRunState::Running {
+                return Err(AmcError::InvalidState(format!(
+                    "prepare in state {}",
+                    ctx.state
+                )));
+            }
+            ctx.state = LocalRunState::Ready;
         }
-        let Some(ctx) = inner.active.get_mut(&txn) else {
-            return Err(AmcError::UnknownTxn);
-        };
-        if ctx.state != LocalRunState::Running {
-            return Err(AmcError::InvalidState(format!(
-                "prepare in state {}",
-                ctx.state
-            )));
-        }
-        ctx.state = LocalRunState::Ready;
         // The §3.1 contract: all changes durable before answering ready.
-        inner.log.append_forced(&LogRecord::Prepare { txn });
+        // Prepare records ride the same group-commit batches as commits.
+        if !self.wal.append_durable(&LogRecord::Prepare { txn }) {
+            // Crash before the force: the prepare never became durable, so
+            // no vote may be cast (recovery will not resurrect this txn).
+            return Err(self.site_down());
+        }
         Ok(())
     }
 }
@@ -897,10 +968,10 @@ mod tests {
         });
         // Find two objects on different pages.
         let (a, b) = {
-            let inner = e.inner.lock();
-            let pa = inner.store.page_of(obj(0));
+            let store = e.store.lock();
+            let pa = store.page_of(obj(0));
             let other = (1..32)
-                .find(|i| inner.store.page_of(obj(*i)) != pa)
+                .find(|i| store.page_of(obj(*i)) != pa)
                 .expect("64 buckets, 32 objects: some differ");
             (obj(0), obj(other))
         };
@@ -1013,6 +1084,78 @@ mod tests {
         assert!(matches!(e.begin(), Err(AmcError::SiteDown(_))));
         e.recover().unwrap();
         assert!(e.begin().is_ok());
+    }
+
+    #[test]
+    fn crashed_site_reports_its_real_id() {
+        // Regression: the engine used to report SiteDown(u32::MAX), a
+        // sentinel that leaked into error attribution and report tables.
+        let e = TwoPLEngine::new_at(TplConfig::default(), SiteId::new(7));
+        e.crash();
+        match e.begin() {
+            Err(AmcError::SiteDown(s)) => assert_eq!(s, SiteId::new(7)),
+            other => panic!("expected SiteDown(site-7), got {other:?}"),
+        }
+        match e.commit(LocalTxnId::new(1)) {
+            Err(AmcError::SiteDown(s)) => assert_eq!(s, SiteId::new(7)),
+            other => panic!("expected SiteDown(site-7), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_commits_share_group_forces() {
+        // With a modelled force latency, committers arriving while the
+        // leader's force is in flight must batch behind the next one.
+        let cfg = TplConfig {
+            group_commit: GroupCommitConfig {
+                force_latency: Duration::from_millis(2),
+                ..GroupCommitConfig::default()
+            },
+            ..TplConfig::default()
+        };
+        let e = std::sync::Arc::new(TwoPLEngine::new(cfg));
+        e.load((0..8).map(|i| (obj(i), v(0)))).unwrap();
+        let threads = 8u64;
+        let per = 5u64;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let e = e.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..per {
+                    let tx = e.begin().unwrap();
+                    match e.execute(
+                        tx,
+                        &Op::Increment {
+                            obj: obj(t),
+                            delta: 1,
+                        },
+                    ) {
+                        Ok(_) => e.commit(tx).unwrap(),
+                        Err(AmcError::Aborted(_)) => {} // page collision victim
+                        Err(other) => panic!("unexpected {other}"),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = e.log_stats();
+        assert!(
+            s.batched_commits > s.group_forces,
+            "expected batching: {} commits acked over {} group forces",
+            s.batched_commits,
+            s.group_forces
+        );
+        // Every acknowledged commit is durable.
+        e.crash();
+        let report = e.recover().unwrap();
+        let total: i64 = e.dump().unwrap().values().map(|val| val.counter).sum();
+        assert_eq!(
+            total,
+            e.stats().commits as i64,
+            "committed increments survive: {report:?}"
+        );
     }
 
     #[test]

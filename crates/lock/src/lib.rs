@@ -24,4 +24,4 @@ pub mod table;
 
 pub use blocking::BlockingLockManager;
 pub use modes::{LockMode, PageMode, SemanticMode};
-pub use table::{LockOutcome, LockStats, LockTable};
+pub use table::{victims_from_edges, LockOutcome, LockStats, LockTable};

@@ -292,67 +292,8 @@ where
     /// largest id). The caller must abort the victims — typically via
     /// [`LockTable::release_all`].
     pub fn detect_deadlock_victims(&mut self) -> Vec<T> {
-        let edges = self.wait_for_edges();
-        let mut adj: HashMap<T, Vec<T>> = HashMap::new();
-        for (a, b) in &edges {
-            adj.entry(*a).or_default().push(*b);
-        }
-        // Iterative DFS with colouring; collect one victim per cycle found,
-        // then conceptually remove it and keep scanning (a single pass is
-        // enough for the small graphs the engines produce; callers re-run
-        // detection after aborting victims anyway).
-        let mut victims: HashSet<T> = HashSet::new();
-        let mut colour: HashMap<T, u8> = HashMap::new(); // 1 = on stack, 2 = done
-        let nodes: Vec<T> = {
-            let mut n: Vec<T> = adj.keys().copied().collect();
-            n.sort();
-            n
-        };
-        for start in nodes {
-            if colour.get(&start).copied().unwrap_or(0) != 0 {
-                continue;
-            }
-            // stack of (node, next child index)
-            let mut stack: Vec<(T, usize)> = vec![(start, 0)];
-            colour.insert(start, 1);
-            while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
-                let children = adj.get(&node).cloned().unwrap_or_default();
-                if *idx >= children.len() {
-                    colour.insert(node, 2);
-                    stack.pop();
-                    continue;
-                }
-                let child = children[*idx];
-                *idx += 1;
-                if victims.contains(&child) {
-                    continue; // already scheduled for abort; edge is moot
-                }
-                match colour.get(&child).copied().unwrap_or(0) {
-                    0 => {
-                        colour.insert(child, 1);
-                        stack.push((child, 0));
-                    }
-                    1 => {
-                        // Found a cycle: everything on the stack from child
-                        // to the top participates.
-                        let cycle_start = stack
-                            .iter()
-                            .position(|(n, _)| *n == child)
-                            .expect("on-stack node must be in stack");
-                        let victim = stack[cycle_start..]
-                            .iter()
-                            .map(|(n, _)| *n)
-                            .max()
-                            .expect("cycle is non-empty");
-                        victims.insert(victim);
-                    }
-                    _ => {}
-                }
-            }
-        }
-        self.stats.victims += victims.len() as u64;
-        let mut out: Vec<T> = victims.into_iter().collect();
-        out.sort();
+        let out = victims_from_edges(&self.wait_for_edges());
+        self.stats.victims += out.len() as u64;
         out
     }
 
@@ -382,6 +323,76 @@ where
         }
         Ok(())
     }
+}
+
+/// Pick one victim per cycle (the youngest, i.e. largest id) from a
+/// wait-for edge list. Factored out of [`LockTable::detect_deadlock_victims`]
+/// so the striped blocking manager can run detection over a **merged**
+/// snapshot of several tables' edges (a cycle can span stripes).
+pub fn victims_from_edges<T>(edges: &[(T, T)]) -> Vec<T>
+where
+    T: Copy + Eq + Ord + Hash,
+{
+    let mut adj: HashMap<T, Vec<T>> = HashMap::new();
+    for (a, b) in edges {
+        adj.entry(*a).or_default().push(*b);
+    }
+    // Iterative DFS with colouring; collect one victim per cycle found,
+    // then conceptually remove it and keep scanning (a single pass is
+    // enough for the small graphs the engines produce; callers re-run
+    // detection after aborting victims anyway).
+    let mut victims: HashSet<T> = HashSet::new();
+    let mut colour: HashMap<T, u8> = HashMap::new(); // 1 = on stack, 2 = done
+    let nodes: Vec<T> = {
+        let mut n: Vec<T> = adj.keys().copied().collect();
+        n.sort();
+        n
+    };
+    for start in nodes {
+        if colour.get(&start).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        // stack of (node, next child index)
+        let mut stack: Vec<(T, usize)> = vec![(start, 0)];
+        colour.insert(start, 1);
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            let children = adj.get(&node).cloned().unwrap_or_default();
+            if *idx >= children.len() {
+                colour.insert(node, 2);
+                stack.pop();
+                continue;
+            }
+            let child = children[*idx];
+            *idx += 1;
+            if victims.contains(&child) {
+                continue; // already scheduled for abort; edge is moot
+            }
+            match colour.get(&child).copied().unwrap_or(0) {
+                0 => {
+                    colour.insert(child, 1);
+                    stack.push((child, 0));
+                }
+                1 => {
+                    // Found a cycle: everything on the stack from child
+                    // to the top participates.
+                    let cycle_start = stack
+                        .iter()
+                        .position(|(n, _)| *n == child)
+                        .expect("on-stack node must be in stack");
+                    let victim = stack[cycle_start..]
+                        .iter()
+                        .map(|(n, _)| *n)
+                        .max()
+                        .expect("cycle is non-empty");
+                    victims.insert(victim);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut out: Vec<T> = victims.into_iter().collect();
+    out.sort();
+    out
 }
 
 #[cfg(test)]

@@ -97,6 +97,16 @@ pub enum EventKind {
         /// Bytes made stable by this force.
         bytes: u64,
     },
+    /// A group-commit leader forced the shared tail for a whole batch of
+    /// committers (amortizing one physical force over `commits` acks).
+    GroupForce {
+        /// Commit acknowledgements this force covered.
+        commits: u64,
+        /// Records made stable by this force.
+        records: u64,
+        /// Bytes made stable by this force.
+        bytes: u64,
+    },
     /// One execution attempt of a commit-after redo transaction (§3.2).
     RedoRun {
         /// 1-based attempt number within this repetition chain.
@@ -150,6 +160,7 @@ impl EventKind {
             EventKind::Inquiry { .. } => "inquiry",
             EventKind::Resume { .. } => "resume",
             EventKind::LogForce { .. } => "log-force",
+            EventKind::GroupForce { .. } => "group-force",
             EventKind::RedoRun { .. } => "redo-run",
             EventKind::UndoRun { .. } => "undo-run",
             EventKind::BlockEnter => "block-enter",
@@ -190,6 +201,16 @@ impl fmt::Display for EventKind {
             }
             EventKind::LogForce { records, bytes } => {
                 write!(f, "log-force {records} records / {bytes} bytes")
+            }
+            EventKind::GroupForce {
+                commits,
+                records,
+                bytes,
+            } => {
+                write!(
+                    f,
+                    "group-force {commits} commits / {records} records / {bytes} bytes"
+                )
             }
             EventKind::RedoRun { attempt } => write!(f, "redo-run attempt {attempt}"),
             EventKind::UndoRun { attempt } => write!(f, "undo-run attempt {attempt}"),

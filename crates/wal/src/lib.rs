@@ -26,10 +26,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod group;
 pub mod log;
 pub mod record;
 pub mod recovery;
 
+pub use group::{GroupCommitConfig, GroupCommitter};
 pub use log::{LogManager, LogStats};
 pub use record::LogRecord;
 pub use recovery::{recover, RecoveryOutcome};

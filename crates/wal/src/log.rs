@@ -23,6 +23,12 @@ pub struct LogStats {
     pub stable_records: u64,
     /// Bytes made durable.
     pub stable_bytes: u64,
+    /// Forces issued by a group-commit leader on behalf of a batch.
+    pub group_forces: u64,
+    /// Commit acknowledgements amortized over those group forces. When
+    /// `batched_commits > group_forces`, at least one force carried more
+    /// than one commit — the group-commit win E9 measures.
+    pub batched_commits: u64,
 }
 
 /// An append-only write-ahead log with a volatile tail.
@@ -66,13 +72,23 @@ impl LogManager {
 
     /// Force the whole tail to stable storage.
     pub fn force(&mut self) {
-        if self.tail.is_empty() {
-            return;
+        let head = self.head();
+        self.force_upto(head);
+    }
+
+    /// Force the tail up to (and including) `upto`; later frames stay
+    /// volatile. One physical write — counts as a single force when it
+    /// moves at least one frame. Returns the number of frames forced.
+    pub fn force_upto(&mut self, upto: Lsn) -> u64 {
+        let durable = self.truncated + self.stable.len() as u64;
+        let target = upto.raw().min(self.head().raw());
+        if target <= durable {
+            return 0;
         }
+        let n = (target - durable) as usize;
         self.stats.forces += 1;
-        let records = self.tail.len() as u64;
         let mut bytes = 0u64;
-        for frame in self.tail.drain(..) {
+        for frame in self.tail.drain(..n) {
             self.stats.stable_records += 1;
             self.stats.stable_bytes += frame.len() as u64;
             bytes += frame.len() as u64;
@@ -82,7 +98,32 @@ impl LogManager {
             self.obs.emit(
                 None,
                 self.obs_site.unwrap_or(SiteId::new(0)),
-                EventKind::LogForce { records, bytes },
+                EventKind::LogForce {
+                    records: n as u64,
+                    bytes,
+                },
+            );
+        }
+        n as u64
+    }
+
+    /// Record that a group-commit leader's force covered `commits` commit
+    /// acknowledgements and `records` frames of `bytes` total. Bumps the
+    /// group counters and emits [`EventKind::GroupForce`] when a sink is
+    /// attached (the physical write was already accounted by
+    /// [`LogManager::force_upto`]).
+    pub fn note_group_batch(&mut self, commits: u64, records: u64, bytes: u64) {
+        self.stats.group_forces += 1;
+        self.stats.batched_commits += commits;
+        if self.obs.is_enabled() {
+            self.obs.emit(
+                None,
+                self.obs_site.unwrap_or(SiteId::new(0)),
+                EventKind::GroupForce {
+                    commits,
+                    records,
+                    bytes,
+                },
             );
         }
     }
