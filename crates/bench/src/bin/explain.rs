@@ -16,6 +16,17 @@
 //! the causal chain of the violation: `decide commit` → central `crash` →
 //! `resume (no decision record: presume abort)`.
 //!
+//! Networked runs are explained from an event dump instead of a seed:
+//!
+//! ```text
+//! amc-loadgen --sites ... --events-out /tmp/run.tsv
+//! cargo run -p amc-bench --bin explain -- --events /tmp/run.tsv --txn 3
+//! ```
+//!
+//! The dump is the loadgen's client-side observability log (`seq  at_us
+//! txn  site  event`, one line per event — rpc retries and reconnects
+//! included); `--txn` filters it to one global transaction.
+//!
 //! Exits non-zero when the requested timeline is empty.
 
 use amc_core::{FederationConfig, SimConfig, SimFederation};
@@ -32,6 +43,15 @@ fn obj(site: u32, i: u64) -> ObjectId {
 }
 
 struct Args {
+    seed: Option<u64>,
+    events: Option<String>,
+    txn: Option<u64>,
+    protocol: ProtocolKind,
+    skip_decision_log: bool,
+}
+
+/// The seed-mode arguments once an `--events` dump has been ruled out.
+struct SimArgs {
     seed: u64,
     txn: Option<u64>,
     protocol: ProtocolKind,
@@ -41,13 +61,15 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: explain --seed <u64> [--txn <1..={OBJS}>] \
-         [--protocol 2pc|commit-after|commit-before] [--skip-decision-log]"
+         [--protocol 2pc|commit-after|commit-before] [--skip-decision-log]\n\
+         \x20      explain --events <dump.tsv> [--txn <gtx>]"
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> Args {
     let mut seed = None;
+    let mut events = None;
     let mut txn = None;
     let mut protocol = ProtocolKind::CommitBefore;
     let mut skip_decision_log = false;
@@ -57,6 +79,12 @@ fn parse_args() -> Args {
             "--seed" => {
                 seed = it.next().and_then(|v| v.parse().ok());
                 if seed.is_none() {
+                    usage();
+                }
+            }
+            "--events" => {
+                events = it.next();
+                if events.is_none() {
                     usage();
                 }
             }
@@ -77,17 +105,79 @@ fn parse_args() -> Args {
             _ => usage(),
         }
     }
-    let Some(seed) = seed else { usage() };
+    if seed.is_none() && events.is_none() {
+        usage();
+    }
     Args {
         seed,
+        events,
         txn,
         protocol,
         skip_decision_log,
     }
 }
 
+/// Explain a networked run from a loadgen `--events-out` TSV dump:
+/// `seq  at_us  txn  site  event`, txn rendered as `G<n>` (or `-`).
+fn explain_dump(path: &str, txn: Option<u64>) -> ExitCode {
+    let Ok(raw) = std::fs::read_to_string(path) else {
+        eprintln!("cannot read {path}");
+        return ExitCode::FAILURE;
+    };
+    let wanted = txn.map(|t| format!("G{t}"));
+    let mut shown = 0usize;
+    let mut total = 0usize;
+    let mut txns: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for line in raw.lines() {
+        let mut cols = line.splitn(5, '\t');
+        let (Some(seq), Some(_at), Some(t), Some(site), Some(kind)) = (
+            cols.next(),
+            cols.next(),
+            cols.next(),
+            cols.next(),
+            cols.next(),
+        ) else {
+            continue;
+        };
+        total += 1;
+        if t != "-" {
+            txns.insert(t.to_string());
+        }
+        if let Some(w) = &wanted {
+            if t != w {
+                continue;
+            }
+        }
+        println!("[{seq:>6}] {t:<6} site {site:<3} {kind}");
+        shown += 1;
+    }
+    eprintln!();
+    eprintln!(
+        "{shown} of {total} events shown, {} transactions in dump",
+        txns.len()
+    );
+    if shown == 0 {
+        if let Some(w) = wanted {
+            eprintln!("(no events for {w} — transaction never reached the wire?)");
+        }
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
+    if let Some(path) = &args.events {
+        return explain_dump(path, args.txn);
+    }
+    let Some(seed) = args.seed else { usage() };
+    let args = SimArgs {
+        seed,
+        txn: args.txn,
+        protocol: args.protocol,
+        skip_decision_log: args.skip_decision_log,
+    };
     let plan = generate_faults(&NemesisConfig::default(), args.seed);
     let mut cfg = SimConfig::new(FederationConfig::uniform(2, args.protocol));
     cfg.seed = args.seed;

@@ -136,4 +136,14 @@ fn main() {
         }
         println!();
     }
+
+    if wants("e10") {
+        let client_counts: &[usize] = if quick { &[1, 4] } else { &[1, 4, 8] };
+        let rows = e10_rpc::run(if quick { 80 } else { 240 }, client_counts);
+        print!("{}", e10_rpc::table(&rows).render());
+        for v in e10_rpc::verdicts(&rows) {
+            println!("{v}");
+        }
+        println!();
+    }
 }

@@ -1,0 +1,285 @@
+//! **E10 — the wire: loopback TCP vs in-process dispatch** (amc-rpc).
+//!
+//! Run the same mixed workload through the same coordinator against the
+//! same engines, swapping only the [`FederationTransport`]: direct
+//! in-process function calls vs the real framed codec over loopback TCP
+//! (thread-per-connection site servers, deadline/retry client). Sweep
+//! client concurrency and report committed-transaction throughput with
+//! p50/p99 commit latency per protocol.
+//!
+//! The claimed shapes:
+//!
+//! * the wire costs real latency — every TCP p50 sits above its
+//!   in-process twin (syscalls, framing, socket round trips per
+//!   protocol message are not free);
+//! * message complexity shows on the wire — 2PC's extra voting round
+//!   buys it a higher TCP commit p50 than commit-before (the paper's
+//!   protocol) at every client count, the E4 message-count ordering
+//!   re-observed as socket round trips.
+
+use crate::setup::program_batch;
+use crate::table::{opt2, TextTable};
+use amc_core::{submit_mode_for, Federation, FederationConfig};
+use amc_engine::{TplConfig, TwoPLEngine};
+use amc_mlt::ConflictPolicy;
+use amc_net::comm::EngineHandle;
+use amc_net::transport::{FederationTransport, InProcessTransport};
+use amc_net::LocalCommManager;
+use amc_obs::ObsSink;
+use amc_rpc::{RetryPolicy, SiteServer, TcpTransport};
+use amc_types::{ProtocolKind, SiteId};
+use amc_workload::{OpMix, WorkloadSpec};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which wire the coordinator speaks over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wire {
+    /// Direct dispatch into the managers (the simulator's transport).
+    InProcess,
+    /// Framed codec over loopback TCP through `amc-rpc`.
+    TcpLoopback,
+}
+
+impl Wire {
+    /// Short label for the table.
+    pub fn label(self) -> &'static str {
+        match self {
+            Wire::InProcess => "in-process",
+            Wire::TcpLoopback => "tcp-loopback",
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Client (driver thread) concurrency.
+    pub clients: usize,
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Transport under test.
+    pub wire: Wire,
+    /// Commits achieved.
+    pub committed: u64,
+    /// Committed txns per second.
+    pub throughput: Option<f64>,
+    /// Median commit latency, ms.
+    pub p50_ms: Option<f64>,
+    /// Tail commit latency, ms.
+    pub p99_ms: Option<f64>,
+}
+
+/// Low contention, increment-heavy, 2-site transactions: the measured
+/// cost is the message path, not lock queueing.
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        sites: 3,
+        objects_per_site: 64,
+        zipf_theta: 0.0,
+        ops_per_txn: 4,
+        sites_per_txn: 2,
+        mix: OpMix {
+            write: 0.0,
+            increment: 0.9,
+            reserve: 0.0,
+        },
+        intended_abort_prob: 0.0,
+    }
+}
+
+/// Engines with no modelled delays: real syscall + scheduling cost is the
+/// thing E10 measures, so nothing synthetic is added on either wire.
+fn managers(sites: u32) -> BTreeMap<SiteId, Arc<LocalCommManager>> {
+    (1..=sites)
+        .map(|s| {
+            let site = SiteId::new(s);
+            let cfg = TplConfig {
+                lock_timeout: Duration::from_millis(100),
+                deadlock_check: Duration::from_millis(1),
+                ..TplConfig::default()
+            };
+            let engine = Arc::new(TwoPLEngine::new(cfg));
+            (
+                site,
+                Arc::new(LocalCommManager::new(
+                    site,
+                    EngineHandle::Preparable(engine),
+                )),
+            )
+        })
+        .collect()
+}
+
+/// Run one (protocol, wire, clients) cell and return its row.
+fn run_cell(protocol: ProtocolKind, wire: Wire, clients: usize, txns: usize) -> Row {
+    let spec = spec();
+    let mode = submit_mode_for(protocol);
+    let managers = managers(spec.sites);
+
+    // Servers must outlive the run; shutdown happens on drop after it.
+    let mut servers: Vec<SiteServer> = Vec::new();
+    let transport: Arc<dyn FederationTransport> = match wire {
+        Wire::InProcess => Arc::new(InProcessTransport::new(
+            managers.clone(),
+            mode,
+            Duration::ZERO,
+        )),
+        Wire::TcpLoopback => {
+            let mut addrs = BTreeMap::new();
+            for (&site, manager) in &managers {
+                let srv = SiteServer::spawn(
+                    site,
+                    Arc::clone(manager),
+                    mode,
+                    "127.0.0.1:0",
+                    ObsSink::disabled(),
+                )
+                .expect("bind loopback");
+                addrs.insert(site, srv.addr());
+                servers.push(srv);
+            }
+            Arc::new(TcpTransport::new(
+                addrs,
+                RetryPolicy::default(),
+                ObsSink::disabled(),
+            ))
+        }
+    };
+
+    let mut cfg = FederationConfig::uniform(spec.sites, protocol);
+    cfg.policy = ConflictPolicy::Semantic;
+    cfg.l1_timeout = Duration::from_millis(500);
+    let mut fed = Federation::with_transport(cfg, transport);
+    fed.set_recording(false, false);
+    let fed = Arc::new(fed);
+    for s in 1..=spec.sites {
+        let site = SiteId::new(s);
+        fed.load_site(site, &spec.initial_data(site)).expect("load");
+    }
+
+    let batch = program_batch(&spec, 10_000 + clients as u64, txns);
+    let m = fed.run_concurrent(batch, clients);
+    drop(fed);
+    for srv in servers {
+        srv.shutdown();
+    }
+    Row {
+        clients,
+        protocol,
+        wire,
+        committed: m.committed,
+        throughput: m.throughput(),
+        p50_ms: m.latency_p50_ms(),
+        p99_ms: m.latency_p99_ms(),
+    }
+}
+
+/// Run the sweep.
+pub fn run(txns: usize, client_counts: &[usize]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for protocol in ProtocolKind::ALL {
+        for wire in [Wire::InProcess, Wire::TcpLoopback] {
+            for &clients in client_counts {
+                rows.push(run_cell(protocol, wire, clients, txns));
+            }
+        }
+    }
+    rows
+}
+
+/// Render as the report table.
+pub fn table(rows: &[Row]) -> TextTable {
+    let mut t = TextTable::new(
+        "E10 — the wire: loopback TCP (amc-rpc) vs in-process dispatch",
+        &[
+            "clients", "protocol", "wire", "commits", "txn/s", "p50 ms", "p99 ms",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.clients.to_string(),
+            r.protocol.label().to_string(),
+            r.wire.label().to_string(),
+            r.committed.to_string(),
+            opt2(r.throughput),
+            opt2(r.p50_ms),
+            opt2(r.p99_ms),
+        ]);
+    }
+    t
+}
+
+/// The shape checks for this experiment.
+pub fn verdicts(rows: &[Row]) -> Vec<String> {
+    let mut out = Vec::new();
+    // E10-1: every cell commits — all three protocols complete the
+    // workload over real sockets at every client count.
+    let all_commit = rows.iter().all(|r| r.committed > 0);
+    out.push(format!(
+        "[{}] E10-1: every (protocol, wire, clients) cell commits transactions ({} cells)",
+        if all_commit { "PASS" } else { "FAIL" },
+        rows.len(),
+    ));
+    // E10-2: the wire costs latency — per (protocol, clients), TCP p50 is
+    // at least the in-process p50.
+    let mut pairs = 0;
+    let mut costly = 0;
+    for r in rows.iter().filter(|r| r.wire == Wire::TcpLoopback) {
+        let twin = rows.iter().find(|q| {
+            q.wire == Wire::InProcess && q.protocol == r.protocol && q.clients == r.clients
+        });
+        if let (Some(tcp), Some(inp)) = (r.p50_ms, twin.and_then(|q| q.p50_ms)) {
+            pairs += 1;
+            if tcp >= inp {
+                costly += 1;
+            }
+        }
+    }
+    out.push(format!(
+        "[{}] E10-2: tcp-loopback p50 >= in-process p50 in every pair ({costly}/{pairs})",
+        if pairs > 0 && costly == pairs {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+    ));
+    // E10-3: message complexity shows on the wire — at every client
+    // count, 2PC's extra voting round costs it at least commit-before's
+    // TCP p50 (E4's message ordering, re-observed as socket round trips).
+    let p50 = |protocol: ProtocolKind, clients: usize| {
+        rows.iter()
+            .find(|r| r.wire == Wire::TcpLoopback && r.protocol == protocol && r.clients == clients)
+            .and_then(|r| r.p50_ms)
+    };
+    let mut counts: Vec<usize> = rows
+        .iter()
+        .filter(|r| r.wire == Wire::TcpLoopback)
+        .map(|r| r.clients)
+        .collect();
+    counts.sort_unstable();
+    counts.dedup();
+    let mut ordered = !counts.is_empty();
+    let mut shown = Vec::new();
+    for &c in &counts {
+        match (
+            p50(ProtocolKind::TwoPhaseCommit, c),
+            p50(ProtocolKind::CommitBefore, c),
+        ) {
+            (Some(two_pc), Some(cb)) => {
+                if two_pc < cb {
+                    ordered = false;
+                }
+                shown.push(format!("{c}c {two_pc:.2}/{cb:.2}"));
+            }
+            _ => ordered = false,
+        }
+    }
+    out.push(format!(
+        "[{}] E10-3: tcp p50(2pc) >= tcp p50(commit-before) at every client count (2pc/cb ms: {})",
+        if ordered { "PASS" } else { "FAIL" },
+        shown.join(", "),
+    ));
+    out
+}

@@ -56,6 +56,21 @@ pub enum CoordAction {
     Done(GlobalVerdict),
 }
 
+/// Retransmission backoff ceiling: once a site has missed enough timers,
+/// it is re-asked every `BACKOFF_CAP_TICKS` ticks instead of every tick.
+const BACKOFF_CAP_TICKS: u32 = 64;
+
+/// Per-site retransmission backoff state. A site that stays silent is
+/// re-asked after 2, 4, 8, … ticks (capped), not on every tick — PR 1's
+/// every-tick re-inquiry turned a long partition into a retransmit storm.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Backoff {
+    /// Timer ticks on which this site was actually retransmitted to.
+    misses: u32,
+    /// Ticks to skip before the next retransmission.
+    ticks_left: u32,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Round {
     /// Work shipped, collecting submit replies.
@@ -82,6 +97,9 @@ pub struct Coordinator {
     /// the decision fell. §3.3: the coordinator keeps inquiring — a site
     /// that turns out to have committed still needs its undo.
     awaiting_final_state: BTreeSet<SiteId>,
+    /// Per-site retransmission backoff (reset when the site answers or a
+    /// new round ships fresh messages).
+    backoff: BTreeMap<SiteId, Backoff>,
     verdict: Option<GlobalVerdict>,
     obs: ObsSink,
 }
@@ -111,6 +129,7 @@ impl Coordinator {
             votes,
             pending_finish: BTreeMap::new(),
             awaiting_final_state: BTreeSet::new(),
+            backoff: BTreeMap::new(),
             verdict: None,
             obs: ObsSink::disabled(),
         }
@@ -243,6 +262,7 @@ impl Coordinator {
             return Vec::new(); // duplicate
         }
         *slot = Some(vote);
+        self.backoff.remove(&site);
         self.emit(EventKind::Vote { from: site, vote });
 
         // An abort vote decides immediately — no point waiting (§3.1).
@@ -257,6 +277,7 @@ impl Coordinator {
             (ProtocolKind::TwoPhaseCommit, Round::Work) => {
                 // Work complete everywhere: start the voting phase proper.
                 self.round = Round::Prepare;
+                self.backoff.clear();
                 for slot in self.votes.values_mut() {
                     *slot = None;
                 }
@@ -276,6 +297,7 @@ impl Coordinator {
         debug_assert!(self.verdict.is_none());
         self.verdict = Some(verdict);
         self.round = Round::Finish;
+        self.backoff.clear();
         self.emit(EventKind::Decide { verdict });
         let mut actions = vec![CoordAction::Decided(verdict)];
 
@@ -349,6 +371,7 @@ impl Coordinator {
         if !self.awaiting_final_state.remove(&site) {
             return Vec::new(); // duplicate or unrelated
         }
+        self.backoff.remove(&site);
         debug_assert_eq!(self.protocol, ProtocolKind::CommitBefore);
         debug_assert_eq!(self.verdict, Some(GlobalVerdict::Abort));
         *self.votes.get_mut(&site).expect("participant") = Some(vote);
@@ -376,6 +399,7 @@ impl Coordinator {
             return Vec::new();
         }
         self.pending_finish.remove(&site);
+        self.backoff.remove(&site);
         if self.pending_finish.is_empty() && self.awaiting_final_state.is_empty() {
             self.round = Round::Done;
             let verdict = self.verdict.expect("finish round has a verdict");
@@ -394,18 +418,25 @@ impl Coordinator {
     /// program to repeat it (§3.2) — and re-inquire every site whose final
     /// state is still unknown after a commit-before abort: losing either
     /// the one-shot inquiry or its answer must not end the inquiry (§3.3).
+    ///
+    /// Retransmissions back off per site: the first timer after a send
+    /// retransmits immediately (fast recovery from a single lost message),
+    /// then the gap doubles up to [`BACKOFF_CAP_TICKS`] ticks, so a long
+    /// partition costs O(log + ticks/cap) sends per site instead of one
+    /// per tick. Any answer from the site resets its backoff.
     fn on_timer(&mut self) -> Vec<CoordAction> {
-        match self.round {
+        // What is outstanding, and what would we send each site?
+        let targets: Vec<(SiteId, amc_net::Payload, bool)> = match self.round {
             Round::Work | Round::Prepare => self
                 .votes
                 .iter()
                 .filter(|(_, v)| v.is_none())
                 .map(|(site, _)| {
-                    self.emit(EventKind::Inquiry { to: *site });
-                    CoordAction::Send {
-                        site: *site,
-                        payload: amc_net::Payload::Prepare { gtx: self.gtx },
-                    }
+                    (
+                        *site,
+                        amc_net::Payload::Prepare { gtx: self.gtx },
+                        true, // an inquiry
+                    )
                 })
                 .collect(),
             Round::Finish => self
@@ -421,21 +452,38 @@ impl Coordinator {
                         }
                         _ => payload.clone(),
                     };
-                    CoordAction::Send {
-                        site: *site,
-                        payload,
-                    }
+                    (*site, payload, false)
                 })
-                .chain(self.awaiting_final_state.iter().map(|site| {
-                    self.emit(EventKind::Inquiry { to: *site });
-                    CoordAction::Send {
-                        site: *site,
-                        payload: amc_net::Payload::Prepare { gtx: self.gtx },
-                    }
-                }))
+                .chain(
+                    self.awaiting_final_state
+                        .iter()
+                        .map(|site| (*site, amc_net::Payload::Prepare { gtx: self.gtx }, true)),
+                )
                 .collect(),
             Round::Done => Vec::new(),
+        };
+        let mut actions = Vec::new();
+        for (site, payload, is_inquiry) in targets {
+            let due = {
+                let slot = self.backoff.entry(site).or_default();
+                if slot.ticks_left > 0 {
+                    slot.ticks_left -= 1;
+                    false
+                } else {
+                    slot.misses += 1;
+                    slot.ticks_left = (1u32 << slot.misses.min(6)).min(BACKOFF_CAP_TICKS);
+                    true
+                }
+            };
+            if !due {
+                continue;
+            }
+            if is_inquiry {
+                self.emit(EventKind::Inquiry { to: site });
+            }
+            actions.push(CoordAction::Send { site, payload });
         }
+        actions
     }
 }
 
@@ -693,6 +741,60 @@ mod tests {
             vote: LocalVote::Aborted,
         });
         assert_eq!(a, vec![CoordAction::Done(GlobalVerdict::Abort)]);
+    }
+
+    #[test]
+    fn timer_backoff_caps_inquiries_under_a_long_partition() {
+        // Commit-before abort with both sites' final state unknown and a
+        // partition that outlives 1000 timer ticks. PR 1 re-inquired every
+        // site on every tick — 2000 sends; capped exponential backoff
+        // (2, 4, 8, … up to 64 ticks between retries) keeps it sparse.
+        let (mut c, _) =
+            Coordinator::resume(gtx(), ProtocolKind::CommitBefore, programs(&[1, 2]), None);
+        let ticks = 1000usize;
+        let mut inquiries = 0usize;
+        for _ in 0..ticks {
+            inquiries += sends(&c.on_event(CoordEvent::Timer)).len();
+        }
+        assert!(inquiries >= 8, "backoff must keep retrying: {inquiries}");
+        assert!(
+            inquiries <= 60,
+            "retransmit storm: {inquiries} inquiries in {ticks} ticks (was {})",
+            2 * ticks
+        );
+        // An answer resets the site's backoff: the next timer after a fresh
+        // outstanding message retransmits immediately again.
+        let a = c.on_event(CoordEvent::Vote {
+            site: site(1),
+            vote: LocalVote::Ready,
+        });
+        assert_eq!(sends(&a), vec![(site(1), "undo")]);
+        let a = c.on_event(CoordEvent::Timer);
+        assert!(
+            sends(&a).contains(&(site(1), "undo")),
+            "first timer after a fresh send retransmits immediately: {a:?}"
+        );
+    }
+
+    #[test]
+    fn timer_backoff_doubles_then_caps() {
+        // One silent site: record which ticks actually retransmit. The
+        // gaps must double (2, 4, 8, …) and cap at 64 ticks.
+        let mut c = Coordinator::new(gtx(), ProtocolKind::CommitBefore, programs(&[1]));
+        c.on_event(CoordEvent::Start);
+        let mut send_ticks = Vec::new();
+        for t in 0..600usize {
+            if !c.on_event(CoordEvent::Timer).is_empty() {
+                send_ticks.push(t);
+            }
+        }
+        assert_eq!(send_ticks[0], 0, "first timer retransmits immediately");
+        let gaps: Vec<usize> = send_ticks.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(
+            gaps.starts_with(&[3, 5, 9, 17, 33, 65, 65]),
+            "gaps must double then cap: {gaps:?}"
+        );
+        assert!(gaps.iter().all(|g| *g <= 65), "{gaps:?}");
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::coordinator::{CoordAction, CoordEvent, Coordinator};
 use crate::metrics::RunMetrics;
 use amc_mlt::L1LockManager;
 use amc_net::comm::SubmitMode;
+use amc_net::transport::{AdminReply, AdminRequest, FederationTransport, InProcessTransport};
 use amc_net::{Envelope, LocalCommManager, MessageTrace, Payload};
 use amc_types::{
     AbortReason, AmcError, AmcResult, GlobalTxnId, GlobalVerdict, ObjectId, Operation,
@@ -62,11 +63,21 @@ pub struct TxnReport {
     pub messages: u64,
 }
 
+/// The submit mode a protocol uses on the wire.
+pub fn submit_mode_for(protocol: ProtocolKind) -> SubmitMode {
+    match protocol {
+        ProtocolKind::TwoPhaseCommit => SubmitMode::TwoPhase,
+        ProtocolKind::CommitAfter => SubmitMode::CommitAfter,
+        ProtocolKind::CommitBefore => SubmitMode::CommitBefore,
+    }
+}
+
 /// A running federation: central system + communication managers + sealed
 /// engines.
 pub struct Federation {
     cfg: FederationConfig,
     managers: BTreeMap<SiteId, Arc<LocalCommManager>>,
+    transport: Arc<dyn FederationTransport>,
     l1: L1LockManager,
     next_gtx: AtomicU64,
     history: Mutex<History>,
@@ -87,15 +98,37 @@ impl Federation {
             cfg.is_runnable(),
             "2PC cannot run on a federation with non-preparable engines (§3.1)"
         );
-        let managers = cfg
+        let managers: BTreeMap<SiteId, Arc<LocalCommManager>> = cfg
             .build_managers()
             .into_iter()
             .map(|m| (m.site(), m))
             .collect();
+        let transport = Arc::new(InProcessTransport::new(
+            managers.clone(),
+            submit_mode_for(cfg.protocol),
+            cfg.message_delay,
+        ));
+        Self::assemble(cfg, managers, transport)
+    }
+
+    /// Build a federation whose sites are reached through an externally
+    /// supplied transport (e.g. the TCP transport of `amc-rpc`). The sites'
+    /// engines live behind the transport; [`Federation::manager`] returns
+    /// `None` for every site.
+    pub fn with_transport(cfg: FederationConfig, transport: Arc<dyn FederationTransport>) -> Self {
+        Self::assemble(cfg, BTreeMap::new(), transport)
+    }
+
+    fn assemble(
+        cfg: FederationConfig,
+        managers: BTreeMap<SiteId, Arc<LocalCommManager>>,
+        transport: Arc<dyn FederationTransport>,
+    ) -> Self {
         let l1 = L1LockManager::new(cfg.policy, cfg.l1_timeout);
         Federation {
             cfg,
             managers,
+            transport,
             l1,
             next_gtx: AtomicU64::new(1),
             history: Mutex::new(History::new()),
@@ -117,26 +150,41 @@ impl Federation {
         &self.cfg
     }
 
-    /// The communication manager of `site`.
+    /// The communication manager of `site` — only available when the
+    /// federation runs in-process (transports hide remote managers).
     pub fn manager(&self, site: SiteId) -> Option<&Arc<LocalCommManager>> {
         self.managers.get(&site)
     }
 
+    /// The transport sites are reached through.
+    pub fn transport(&self) -> &Arc<dyn FederationTransport> {
+        &self.transport
+    }
+
     /// Load initial data into a site's engine.
     pub fn load_site(&self, site: SiteId, data: &[(ObjectId, Value)]) -> AmcResult<()> {
-        self.managers
-            .get(&site)
-            .ok_or(AmcError::SiteDown(site))?
-            .handle()
-            .engine()
-            .bulk_load(data)
+        match self
+            .transport
+            .admin(site, AdminRequest::Load(data.to_vec()))?
+        {
+            AdminReply::Loaded => Ok(()),
+            other => Err(AmcError::Protocol(format!(
+                "unexpected admin reply {other:?}"
+            ))),
+        }
     }
 
     /// Final committed state of every site (markers included).
     pub fn dumps(&self) -> AmcResult<BTreeMap<SiteId, BTreeMap<ObjectId, Value>>> {
-        self.managers
-            .iter()
-            .map(|(s, m)| Ok((*s, m.handle().engine().dump()?)))
+        self.transport
+            .sites()
+            .into_iter()
+            .map(|s| match self.transport.admin(s, AdminRequest::Dump)? {
+                AdminReply::Dump(d) => Ok((s, d)),
+                other => Err(AmcError::Protocol(format!(
+                    "unexpected admin reply {other:?}"
+                ))),
+            })
             .collect()
     }
 
@@ -153,8 +201,11 @@ impl Federation {
     /// Aggregate communication-manager counters.
     pub fn comm_stats(&self) -> amc_net::CommStats {
         let mut total = amc_net::CommStats::default();
-        for m in self.managers.values() {
-            let s = m.stats();
+        for site in self.transport.sites() {
+            let Ok(AdminReply::CommStats(s)) = self.transport.admin(site, AdminRequest::CommStats)
+            else {
+                continue;
+            };
             total.submits += s.submits;
             total.votes_ready += s.votes_ready;
             total.votes_aborted += s.votes_aborted;
@@ -169,8 +220,11 @@ impl Federation {
     /// Aggregate engine log counters (E4).
     pub fn log_stats(&self) -> amc_wal::LogStats {
         let mut total = amc_wal::LogStats::default();
-        for m in self.managers.values() {
-            let s = m.handle().engine().log_stats();
+        for site in self.transport.sites() {
+            let Ok(AdminReply::LogStats(s)) = self.transport.admin(site, AdminRequest::LogStats)
+            else {
+                continue;
+            };
             total.appends += s.appends;
             total.forces += s.forces;
             total.group_forces += s.group_forces;
@@ -186,14 +240,6 @@ impl Federation {
         self.l1.stats()
     }
 
-    fn submit_mode(&self) -> SubmitMode {
-        match self.cfg.protocol {
-            ProtocolKind::TwoPhaseCommit => SubmitMode::TwoPhase,
-            ProtocolKind::CommitAfter => SubmitMode::CommitAfter,
-            ProtocolKind::CommitBefore => SubmitMode::CommitBefore,
-        }
-    }
-
     fn record_envelope(&self, from: SiteId, to: SiteId, payload: &Payload) {
         if self.record_trace {
             self.trace
@@ -202,30 +248,11 @@ impl Federation {
         }
     }
 
-    /// Dispatch one coordinator message to a site's manager and return the
-    /// reply.
+    /// Dispatch one coordinator message through the transport and return
+    /// the reply.
     fn dispatch(&self, site: SiteId, payload: Payload) -> AmcResult<Payload> {
-        let manager = self.managers.get(&site).ok_or(AmcError::SiteDown(site))?;
         self.record_envelope(SiteId::CENTRAL, site, &payload);
-        // Request leg.
-        if !self.cfg.message_delay.is_zero() {
-            std::thread::sleep(self.cfg.message_delay);
-        }
-        let reply = match payload {
-            Payload::Submit { gtx, ops } => manager.handle_submit(gtx, ops, self.submit_mode())?,
-            Payload::Prepare { gtx } => manager.handle_prepare(gtx)?,
-            Payload::Decision { gtx, verdict } => manager.handle_decision(gtx, verdict)?,
-            Payload::Redo { gtx, ops } => manager.handle_redo(gtx, ops)?,
-            Payload::Undo { gtx, inverse_ops } => manager.handle_undo(gtx, inverse_ops)?,
-            Payload::Vote { .. } | Payload::Finished { .. } => {
-                return Err(AmcError::Protocol("central received its own reply".into()))
-            }
-        };
-        // Reply leg: the model charges both directions of the exchange, not
-        // just the request (a `messages` count of n means n modelled hops).
-        if !self.cfg.message_delay.is_zero() {
-            std::thread::sleep(self.cfg.message_delay);
-        }
+        let reply = self.transport.call(site, payload)?;
         self.record_envelope(site, SiteId::CENTRAL, &reply);
         Ok(reply)
     }

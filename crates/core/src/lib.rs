@@ -38,6 +38,6 @@ pub mod simdrive;
 pub use amc_types::ProtocolKind;
 pub use config::FederationConfig;
 pub use coordinator::{CoordAction, CoordEvent, Coordinator};
-pub use federation::{Federation, TxnOutcome};
+pub use federation::{submit_mode_for, Federation, TxnOutcome};
 pub use metrics::RunMetrics;
 pub use simdrive::{SimConfig, SimFederation, SimReport};

@@ -18,7 +18,10 @@
 //!   (experiment E8);
 //! * [`marker`] — reserved object ids used as durable commit markers (the
 //!   paper's "redo-log ... written into the existing database by the local
-//!   transaction, e.g. as an additional relation").
+//!   transaction, e.g. as an additional relation");
+//! * [`transport`] — the [`FederationTransport`] abstraction over *how* a
+//!   coordinator message reaches a site: in-process function calls (the
+//!   historical runtime) or real TCP sockets (`amc-rpc`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,8 +31,10 @@ pub mod marker;
 pub mod message;
 pub mod router;
 pub mod trace;
+pub mod transport;
 
 pub use comm::{CommStats, EngineHandle, LocalCommManager, SubmitMode};
 pub use message::{Envelope, Payload};
 pub use router::{NetStats, Router, RouterConfig};
 pub use trace::{MessageTrace, TraceEntry};
+pub use transport::{AdminReply, AdminRequest, FederationTransport, InProcessTransport};

@@ -144,6 +144,20 @@ pub enum EventKind {
     },
     /// A fault-plan restart recovered this site.
     Restart,
+    /// An RPC request to a site failed (timeout, refused connection, bad
+    /// reply) and the client is about to back off and try again.
+    RpcRetry {
+        /// The site being called.
+        to: SiteId,
+        /// 1-based attempt number that just failed.
+        attempt: u32,
+    },
+    /// The RPC client discarded a broken connection and dialled a fresh
+    /// one to the site.
+    RpcReconnect {
+        /// The site reconnected to.
+        to: SiteId,
+    },
 }
 
 impl EventKind {
@@ -169,6 +183,8 @@ impl EventKind {
             EventKind::LockGrant { .. } => "lock-grant",
             EventKind::Crash { .. } => "crash",
             EventKind::Restart => "restart",
+            EventKind::RpcRetry { .. } => "rpc-retry",
+            EventKind::RpcReconnect { .. } => "rpc-reconnect",
         }
     }
 }
@@ -225,6 +241,10 @@ impl fmt::Display for EventKind {
             EventKind::Crash { torn: true } => write!(f, "crash (torn WAL tail)"),
             EventKind::Crash { torn: false } => write!(f, "crash"),
             EventKind::Restart => write!(f, "restart"),
+            EventKind::RpcRetry { to, attempt } => {
+                write!(f, "rpc-retry -> {to} (attempt {attempt} failed)")
+            }
+            EventKind::RpcReconnect { to } => write!(f, "rpc-reconnect -> {to}"),
         }
     }
 }
@@ -292,6 +312,18 @@ mod tests {
         assert_eq!(
             EventKind::Crash { torn: true }.label(),
             EventKind::Crash { torn: false }.label()
+        );
+        assert_eq!(
+            EventKind::RpcRetry {
+                to: SiteId::new(2),
+                attempt: 3
+            }
+            .label(),
+            "rpc-retry"
+        );
+        assert_eq!(
+            EventKind::RpcReconnect { to: SiteId::new(1) }.label(),
+            "rpc-reconnect"
         );
     }
 }

@@ -1,0 +1,326 @@
+//! `amc-loadgen` — drive a mixed workload against running site servers.
+//!
+//! ```text
+//! amc-loadgen --sites 127.0.0.1:7101,127.0.0.1:7102 \
+//!     --protocol commit-before --txns 200 --clients 4
+//! ```
+//!
+//! Site *i* (1-based) is the *i*-th address. The generator waits for
+//! every site to answer a ping, loads initial counters, runs `--txns`
+//! mixed global transactions (cross-site transfers, single-site updates,
+//! read-only probes) on `--clients` worker threads through the full
+//! coordinator + TCP transport stack, and prints
+//!
+//! ```text
+//! committed=N aborted=N site_down=N throughput=T txn/s p50=Xms p99=Yms
+//! ```
+//!
+//! Exit status is nonzero when nothing committed. With `--events-out
+//! <path>` the client-side observability log is dumped as TSV
+//! (`seq  at_us  txn  site  event`) for `explain --events`.
+
+use amc_core::{Federation, FederationConfig, TxnOutcome};
+use amc_net::transport::{AdminReply, AdminRequest, FederationTransport};
+use amc_obs::ObsSink;
+use amc_rpc::{RetryPolicy, TcpTransport};
+use amc_types::{ObjectId, Operation, ProtocolKind, SiteId, Value};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: amc-loadgen --sites <addr,addr,...> \
+         --protocol <2pc|commit-after|commit-before> [--txns <n>] [--clients <n>] \
+         [--objects <n>] [--seed <n>] [--events-out <path>]"
+    );
+    std::process::exit(2);
+}
+
+/// splitmix64: deterministic program generation without a rand dep.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn obj(site: u32, idx: u64) -> ObjectId {
+    ObjectId::new(u64::from(site) * (1 << 32) + idx)
+}
+
+/// One decomposed global program: operations per participating site.
+type Program = BTreeMap<SiteId, Vec<Operation>>;
+
+/// One mixed program: mostly 2-site transfers, some single-site updates,
+/// ~1 in 8 read-only.
+fn program(rng: &mut u64, sites: u32, objects: u64) -> Program {
+    let a = 1 + (mix(rng) % u64::from(sites)) as u32;
+    let kind = mix(rng) % 8;
+    let x = mix(rng) % objects;
+    let y = mix(rng) % objects;
+    if kind == 0 {
+        // Read-only probe across one or two sites.
+        let b = 1 + (mix(rng) % u64::from(sites)) as u32;
+        let mut p = BTreeMap::from([(SiteId::new(a), vec![Operation::Read { obj: obj(a, x) }])]);
+        p.entry(SiteId::new(b))
+            .or_insert_with(Vec::new)
+            .push(Operation::Read { obj: obj(b, y) });
+        p
+    } else if sites > 1 && kind < 6 {
+        // Cross-site transfer: conserves the global sum.
+        let mut b = 1 + (mix(rng) % u64::from(sites)) as u32;
+        if b == a {
+            b = 1 + (a % sites);
+        }
+        let amt = 1 + (mix(rng) % 7) as i64;
+        BTreeMap::from([
+            (
+                SiteId::new(a),
+                vec![Operation::Increment {
+                    obj: obj(a, x),
+                    delta: -amt,
+                }],
+            ),
+            (
+                SiteId::new(b),
+                vec![Operation::Increment {
+                    obj: obj(b, y),
+                    delta: amt,
+                }],
+            ),
+        ])
+    } else {
+        // Single-site multi-op update (sum-neutral).
+        let amt = 1 + (mix(rng) % 5) as i64;
+        BTreeMap::from([(
+            SiteId::new(a),
+            vec![
+                Operation::Increment {
+                    obj: obj(a, x),
+                    delta: amt,
+                },
+                Operation::Increment {
+                    obj: obj(a, y),
+                    delta: -amt,
+                },
+            ],
+        )])
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addrs: Vec<SocketAddr> = Vec::new();
+    let mut protocol = None;
+    let mut txns = 100usize;
+    let mut clients = 4usize;
+    let mut objects = 50u64;
+    let mut seed = 1u64;
+    let mut events_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sites" => {
+                i += 1;
+                let list = args.get(i).unwrap_or_else(|| usage());
+                addrs = list
+                    .split(',')
+                    .map(|a| a.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--protocol" => {
+                i += 1;
+                protocol = match args.get(i).map(String::as_str) {
+                    Some("2pc") => Some(ProtocolKind::TwoPhaseCommit),
+                    Some("commit-after") => Some(ProtocolKind::CommitAfter),
+                    Some("commit-before") => Some(ProtocolKind::CommitBefore),
+                    _ => usage(),
+                };
+            }
+            "--txns" => {
+                i += 1;
+                txns = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--clients" => {
+                i += 1;
+                clients = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--objects" => {
+                i += 1;
+                objects = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--events-out" => {
+                i += 1;
+                events_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if addrs.is_empty() {
+        usage();
+    }
+    let Some(protocol) = protocol else { usage() };
+    let sites = addrs.len() as u32;
+
+    let obs = if events_out.is_some() {
+        ObsSink::enabled(1 << 20)
+    } else {
+        ObsSink::disabled()
+    };
+    let site_addrs: BTreeMap<SiteId, SocketAddr> = addrs
+        .iter()
+        .enumerate()
+        .map(|(idx, addr)| (SiteId::new(idx as u32 + 1), *addr))
+        .collect();
+    let transport = Arc::new(TcpTransport::new(
+        site_addrs,
+        RetryPolicy::default(),
+        obs.clone(),
+    ));
+
+    // Wait for every site to answer a ping (servers may still be binding).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    for s in 1..=sites {
+        let site = SiteId::new(s);
+        loop {
+            match transport.admin(site, AdminRequest::Ping) {
+                Ok(AdminReply::Pong) => break,
+                _ if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(100)),
+                _ => {
+                    eprintln!("site {s} at {} never answered", addrs[s as usize - 1]);
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    // Initial data: every object starts at 100.
+    for s in 1..=sites {
+        let data: Vec<(ObjectId, Value)> = (0..objects)
+            .map(|i| (obj(s, i), Value::counter(100)))
+            .collect();
+        if let Err(e) = transport.admin(SiteId::new(s), AdminRequest::Load(data)) {
+            eprintln!("load site {s}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let cfg = FederationConfig::uniform(sites, protocol);
+    let fed = Arc::new(Federation::with_transport(
+        cfg,
+        transport.clone() as Arc<dyn FederationTransport>,
+    ));
+
+    let mut rng = seed;
+    let queue: Arc<Mutex<Vec<Program>>> = Arc::new(Mutex::new(
+        (0..txns)
+            .map(|_| program(&mut rng, sites, objects))
+            .collect(),
+    ));
+    let committed = Arc::new(Mutex::new(Vec::<Duration>::new()));
+    let aborted = Arc::new(Mutex::new(0u64));
+    let site_down = Arc::new(Mutex::new(0u64));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients.max(1) {
+            let fed = Arc::clone(&fed);
+            let queue = Arc::clone(&queue);
+            let committed = Arc::clone(&committed);
+            let aborted = Arc::clone(&aborted);
+            let site_down = Arc::clone(&site_down);
+            scope.spawn(move || loop {
+                let Some(p) = queue.lock().pop() else { return };
+                // A site mid-restart surfaces as SiteDown after the
+                // client's own retries; give the program a few more
+                // chances before counting it lost.
+                for attempt in 0..5 {
+                    match fed.run_transaction(&p) {
+                        Ok(report) => {
+                            match report.outcome {
+                                TxnOutcome::Committed => committed.lock().push(report.latency),
+                                TxnOutcome::Aborted => *aborted.lock() += 1,
+                                TxnOutcome::L1Rejected(_) if attempt < 4 => continue,
+                                TxnOutcome::L1Rejected(_) => *aborted.lock() += 1,
+                            }
+                            break;
+                        }
+                        Err(_) if attempt < 4 => {
+                            std::thread::sleep(Duration::from_millis(200));
+                        }
+                        Err(_) => {
+                            *site_down.lock() += 1;
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall = start.elapsed();
+
+    let mut lats = committed.lock().clone();
+    lats.sort();
+    let n = lats.len();
+    let pct = |p: f64| -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let idx = ((n as f64 - 1.0) * p).round() as usize;
+        lats[idx].as_secs_f64() * 1e3
+    };
+    let throughput = n as f64 / wall.as_secs_f64().max(1e-9);
+    println!(
+        "committed={} aborted={} site_down={} throughput={:.1} txn/s p50={:.2}ms p99={:.2}ms",
+        n,
+        *aborted.lock(),
+        *site_down.lock(),
+        throughput,
+        pct(0.50),
+        pct(0.99),
+    );
+
+    if let Some(path) = events_out {
+        let log = obs.snapshot();
+        let mut out = String::new();
+        for e in log.events() {
+            let txn = e
+                .txn
+                .map(|g| g.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\n",
+                e.seq, e.at.0, txn, e.site, e.kind
+            ));
+        }
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if n == 0 {
+        eprintln!("no transaction committed");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,118 @@
+//! `amc-site-server` — one local system as an independent TCP server.
+//!
+//! ```text
+//! amc-site-server --site 1 --listen 127.0.0.1:7101 --protocol commit-before
+//! ```
+//!
+//! The server owns its engine + WAL and serves protocol and admin frames
+//! until killed. It starts empty; the load generator (or any driver)
+//! pushes initial data through the admin `Load` request. With `--listen
+//! host:0` the kernel picks the port; the chosen address is printed as
+//! `listening on <addr>` so an orchestrator can parse it.
+
+use amc_engine::{TplConfig, TwoPLEngine};
+use amc_net::comm::EngineHandle;
+use amc_net::{LocalCommManager, SubmitMode};
+use amc_obs::ObsSink;
+use amc_rpc::SiteServer;
+use amc_types::SiteId;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: amc-site-server --site <n> --listen <host:port> \
+         --protocol <2pc|commit-after|commit-before> [--lock-timeout-ms <ms>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut site = None;
+    let mut listen = String::from("127.0.0.1:0");
+    let mut mode = None;
+    let mut lock_timeout = Duration::from_millis(500);
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--site" => {
+                i += 1;
+                site = args.get(i).and_then(|v| v.parse::<u32>().ok());
+            }
+            "--listen" => {
+                i += 1;
+                listen = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--protocol" => {
+                i += 1;
+                mode = match args.get(i).map(String::as_str) {
+                    Some("2pc") => Some(SubmitMode::TwoPhase),
+                    Some("commit-after") => Some(SubmitMode::CommitAfter),
+                    Some("commit-before") => Some(SubmitMode::CommitBefore),
+                    _ => usage(),
+                };
+            }
+            "--lock-timeout-ms" => {
+                i += 1;
+                let ms = args.get(i).and_then(|v| v.parse::<u64>().ok());
+                lock_timeout = Duration::from_millis(ms.unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(site_n) = site else { usage() };
+    let Some(mode) = mode else { usage() };
+    if site_n == 0 {
+        eprintln!("site 0 is the central system, not a local site");
+        std::process::exit(2);
+    }
+    let site = SiteId::new(site_n);
+    let cfg = TplConfig {
+        lock_timeout,
+        deadlock_check: Duration::from_millis(1),
+        ..TplConfig::default()
+    };
+    let engine = Arc::new(TwoPLEngine::new(cfg));
+    let manager = Arc::new(LocalCommManager::new(
+        site,
+        EngineHandle::Preparable(engine),
+    ));
+
+    // A restarted server may race the kernel's TIME_WAIT on its old
+    // connections; retry the bind briefly instead of dying.
+    let mut server = None;
+    for _ in 0..50 {
+        match SiteServer::spawn(
+            site,
+            Arc::clone(&manager),
+            mode,
+            &listen,
+            ObsSink::disabled(),
+        ) {
+            Ok(s) => {
+                server = Some(s);
+                break;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => {
+                eprintln!("bind {listen}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let Some(server) = server else {
+        eprintln!("bind {listen}: address in use");
+        std::process::exit(1);
+    };
+    println!("listening on {}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    // Serve until killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

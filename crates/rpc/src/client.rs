@@ -1,0 +1,263 @@
+//! The connection-supervising RPC client.
+//!
+//! One [`RpcClient`] fronts one site. Every request gets a fresh id, a
+//! per-request deadline (socket read/write timeouts), and up to
+//! [`RetryPolicy::max_attempts`] tries separated by capped exponential
+//! backoff. Any transport failure — connect refused, write failed,
+//! deadline expired, reply garbled, id mismatch — discards the
+//! connection (the next attempt dials a fresh one) and counts one
+//! attempt. Application errors carried in an `ErrorReply` frame are NOT
+//! retried: the site answered; the answer is an error.
+//!
+//! Retrying protocol messages is safe by construction: every manager
+//! handler is idempotent (work map, tombstones, durable markers), which
+//! is exactly the property the paper's inquiry/repetition machinery
+//! already depends on.
+
+use crate::wire::{read_frame, write_frame, Frame};
+use amc_net::transport::{AdminReply, AdminRequest};
+use amc_net::Payload;
+use amc_obs::{EventKind, ObsSink};
+use amc_types::{AmcError, AmcResult, SiteId};
+use parking_lot::Mutex;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Deadlines and retry shape for one client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Deadline for establishing a connection.
+    pub connect_timeout: Duration,
+    /// Per-request deadline (applies to the write and to the reply read).
+    pub request_timeout: Duration,
+    /// Total attempts before the site is declared down.
+    pub max_attempts: u32,
+    /// Backoff before the 2nd attempt; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            connect_timeout: Duration::from_millis(500),
+            request_timeout: Duration::from_secs(2),
+            max_attempts: 10,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff slept after failed attempt number `attempt` (1-based):
+    /// base · 2^(attempt−1), capped.
+    pub fn backoff_after(&self, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(16);
+        self.backoff_base
+            .saturating_mul(1u32 << exp)
+            .min(self.backoff_cap)
+    }
+}
+
+/// A client for one site: address, pooled connections, retry policy.
+pub struct RpcClient {
+    site: SiteId,
+    addr: Mutex<SocketAddr>,
+    policy: RetryPolicy,
+    /// Idle connections. Every in-flight request checks one out; failures
+    /// drop it instead of returning it.
+    pool: Mutex<Vec<TcpStream>>,
+    next_req: AtomicU64,
+    ever_connected: AtomicBool,
+    obs: ObsSink,
+}
+
+impl RpcClient {
+    /// A client for `site` at `addr`.
+    pub fn new(site: SiteId, addr: SocketAddr, policy: RetryPolicy, obs: ObsSink) -> Self {
+        RpcClient {
+            site,
+            addr: Mutex::new(addr),
+            policy,
+            pool: Mutex::new(Vec::new()),
+            next_req: AtomicU64::new(1),
+            ever_connected: AtomicBool::new(false),
+            obs,
+        }
+    }
+
+    /// The site this client fronts.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Point the client at a new address (a restarted site may come back
+    /// on a different port). Pooled connections to the old address are
+    /// dropped.
+    pub fn set_addr(&self, addr: SocketAddr) {
+        *self.addr.lock() = addr;
+        self.pool.lock().clear();
+    }
+
+    /// Send one protocol message and wait for the site's reply.
+    pub fn call(&self, payload: Payload) -> AmcResult<Payload> {
+        let gtx = payload.gtx();
+        let label = payload.label();
+        let reply = self.with_retries(|req_id| Frame::Request {
+            req_id,
+            payload: payload.clone(),
+        })?;
+        match reply {
+            Frame::Reply { payload, .. } => {
+                self.obs.emit(
+                    Some(gtx),
+                    SiteId::CENTRAL,
+                    EventKind::MsgDeliver {
+                        label: payload.label(),
+                        from: self.site,
+                    },
+                );
+                Ok(payload)
+            }
+            Frame::ErrorReply { error, .. } => Err(error),
+            other => Err(AmcError::Protocol(format!(
+                "site answered {label} with a non-protocol frame {other:?}"
+            ))),
+        }
+    }
+
+    /// Send one admin request and wait for the site's reply.
+    pub fn admin(&self, req: AdminRequest) -> AmcResult<AdminReply> {
+        let reply = self.with_retries(|req_id| Frame::AdminRequest {
+            req_id,
+            req: req.clone(),
+        })?;
+        match reply {
+            Frame::AdminReply { reply, .. } => Ok(reply),
+            Frame::ErrorReply { error, .. } => Err(error),
+            other => Err(AmcError::Protocol(format!(
+                "site answered admin with a non-admin frame {other:?}"
+            ))),
+        }
+    }
+
+    /// Run the attempt/backoff loop around [`RpcClient::roundtrip`].
+    fn with_retries(&self, make_frame: impl Fn(u64) -> Frame) -> AmcResult<Frame> {
+        for attempt in 1..=self.policy.max_attempts {
+            let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
+            let frame = make_frame(req_id);
+            match self.roundtrip(&frame) {
+                Ok(reply) => return Ok(reply),
+                Err(_) if attempt < self.policy.max_attempts => {
+                    self.obs.emit(
+                        None,
+                        SiteId::CENTRAL,
+                        EventKind::RpcRetry {
+                            to: self.site,
+                            attempt,
+                        },
+                    );
+                    std::thread::sleep(self.policy.backoff_after(attempt));
+                }
+                Err(_) => break,
+            }
+        }
+        Err(AmcError::SiteDown(self.site))
+    }
+
+    /// One attempt: check out (or dial) a connection, write the frame,
+    /// read the matching reply. Any failure discards the connection.
+    fn roundtrip(&self, frame: &Frame) -> Result<Frame, ()> {
+        let mut conn = match self.pool.lock().pop() {
+            Some(c) => c,
+            None => self.dial()?,
+        };
+        conn.set_read_timeout(Some(self.policy.request_timeout))
+            .map_err(|_| ())?;
+        conn.set_write_timeout(Some(self.policy.request_timeout))
+            .map_err(|_| ())?;
+        if let Frame::Request { payload, .. } = frame {
+            self.obs.emit(
+                Some(payload.gtx()),
+                SiteId::CENTRAL,
+                EventKind::MsgSend {
+                    label: payload.label(),
+                    from: SiteId::CENTRAL,
+                    to: self.site,
+                },
+            );
+        }
+        write_frame(&mut conn, frame).map_err(|_| ())?;
+        let reply = read_frame(&mut conn).map_err(|_| ())?;
+        if reply.req_id() != frame.req_id() {
+            // A stale reply can only come from a connection we should
+            // have discarded; never trust it.
+            return Err(());
+        }
+        self.pool.lock().push(conn);
+        Ok(reply)
+    }
+
+    fn dial(&self) -> Result<TcpStream, ()> {
+        let addr = *self.addr.lock();
+        let conn =
+            TcpStream::connect_timeout(&addr, self.policy.connect_timeout).map_err(|_| ())?;
+        let _ = conn.set_nodelay(true);
+        if self.ever_connected.swap(true, Ordering::Relaxed) {
+            self.obs.emit(
+                None,
+                SiteId::CENTRAL,
+                EventKind::RpcReconnect { to: self.site },
+            );
+        }
+        Ok(conn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(100),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff_after(1), Duration::from_millis(10));
+        assert_eq!(p.backoff_after(2), Duration::from_millis(20));
+        assert_eq!(p.backoff_after(3), Duration::from_millis(40));
+        assert_eq!(p.backoff_after(4), Duration::from_millis(80));
+        assert_eq!(p.backoff_after(5), Duration::from_millis(100));
+        assert_eq!(p.backoff_after(30), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn unreachable_site_is_down_after_bounded_attempts() {
+        // A port nothing listens on: every attempt fails to connect, and
+        // the client gives up with SiteDown after max_attempts.
+        let policy = RetryPolicy {
+            connect_timeout: Duration::from_millis(50),
+            request_timeout: Duration::from_millis(50),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+        };
+        // Bind-then-drop to get a port that is closed right now.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let client = RpcClient::new(SiteId::new(1), addr, policy, ObsSink::disabled());
+        let err = client
+            .call(Payload::Prepare {
+                gtx: amc_types::GlobalTxnId::new(1),
+            })
+            .unwrap_err();
+        assert!(matches!(err, AmcError::SiteDown(s) if s == SiteId::new(1)));
+    }
+}

@@ -1,0 +1,37 @@
+//! # amc-rpc
+//!
+//! The networked federation runtime: the paper's integrated system as it
+//! actually deploys — a central coordinator talking to independent local
+//! systems over a network, not over function calls.
+//!
+//! * [`wire`] — the length-prefixed framed codec (version byte +
+//!   hand-rolled binary body) over the `amc-net` [`amc_net::Payload`]
+//!   vocabulary, so the simulator and the networked runtime share one
+//!   message grammar;
+//! * [`server`] — the TCP **site server**: one listener per local system,
+//!   thread-per-connection, each request dispatched to the same
+//!   `LocalCommManager` the in-process runtime uses. Malformed frames
+//!   kill their connection, never the server;
+//! * [`client`] — the connection-supervising **RPC client**: per-request
+//!   deadlines, capped exponential-backoff retries, automatic reconnect,
+//!   all surfaced as `amc-obs` events so `explain` works on networked
+//!   runs;
+//! * [`transport`] — the [`amc_net::transport::FederationTransport`] impl
+//!   gluing the two into `amc_core::Federation::with_transport`.
+//!
+//! The binaries `amc-site-server` and `amc-loadgen` run the same pieces
+//! as separate OS processes; experiment E10 measures what the wire costs
+//! relative to the in-process dispatcher.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use client::{RetryPolicy, RpcClient};
+pub use server::SiteServer;
+pub use transport::TcpTransport;
+pub use wire::{Frame, FrameReadError, WireError, MAX_FRAME_LEN, WIRE_VERSION};

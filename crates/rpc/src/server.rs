@@ -1,0 +1,296 @@
+//! The TCP site server: one independent process (or thread) per local
+//! system, owning its engine + WAL behind a loopback listener.
+//!
+//! Concurrency model: thread-per-connection. Every connection runs its
+//! own request loop — decode a frame, dispatch it to the shared
+//! [`LocalCommManager`] (the same dispatch the in-process transport
+//! uses), write the reply with the echoed request id. A malformed frame
+//! poisons only its own connection: the handler drops the socket and
+//! returns, while the listener keeps accepting and every other
+//! connection keeps being served.
+
+use crate::wire::{read_frame, write_frame, Frame};
+use amc_net::transport::{admin_to_manager, dispatch_to_manager};
+use amc_net::{LocalCommManager, SubmitMode};
+use amc_obs::{EventKind, ObsSink};
+use amc_types::SiteId;
+use parking_lot::Mutex;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often a blocked connection read wakes up to check the stop flag.
+const STOP_POLL: Duration = Duration::from_millis(100);
+
+/// A running site server. Dropping it (or calling
+/// [`SiteServer::shutdown`]) stops the listener and joins every
+/// connection thread.
+pub struct SiteServer {
+    site: SiteId,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl SiteServer {
+    /// Bind `listen` (e.g. `127.0.0.1:0` for an ephemeral loopback port)
+    /// and serve `manager` on it. `mode` selects how submits run — it must
+    /// match the protocol the coordinator drives.
+    pub fn spawn(
+        site: SiteId,
+        manager: Arc<LocalCommManager>,
+        mode: SubmitMode,
+        listen: &str,
+        obs: ObsSink,
+    ) -> io::Result<SiteServer> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let conn_threads = Arc::clone(&conn_threads);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let manager = Arc::clone(&manager);
+                    let obs = obs.clone();
+                    let stop = Arc::clone(&stop);
+                    let handle = std::thread::spawn(move || {
+                        serve_connection(stream, site, &manager, mode, &obs, &stop);
+                    });
+                    conn_threads.lock().push(handle);
+                }
+            })
+        };
+        Ok(SiteServer {
+            site,
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            conn_threads,
+        })
+    }
+
+    /// The site this server fronts.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// The address the server actually listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, close the listener, and join every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        for h in self.conn_threads.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SiteServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// One connection's request loop. Returns (dropping the connection) on
+/// any read/decode error or when the stop flag is raised.
+fn serve_connection(
+    mut stream: TcpStream,
+    site: SiteId,
+    manager: &LocalCommManager,
+    mode: SubmitMode,
+    obs: &ObsSink,
+    stop: &AtomicBool,
+) {
+    // Short read timeout so the thread notices shutdown promptly even on
+    // an idle connection.
+    if stream.set_read_timeout(Some(STOP_POLL)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let frame = match read_frame(&mut stream) {
+            Ok(f) => f,
+            // A deadline tick with no bytes: just re-check the stop flag.
+            Err(e) if e.is_timeout() => continue,
+            // Closed, reset, truncated, garbage, oversized: this
+            // connection is done — and only this connection.
+            Err(_) => return,
+        };
+        let reply = match frame {
+            Frame::Request { req_id, payload } => {
+                obs.emit(
+                    Some(payload.gtx()),
+                    site,
+                    EventKind::MsgDeliver {
+                        label: payload.label(),
+                        from: SiteId::CENTRAL,
+                    },
+                );
+                match dispatch_to_manager(manager, payload, mode) {
+                    Ok(payload) => {
+                        obs.emit(
+                            Some(payload.gtx()),
+                            site,
+                            EventKind::MsgSend {
+                                label: payload.label(),
+                                from: site,
+                                to: SiteId::CENTRAL,
+                            },
+                        );
+                        Frame::Reply { req_id, payload }
+                    }
+                    Err(error) => Frame::ErrorReply { req_id, error },
+                }
+            }
+            Frame::AdminRequest { req_id, req } => match admin_to_manager(manager, req) {
+                Ok(reply) => Frame::AdminReply { req_id, reply },
+                Err(error) => Frame::ErrorReply { req_id, error },
+            },
+            // A server only accepts requests; a peer sending replies is
+            // broken — drop it.
+            Frame::Reply { .. } | Frame::AdminReply { .. } | Frame::ErrorReply { .. } => return,
+        };
+        if write_frame(&mut stream, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amc_engine::{TplConfig, TwoPLEngine};
+    use amc_net::comm::EngineHandle;
+    use amc_net::transport::{AdminReply, AdminRequest};
+    use amc_types::{GlobalTxnId, ObjectId, Operation, Value};
+    use std::io::Write as _;
+
+    fn server() -> SiteServer {
+        let site = SiteId::new(1);
+        let engine = Arc::new(TwoPLEngine::new(TplConfig::default()));
+        let manager = Arc::new(LocalCommManager::new(
+            site,
+            EngineHandle::Preparable(engine),
+        ));
+        SiteServer::spawn(
+            site,
+            manager,
+            SubmitMode::CommitBefore,
+            "127.0.0.1:0",
+            ObsSink::disabled(),
+        )
+        .expect("bind loopback")
+    }
+
+    fn roundtrip(stream: &mut TcpStream, frame: &Frame) -> Frame {
+        write_frame(stream, frame).unwrap();
+        loop {
+            match read_frame(stream) {
+                Ok(f) => return f,
+                Err(e) if e.is_timeout() => continue,
+                Err(e) => panic!("read: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn serves_a_submit_over_tcp() {
+        let srv = server();
+        let mut conn = TcpStream::connect(srv.addr()).unwrap();
+        let reply = roundtrip(
+            &mut conn,
+            &Frame::AdminRequest {
+                req_id: 1,
+                req: AdminRequest::Load(vec![(ObjectId::new(1), Value::counter(10))]),
+            },
+        );
+        assert_eq!(
+            reply,
+            Frame::AdminReply {
+                req_id: 1,
+                reply: AdminReply::Loaded
+            }
+        );
+        let reply = roundtrip(
+            &mut conn,
+            &Frame::Request {
+                req_id: 2,
+                payload: amc_net::Payload::Submit {
+                    gtx: GlobalTxnId::new(1),
+                    ops: vec![Operation::Increment {
+                        obj: ObjectId::new(1),
+                        delta: 5,
+                    }],
+                },
+            },
+        );
+        match reply {
+            Frame::Reply {
+                req_id: 2,
+                payload: amc_net::Payload::Vote { vote, .. },
+            } => assert!(vote.is_yes()),
+            other => panic!("unexpected {other:?}"),
+        }
+        srv.shutdown();
+    }
+
+    #[test]
+    fn garbage_frame_drops_only_that_connection() {
+        let srv = server();
+        // A healthy connection established first.
+        let mut healthy = TcpStream::connect(srv.addr()).unwrap();
+        // A hostile connection: oversized length prefix.
+        let mut hostile = TcpStream::connect(srv.addr()).unwrap();
+        hostile.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        // The hostile connection gets dropped: the next read sees EOF.
+        hostile
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = [0u8; 1];
+        use std::io::Read as _;
+        assert_eq!(hostile.read(&mut buf).unwrap_or(0), 0, "must be closed");
+        // The healthy connection still serves.
+        let reply = roundtrip(
+            &mut healthy,
+            &Frame::AdminRequest {
+                req_id: 7,
+                req: AdminRequest::Ping,
+            },
+        );
+        assert_eq!(
+            reply,
+            Frame::AdminReply {
+                req_id: 7,
+                reply: AdminReply::Pong
+            }
+        );
+        srv.shutdown();
+    }
+}

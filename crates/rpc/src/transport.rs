@@ -1,0 +1,55 @@
+//! [`FederationTransport`] over TCP: one [`RpcClient`] per site.
+
+use crate::client::{RetryPolicy, RpcClient};
+use amc_net::transport::{AdminReply, AdminRequest, FederationTransport};
+use amc_net::Payload;
+use amc_obs::ObsSink;
+use amc_types::{AmcError, AmcResult, SiteId};
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+
+/// The networked transport: the coordinator reaches every site through a
+/// deadline/retry RPC client over loopback (or any) TCP.
+pub struct TcpTransport {
+    clients: BTreeMap<SiteId, RpcClient>,
+}
+
+impl TcpTransport {
+    /// A transport for the sites at `addrs`, all sharing `policy` and
+    /// emitting client-side events into `obs`.
+    pub fn new(addrs: BTreeMap<SiteId, SocketAddr>, policy: RetryPolicy, obs: ObsSink) -> Self {
+        let clients = addrs
+            .into_iter()
+            .map(|(site, addr)| (site, RpcClient::new(site, addr, policy, obs.clone())))
+            .collect();
+        TcpTransport { clients }
+    }
+
+    /// Repoint one site's client (a restarted site server may listen on a
+    /// new port).
+    pub fn set_site_addr(&self, site: SiteId, addr: SocketAddr) {
+        if let Some(c) = self.clients.get(&site) {
+            c.set_addr(addr);
+        }
+    }
+}
+
+impl FederationTransport for TcpTransport {
+    fn sites(&self) -> Vec<SiteId> {
+        self.clients.keys().copied().collect()
+    }
+
+    fn call(&self, to: SiteId, payload: Payload) -> AmcResult<Payload> {
+        self.clients
+            .get(&to)
+            .ok_or(AmcError::SiteDown(to))?
+            .call(payload)
+    }
+
+    fn admin(&self, to: SiteId, req: AdminRequest) -> AmcResult<AdminReply> {
+        self.clients
+            .get(&to)
+            .ok_or(AmcError::SiteDown(to))?
+            .admin(req)
+    }
+}

@@ -1,0 +1,848 @@
+//! The framed wire codec, version 1.
+//!
+//! Every frame on the wire is
+//!
+//! ```text
+//! [u32 LE length of the rest][u8 version = 1][u8 frame kind][u64 LE req id][body]
+//! ```
+//!
+//! The length prefix counts everything after itself (version byte
+//! included), so a reader can always take exactly one frame off the
+//! stream. Frame kinds: `0` protocol request, `1` protocol reply (both
+//! bodies are a [`Payload`]), `2` admin request, `3` admin reply, `4`
+//! error reply (body is an [`AmcError`]). The request id is echoed
+//! verbatim in the reply so a client can detect stale replies on a reused
+//! connection.
+//!
+//! All integers are little-endian. Enums are `u8` tags. Vectors are a
+//! `u32` count followed by the elements. [`Value`]s reuse the fixed
+//! 12-byte layout of [`Value::to_bytes`]. The layout is pinned by a
+//! golden-bytes test (`tests/wire_codec.rs`): changing any of it must
+//! bump [`WIRE_VERSION`].
+
+use amc_net::transport::{AdminReply, AdminRequest};
+use amc_net::Payload;
+use amc_types::{
+    AbortReason, AmcError, GlobalTxnId, GlobalVerdict, LocalVote, ObjectId, Operation, SiteId,
+    Value,
+};
+use amc_wal::LogStats;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// The one and only wire version this codec speaks.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on the post-prefix frame length: anything larger is a
+/// corrupt or hostile frame and the connection is dropped.
+pub const MAX_FRAME_LEN: u32 = 4 << 20;
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Coordinator → site protocol message.
+    Request {
+        /// Echoed in the reply.
+        req_id: u64,
+        /// The protocol message.
+        payload: Payload,
+    },
+    /// Site → coordinator protocol reply.
+    Reply {
+        /// The request this answers.
+        req_id: u64,
+        /// The reply message.
+        payload: Payload,
+    },
+    /// Driver → site admin message.
+    AdminRequest {
+        /// Echoed in the reply.
+        req_id: u64,
+        /// The admin request.
+        req: AdminRequest,
+    },
+    /// Site → driver admin reply.
+    AdminReply {
+        /// The request this answers.
+        req_id: u64,
+        /// The admin reply.
+        reply: AdminReply,
+    },
+    /// Site → caller: the request failed.
+    ErrorReply {
+        /// The request this answers.
+        req_id: u64,
+        /// What went wrong.
+        error: AmcError,
+    },
+}
+
+impl Frame {
+    /// The request id carried by any frame kind.
+    pub fn req_id(&self) -> u64 {
+        match self {
+            Frame::Request { req_id, .. }
+            | Frame::Reply { req_id, .. }
+            | Frame::AdminRequest { req_id, .. }
+            | Frame::AdminReply { req_id, .. }
+            | Frame::ErrorReply { req_id, .. } => *req_id,
+        }
+    }
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame ended before its declared content did.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    Oversized(u32),
+    /// Unknown wire version.
+    BadVersion(u8),
+    /// An enum tag outside its domain (`what` names the enum).
+    BadTag(&'static str, u8),
+    /// Bytes left over after the body was fully decoded.
+    TrailingBytes(usize),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::Oversized(n) => write!(f, "frame length {n} exceeds {MAX_FRAME_LEN}"),
+            WireError::BadVersion(v) => write!(f, "wire version {v} (expected {WIRE_VERSION})"),
+            WireError::BadTag(what, t) => write!(f, "bad {what} tag {t}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame body"),
+            WireError::BadUtf8 => write!(f, "string field is not UTF-8"),
+        }
+    }
+}
+
+/// Why [`read_frame`] failed: the transport broke, or the peer sent bytes
+/// that do not decode.
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// Socket-level failure (closed, reset, timed out).
+    Io(io::Error),
+    /// The bytes arrived but are not a valid frame.
+    Wire(WireError),
+}
+
+impl fmt::Display for FrameReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameReadError::Io(e) => write!(f, "io: {e}"),
+            FrameReadError::Wire(e) => write!(f, "wire: {e}"),
+        }
+    }
+}
+
+impl FrameReadError {
+    /// True when the failure was a read deadline expiring.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            FrameReadError::Io(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut
+        )
+    }
+}
+
+// ---------------------------------------------------------------- writer --
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn value(&mut self, v: Value) {
+        self.buf.extend_from_slice(&v.to_bytes());
+    }
+}
+
+fn write_op(w: &mut Writer, op: &Operation) {
+    match op {
+        Operation::Read { obj } => {
+            w.u8(0);
+            w.u64(obj.raw());
+        }
+        Operation::Write { obj, value } => {
+            w.u8(1);
+            w.u64(obj.raw());
+            w.value(*value);
+        }
+        Operation::Increment { obj, delta } => {
+            w.u8(2);
+            w.u64(obj.raw());
+            w.i64(*delta);
+        }
+        Operation::Insert { obj, value } => {
+            w.u8(3);
+            w.u64(obj.raw());
+            w.value(*value);
+        }
+        Operation::Delete { obj } => {
+            w.u8(4);
+            w.u64(obj.raw());
+        }
+        Operation::Reserve { obj, amount } => {
+            w.u8(5);
+            w.u64(obj.raw());
+            w.u64(*amount);
+        }
+    }
+}
+
+fn write_ops(w: &mut Writer, ops: &[Operation]) {
+    w.u32(ops.len() as u32);
+    for op in ops {
+        write_op(w, op);
+    }
+}
+
+fn write_payload(w: &mut Writer, p: &Payload) {
+    match p {
+        Payload::Submit { gtx, ops } => {
+            w.u8(0);
+            w.u64(gtx.raw());
+            write_ops(w, ops);
+        }
+        Payload::Prepare { gtx } => {
+            w.u8(1);
+            w.u64(gtx.raw());
+        }
+        Payload::Vote { gtx, vote } => {
+            w.u8(2);
+            w.u64(gtx.raw());
+            w.u8(match vote {
+                LocalVote::Ready => 0,
+                LocalVote::ReadyReadOnly => 1,
+                LocalVote::Aborted => 2,
+            });
+        }
+        Payload::Decision { gtx, verdict } => {
+            w.u8(3);
+            w.u64(gtx.raw());
+            w.u8(verdict_tag(*verdict));
+        }
+        Payload::Redo { gtx, ops } => {
+            w.u8(4);
+            w.u64(gtx.raw());
+            write_ops(w, ops);
+        }
+        Payload::Undo { gtx, inverse_ops } => {
+            w.u8(5);
+            w.u64(gtx.raw());
+            write_ops(w, inverse_ops);
+        }
+        Payload::Finished { gtx } => {
+            w.u8(6);
+            w.u64(gtx.raw());
+        }
+    }
+}
+
+fn verdict_tag(v: GlobalVerdict) -> u8 {
+    match v {
+        GlobalVerdict::Commit => 0,
+        GlobalVerdict::Abort => 1,
+    }
+}
+
+fn abort_reason_tag(r: AbortReason) -> u8 {
+    match r {
+        AbortReason::Intended => 0,
+        AbortReason::Deadlock => 1,
+        AbortReason::LockTimeout => 2,
+        AbortReason::ValidationFailed => 3,
+        AbortReason::SiteCrash => 4,
+        AbortReason::GlobalDecision => 5,
+        AbortReason::Injected => 6,
+    }
+}
+
+fn write_admin_request(w: &mut Writer, req: &AdminRequest) {
+    match req {
+        AdminRequest::Ping => w.u8(0),
+        AdminRequest::Load(data) => {
+            w.u8(1);
+            w.u32(data.len() as u32);
+            for (obj, value) in data {
+                w.u64(obj.raw());
+                w.value(*value);
+            }
+        }
+        AdminRequest::Dump => w.u8(2),
+        AdminRequest::CommStats => w.u8(3),
+        AdminRequest::LogStats => w.u8(4),
+    }
+}
+
+fn write_admin_reply(w: &mut Writer, reply: &AdminReply) {
+    match reply {
+        AdminReply::Pong => w.u8(0),
+        AdminReply::Loaded => w.u8(1),
+        AdminReply::Dump(d) => {
+            w.u8(2);
+            w.u32(d.len() as u32);
+            for (obj, value) in d {
+                w.u64(obj.raw());
+                w.value(*value);
+            }
+        }
+        AdminReply::CommStats(s) => {
+            w.u8(3);
+            for v in [
+                s.submits,
+                s.votes_ready,
+                s.votes_aborted,
+                s.redo_runs,
+                s.undo_runs,
+                s.pre_vote_retries,
+                s.marker_checks,
+            ] {
+                w.u64(v);
+            }
+        }
+        AdminReply::LogStats(s) => {
+            w.u8(4);
+            for v in [
+                s.appends,
+                s.forces,
+                s.stable_records,
+                s.stable_bytes,
+                s.group_forces,
+                s.batched_commits,
+            ] {
+                w.u64(v);
+            }
+        }
+    }
+}
+
+fn write_error(w: &mut Writer, e: &AmcError) {
+    match e {
+        AmcError::Aborted(r) => {
+            w.u8(0);
+            w.u8(abort_reason_tag(*r));
+        }
+        AmcError::NotFound(obj) => {
+            w.u8(1);
+            w.u64(obj.raw());
+        }
+        AmcError::AlreadyExists(obj) => {
+            w.u8(2);
+            w.u64(obj.raw());
+        }
+        AmcError::InsufficientStock { obj, have, want } => {
+            w.u8(3);
+            w.u64(obj.raw());
+            w.i64(*have);
+            w.u64(*want);
+        }
+        AmcError::UnknownTxn => w.u8(4),
+        AmcError::SiteDown(site) => {
+            w.u8(5);
+            w.u32(site.raw());
+        }
+        AmcError::Corruption(m) => {
+            w.u8(6);
+            w.str(m);
+        }
+        AmcError::TransientIo(m) => {
+            w.u8(7);
+            w.str(m);
+        }
+        AmcError::BufferExhausted => w.u8(8),
+        AmcError::Protocol(m) => {
+            w.u8(9);
+            w.str(m);
+        }
+        AmcError::InvalidState(m) => {
+            w.u8(10);
+            w.str(m);
+        }
+    }
+}
+
+/// Encode `frame` into its complete on-wire bytes (length prefix
+/// included).
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(WIRE_VERSION);
+    match frame {
+        Frame::Request { req_id, payload } => {
+            w.u8(0);
+            w.u64(*req_id);
+            write_payload(&mut w, payload);
+        }
+        Frame::Reply { req_id, payload } => {
+            w.u8(1);
+            w.u64(*req_id);
+            write_payload(&mut w, payload);
+        }
+        Frame::AdminRequest { req_id, req } => {
+            w.u8(2);
+            w.u64(*req_id);
+            write_admin_request(&mut w, req);
+        }
+        Frame::AdminReply { req_id, reply } => {
+            w.u8(3);
+            w.u64(*req_id);
+            write_admin_reply(&mut w, reply);
+        }
+        Frame::ErrorReply { req_id, error } => {
+            w.u8(4);
+            w.u64(*req_id);
+            write_error(&mut w, error);
+        }
+    }
+    let mut out = Vec::with_capacity(4 + w.buf.len());
+    out.extend_from_slice(&(w.buf.len() as u32).to_le_bytes());
+    out.extend_from_slice(&w.buf);
+    out
+}
+
+// ---------------------------------------------------------------- reader --
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+    fn value(&mut self) -> Result<Value, WireError> {
+        let bytes: &[u8; 12] = self.take(12)?.try_into().unwrap();
+        Ok(Value::from_bytes(bytes))
+    }
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+fn read_op(r: &mut Reader<'_>) -> Result<Operation, WireError> {
+    let tag = r.u8()?;
+    let obj = ObjectId::new(r.u64()?);
+    Ok(match tag {
+        0 => Operation::Read { obj },
+        1 => Operation::Write {
+            obj,
+            value: r.value()?,
+        },
+        2 => Operation::Increment {
+            obj,
+            delta: r.i64()?,
+        },
+        3 => Operation::Insert {
+            obj,
+            value: r.value()?,
+        },
+        4 => Operation::Delete { obj },
+        5 => Operation::Reserve {
+            obj,
+            amount: r.u64()?,
+        },
+        t => return Err(WireError::BadTag("operation", t)),
+    })
+}
+
+fn read_ops(r: &mut Reader<'_>) -> Result<Vec<Operation>, WireError> {
+    let n = r.u32()? as usize;
+    // Each op is at least 9 bytes; a hostile count cannot force a huge
+    // allocation past what the frame itself carries.
+    if n > r.remaining() {
+        return Err(WireError::Truncated);
+    }
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        ops.push(read_op(r)?);
+    }
+    Ok(ops)
+}
+
+fn read_payload(r: &mut Reader<'_>) -> Result<Payload, WireError> {
+    let tag = r.u8()?;
+    let gtx = GlobalTxnId::new(r.u64()?);
+    Ok(match tag {
+        0 => Payload::Submit {
+            gtx,
+            ops: read_ops(r)?,
+        },
+        1 => Payload::Prepare { gtx },
+        2 => Payload::Vote {
+            gtx,
+            vote: match r.u8()? {
+                0 => LocalVote::Ready,
+                1 => LocalVote::ReadyReadOnly,
+                2 => LocalVote::Aborted,
+                t => return Err(WireError::BadTag("vote", t)),
+            },
+        },
+        3 => Payload::Decision {
+            gtx,
+            verdict: read_verdict(r)?,
+        },
+        4 => Payload::Redo {
+            gtx,
+            ops: read_ops(r)?,
+        },
+        5 => Payload::Undo {
+            gtx,
+            inverse_ops: read_ops(r)?,
+        },
+        6 => Payload::Finished { gtx },
+        t => return Err(WireError::BadTag("payload", t)),
+    })
+}
+
+fn read_verdict(r: &mut Reader<'_>) -> Result<GlobalVerdict, WireError> {
+    match r.u8()? {
+        0 => Ok(GlobalVerdict::Commit),
+        1 => Ok(GlobalVerdict::Abort),
+        t => Err(WireError::BadTag("verdict", t)),
+    }
+}
+
+fn read_abort_reason(r: &mut Reader<'_>) -> Result<AbortReason, WireError> {
+    Ok(match r.u8()? {
+        0 => AbortReason::Intended,
+        1 => AbortReason::Deadlock,
+        2 => AbortReason::LockTimeout,
+        3 => AbortReason::ValidationFailed,
+        4 => AbortReason::SiteCrash,
+        5 => AbortReason::GlobalDecision,
+        6 => AbortReason::Injected,
+        t => return Err(WireError::BadTag("abort-reason", t)),
+    })
+}
+
+fn read_pairs(r: &mut Reader<'_>) -> Result<Vec<(ObjectId, Value)>, WireError> {
+    let n = r.u32()? as usize;
+    if n > r.remaining() {
+        return Err(WireError::Truncated);
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let obj = ObjectId::new(r.u64()?);
+        out.push((obj, r.value()?));
+    }
+    Ok(out)
+}
+
+fn read_admin_request(r: &mut Reader<'_>) -> Result<AdminRequest, WireError> {
+    Ok(match r.u8()? {
+        0 => AdminRequest::Ping,
+        1 => AdminRequest::Load(read_pairs(r)?),
+        2 => AdminRequest::Dump,
+        3 => AdminRequest::CommStats,
+        4 => AdminRequest::LogStats,
+        t => return Err(WireError::BadTag("admin-request", t)),
+    })
+}
+
+fn read_admin_reply(r: &mut Reader<'_>) -> Result<AdminReply, WireError> {
+    Ok(match r.u8()? {
+        0 => AdminReply::Pong,
+        1 => AdminReply::Loaded,
+        2 => AdminReply::Dump(read_pairs(r)?.into_iter().collect::<BTreeMap<_, _>>()),
+        3 => AdminReply::CommStats(amc_net::CommStats {
+            submits: r.u64()?,
+            votes_ready: r.u64()?,
+            votes_aborted: r.u64()?,
+            redo_runs: r.u64()?,
+            undo_runs: r.u64()?,
+            pre_vote_retries: r.u64()?,
+            marker_checks: r.u64()?,
+        }),
+        4 => AdminReply::LogStats(LogStats {
+            appends: r.u64()?,
+            forces: r.u64()?,
+            stable_records: r.u64()?,
+            stable_bytes: r.u64()?,
+            group_forces: r.u64()?,
+            batched_commits: r.u64()?,
+        }),
+        t => return Err(WireError::BadTag("admin-reply", t)),
+    })
+}
+
+fn read_error(r: &mut Reader<'_>) -> Result<AmcError, WireError> {
+    Ok(match r.u8()? {
+        0 => AmcError::Aborted(read_abort_reason(r)?),
+        1 => AmcError::NotFound(ObjectId::new(r.u64()?)),
+        2 => AmcError::AlreadyExists(ObjectId::new(r.u64()?)),
+        3 => AmcError::InsufficientStock {
+            obj: ObjectId::new(r.u64()?),
+            have: r.i64()?,
+            want: r.u64()?,
+        },
+        4 => AmcError::UnknownTxn,
+        5 => AmcError::SiteDown(SiteId::new(r.u32()?)),
+        6 => AmcError::Corruption(r.str()?),
+        7 => AmcError::TransientIo(r.str()?),
+        8 => AmcError::BufferExhausted,
+        9 => AmcError::Protocol(r.str()?),
+        10 => AmcError::InvalidState(r.str()?),
+        t => return Err(WireError::BadTag("error", t)),
+    })
+}
+
+/// Decode the post-prefix bytes of one frame (version byte onward).
+pub fn decode_frame_body(body: &[u8]) -> Result<Frame, WireError> {
+    let mut r = Reader::new(body);
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let kind = r.u8()?;
+    let req_id = r.u64()?;
+    let frame = match kind {
+        0 => Frame::Request {
+            req_id,
+            payload: read_payload(&mut r)?,
+        },
+        1 => Frame::Reply {
+            req_id,
+            payload: read_payload(&mut r)?,
+        },
+        2 => Frame::AdminRequest {
+            req_id,
+            req: read_admin_request(&mut r)?,
+        },
+        3 => Frame::AdminReply {
+            req_id,
+            reply: read_admin_reply(&mut r)?,
+        },
+        4 => Frame::ErrorReply {
+            req_id,
+            error: read_error(&mut r)?,
+        },
+        t => return Err(WireError::BadTag("frame-kind", t)),
+    };
+    if r.remaining() > 0 {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok(frame)
+}
+
+/// Decode one complete frame (length prefix included), as produced by
+/// [`encode_frame`].
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame, WireError> {
+    let mut r = Reader::new(bytes);
+    let len = r.u32()?;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized(len));
+    }
+    let body = r.take(len as usize)?;
+    if r.remaining() > 0 {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    decode_frame_body(body)
+}
+
+// ---------------------------------------------------------------- stream --
+
+/// Write one frame to a stream.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode_frame(frame))?;
+    w.flush()
+}
+
+/// Read exactly one frame off a stream. A declared length beyond
+/// [`MAX_FRAME_LEN`] is rejected *before* any allocation, so a hostile
+/// prefix cannot balloon memory.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameReadError> {
+    let mut prefix = [0u8; 4];
+    r.read_exact(&mut prefix).map_err(FrameReadError::Io)?;
+    let len = u32::from_le_bytes(prefix);
+    if len > MAX_FRAME_LEN {
+        return Err(FrameReadError::Wire(WireError::Oversized(len)));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body).map_err(FrameReadError::Io)?;
+    decode_frame_body(&body).map_err(FrameReadError::Wire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_submit() {
+        let frame = Frame::Request {
+            req_id: 42,
+            payload: Payload::Submit {
+                gtx: GlobalTxnId::new(7),
+                ops: vec![
+                    Operation::Increment {
+                        obj: ObjectId::new(3),
+                        delta: -5,
+                    },
+                    Operation::Write {
+                        obj: ObjectId::new(9),
+                        value: Value::counter(11),
+                    },
+                ],
+            },
+        };
+        let bytes = encode_frame(&frame);
+        assert_eq!(decode_frame(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn round_trips_admin_and_errors() {
+        let frames = [
+            Frame::AdminRequest {
+                req_id: 1,
+                req: AdminRequest::Load(vec![(ObjectId::new(1), Value::counter(5))]),
+            },
+            Frame::AdminReply {
+                req_id: 1,
+                reply: AdminReply::Dump(BTreeMap::from([(ObjectId::new(1), Value::counter(5))])),
+            },
+            Frame::ErrorReply {
+                req_id: 2,
+                error: AmcError::SiteDown(SiteId::new(3)),
+            },
+            Frame::ErrorReply {
+                req_id: 3,
+                error: AmcError::Protocol("boom".into()),
+            },
+        ];
+        for frame in frames {
+            let bytes = encode_frame(&frame);
+            assert_eq!(decode_frame(&bytes).unwrap(), frame, "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_not_panicked() {
+        let bytes = encode_frame(&Frame::Request {
+            req_id: 9,
+            payload: Payload::Prepare {
+                gtx: GlobalTxnId::new(1),
+            },
+        });
+        for cut in 0..bytes.len() {
+            let res = decode_frame(&bytes[..cut]);
+            assert!(res.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut bytes = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 16]);
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(WireError::Oversized(MAX_FRAME_LEN + 1))
+        );
+    }
+
+    #[test]
+    fn bad_version_and_bad_tags_are_rejected() {
+        let good = encode_frame(&Frame::Reply {
+            req_id: 1,
+            payload: Payload::Finished {
+                gtx: GlobalTxnId::new(1),
+            },
+        });
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert_eq!(decode_frame(&bad_version), Err(WireError::BadVersion(99)));
+        let mut bad_kind = good.clone();
+        bad_kind[5] = 77;
+        assert_eq!(
+            decode_frame(&bad_kind),
+            Err(WireError::BadTag("frame-kind", 77))
+        );
+        let mut bad_payload = good;
+        bad_payload[14] = 55;
+        assert_eq!(
+            decode_frame(&bad_payload),
+            Err(WireError::BadTag("payload", 55))
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_frame(&Frame::Request {
+            req_id: 1,
+            payload: Payload::Prepare {
+                gtx: GlobalTxnId::new(1),
+            },
+        });
+        // Grow the body and fix up the prefix.
+        bytes.push(0xAB);
+        let len = (bytes.len() - 4) as u32;
+        bytes[..4].copy_from_slice(&len.to_le_bytes());
+        assert_eq!(decode_frame(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn hostile_op_count_does_not_allocate() {
+        // A Submit declaring u32::MAX ops in a tiny frame must fail with
+        // Truncated, not attempt a 4-billion-element Vec.
+        let mut w = Writer::new();
+        w.u8(WIRE_VERSION);
+        w.u8(0); // request
+        w.u64(1); // req id
+        w.u8(0); // submit
+        w.u64(1); // gtx
+        w.u32(u32::MAX); // op count
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(w.buf.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&w.buf);
+        assert_eq!(decode_frame(&bytes), Err(WireError::Truncated));
+    }
+}
