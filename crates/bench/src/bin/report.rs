@@ -146,4 +146,24 @@ fn main() {
         }
         println!();
     }
+
+    if wants("e11") {
+        let lengths: &[usize] = if quick {
+            &[100, 1000]
+        } else {
+            &[200, 1000, 4000]
+        };
+        let lingers: &[u64] = if quick {
+            &[0, 2000]
+        } else {
+            &[0, 100, 500, 2000]
+        };
+        let (recovery, fsync) = e11_recovery::run(lengths, lingers, if quick { 400 } else { 1600 });
+        print!("{}", e11_recovery::recovery_table(&recovery).render());
+        print!("{}", e11_recovery::fsync_table(&fsync).render());
+        for v in e11_recovery::verdicts(&recovery, &fsync) {
+            println!("{v}");
+        }
+        println!();
+    }
 }

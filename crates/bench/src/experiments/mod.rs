@@ -1,6 +1,7 @@
 //! One module per experiment in `EXPERIMENTS.md`.
 
 pub mod e10_rpc;
+pub mod e11_recovery;
 pub mod e1_concurrency;
 pub mod e2_redo;
 pub mod e3_abort_cost;

@@ -25,7 +25,7 @@ use amc_net::comm::SubmitMode;
 use amc_net::transport::{AdminReply, AdminRequest, FederationTransport, InProcessTransport};
 use amc_net::{Envelope, LocalCommManager, MessageTrace, Payload};
 use amc_types::{
-    AbortReason, AmcError, AmcResult, GlobalTxnId, GlobalVerdict, ObjectId, Operation,
+    AbortReason, AmcError, AmcResult, GlobalTxnId, GlobalVerdict, LocalVote, ObjectId, Operation,
     ProtocolKind, SimTime, SiteId, Value,
 };
 use amc_verify::{History, OpEvent};
@@ -63,6 +63,20 @@ pub struct TxnReport {
     pub messages: u64,
 }
 
+/// A final-state message the coordinator still owes a site that was down
+/// when it was first sent (§3.1: the coordinator must eventually inform
+/// every local system of the decision; §3.2/§3.3 make the retransmission
+/// idempotent through markers).
+#[derive(Debug, Clone)]
+struct PendingObligation {
+    gtx: GlobalTxnId,
+    site: SiteId,
+    payload: Payload,
+    /// The transaction's L1 locks are retained until discharge (§4.3
+    /// strictness: redo/undo obligations are part of the transaction).
+    holds_l1: bool,
+}
+
 /// The submit mode a protocol uses on the wire.
 pub fn submit_mode_for(protocol: ProtocolKind) -> SubmitMode {
     match protocol {
@@ -85,6 +99,7 @@ pub struct Federation {
     seq: AtomicU64,
     record_history: bool,
     record_trace: bool,
+    unresolved: Mutex<Vec<PendingObligation>>,
 }
 
 impl Federation {
@@ -136,6 +151,7 @@ impl Federation {
             seq: AtomicU64::new(1),
             record_history: true,
             record_trace: true,
+            unresolved: Mutex::new(Vec::new()),
         }
     }
 
@@ -257,6 +273,123 @@ impl Federation {
         Ok(reply)
     }
 
+    /// Record the final-state messages still owed to sites that were down
+    /// when `gtx` finished, translating each into the form a *restarted*
+    /// site can act on.
+    fn queue_obligations(
+        &self,
+        gtx: GlobalTxnId,
+        verdict: GlobalVerdict,
+        per_site: &BTreeMap<SiteId, Vec<Operation>>,
+        crashed_voters: &[SiteId],
+        deferred: Vec<(SiteId, Payload)>,
+    ) {
+        let holds_l1 = self.cfg.protocol != ProtocolKind::TwoPhaseCommit;
+        let mut obligations = Vec::new();
+        // A coordinator that already tried to send the crashed voter its
+        // abort in the finish round deferred that payload too; the
+        // synthetic obligation below supersedes it (for commit-before it
+        // is the stronger message — an undo rather than a bare decision).
+        let deferred: Vec<(SiteId, Payload)> = deferred
+            .into_iter()
+            .filter(|(site, _)| !crashed_voters.contains(site))
+            .collect();
+        for &site in crashed_voters {
+            // A vote-phase crash forced the abort verdict, but the site may
+            // have gotten further than its lost reply shows: a forced 2PC
+            // prepare awaiting the decision, or a commit-before local
+            // commit whose vote never arrived. Either way it must learn
+            // the abort — as an undo for commit-before (its journal holds
+            // the inverses), as a plain abort decision otherwise.
+            debug_assert_eq!(verdict, GlobalVerdict::Abort);
+            let payload = match self.cfg.protocol {
+                ProtocolKind::CommitBefore => Payload::Undo {
+                    gtx,
+                    inverse_ops: Vec::new(),
+                },
+                _ => Payload::Decision {
+                    gtx,
+                    verdict: GlobalVerdict::Abort,
+                },
+            };
+            obligations.push(PendingObligation {
+                gtx,
+                site,
+                payload,
+                holds_l1,
+            });
+        }
+        for (site, payload) in deferred {
+            // A restarted commit-after site has lost the running local
+            // transaction a commit decision would land on; re-ship the
+            // program as a redo instead (§3.2) — the forward marker makes
+            // the repetition exactly-once even if the site never died.
+            let payload = match (self.cfg.protocol, &payload) {
+                (
+                    ProtocolKind::CommitAfter,
+                    Payload::Decision {
+                        verdict: GlobalVerdict::Commit,
+                        ..
+                    },
+                ) => Payload::Redo {
+                    gtx,
+                    ops: per_site.get(&site).cloned().unwrap_or_default(),
+                },
+                _ => payload,
+            };
+            obligations.push(PendingObligation {
+                gtx,
+                site,
+                payload,
+                holds_l1,
+            });
+        }
+        self.unresolved.lock().extend(obligations);
+    }
+
+    /// Number of final-state messages still owed to unreachable sites.
+    pub fn pending_obligations(&self) -> usize {
+        self.unresolved.lock().len()
+    }
+
+    /// Retry delivery of every owed final-state message — the coordinator
+    /// side of a recovered site's inquiry (§3.1): once the site answers
+    /// again, it learns the verdict it missed, redoes or undoes as the
+    /// protocol demands, and the transaction's retained L1 locks are
+    /// finally released.
+    ///
+    /// One delivery attempt per obligation per call; obligations whose
+    /// site is still down stay queued. Returns how many were discharged.
+    pub fn resolve_pending(&self) -> AmcResult<usize> {
+        let pending = std::mem::take(&mut *self.unresolved.lock());
+        if pending.is_empty() {
+            return Ok(0);
+        }
+        let batch: Vec<(GlobalTxnId, bool)> = pending.iter().map(|o| (o.gtx, o.holds_l1)).collect();
+        let mut kept = Vec::new();
+        let mut discharged = 0usize;
+        for ob in pending {
+            match self.dispatch(ob.site, ob.payload.clone()) {
+                Ok(_) => discharged += 1,
+                Err(AmcError::SiteDown(_)) | Err(AmcError::TransientIo(_)) => kept.push(ob),
+                Err(e) => {
+                    // A delivered-but-rejected obligation is a protocol
+                    // bug, not an outage: surface it, keep the rest.
+                    self.unresolved.lock().extend(kept);
+                    return Err(e);
+                }
+            }
+        }
+        let mut unresolved = self.unresolved.lock();
+        unresolved.extend(kept);
+        for (gtx, holds_l1) in batch {
+            if holds_l1 && !unresolved.iter().any(|o| o.gtx == gtx) {
+                self.l1.release_all(gtx);
+            }
+        }
+        Ok(discharged)
+    }
+
     /// Run one global transaction to completion.
     pub fn run_transaction(
         &self,
@@ -318,6 +451,11 @@ impl Federation {
         let mut submit_started: BTreeMap<SiteId, Instant> = BTreeMap::new();
         let mut l0_released: BTreeMap<SiteId, Instant> = BTreeMap::new();
         let mut final_verdict: Option<GlobalVerdict> = None;
+        // Sites that went down mid-protocol. A vote-phase failure counts
+        // as a no vote; a finish-phase failure leaves a final-state
+        // message the coordinator still owes the site once it recovers.
+        let mut crashed_voters: Vec<SiteId> = Vec::new();
+        let mut deferred: Vec<(SiteId, Payload)> = Vec::new();
         let result: AmcResult<()> = (|| {
             while let Some(event) = queue.pop_front() {
                 for action in coordinator.on_event(event) {
@@ -327,8 +465,34 @@ impl Federation {
                             if is_submit {
                                 submit_started.insert(site, Instant::now());
                             }
+                            let vote_phase =
+                                matches!(payload, Payload::Submit { .. } | Payload::Prepare { .. });
                             messages += 2; // request + reply
-                            let reply = self.dispatch(site, payload)?;
+                            let reply = match self.dispatch(site, payload.clone()) {
+                                Ok(reply) => reply,
+                                Err(AmcError::SiteDown(_)) | Err(AmcError::TransientIo(_)) => {
+                                    if vote_phase {
+                                        // An unreachable site cannot promise
+                                        // anything: count it as a no vote and
+                                        // reconcile after the verdict (§3.3's
+                                        // crash race: it may in fact have
+                                        // committed locally before dying).
+                                        crashed_voters.push(site);
+                                        queue.push_back(CoordEvent::Vote {
+                                            site,
+                                            vote: LocalVote::Aborted,
+                                        });
+                                    } else {
+                                        // The decision stands; the site learns
+                                        // it through the inquiry path when it
+                                        // comes back (resolve_pending).
+                                        deferred.push((site, payload));
+                                        queue.push_back(CoordEvent::Finished { site });
+                                    }
+                                    continue;
+                                }
+                                Err(e) => return Err(e),
+                            };
                             // L0 release points: commit-before releases at
                             // local commit (submit reply); the others at the
                             // decision/redo/undo reply.
@@ -366,15 +530,22 @@ impl Federation {
             Ok(())
         })();
 
+        let has_obligations = !crashed_voters.is_empty() || !deferred.is_empty();
         // Strict L1 2PL: release only after every obligation (redo/undo)
-        // has been discharged.
-        if self.cfg.protocol != ProtocolKind::TwoPhaseCommit {
+        // has been discharged. A transaction that still owes a crashed
+        // site its final state keeps its L1 locks until resolve_pending
+        // delivers it (§4.3: the obligation is part of the transaction).
+        if self.cfg.protocol != ProtocolKind::TwoPhaseCommit && !(result.is_ok() && has_obligations)
+        {
             self.l1.release_all(gtx);
         }
         result?;
 
         let verdict =
             final_verdict.ok_or_else(|| AmcError::Protocol("coordinator never finished".into()))?;
+        if has_obligations {
+            self.queue_obligations(gtx, verdict, per_site, &crashed_voters, deferred);
+        }
         if self.record_history {
             self.history.lock().set_outcome(gtx, verdict);
         }
@@ -596,6 +767,108 @@ mod tests {
             assert_eq!(user_sum(&fed), 100 * 2 * 50, "{protocol}");
             let dumps = fed.dumps().unwrap();
             assert_eq!(dumps[&site(1)][&obj(1, 0)], v(100), "{protocol}");
+        }
+    }
+
+    /// An in-process transport whose sites can be taken "down": calls to a
+    /// down site fail like a dead TCP peer, while admin (used by
+    /// `load_site`/`dumps`) keeps working so tests can observe state.
+    struct FlakyTransport {
+        inner: InProcessTransport,
+        down: Mutex<std::collections::BTreeSet<SiteId>>,
+        fail_finish_for: Mutex<Option<SiteId>>,
+    }
+
+    impl FederationTransport for FlakyTransport {
+        fn sites(&self) -> Vec<SiteId> {
+            self.inner.sites()
+        }
+        fn call(&self, site: SiteId, payload: Payload) -> AmcResult<Payload> {
+            if self.down.lock().contains(&site) {
+                return Err(AmcError::SiteDown(site));
+            }
+            let finish = matches!(
+                payload,
+                Payload::Decision { .. } | Payload::Redo { .. } | Payload::Undo { .. }
+            );
+            if finish && *self.fail_finish_for.lock() == Some(site) {
+                return Err(AmcError::SiteDown(site));
+            }
+            self.inner.call(site, payload)
+        }
+        fn admin(&self, site: SiteId, request: AdminRequest) -> AmcResult<AdminReply> {
+            self.inner.admin(site, request)
+        }
+    }
+
+    fn flaky(protocol: ProtocolKind, sites: u32) -> (Arc<Federation>, Arc<FlakyTransport>) {
+        let cfg = FederationConfig::uniform(sites, protocol);
+        let managers: BTreeMap<SiteId, Arc<LocalCommManager>> = cfg
+            .build_managers()
+            .into_iter()
+            .map(|m| (m.site(), m))
+            .collect();
+        let transport = Arc::new(FlakyTransport {
+            inner: InProcessTransport::new(managers, submit_mode_for(protocol), cfg.message_delay),
+            down: Mutex::new(Default::default()),
+            fail_finish_for: Mutex::new(None),
+        });
+        let fed = Federation::with_transport(cfg, transport.clone());
+        for s in 1..=sites {
+            let data: Vec<(ObjectId, Value)> = (0..50).map(|i| (obj(s, i), v(100))).collect();
+            fed.load_site(site(s), &data).unwrap();
+        }
+        (Arc::new(fed), transport)
+    }
+
+    #[test]
+    fn down_site_during_votes_forces_abort_and_queues_an_obligation() {
+        for protocol in ProtocolKind::ALL {
+            let (fed, transport) = flaky(protocol, 2);
+            transport.down.lock().insert(site(2));
+            let report = fed.run_transaction(&transfer(1, 2, 30)).unwrap();
+            assert_eq!(report.outcome, TxnOutcome::Aborted, "{protocol}");
+            // The crashed voter is owed the abort it never heard.
+            assert_eq!(fed.pending_obligations(), 1, "{protocol}");
+            // While it stays down the obligation stays queued.
+            assert_eq!(fed.resolve_pending().unwrap(), 0, "{protocol}");
+            assert_eq!(fed.pending_obligations(), 1, "{protocol}");
+            // Recovery: the site answers again, the abort lands, locks free.
+            transport.down.lock().remove(&site(2));
+            assert_eq!(fed.resolve_pending().unwrap(), 1, "{protocol}");
+            assert_eq!(fed.pending_obligations(), 0, "{protocol}");
+            assert_eq!(user_sum(&fed), 100 * 2 * 50, "{protocol}");
+            // The released L1 locks admit new transactions on the same set.
+            let report = fed.run_transaction(&transfer(1, 2, 30)).unwrap();
+            assert_eq!(report.outcome, TxnOutcome::Committed, "{protocol}");
+            assert_eq!(user_sum(&fed), 100 * 2 * 50, "{protocol}");
+        }
+    }
+
+    #[test]
+    fn down_site_during_finish_defers_the_decision_and_resolves_on_recovery() {
+        for protocol in ProtocolKind::ALL {
+            let (fed, transport) = flaky(protocol, 2);
+            *transport.fail_finish_for.lock() = Some(site(2));
+            let report = fed.run_transaction(&transfer(1, 2, 30)).unwrap();
+            // Every vote was yes before the crash: the decision stands.
+            assert_eq!(report.outcome, TxnOutcome::Committed, "{protocol}");
+            let expect_pending = match protocol {
+                // Commit-before's commit path sends no finish message to
+                // make idempotent later — the site already committed at
+                // submit, so the deferred ack (if any) still counts.
+                ProtocolKind::CommitBefore => fed.pending_obligations(),
+                _ => 1,
+            };
+            assert_eq!(fed.pending_obligations(), expect_pending, "{protocol}");
+            *transport.fail_finish_for.lock() = None;
+            fed.resolve_pending().unwrap();
+            assert_eq!(fed.pending_obligations(), 0, "{protocol}");
+            // Exactly-once: the transfer shows on both sides, once.
+            let dumps = fed.dumps().unwrap();
+            assert_eq!(dumps[&site(1)][&obj(1, 0)], v(70), "{protocol}");
+            assert_eq!(dumps[&site(2)][&obj(2, 0)], v(130), "{protocol}");
+            assert_eq!(user_sum(&fed), 100 * 2 * 50, "{protocol}");
         }
     }
 

@@ -44,6 +44,10 @@ pub struct RecoveryReport {
     pub rolled_back: Vec<LocalTxnId>,
     /// 2PC in-doubt transactions awaiting a coordinator decision.
     pub in_doubt: Vec<LocalTxnId>,
+    /// WAL records applied during replay (redo + undo applications).
+    pub replayed: u64,
+    /// Whether a torn final WAL frame was truncated away at open.
+    pub torn_tail: bool,
 }
 
 /// The unmodifiable local transaction manager interface (§2).

@@ -85,6 +85,42 @@ impl OccEngine {
         Self::new_at(buckets, pool_frames, SiteId::new(0))
     }
 
+    /// Open an engine whose WAL is backed by the durable frame file at
+    /// `path`, replaying whatever survived a previous process into a fresh
+    /// store. OCC has no ready state, so the report's `in_doubt` is always
+    /// empty: committed transactions are redone, everything else vanished
+    /// with the private buffers.
+    pub fn open_durable(
+        buckets: u32,
+        pool_frames: usize,
+        site: SiteId,
+        path: impl AsRef<std::path::Path>,
+    ) -> AmcResult<(Self, RecoveryReport)> {
+        let log = LogManager::open_durable(path)?;
+        let store = PageStore::open(
+            StableStorage::new(buckets as usize + 8),
+            buckets,
+            pool_frames,
+        )?;
+        let engine = OccEngine {
+            inner: Mutex::new(Inner {
+                store,
+                log,
+                versions: HashMap::new(),
+                version_clock: 1,
+                active: HashMap::new(),
+                terminated: HashMap::new(),
+                next_txn: 1,
+                // Down until recover() replays the log and re-opens the door.
+                up: false,
+                stats: EngineStats::default(),
+            }),
+            site: AtomicU32::new(site.raw()),
+        };
+        let report = engine.recover()?;
+        Ok((engine, report))
+    }
+
     /// Default sizing.
     pub fn with_defaults() -> Self {
         Self::new(64, 128)
@@ -99,13 +135,34 @@ impl OccEngine {
         AmcError::SiteDown(SiteId::new(self.site.load(Ordering::Relaxed)))
     }
 
-    /// Pre-load committed state (test/workload setup).
+    /// Pre-load committed state (test/workload setup). When the WAL is
+    /// durable the load is journalled as one committed transaction, so the
+    /// baseline survives a process restart (the store itself is volatile
+    /// across processes — only the log file persists).
     pub fn load(&self, data: impl IntoIterator<Item = (ObjectId, Value)>) -> AmcResult<()> {
         let mut inner = self.inner.lock();
-        for (o, v) in data {
-            inner.store.put(o, v)?;
+        if !inner.log.is_durable() {
+            for (o, v) in data {
+                inner.store.put(o, v)?;
+            }
+            return inner.store.flush();
         }
-        inner.store.flush()
+        let txn = LocalTxnId::new(inner.next_txn);
+        inner.next_txn += 1;
+        inner.log.append(&LogRecord::Begin { txn });
+        for (o, v) in data {
+            let before = inner.store.get(o)?;
+            inner.store.put(o, v)?;
+            inner.log.append(&LogRecord::Update {
+                txn,
+                obj: o,
+                before,
+                after: Some(v),
+            });
+        }
+        inner.store.flush()?;
+        inner.log.append_forced(&LogRecord::Commit { txn });
+        Ok(())
     }
 
     /// The *committed* value an active transaction would observe, tracking
@@ -332,9 +389,26 @@ impl LocalEngine for OccEngine {
             Ok(())
         })?;
         inner.store.flush()?;
+        // When the table was rebuilt from a durable log, fresh local ids
+        // must not collide with replayed ones.
+        let max_seen = inner
+            .log
+            .stable_records()?
+            .iter()
+            .filter_map(|(_, r)| r.txn())
+            .map(|t| t.raw())
+            .max()
+            .unwrap_or(0);
+        inner.next_txn = inner.next_txn.max(max_seen + 1);
         let active: Vec<LocalTxnId> = Vec::new();
         inner.log.append_forced(&LogRecord::Checkpoint { active });
         inner.up = true;
+        for t in &outcome.committed {
+            inner.terminated.insert(*t, LocalRunState::Committed);
+        }
+        for t in &outcome.aborted {
+            inner.terminated.insert(*t, LocalRunState::Aborted);
+        }
         for t in &outcome.losers {
             inner.terminated.insert(*t, LocalRunState::Aborted);
         }
@@ -342,6 +416,8 @@ impl LocalEngine for OccEngine {
             committed: outcome.committed.iter().copied().collect(),
             rolled_back: outcome.losers.iter().copied().collect(),
             in_doubt: Vec::new(),
+            replayed: outcome.redo_applied + outcome.undo_applied,
+            torn_tail: outcome.torn_tail_truncated,
         })
     }
 
@@ -595,6 +671,51 @@ mod tests {
         // Backward validation kills the stale reader too (its read is part
         // of its serialization footprint).
         assert!(e.commit(t).is_err());
+    }
+
+    #[test]
+    fn reopen_from_durable_log_recovers_committed_state() {
+        let dir = std::env::temp_dir().join(format!("amc-occ-durable-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reopen.wal");
+        let _ = std::fs::remove_file(&path);
+
+        let t_committed = {
+            let (e, _) = OccEngine::open_durable(64, 128, SiteId::new(2), &path).unwrap();
+            e.load([(obj(1), v(10)), (obj(2), v(20))]).unwrap();
+            let t = e.begin().unwrap();
+            e.execute(
+                t,
+                &Op::Increment {
+                    obj: obj(1),
+                    delta: 5,
+                },
+            )
+            .unwrap();
+            e.commit(t).unwrap();
+            // A second transaction buffers a write but never commits: its
+            // private workspace dies with the process.
+            let dangling = e.begin().unwrap();
+            e.execute(
+                dangling,
+                &Op::Write {
+                    obj: obj(2),
+                    value: v(99),
+                },
+            )
+            .unwrap();
+            t
+        };
+
+        let (e, report) = OccEngine::open_durable(64, 128, SiteId::new(2), &path).unwrap();
+        assert!(report.committed.contains(&t_committed), "{report:?}");
+        assert!(report.in_doubt.is_empty(), "OCC has no ready state");
+        let d = e.dump().unwrap();
+        assert_eq!(d.get(&obj(1)), Some(&v(15)));
+        assert_eq!(d.get(&obj(2)), Some(&v(20)), "uncommitted buffer is gone");
+        let fresh = e.begin().unwrap();
+        assert!(fresh.raw() > t_committed.raw(), "no local-id collision");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! L0 even when their L1 operations commute.
 //!
 //! Synchronization: the engine has **no** single state mutex. Each component
-//! carries its own — the transaction table ([`TxnTable`]), the buffer pool /
+//! carries its own — the transaction table (`TxnTable`), the buffer pool /
 //! page store, the WAL (behind [`GroupCommitter`]), and the striped page
 //! lock manager — so lock waits, modelled op service time, and commit-record
 //! forces no longer serialize unrelated transactions (E9 measures exactly
@@ -131,6 +131,42 @@ impl TwoPLEngine {
         Self::new_at(cfg, SiteId::new(0))
     }
 
+    /// Open an engine whose WAL is backed by the durable frame file at
+    /// `path`, replaying whatever survived a previous process into a fresh
+    /// store. Returns the running engine and what recovery found: committed
+    /// transactions are redone, losers discarded, and in-doubt (prepared)
+    /// transactions resurrected in the ready state with their page locks
+    /// re-held, awaiting the coordinator's decision.
+    pub fn open_durable(
+        cfg: TplConfig,
+        site: SiteId,
+        path: impl AsRef<std::path::Path>,
+    ) -> AmcResult<(Self, RecoveryReport)> {
+        let log = LogManager::open_durable(path)?;
+        let store = PageStore::open(
+            StableStorage::new(cfg.buckets as usize + 8),
+            cfg.buckets,
+            cfg.pool_frames,
+        )?;
+        let engine = TwoPLEngine {
+            txns: Mutex::new(TxnTable {
+                active: HashMap::new(),
+                terminated: HashMap::new(),
+                next_txn: 1,
+                // Down until recover() replays the log and re-opens the door.
+                up: false,
+                stats: EngineStats::default(),
+            }),
+            store: Mutex::new(store),
+            wal: GroupCommitter::new(log, cfg.group_commit),
+            locks: BlockingLockManager::new(cfg.deadlock_check),
+            cfg,
+            site: AtomicU32::new(site.raw()),
+        };
+        let report = engine.recover()?;
+        Ok((engine, report))
+    }
+
     /// Convenience: default configuration.
     pub fn with_defaults() -> Self {
         Self::new(TplConfig::default())
@@ -146,13 +182,43 @@ impl TwoPLEngine {
     }
 
     /// Pre-load committed state without going through a transaction (test
-    /// and workload setup). Flushes to stable storage.
+    /// and workload setup). Flushes to stable storage. When the WAL is
+    /// durable the load is journalled as one committed transaction, so the
+    /// baseline survives a process restart (the store itself is volatile
+    /// across processes — only the log file persists).
     pub fn load(&self, data: impl IntoIterator<Item = (ObjectId, Value)>) -> AmcResult<()> {
-        let mut store = self.store.lock();
-        for (o, v) in data {
-            store.put(o, v)?;
+        if !self.wal.with_log(|log| log.is_durable()) {
+            let mut store = self.store.lock();
+            for (o, v) in data {
+                store.put(o, v)?;
+            }
+            return store.flush();
         }
-        store.flush()
+        let txn = {
+            let mut txns = self.txns.lock();
+            let t = LocalTxnId::new(txns.next_txn);
+            txns.next_txn += 1;
+            t
+        };
+        self.wal.append(&LogRecord::Begin { txn });
+        {
+            let mut store = self.store.lock();
+            for (o, v) in data {
+                let before = store.get(o)?;
+                store.put(o, v)?;
+                self.wal.append(&LogRecord::Update {
+                    txn,
+                    obj: o,
+                    before,
+                    after: Some(v),
+                });
+            }
+            store.flush()?;
+        }
+        if !self.wal.append_durable(&LogRecord::Commit { txn }) {
+            return Err(self.site_down());
+        }
+        Ok(())
     }
 
     /// Apply one operation to the store, returning `(result, before, after)`.
@@ -507,9 +573,19 @@ impl LocalEngine for TwoPLEngine {
             committed: outcome.committed.iter().copied().collect(),
             rolled_back: outcome.losers.iter().copied().collect(),
             in_doubt: outcome.in_doubt.iter().copied().collect(),
+            replayed: outcome.redo_applied + outcome.undo_applied,
+            torn_tail: outcome.torn_tail_truncated,
         };
 
-        // Record losers as aborted.
+        // Record replayed terminal states, so that after a process restart
+        // a duplicate decision for an already-finished transaction is a
+        // no-op instead of an unknown-txn error.
+        for t in &outcome.committed {
+            txns.terminated.insert(*t, LocalRunState::Committed);
+        }
+        for t in &outcome.aborted {
+            txns.terminated.insert(*t, LocalRunState::Aborted);
+        }
         for t in &outcome.losers {
             txns.terminated.insert(*t, LocalRunState::Aborted);
         }
@@ -518,6 +594,15 @@ impl LocalEngine for TwoPLEngine {
         // log and re-take exclusive locks on their pages so they stay
         // isolated until the coordinator decides (the blocking 2PC hazard).
         let records = self.wal.with_log(|log| log.stable_records())?;
+        // When the table was rebuilt from a durable log, fresh local ids
+        // must not collide with replayed ones.
+        let max_seen = records
+            .iter()
+            .filter_map(|(_, r)| r.txn())
+            .map(|t| t.raw())
+            .max()
+            .unwrap_or(0);
+        txns.next_txn = txns.next_txn.max(max_seen + 1);
         let mut doubt_pages: HashMap<LocalTxnId, Vec<PageId>> = HashMap::new();
         for t in &outcome.in_doubt {
             txns.active.insert(
@@ -1156,6 +1241,69 @@ mod tests {
             e.stats().commits as i64,
             "committed increments survive: {report:?}"
         );
+    }
+
+    #[test]
+    fn reopen_from_durable_log_recovers_committed_and_in_doubt() {
+        let dir = std::env::temp_dir().join(format!("amc-tpl-durable-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reopen.wal");
+        let _ = std::fs::remove_file(&path);
+
+        let (t_committed, t_prepared) = {
+            let (e, report) =
+                TwoPLEngine::open_durable(TplConfig::default(), SiteId::new(3), &path).unwrap();
+            assert!(report.committed.is_empty(), "fresh file, nothing to find");
+            e.load([(obj(1), v(10)), (obj(2), v(20))]).unwrap();
+            let t = e.begin().unwrap();
+            e.execute(
+                t,
+                &Op::Increment {
+                    obj: obj(1),
+                    delta: 5,
+                },
+            )
+            .unwrap();
+            e.commit(t).unwrap();
+            let p = e.begin().unwrap();
+            e.execute(
+                p,
+                &Op::Write {
+                    obj: obj(2),
+                    value: v(99),
+                },
+            )
+            .unwrap();
+            e.prepare(p).unwrap();
+            // The engine is dropped here without any shutdown — the moral
+            // equivalent of SIGKILL; only forced frames survive in the file.
+            (t, p)
+        };
+
+        let (e, report) =
+            TwoPLEngine::open_durable(TplConfig::default(), SiteId::new(3), &path).unwrap();
+        assert!(report.committed.contains(&t_committed), "{report:?}");
+        assert_eq!(report.in_doubt, vec![t_prepared], "{report:?}");
+        let d = e.dump().unwrap();
+        assert_eq!(d.get(&obj(1)), Some(&v(15)), "load + committed increment");
+        // The in-doubt update was redone and stays isolated behind its
+        // re-held page lock until the coordinator decides.
+        assert_eq!(d.get(&obj(2)), Some(&v(99)));
+        assert_eq!(e.state_of(t_prepared), Some(LocalRunState::Ready));
+
+        // Fresh local ids must not collide with replayed ones.
+        let fresh = e.begin().unwrap();
+        assert!(fresh.raw() > t_prepared.raw(), "{fresh} vs {t_prepared}");
+        e.abort(fresh, AbortReason::Intended).unwrap();
+
+        // Coordinator decides commit: the in-doubt value stands, durably.
+        e.commit(t_prepared).unwrap();
+        drop(e);
+        let (e, report) =
+            TwoPLEngine::open_durable(TplConfig::default(), SiteId::new(3), &path).unwrap();
+        assert!(report.in_doubt.is_empty(), "{report:?}");
+        assert_eq!(e.dump().unwrap().get(&obj(2)), Some(&v(99)));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! can no longer trust is whether their local transactions survived, and for
 //! that it consults the engine and the markers.
 
+use crate::journal::{RecoveryStats, WorkEntry, WorkJournal};
 use crate::marker::{forward_marker, undo_marker};
 use crate::message::Payload;
 use amc_engine::{LocalEngine, PreparableEngine};
@@ -110,6 +111,10 @@ struct Work {
     /// Commit-before: inverse actions captured at execution time, in
     /// forward order (the local half of the §3.3 undo-log).
     inverse_ops: Vec<Operation>,
+    /// Restored from the work journal after a site restart; the next
+    /// final-state message resolves the in-doubt window and is reported
+    /// as an `InDoubtResolved` event.
+    recovered: bool,
 }
 
 impl Work {
@@ -123,6 +128,7 @@ impl Work {
             committed_locally: false,
             vote: Some(LocalVote::Aborted),
             inverse_ops: Vec::new(),
+            recovered: false,
         }
     }
 
@@ -176,6 +182,11 @@ pub struct LocalCommManager {
     /// the local transaction manager, e.g. because of time out".
     pre_vote_retries: u32,
     injector: Mutex<Option<AbortInjector>>,
+    /// Durable work journal (None for the in-process runtime, where the
+    /// manager's memory *is* the stable metadata — see module docs).
+    journal: Option<Box<dyn WorkJournal>>,
+    /// Stats from the last restart recovery pass, for the admin channel.
+    recovery: Mutex<Option<RecoveryStats>>,
     /// Weyl counter feeding the retry-backoff jitter.
     backoff_seed: std::sync::atomic::AtomicU64,
     /// Observability sink (disabled unless a driver attaches one).
@@ -193,6 +204,8 @@ impl LocalCommManager {
             max_attempts: 100,
             pre_vote_retries: 5,
             injector: Mutex::new(None),
+            journal: None,
+            recovery: Mutex::new(None),
             backoff_seed: std::sync::atomic::AtomicU64::new(site.raw() as u64 * 7919),
             obs: ObsSink::disabled(),
         }
@@ -204,6 +217,113 @@ impl LocalCommManager {
     pub fn set_obs(&mut self, sink: ObsSink) {
         self.handle.engine().attach_obs(sink.clone(), self.site);
         self.obs = sink;
+    }
+
+    /// Attach a durable work journal. From now on every work-map mutation
+    /// that carries protocol obligations is persisted through it; in
+    /// particular, commit-before submits persist their captured inverse
+    /// operations **before** the local commit (§3.3's undo-log ordering).
+    pub fn set_journal(&mut self, journal: Box<dyn WorkJournal>) {
+        self.journal = Some(journal);
+    }
+
+    /// Record stats from a restart recovery pass (served over the admin
+    /// channel as the `Recovery` reply).
+    pub fn set_recovery_stats(&self, stats: RecoveryStats) {
+        *self.recovery.lock() = Some(stats);
+    }
+
+    /// Stats from the last restart recovery pass, if this process went
+    /// through one.
+    pub fn recovery_stats(&self) -> Option<RecoveryStats> {
+        *self.recovery.lock()
+    }
+
+    /// Persist the current shape of `gtx`'s work record (no-op without a
+    /// journal attached).
+    fn journal_record(&self, gtx: GlobalTxnId, w: &Work) {
+        if let Some(j) = &self.journal {
+            j.record(&WorkEntry {
+                gtx,
+                mode: w.mode,
+                ltx: w.ltx,
+                committed_locally: w.committed_locally,
+                vote: w.vote,
+                ops: w.ops.clone(),
+                inverse_ops: w.inverse_ops.clone(),
+            });
+        }
+    }
+
+    /// Rebuild the work map from journal entries after a process restart.
+    ///
+    /// Entries must already be deduplicated to the last record per global
+    /// transaction. The journal is advisory where the database itself can
+    /// answer: for commit-before work with updates, the forward marker —
+    /// not the journaled flag — decides whether the local transaction
+    /// committed (§3.3: the marker is "written into the existing database
+    /// by the local transaction" precisely so recovery can consult it).
+    /// Restored entries are flagged so the message that finally resolves
+    /// them emits an `InDoubtResolved` event.
+    ///
+    /// Returns the number of entries restored.
+    pub fn restore_work(&self, entries: Vec<WorkEntry>) -> AmcResult<u64> {
+        let mut restored = 0u64;
+        for e in entries {
+            let mut w = Work {
+                ops: e.ops,
+                mode: e.mode,
+                ltx: e.ltx,
+                committed_locally: e.committed_locally,
+                vote: e.vote,
+                inverse_ops: e.inverse_ops,
+                recovered: false,
+            };
+            if w.mode == SubmitMode::CommitBefore
+                && !w.is_tombstone()
+                && w.ops.iter().any(|op| op.is_update())
+            {
+                // The crash may have raced either side of the local commit;
+                // only the marker knows which side won.
+                let committed = self.marker_present(forward_marker(e.gtx))?;
+                w.committed_locally = committed;
+                w.vote = Some(if committed {
+                    LocalVote::Ready
+                } else {
+                    LocalVote::Aborted
+                });
+                if !committed {
+                    // The forward transaction died with the engine: the
+                    // entry degenerates to a presumed-abort tombstone and
+                    // the captured inverses are for a run that never was.
+                    w.ltx = None;
+                    w.inverse_ops.clear();
+                }
+            }
+            w.recovered = !w.is_tombstone();
+            self.work.lock().insert(e.gtx, w);
+            restored += 1;
+        }
+        Ok(restored)
+    }
+
+    /// If `gtx` was restored from the journal, this message resolved its
+    /// in-doubt window: emit the event once and clear the flag.
+    fn resolve_recovered(&self, gtx: GlobalTxnId, verdict: amc_types::GlobalVerdict) {
+        let was_recovered = {
+            let mut work = self.work.lock();
+            match work.get_mut(&gtx) {
+                Some(w) if w.recovered => {
+                    w.recovered = false;
+                    true
+                }
+                _ => false,
+            }
+        };
+        if was_recovered {
+            self.obs
+                .emit(Some(gtx), self.site, EventKind::InDoubtResolved { verdict });
+        }
     }
 
     /// Jittered backoff between repetition attempts. Retries restart with a
@@ -400,6 +520,12 @@ impl LocalCommManager {
         let commit_now =
             mode == SubmitMode::CommitBefore || (mode == SubmitMode::CommitAfter && read_only);
 
+        // With a journal attached, commit-before splits its "commit at
+        // once" into run → journal → commit, so the captured inverse
+        // operations are durable before the local commit they would have
+        // to compensate (§3.3: a global abort arriving after a crash must
+        // still find the undo-log).
+        let split_commit = self.journal.is_some() && mode == SubmitMode::CommitBefore && !read_only;
         let mut outcome: Result<LocalTxnId, AbortReason> = Err(AbortReason::Injected);
         let mut inverse_ops = Vec::new();
         for attempt in 0..=self.pre_vote_retries {
@@ -411,7 +537,28 @@ impl LocalCommManager {
             }
             inverse_ops.clear();
             let capture = (mode == SubmitMode::CommitBefore).then_some(&mut inverse_ops);
-            outcome = self.run_ops(&all_ops, commit_now, capture)?;
+            outcome = self.run_ops(&all_ops, commit_now && !split_commit, capture)?;
+            if split_commit {
+                if let Ok(ltx) = outcome {
+                    self.journal_record(
+                        gtx,
+                        &Work {
+                            ops: ops.clone(),
+                            mode,
+                            ltx: Some(ltx),
+                            committed_locally: false,
+                            vote: None,
+                            inverse_ops: inverse_ops.clone(),
+                            recovered: false,
+                        },
+                    );
+                    match self.handle.engine().commit(ltx) {
+                        Ok(()) => {}
+                        Err(AmcError::Aborted(r)) => outcome = Err(r),
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
             match outcome {
                 Ok(_) => break,
                 Err(ref r) if r.is_erroneous() && attempt < self.pre_vote_retries => {
@@ -434,17 +581,17 @@ impl LocalCommManager {
         if !committed {
             inverse_ops.clear();
         }
-        self.work.lock().insert(
-            gtx,
-            Work {
-                ops,
-                mode,
-                ltx,
-                committed_locally: committed,
-                vote: Some(vote),
-                inverse_ops,
-            },
-        );
+        let w = Work {
+            ops,
+            mode,
+            ltx,
+            committed_locally: committed,
+            vote: Some(vote),
+            inverse_ops,
+            recovered: false,
+        };
+        self.journal_record(gtx, &w);
+        self.work.lock().insert(gtx, w);
         {
             let mut stats = self.stats.lock();
             match vote {
@@ -564,10 +711,12 @@ impl LocalCommManager {
                 if self.marker_present(forward_marker(gtx))? {
                     LocalVote::Ready
                 } else {
-                    self.work
-                        .lock()
-                        .entry(gtx)
-                        .or_insert_with(|| Work::tombstone(SubmitMode::CommitBefore));
+                    let mut work = self.work.lock();
+                    work.entry(gtx).or_insert_with(|| {
+                        let t = Work::tombstone(SubmitMode::CommitBefore);
+                        self.journal_record(gtx, &t);
+                        t
+                    });
                     LocalVote::Aborted
                 }
             }
@@ -684,6 +833,7 @@ impl LocalCommManager {
                     if w.committed_locally {
                         // Read-only participant: already committed at
                         // submit; a stray decision needs no work.
+                        self.resolve_recovered(gtx, verdict);
                         return Ok(Payload::Finished { gtx });
                     }
                     // Fast path: the original transaction is still running.
@@ -738,12 +888,15 @@ impl LocalCommManager {
                         self.site
                     )));
                 }
-                self.work
-                    .lock()
-                    .entry(gtx)
-                    .or_insert_with(|| Work::tombstone(SubmitMode::CommitAfter));
+                let mut work = self.work.lock();
+                work.entry(gtx).or_insert_with(|| {
+                    let t = Work::tombstone(SubmitMode::CommitAfter);
+                    self.journal_record(gtx, &t);
+                    t
+                });
             }
         }
+        self.resolve_recovered(gtx, verdict);
         Ok(Payload::Finished { gtx })
     }
 
@@ -759,9 +912,11 @@ impl LocalCommManager {
                 committed_locally: false,
                 vote: Some(LocalVote::Ready),
                 inverse_ops: Vec::new(),
+                recovered: false,
             });
         }
         self.redo_until_committed(gtx, &ops)?;
+        self.resolve_recovered(gtx, amc_types::GlobalVerdict::Commit);
         Ok(Payload::Finished { gtx })
     }
 
@@ -790,6 +945,7 @@ impl LocalCommManager {
         for attempt in 0..self.max_attempts {
             self.backoff(attempt);
             if self.marker_present(undo_marker(gtx))? {
+                self.resolve_recovered(gtx, amc_types::GlobalVerdict::Abort);
                 return Ok(Payload::Finished { gtx });
             }
             self.stats.lock().undo_runs += 1;
@@ -803,7 +959,10 @@ impl LocalCommManager {
             let mut all_ops = inverse_ops.clone();
             all_ops.push(Self::marker_op(gtx, LocalTxnId::new(0), true));
             match self.run_ops(&all_ops, true, None)? {
-                Ok(_) => return Ok(Payload::Finished { gtx }),
+                Ok(_) => {
+                    self.resolve_recovered(gtx, amc_types::GlobalVerdict::Abort);
+                    return Ok(Payload::Finished { gtx });
+                }
                 Err(r) if r.is_erroneous() => continue, // Fig. 6: repeat inverse
                 Err(r) => {
                     return Err(AmcError::Protocol(format!(

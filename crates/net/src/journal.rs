@@ -1,0 +1,393 @@
+//! Durable work journal for the communication manager.
+//!
+//! §2 allows the components layered on top of the unmodifiable engines to
+//! keep "recovery state of their own"; this module is that state made
+//! explicit. The manager's `gtx → Work` map is exactly what a restarted
+//! site needs to answer a coordinator's final-state inquiry:
+//!
+//! * **2PC** needs the `gtx ↔ ltx` mapping so a retransmitted decision can
+//!   be matched against the in-doubt transaction the engine resurrected
+//!   from its WAL;
+//! * **commit-before** (§3.3) needs the captured *inverse operations*
+//!   persisted **before** the local commit — a global abort arriving after
+//!   a crash must still be able to run the inverse transaction;
+//! * **commit-after** (§3.2) needs nothing: the coordinator re-ships the
+//!   program in its `Redo` message and the markers make re-execution
+//!   exactly-once.
+//!
+//! A [`WorkEntry`] is the serializable mirror of one work-map record. The
+//! journal is append-only with last-record-per-`gtx` wins, so updating an
+//! entry is just appending it again; `amc-rpc` stores entries in the same
+//! CRC-framed on-disk format as the WAL.
+
+use amc_types::{
+    AmcError, AmcResult, GlobalTxnId, LocalTxnId, LocalVote, ObjectId, Operation, Value,
+};
+
+use crate::comm::SubmitMode;
+
+/// One persisted work-map record: everything the manager must remember
+/// about a global transaction across a crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkEntry {
+    /// The global transaction this entry belongs to.
+    pub gtx: GlobalTxnId,
+    /// Protocol flavour the submit ran under.
+    pub mode: SubmitMode,
+    /// The local transaction executing it (None for tombstones).
+    pub ltx: Option<LocalTxnId>,
+    /// Commit-before: the forward transaction committed locally. Across a
+    /// restart this field is advisory only — the marker is authoritative.
+    pub committed_locally: bool,
+    /// The vote reported to the coordinator (None until voted).
+    pub vote: Option<LocalVote>,
+    /// The decomposed operations (empty for tombstones).
+    pub ops: Vec<Operation>,
+    /// Commit-before: inverse actions in forward order (§3.3 undo-log).
+    pub inverse_ops: Vec<Operation>,
+}
+
+fn put_op(out: &mut Vec<u8>, op: &Operation) {
+    match *op {
+        Operation::Read { obj } => {
+            out.push(0);
+            out.extend_from_slice(&obj.raw().to_le_bytes());
+        }
+        Operation::Write { obj, value } => {
+            out.push(1);
+            out.extend_from_slice(&obj.raw().to_le_bytes());
+            out.extend_from_slice(&value.to_bytes());
+        }
+        Operation::Increment { obj, delta } => {
+            out.push(2);
+            out.extend_from_slice(&obj.raw().to_le_bytes());
+            out.extend_from_slice(&delta.to_le_bytes());
+        }
+        Operation::Insert { obj, value } => {
+            out.push(3);
+            out.extend_from_slice(&obj.raw().to_le_bytes());
+            out.extend_from_slice(&value.to_bytes());
+        }
+        Operation::Delete { obj } => {
+            out.push(4);
+            out.extend_from_slice(&obj.raw().to_le_bytes());
+        }
+        Operation::Reserve { obj, amount } => {
+            out.push(5);
+            out.extend_from_slice(&obj.raw().to_le_bytes());
+            out.extend_from_slice(&amount.to_le_bytes());
+        }
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> AmcResult<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(AmcError::Corruption("work journal entry truncated".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> AmcResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> AmcResult<u64> {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn i64(&mut self) -> AmcResult<i64> {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.take(8)?);
+        Ok(i64::from_le_bytes(b))
+    }
+
+    fn value(&mut self) -> AmcResult<Value> {
+        let mut b = [0u8; 12];
+        b.copy_from_slice(self.take(12)?);
+        Ok(Value::from_bytes(&b))
+    }
+
+    fn op(&mut self) -> AmcResult<Operation> {
+        let tag = self.u8()?;
+        let obj = ObjectId::new(self.u64()?);
+        Ok(match tag {
+            0 => Operation::Read { obj },
+            1 => Operation::Write {
+                obj,
+                value: self.value()?,
+            },
+            2 => Operation::Increment {
+                obj,
+                delta: self.i64()?,
+            },
+            3 => Operation::Insert {
+                obj,
+                value: self.value()?,
+            },
+            4 => Operation::Delete { obj },
+            5 => Operation::Reserve {
+                obj,
+                amount: self.u64()?,
+            },
+            t => {
+                return Err(AmcError::Corruption(format!(
+                    "work journal: unknown operation tag {t}"
+                )))
+            }
+        })
+    }
+}
+
+fn put_ops(out: &mut Vec<u8>, ops: &[Operation]) {
+    out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+    for op in ops {
+        put_op(out, op);
+    }
+}
+
+fn get_ops(c: &mut Cursor<'_>) -> AmcResult<Vec<Operation>> {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(c.take(4)?);
+    let n = u32::from_le_bytes(b) as usize;
+    let mut ops = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        ops.push(c.op()?);
+    }
+    Ok(ops)
+}
+
+impl WorkEntry {
+    /// Serialize to the journal's self-describing binary layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + 32 * (self.ops.len() + self.inverse_ops.len()));
+        out.extend_from_slice(&self.gtx.raw().to_le_bytes());
+        out.push(match self.mode {
+            SubmitMode::TwoPhase => 0,
+            SubmitMode::CommitAfter => 1,
+            SubmitMode::CommitBefore => 2,
+        });
+        match self.ltx {
+            Some(l) => {
+                out.push(1);
+                out.extend_from_slice(&l.raw().to_le_bytes());
+            }
+            None => {
+                out.push(0);
+                out.extend_from_slice(&0u64.to_le_bytes());
+            }
+        }
+        out.push(u8::from(self.committed_locally));
+        out.push(match self.vote {
+            None => 0,
+            Some(LocalVote::Ready) => 1,
+            Some(LocalVote::ReadyReadOnly) => 2,
+            Some(LocalVote::Aborted) => 3,
+        });
+        put_ops(&mut out, &self.ops);
+        put_ops(&mut out, &self.inverse_ops);
+        out
+    }
+
+    /// Decode an entry previously produced by [`WorkEntry::encode`].
+    pub fn decode(buf: &[u8]) -> AmcResult<WorkEntry> {
+        let mut c = Cursor { buf, pos: 0 };
+        let gtx = GlobalTxnId::new(c.u64()?);
+        let mode = match c.u8()? {
+            0 => SubmitMode::TwoPhase,
+            1 => SubmitMode::CommitAfter,
+            2 => SubmitMode::CommitBefore,
+            t => {
+                return Err(AmcError::Corruption(format!(
+                    "work journal: unknown submit mode {t}"
+                )))
+            }
+        };
+        let has_ltx = c.u8()? != 0;
+        let raw_ltx = c.u64()?;
+        let ltx = has_ltx.then(|| LocalTxnId::new(raw_ltx));
+        let committed_locally = c.u8()? != 0;
+        let vote = match c.u8()? {
+            0 => None,
+            1 => Some(LocalVote::Ready),
+            2 => Some(LocalVote::ReadyReadOnly),
+            3 => Some(LocalVote::Aborted),
+            t => {
+                return Err(AmcError::Corruption(format!(
+                    "work journal: unknown vote tag {t}"
+                )))
+            }
+        };
+        let ops = get_ops(&mut c)?;
+        let inverse_ops = get_ops(&mut c)?;
+        if c.pos != buf.len() {
+            return Err(AmcError::Corruption(
+                "work journal: trailing bytes after entry".into(),
+            ));
+        }
+        Ok(WorkEntry {
+            gtx,
+            mode,
+            ltx,
+            committed_locally,
+            vote,
+            ops,
+            inverse_ops,
+        })
+    }
+}
+
+/// A sink that persists [`WorkEntry`] records as they change.
+///
+/// The manager calls [`WorkJournal::record`] at every point where losing
+/// the in-memory work map would lose protocol obligations: after a submit
+/// completes (all modes), **before** the commit-before local commit (so
+/// the inverse operations are stable first), and when a tombstone is laid
+/// down. Implementations must be crash-consistent: a record call returns
+/// only once the entry is durable.
+pub trait WorkJournal: Send + Sync {
+    /// Persist `entry`, superseding any earlier record for the same `gtx`.
+    fn record(&self, entry: &WorkEntry);
+}
+
+/// Summary of one site-recovery pass, reported over the admin channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Local transactions whose commit record was replayed from the WAL.
+    pub committed: u64,
+    /// Loser transactions rolled back during restart (undo pass).
+    pub rolled_back: u64,
+    /// Prepared transactions resurrected in doubt, awaiting the
+    /// coordinator's final state (§3.1's blocking window).
+    pub in_doubt: u64,
+    /// WAL records replayed (redo + undo applications).
+    pub replayed: u64,
+    /// Work-map entries restored from the work journal.
+    pub restored_entries: u64,
+    /// Whether a torn tail was truncated from the WAL at open.
+    pub torn_tail: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> WorkEntry {
+        WorkEntry {
+            gtx: GlobalTxnId::new(42),
+            mode: SubmitMode::CommitBefore,
+            ltx: Some(LocalTxnId::new(7)),
+            committed_locally: true,
+            vote: Some(LocalVote::Ready),
+            ops: vec![
+                Operation::Increment {
+                    obj: ObjectId::new(1),
+                    delta: -5,
+                },
+                Operation::Write {
+                    obj: ObjectId::new(2),
+                    value: Value::tagged(9, 3),
+                },
+                Operation::Reserve {
+                    obj: ObjectId::new(3),
+                    amount: 2,
+                },
+            ],
+            inverse_ops: vec![Operation::Increment {
+                obj: ObjectId::new(1),
+                delta: 5,
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_full_entry() {
+        let e = entry();
+        assert_eq!(WorkEntry::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn roundtrip_tombstone_shape() {
+        let e = WorkEntry {
+            gtx: GlobalTxnId::new(1),
+            mode: SubmitMode::TwoPhase,
+            ltx: None,
+            committed_locally: false,
+            vote: Some(LocalVote::Aborted),
+            ops: Vec::new(),
+            inverse_ops: Vec::new(),
+        };
+        assert_eq!(WorkEntry::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn roundtrip_every_operation_kind() {
+        let obj = ObjectId::new(9);
+        for op in [
+            Operation::Read { obj },
+            Operation::Write {
+                obj,
+                value: Value::counter(-1),
+            },
+            Operation::Increment {
+                obj,
+                delta: i64::MIN,
+            },
+            Operation::Insert {
+                obj,
+                value: Value::ZERO,
+            },
+            Operation::Delete { obj },
+            Operation::Reserve {
+                obj,
+                amount: u64::MAX,
+            },
+        ] {
+            let e = WorkEntry {
+                ops: vec![op],
+                ..entry()
+            };
+            assert_eq!(WorkEntry::decode(&e.encode()).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn truncated_entry_is_corruption() {
+        let bytes = entry().encode();
+        for cut in [0, 5, 12, bytes.len() - 1] {
+            assert!(matches!(
+                WorkEntry::decode(&bytes[..cut]),
+                Err(AmcError::Corruption(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_corruption() {
+        let mut bytes = entry().encode();
+        bytes.push(0);
+        assert!(matches!(
+            WorkEntry::decode(&bytes),
+            Err(AmcError::Corruption(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_tags_are_corruption() {
+        let mut bytes = entry().encode();
+        bytes[8] = 9; // mode byte
+        assert!(matches!(
+            WorkEntry::decode(&bytes),
+            Err(AmcError::Corruption(_))
+        ));
+    }
+}

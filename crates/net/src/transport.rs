@@ -18,6 +18,7 @@
 //! runtime share one message grammar.
 
 use crate::comm::{CommStats, LocalCommManager, SubmitMode};
+use crate::journal::RecoveryStats;
 use crate::message::Payload;
 use amc_types::{AmcError, AmcResult, ObjectId, SiteId, Value};
 use amc_wal::LogStats;
@@ -38,6 +39,8 @@ pub enum AdminRequest {
     CommStats,
     /// Fetch the engine's WAL counters.
     LogStats,
+    /// Fetch the stats of the site's last restart recovery pass.
+    Recovery,
 }
 
 /// Replies to [`AdminRequest`]s.
@@ -53,6 +56,9 @@ pub enum AdminReply {
     CommStats(CommStats),
     /// WAL counters.
     LogStats(LogStats),
+    /// Stats of the last restart recovery pass (None if this site process
+    /// started fresh rather than recovering from durable state).
+    Recovery(Option<RecoveryStats>),
 }
 
 /// A bidirectional request/reply channel from the central system to every
@@ -100,6 +106,7 @@ pub fn admin_to_manager(manager: &LocalCommManager, req: AdminRequest) -> AmcRes
         AdminRequest::Dump => Ok(AdminReply::Dump(manager.handle().engine().dump()?)),
         AdminRequest::CommStats => Ok(AdminReply::CommStats(manager.stats())),
         AdminRequest::LogStats => Ok(AdminReply::LogStats(manager.handle().engine().log_stats())),
+        AdminRequest::Recovery => Ok(AdminReply::Recovery(manager.recovery_stats())),
     }
 }
 

@@ -158,6 +158,23 @@ pub enum EventKind {
         /// The site reconnected to.
         to: SiteId,
     },
+    /// Restart recovery began replaying a durable log.
+    RecoveryStart {
+        /// Stable records found in the durable log at open.
+        records: u64,
+    },
+    /// Recovery re-applied one durable log record to the store (redo or
+    /// undo pass).
+    ReplayedRecord {
+        /// Log sequence number of the replayed record.
+        lsn: u64,
+    },
+    /// A recovered in-doubt transaction learned its fate from the
+    /// coordinator's final-state reply (§3.1's ready state resolving).
+    InDoubtResolved {
+        /// The verdict that settled the transaction.
+        verdict: GlobalVerdict,
+    },
 }
 
 impl EventKind {
@@ -185,6 +202,9 @@ impl EventKind {
             EventKind::Restart => "restart",
             EventKind::RpcRetry { .. } => "rpc-retry",
             EventKind::RpcReconnect { .. } => "rpc-reconnect",
+            EventKind::RecoveryStart { .. } => "recovery-start",
+            EventKind::ReplayedRecord { .. } => "replayed-record",
+            EventKind::InDoubtResolved { .. } => "in-doubt-resolved",
         }
     }
 }
@@ -245,6 +265,13 @@ impl fmt::Display for EventKind {
                 write!(f, "rpc-retry -> {to} (attempt {attempt} failed)")
             }
             EventKind::RpcReconnect { to } => write!(f, "rpc-reconnect -> {to}"),
+            EventKind::RecoveryStart { records } => {
+                write!(f, "recovery-start ({records} stable records)")
+            }
+            EventKind::ReplayedRecord { lsn } => write!(f, "replayed-record lsn {lsn}"),
+            EventKind::InDoubtResolved { verdict } => {
+                write!(f, "in-doubt-resolved ({verdict})")
+            }
         }
     }
 }
@@ -324,6 +351,21 @@ mod tests {
         assert_eq!(
             EventKind::RpcReconnect { to: SiteId::new(1) }.label(),
             "rpc-reconnect"
+        );
+        assert_eq!(
+            EventKind::RecoveryStart { records: 4 }.label(),
+            "recovery-start"
+        );
+        assert_eq!(
+            EventKind::ReplayedRecord { lsn: 9 }.label(),
+            "replayed-record"
+        );
+        assert_eq!(
+            EventKind::InDoubtResolved {
+                verdict: GlobalVerdict::Commit
+            }
+            .label(),
+            "in-doubt-resolved"
         );
     }
 }

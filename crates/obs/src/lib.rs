@@ -11,7 +11,7 @@
 //!
 //! ## Determinism contract
 //!
-//! Events are stamped with the **virtual** [`SimTime`] of the discrete-event
+//! Events are stamped with the **virtual** [`SimTime`](amc_types::SimTime) of the discrete-event
 //! driver (never the wall clock) plus a monotonically increasing sequence
 //! number, so for a given nemesis seed the full event sequence is
 //! bit-for-bit reproducible. Threaded (wall-clock) runtimes may reuse the
@@ -31,7 +31,7 @@
 //! layer can carry one unconditionally.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod event;
 pub mod hist;

@@ -109,6 +109,28 @@ impl EventLog {
     }
 
     /// Derive the histogram statistics the report tables print.
+    ///
+    /// Latencies pair each transaction's `TxnStart` with its `Done`;
+    /// a transaction missing either endpoint simply contributes no sample:
+    ///
+    /// ```
+    /// use amc_obs::{EventKind, EventLog};
+    /// use amc_types::{GlobalTxnId, GlobalVerdict, SimTime, SiteId};
+    ///
+    /// let mut log = EventLog::new(1024);
+    /// let (gtx, central) = (GlobalTxnId::new(1), SiteId::new(0));
+    /// log.push(SimTime(10), Some(gtx), central, EventKind::TxnStart);
+    /// log.push(
+    ///     SimTime(260),
+    ///     Some(gtx),
+    ///     central,
+    ///     EventKind::Done { verdict: GlobalVerdict::Commit },
+    /// );
+    ///
+    /// let stats = log.derive();
+    /// assert_eq!(stats.commit_latency_us.n(), 1);
+    /// assert_eq!(stats.commit_latency_us.max(), Some(250));
+    /// ```
     pub fn derive(&self) -> DerivedStats {
         let mut start: BTreeMap<GlobalTxnId, SimTime> = BTreeMap::new();
         let mut done: BTreeMap<GlobalTxnId, (SimTime, GlobalVerdict)> = BTreeMap::new();

@@ -9,12 +9,20 @@
 //! pushes initial data through the admin `Load` request. With `--listen
 //! host:0` the kernel picks the port; the chosen address is printed as
 //! `listening on <addr>` so an orchestrator can parse it.
+//!
+//! With `--wal-dir <dir>` the engine WAL and the communication manager's
+//! work journal are persisted to `<dir>/site-N.wal` / `<dir>/site-N.jrn`,
+//! and startup becomes a recovery pass: committed state is replayed,
+//! losers are rolled back, and in-doubt transactions are resurrected to
+//! await the coordinator's final state. A `recovered <summary>` line is
+//! printed after the replay. Without the flag the site is purely
+//! in-memory, as before.
 
 use amc_engine::{TplConfig, TwoPLEngine};
 use amc_net::comm::EngineHandle;
 use amc_net::{LocalCommManager, SubmitMode};
 use amc_obs::ObsSink;
-use amc_rpc::SiteServer;
+use amc_rpc::{SiteRecoveryManager, SiteServer};
 use amc_types::SiteId;
 use std::sync::Arc;
 use std::time::Duration;
@@ -22,7 +30,8 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: amc-site-server --site <n> --listen <host:port> \
-         --protocol <2pc|commit-after|commit-before> [--lock-timeout-ms <ms>]"
+         --protocol <2pc|commit-after|commit-before> [--lock-timeout-ms <ms>] \
+         [--wal-dir <dir>]"
     );
     std::process::exit(2);
 }
@@ -33,6 +42,7 @@ fn main() {
     let mut listen = String::from("127.0.0.1:0");
     let mut mode = None;
     let mut lock_timeout = Duration::from_millis(500);
+    let mut wal_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -58,6 +68,10 @@ fn main() {
                 let ms = args.get(i).and_then(|v| v.parse::<u64>().ok());
                 lock_timeout = Duration::from_millis(ms.unwrap_or_else(|| usage()));
             }
+            "--wal-dir" => {
+                i += 1;
+                wal_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             _ => usage(),
         }
         i += 1;
@@ -74,39 +88,48 @@ fn main() {
         deadlock_check: Duration::from_millis(1),
         ..TplConfig::default()
     };
-    let engine = Arc::new(TwoPLEngine::new(cfg));
-    let manager = Arc::new(LocalCommManager::new(
-        site,
-        EngineHandle::Preparable(engine),
-    ));
-
-    // A restarted server may race the kernel's TIME_WAIT on its old
-    // connections; retry the bind briefly instead of dying.
-    let mut server = None;
-    for _ in 0..50 {
-        match SiteServer::spawn(
-            site,
-            Arc::clone(&manager),
-            mode,
-            &listen,
-            ObsSink::disabled(),
-        ) {
-            Ok(s) => {
-                server = Some(s);
-                break;
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
-                std::thread::sleep(Duration::from_millis(100));
+    let manager = match &wal_dir {
+        Some(dir) => match SiteRecoveryManager::new(dir).open(site, cfg, ObsSink::disabled()) {
+            Ok((manager, stats)) => {
+                println!(
+                    "recovered site {site_n}: {} committed, {} rolled back, \
+                         {} in doubt, {} records replayed, {} work entries restored{}",
+                    stats.committed,
+                    stats.rolled_back,
+                    stats.in_doubt,
+                    stats.replayed,
+                    stats.restored_entries,
+                    if stats.torn_tail {
+                        " (torn tail truncated)"
+                    } else {
+                        ""
+                    }
+                );
+                manager
             }
             Err(e) => {
-                eprintln!("bind {listen}: {e}");
+                eprintln!("recovery from {dir}: {e}");
                 std::process::exit(1);
             }
+        },
+        None => {
+            let engine = Arc::new(TwoPLEngine::new(cfg));
+            Arc::new(LocalCommManager::new(
+                site,
+                EngineHandle::Preparable(engine),
+            ))
         }
-    }
-    let Some(server) = server else {
-        eprintln!("bind {listen}: address in use");
-        std::process::exit(1);
+    };
+
+    // SiteServer::spawn retries AddrInUse internally, so a restart in
+    // place (same port) survives the kernel's TIME_WAIT on the old
+    // listener.
+    let server = match SiteServer::spawn(site, manager, mode, &listen, ObsSink::disabled()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bind {listen}: {e}");
+            std::process::exit(1);
+        }
     };
     println!("listening on {}", server.addr());
     use std::io::Write as _;

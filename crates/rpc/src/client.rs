@@ -63,6 +63,30 @@ impl RetryPolicy {
 }
 
 /// A client for one site: address, pooled connections, retry policy.
+///
+/// Round-trip against a real [`SiteServer`](crate::SiteServer) on an
+/// ephemeral loopback port:
+///
+/// ```
+/// use amc_engine::{TplConfig, TwoPLEngine};
+/// use amc_net::{AdminReply, AdminRequest, EngineHandle, LocalCommManager, SubmitMode};
+/// use amc_obs::ObsSink;
+/// use amc_rpc::{RetryPolicy, RpcClient, SiteServer};
+/// use amc_types::SiteId;
+/// use std::sync::Arc;
+///
+/// let site = SiteId::new(1);
+/// let engine = Arc::new(TwoPLEngine::new(TplConfig::default()));
+/// let manager = Arc::new(LocalCommManager::new(site, EngineHandle::Preparable(engine)));
+/// let server = SiteServer::spawn(
+///     site, manager, SubmitMode::CommitBefore, "127.0.0.1:0", ObsSink::disabled(),
+/// )?;
+///
+/// let client = RpcClient::new(site, server.addr(), RetryPolicy::default(), ObsSink::disabled());
+/// assert!(matches!(client.admin(AdminRequest::Ping)?, AdminReply::Pong));
+/// server.shutdown();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub struct RpcClient {
     site: SiteId,
     addr: Mutex<SocketAddr>,

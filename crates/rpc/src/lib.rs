@@ -17,21 +17,27 @@
 //!   all surfaced as `amc-obs` events so `explain` works on networked
 //!   runs;
 //! * [`transport`] — the [`amc_net::transport::FederationTransport`] impl
-//!   gluing the two into `amc_core::Federation::with_transport`.
+//!   gluing the two into `amc_core::Federation::with_transport`;
+//! * [`recovery`] — durable restart: a site started with `--wal-dir`
+//!   persists its engine WAL and work journal there, and
+//!   [`SiteRecoveryManager`] rebuilds both after a `kill -9`, resolving
+//!   in-doubt transactions through the coordinator's inquiry path.
 //!
 //! The binaries `amc-site-server` and `amc-loadgen` run the same pieces
 //! as separate OS processes; experiment E10 measures what the wire costs
 //! relative to the in-process dispatcher.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod client;
+pub mod recovery;
 pub mod server;
 pub mod transport;
 pub mod wire;
 
 pub use client::{RetryPolicy, RpcClient};
+pub use recovery::{FileWorkJournal, SiteRecoveryManager};
 pub use server::SiteServer;
 pub use transport::TcpTransport;
 pub use wire::{Frame, FrameReadError, WireError, MAX_FRAME_LEN, WIRE_VERSION};

@@ -40,6 +40,13 @@ impl SiteServer {
     /// Bind `listen` (e.g. `127.0.0.1:0` for an ephemeral loopback port)
     /// and serve `manager` on it. `mode` selects how submits run — it must
     /// match the protocol the coordinator drives.
+    ///
+    /// Binding retries briefly on `AddrInUse`: a site restarted **in
+    /// place** (same port, after a crash or shutdown) can race the kernel
+    /// reclaiming the old listener — the previous socket may linger in
+    /// `TIME_WAIT` even though `SO_REUSEADDR` is set by default on Unix
+    /// listeners. The retry lives here, not in callers, so every runtime
+    /// (binary, tests, embedding) gets restart-in-place for free.
     pub fn spawn(
         site: SiteId,
         manager: Arc<LocalCommManager>,
@@ -47,7 +54,7 @@ impl SiteServer {
         listen: &str,
         obs: ObsSink,
     ) -> io::Result<SiteServer> {
-        let listener = TcpListener::bind(listen)?;
+        let listener = bind_with_retry(listen)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -105,6 +112,25 @@ impl SiteServer {
             let _ = h.join();
         }
     }
+}
+
+/// Bounded `AddrInUse` retry around [`TcpListener::bind`] (see
+/// [`SiteServer::spawn`]). Ephemeral-port binds (`:0`) never collide and
+/// return on the first attempt.
+fn bind_with_retry(listen: &str) -> io::Result<TcpListener> {
+    const ATTEMPTS: u32 = 50;
+    let mut last = None;
+    for attempt in 0..ATTEMPTS {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        match TcpListener::bind(listen) {
+            Ok(l) => return Ok(l),
+            Err(e) if e.kind() == io::ErrorKind::AddrInUse => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.expect("loop ran at least once"))
 }
 
 impl Drop for SiteServer {

@@ -297,6 +297,7 @@ fn write_admin_request(w: &mut Writer, req: &AdminRequest) {
         AdminRequest::Dump => w.u8(2),
         AdminRequest::CommStats => w.u8(3),
         AdminRequest::LogStats => w.u8(4),
+        AdminRequest::Recovery => w.u8(5),
     }
 }
 
@@ -337,6 +338,25 @@ fn write_admin_reply(w: &mut Writer, reply: &AdminReply) {
                 s.batched_commits,
             ] {
                 w.u64(v);
+            }
+        }
+        AdminReply::Recovery(stats) => {
+            w.u8(5);
+            match stats {
+                None => w.u8(0),
+                Some(s) => {
+                    w.u8(1);
+                    for v in [
+                        s.committed,
+                        s.rolled_back,
+                        s.in_doubt,
+                        s.replayed,
+                        s.restored_entries,
+                    ] {
+                        w.u64(v);
+                    }
+                    w.u8(u8::from(s.torn_tail));
+                }
             }
         }
     }
@@ -586,6 +606,7 @@ fn read_admin_request(r: &mut Reader<'_>) -> Result<AdminRequest, WireError> {
         2 => AdminRequest::Dump,
         3 => AdminRequest::CommStats,
         4 => AdminRequest::LogStats,
+        5 => AdminRequest::Recovery,
         t => return Err(WireError::BadTag("admin-request", t)),
     })
 }
@@ -611,6 +632,18 @@ fn read_admin_reply(r: &mut Reader<'_>) -> Result<AdminReply, WireError> {
             stable_bytes: r.u64()?,
             group_forces: r.u64()?,
             batched_commits: r.u64()?,
+        }),
+        5 => AdminReply::Recovery(match r.u8()? {
+            0 => None,
+            1 => Some(amc_net::RecoveryStats {
+                committed: r.u64()?,
+                rolled_back: r.u64()?,
+                in_doubt: r.u64()?,
+                replayed: r.u64()?,
+                restored_entries: r.u64()?,
+                torn_tail: r.u8()? != 0,
+            }),
+            t => return Err(WireError::BadTag("recovery-present", t)),
         }),
         t => return Err(WireError::BadTag("admin-reply", t)),
     })

@@ -1,7 +1,7 @@
 //! The nemesis: composed fault schedules, their seeded generator, and a
 //! schedule shrinker.
 //!
-//! [`FailurePlan`](crate::FailurePlan) covers E5's hand-written crash
+//! [`FailurePlan`] covers E5's hand-written crash
 //! schedules; chaos testing needs more. A [`FaultPlan`] composes four fault
 //! families into one virtual-time schedule:
 //!

@@ -69,6 +69,29 @@ struct GcInner {
 }
 
 /// A [`LogManager`] wrapped with leader/follower group commit.
+///
+/// With the default config (zero linger, zero modelled fsync latency) the
+/// committer behaves exactly like an unbatched forced append — one force
+/// per durable record — which makes single-threaded use easy to reason
+/// about:
+///
+/// ```
+/// use amc_types::LocalTxnId;
+/// use amc_wal::{GroupCommitConfig, GroupCommitter, LogManager, LogRecord};
+///
+/// let gc = GroupCommitter::new(LogManager::new(), GroupCommitConfig::default());
+/// let txn = LocalTxnId::new(7);
+/// gc.append(&LogRecord::Begin { txn });          // buffered, not yet stable
+/// assert!(gc.append_durable(&LogRecord::Commit { txn })); // true = on stable storage
+///
+/// let stats = gc.stats();
+/// assert_eq!(stats.forces, 1);          // the commit forced the tail...
+/// assert_eq!(stats.stable_records, 2);  // ...carrying the begin with it
+/// ```
+///
+/// Under concurrency the interesting number is `batched_commits /
+/// group_forces` — how many acknowledgements each physical force paid for
+/// (experiment E11b sweeps it against the linger window).
 pub struct GroupCommitter {
     inner: Mutex<GcInner>,
     cv: Condvar,

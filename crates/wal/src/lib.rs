@@ -14,6 +14,10 @@
 //! * [`log::LogManager`] — an append-only log with a volatile tail and a
 //!   stable prefix; `force()` is the durability barrier, and a crash drops
 //!   the tail.
+//! * [`durable::DurableFile`] — an on-disk mirror of the stable prefix:
+//!   checksum-framed appends, one `fsync` per acknowledged force, torn-tail
+//!   classification at open. [`LogManager::open_durable`] wires it in so a
+//!   killed process recovers its stable prefix from the file.
 //! * [`recovery`] — restart recovery: forward replay of finished
 //!   transactions from the last checkpoint, backward undo of losers.
 //!
@@ -24,13 +28,15 @@
 //! buffer pages happened to reach disk before the crash.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod durable;
 pub mod group;
 pub mod log;
 pub mod record;
 pub mod recovery;
 
+pub use durable::{DurableFile, Opened};
 pub use group::{GroupCommitConfig, GroupCommitter};
 pub use log::{LogManager, LogStats};
 pub use record::LogRecord;

@@ -8,9 +8,11 @@
 //! Force counts are tracked for experiment E4 (log-write complexity per
 //! protocol, cf. [ML 83] in the paper's related work).
 
+use crate::durable::DurableFile;
 use crate::record::LogRecord;
 use amc_obs::{EventKind, ObsSink};
 use amc_types::{AmcResult, Lsn, SiteId};
+use std::path::Path;
 
 /// Log I/O accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -32,6 +34,14 @@ pub struct LogStats {
 }
 
 /// An append-only write-ahead log with a volatile tail.
+///
+/// By default the "stable" prefix lives only in memory (the simulator's
+/// model of a disk). [`LogManager::open_durable`] attaches an on-disk
+/// [`DurableFile`] sink: every force then also appends the drained frames
+/// to the file and pays one `fsync`, and every stable-prefix mutation
+/// (torn-tail truncation, prefix reclamation, the simulated-crash test
+/// hooks) is mirrored to the file, so a killed process finds its full
+/// stable prefix at the next [`LogManager::open_durable`].
 #[derive(Debug, Default)]
 pub struct LogManager {
     /// Durable frames, in LSN order; the first frame has LSN `truncated + 1`.
@@ -45,12 +55,76 @@ pub struct LogManager {
     obs: ObsSink,
     /// The site this log belongs to, for event attribution.
     obs_site: Option<SiteId>,
+    /// On-disk mirror of the stable prefix, when the log is durable.
+    sink: Option<DurableFile>,
+    /// Whether [`LogManager::open_durable`] truncated a torn final frame
+    /// off the file; folded into the recovery outcome.
+    torn_at_open: bool,
 }
 
 impl LogManager {
     /// An empty log.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Open a durable log backed by the frame file at `path`, loading the
+    /// surviving stable prefix. A torn final frame is truncated (and
+    /// reported via [`LogManager::torn_at_open`]); corruption anywhere
+    /// earlier is fatal.
+    ///
+    /// `Checkpoint` records from the previous process are dropped (and the
+    /// file compacted): a checkpoint's redo-bounding contract says "updates
+    /// before me reached stable *page* storage", but the page store is
+    /// volatile across process restarts, so redo must run from the log's
+    /// origin.
+    pub fn open_durable(path: impl AsRef<Path>) -> AmcResult<Self> {
+        let opened = DurableFile::open(path)?;
+        let mut frames = opened.frames;
+        let had = frames.len();
+        frames.retain(|f| !matches!(LogRecord::decode(f), Ok(LogRecord::Checkpoint { .. })));
+        let dropped_checkpoints = frames.len() != had;
+        let mut log = LogManager {
+            torn_at_open: opened.torn_truncated,
+            sink: Some(opened.file),
+            ..LogManager::default()
+        };
+        for frame in &frames {
+            log.stats.stable_records += 1;
+            log.stats.stable_bytes += frame.len() as u64;
+        }
+        log.stable = frames;
+        if dropped_checkpoints {
+            // Keep the file frame-for-frame identical to the in-memory
+            // stable prefix (torn-tail truncation indexes rely on it).
+            log.mirror_stable();
+        }
+        Ok(log)
+    }
+
+    /// Whether this log persists its stable prefix to disk.
+    pub fn is_durable(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Whether [`LogManager::open_durable`] truncated a torn final frame.
+    pub fn torn_at_open(&self) -> bool {
+        self.torn_at_open
+    }
+
+    /// Consume the torn-at-open flag (recovery folds it into its outcome
+    /// once; replaying recovery afterwards reports a clean open).
+    pub(crate) fn take_torn_at_open(&mut self) -> bool {
+        std::mem::take(&mut self.torn_at_open)
+    }
+
+    /// Emit an event through the attached sink, attributed to this log's
+    /// site. Free when no sink is attached.
+    pub(crate) fn emit(&self, kind: EventKind) {
+        if self.obs.is_enabled() {
+            self.obs
+                .emit(None, self.obs_site.unwrap_or(SiteId::new(0)), kind);
+        }
     }
 
     /// Append a record to the volatile tail, returning its LSN.
@@ -92,7 +166,15 @@ impl LogManager {
             self.stats.stable_records += 1;
             self.stats.stable_bytes += frame.len() as u64;
             bytes += frame.len() as u64;
+            if let Some(sink) = self.sink.as_mut() {
+                sink.append(&frame);
+            }
             self.stable.push(frame);
+        }
+        // One physical fsync per acknowledged force, however many frames
+        // it carried — the cost group commit amortizes.
+        if let Some(sink) = self.sink.as_mut() {
+            sink.sync();
         }
         if self.obs.is_enabled() {
             self.obs.emit(
@@ -177,6 +259,17 @@ impl LogManager {
             }
         }
         self.tail.clear();
+        // A durable sink must reflect what physically hit the medium.
+        self.mirror_stable();
+    }
+
+    /// Rewrite the durable sink (if any) from the current stable prefix —
+    /// used by the simulated-crash test hooks, which edit `stable`
+    /// directly instead of going through appends.
+    fn mirror_stable(&mut self) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.rewrite(&self.stable);
+        }
     }
 
     /// Drop a torn final frame from the durable prefix, if present.
@@ -198,6 +291,9 @@ impl LogManager {
             None => Ok(false),
             Some(i) if i + 1 == self.stable.len() => {
                 self.stable.pop();
+                if let Some(sink) = self.sink.as_mut() {
+                    sink.truncate_frames(i);
+                }
                 Ok(true)
             }
             Some(i) => Err(amc_types::AmcError::Corruption(format!(
@@ -216,6 +312,7 @@ impl LogManager {
             if let Some(last) = frame.last_mut() {
                 *last ^= 0xFF;
             }
+            self.mirror_stable();
         }
     }
 
@@ -257,6 +354,7 @@ impl LogManager {
         let keep_from = keep_from.min(self.stable.len());
         self.truncated += keep_from as u64;
         self.stable.drain(..keep_from);
+        self.mirror_stable();
     }
 
     /// Number of records truncated from the front (LSN offset).

@@ -12,6 +12,7 @@
 //! fixed 12-byte form. `None` before-images mean "object did not exist";
 //! `None` after-images mean "object deleted".
 
+use amc_storage::checksum::fnv1a;
 use amc_types::{AmcError, AmcResult, LocalTxnId, ObjectId, Value};
 
 const TAG_BEGIN: u8 = 1;
@@ -230,17 +231,6 @@ impl LogRecord {
             t => Err(AmcError::Corruption(format!("unknown log tag {t}"))),
         }
     }
-}
-
-/// FNV-1a, duplicated from `amc-storage` to keep the crates independent
-/// (the WAL is a sibling substrate, not a client, of page storage).
-fn fnv1a(data: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &byte in data {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
 }
 
 #[cfg(test)]

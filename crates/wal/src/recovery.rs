@@ -27,6 +27,7 @@
 
 use crate::log::LogManager;
 use crate::record::LogRecord;
+use amc_obs::EventKind;
 use amc_types::{AmcResult, LocalTxnId, ObjectId, Value};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -62,8 +63,13 @@ pub fn recover(
 ) -> AmcResult<RecoveryOutcome> {
     // A torn final frame is the unacknowledged victim of a crash during
     // force(): truncate it. Mid-log corruption propagates as a fatal error.
-    let torn_tail_truncated = log.truncate_torn_tail()?;
+    // A durable log may already have truncated a torn frame at open; that
+    // counts as the same crash evidence and is consumed here exactly once.
+    let torn_tail_truncated = log.truncate_torn_tail()? | log.take_torn_at_open();
     let records = log.stable_records()?;
+    log.emit(EventKind::RecoveryStart {
+        records: records.len() as u64,
+    });
 
     // --- Analysis ---------------------------------------------------------
     // Find the last checkpoint and the transactions active across it.
@@ -116,7 +122,7 @@ pub fn recover(
 
     // --- Redo -------------------------------------------------------------
     // Forward from the checkpoint: re-apply updates of finished txns.
-    for (_, r) in &records[ckpt_idx.min(records.len())..] {
+    for (lsn, r) in &records[ckpt_idx.min(records.len())..] {
         if let LogRecord::Update {
             txn, obj, after, ..
         } = r
@@ -127,13 +133,14 @@ pub fn recover(
             {
                 apply(*obj, *after)?;
                 outcome.redo_applied += 1;
+                log.emit(EventKind::ReplayedRecord { lsn: lsn.raw() });
             }
         }
     }
 
     // --- Undo -------------------------------------------------------------
     // Backward over the whole log: restore before-images of losers.
-    for (_, r) in records.iter().rev() {
+    for (lsn, r) in records.iter().rev() {
         if let LogRecord::Update {
             txn, obj, before, ..
         } = r
@@ -141,6 +148,7 @@ pub fn recover(
             if outcome.losers.contains(txn) {
                 apply(*obj, *before)?;
                 outcome.undo_applied += 1;
+                log.emit(EventKind::ReplayedRecord { lsn: lsn.raw() });
             }
         }
     }

@@ -5,11 +5,13 @@
 //! For each protocol: spawn one [`SiteServer`] per site (ephemeral
 //! loopback ports), run a mixed transfer workload through
 //! `Federation::with_transport`, then kill one site's server, crash and
-//! recover its engine, respawn the server on a *new* port, repoint the
-//! transport, and keep going. The run must commit transactions both
-//! before and after the restart, the client must log a reconnect, and
-//! the global sum must be conserved at the end — the paper's atomicity
-//! guarantee surviving an actual socket teardown, not a simulated one.
+//! recover its engine, and respawn the server **in place on the same
+//! port** — exactly what a restarted production process does, leaning on
+//! the server's bind retry to ride out the old listener's TIME_WAIT. The
+//! run must commit transactions both before and after the restart, the
+//! client must log a reconnect, and the global sum must be conserved at
+//! the end — the paper's atomicity guarantee surviving an actual socket
+//! teardown, not a simulated one.
 
 use amc::core::{Federation, FederationConfig, TxnOutcome};
 use amc::engine::{LocalEngine, TplConfig, TwoPLEngine};
@@ -104,21 +106,25 @@ impl Cluster {
     }
 
     /// Tear the site's server down (sockets die), crash + recover its
-    /// engine, and bring a new server up on a fresh port.
+    /// engine, and bring a new server up **in place** — same port, so the
+    /// transport needs no repointing. `SiteServer::spawn` retries the
+    /// bind through whatever TIME_WAIT the dead listener left behind.
     fn restart_site(&mut self, site: SiteId) {
         let entry = self.sites.get_mut(&site).expect("known site");
-        entry.server.take().expect("server running").shutdown();
+        let server = entry.server.take().expect("server running");
+        let addr = server.addr();
+        server.shutdown();
         entry.engine.crash();
         entry.engine.recover().expect("recovery");
         let server = SiteServer::spawn(
             site,
             Arc::clone(&entry.manager),
             self.mode,
-            "127.0.0.1:0",
+            &addr.to_string(),
             ObsSink::disabled(),
         )
-        .expect("rebind loopback");
-        self.transport.set_site_addr(site, server.addr());
+        .expect("rebind loopback in place");
+        assert_eq!(server.addr(), addr, "restart must reuse the same port");
         entry.server = Some(server);
     }
 }
