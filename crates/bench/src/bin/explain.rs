@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run -p amc-bench --bin explain -- --seed 7
 //! cargo run -p amc-bench --bin explain -- --seed 7 --txn 3 --protocol 2pc
-//! cargo run -p amc-bench --bin explain -- --seed 636 --protocol commit-after --skip-decision-log
+//! cargo run -p amc-bench --bin explain -- --seed 5 --protocol commit-after --skip-decision-log
 //! ```
 //!
 //! The run is the E5c scenario: two sites, five staggered disjoint
@@ -31,7 +31,9 @@
 
 use amc_core::{FederationConfig, SimConfig, SimFederation};
 use amc_sim::{generate_faults, NemesisConfig};
-use amc_types::{GlobalTxnId, ObjectId, Operation, ProtocolKind, SimDuration, SiteId, Value};
+use amc_types::{
+    GlobalTxnId, ObjectId, Operation, ProtocolKind, SimDuration, SimTime, SiteId, Value,
+};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
@@ -178,7 +180,15 @@ fn main() -> ExitCode {
         protocol: args.protocol,
         skip_decision_log: args.skip_decision_log,
     };
-    let plan = generate_faults(&NemesisConfig::default(), args.seed);
+    // Same schedule shape as the E5c sweep: the transfers all land in the
+    // first ~100 ms of virtual time, so the fault horizon is squeezed onto
+    // that span — a seed's plan perturbs live transactions, not idle air.
+    let nemesis = NemesisConfig {
+        fault_horizon: SimTime(120_000),
+        max_hold: SimDuration::from_micros(60_000),
+        ..NemesisConfig::default()
+    };
+    let plan = generate_faults(&nemesis, args.seed);
     let mut cfg = SimConfig::new(FederationConfig::uniform(2, args.protocol));
     cfg.seed = args.seed;
     cfg.faults = plan.clone();

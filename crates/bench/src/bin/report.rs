@@ -166,4 +166,15 @@ fn main() {
         }
         println!();
     }
+
+    if wants("e12") {
+        let outages: &[u64] = if quick { &[25, 200] } else { &[25, 100, 400] };
+        let (windows, costs) = e12_paxos::run(outages, if quick { 60 } else { 200 });
+        print!("{}", e12_paxos::window_table(&windows).render());
+        print!("{}", e12_paxos::cost_table(&costs).render());
+        for v in e12_paxos::verdicts(&windows, &costs) {
+            println!("{v}");
+        }
+        println!();
+    }
 }

@@ -274,7 +274,16 @@ pub fn run_nemesis(seeds: &[u64]) -> Vec<NemesisRow> {
     let mut rows = Vec::new();
     for protocol in ProtocolKind::ALL {
         for &seed in seeds {
-            let plan = generate_faults(&NemesisConfig::default(), seed);
+            // The five transfers are all submitted inside the first
+            // ~100 ms of virtual time; squeeze the fault horizon onto
+            // that span so the schedules land on live transactions
+            // instead of an idle federation.
+            let nemesis = NemesisConfig {
+                fault_horizon: SimTime(120_000),
+                max_hold: SimDuration::from_micros(60_000),
+                ..NemesisConfig::default()
+            };
+            let plan = generate_faults(&nemesis, seed);
             let mut cfg = SimConfig::new(FederationConfig::uniform(2, protocol));
             cfg.seed = seed;
             cfg.faults = plan.clone();

@@ -4,8 +4,50 @@ use amc_engine::{OccEngine, TplConfig, TwoPLEngine};
 use amc_mlt::ConflictPolicy;
 use amc_net::{EngineHandle, LocalCommManager};
 use amc_types::{ProtocolKind, SiteId};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Paxos Commit (Gray & Lamport) for the central system: the commit
+/// decision is replicated across `2f+1` acceptors co-located with site
+/// servers, so the death of the incumbent coordinator never leaves a
+/// prepared site blocked — any standby replica finishes in-doubt
+/// transactions from the acceptor logs.
+///
+/// Only meaningful under [`ProtocolKind::TwoPhaseCommit`]: Paxos Commit
+/// replicates the prepare/decision structure of 2PC (it is 2PC's
+/// non-blocking generalisation); the portable protocols have no prepared
+/// state to make durable.
+#[derive(Debug, Clone)]
+pub struct PaxosCommitConfig {
+    /// Acceptor-hosting sites — `2f+1` of them to tolerate `f` failures.
+    /// Every entry must be an existing site of the federation.
+    pub acceptors: Vec<SiteId>,
+    /// This coordinator replica's ballot tie-break id. Recovery ballots
+    /// are `(round ≥ 1, replica)`; ballot 0 is the incumbent fast path.
+    pub replica: u32,
+    /// Standby takeover lease: how long a registered-but-undecided
+    /// transaction may stay open before a standby assumes the incumbent
+    /// died and claims ballot leadership.
+    pub lease: Duration,
+    /// Directory for the in-process acceptor logs (used by
+    /// `Federation::new`; TCP deployments mount acceptors in their site
+    /// servers instead).
+    pub log_dir: PathBuf,
+}
+
+impl PaxosCommitConfig {
+    /// A config tolerating `f = (acceptors-1)/2` failures with logs under
+    /// `log_dir`, speaking as replica 0 (the incumbent).
+    pub fn new(acceptors: Vec<SiteId>, log_dir: impl Into<PathBuf>) -> Self {
+        PaxosCommitConfig {
+            acceptors,
+            replica: 0,
+            lease: Duration::from_millis(200),
+            log_dir: log_dir.into(),
+        }
+    }
+}
 
 /// Which engine flavour a site runs — the federation's heterogeneity axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +79,9 @@ pub struct FederationConfig {
     /// as they were on 1991 networks where a message round trip dwarfed
     /// local work.
     pub message_delay: Duration,
+    /// Replicated, non-blocking coordination (Paxos Commit). `None` runs
+    /// the classical single coordinator of Fig. 2.
+    pub paxos: Option<PaxosCommitConfig>,
 }
 
 impl FederationConfig {
@@ -49,7 +94,20 @@ impl FederationConfig {
             tpl: TplConfig::default(),
             l1_timeout: Duration::from_secs(2),
             message_delay: Duration::ZERO,
+            paxos: None,
         }
+    }
+
+    /// Enable Paxos Commit with acceptors at the first `2f+1` sites
+    /// (requires the 2PC protocol and at least `acceptors` sites).
+    pub fn with_paxos_commit(mut self, acceptors: u32, log_dir: impl Into<PathBuf>) -> Self {
+        assert!(
+            acceptors <= self.site_count(),
+            "acceptors are co-located with sites"
+        );
+        let group = (1..=acceptors).map(SiteId::new).collect();
+        self.paxos = Some(PaxosCommitConfig::new(group, log_dir));
+        self
     }
 
     /// A heterogeneous federation: alternating 2PL and OCC sites.

@@ -60,6 +60,24 @@ pub enum CoordAction {
 /// it is re-asked every `BACKOFF_CAP_TICKS` ticks instead of every tick.
 const BACKOFF_CAP_TICKS: u32 = 64;
 
+/// Deterministic retransmission jitter in `[0, base/4]`, mixed from the
+/// (transaction, site, attempt) triple with SplitMix64. Many coordinators
+/// wedged on the same recovering site would otherwise re-inquire on
+/// exactly the same ticks — the doubling schedule is identical for all of
+/// them. A pure function (no RNG state) keeps replays of the same
+/// schedule bit-identical.
+fn backoff_jitter(gtx: GlobalTxnId, site: SiteId, misses: u32, base: u32) -> u32 {
+    let mut z = gtx
+        .raw()
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(site.raw()) << 32)
+        .wrapping_add(u64::from(misses));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z as u32) % (base / 4 + 1)
+}
+
 /// Per-site retransmission backoff state. A site that stays silent is
 /// re-asked after 2, 4, 8, … ticks (capped), not on every tick — PR 1's
 /// every-tick re-inquiry turned a long partition into a retransmit storm.
@@ -465,13 +483,15 @@ impl Coordinator {
         let mut actions = Vec::new();
         for (site, payload, is_inquiry) in targets {
             let due = {
+                let gtx = self.gtx;
                 let slot = self.backoff.entry(site).or_default();
                 if slot.ticks_left > 0 {
                     slot.ticks_left -= 1;
                     false
                 } else {
                     slot.misses += 1;
-                    slot.ticks_left = (1u32 << slot.misses.min(6)).min(BACKOFF_CAP_TICKS);
+                    let base = (1u32 << slot.misses.min(6)).min(BACKOFF_CAP_TICKS);
+                    slot.ticks_left = base + backoff_jitter(gtx, site, slot.misses, base);
                     true
                 }
             };
@@ -778,23 +798,45 @@ mod tests {
 
     #[test]
     fn timer_backoff_doubles_then_caps() {
-        // One silent site: record which ticks actually retransmit. The
-        // gaps must double (2, 4, 8, …) and cap at 64 ticks.
+        // One silent site: record which ticks actually retransmit. Gaps
+        // follow the doubling envelope (2, 4, 8, … capped at 64 ticks)
+        // plus a deterministic jitter of at most a quarter of it.
         let mut c = Coordinator::new(gtx(), ProtocolKind::CommitBefore, programs(&[1]));
         c.on_event(CoordEvent::Start);
         let mut send_ticks = Vec::new();
-        for t in 0..600usize {
+        for t in 0..700usize {
             if !c.on_event(CoordEvent::Timer).is_empty() {
                 send_ticks.push(t);
             }
         }
         assert_eq!(send_ticks[0], 0, "first timer retransmits immediately");
         let gaps: Vec<usize> = send_ticks.windows(2).map(|w| w[1] - w[0]).collect();
+        let bases = [2usize, 4, 8, 16, 32, 64, 64, 64];
+        for (i, gap) in gaps.iter().take(bases.len()).enumerate() {
+            let base = bases[i];
+            assert!(
+                (base + 1..=base + base / 4 + 1).contains(gap),
+                "gap {i} = {gap} outside the jittered envelope of base {base}: {gaps:?}"
+            );
+        }
+        assert!(gaps.iter().all(|g| *g <= 64 + 16 + 1), "{gaps:?}");
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_bounded_and_decorrelated() {
+        let j = backoff_jitter(GlobalTxnId::new(1), site(1), 5, 64);
+        assert_eq!(j, backoff_jitter(GlobalTxnId::new(1), site(1), 5, 64));
+        assert!((0..50).all(|m| backoff_jitter(GlobalTxnId::new(3), site(2), m, 64) <= 16));
+        // Small bases degenerate to zero jitter (nothing to spread).
+        assert_eq!(backoff_jitter(GlobalTxnId::new(9), site(1), 1, 2), 0);
+        // Different transactions land on different schedules.
+        let distinct: std::collections::BTreeSet<u32> = (1..=20u64)
+            .map(|g| backoff_jitter(GlobalTxnId::new(g), site(1), 6, 64))
+            .collect();
         assert!(
-            gaps.starts_with(&[3, 5, 9, 17, 33, 65, 65]),
-            "gaps must double then cap: {gaps:?}"
+            distinct.len() > 4,
+            "jitter must spread schedules: {distinct:?}"
         );
-        assert!(gaps.iter().all(|g| *g <= 65), "{gaps:?}");
     }
 
     #[test]

@@ -17,13 +17,14 @@
 //! and participants are always submitted in ascending site order so
 //! cross-site lock cycles cannot form.
 
-use crate::config::FederationConfig;
+use crate::config::{FederationConfig, PaxosCommitConfig};
 use crate::coordinator::{CoordAction, CoordEvent, Coordinator};
 use crate::metrics::RunMetrics;
 use amc_mlt::L1LockManager;
 use amc_net::comm::SubmitMode;
 use amc_net::transport::{AdminReply, AdminRequest, FederationTransport, InProcessTransport};
 use amc_net::{Envelope, LocalCommManager, MessageTrace, Payload};
+use amc_paxos::{majority, AcceptorHost, AcceptorTransport, CommitLedger, ReplicaDriver};
 use amc_types::{
     AbortReason, AmcError, AmcResult, GlobalTxnId, GlobalVerdict, LocalVote, ObjectId, Operation,
     ProtocolKind, SimTime, SiteId, Value,
@@ -100,6 +101,13 @@ pub struct Federation {
     record_history: bool,
     record_trace: bool,
     unresolved: Mutex<Vec<PendingObligation>>,
+    /// In-process acceptor group (Paxos federations built by
+    /// [`Federation::new`] only — TCP deployments mount acceptors in
+    /// their site servers).
+    paxos_transport: Option<Arc<AcceptorTransport<InProcessTransport>>>,
+    /// Fault injection: simulate the incumbent coordinator dying after
+    /// this many more replicated votes, leaving the transaction in doubt.
+    paxos_crash_after: Mutex<Option<u32>>,
 }
 
 impl Federation {
@@ -118,12 +126,46 @@ impl Federation {
             .into_iter()
             .map(|m| (m.site(), m))
             .collect();
-        let transport = Arc::new(InProcessTransport::new(
+        let inner = InProcessTransport::new(
             managers.clone(),
             submit_mode_for(cfg.protocol),
             cfg.message_delay,
-        ));
-        Self::assemble(cfg, managers, transport)
+        );
+        let Some(px) = &cfg.paxos else {
+            let transport = Arc::new(inner);
+            return Self::assemble(cfg, managers, transport);
+        };
+        // Replicated coordination: mount a durable acceptor at each
+        // configured site by decorating the transport — the same
+        // interception the TCP site server performs.
+        assert_eq!(
+            cfg.protocol,
+            ProtocolKind::TwoPhaseCommit,
+            "Paxos Commit replicates the 2PC prepare/decision structure; the \
+             portable protocols have no prepared state to make durable"
+        );
+        assert!(
+            px.acceptors.iter().all(|a| managers.contains_key(a)),
+            "acceptors must be co-located with existing sites"
+        );
+        std::fs::create_dir_all(&px.log_dir).expect("create acceptor log dir");
+        let hosts: BTreeMap<SiteId, AcceptorHost> = px
+            .acceptors
+            .iter()
+            .map(|a| {
+                let path = px.log_dir.join(format!("acceptor-{}.log", a.raw()));
+                let host = AcceptorHost::open(*a, path).expect("open acceptor log");
+                (*a, host)
+            })
+            .collect();
+        let decorated = Arc::new(AcceptorTransport::new(inner, hosts));
+        let mut fed = Self::assemble(
+            cfg,
+            managers,
+            Arc::clone(&decorated) as Arc<dyn FederationTransport>,
+        );
+        fed.paxos_transport = Some(decorated);
+        fed
     }
 
     /// Build a federation whose sites are reached through an externally
@@ -152,6 +194,8 @@ impl Federation {
             record_history: true,
             record_trace: true,
             unresolved: Mutex::new(Vec::new()),
+            paxos_transport: None,
+            paxos_crash_after: Mutex::new(None),
         }
     }
 
@@ -390,6 +434,124 @@ impl Federation {
         Ok(discharged)
     }
 
+    /// Start numbering transactions at `first` instead of 1. A
+    /// *replacement* coordinator replica must not reuse the ids its dead
+    /// predecessor already burned at the sites — ids only need to be
+    /// unique, not dense.
+    pub fn set_first_gtx(&self, first: u64) {
+        self.next_gtx.store(first.max(1), Ordering::Relaxed);
+    }
+
+    /// The in-process acceptor group, when this federation was built with
+    /// a [`PaxosCommitConfig`] (fault-injection switchboard for tests and
+    /// experiments).
+    pub fn paxos_transport(&self) -> Option<&Arc<AcceptorTransport<InProcessTransport>>> {
+        self.paxos_transport.as_ref()
+    }
+
+    /// A recovery driver speaking as coordinator replica `replica` over
+    /// this federation's acceptor group.
+    ///
+    /// # Panics
+    /// When the federation has no Paxos configuration.
+    pub fn replica_driver(&self, replica: u32) -> ReplicaDriver<'_> {
+        let px = self.cfg.paxos.as_ref().expect("paxos not configured");
+        ReplicaDriver::new(&*self.transport, px.acceptors.clone(), replica)
+    }
+
+    /// Fault injection: the incumbent coordinator "dies" (the current
+    /// `run_transaction` returns an error without delivering a decision)
+    /// right after the `votes`-th replicated prepare vote — leaving the
+    /// transaction in doubt for a standby to finish.
+    pub fn inject_coordinator_crash_after_votes(&self, votes: u32) {
+        *self.paxos_crash_after.lock() = Some(votes.max(1));
+    }
+
+    fn paxos_crash_due(&self) -> bool {
+        let mut slot = self.paxos_crash_after.lock();
+        if let Some(n) = slot.as_mut() {
+            *n -= 1;
+            if *n == 0 {
+                *slot = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Open `gtx`'s Paxos instances at the acceptor group (*BeginCommit*).
+    /// Returns the acceptors that durably acknowledged the registration.
+    fn paxos_register(
+        &self,
+        gtx: GlobalTxnId,
+        participants: &[SiteId],
+        px: &PaxosCommitConfig,
+        messages: &mut u64,
+    ) -> AmcResult<Vec<SiteId>> {
+        let mut acked = Vec::new();
+        for a in &px.acceptors {
+            *messages += 2;
+            let payload = Payload::PaxosRegister {
+                gtx,
+                participants: participants.to_vec(),
+            };
+            match self.dispatch(*a, payload) {
+                Ok(Payload::PaxosAck { .. }) => acked.push(*a),
+                Ok(other) => {
+                    return Err(AmcError::Protocol(format!(
+                        "unexpected registration reply {other}"
+                    )))
+                }
+                Err(AmcError::SiteDown(_)) | Err(AmcError::TransientIo(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(acked)
+    }
+
+    /// Cross-replicate one prepare vote at ballot 0. The voting site's
+    /// co-located acceptor already holds the accept (the vote reply *was*
+    /// the accept — co-location); the other acceptors get an explicit
+    /// phase-2a message. Successful Prepared accepts feed the commit gate.
+    #[allow(clippy::too_many_arguments)]
+    fn paxos_replicate_vote(
+        &self,
+        gtx: GlobalTxnId,
+        site: SiteId,
+        prepared: bool,
+        px: &PaxosCommitConfig,
+        registered_at: &[SiteId],
+        ledger: &mut CommitLedger,
+        messages: &mut u64,
+    ) {
+        for a in &px.acceptors {
+            if *a == site && registered_at.contains(a) {
+                if prepared {
+                    ledger.record_prepared(site, *a);
+                }
+                continue;
+            }
+            *messages += 2;
+            let payload = Payload::PaxosP2a {
+                gtx,
+                site,
+                ballot: 0,
+                prepared,
+            };
+            // A non-accept (a recovery ballot superseded 0, the acceptor is
+            // unreachable, or the reply is malformed) just means the instance
+            // is not chosen at this acceptor — the commit gate decides what
+            // that means.
+            let accepted = matches!(
+                self.dispatch(*a, payload),
+                Ok(Payload::PaxosP2b { accepted: true, .. })
+            );
+            if prepared && accepted {
+                ledger.record_prepared(site, *a);
+            }
+        }
+    }
+
     /// Run one global transaction to completion.
     pub fn run_transaction(
         &self,
@@ -456,15 +618,43 @@ impl Federation {
         // message the coordinator still owes the site once it recovers.
         let mut crashed_voters: Vec<SiteId> = Vec::new();
         let mut deferred: Vec<(SiteId, Payload)> = Vec::new();
+        // Paxos Commit bookkeeping (2PC + replicated coordination only).
+        let paxos = self.cfg.paxos.as_ref();
+        let participants: Vec<SiteId> = per_site.keys().copied().collect();
+        let mut registration_done = false;
+        let mut registered_at: Vec<SiteId> = Vec::new();
+        let mut ledger = CommitLedger::new();
+        let mut override_verdict: Option<GlobalVerdict> = None;
         let result: AmcResult<()> = (|| {
-            while let Some(event) = queue.pop_front() {
+            'drive: while let Some(event) = queue.pop_front() {
                 for action in coordinator.on_event(event) {
                     match action {
                         CoordAction::Send { site, payload } => {
+                            // Replicated coordination opens the instance
+                            // set between the work and prepare rounds:
+                            // prepare-round votes (and only those) then
+                            // double as ballot-0 accepts.
+                            if let (Some(px), Payload::Prepare { .. }) = (paxos, &payload) {
+                                if !registration_done {
+                                    registration_done = true;
+                                    registered_at =
+                                        self.paxos_register(gtx, &participants, px, &mut messages)?;
+                                    if registered_at.len() < majority(px.acceptors.len()) {
+                                        // The instances cannot be opened
+                                        // durably; abort before any site
+                                        // prepares (a pre-prepare abort
+                                        // is unilateral-safe: no acceptor
+                                        // can ever choose Prepared).
+                                        override_verdict = Some(GlobalVerdict::Abort);
+                                        break 'drive;
+                                    }
+                                }
+                            }
                             let is_submit = matches!(payload, Payload::Submit { .. });
                             if is_submit {
                                 submit_started.insert(site, Instant::now());
                             }
+                            let was_prepare = matches!(payload, Payload::Prepare { .. });
                             let vote_phase =
                                 matches!(payload, Payload::Submit { .. } | Payload::Prepare { .. });
                             messages += 2; // request + reply
@@ -510,6 +700,24 @@ impl Federation {
                                     if vote.is_yes() && self.record_history {
                                         self.record_site_ops(gtx, site, per_site);
                                     }
+                                    if let Some(px) = paxos {
+                                        if was_prepare && registration_done {
+                                            self.paxos_replicate_vote(
+                                                gtx,
+                                                site,
+                                                vote.is_yes(),
+                                                px,
+                                                &registered_at,
+                                                &mut ledger,
+                                                &mut messages,
+                                            );
+                                            if self.paxos_crash_due() {
+                                                return Err(AmcError::InvalidState(format!(
+                                                    "injected coordinator crash: {gtx} left in doubt"
+                                                )));
+                                            }
+                                        }
+                                    }
                                     queue.push_back(CoordEvent::Vote { site, vote });
                                 }
                                 Payload::Finished { .. } => {
@@ -522,10 +730,70 @@ impl Federation {
                                 }
                             }
                         }
-                        CoordAction::Decided(_) => {}
+                        CoordAction::Decided(v) => {
+                            let Some(px) = paxos else { continue };
+                            if !registration_done {
+                                // Work-round abort: nothing was ever
+                                // registered, no acceptor can choose
+                                // Prepared — unilateral abort is safe.
+                                continue;
+                            }
+                            let fast_commit = v == GlobalVerdict::Commit
+                                && ledger.all_chosen(&participants, px.acceptors.len());
+                            if fast_commit {
+                                // Every instance chose Prepared at a
+                                // majority at ballot 0: the commit is
+                                // already the replicated, durable fact.
+                                continue;
+                            }
+                            // Anything else after registration — an abort,
+                            // or a commit whose ballot-0 replication fell
+                            // short — must be run through a recovery
+                            // ballot: a unilateral decision could
+                            // contradict what a standby reads from the
+                            // acceptor logs.
+                            messages +=
+                                2 * px.acceptors.len() as u64 * (1 + participants.len() as u64);
+                            let driver = ReplicaDriver::new(
+                                &*self.transport,
+                                px.acceptors.clone(),
+                                px.replica,
+                            );
+                            let (verdict, _) = driver.decide(gtx, &participants)?;
+                            if verdict != v {
+                                // The replicated verdict departs from the
+                                // coordinator's local one (e.g. a crashed
+                                // voter whose durable Prepared survived
+                                // it): the acceptors win — abandon the
+                                // state machine and deliver their verdict.
+                                override_verdict = Some(verdict);
+                                break 'drive;
+                            }
+                        }
                         CoordAction::Done(v) => final_verdict = Some(v),
                     }
                 }
+            }
+            // The replicated decision departs from (or pre-empts) the
+            // coordinator's: deliver it ourselves, with the usual
+            // down-site deferral.
+            if let Some(v) = override_verdict {
+                for &s in per_site.keys() {
+                    messages += 2;
+                    let payload = Payload::Decision { gtx, verdict: v };
+                    match self.dispatch(s, payload.clone()) {
+                        Ok(_) => {}
+                        Err(AmcError::SiteDown(_)) | Err(AmcError::TransientIo(_)) => {
+                            deferred.push((s, payload));
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                // Every crashed voter was just re-driven (or queued as an
+                // obligation) with the *replicated* verdict; drop the
+                // synthesized-abort bookkeeping.
+                crashed_voters.clear();
+                final_verdict = Some(v);
             }
             Ok(())
         })();
@@ -543,6 +811,21 @@ impl Federation {
 
         let verdict =
             final_verdict.ok_or_else(|| AmcError::Protocol("coordinator never finished".into()))?;
+        // Close the instances at acceptors that are not participants —
+        // participants' co-located acceptors noted the decision when the
+        // `Decision` payload passed through them. Best-effort: a missed
+        // note keeps the transaction "open" there, and re-finishing an
+        // already-decided transaction is idempotent.
+        if let Some(px) = paxos {
+            if registration_done {
+                for a in &px.acceptors {
+                    if !per_site.contains_key(a) {
+                        messages += 2;
+                        let _ = self.dispatch(*a, Payload::PaxosDecided { gtx, verdict });
+                    }
+                }
+            }
+        }
         if has_obligations {
             self.queue_obligations(gtx, verdict, per_site, &crashed_voters, deferred);
         }
@@ -582,6 +865,11 @@ impl Federation {
     ) {
         if let Some(ops) = per_site.get(&site) {
             let mut history = self.history.lock();
+            // An inquiry retry can re-fetch a site's cached yes vote;
+            // recording its ops twice would fabricate conflict edges.
+            if history.has_events_for(gtx, site) {
+                return;
+            }
             for op in ops {
                 let seq = self.seq.fetch_add(1, Ordering::Relaxed);
                 history.record_op(OpEvent {
@@ -870,6 +1158,114 @@ mod tests {
             assert_eq!(dumps[&site(2)][&obj(2, 0)], v(130), "{protocol}");
             assert_eq!(user_sum(&fed), 100 * 2 * 50, "{protocol}");
         }
+    }
+
+    /// A 2PC federation with Paxos Commit: `acceptors` durable acceptors
+    /// co-located with the first sites, logs under a per-test temp dir.
+    fn paxos_loaded(sites: u32, acceptors: u32, tag: &str) -> Arc<Federation> {
+        let dir = std::env::temp_dir().join(format!("amc-fed-paxos-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = FederationConfig::uniform(sites, ProtocolKind::TwoPhaseCommit)
+            .with_paxos_commit(acceptors, &dir);
+        let fed = Federation::new(cfg);
+        for s in 1..=sites {
+            let data: Vec<(ObjectId, Value)> = (0..50).map(|i| (obj(s, i), v(100))).collect();
+            fed.load_site(site(s), &data).unwrap();
+        }
+        Arc::new(fed)
+    }
+
+    #[test]
+    fn paxos_commit_happy_path_replicates_and_commits() {
+        let fed = paxos_loaded(3, 3, "happy");
+        let report = fed.run_transaction(&transfer(1, 2, 30)).unwrap();
+        assert_eq!(report.outcome, TxnOutcome::Committed);
+        let dumps = fed.dumps().unwrap();
+        assert_eq!(dumps[&site(1)][&obj(1, 0)], v(70));
+        assert_eq!(dumps[&site(2)][&obj(2, 0)], v(130));
+        // Every acceptor — the participants' co-located ones (which saw
+        // the Decision pass through) and the bystander at site 3 (which
+        // got an explicit PaxosDecided) — holds the commit durably and
+        // reports no open instances.
+        let transport = fed.paxos_transport().unwrap();
+        for a in 1..=3 {
+            let host = transport.host(site(a)).unwrap();
+            host.with_acceptor(|acc| {
+                assert_eq!(
+                    acc.state().decision(report.gtx),
+                    Some(GlobalVerdict::Commit),
+                    "acceptor {a}"
+                );
+                assert!(acc.state().open_entries().is_empty(), "acceptor {a}");
+                assert!(acc.frame_count() > 0, "acceptor {a} must have logged");
+            });
+        }
+        // The prepare votes of the two participants were accepted at a
+        // majority at ballot 0, so the commit took the fast path — but it
+        // still paid for registration and cross-replication.
+        assert!(report.messages > 8, "{}", report.messages);
+    }
+
+    #[test]
+    fn paxos_registration_minority_aborts_before_any_prepare() {
+        // Acceptors at sites 1–3; two of them unreachable means the
+        // instance set cannot be opened durably at a majority, and the
+        // transaction (on the disjoint sites 4 and 5) aborts cleanly
+        // before any site prepares.
+        let fed = paxos_loaded(5, 3, "minority");
+        let transport = fed.paxos_transport().unwrap();
+        transport.set_down(site(2), true);
+        transport.set_down(site(3), true);
+        let report = fed.run_transaction(&transfer(4, 5, 30)).unwrap();
+        assert_eq!(report.outcome, TxnOutcome::Aborted);
+        transport.set_down(site(2), false);
+        transport.set_down(site(3), false);
+        assert_eq!(user_sum(&fed), 100 * 5 * 50);
+        // With the acceptor majority back, the same program commits.
+        let report = fed.run_transaction(&transfer(4, 5, 30)).unwrap();
+        assert_eq!(report.outcome, TxnOutcome::Committed);
+        assert_eq!(user_sum(&fed), 100 * 5 * 50);
+    }
+
+    #[test]
+    fn standby_replica_aborts_a_partially_prepared_in_doubt_transaction() {
+        // The incumbent dies right after replicating the FIRST prepare
+        // vote: site 1 is prepared and in doubt, site 2 never saw a
+        // prepare. A standby surveys the acceptors — instance 2 is free,
+        // so presume-abort — and finishes the transaction itself.
+        let fed = paxos_loaded(3, 3, "standby-abort");
+        fed.inject_coordinator_crash_after_votes(1);
+        let err = fed.run_transaction(&transfer(1, 2, 30)).unwrap_err();
+        assert!(matches!(err, AmcError::InvalidState(_)), "{err}");
+        let finished = fed.replica_driver(7).run_once().unwrap();
+        assert_eq!(finished, vec![(GlobalTxnId::new(1), GlobalVerdict::Abort)]);
+        assert_eq!(user_sum(&fed), 100 * 3 * 50);
+        // Nothing stays wedged: the prepared site released its locks, so
+        // the same accounts accept the next transfer.
+        let report = fed.run_transaction(&transfer(1, 2, 30)).unwrap();
+        assert_eq!(report.outcome, TxnOutcome::Committed);
+        assert_eq!(user_sum(&fed), 100 * 3 * 50);
+    }
+
+    #[test]
+    fn standby_replica_commits_a_fully_replicated_in_doubt_transaction() {
+        // The incumbent dies after BOTH prepare votes were replicated:
+        // every instance already chose Prepared at a majority, so the
+        // standby must conclude commit — aborting here would contradict
+        // the replicated decision.
+        let fed = paxos_loaded(3, 3, "standby-commit");
+        fed.inject_coordinator_crash_after_votes(2);
+        let err = fed.run_transaction(&transfer(1, 2, 30)).unwrap_err();
+        assert!(matches!(err, AmcError::InvalidState(_)), "{err}");
+        let finished = fed.replica_driver(7).run_once().unwrap();
+        assert_eq!(finished, vec![(GlobalTxnId::new(1), GlobalVerdict::Commit)]);
+        // Exactly-once: the transfer shows on both sides, once.
+        let dumps = fed.dumps().unwrap();
+        assert_eq!(dumps[&site(1)][&obj(1, 0)], v(70));
+        assert_eq!(dumps[&site(2)][&obj(2, 0)], v(130));
+        assert_eq!(user_sum(&fed), 100 * 3 * 50);
+        // And the group remembers: a second standby sweep finds nothing.
+        assert!(fed.replica_driver(8).run_once().unwrap().is_empty());
     }
 
     #[test]

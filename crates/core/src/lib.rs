@@ -36,7 +36,7 @@ pub mod metrics;
 pub mod simdrive;
 
 pub use amc_types::ProtocolKind;
-pub use config::FederationConfig;
+pub use config::{FederationConfig, PaxosCommitConfig};
 pub use coordinator::{CoordAction, CoordEvent, Coordinator};
 pub use federation::{submit_mode_for, Federation, TxnOutcome};
 pub use metrics::RunMetrics;

@@ -515,6 +515,21 @@ impl SimFederation {
                         (FaultKind::LossBurstEnd, _) => {
                             self.router.clear_loss_burst();
                         }
+                        // The discrete-event runtime models one logical
+                        // coordinator, so replica-crash lanes degenerate
+                        // to a central outage: volatile state lost, the
+                        // takeover resumes from the durable decision log
+                        // exactly as a restarted central would. The
+                        // replicated (threaded) runtime gives these events
+                        // their full Paxos semantics.
+                        (FaultKind::CoordinatorCrash { .. }, _) => {
+                            self.central_down = true;
+                            self.router.site_down(SiteId::CENTRAL);
+                            self.txns.clear();
+                        }
+                        (FaultKind::CoordinatorTakeover { .. }, _) => {
+                            self.resume_central();
+                        }
                     }
                 }
             }

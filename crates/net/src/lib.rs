@@ -42,4 +42,6 @@ pub use journal::{RecoveryStats, WorkEntry, WorkJournal};
 pub use message::{Envelope, Payload};
 pub use router::{NetStats, Router, RouterConfig};
 pub use trace::{MessageTrace, TraceEntry};
-pub use transport::{AdminReply, AdminRequest, FederationTransport, InProcessTransport};
+pub use transport::{
+    AdminReply, AdminRequest, FederationTransport, InProcessTransport, PaxosOpenEntry,
+};

@@ -63,6 +63,87 @@ pub enum Payload {
         /// Global transaction.
         gtx: GlobalTxnId,
     },
+    /// Central → acceptor: open this transaction's Paxos Commit instance
+    /// set (Gray & Lamport's *BeginCommit*). The acceptor durably records
+    /// the participant list so **any** coordinator replica can later
+    /// enumerate and finish the transaction's per-site instances.
+    PaxosRegister {
+        /// Global transaction.
+        gtx: GlobalTxnId,
+        /// Participant sites — one Paxos instance each.
+        participants: Vec<SiteId>,
+    },
+    /// Acceptor → central: registration (or decision note) durably logged.
+    PaxosAck {
+        /// Global transaction.
+        gtx: GlobalTxnId,
+    },
+    /// Central → acceptor: phase 1a — a recovery replica asks the
+    /// acceptor to promise ballot `ballot` for every instance of `gtx`.
+    PaxosP1a {
+        /// Global transaction.
+        gtx: GlobalTxnId,
+        /// The ballot being opened (packed `round << 32 | replica`).
+        ballot: u64,
+    },
+    /// Acceptor → central: phase 1b — the promise (or refusal), carrying
+    /// everything the acceptor has accepted for `gtx` so the new leader
+    /// can adopt the highest-ballot values.
+    PaxosP1b {
+        /// Global transaction.
+        gtx: GlobalTxnId,
+        /// The ballot this answers.
+        ballot: u64,
+        /// True when the acceptor promised `ballot`; false when it has
+        /// already promised a higher one (carried back in `promised_up_to`).
+        promised: bool,
+        /// The highest ballot this acceptor has promised.
+        promised_up_to: u64,
+        /// Participant sites from the durable registration (empty when
+        /// this acceptor never saw the registration).
+        participants: Vec<SiteId>,
+        /// Per-instance accepted values: `(site, accepted ballot,
+        /// prepared?)`. Instances with no accepted value are omitted.
+        accepted: Vec<(SiteId, u64, bool)>,
+    },
+    /// Central → acceptor: phase 2a — accept `prepared` as instance
+    /// `site`'s value at `ballot`. With the co-location optimization the
+    /// ballot-0 accept for a site's **own** instance never crosses the
+    /// wire as a `PaxosP2a`: the site's vote message doubles as it.
+    PaxosP2a {
+        /// Global transaction.
+        gtx: GlobalTxnId,
+        /// The instance (one per participant site).
+        site: SiteId,
+        /// The ballot the value is proposed at.
+        ballot: u64,
+        /// The instance value: true = Prepared, false = Aborted.
+        prepared: bool,
+    },
+    /// Central → acceptor: the global decision, for acceptors that are
+    /// **not** participants of `gtx` (participant acceptors note the
+    /// decision from the ordinary [`Payload::Decision`] they receive as
+    /// sites). Closes the transaction's instances in the acceptor log so
+    /// recovery replicas stop reporting it as open. Answered with a
+    /// [`Payload::PaxosAck`].
+    PaxosDecided {
+        /// Global transaction.
+        gtx: GlobalTxnId,
+        /// The verdict.
+        verdict: GlobalVerdict,
+    },
+    /// Acceptor → central: phase 2b — accepted (or refused because a
+    /// higher ballot was promised).
+    PaxosP2b {
+        /// Global transaction.
+        gtx: GlobalTxnId,
+        /// The instance this answers.
+        site: SiteId,
+        /// The ballot this answers.
+        ballot: u64,
+        /// True when the value was durably accepted.
+        accepted: bool,
+    },
 }
 
 impl Payload {
@@ -75,7 +156,14 @@ impl Payload {
             | Payload::Decision { gtx, .. }
             | Payload::Redo { gtx, .. }
             | Payload::Undo { gtx, .. }
-            | Payload::Finished { gtx } => *gtx,
+            | Payload::Finished { gtx }
+            | Payload::PaxosRegister { gtx, .. }
+            | Payload::PaxosAck { gtx }
+            | Payload::PaxosP1a { gtx, .. }
+            | Payload::PaxosP1b { gtx, .. }
+            | Payload::PaxosP2a { gtx, .. }
+            | Payload::PaxosDecided { gtx, .. }
+            | Payload::PaxosP2b { gtx, .. } => *gtx,
         }
     }
 
@@ -107,6 +195,13 @@ impl Payload {
             Payload::Redo { .. } => "redo",
             Payload::Undo { .. } => "undo",
             Payload::Finished { .. } => "finished",
+            Payload::PaxosRegister { .. } => "paxos-register",
+            Payload::PaxosAck { .. } => "paxos-ack",
+            Payload::PaxosP1a { .. } => "paxos-p1a",
+            Payload::PaxosP1b { .. } => "paxos-p1b",
+            Payload::PaxosP2a { .. } => "paxos-p2a",
+            Payload::PaxosDecided { .. } => "paxos-decided",
+            Payload::PaxosP2b { .. } => "paxos-p2b",
         }
     }
 }
@@ -231,6 +326,39 @@ mod tests {
                 inverse_ops: vec![],
             },
             Payload::Finished { gtx: gtx(3) },
+            Payload::PaxosRegister {
+                gtx: gtx(3),
+                participants: vec![],
+            },
+            Payload::PaxosAck { gtx: gtx(3) },
+            Payload::PaxosP1a {
+                gtx: gtx(3),
+                ballot: 1,
+            },
+            Payload::PaxosP1b {
+                gtx: gtx(3),
+                ballot: 1,
+                promised: true,
+                promised_up_to: 1,
+                participants: vec![],
+                accepted: vec![],
+            },
+            Payload::PaxosP2a {
+                gtx: gtx(3),
+                site: SiteId::new(1),
+                ballot: 1,
+                prepared: true,
+            },
+            Payload::PaxosDecided {
+                gtx: gtx(3),
+                verdict: GlobalVerdict::Commit,
+            },
+            Payload::PaxosP2b {
+                gtx: gtx(3),
+                site: SiteId::new(1),
+                ballot: 1,
+                accepted: true,
+            },
         ];
         for p in variants {
             assert_eq!(p.gtx(), gtx(3));

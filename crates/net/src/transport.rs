@@ -41,6 +41,20 @@ pub enum AdminRequest {
     LogStats,
     /// Fetch the stats of the site's last restart recovery pass.
     Recovery,
+    /// Ask the site's co-located Paxos acceptor for every registered
+    /// transaction that has no durably noted decision. A recovery replica
+    /// unions these across a majority of acceptors to find the in-doubt
+    /// transactions it must finish.
+    PaxosOpen,
+}
+
+/// One in-doubt transaction reported by an acceptor's durable log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaxosOpenEntry {
+    /// The registered transaction.
+    pub gtx: amc_types::GlobalTxnId,
+    /// Its participant sites (one Paxos instance each).
+    pub participants: Vec<SiteId>,
 }
 
 /// Replies to [`AdminRequest`]s.
@@ -59,6 +73,8 @@ pub enum AdminReply {
     /// Stats of the last restart recovery pass (None if this site process
     /// started fresh rather than recovering from durable state).
     Recovery(Option<RecoveryStats>),
+    /// The acceptor's registered-but-undecided transactions.
+    PaxosOpen(Vec<PaxosOpenEntry>),
 }
 
 /// A bidirectional request/reply channel from the central system to every
@@ -91,6 +107,19 @@ pub fn dispatch_to_manager(
         Payload::Vote { .. } | Payload::Finished { .. } => {
             Err(AmcError::Protocol("central received its own reply".into()))
         }
+        // Paxos messages address a site's co-located *acceptor*, not its
+        // communication manager. Runtimes that host acceptors (the TCP
+        // site server, the in-process acceptor decorator) intercept them
+        // before this dispatch; reaching here means the site has none.
+        Payload::PaxosRegister { .. }
+        | Payload::PaxosP1a { .. }
+        | Payload::PaxosP2a { .. }
+        | Payload::PaxosDecided { .. } => {
+            Err(AmcError::Protocol("site hosts no Paxos acceptor".into()))
+        }
+        Payload::PaxosAck { .. } | Payload::PaxosP1b { .. } | Payload::PaxosP2b { .. } => {
+            Err(AmcError::Protocol("central received its own reply".into()))
+        }
     }
 }
 
@@ -107,6 +136,9 @@ pub fn admin_to_manager(manager: &LocalCommManager, req: AdminRequest) -> AmcRes
         AdminRequest::CommStats => Ok(AdminReply::CommStats(manager.stats())),
         AdminRequest::LogStats => Ok(AdminReply::LogStats(manager.handle().engine().log_stats())),
         AdminRequest::Recovery => Ok(AdminReply::Recovery(manager.recovery_stats())),
+        // As with the Paxos payloads above: answered by the acceptor host,
+        // never by the bare communication manager.
+        AdminRequest::PaxosOpen => Err(AmcError::Protocol("site hosts no Paxos acceptor".into())),
     }
 }
 

@@ -1,0 +1,263 @@
+//! Hosting a durable acceptor inside a site runtime.
+//!
+//! Co-location (Gray & Lamport §5): the 2f+1 acceptors are not separate
+//! processes but live inside site servers. That buys the protocol's
+//! signature message saving — a site's **vote reply doubles as the
+//! ballot-0 phase-2a/2b exchange for its own instance**: the vote is
+//! durably accepted in the co-located acceptor's log before the reply
+//! leaves the process, so one round trip does both the 2PC vote and one
+//! of the Paxos accepts.
+//!
+//! The host is runtime-agnostic. Both the TCP site server and the
+//! in-process transport decorator wrap their normal dispatch like so:
+//!
+//! ```text
+//! if let Some(reply) = host.pre_dispatch(&payload)? { return reply }
+//! let reply = /* normal dispatch to the communication manager */;
+//! host.post_dispatch(&reply)?;   // vote-as-accept; Err = superseded
+//! ```
+
+use crate::acceptor::DurableAcceptor;
+use crate::ballot::Ballot;
+use amc_net::{AdminReply, AdminRequest, Payload};
+use amc_types::{AmcError, AmcResult, SiteId};
+use parking_lot::Mutex;
+use std::path::Path;
+
+/// A durable acceptor mounted at one site.
+pub struct AcceptorHost {
+    site: SiteId,
+    acceptor: Mutex<DurableAcceptor>,
+}
+
+impl AcceptorHost {
+    /// Open the acceptor log at `path` (replaying any existing state) and
+    /// mount it at `site`.
+    pub fn open(site: SiteId, path: impl AsRef<Path>) -> AmcResult<AcceptorHost> {
+        Ok(AcceptorHost {
+            site,
+            acceptor: Mutex::new(DurableAcceptor::open(path)?),
+        })
+    }
+
+    /// The hosting site.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Intercept a request before normal dispatch. `Ok(Some(reply))`
+    /// means the message was fully handled by the acceptor; `Ok(None)`
+    /// means it must continue to the communication manager.
+    pub fn pre_dispatch(&self, payload: &Payload) -> AmcResult<Option<Payload>> {
+        match payload {
+            Payload::PaxosRegister { gtx, participants } => {
+                self.acceptor.lock().register(*gtx, participants);
+                Ok(Some(Payload::PaxosAck { gtx: *gtx }))
+            }
+            Payload::PaxosP1a { gtx, ballot } => {
+                let out = self.acceptor.lock().promise(*gtx, Ballot(*ballot));
+                Ok(Some(Payload::PaxosP1b {
+                    gtx: *gtx,
+                    ballot: *ballot,
+                    promised: out.promised,
+                    promised_up_to: out.promised_up_to.0,
+                    participants: out.participants,
+                    accepted: out
+                        .accepted
+                        .into_iter()
+                        .map(|(s, b, v)| (s, b.0, v))
+                        .collect(),
+                }))
+            }
+            Payload::PaxosP2a {
+                gtx,
+                site,
+                ballot,
+                prepared,
+            } => {
+                let accepted = self
+                    .acceptor
+                    .lock()
+                    .accept(*gtx, *site, Ballot(*ballot), *prepared);
+                Ok(Some(Payload::PaxosP2b {
+                    gtx: *gtx,
+                    site: *site,
+                    ballot: *ballot,
+                    accepted,
+                }))
+            }
+            Payload::PaxosDecided { gtx, verdict } => {
+                self.acceptor.lock().note_decision(*gtx, *verdict);
+                Ok(Some(Payload::PaxosAck { gtx: *gtx }))
+            }
+            Payload::Decision { gtx, verdict } => {
+                // Piggyback: a participant's decision closes its
+                // co-located acceptor's instances, no extra message.
+                self.acceptor.lock().note_decision(*gtx, *verdict);
+                Ok(None)
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Observe the reply produced by normal dispatch. A vote reply is
+    /// durably accepted at ballot 0 for this site's own instance before
+    /// it leaves the process; if a recovery ballot has already superseded
+    /// ballot 0, the vote is refused and the site must NOT answer with a
+    /// countable vote — the incumbent that receives the error falls into
+    /// the recovery path instead of counting a vote the acceptors will
+    /// ignore.
+    ///
+    /// The hook applies only to **registered** transactions: a 2PC
+    /// work-round reply is also a `Vote`, and accepting it would durably
+    /// record Prepared for a site that has not prepared. The incumbent
+    /// registers between the work and prepare rounds, so exactly the
+    /// prepare-round votes land here.
+    pub fn post_dispatch(&self, reply: &Payload) -> AmcResult<()> {
+        if let Payload::Vote { gtx, vote } = reply {
+            let mut acceptor = self.acceptor.lock();
+            if acceptor.state().participants(*gtx).is_none() {
+                return Ok(());
+            }
+            let accepted = acceptor.accept(*gtx, self.site, Ballot::ZERO, vote.is_yes());
+            if !accepted {
+                return Err(AmcError::Protocol(format!(
+                    "paxos: {gtx} vote at {} superseded by a recovery ballot",
+                    self.site
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Intercept an admin request; `Some` when handled by the acceptor.
+    pub fn admin_pre(&self, req: &AdminRequest) -> Option<AdminReply> {
+        match req {
+            AdminRequest::PaxosOpen => Some(AdminReply::PaxosOpen(
+                self.acceptor.lock().state().open_entries(),
+            )),
+            _ => None,
+        }
+    }
+
+    /// Inspect the underlying acceptor (tests and experiments).
+    pub fn with_acceptor<R>(&self, f: impl FnOnce(&DurableAcceptor) -> R) -> R {
+        f(&self.acceptor.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amc_types::{GlobalTxnId, GlobalVerdict, LocalVote};
+
+    fn gtx(n: u64) -> GlobalTxnId {
+        GlobalTxnId::new(n)
+    }
+
+    fn host(site: u32, tag: &str) -> AcceptorHost {
+        let dir = std::env::temp_dir().join(format!("amc-paxos-host-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{tag}-{site}.log"));
+        let _ = std::fs::remove_file(&path);
+        AcceptorHost::open(SiteId::new(site), path).unwrap()
+    }
+
+    #[test]
+    fn register_then_vote_then_decision_closes_the_txn() {
+        let h = host(1, "flow");
+        let reply = h
+            .pre_dispatch(&Payload::PaxosRegister {
+                gtx: gtx(1),
+                participants: vec![SiteId::new(1), SiteId::new(2)],
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(reply, Payload::PaxosAck { gtx: gtx(1) });
+        // The site's own vote reply is the ballot-0 accept.
+        h.post_dispatch(&Payload::Vote {
+            gtx: gtx(1),
+            vote: LocalVote::Ready,
+        })
+        .unwrap();
+        assert_eq!(
+            h.with_acceptor(|a| a.state().accepted(gtx(1), SiteId::new(1))),
+            Some((Ballot::ZERO, true))
+        );
+        assert_eq!(
+            h.admin_pre(&AdminRequest::PaxosOpen),
+            Some(AdminReply::PaxosOpen(vec![amc_net::PaxosOpenEntry {
+                gtx: gtx(1),
+                participants: vec![SiteId::new(1), SiteId::new(2)],
+            }]))
+        );
+        // The ordinary decision payload both notes (pre) and continues to
+        // the manager (None).
+        let cont = h
+            .pre_dispatch(&Payload::Decision {
+                gtx: gtx(1),
+                verdict: GlobalVerdict::Commit,
+            })
+            .unwrap();
+        assert!(cont.is_none());
+        assert_eq!(
+            h.admin_pre(&AdminRequest::PaxosOpen),
+            Some(AdminReply::PaxosOpen(vec![]))
+        );
+    }
+
+    #[test]
+    fn superseded_vote_is_refused() {
+        let h = host(2, "superseded");
+        h.pre_dispatch(&Payload::PaxosRegister {
+            gtx: gtx(4),
+            participants: vec![SiteId::new(2)],
+        })
+        .unwrap();
+        // A recovery replica promised ballot (1, 9) before the vote landed.
+        let p1b = h
+            .pre_dispatch(&Payload::PaxosP1a {
+                gtx: gtx(4),
+                ballot: Ballot::new(1, 9).0,
+            })
+            .unwrap()
+            .unwrap();
+        assert!(matches!(p1b, Payload::PaxosP1b { promised: true, .. }));
+        let err = h
+            .post_dispatch(&Payload::Vote {
+                gtx: gtx(4),
+                vote: LocalVote::Ready,
+            })
+            .unwrap_err();
+        assert!(matches!(err, AmcError::Protocol(_)));
+    }
+
+    #[test]
+    fn unregistered_vote_is_not_treated_as_an_accept() {
+        // 2PC's work-round submit reply is also a `Vote`; before the
+        // incumbent registers the transaction it must pass through
+        // without touching the acceptor log.
+        let h = host(5, "work-round");
+        h.post_dispatch(&Payload::Vote {
+            gtx: gtx(8),
+            vote: LocalVote::Ready,
+        })
+        .unwrap();
+        assert_eq!(
+            h.with_acceptor(|a| a.state().accepted(gtx(8), SiteId::new(5))),
+            None
+        );
+        assert_eq!(h.with_acceptor(|a| a.frame_count()), 0);
+    }
+
+    #[test]
+    fn non_paxos_payloads_pass_through() {
+        let h = host(3, "pass");
+        assert!(h
+            .pre_dispatch(&Payload::Prepare { gtx: gtx(1) })
+            .unwrap()
+            .is_none());
+        assert!(h.admin_pre(&AdminRequest::Ping).is_none());
+        h.post_dispatch(&Payload::Finished { gtx: gtx(1) }).unwrap();
+    }
+}

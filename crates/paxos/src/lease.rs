@@ -1,0 +1,109 @@
+//! Leadership leases for standby coordinator replicas.
+//!
+//! The incumbent holds an implicit lease on every transaction it begins:
+//! *a registered transaction must reach its decision within the lease
+//! TTL*. A standby replica polls the acceptors' open-transaction reports;
+//! an entry that stays open past the TTL means the incumbent missed its
+//! lease (crashed, partitioned, or wedged) and the standby takes over
+//! ballot leadership for exactly those transactions. Progress-based
+//! leases need no extra heartbeat channel and are safe against false
+//! positives by construction: a takeover on a *live* incumbent is
+//! resolved by ballot ordering, never by the clock.
+
+use amc_net::PaxosOpenEntry;
+use amc_types::GlobalTxnId;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Tracks how long each open transaction has been open.
+#[derive(Debug)]
+pub struct StandbyMonitor {
+    lease: Duration,
+    first_seen: BTreeMap<GlobalTxnId, Instant>,
+}
+
+impl StandbyMonitor {
+    /// A monitor that flags transactions open longer than `lease`.
+    pub fn new(lease: Duration) -> Self {
+        StandbyMonitor {
+            lease,
+            first_seen: BTreeMap::new(),
+        }
+    }
+
+    /// Feed the latest open-transaction snapshot (from
+    /// [`crate::ReplicaDriver::open_transactions`]) observed at `now`.
+    /// Returns the entries whose lease has expired — the ones the standby
+    /// must now finish. Entries that vanished from the snapshot (the
+    /// incumbent finished them) are forgotten.
+    pub fn observe(&mut self, open: &[PaxosOpenEntry], now: Instant) -> Vec<PaxosOpenEntry> {
+        self.first_seen
+            .retain(|g, _| open.iter().any(|e| e.gtx == *g));
+        let mut expired = Vec::new();
+        for e in open {
+            let since = *self.first_seen.entry(e.gtx).or_insert(now);
+            if now.duration_since(since) >= self.lease {
+                expired.push(e.clone());
+            }
+        }
+        expired
+    }
+
+    /// Number of transactions currently under observation.
+    pub fn watched(&self) -> usize {
+        self.first_seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amc_types::SiteId;
+
+    fn entry(n: u64) -> PaxosOpenEntry {
+        PaxosOpenEntry {
+            gtx: GlobalTxnId::new(n),
+            participants: vec![SiteId::new(1)],
+        }
+    }
+
+    #[test]
+    fn entries_expire_after_the_lease() {
+        let mut m = StandbyMonitor::new(Duration::from_millis(100));
+        let t0 = Instant::now();
+        assert!(m.observe(&[entry(1)], t0).is_empty());
+        // Still inside the lease.
+        assert!(m
+            .observe(&[entry(1)], t0 + Duration::from_millis(50))
+            .is_empty());
+        // Past it.
+        let expired = m.observe(&[entry(1)], t0 + Duration::from_millis(150));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].gtx, GlobalTxnId::new(1));
+    }
+
+    #[test]
+    fn finished_transactions_reset_their_clock() {
+        let mut m = StandbyMonitor::new(Duration::from_millis(100));
+        let t0 = Instant::now();
+        m.observe(&[entry(1)], t0);
+        // The incumbent finishes it; the id later reappears (a new run
+        // reusing the id would be a bug elsewhere, but the monitor must
+        // not carry the stale clock either way).
+        m.observe(&[], t0 + Duration::from_millis(60));
+        assert_eq!(m.watched(), 0);
+        assert!(m
+            .observe(&[entry(1)], t0 + Duration::from_millis(120))
+            .is_empty());
+    }
+
+    #[test]
+    fn expiry_is_per_transaction() {
+        let mut m = StandbyMonitor::new(Duration::from_millis(100));
+        let t0 = Instant::now();
+        m.observe(&[entry(1)], t0);
+        let expired = m.observe(&[entry(1), entry(2)], t0 + Duration::from_millis(110));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].gtx, GlobalTxnId::new(1));
+    }
+}

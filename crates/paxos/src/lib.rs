@@ -1,0 +1,45 @@
+//! # amc-paxos
+//!
+//! **Paxos Commit** (Gray & Lamport, *Consensus on Transaction Commit*,
+//! 2006) for the central system: a non-blocking replacement for the
+//! single-coordinator atomic commitment of the paper's Fig. 2. The
+//! classical central system is a single point of blocking — a site that
+//! voted *ready* holds its locks until the coordinator reawakens (the
+//! paper's §3.2 window). Paxos Commit removes the window by making the
+//! *decision* a replicated, majority-durable fact:
+//!
+//! * each participant site's vote is the value of one **Paxos instance**;
+//!   the transaction commits iff every instance chooses *Prepared*;
+//! * `2f + 1` **acceptors** ([`acceptor`]) durably log promises, accepts
+//!   and decisions, tolerating `f` simultaneous failures;
+//! * acceptors are **co-located** with site servers ([`host`]), so a
+//!   site's vote reply doubles as the ballot-0 accept for its own
+//!   instance — the fault tolerance costs one extra message round only
+//!   for the cross-replication of votes;
+//! * any standby coordinator replica can finish an in-doubt transaction
+//!   from the acceptor logs alone ([`driver`]), taking over ballot
+//!   leadership when the incumbent misses its lease ([`lease`]).
+//!
+//! The crate is sans-IO at its core (pure [`acceptor::AcceptorState`] and
+//! [`leader`] decision logic) with thin runtime adapters: the
+//! [`transport::AcceptorTransport`] decorator for in-process federations
+//! and the [`host::AcceptorHost`] hooks the TCP site server mounts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acceptor;
+pub mod ballot;
+pub mod driver;
+pub mod host;
+pub mod leader;
+pub mod lease;
+pub mod transport;
+
+pub use acceptor::{AcceptorState, DurableAcceptor, PromiseOutcome, Record};
+pub use ballot::Ballot;
+pub use driver::{ReplicaDriver, MAX_BALLOT_ATTEMPTS};
+pub use host::AcceptorHost;
+pub use leader::{majority, plan_from_promises, CommitLedger, RecoveryPlan};
+pub use lease::StandbyMonitor;
+pub use transport::AcceptorTransport;

@@ -22,6 +22,7 @@ use amc_engine::{TplConfig, TwoPLEngine};
 use amc_net::comm::EngineHandle;
 use amc_net::{LocalCommManager, SubmitMode};
 use amc_obs::ObsSink;
+use amc_paxos::AcceptorHost;
 use amc_rpc::{SiteRecoveryManager, SiteServer};
 use amc_types::SiteId;
 use std::sync::Arc;
@@ -31,7 +32,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: amc-site-server --site <n> --listen <host:port> \
          --protocol <2pc|commit-after|commit-before> [--lock-timeout-ms <ms>] \
-         [--wal-dir <dir>]"
+         [--wal-dir <dir>] [--acceptor-log <path>]"
     );
     std::process::exit(2);
 }
@@ -43,6 +44,7 @@ fn main() {
     let mut mode = None;
     let mut lock_timeout = Duration::from_millis(500);
     let mut wal_dir: Option<String> = None;
+    let mut acceptor_log: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -71,6 +73,10 @@ fn main() {
             "--wal-dir" => {
                 i += 1;
                 wal_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--acceptor-log" => {
+                i += 1;
+                acceptor_log = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             _ => usage(),
         }
@@ -121,10 +127,31 @@ fn main() {
         }
     };
 
+    // With --acceptor-log the site co-hosts a Paxos Commit acceptor:
+    // opening the log replays any previous incarnation's promises and
+    // accepts, so a restarted acceptor keeps its word.
+    let acceptor = acceptor_log.map(|path| match AcceptorHost::open(site, &path) {
+        Ok(host) => {
+            println!("acceptor mounted at {path}");
+            Arc::new(host)
+        }
+        Err(e) => {
+            eprintln!("acceptor log {path}: {e}");
+            std::process::exit(1);
+        }
+    });
+
     // SiteServer::spawn retries AddrInUse internally, so a restart in
     // place (same port) survives the kernel's TIME_WAIT on the old
     // listener.
-    let server = match SiteServer::spawn(site, manager, mode, &listen, ObsSink::disabled()) {
+    let server = match SiteServer::spawn_with_acceptor(
+        site,
+        manager,
+        mode,
+        &listen,
+        ObsSink::disabled(),
+        acceptor,
+    ) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("bind {listen}: {e}");

@@ -52,13 +52,27 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
-    /// The backoff slept after failed attempt number `attempt` (1-based):
-    /// base · 2^(attempt−1), capped.
+    /// The backoff *envelope* after failed attempt number `attempt`
+    /// (1-based): base · 2^(attempt−1), capped. The client sleeps a
+    /// jittered value inside `[envelope/2, envelope]` (equal jitter) so
+    /// that the many clients a coordinator runs — one per site — do not
+    /// re-dial a recovering site in lockstep after a shared outage.
     pub fn backoff_after(&self, attempt: u32) -> Duration {
         let exp = attempt.saturating_sub(1).min(16);
         self.backoff_base
             .saturating_mul(1u32 << exp)
             .min(self.backoff_cap)
+    }
+
+    /// Apply equal jitter to an envelope: uniform in `[d/2, d]`, driven
+    /// by `r` (any uniformly distributed word).
+    pub fn jittered(d: Duration, r: u64) -> Duration {
+        let nanos = d.as_nanos() as u64;
+        let half = nanos / 2;
+        if half == 0 {
+            return d;
+        }
+        Duration::from_nanos(half + r % (nanos - half + 1))
     }
 }
 
@@ -96,6 +110,9 @@ pub struct RpcClient {
     pool: Mutex<Vec<TcpStream>>,
     next_req: AtomicU64,
     ever_connected: AtomicBool,
+    /// SplitMix64 state for backoff jitter (seeded per client, so two
+    /// clients retrying the same outage desynchronise).
+    jitter_state: AtomicU64,
     obs: ObsSink,
 }
 
@@ -109,8 +126,23 @@ impl RpcClient {
             pool: Mutex::new(Vec::new()),
             next_req: AtomicU64::new(1),
             ever_connected: AtomicBool::new(false),
+            jitter_state: AtomicU64::new(
+                0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(site.raw()) + 1),
+            ),
             obs,
         }
+    }
+
+    /// Next jitter word (SplitMix64).
+    fn jitter_word(&self) -> u64 {
+        let x = self
+            .jitter_state
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
     /// The site this client fronts.
@@ -184,7 +216,10 @@ impl RpcClient {
                             attempt,
                         },
                     );
-                    std::thread::sleep(self.policy.backoff_after(attempt));
+                    std::thread::sleep(RetryPolicy::jittered(
+                        self.policy.backoff_after(attempt),
+                        self.jitter_word(),
+                    ));
                 }
                 Err(_) => break,
             }
@@ -258,6 +293,40 @@ mod tests {
         assert_eq!(p.backoff_after(4), Duration::from_millis(80));
         assert_eq!(p.backoff_after(5), Duration::from_millis(100));
         assert_eq!(p.backoff_after(30), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn jitter_stays_in_the_equal_jitter_band() {
+        let d = Duration::from_millis(100);
+        for r in [0u64, 1, 49, 50, 51, 99, u64::MAX, 0xDEAD_BEEF] {
+            let j = RetryPolicy::jittered(d, r);
+            assert!(j >= d / 2 && j <= d, "{j:?} outside [{:?}, {d:?}]", d / 2);
+        }
+        // Degenerate envelopes pass through unchanged.
+        assert_eq!(RetryPolicy::jittered(Duration::ZERO, 7), Duration::ZERO);
+        assert_eq!(
+            RetryPolicy::jittered(Duration::from_nanos(1), 7),
+            Duration::from_nanos(1)
+        );
+    }
+
+    #[test]
+    fn jitter_words_differ_across_draws_and_clients() {
+        let addr = "127.0.0.1:1".parse().unwrap();
+        let a = RpcClient::new(
+            SiteId::new(1),
+            addr,
+            RetryPolicy::default(),
+            ObsSink::disabled(),
+        );
+        let b = RpcClient::new(
+            SiteId::new(2),
+            addr,
+            RetryPolicy::default(),
+            ObsSink::disabled(),
+        );
+        assert_ne!(a.jitter_word(), a.jitter_word());
+        assert_ne!(a.jitter_word(), b.jitter_word());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::wire::{read_frame, write_frame, Frame};
 use amc_net::transport::{admin_to_manager, dispatch_to_manager};
 use amc_net::{LocalCommManager, SubmitMode};
 use amc_obs::{EventKind, ObsSink};
+use amc_paxos::AcceptorHost;
 use amc_types::SiteId;
 use parking_lot::Mutex;
 use std::io;
@@ -54,6 +55,22 @@ impl SiteServer {
         listen: &str,
         obs: ObsSink,
     ) -> io::Result<SiteServer> {
+        Self::spawn_with_acceptor(site, manager, mode, listen, obs, None)
+    }
+
+    /// Like [`SiteServer::spawn`], additionally mounting a co-located
+    /// Paxos Commit acceptor: Paxos messages are answered from the
+    /// acceptor's durable log, vote replies are run through the
+    /// vote-as-accept hook before they leave the process, and a
+    /// participant's `Decision` closes its acceptor instances.
+    pub fn spawn_with_acceptor(
+        site: SiteId,
+        manager: Arc<LocalCommManager>,
+        mode: SubmitMode,
+        listen: &str,
+        obs: ObsSink,
+        acceptor: Option<Arc<AcceptorHost>>,
+    ) -> io::Result<SiteServer> {
         let listener = bind_with_retry(listen)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -70,8 +87,17 @@ impl SiteServer {
                     let manager = Arc::clone(&manager);
                     let obs = obs.clone();
                     let stop = Arc::clone(&stop);
+                    let acceptor = acceptor.clone();
                     let handle = std::thread::spawn(move || {
-                        serve_connection(stream, site, &manager, mode, &obs, &stop);
+                        serve_connection(
+                            stream,
+                            site,
+                            &manager,
+                            mode,
+                            &obs,
+                            &stop,
+                            acceptor.as_deref(),
+                        );
                     });
                     conn_threads.lock().push(handle);
                 }
@@ -141,6 +167,27 @@ impl Drop for SiteServer {
     }
 }
 
+/// Normal dispatch wrapped with acceptor interception (when one is
+/// mounted): Paxos messages are answered by the acceptor, and a vote
+/// reply is durably accepted at ballot 0 — or refused, surfacing as an
+/// error — before it is released.
+fn dispatch_with_acceptor(
+    manager: &LocalCommManager,
+    payload: amc_net::Payload,
+    mode: SubmitMode,
+    acceptor: Option<&AcceptorHost>,
+) -> amc_types::AmcResult<amc_net::Payload> {
+    let Some(host) = acceptor else {
+        return dispatch_to_manager(manager, payload, mode);
+    };
+    if let Some(reply) = host.pre_dispatch(&payload)? {
+        return Ok(reply);
+    }
+    let reply = dispatch_to_manager(manager, payload, mode)?;
+    host.post_dispatch(&reply)?;
+    Ok(reply)
+}
+
 /// One connection's request loop. Returns (dropping the connection) on
 /// any read/decode error or when the stop flag is raised.
 fn serve_connection(
@@ -150,6 +197,7 @@ fn serve_connection(
     mode: SubmitMode,
     obs: &ObsSink,
     stop: &AtomicBool,
+    acceptor: Option<&AcceptorHost>,
 ) {
     // Short read timeout so the thread notices shutdown promptly even on
     // an idle connection.
@@ -179,7 +227,7 @@ fn serve_connection(
                         from: SiteId::CENTRAL,
                     },
                 );
-                match dispatch_to_manager(manager, payload, mode) {
+                match dispatch_with_acceptor(manager, payload, mode, acceptor) {
                     Ok(payload) => {
                         obs.emit(
                             Some(payload.gtx()),
@@ -195,10 +243,17 @@ fn serve_connection(
                     Err(error) => Frame::ErrorReply { req_id, error },
                 }
             }
-            Frame::AdminRequest { req_id, req } => match admin_to_manager(manager, req) {
-                Ok(reply) => Frame::AdminReply { req_id, reply },
-                Err(error) => Frame::ErrorReply { req_id, error },
-            },
+            Frame::AdminRequest { req_id, req } => {
+                let handled = acceptor.and_then(|h| h.admin_pre(&req));
+                let result = match handled {
+                    Some(reply) => Ok(reply),
+                    None => admin_to_manager(manager, req),
+                };
+                match result {
+                    Ok(reply) => Frame::AdminReply { req_id, reply },
+                    Err(error) => Frame::ErrorReply { req_id, error },
+                }
+            }
             // A server only accepts requests; a peer sending replies is
             // broken — drop it.
             Frame::Reply { .. } | Frame::AdminReply { .. } | Frame::ErrorReply { .. } => return,

@@ -261,6 +261,77 @@ fn write_payload(w: &mut Writer, p: &Payload) {
             w.u8(6);
             w.u64(gtx.raw());
         }
+        Payload::PaxosRegister { gtx, participants } => {
+            w.u8(7);
+            w.u64(gtx.raw());
+            write_sites(w, participants);
+        }
+        Payload::PaxosAck { gtx } => {
+            w.u8(8);
+            w.u64(gtx.raw());
+        }
+        Payload::PaxosP1a { gtx, ballot } => {
+            w.u8(9);
+            w.u64(gtx.raw());
+            w.u64(*ballot);
+        }
+        Payload::PaxosP1b {
+            gtx,
+            ballot,
+            promised,
+            promised_up_to,
+            participants,
+            accepted,
+        } => {
+            w.u8(10);
+            w.u64(gtx.raw());
+            w.u64(*ballot);
+            w.u8(u8::from(*promised));
+            w.u64(*promised_up_to);
+            write_sites(w, participants);
+            w.u32(accepted.len() as u32);
+            for (site, b, prepared) in accepted {
+                w.u32(site.raw());
+                w.u64(*b);
+                w.u8(u8::from(*prepared));
+            }
+        }
+        Payload::PaxosP2a {
+            gtx,
+            site,
+            ballot,
+            prepared,
+        } => {
+            w.u8(11);
+            w.u64(gtx.raw());
+            w.u32(site.raw());
+            w.u64(*ballot);
+            w.u8(u8::from(*prepared));
+        }
+        Payload::PaxosP2b {
+            gtx,
+            site,
+            ballot,
+            accepted,
+        } => {
+            w.u8(12);
+            w.u64(gtx.raw());
+            w.u32(site.raw());
+            w.u64(*ballot);
+            w.u8(u8::from(*accepted));
+        }
+        Payload::PaxosDecided { gtx, verdict } => {
+            w.u8(13);
+            w.u64(gtx.raw());
+            w.u8(verdict_tag(*verdict));
+        }
+    }
+}
+
+fn write_sites(w: &mut Writer, sites: &[SiteId]) {
+    w.u32(sites.len() as u32);
+    for s in sites {
+        w.u32(s.raw());
     }
 }
 
@@ -298,6 +369,7 @@ fn write_admin_request(w: &mut Writer, req: &AdminRequest) {
         AdminRequest::CommStats => w.u8(3),
         AdminRequest::LogStats => w.u8(4),
         AdminRequest::Recovery => w.u8(5),
+        AdminRequest::PaxosOpen => w.u8(6),
     }
 }
 
@@ -357,6 +429,14 @@ fn write_admin_reply(w: &mut Writer, reply: &AdminReply) {
                     }
                     w.u8(u8::from(s.torn_tail));
                 }
+            }
+        }
+        AdminReply::PaxosOpen(entries) => {
+            w.u8(6);
+            w.u32(entries.len() as u32);
+            for e in entries {
+                w.u64(e.gtx.raw());
+                write_sites(w, &e.participants);
             }
         }
     }
@@ -561,8 +641,66 @@ fn read_payload(r: &mut Reader<'_>) -> Result<Payload, WireError> {
             inverse_ops: read_ops(r)?,
         },
         6 => Payload::Finished { gtx },
+        7 => Payload::PaxosRegister {
+            gtx,
+            participants: read_sites(r)?,
+        },
+        8 => Payload::PaxosAck { gtx },
+        9 => Payload::PaxosP1a {
+            gtx,
+            ballot: r.u64()?,
+        },
+        10 => Payload::PaxosP1b {
+            gtx,
+            ballot: r.u64()?,
+            promised: r.u8()? != 0,
+            promised_up_to: r.u64()?,
+            participants: read_sites(r)?,
+            accepted: {
+                let n = r.u32()? as usize;
+                // Each entry is 13 bytes; a hostile count cannot force an
+                // allocation past what the frame carries.
+                if n > r.remaining() {
+                    return Err(WireError::Truncated);
+                }
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    out.push((SiteId::new(r.u32()?), r.u64()?, r.u8()? != 0));
+                }
+                out
+            },
+        },
+        11 => Payload::PaxosP2a {
+            gtx,
+            site: SiteId::new(r.u32()?),
+            ballot: r.u64()?,
+            prepared: r.u8()? != 0,
+        },
+        12 => Payload::PaxosP2b {
+            gtx,
+            site: SiteId::new(r.u32()?),
+            ballot: r.u64()?,
+            accepted: r.u8()? != 0,
+        },
+        13 => Payload::PaxosDecided {
+            gtx,
+            verdict: read_verdict(r)?,
+        },
         t => return Err(WireError::BadTag("payload", t)),
     })
+}
+
+fn read_sites(r: &mut Reader<'_>) -> Result<Vec<SiteId>, WireError> {
+    let n = r.u32()? as usize;
+    // Each site id is 4 bytes; bound the allocation by the frame size.
+    if n > r.remaining() {
+        return Err(WireError::Truncated);
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(SiteId::new(r.u32()?));
+    }
+    Ok(out)
 }
 
 fn read_verdict(r: &mut Reader<'_>) -> Result<GlobalVerdict, WireError> {
@@ -607,6 +745,7 @@ fn read_admin_request(r: &mut Reader<'_>) -> Result<AdminRequest, WireError> {
         3 => AdminRequest::CommStats,
         4 => AdminRequest::LogStats,
         5 => AdminRequest::Recovery,
+        6 => AdminRequest::PaxosOpen,
         t => return Err(WireError::BadTag("admin-request", t)),
     })
 }
@@ -644,6 +783,20 @@ fn read_admin_reply(r: &mut Reader<'_>) -> Result<AdminReply, WireError> {
                 torn_tail: r.u8()? != 0,
             }),
             t => return Err(WireError::BadTag("recovery-present", t)),
+        }),
+        6 => AdminReply::PaxosOpen({
+            let n = r.u32()? as usize;
+            if n > r.remaining() {
+                return Err(WireError::Truncated);
+            }
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(amc_net::PaxosOpenEntry {
+                    gtx: GlobalTxnId::new(r.u64()?),
+                    participants: read_sites(r)?,
+                });
+            }
+            out
         }),
         t => return Err(WireError::BadTag("admin-reply", t)),
     })
@@ -796,6 +949,101 @@ mod tests {
             let bytes = encode_frame(&frame);
             assert_eq!(decode_frame(&bytes).unwrap(), frame, "{frame:?}");
         }
+    }
+
+    #[test]
+    fn round_trips_paxos_payloads() {
+        let payloads = [
+            Payload::PaxosRegister {
+                gtx: GlobalTxnId::new(7),
+                participants: vec![SiteId::new(1), SiteId::new(2), SiteId::new(3)],
+            },
+            Payload::PaxosAck {
+                gtx: GlobalTxnId::new(7),
+            },
+            Payload::PaxosP1a {
+                gtx: GlobalTxnId::new(7),
+                ballot: (1u64 << 32) | 2,
+            },
+            Payload::PaxosP1b {
+                gtx: GlobalTxnId::new(7),
+                ballot: (1u64 << 32) | 2,
+                promised: true,
+                promised_up_to: (1u64 << 32) | 2,
+                participants: vec![SiteId::new(1), SiteId::new(2)],
+                accepted: vec![(SiteId::new(1), 0, true), (SiteId::new(2), 5, false)],
+            },
+            Payload::PaxosP2a {
+                gtx: GlobalTxnId::new(7),
+                site: SiteId::new(2),
+                ballot: (1u64 << 32) | 2,
+                prepared: false,
+            },
+            Payload::PaxosP2b {
+                gtx: GlobalTxnId::new(7),
+                site: SiteId::new(2),
+                ballot: (1u64 << 32) | 2,
+                accepted: true,
+            },
+            Payload::PaxosDecided {
+                gtx: GlobalTxnId::new(7),
+                verdict: GlobalVerdict::Commit,
+            },
+        ];
+        for (i, payload) in payloads.into_iter().enumerate() {
+            let frame = Frame::Request {
+                req_id: i as u64,
+                payload,
+            };
+            let bytes = encode_frame(&frame);
+            assert_eq!(decode_frame(&bytes).unwrap(), frame, "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn round_trips_paxos_open_admin() {
+        let frames = [
+            Frame::AdminRequest {
+                req_id: 5,
+                req: AdminRequest::PaxosOpen,
+            },
+            Frame::AdminReply {
+                req_id: 5,
+                reply: AdminReply::PaxosOpen(vec![
+                    amc_net::PaxosOpenEntry {
+                        gtx: GlobalTxnId::new(11),
+                        participants: vec![SiteId::new(1), SiteId::new(2)],
+                    },
+                    amc_net::PaxosOpenEntry {
+                        gtx: GlobalTxnId::new(12),
+                        participants: vec![],
+                    },
+                ]),
+            },
+        ];
+        for frame in frames {
+            let bytes = encode_frame(&frame);
+            assert_eq!(decode_frame(&bytes).unwrap(), frame, "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_paxos_counts_do_not_allocate() {
+        // A P1b declaring u32::MAX participants in a tiny frame.
+        let mut w = Writer::new();
+        w.u8(WIRE_VERSION);
+        w.u8(1); // reply
+        w.u64(1); // req id
+        w.u8(10); // p1b
+        w.u64(1); // gtx
+        w.u64(0); // ballot
+        w.u8(1); // promised
+        w.u64(0); // promised_up_to
+        w.u32(u32::MAX); // participant count
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(w.buf.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&w.buf);
+        assert_eq!(decode_frame(&bytes), Err(WireError::Truncated));
     }
 
     #[test]

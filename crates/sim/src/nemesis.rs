@@ -66,6 +66,20 @@ pub enum FaultKind {
     },
     /// End the loss burst, restoring baseline loss.
     LossBurstEnd,
+    /// The *leading coordinator replica* dies mid-protocol, after
+    /// replicating `after_votes` prepare votes of the transaction it was
+    /// driving — the Paxos Commit in-doubt window. Carries
+    /// [`SiteId::CENTRAL`] by convention.
+    CoordinatorCrash {
+        /// Replicated prepare votes before the incumbent dies (≥ 1).
+        after_votes: u32,
+    },
+    /// A standby coordinator replica claims ballot leadership and
+    /// finishes every in-doubt transaction from the acceptor logs.
+    CoordinatorTakeover {
+        /// The standby's ballot tie-break id (must not be the incumbent's 0).
+        replica: u32,
+    },
 }
 
 /// One scheduled fault.
@@ -165,6 +179,39 @@ impl FaultPlan {
         self.partition(site, at, dir).heal(site, at + hold)
     }
 
+    /// The leading coordinator replica dies at `at`, `after_votes`
+    /// replicated prepare votes into the transaction it is driving.
+    pub fn coordinator_crash(mut self, at: SimTime, after_votes: u32) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            site: SiteId::CENTRAL,
+            kind: FaultKind::CoordinatorCrash { after_votes },
+        });
+        self
+    }
+
+    /// Standby `replica` takes over ballot leadership at `at`.
+    pub fn coordinator_takeover(mut self, at: SimTime, replica: u32) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            site: SiteId::CENTRAL,
+            kind: FaultKind::CoordinatorTakeover { replica },
+        });
+        self
+    }
+
+    /// Incumbent dies at `at`; standby `replica` takes over `hold` later.
+    pub fn coordinator_outage(
+        self,
+        at: SimTime,
+        hold: SimDuration,
+        after_votes: u32,
+        replica: u32,
+    ) -> Self {
+        self.coordinator_crash(at, after_votes)
+            .coordinator_takeover(at + hold, replica)
+    }
+
     /// Raise network-wide loss to `probability` for `hold`.
     pub fn loss_burst(mut self, at: SimTime, hold: SimDuration, probability: f64) -> Self {
         self.events.push(FaultEvent {
@@ -215,6 +262,7 @@ impl FaultPlan {
         let mut down: HashMap<SiteId, bool> = HashMap::new();
         let mut cut: HashMap<SiteId, bool> = HashMap::new();
         let mut burst = false;
+        let mut leaderless = false;
         for ev in self.events() {
             match ev.kind {
                 FaultKind::Crash { .. } => {
@@ -282,6 +330,38 @@ impl FaultPlan {
                     }
                     burst = false;
                 }
+                FaultKind::CoordinatorCrash { after_votes } => {
+                    if after_votes == 0 {
+                        return Err(format!(
+                            "coordinator crash at {} after zero votes — the incumbent \
+                             dies before any vote is replicated, which is a plain \
+                             central crash",
+                            ev.at
+                        ));
+                    }
+                    if leaderless {
+                        return Err(format!(
+                            "coordinator crashes at {} with no leader in place",
+                            ev.at
+                        ));
+                    }
+                    leaderless = true;
+                }
+                FaultKind::CoordinatorTakeover { replica } => {
+                    if replica == 0 {
+                        return Err(format!(
+                            "takeover at {} by replica 0, the incumbent's own ballot id",
+                            ev.at
+                        ));
+                    }
+                    if !leaderless {
+                        return Err(format!(
+                            "takeover at {} while the incumbent still leads",
+                            ev.at
+                        ));
+                    }
+                    leaderless = false;
+                }
             }
         }
         Ok(())
@@ -330,6 +410,15 @@ pub struct NemesisConfig {
     pub allow_loss_bursts: bool,
     /// Allow the central site itself to crash (tests presumed abort).
     pub include_central_crash: bool,
+    /// Allow leading-coordinator-replica crashes with standby takeover
+    /// (Paxos Commit schedules). Off by default: the classical harnesses
+    /// have no standby to hand leadership to, and existing seeds must
+    /// keep generating the exact same plans.
+    pub allow_coordinator_crashes: bool,
+    /// Coordinator replica count for takeover events (`2f+1`; the
+    /// incumbent is replica 0, standbys are `1..replicas`). Ignored
+    /// unless coordinator crashes are allowed.
+    pub coordinator_replicas: u32,
     /// Shortest incident duration.
     pub min_hold: SimDuration,
     /// Longest incident duration.
@@ -347,6 +436,8 @@ impl Default for NemesisConfig {
             allow_partitions: true,
             allow_loss_bursts: true,
             include_central_crash: true,
+            allow_coordinator_crashes: false,
+            coordinator_replicas: 3,
             min_hold: SimDuration::from_micros(5_000),
             max_hold: SimDuration::from_micros(200_000),
         }
@@ -369,6 +460,7 @@ pub fn generate(cfg: &NemesisConfig, seed: u64) -> FaultPlan {
     enum Incident {
         Crash,
         CentralCrash,
+        CoordCrash,
         Partition,
         Burst,
     }
@@ -387,6 +479,11 @@ pub fn generate(cfg: &NemesisConfig, seed: u64) -> FaultPlan {
     }
     if cfg.allow_loss_bursts {
         kinds.push(Incident::Burst);
+    }
+    if cfg.allow_coordinator_crashes && cfg.coordinator_replicas >= 2 {
+        // Weight double: the whole point of a replicated coordinator.
+        kinds.push(Incident::CoordCrash);
+        kinds.push(Incident::CoordCrash);
     }
     if kinds.is_empty() || cfg.max_incidents == 0 {
         return plan;
@@ -408,7 +505,9 @@ pub fn generate(cfg: &NemesisConfig, seed: u64) -> FaultPlan {
                 let i = rng.below(cfg.sites.len() as u64) as usize;
                 (&mut site_free[i], cfg.sites[i])
             }
-            Incident::CentralCrash => (&mut central_free, SiteId::CENTRAL),
+            // Coordinator crashes share the central lane: a plan never
+            // kills the incumbent replica while the central site is down.
+            Incident::CentralCrash | Incident::CoordCrash => (&mut central_free, SiteId::CENTRAL),
             Incident::Burst => (&mut burst_free, SiteId::CENTRAL),
         };
         // Place the incident uniformly in the lane's remaining room; skip
@@ -430,6 +529,11 @@ pub fn generate(cfg: &NemesisConfig, seed: u64) -> FaultPlan {
                 }
             }
             Incident::CentralCrash => plan.outage(site, at, SimDuration::from_micros(hold)),
+            Incident::CoordCrash => {
+                let after_votes = 1 + rng.below(3) as u32;
+                let replica = 1 + rng.below(u64::from(cfg.coordinator_replicas) - 1) as u32;
+                plan.coordinator_outage(at, SimDuration::from_micros(hold), after_votes, replica)
+            }
             Incident::Partition => {
                 let dir = match rng.below(3) {
                     0 => LinkDir::ToCentral,
@@ -618,6 +722,64 @@ mod tests {
             ..NemesisConfig::default()
         };
         assert!(generate(&cfg, 7).is_empty());
+    }
+
+    #[test]
+    fn coordinator_lanes_validate_and_generate() {
+        let plan = FaultPlan::none()
+            .coordinator_outage(SimTime(100), SimDuration(50), 2, 1)
+            .coordinator_outage(SimTime(300), SimDuration(50), 1, 2);
+        plan.validate().unwrap();
+
+        let double_crash = FaultPlan::none()
+            .coordinator_crash(SimTime(10), 1)
+            .coordinator_crash(SimTime(20), 1);
+        assert!(double_crash.validate().is_err());
+        let orphan_takeover = FaultPlan::none().coordinator_takeover(SimTime(10), 1);
+        assert!(orphan_takeover.validate().is_err());
+        let zero_votes = FaultPlan::none().coordinator_crash(SimTime(10), 0);
+        assert!(zero_votes.validate().is_err());
+        let incumbent_takeover = FaultPlan::none()
+            .coordinator_crash(SimTime(10), 1)
+            .coordinator_takeover(SimTime(20), 0);
+        assert!(incumbent_takeover.validate().is_err());
+
+        // The generator emits the new lane (valid, deterministic) when
+        // allowed, and never otherwise — existing seeds are untouched.
+        let cfg = NemesisConfig {
+            allow_coordinator_crashes: true,
+            allow_crashes: false,
+            allow_partitions: false,
+            allow_loss_bursts: false,
+            ..NemesisConfig::default()
+        };
+        let mut saw_takeover = false;
+        for seed in 0..100u64 {
+            let plan = generate(&cfg, seed);
+            assert_eq!(plan, generate(&cfg, seed), "seed {seed} not reproducible");
+            plan.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            for ev in plan.events() {
+                match ev.kind {
+                    FaultKind::CoordinatorCrash { after_votes } => assert!(after_votes >= 1),
+                    FaultKind::CoordinatorTakeover { replica } => {
+                        saw_takeover = true;
+                        assert!(replica >= 1 && replica < cfg.coordinator_replicas);
+                    }
+                    other => panic!("seed {seed}: unexpected {other:?}"),
+                }
+            }
+        }
+        assert!(saw_takeover, "100 seeds never produced a takeover");
+        let default_plans_unchanged = (0..100u64)
+            .flat_map(|s| generate(&NemesisConfig::default(), s).events())
+            .all(|ev| {
+                !matches!(
+                    ev.kind,
+                    FaultKind::CoordinatorCrash { .. } | FaultKind::CoordinatorTakeover { .. }
+                )
+            });
+        assert!(default_plans_unchanged);
     }
 
     #[test]

@@ -82,6 +82,17 @@ impl History {
         self.events.push(event);
     }
 
+    /// True when `gtx` already has recorded events at `site`.
+    ///
+    /// Vote replies are idempotent: a coordinator inquiry can re-fetch a
+    /// site's cached yes vote, and recording the site's operations a
+    /// second time (with fresh sequence numbers) would fabricate conflict
+    /// edges in both directions — a phantom cycle the serializability
+    /// oracle then reports. Recorders must check this before appending.
+    pub fn has_events_for(&self, gtx: GlobalTxnId, site: SiteId) -> bool {
+        self.events.iter().any(|e| e.gtx == gtx && e.site == site)
+    }
+
     /// Record a global transaction's final verdict.
     pub fn set_outcome(&mut self, gtx: GlobalTxnId, verdict: GlobalVerdict) {
         self.outcomes.insert(gtx, verdict);

@@ -1,0 +1,98 @@
+//! Offline shim for `bytes`.
+//!
+//! Provides the small `Bytes` subset the workspace uses: cheap-to-clone
+//! immutable byte buffers backed by `Arc<[u8]>`.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable chunk of bytes.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
+    }
+
+    /// Copy `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copy the contents out into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_clone_shares() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let c = b.clone();
+        assert_eq!(&*b, &[1, 2, 3]);
+        assert_eq!(b, c);
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+        assert_eq!(Bytes::copy_from_slice(&[9]).len(), 1);
+        assert!(Bytes::new().is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! Offline shim for `criterion`.
+//!
+//! Benches compiled against this shim run each registered benchmark a
+//! handful of iterations, time them with `std::time::Instant`, and print
+//! one line per benchmark. There are no statistics, warm-ups, or HTML
+//! reports — the point is that `cargo bench` keeps compiling and smoke-
+//! running offline, not that the numbers are publication-grade.
+
+// The shim mirrors criterion's public API surface, lint-compatible or not.
+#![allow(
+    clippy::should_implement_trait,
+    clippy::new_without_default,
+    clippy::manual_clamp
+)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Re-export of the standard optimizer barrier.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup (accepted, ignored by the shim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and parameter display value.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `routine` `iters` times, timing the whole batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+    }
+
+    /// Run `routine` over fresh inputs from `setup`, timing only `routine`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            black_box(routine(input));
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the nominal sample count (the shim runs `min(samples, 3)` iters).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let iters = self.sample_size.min(3).max(1) as u64;
+        let mut b = Bencher { iters };
+        let start = Instant::now();
+        f(&mut b);
+        let elapsed = start.elapsed();
+        println!(
+            "bench {}/{}: {} iters in {:?} (~{:?}/iter)",
+            self.name,
+            id,
+            iters,
+            elapsed,
+            elapsed / iters as u32
+        );
+    }
+
+    /// Register and smoke-run a benchmark.
+    pub fn bench_function<S: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.to_string();
+        self.run_one(&id, &mut f);
+        self
+    }
+
+    /// Register and smoke-run a benchmark parameterized by `input`.
+    pub fn bench_with_input<S: fmt::Display, I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: S,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.to_string();
+        self.run_one(&id, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark manager.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Build the default manager.
+    pub fn default() -> Self {
+        Criterion {}
+    }
+
+    /// Accept and ignore command-line configuration.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+            sample_size: 1,
+        }
+    }
+
+    /// Register and smoke-run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group(id.to_string())
+            .bench_function("bench", f);
+        self
+    }
+}
+
+/// Declare a group of benchmark functions (criterion-compatible syntax).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark registered in this group.
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut count = 0u64;
+        group.bench_function("plain", |b| b.iter(|| count += 1));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &x| {
+            b.iter_batched(|| x, |v| v + 1, BatchSize::LargeInput)
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Offline shim for `rand` 0.8.
+//!
+//! Implements the subset the workspace uses — `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and the `Rng` methods `gen`,
+//! `gen_range`, `gen_bool` — over xoshiro256++ seeded through SplitMix64
+//! (the construction rand itself documents for `seed_from_u64`). The
+//! stream differs from upstream rand's StdRng (ChaCha12), which is fine:
+//! the workspace's determinism contract is "same seed, same stream",
+//! never "the exact ChaCha bytes".
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform u64 source.
+pub trait RngCore {
+    /// Next uniform 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding entry points (subset of rand's trait).
+pub trait SeedableRng: Sized {
+    /// Derive a full RNG state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types drawable uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange {
+    /// Element type produced.
+    type Output;
+    /// Draw uniformly from the range. Panics on an empty range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Uniform draw in `[0, n)` without modulo bias (Lemire rejection).
+fn below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    assert!(n > 0, "empty range");
+    // Rejection zone keeps the multiply-shift unbiased.
+    let zone = n.wrapping_neg() % n;
+    loop {
+        let v = rng.next_u64();
+        let (hi, lo) = {
+            let wide = (v as u128) * (n as u128);
+            ((wide >> 64) as u64, wide as u64)
+        };
+        if lo >= zone || zone == 0 {
+            return hi;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + below(rng, span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + below(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + f64::draw(rng) * (self.end - self.start)
+    }
+}
+
+/// High-level drawing methods (subset of rand's `Rng`).
+pub trait Rng: RngCore {
+    /// Uniform value of an inferred primitive type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Uniform value in `range`.
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        f64::draw(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic RNG: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, per the xoshiro authors' guidance.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w: u64 = r.gen_range(5u64..=5);
+            assert_eq!(w, 5);
+            let x: i64 = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_middle() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4500..5500).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let u: f64 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

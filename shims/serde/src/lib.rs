@@ -1,0 +1,7 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a few types for
+//! forward-compatibility but never serializes them, so the derives here
+//! are no-ops re-exported from the shim `serde_derive`.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace annotates a few types with `#[derive(Serialize,
+//! Deserialize)]` but never actually serializes them (no serde_json /
+//! bincode anywhere), so these derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `Serialize` derive.
+///
+/// Registers `serde` as a helper attribute so `#[serde(..)]` field and
+/// container annotations keep compiling.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -75,6 +75,7 @@ pub use amc_lock as lock;
 pub use amc_mlt as mlt;
 pub use amc_net as net;
 pub use amc_obs as obs;
+pub use amc_paxos as paxos;
 pub use amc_rpc as rpc;
 pub use amc_sim as sim;
 pub use amc_storage as storage;
