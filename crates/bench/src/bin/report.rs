@@ -144,6 +144,13 @@ fn main() {
         for v in e10_rpc::verdicts(&rows) {
             println!("{v}");
         }
+        // High-concurrency profile: hundreds of driver threads, every
+        // server-runtime × client-flavour combination.
+        let hc = e10_rpc::run_high_concurrency(if quick { 400 } else { 1000 }, 200);
+        print!("{}", e10_rpc::hc_table(&hc).render());
+        for v in e10_rpc::hc_verdicts(&hc) {
+            println!("{v}");
+        }
         println!();
     }
 

@@ -88,6 +88,17 @@ pub trait FederationTransport: Send + Sync {
 
     /// Send one admin request to `to` and wait for its reply.
     fn admin(&self, to: SiteId, req: AdminRequest) -> AmcResult<AdminReply>;
+
+    /// Whether concurrent [`FederationTransport::call`]s to *different*
+    /// sites may overlap in flight. A coordinator may fan a message round
+    /// out in parallel over a pipelining transport; over a
+    /// non-pipelining one (notably the in-process transport, whose
+    /// modelled delays assume serial delivery) it must keep the calls
+    /// sequential. Defaults to `false` — serial — so a transport must
+    /// opt in to concurrent dispatch.
+    fn supports_pipelining(&self) -> bool {
+        false
+    }
 }
 
 /// Run one protocol message against a local communication manager. This is

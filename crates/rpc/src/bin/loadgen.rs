@@ -34,7 +34,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: amc-loadgen --sites <addr,addr,...> \
          --protocol <2pc|commit-after|commit-before> [--txns <n>] [--clients <n>] \
-         [--objects <n>] [--seed <n>] [--events-out <path>]"
+         [--objects <n>] [--seed <n>] [--events-out <path>] [--client <mux|pooled>]"
     );
     std::process::exit(2);
 }
@@ -121,6 +121,9 @@ fn main() {
     let mut objects = 50u64;
     let mut seed = 1u64;
     let mut events_out: Option<String> = None;
+    // Mux by default: one pipelined connection per site regardless of
+    // how many worker threads drive transactions through it.
+    let mut mux = true;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -173,6 +176,14 @@ fn main() {
                 i += 1;
                 events_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--client" => {
+                i += 1;
+                mux = match args.get(i).map(String::as_str) {
+                    Some("mux") => true,
+                    Some("pooled") => false,
+                    _ => usage(),
+                };
+            }
             _ => usage(),
         }
         i += 1;
@@ -193,11 +204,11 @@ fn main() {
         .enumerate()
         .map(|(idx, addr)| (SiteId::new(idx as u32 + 1), *addr))
         .collect();
-    let transport = Arc::new(TcpTransport::new(
-        site_addrs,
-        RetryPolicy::default(),
-        obs.clone(),
-    ));
+    let transport = Arc::new(if mux {
+        TcpTransport::new_mux(site_addrs, RetryPolicy::default(), obs.clone())
+    } else {
+        TcpTransport::new(site_addrs, RetryPolicy::default(), obs.clone())
+    });
 
     // Wait for every site to answer a ping (servers may still be binding).
     let deadline = Instant::now() + Duration::from_secs(10);

@@ -150,6 +150,11 @@ impl RpcClient {
         self.site
     }
 
+    /// Idle pooled connections (checked in, not currently in flight).
+    pub fn pooled_connections(&self) -> usize {
+        self.pool.lock().len()
+    }
+
     /// Point the client at a new address (a restarted site may come back
     /// on a different port). Pooled connections to the old address are
     /// dropped.
@@ -205,11 +210,18 @@ impl RpcClient {
         for attempt in 1..=self.policy.max_attempts {
             let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
             let frame = make_frame(req_id);
+            // Retries of a protocol message carry the transaction they
+            // are retrying for, so a trace can attribute the retry storm
+            // to the right transaction (admin retries have none).
+            let gtx = match &frame {
+                Frame::Request { payload, .. } => Some(payload.gtx()),
+                _ => None,
+            };
             match self.roundtrip(&frame) {
                 Ok(reply) => return Ok(reply),
                 Err(_) if attempt < self.policy.max_attempts => {
                     self.obs.emit(
-                        None,
+                        gtx,
                         SiteId::CENTRAL,
                         EventKind::RpcRetry {
                             to: self.site,

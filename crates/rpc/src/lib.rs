@@ -8,14 +8,23 @@
 //!   hand-rolled binary body) over the `amc-net` [`amc_net::Payload`]
 //!   vocabulary, so the simulator and the networked runtime share one
 //!   message grammar;
-//! * [`server`] — the TCP **site server**: one listener per local system,
-//!   thread-per-connection, each request dispatched to the same
-//!   `LocalCommManager` the in-process runtime uses. Malformed frames
-//!   kill their connection, never the server;
+//! * [`server`] — the blocking TCP **site server**: one listener per
+//!   local system, thread-per-connection, each request dispatched to the
+//!   same `LocalCommManager` the in-process runtime uses. Malformed
+//!   frames kill their connection, never the server;
+//! * [`event_loop`] — the **event-loop site server**: one epoll thread
+//!   multiplexing every connection, incremental frame decode, batched
+//!   reply writes, a worker pool for dispatch, and explicit per-connection
+//!   backpressure (excess requests are shed with `BufferExhausted`, not
+//!   queued). Same spawn surface and wire vocabulary as [`server`];
 //! * [`client`] — the connection-supervising **RPC client**: per-request
 //!   deadlines, capped exponential-backoff retries, automatic reconnect,
 //!   all surfaced as `amc-obs` events so `explain` works on networked
 //!   runs;
+//! * [`mux`] — the **multiplexed pipelining client**: one shared
+//!   connection per site, any number of concurrent callers, replies
+//!   matched to callers by request id in whatever order the server
+//!   finishes them;
 //! * [`transport`] — the [`amc_net::transport::FederationTransport`] impl
 //!   gluing the two into `amc_core::Federation::with_transport`;
 //! * [`recovery`] — durable restart: a site started with `--wal-dir`
@@ -31,13 +40,17 @@
 #![deny(missing_docs)]
 
 pub mod client;
+pub mod event_loop;
+pub mod mux;
 pub mod recovery;
 pub mod server;
 pub mod transport;
 pub mod wire;
 
 pub use client::{RetryPolicy, RpcClient};
+pub use event_loop::{EventServer, EventServerStats, MAX_IN_FLIGHT_PER_CONN};
+pub use mux::MuxClient;
 pub use recovery::{FileWorkJournal, SiteRecoveryManager};
 pub use server::SiteServer;
 pub use transport::TcpTransport;
-pub use wire::{Frame, FrameReadError, WireError, MAX_FRAME_LEN, WIRE_VERSION};
+pub use wire::{Frame, FrameBuffer, FrameReadError, WireError, MAX_FRAME_LEN, WIRE_VERSION};

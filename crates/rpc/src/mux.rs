@@ -1,0 +1,398 @@
+//! The multiplexed, pipelining RPC client.
+//!
+//! Where [`RpcClient`](crate::RpcClient) checks a whole connection out
+//! of a pool per request — N concurrent requests need N sockets — a
+//! [`MuxClient`] shares **one** connection among every caller. Each
+//! request is tagged with a fresh id and written to the shared socket;
+//! a dedicated reader thread decodes replies incrementally (through a
+//! [`FrameBuffer`], so partial frames survive read-timeout ticks) and
+//! completes whichever caller's id each reply names — in whatever order
+//! the server finished them. That is the client half of pipelining: many
+//! requests in flight on one stream, out-of-order completion, no
+//! head-of-line coupling between callers.
+//!
+//! Failure shape matches the pooled client: a request that cannot be
+//! delivered or answered inside the deadline counts one attempt, the
+//! connection is torn down (failing *every* pending request, each of
+//! which retries independently), and the next attempt redials. Retries
+//! are safe for the same reason they always were: every manager handler
+//! is idempotent.
+
+use crate::client::RetryPolicy;
+use crate::wire::{write_frame, Frame, FrameBuffer};
+use amc_net::transport::{AdminReply, AdminRequest};
+use amc_net::Payload;
+use amc_obs::{EventKind, ObsSink};
+use amc_types::{AmcError, AmcResult, SiteId};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::io::Read as _;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often the reader thread's blocked read wakes to check for
+/// shutdown.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// One caller's parking spot: its own mutex + condvar, so completing a
+/// reply wakes exactly that caller — never the whole herd of waiters.
+struct Slot {
+    reply: Mutex<Option<Frame>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot {
+            reply: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+}
+
+/// One live multiplexed connection: the shared write half, the pending
+/// table the reader thread completes into, and the reader itself.
+struct Channel {
+    /// Writers serialize frame writes through this lock; a frame is
+    /// written atomically, so interleaved callers never corrupt framing.
+    writer: Mutex<TcpStream>,
+    /// `req_id` → the caller waiting for that reply.
+    pending: Mutex<HashMap<u64, Arc<Slot>>>,
+    /// The reader saw EOF/garbage/reset: nothing further will complete.
+    dead: AtomicBool,
+    stop: AtomicBool,
+}
+
+impl Channel {
+    /// Kill the channel and wake every waiter so they can fail fast.
+    fn poison(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+        for (_, slot) in self.pending.lock().drain() {
+            // Lock-then-notify: the waiter either holds the slot lock
+            // (and will observe `dead` on its next check) or is parked
+            // in `wait_for` (and this wakes it).
+            let _guard = slot.reply.lock();
+            slot.cv.notify_one();
+        }
+    }
+}
+
+/// Reader thread: pump bytes into a [`FrameBuffer`], route each decoded
+/// frame to its pending slot by request id.
+fn reader_loop(mut stream: TcpStream, chan: Arc<Channel>) {
+    if stream.set_read_timeout(Some(READ_TICK)).is_err() {
+        chan.poison();
+        return;
+    }
+    let mut buf = FrameBuffer::new();
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        if chan.stop.load(Ordering::SeqCst) {
+            chan.poison();
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                chan.poison();
+                return;
+            }
+            Ok(n) => buf.extend(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                continue
+            }
+            Err(_) => {
+                chan.poison();
+                return;
+            }
+        }
+        loop {
+            match buf.next_frame() {
+                Ok(Some(frame)) => {
+                    // An id nobody waits for is a reply whose caller
+                    // already timed out and withdrew: drop it.
+                    let slot = chan.pending.lock().remove(&frame.req_id());
+                    if let Some(slot) = slot {
+                        // Notify while holding the slot lock so the
+                        // caller cannot slip into `wait_for` between the
+                        // fill and the wakeup.
+                        let mut reply = slot.reply.lock();
+                        *reply = Some(frame);
+                        slot.cv.notify_one();
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    chan.poison();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// A multiplexed pipelining client for one site.
+///
+/// Cheap to clone-share via `Arc`; any number of threads may
+/// [`MuxClient::call`] concurrently and their requests share one
+/// connection.
+pub struct MuxClient {
+    site: SiteId,
+    addr: Mutex<SocketAddr>,
+    policy: RetryPolicy,
+    /// The current channel, lazily (re)dialed. Dead channels are
+    /// replaced on the next call.
+    chan: Mutex<Option<Arc<Channel>>>,
+    reader: Mutex<Option<std::thread::JoinHandle<()>>>,
+    next_req: AtomicU64,
+    ever_connected: AtomicBool,
+    jitter_state: AtomicU64,
+    obs: ObsSink,
+}
+
+impl MuxClient {
+    /// A client for `site` at `addr`. No connection is made until the
+    /// first call.
+    pub fn new(site: SiteId, addr: SocketAddr, policy: RetryPolicy, obs: ObsSink) -> Self {
+        MuxClient {
+            site,
+            addr: Mutex::new(addr),
+            policy,
+            chan: Mutex::new(None),
+            reader: Mutex::new(None),
+            next_req: AtomicU64::new(1),
+            ever_connected: AtomicBool::new(false),
+            jitter_state: AtomicU64::new(
+                0xD1B5_4A32_D192_ED03u64.wrapping_mul(u64::from(site.raw()) + 1),
+            ),
+            obs,
+        }
+    }
+
+    /// The site this client fronts.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Point the client at a new address; the current channel (if any)
+    /// is torn down.
+    pub fn set_addr(&self, addr: SocketAddr) {
+        *self.addr.lock() = addr;
+        if let Some(chan) = self.chan.lock().take() {
+            chan.stop.store(true, Ordering::SeqCst);
+            chan.poison();
+        }
+    }
+
+    fn jitter_word(&self) -> u64 {
+        let x = self
+            .jitter_state
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Send one protocol message and wait for the site's reply.
+    pub fn call(&self, payload: Payload) -> AmcResult<Payload> {
+        let gtx = payload.gtx();
+        let label = payload.label();
+        let reply = self.with_retries(|req_id| Frame::Request {
+            req_id,
+            payload: payload.clone(),
+        })?;
+        match reply {
+            Frame::Reply { payload, .. } => {
+                self.obs.emit(
+                    Some(gtx),
+                    SiteId::CENTRAL,
+                    EventKind::MsgDeliver {
+                        label: payload.label(),
+                        from: self.site,
+                    },
+                );
+                Ok(payload)
+            }
+            Frame::ErrorReply { error, .. } => Err(error),
+            other => Err(AmcError::Protocol(format!(
+                "site answered {label} with a non-protocol frame {other:?}"
+            ))),
+        }
+    }
+
+    /// Send one admin request and wait for the site's reply.
+    pub fn admin(&self, req: AdminRequest) -> AmcResult<AdminReply> {
+        let reply = self.with_retries(|req_id| Frame::AdminRequest {
+            req_id,
+            req: req.clone(),
+        })?;
+        match reply {
+            Frame::AdminReply { reply, .. } => Ok(reply),
+            Frame::ErrorReply { error, .. } => Err(error),
+            other => Err(AmcError::Protocol(format!(
+                "site answered admin with a non-admin frame {other:?}"
+            ))),
+        }
+    }
+
+    fn with_retries(&self, make_frame: impl Fn(u64) -> Frame) -> AmcResult<Frame> {
+        for attempt in 1..=self.policy.max_attempts {
+            let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
+            let frame = make_frame(req_id);
+            let gtx = match &frame {
+                Frame::Request { payload, .. } => Some(payload.gtx()),
+                _ => None,
+            };
+            match self.one_attempt(&frame) {
+                Ok(reply) => return Ok(reply),
+                // The server shedding load is an answer, not a transport
+                // failure — but it IS retryable: back off and try again
+                // rather than bubbling an overload spike up as an abort.
+                Err(Some(AmcError::BufferExhausted)) | Err(None)
+                    if attempt < self.policy.max_attempts =>
+                {
+                    self.obs.emit(
+                        gtx,
+                        SiteId::CENTRAL,
+                        EventKind::RpcRetry {
+                            to: self.site,
+                            attempt,
+                        },
+                    );
+                    std::thread::sleep(RetryPolicy::jittered(
+                        self.policy.backoff_after(attempt),
+                        self.jitter_word(),
+                    ));
+                }
+                Err(Some(err)) => return Err(err),
+                Err(None) => break,
+            }
+        }
+        Err(AmcError::SiteDown(self.site))
+    }
+
+    /// One attempt over the shared channel. `Err(None)` is a transport
+    /// failure (retry, redial); `Err(Some(e))` is the site's answer.
+    fn one_attempt(&self, frame: &Frame) -> Result<Frame, Option<AmcError>> {
+        let chan = self.channel().ok_or(None)?;
+        let req_id = frame.req_id();
+        let slot = Slot::new();
+        chan.pending.lock().insert(req_id, Arc::clone(&slot));
+        if let Frame::Request { payload, .. } = frame {
+            self.obs.emit(
+                Some(payload.gtx()),
+                SiteId::CENTRAL,
+                EventKind::MsgSend {
+                    label: payload.label(),
+                    from: SiteId::CENTRAL,
+                    to: self.site,
+                },
+            );
+        }
+        {
+            let mut writer = chan.writer.lock();
+            if write_frame(&mut *writer, frame).is_err() {
+                drop(writer);
+                chan.pending.lock().remove(&req_id);
+                self.discard(&chan);
+                return Err(None);
+            }
+        }
+        let deadline = Instant::now() + self.policy.request_timeout;
+        let mut reply = slot.reply.lock();
+        loop {
+            if let Some(frame) = reply.take() {
+                return match frame {
+                    Frame::ErrorReply { error, .. } => Err(Some(error)),
+                    other => Ok(other),
+                };
+            }
+            if chan.dead.load(Ordering::SeqCst) {
+                drop(reply);
+                chan.pending.lock().remove(&req_id);
+                self.discard(&chan);
+                return Err(None);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                // Withdraw only this request: the connection and every
+                // other pending request stay healthy. A late reply to
+                // this id is dropped by the reader.
+                drop(reply);
+                chan.pending.lock().remove(&req_id);
+                return Err(None);
+            }
+            slot.cv.wait_for(&mut reply, deadline - now);
+        }
+    }
+
+    /// The live channel, dialing a fresh one if there is none or the
+    /// current one is dead.
+    fn channel(&self) -> Option<Arc<Channel>> {
+        let mut slot = self.chan.lock();
+        if let Some(chan) = slot.as_ref() {
+            if !chan.dead.load(Ordering::SeqCst) {
+                return Some(Arc::clone(chan));
+            }
+        }
+        // (Re)dial. Join the previous reader first so dead readers don't
+        // pile up across reconnects.
+        if let Some(h) = self.reader.lock().take() {
+            let _ = h.join();
+        }
+        let addr = *self.addr.lock();
+        let stream = TcpStream::connect_timeout(&addr, self.policy.connect_timeout).ok()?;
+        let _ = stream.set_nodelay(true);
+        let read_half = stream.try_clone().ok()?;
+        if self.ever_connected.swap(true, Ordering::Relaxed) {
+            self.obs.emit(
+                None,
+                SiteId::CENTRAL,
+                EventKind::RpcReconnect { to: self.site },
+            );
+        }
+        let chan = Arc::new(Channel {
+            writer: Mutex::new(stream),
+            pending: Mutex::new(HashMap::new()),
+            dead: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+        });
+        let reader_chan = Arc::clone(&chan);
+        *self.reader.lock() = Some(std::thread::spawn(move || {
+            reader_loop(read_half, reader_chan);
+        }));
+        *slot = Some(Arc::clone(&chan));
+        Some(chan)
+    }
+
+    /// Drop `chan` if it is still the current channel (a racing caller
+    /// may already have redialed).
+    fn discard(&self, chan: &Arc<Channel>) {
+        chan.poison();
+        let mut slot = self.chan.lock();
+        if let Some(current) = slot.as_ref() {
+            if Arc::ptr_eq(current, chan) {
+                *slot = None;
+            }
+        }
+    }
+}
+
+impl Drop for MuxClient {
+    fn drop(&mut self) {
+        if let Some(chan) = self.chan.lock().take() {
+            chan.stop.store(true, Ordering::SeqCst);
+            chan.poison();
+        }
+        if let Some(h) = self.reader.lock().take() {
+            let _ = h.join();
+        }
+    }
+}

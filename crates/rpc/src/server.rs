@@ -9,14 +9,14 @@
 //! returns, while the listener keeps accepting and every other
 //! connection keeps being served.
 
-use crate::wire::{read_frame, write_frame, Frame};
+use crate::wire::{write_frame, Frame, FrameBuffer};
 use amc_net::transport::{admin_to_manager, dispatch_to_manager};
 use amc_net::{LocalCommManager, SubmitMode};
 use amc_obs::{EventKind, ObsSink};
 use amc_paxos::AcceptorHost;
 use amc_types::SiteId;
 use parking_lot::Mutex;
-use std::io;
+use std::io::{self, Read as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -99,7 +99,13 @@ impl SiteServer {
                             acceptor.as_deref(),
                         );
                     });
-                    conn_threads.lock().push(handle);
+                    // Reap finished handles on every accept: a long-running
+                    // site serving many short-lived connections must not
+                    // retain a JoinHandle (and its thread's unreclaimed
+                    // resources) per connection that ever existed.
+                    let mut threads = conn_threads.lock();
+                    threads.retain(|h: &JoinHandle<()>| !h.is_finished());
+                    threads.push(handle);
                 }
             })
         };
@@ -120,6 +126,14 @@ impl SiteServer {
     /// The address the server actually listens on.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Connection-thread handles currently retained (live connections
+    /// plus any finished since the last accept). Bounded by the reap on
+    /// accept — a churn of thousands of short-lived connections must not
+    /// grow this without bound.
+    pub fn connection_threads(&self) -> usize {
+        self.conn_threads.lock().len()
     }
 
     /// Stop accepting, close the listener, and join every thread.
@@ -143,7 +157,7 @@ impl SiteServer {
 /// Bounded `AddrInUse` retry around [`TcpListener::bind`] (see
 /// [`SiteServer::spawn`]). Ephemeral-port binds (`:0`) never collide and
 /// return on the first attempt.
-fn bind_with_retry(listen: &str) -> io::Result<TcpListener> {
+pub(crate) fn bind_with_retry(listen: &str) -> io::Result<TcpListener> {
     const ATTEMPTS: u32 = 50;
     let mut last = None;
     for attempt in 0..ATTEMPTS {
@@ -171,7 +185,7 @@ impl Drop for SiteServer {
 /// mounted): Paxos messages are answered by the acceptor, and a vote
 /// reply is durably accepted at ballot 0 — or refused, surfacing as an
 /// error — before it is released.
-fn dispatch_with_acceptor(
+pub(crate) fn dispatch_with_acceptor(
     manager: &LocalCommManager,
     payload: amc_net::Payload,
     mode: SubmitMode,
@@ -188,8 +202,73 @@ fn dispatch_with_acceptor(
     Ok(reply)
 }
 
+/// Serve one request frame: dispatch it and build the reply frame.
+/// Returns `None` for frames a server must never receive (a peer sending
+/// *replies* is broken and its connection should be dropped).
+///
+/// This is the single request-handling path shared by the blocking
+/// thread-per-connection server and the event-loop runtime, so both
+/// interpret the vocabulary (and the acceptor interception) identically.
+pub(crate) fn reply_for_frame(
+    frame: Frame,
+    site: SiteId,
+    manager: &LocalCommManager,
+    mode: SubmitMode,
+    obs: &ObsSink,
+    acceptor: Option<&AcceptorHost>,
+) -> Option<Frame> {
+    match frame {
+        Frame::Request { req_id, payload } => {
+            obs.emit(
+                Some(payload.gtx()),
+                site,
+                EventKind::MsgDeliver {
+                    label: payload.label(),
+                    from: SiteId::CENTRAL,
+                },
+            );
+            Some(
+                match dispatch_with_acceptor(manager, payload, mode, acceptor) {
+                    Ok(payload) => {
+                        obs.emit(
+                            Some(payload.gtx()),
+                            site,
+                            EventKind::MsgSend {
+                                label: payload.label(),
+                                from: site,
+                                to: SiteId::CENTRAL,
+                            },
+                        );
+                        Frame::Reply { req_id, payload }
+                    }
+                    Err(error) => Frame::ErrorReply { req_id, error },
+                },
+            )
+        }
+        Frame::AdminRequest { req_id, req } => {
+            let handled = acceptor.and_then(|h| h.admin_pre(&req));
+            let result = match handled {
+                Some(reply) => Ok(reply),
+                None => admin_to_manager(manager, req),
+            };
+            Some(match result {
+                Ok(reply) => Frame::AdminReply { req_id, reply },
+                Err(error) => Frame::ErrorReply { req_id, error },
+            })
+        }
+        Frame::Reply { .. } | Frame::AdminReply { .. } | Frame::ErrorReply { .. } => None,
+    }
+}
+
 /// One connection's request loop. Returns (dropping the connection) on
 /// any read/decode error or when the stop flag is raised.
+///
+/// Reads go through a [`FrameBuffer`], never `read_exact`: a read
+/// deadline that ticks mid-frame leaves the consumed bytes buffered, so
+/// a slow writer dribbling a frame across many 100 ms windows still
+/// parses. (The old loop discarded partially-read bytes on every
+/// timeout and resumed mid-frame — desyncing the stream and killing a
+/// healthy connection.)
 fn serve_connection(
     mut stream: TcpStream,
     site: SiteId,
@@ -205,61 +284,43 @@ fn serve_connection(
         return;
     }
     let _ = stream.set_nodelay(true);
+    let mut buf = FrameBuffer::new();
+    let mut chunk = [0u8; 16 * 1024];
     loop {
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        let frame = match read_frame(&mut stream) {
-            Ok(f) => f,
-            // A deadline tick with no bytes: just re-check the stop flag.
-            Err(e) if e.is_timeout() => continue,
-            // Closed, reset, truncated, garbage, oversized: this
-            // connection is done — and only this connection.
+        match stream.read(&mut chunk) {
+            // EOF: the peer closed cleanly.
+            Ok(0) => return,
+            Ok(n) => buf.extend(&chunk[..n]),
+            // A deadline tick with no bytes: whatever is buffered stays
+            // buffered; just re-check the stop flag.
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                continue
+            }
+            // Closed, reset: this connection is done — and only this one.
             Err(_) => return,
-        };
-        let reply = match frame {
-            Frame::Request { req_id, payload } => {
-                obs.emit(
-                    Some(payload.gtx()),
-                    site,
-                    EventKind::MsgDeliver {
-                        label: payload.label(),
-                        from: SiteId::CENTRAL,
-                    },
-                );
-                match dispatch_with_acceptor(manager, payload, mode, acceptor) {
-                    Ok(payload) => {
-                        obs.emit(
-                            Some(payload.gtx()),
-                            site,
-                            EventKind::MsgSend {
-                                label: payload.label(),
-                                from: site,
-                                to: SiteId::CENTRAL,
-                            },
-                        );
-                        Frame::Reply { req_id, payload }
-                    }
-                    Err(error) => Frame::ErrorReply { req_id, error },
-                }
+        }
+        loop {
+            let frame = match buf.next_frame() {
+                Ok(Some(f)) => f,
+                // Partial frame: wait for more bytes.
+                Ok(None) => break,
+                // Garbage, oversized: frame boundaries are gone — drop
+                // the connection (never the server).
+                Err(_) => return,
+            };
+            let Some(reply) = reply_for_frame(frame, site, manager, mode, obs, acceptor) else {
+                return;
+            };
+            if write_frame(&mut stream, &reply).is_err() {
+                return;
             }
-            Frame::AdminRequest { req_id, req } => {
-                let handled = acceptor.and_then(|h| h.admin_pre(&req));
-                let result = match handled {
-                    Some(reply) => Ok(reply),
-                    None => admin_to_manager(manager, req),
-                };
-                match result {
-                    Ok(reply) => Frame::AdminReply { req_id, reply },
-                    Err(error) => Frame::ErrorReply { req_id, error },
-                }
-            }
-            // A server only accepts requests; a peer sending replies is
-            // broken — drop it.
-            Frame::Reply { .. } | Frame::AdminReply { .. } | Frame::ErrorReply { .. } => return,
-        };
-        if write_frame(&mut stream, &reply).is_err() {
-            return;
         }
     }
 }
@@ -267,6 +328,7 @@ fn serve_connection(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::read_frame;
     use amc_engine::{TplConfig, TwoPLEngine};
     use amc_net::comm::EngineHandle;
     use amc_net::transport::{AdminReply, AdminRequest};

@@ -1,6 +1,9 @@
-//! [`FederationTransport`] over TCP: one [`RpcClient`] per site.
+//! [`FederationTransport`] over TCP: one client per site — pooled
+//! blocking connections ([`RpcClient`]) or a single multiplexed
+//! pipelining connection ([`MuxClient`]) per site.
 
 use crate::client::{RetryPolicy, RpcClient};
+use crate::mux::MuxClient;
 use amc_net::transport::{AdminReply, AdminRequest, FederationTransport};
 use amc_net::Payload;
 use amc_obs::ObsSink;
@@ -8,21 +11,82 @@ use amc_types::{AmcError, AmcResult, SiteId};
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
 
+/// One site's client, either flavour.
+enum SiteClient {
+    /// Pooled blocking connections, one checked out per in-flight call.
+    Blocking(RpcClient),
+    /// One shared multiplexed connection; concurrent calls pipeline.
+    Mux(MuxClient),
+}
+
+impl SiteClient {
+    fn call(&self, payload: Payload) -> AmcResult<Payload> {
+        match self {
+            SiteClient::Blocking(c) => c.call(payload),
+            SiteClient::Mux(c) => c.call(payload),
+        }
+    }
+
+    fn admin(&self, req: AdminRequest) -> AmcResult<AdminReply> {
+        match self {
+            SiteClient::Blocking(c) => c.admin(req),
+            SiteClient::Mux(c) => c.admin(req),
+        }
+    }
+
+    fn set_addr(&self, addr: SocketAddr) {
+        match self {
+            SiteClient::Blocking(c) => c.set_addr(addr),
+            SiteClient::Mux(c) => c.set_addr(addr),
+        }
+    }
+}
+
 /// The networked transport: the coordinator reaches every site through a
 /// deadline/retry RPC client over loopback (or any) TCP.
 pub struct TcpTransport {
-    clients: BTreeMap<SiteId, RpcClient>,
+    clients: BTreeMap<SiteId, SiteClient>,
+    pipelining: bool,
 }
 
 impl TcpTransport {
     /// A transport for the sites at `addrs`, all sharing `policy` and
-    /// emitting client-side events into `obs`.
+    /// emitting client-side events into `obs`. Uses pooled blocking
+    /// clients (one connection per in-flight call).
     pub fn new(addrs: BTreeMap<SiteId, SocketAddr>, policy: RetryPolicy, obs: ObsSink) -> Self {
         let clients = addrs
             .into_iter()
-            .map(|(site, addr)| (site, RpcClient::new(site, addr, policy, obs.clone())))
+            .map(|(site, addr)| {
+                (
+                    site,
+                    SiteClient::Blocking(RpcClient::new(site, addr, policy, obs.clone())),
+                )
+            })
             .collect();
-        TcpTransport { clients }
+        TcpTransport {
+            clients,
+            pipelining: false,
+        }
+    }
+
+    /// Like [`TcpTransport::new`], but every site is reached over a
+    /// single multiplexed connection and concurrent calls pipeline. The
+    /// transport reports [`FederationTransport::supports_pipelining`],
+    /// so the coordinator fans message rounds out in parallel.
+    pub fn new_mux(addrs: BTreeMap<SiteId, SocketAddr>, policy: RetryPolicy, obs: ObsSink) -> Self {
+        let clients = addrs
+            .into_iter()
+            .map(|(site, addr)| {
+                (
+                    site,
+                    SiteClient::Mux(MuxClient::new(site, addr, policy, obs.clone())),
+                )
+            })
+            .collect();
+        TcpTransport {
+            clients,
+            pipelining: true,
+        }
     }
 
     /// Repoint one site's client (a restarted site server may listen on a
@@ -51,5 +115,9 @@ impl FederationTransport for TcpTransport {
             .get(&to)
             .ok_or(AmcError::SiteDown(to))?
             .admin(req)
+    }
+
+    fn supports_pipelining(&self) -> bool {
+        self.pipelining
     }
 }

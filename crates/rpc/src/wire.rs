@@ -899,6 +899,94 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameReadError> {
     decode_frame_body(&body).map_err(FrameReadError::Wire)
 }
 
+// ------------------------------------------------------- frame buffer --
+
+/// Incremental frame decoder: a per-connection byte accumulator that
+/// yields complete frames as they become available.
+///
+/// This is the decode primitive of the event-loop runtime, and the fix
+/// for the blocking runtime's partial-read desync: bytes are *never*
+/// discarded between reads. A partial frame simply stays buffered until
+/// more bytes arrive — no matter how many read timeouts tick in between
+/// — so a slow writer dribbling one byte at a time still parses.
+///
+/// ```
+/// use amc_rpc::wire::{encode_frame, Frame, FrameBuffer};
+/// use amc_net::Payload;
+/// use amc_types::GlobalTxnId;
+///
+/// let frame = Frame::Request {
+///     req_id: 9,
+///     payload: Payload::Prepare { gtx: GlobalTxnId::new(1) },
+/// };
+/// let bytes = encode_frame(&frame);
+/// let mut buf = FrameBuffer::new();
+/// // Feed everything but the last byte: no frame yet.
+/// buf.extend(&bytes[..bytes.len() - 1]);
+/// assert_eq!(buf.next_frame().unwrap(), None);
+/// // The final byte completes it.
+/// buf.extend(&bytes[bytes.len() - 1..]);
+/// assert_eq!(buf.next_frame().unwrap(), Some(frame));
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Consumed prefix; compacted opportunistically so the buffer does
+    /// not grow with connection lifetime.
+    start: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Append bytes read off the wire.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: once everything buffered has been
+        // consumed the allocation can be reused from offset 0, and a
+        // large consumed prefix is dropped rather than copied around.
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > 4096 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a decoded frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Decode the next complete frame, if the buffer holds one.
+    ///
+    /// `Ok(None)` means "not enough bytes yet" — keep the connection and
+    /// feed more. `Err` means the stream is poisoned (oversized length
+    /// prefix, malformed body): the connection must be dropped, since
+    /// frame boundaries can no longer be trusted.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().unwrap());
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::Oversized(len));
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let frame = decode_frame_body(&avail[4..total])?;
+        self.start += total;
+        Ok(Some(frame))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1108,6 +1196,78 @@ mod tests {
         let len = (bytes.len() - 4) as u32;
         bytes[..4].copy_from_slice(&len.to_le_bytes());
         assert_eq!(decode_frame(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn frame_buffer_decodes_byte_by_byte() {
+        let frame = Frame::Request {
+            req_id: 3,
+            payload: Payload::Submit {
+                gtx: GlobalTxnId::new(5),
+                ops: vec![Operation::Increment {
+                    obj: ObjectId::new(1),
+                    delta: 2,
+                }],
+            },
+        };
+        let bytes = encode_frame(&frame);
+        let mut buf = FrameBuffer::new();
+        for (i, b) in bytes.iter().enumerate() {
+            if i + 1 < bytes.len() {
+                buf.extend(std::slice::from_ref(b));
+                assert_eq!(buf.next_frame().unwrap(), None, "byte {i}");
+            }
+        }
+        buf.extend(std::slice::from_ref(bytes.last().unwrap()));
+        assert_eq!(buf.next_frame().unwrap(), Some(frame));
+        assert_eq!(buf.pending(), 0);
+    }
+
+    #[test]
+    fn frame_buffer_yields_pipelined_frames_in_order() {
+        let frames: Vec<Frame> = (0..5)
+            .map(|i| Frame::Request {
+                req_id: i,
+                payload: Payload::Prepare {
+                    gtx: GlobalTxnId::new(i + 1),
+                },
+            })
+            .collect();
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&encode_frame(f));
+        }
+        // Feed everything at once plus half of a trailing frame.
+        let tail = encode_frame(&frames[0]);
+        wire.extend_from_slice(&tail[..tail.len() / 2]);
+        let mut buf = FrameBuffer::new();
+        buf.extend(&wire);
+        for f in &frames {
+            assert_eq!(buf.next_frame().unwrap().as_ref(), Some(f));
+        }
+        assert_eq!(buf.next_frame().unwrap(), None, "partial tail stays");
+        assert_eq!(buf.pending(), tail.len() / 2);
+    }
+
+    #[test]
+    fn frame_buffer_rejects_oversized_and_garbage() {
+        let mut buf = FrameBuffer::new();
+        buf.extend(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        assert_eq!(
+            buf.next_frame(),
+            Err(WireError::Oversized(MAX_FRAME_LEN + 1))
+        );
+
+        let mut buf = FrameBuffer::new();
+        let mut bytes = encode_frame(&Frame::Request {
+            req_id: 1,
+            payload: Payload::Prepare {
+                gtx: GlobalTxnId::new(1),
+            },
+        });
+        bytes[4] = 99; // bad version
+        buf.extend(&bytes);
+        assert_eq!(buf.next_frame(), Err(WireError::BadVersion(99)));
     }
 
     #[test]
