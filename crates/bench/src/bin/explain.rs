@@ -24,8 +24,8 @@
 //! ```
 //!
 //! The dump is the loadgen's client-side observability log (`seq  at_us
-//! txn  site  event`, one line per event — rpc retries and reconnects
-//! included); `--txn` filters it to one global transaction.
+//! txn  site  event`, one line per event — rpc retries, load-sheds and
+//! reconnects included); `--txn` filters it to one global transaction.
 //!
 //! Exits non-zero when the requested timeline is empty.
 

@@ -184,4 +184,13 @@ fn main() {
         }
         println!();
     }
+
+    if wants("e13") {
+        let rows = e13_fastpath::run(if quick { 100 } else { 300 }, threads);
+        print!("{}", e13_fastpath::table(&rows).render());
+        for v in e13_fastpath::verdicts(&rows) {
+            println!("{v}");
+        }
+        println!();
+    }
 }

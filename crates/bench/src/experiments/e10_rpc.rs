@@ -259,6 +259,11 @@ pub struct HcRow {
     pub p50_ms: Option<f64>,
     /// Tail commit latency, ms.
     pub p99_ms: Option<f64>,
+    /// Load-shed (`BufferExhausted`) replies the clients absorbed — the
+    /// backpressure the event runtime applied past its in-flight cap.
+    pub sheds: u64,
+    /// Sheds per committed transaction.
+    pub sheds_per_txn: Option<f64>,
     /// Peak server-side connections, summed across site servers.
     pub connections: u64,
     /// `connections` per available core — the "how many sockets does a
@@ -350,6 +355,8 @@ fn run_hc_cell(runtime: HcRuntime, clients: usize, txns: usize) -> HcRow {
         throughput: m.throughput(),
         p50_ms: m.latency_p50_ms(),
         p99_ms: m.latency_p99_ms(),
+        sheds: m.load_sheds,
+        sheds_per_txn: m.sheds_per_commit(),
         connections,
         conns_per_core: connections as f64 / cores,
     }
@@ -375,6 +382,7 @@ pub fn hc_table(rows: &[HcRow]) -> TextTable {
             "txn/s",
             "p50 ms",
             "p99 ms",
+            "shed/txn",
             "conns",
             "conns/core",
         ],
@@ -387,6 +395,7 @@ pub fn hc_table(rows: &[HcRow]) -> TextTable {
             opt2(r.throughput),
             opt2(r.p50_ms),
             opt2(r.p99_ms),
+            opt2(r.sheds_per_txn),
             r.connections.to_string(),
             format!("{:.2}", r.conns_per_core),
         ]);

@@ -82,6 +82,16 @@ pub struct FederationConfig {
     /// Replicated, non-blocking coordination (Paxos Commit). `None` runs
     /// the classical single coordinator of Fig. 2.
     pub paxos: Option<PaxosCommitConfig>,
+    /// 1PC fast path: piggyback the PREPARE on the op dispatch (the work
+    /// reply doubles as the vote, cutting the explicit prepare round) and
+    /// commit single-site transactions with no global round at all.
+    ///
+    /// 2PC only — the portable protocols' votes already ride their submit
+    /// replies — and mutually exclusive with Paxos Commit, whose
+    /// replicated decision hangs ballot-0 accepts off the explicit
+    /// prepare round. Default off; when off every runtime behaves
+    /// exactly as before.
+    pub fast_path: bool,
 }
 
 impl FederationConfig {
@@ -95,7 +105,26 @@ impl FederationConfig {
             l1_timeout: Duration::from_secs(2),
             message_delay: Duration::ZERO,
             paxos: None,
+            fast_path: false,
         }
+    }
+
+    /// Enable the 1PC fast path (vote piggyback + single-site bypass).
+    /// Requires the 2PC protocol and no Paxos Commit configuration.
+    pub fn with_fast_path(mut self) -> Self {
+        assert_eq!(
+            self.protocol,
+            ProtocolKind::TwoPhaseCommit,
+            "the 1PC fast path piggybacks 2PC's prepare; the portable \
+             protocols' votes already ride their submit replies"
+        );
+        assert!(
+            self.paxos.is_none(),
+            "Paxos Commit needs the explicit prepare round for its \
+             ballot-0 accepts"
+        );
+        self.fast_path = true;
+        self
     }
 
     /// Enable Paxos Commit with acceptors at the first `2f+1` sites

@@ -118,6 +118,10 @@ pub struct Coordinator {
     /// Per-site retransmission backoff (reset when the site answers or a
     /// new round ships fresh messages).
     backoff: BTreeMap<SiteId, Backoff>,
+    /// 1PC vote piggyback (2PC only): the work dispatch carries the
+    /// prepare, the submit replies are the votes, and the separate prepare
+    /// round disappears.
+    piggyback: bool,
     verdict: Option<GlobalVerdict>,
     obs: ObsSink,
 }
@@ -148,9 +152,29 @@ impl Coordinator {
             pending_finish: BTreeMap::new(),
             awaiting_final_state: BTreeSet::new(),
             backoff: BTreeMap::new(),
+            piggyback: false,
             verdict: None,
             obs: ObsSink::disabled(),
         }
+    }
+
+    /// Enable the 1PC vote piggyback (*To Vote Before Decide*). Only
+    /// meaningful under 2PC — the portable protocols' votes already ride
+    /// their submit replies. `start` ships the combined `SubmitPrepare`
+    /// dispatch and unanimous ready replies decide commit directly,
+    /// cutting the dedicated prepare round (one RTT per site).
+    ///
+    /// Retransmission is unchanged: a silent site is re-inquired with
+    /// `Prepare`, which the managers answer idempotently from the durable
+    /// prepared state (or presume abort if the dispatch never arrived).
+    pub fn with_piggyback(mut self) -> Self {
+        debug_assert_eq!(
+            self.protocol,
+            ProtocolKind::TwoPhaseCommit,
+            "piggyback is a 2PC fast path"
+        );
+        self.piggyback = true;
+        self
     }
 
     /// Attach an observability sink; votes, decisions, inquiries and
@@ -256,9 +280,17 @@ impl Coordinator {
             .iter()
             .map(|(site, ops)| CoordAction::Send {
                 site: *site,
-                payload: amc_net::Payload::Submit {
-                    gtx: self.gtx,
-                    ops: ops.clone(),
+                payload: if self.piggyback {
+                    amc_net::Payload::SubmitPrepare {
+                        gtx: self.gtx,
+                        ops: ops.clone(),
+                        solo: false,
+                    }
+                } else {
+                    amc_net::Payload::Submit {
+                        gtx: self.gtx,
+                        ops: ops.clone(),
+                    }
                 },
             })
             .collect()
@@ -292,7 +324,9 @@ impl Coordinator {
         }
         // All ready.
         match (self.protocol, self.round) {
-            (ProtocolKind::TwoPhaseCommit, Round::Work) => {
+            // Piggyback: the work replies *are* the prepare votes — the
+            // transaction is already prepared everywhere; decide directly.
+            (ProtocolKind::TwoPhaseCommit, Round::Work) if !self.piggyback => {
                 // Work complete everywhere: start the voting phase proper.
                 self.round = Round::Prepare;
                 self.backoff.clear();
@@ -590,6 +624,70 @@ mod tests {
         assert_eq!(a, vec![CoordAction::Done(GlobalVerdict::Commit)]);
         assert_eq!(c.phase(), GlobalPhase::Committed);
         assert!(c.is_done());
+    }
+
+    #[test]
+    fn piggyback_cuts_the_prepare_round() {
+        // 1PC vote piggyback: one combined dispatch, the replies are the
+        // votes, decide directly — two fewer messages per site than Fig. 2.
+        let mut c = Coordinator::new(gtx(), ProtocolKind::TwoPhaseCommit, programs(&[1, 2]))
+            .with_piggyback();
+        let a = c.on_event(CoordEvent::Start);
+        assert_eq!(
+            sends(&a),
+            vec![(site(1), "submit-prepare"), (site(2), "submit-prepare")]
+        );
+        assert!(c
+            .on_event(CoordEvent::Vote {
+                site: site(1),
+                vote: LocalVote::Ready
+            })
+            .is_empty());
+        let a = c.on_event(CoordEvent::Vote {
+            site: site(2),
+            vote: LocalVote::Ready,
+        });
+        assert_eq!(a[0], CoordAction::Decided(GlobalVerdict::Commit));
+        assert_eq!(
+            sends(&a[1..]),
+            vec![(site(1), "commit"), (site(2), "commit")]
+        );
+        c.on_event(CoordEvent::Finished { site: site(1) });
+        let a = c.on_event(CoordEvent::Finished { site: site(2) });
+        assert_eq!(a, vec![CoordAction::Done(GlobalVerdict::Commit)]);
+    }
+
+    #[test]
+    fn piggyback_abort_vote_decides_abort() {
+        let mut c = Coordinator::new(gtx(), ProtocolKind::TwoPhaseCommit, programs(&[1, 2]))
+            .with_piggyback();
+        c.on_event(CoordEvent::Start);
+        c.on_event(CoordEvent::Vote {
+            site: site(1),
+            vote: LocalVote::Ready,
+        });
+        let a = c.on_event(CoordEvent::Vote {
+            site: site(2),
+            vote: LocalVote::Aborted,
+        });
+        assert_eq!(a[0], CoordAction::Decided(GlobalVerdict::Abort));
+        // Site 1 holds a piggybacked prepare; it must see the abort.
+        assert_eq!(sends(&a[1..]), vec![(site(1), "abort"), (site(2), "abort")]);
+    }
+
+    #[test]
+    fn piggyback_timer_reinquires_with_prepare() {
+        // A lost combined dispatch (or its reply) is recovered by the
+        // classic Prepare inquiry, answered idempotently by the manager.
+        let mut c = Coordinator::new(gtx(), ProtocolKind::TwoPhaseCommit, programs(&[1, 2]))
+            .with_piggyback();
+        c.on_event(CoordEvent::Start);
+        c.on_event(CoordEvent::Vote {
+            site: site(1),
+            vote: LocalVote::Ready,
+        });
+        let a = c.on_event(CoordEvent::Timer);
+        assert_eq!(sends(&a), vec![(site(2), "prepare")]);
     }
 
     #[test]

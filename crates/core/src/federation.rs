@@ -552,6 +552,83 @@ impl Federation {
         }
     }
 
+    /// Whether the 1PC fast path applies to this federation's runs.
+    fn fast_path_active(&self) -> bool {
+        self.cfg.fast_path
+            && self.cfg.protocol == ProtocolKind::TwoPhaseCommit
+            && self.cfg.paxos.is_none()
+    }
+
+    /// The single-site bypass: a transaction touching one site needs no
+    /// global round at all. The combined op+prepare dispatch carries
+    /// `solo`, telling the site to commit locally at once (through the
+    /// commit-before machinery: forward marker, captured inverses,
+    /// journal); the coordinator records the presumed outcome from the
+    /// single reply. A lost reply presumes abort and leaves the site an
+    /// undo obligation, discharged by [`Federation::resolve_pending`]
+    /// exactly as a commit-before crash race is.
+    fn run_single_site(
+        &self,
+        gtx: GlobalTxnId,
+        site: SiteId,
+        ops: &[Operation],
+        start: Instant,
+    ) -> AmcResult<TxnReport> {
+        let t0 = Instant::now();
+        let payload = Payload::SubmitPrepare {
+            gtx,
+            ops: ops.to_vec(),
+            solo: true,
+        };
+        let (verdict, l0_holds) = match self.dispatch(site, payload) {
+            Ok(Payload::Vote { vote, .. }) => {
+                if vote.is_yes() {
+                    if self.record_history {
+                        let per_site = BTreeMap::from([(site, ops.to_vec())]);
+                        self.record_site_ops(gtx, site, &per_site);
+                    }
+                    // The site committed locally at its vote: its L0
+                    // tenure is the single exchange.
+                    (GlobalVerdict::Commit, vec![t0.elapsed()])
+                } else {
+                    (GlobalVerdict::Abort, Vec::new())
+                }
+            }
+            Ok(other) => return Err(AmcError::Protocol(format!("unexpected reply {other}"))),
+            Err(AmcError::SiteDown(_)) | Err(AmcError::TransientIo(_)) => {
+                // Presume abort. The site may in fact have committed
+                // locally before the reply was lost (§3.3's crash race);
+                // the empty-inverse undo makes the recovered site consult
+                // its own journal, and its markers make the repair
+                // exactly-once.
+                self.unresolved.lock().push(PendingObligation {
+                    gtx,
+                    site,
+                    payload: Payload::Undo {
+                        gtx,
+                        inverse_ops: Vec::new(),
+                    },
+                    holds_l1: false,
+                });
+                (GlobalVerdict::Abort, Vec::new())
+            }
+            Err(e) => return Err(e),
+        };
+        if self.record_history {
+            self.history.lock().set_outcome(gtx, verdict);
+        }
+        Ok(TxnReport {
+            gtx,
+            outcome: match verdict {
+                GlobalVerdict::Commit => TxnOutcome::Committed,
+                GlobalVerdict::Abort => TxnOutcome::Aborted,
+            },
+            latency: start.elapsed(),
+            l0_holds,
+            messages: 2,
+        })
+    }
+
     /// Run one global transaction to completion.
     pub fn run_transaction(
         &self,
@@ -559,6 +636,10 @@ impl Federation {
     ) -> AmcResult<TxnReport> {
         let start = Instant::now();
         let gtx = GlobalTxnId::new(self.next_gtx.fetch_add(1, Ordering::Relaxed));
+        if self.fast_path_active() && per_site.len() == 1 {
+            let (&site, ops) = per_site.iter().next().expect("one site");
+            return self.run_single_site(gtx, site, ops, start);
+        }
 
         // --- L1 acquisition (portable protocols only) ---------------------
         if self.cfg.protocol != ProtocolKind::TwoPhaseCommit {
@@ -608,6 +689,9 @@ impl Federation {
 
         // --- Drive the coordinator synchronously --------------------------
         let mut coordinator = Coordinator::new(gtx, self.cfg.protocol, per_site.clone());
+        if self.fast_path_active() {
+            coordinator = coordinator.with_piggyback();
+        }
         let mut queue = std::collections::VecDeque::from([CoordEvent::Start]);
         let mut messages = 0u64;
         let mut submit_started: BTreeMap<SiteId, Instant> = BTreeMap::new();
@@ -649,7 +733,10 @@ impl Federation {
                         .collect();
                     if sends.len() > 1 {
                         for (_, site, payload) in &sends {
-                            if matches!(payload, Payload::Submit { .. }) {
+                            if matches!(
+                                payload,
+                                Payload::Submit { .. } | Payload::SubmitPrepare { .. }
+                            ) {
                                 submit_started.insert(*site, Instant::now());
                             }
                         }
@@ -691,15 +778,22 @@ impl Federation {
                                     }
                                 }
                             }
-                            let is_submit = matches!(payload, Payload::Submit { .. });
+                            let is_submit = matches!(
+                                payload,
+                                Payload::Submit { .. } | Payload::SubmitPrepare { .. }
+                            );
                             // A prefetched submit already stamped its
                             // start when the fan-out launched it.
                             if is_submit && !prefetched.contains_key(&action_idx) {
                                 submit_started.insert(site, Instant::now());
                             }
                             let was_prepare = matches!(payload, Payload::Prepare { .. });
-                            let vote_phase =
-                                matches!(payload, Payload::Submit { .. } | Payload::Prepare { .. });
+                            let vote_phase = matches!(
+                                payload,
+                                Payload::Submit { .. }
+                                    | Payload::SubmitPrepare { .. }
+                                    | Payload::Prepare { .. }
+                            );
                             messages += 2; // request + reply
                             let dispatched = match prefetched.remove(&action_idx) {
                                 Some(r) => r,
@@ -948,6 +1042,7 @@ impl Federation {
                 .collect::<std::collections::VecDeque<_>>(),
         ));
         let results: Arc<Mutex<Vec<(TxnReport, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sheds_before = self.transport.load_sheds();
         let start = Instant::now();
         std::thread::scope(|scope| {
             for _ in 0..threads.max(1) {
@@ -981,6 +1076,7 @@ impl Federation {
             }
         });
         metrics.wall = start.elapsed();
+        metrics.load_sheds = self.transport.load_sheds().saturating_sub(sheds_before);
         for (report, intends_abort) in results.lock().drain(..) {
             metrics.messages += report.messages;
             match report.outcome {
@@ -1137,7 +1233,12 @@ mod tests {
     }
 
     fn flaky(protocol: ProtocolKind, sites: u32) -> (Arc<Federation>, Arc<FlakyTransport>) {
-        let cfg = FederationConfig::uniform(sites, protocol);
+        flaky_with(FederationConfig::uniform(sites, protocol))
+    }
+
+    fn flaky_with(cfg: FederationConfig) -> (Arc<Federation>, Arc<FlakyTransport>) {
+        let sites = cfg.site_count();
+        let protocol = cfg.protocol;
         let managers: BTreeMap<SiteId, Arc<LocalCommManager>> = cfg
             .build_managers()
             .into_iter()
@@ -1313,6 +1414,145 @@ mod tests {
         assert_eq!(user_sum(&fed), 100 * 3 * 50);
         // And the group remembers: a second standby sweep finds nothing.
         assert!(fed.replica_driver(8).run_once().unwrap().is_empty());
+    }
+
+    fn fast_loaded(sites: u32) -> Arc<Federation> {
+        let cfg = FederationConfig::uniform(sites, ProtocolKind::TwoPhaseCommit).with_fast_path();
+        let fed = Federation::new(cfg);
+        for s in 1..=sites {
+            let data: Vec<(ObjectId, Value)> = (0..50).map(|i| (obj(s, i), v(100))).collect();
+            fed.load_site(site(s), &data).unwrap();
+        }
+        Arc::new(fed)
+    }
+
+    #[test]
+    fn fast_path_piggyback_saves_the_prepare_round() {
+        let classic = loaded(ProtocolKind::TwoPhaseCommit, 2);
+        let classic_report = classic.run_transaction(&transfer(1, 2, 30)).unwrap();
+        let fast = fast_loaded(2);
+        let fast_report = fast.run_transaction(&transfer(1, 2, 30)).unwrap();
+        assert_eq!(fast_report.outcome, TxnOutcome::Committed);
+        let dumps = fast.dumps().unwrap();
+        assert_eq!(dumps[&site(1)][&obj(1, 0)], v(70));
+        assert_eq!(dumps[&site(2)][&obj(2, 0)], v(130));
+        // Classic 2PC: work + prepare + decision = 3 rounds × 2 sites × 2
+        // legs = 12. Piggyback folds prepare into work: 8 — one round trip
+        // per site saved.
+        assert_eq!(classic_report.messages, 12);
+        assert_eq!(fast_report.messages, 8);
+    }
+
+    #[test]
+    fn fast_path_single_site_commits_with_no_global_round() {
+        let classic = loaded(ProtocolKind::TwoPhaseCommit, 1);
+        let program = BTreeMap::from([(
+            site(1),
+            vec![Operation::Increment {
+                obj: obj(1, 0),
+                delta: 5,
+            }],
+        )]);
+        let classic_report = classic.run_transaction(&program).unwrap();
+        let fast = fast_loaded(1);
+        let report = fast.run_transaction(&program).unwrap();
+        assert_eq!(report.outcome, TxnOutcome::Committed);
+        assert_eq!(fast.dumps().unwrap()[&site(1)][&obj(1, 0)], v(105));
+        // One exchange total: the combined dispatch and its vote-reply.
+        assert_eq!(report.messages, 2);
+        assert_eq!(classic_report.messages, 6);
+    }
+
+    #[test]
+    fn fast_path_abort_vote_leaves_no_net_effect() {
+        let fed = fast_loaded(2);
+        let mut program = transfer(1, 2, 30);
+        program.get_mut(&site(2)).unwrap().push(Operation::Read {
+            obj: obj(2, 999_999),
+        });
+        let report = fed.run_transaction(&program).unwrap();
+        assert_eq!(report.outcome, TxnOutcome::Aborted);
+        // Site 1's piggybacked prepare must have seen the abort decision.
+        assert_eq!(user_sum(&fed), 100 * 2 * 50);
+        assert_eq!(fed.dumps().unwrap()[&site(1)][&obj(1, 0)], v(100));
+    }
+
+    #[test]
+    fn fast_path_single_site_lost_reply_presumes_abort_and_owes_an_undo() {
+        let cfg = FederationConfig::uniform(2, ProtocolKind::TwoPhaseCommit).with_fast_path();
+        let (fed, transport) = flaky_with(cfg);
+        transport.down.lock().insert(site(1));
+        let program = BTreeMap::from([(
+            site(1),
+            vec![Operation::Increment {
+                obj: obj(1, 0),
+                delta: 5,
+            }],
+        )]);
+        let report = fed.run_transaction(&program).unwrap();
+        assert_eq!(report.outcome, TxnOutcome::Aborted);
+        assert_eq!(fed.pending_obligations(), 1);
+        // The site recovers; the undo obligation lands and the presumed
+        // abort becomes fact (the site never committed, so the undo is a
+        // no-op guarded by its journal).
+        transport.down.lock().remove(&site(1));
+        assert_eq!(fed.resolve_pending().unwrap(), 1);
+        assert_eq!(user_sum(&fed), 100 * 2 * 50);
+        // The same program now commits in one exchange.
+        let report = fed.run_transaction(&program).unwrap();
+        assert_eq!(report.outcome, TxnOutcome::Committed);
+        assert_eq!(report.messages, 2);
+        assert_eq!(fed.dumps().unwrap()[&site(1)][&obj(1, 0)], v(105));
+    }
+
+    #[test]
+    fn fast_path_down_voter_forces_abort_and_the_prepared_site_learns_it() {
+        let cfg = FederationConfig::uniform(2, ProtocolKind::TwoPhaseCommit).with_fast_path();
+        let (fed, transport) = flaky_with(cfg);
+        transport.down.lock().insert(site(2));
+        let report = fed.run_transaction(&transfer(1, 2, 30)).unwrap();
+        assert_eq!(report.outcome, TxnOutcome::Aborted);
+        // Site 1 holds a piggybacked prepare and was told to abort in the
+        // decision round; site 2 is owed the abort it never heard.
+        assert_eq!(fed.pending_obligations(), 1);
+        transport.down.lock().remove(&site(2));
+        assert_eq!(fed.resolve_pending().unwrap(), 1);
+        assert_eq!(user_sum(&fed), 100 * 2 * 50);
+        let report = fed.run_transaction(&transfer(1, 2, 30)).unwrap();
+        assert_eq!(report.outcome, TxnOutcome::Committed);
+    }
+
+    #[test]
+    fn fast_path_concurrent_transfers_preserve_the_invariant() {
+        let fed = fast_loaded(3);
+        let programs: Vec<(BTreeMap<SiteId, Vec<Operation>>, bool)> = (0..60)
+            .map(|i| {
+                if i % 2 == 0 {
+                    // Single-site: exercises the bypass under concurrency.
+                    let s = 1 + (i % 3) as u32;
+                    (
+                        BTreeMap::from([(
+                            site(s),
+                            vec![Operation::Increment {
+                                obj: obj(s, 1),
+                                delta: 0,
+                            }],
+                        )]),
+                        false,
+                    )
+                } else {
+                    let a = 1 + (i % 3) as u32;
+                    let b = 1 + ((i + 1) % 3) as u32;
+                    (transfer(a, b, 1 + (i % 7) as i64), false)
+                }
+            })
+            .collect();
+        let metrics = fed.run_concurrent(programs, 4);
+        assert_eq!(metrics.committed, 60, "{metrics:?}");
+        assert_eq!(user_sum(&fed), 100 * 3 * 50);
+        fed.history()
+            .check_serializable(amc_verify::history::ConflictDefinition::Commutativity)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]

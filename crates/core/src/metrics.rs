@@ -44,6 +44,12 @@ pub struct RunMetrics {
     pub undo_runs: u64,
     /// Pre-vote retries at the communication managers.
     pub pre_vote_retries: u64,
+    /// Requests the sites answered with a load-shed (`BufferExhausted`
+    /// backpressure reply). Always 0 over the in-process transport;
+    /// networked runs report their RPC clients' counters — retried and
+    /// terminal sheds both count, so an overloaded run is visible even
+    /// when every shed request eventually succeeded.
+    pub load_sheds: u64,
     /// Log forces across all engines.
     pub log_forces: u64,
     /// Durable log bytes across all engines.
@@ -73,6 +79,7 @@ impl RunMetrics {
             redo_runs: 0,
             undo_runs: 0,
             pre_vote_retries: 0,
+            load_sheds: 0,
             log_forces: 0,
             log_bytes: 0,
             group_forces: 0,
@@ -134,6 +141,15 @@ impl RunMetrics {
             return None;
         }
         Some(self.messages as f64 / self.committed as f64)
+    }
+
+    /// Load-shed replies per committed transaction (E10-HC's backpressure
+    /// column); `None` when nothing committed.
+    pub fn sheds_per_commit(&self) -> Option<f64> {
+        if self.committed == 0 {
+            return None;
+        }
+        Some(self.load_sheds as f64 / self.committed as f64)
     }
 
     /// Physical log forces per durably acknowledged commit/prepare record

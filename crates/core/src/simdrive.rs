@@ -285,6 +285,9 @@ impl SimFederation {
         let mode = self.submit_mode();
         let reply = match payload {
             Payload::Submit { gtx, ops } => manager.handle_submit(gtx, ops, mode),
+            Payload::SubmitPrepare { gtx, ops, solo } => {
+                manager.handle_submit_prepare(gtx, ops, solo, mode)
+            }
             Payload::Prepare { gtx } => manager.handle_prepare(gtx),
             Payload::Decision { gtx, verdict } => manager.handle_decision(gtx, verdict),
             Payload::Redo { gtx, ops } => manager.handle_redo(gtx, ops),
@@ -408,6 +411,9 @@ impl SimFederation {
                         .emit(Some(gtx), SiteId::CENTRAL, EventKind::TxnStart);
                     let mut coordinator =
                         Coordinator::new(gtx, self.cfg.federation.protocol, program);
+                    if self.cfg.federation.fast_path {
+                        coordinator = coordinator.with_piggyback();
+                    }
                     coordinator.set_obs(self.obs.clone());
                     let actions = coordinator.on_event(CoordEvent::Start);
                     self.start_times.insert(gtx, at);
@@ -693,6 +699,106 @@ mod tests {
                 "finished:2->0",
             ]
         );
+    }
+
+    fn sim_fast(failures: FailurePlan) -> SimFederation {
+        let mut cfg = SimConfig::new(
+            FederationConfig::uniform(2, ProtocolKind::TwoPhaseCommit).with_fast_path(),
+        );
+        cfg.failures = failures;
+        let fed = SimFederation::new(cfg);
+        for s in 1..=2u32 {
+            let data: Vec<(ObjectId, Value)> =
+                (0..10).map(|i| (obj(s, i), Value::counter(100))).collect();
+            fed.load_site(site(s), &data);
+        }
+        fed
+    }
+
+    #[test]
+    fn golden_trace_fast_path_2pc_cuts_the_prepare_round() {
+        // Vote piggyback: the submit carries PREPARE, so the work ack *is*
+        // the vote — 8 messages instead of the classic 12 (fig. 2 minus the
+        // explicit prepare round).
+        let fed = sim_fast(FailurePlan::none());
+        let managers = fed.managers();
+        let report = fed.run(vec![(SimDuration::ZERO, transfer(1, 2, 5))]);
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        assert_eq!(
+            report.trace.labels_for(GlobalTxnId::new(1)),
+            vec![
+                "submit-prepare:0->1",
+                "submit-prepare:0->2",
+                "ready:1->0",
+                "ready:2->0",
+                "commit:0->1",
+                "commit:0->2",
+                "finished:1->0",
+                "finished:2->0",
+            ]
+        );
+        let dumps = SimFederation::dumps(&managers);
+        assert_eq!(dumps[&site(1)][&obj(1, 0)], Value::counter(95));
+        assert_eq!(dumps[&site(2)][&obj(2, 0)], Value::counter(105));
+    }
+
+    #[test]
+    fn fast_path_lost_vote_is_reinquired_with_classic_prepare() {
+        // Site 2 applies the piggybacked op (prepare is durable) but its
+        // READY is severed by a one-way partition. The coordinator's timer
+        // re-inquires with a *classic* PREPARE, which the already-prepared
+        // manager answers idempotently — commit, one RTT late.
+        let mut cfg = SimConfig::new(
+            FederationConfig::uniform(2, ProtocolKind::TwoPhaseCommit).with_fast_path(),
+        );
+        cfg.faults = FaultPlan::none().partition_window(
+            site(2),
+            SimTime(100),
+            SimDuration::from_millis(30),
+            LinkDir::ToCentral,
+        );
+        let fed = SimFederation::new(cfg);
+        load(&fed);
+        let managers = fed.managers();
+        let report = fed.run(vec![(SimDuration::ZERO, transfer(1, 2, 30))]);
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        assert_eq!(
+            report.outcomes.get(&GlobalTxnId::new(1)),
+            Some(&GlobalVerdict::Commit),
+            "unresolved: {:?}",
+            report.unresolved
+        );
+        assert!(report.net.partitioned_drops > 0, "the partition never bit");
+        assert!(report.retransmissions > 0, "the lost vote needed the timer");
+        let labels = report.trace.labels_for(GlobalTxnId::new(1));
+        assert!(
+            labels.iter().any(|l| l == "prepare:0->2"),
+            "re-inquiry must use the classic prepare: {labels:?}"
+        );
+        let dumps = SimFederation::dumps(&managers);
+        assert_eq!(dumps[&site(1)][&obj(1, 0)], Value::counter(70));
+        assert_eq!(dumps[&site(2)][&obj(2, 0)], Value::counter(130));
+    }
+
+    #[test]
+    fn fast_path_runs_are_deterministic() {
+        let run = || {
+            let failures =
+                FailurePlan::none().outage(site(2), SimTime(300), SimDuration::from_millis(10));
+            let fed = sim_fast(failures);
+            let report = fed.run(vec![
+                (SimDuration::ZERO, transfer(1, 2, 3)),
+                (SimDuration::from_millis(1), transfer(2, 1, 7)),
+            ]);
+            (
+                report.outcomes,
+                report.sent,
+                report.dropped,
+                report.end_time,
+                report.trace.render(),
+            )
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -133,6 +133,30 @@ pub trait PreparableEngine: LocalEngine {
     /// storage and the transaction can follow either global decision, even
     /// across a crash.
     fn prepare(&self, txn: LocalTxnId) -> AmcResult<()>;
+
+    /// The 1PC fast-path entry point: execute `ops` inside `txn` and drive
+    /// it to the ready state in one call, so the op records and the
+    /// prepare record land in the **same group-commit batch** — one log
+    /// force covers both, and the reply to the combined dispatch doubles
+    /// as the site's vote.
+    ///
+    /// The durable outcome is identical to `execute`* + `prepare`: restart
+    /// recovery resurrects a piggybacked prepare exactly like a classic
+    /// one. The default does exactly that sequence — engines whose
+    /// `execute` appends its log records unforced and whose `prepare`
+    /// forces the tail already get the single combined force for free.
+    ///
+    /// On an engine-initiated abort mid-ops the transaction is already
+    /// rolled back when the error surfaces (same contract as
+    /// [`LocalEngine::execute`]); the prepare record is never written.
+    fn apply_and_prepare(&self, txn: LocalTxnId, ops: &[Operation]) -> AmcResult<Vec<OpResult>> {
+        let mut results = Vec::with_capacity(ops.len());
+        for op in ops {
+            results.push(self.execute(txn, op)?);
+        }
+        self.prepare(txn)?;
+        Ok(results)
+    }
 }
 
 #[cfg(test)]

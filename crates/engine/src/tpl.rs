@@ -281,6 +281,7 @@ impl TwoPLEngine {
             };
             ctx
         };
+        let was_prepared = ctx.state == LocalRunState::Ready;
         // Undo in reverse, logging compensations so forward replay of this
         // (finished) transaction nets out.
         {
@@ -302,7 +303,19 @@ impl TwoPLEngine {
                 });
             }
         }
-        self.wal.append(&LogRecord::Abort { txn });
+        if was_prepared {
+            // The prepare record was *forced*: if the abort stayed volatile,
+            // a later crash would resurrect this transaction in doubt after
+            // the coordinator has already collected our Finished ack — and
+            // nobody retransmits a collected decision, so the doubt would
+            // never resolve. One force closes the window; never-prepared
+            // transactions keep the unforced presumed-abort fast path.
+            if !self.wal.append_durable(&LogRecord::Abort { txn }) {
+                return Err(self.site_down());
+            }
+        } else {
+            self.wal.append(&LogRecord::Abort { txn });
+        }
         {
             let mut txns = self.txns.lock();
             txns.terminated.insert(txn, LocalRunState::Aborted);
@@ -1304,6 +1317,102 @@ mod tests {
         assert!(report.in_doubt.is_empty(), "{report:?}");
         assert_eq!(e.dump().unwrap().get(&obj(2)), Some(&v(99)));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn apply_and_prepare_forces_once_and_recovers_like_classic_prepare() {
+        // The fast-path entry point: op records and the prepare record must
+        // share one log force, and the crash/recovery outcome must be
+        // indistinguishable from execute + prepare.
+        let e = engine_with(&[(1, 10)]);
+        let forces_before = e.log_stats().forces;
+        let t = e.begin().unwrap();
+        let results = e
+            .apply_and_prepare(
+                t,
+                &[
+                    Op::Increment {
+                        obj: obj(1),
+                        delta: 5,
+                    },
+                    Op::Read { obj: obj(1) },
+                ],
+            )
+            .unwrap();
+        assert_eq!(results, vec![OpResult::Done, OpResult::Value(v(15))]);
+        assert_eq!(e.state_of(t), Some(LocalRunState::Ready));
+        assert_eq!(
+            e.log_stats().forces - forces_before,
+            1,
+            "ops + prepare share a single force"
+        );
+        // Crash in the ready state: recovery resurrects the piggybacked
+        // prepare exactly like a classic one — in doubt, pages re-locked.
+        e.crash();
+        let report = e.recover().unwrap();
+        assert_eq!(report.in_doubt, vec![t]);
+        assert_eq!(e.state_of(t), Some(LocalRunState::Ready));
+        e.commit(t).unwrap();
+        assert_eq!(e.dump().unwrap().get(&obj(1)), Some(&v(15)));
+    }
+
+    #[test]
+    fn aborted_prepared_transaction_stays_aborted_across_crash() {
+        // The abort of a *prepared* transaction must be durable before the
+        // call returns: the coordinator collects our Finished ack and never
+        // retransmits the decision again, so a crash that lost a volatile
+        // abort would resurrect the transaction in doubt with nobody left
+        // to resolve it — its applied ops leaking into the dump forever.
+        let e = engine_with(&[(1, 10)]);
+        let t = e.begin().unwrap();
+        e.apply_and_prepare(
+            t,
+            &[Op::Increment {
+                obj: obj(1),
+                delta: 5,
+            }],
+        )
+        .unwrap();
+        let forces_before = e.log_stats().forces;
+        e.abort(t, AbortReason::GlobalDecision).unwrap();
+        assert_eq!(
+            e.log_stats().forces - forces_before,
+            1,
+            "the abort of a prepared transaction must force"
+        );
+        e.crash();
+        let report = e.recover().unwrap();
+        assert!(report.in_doubt.is_empty(), "{report:?}");
+        assert_eq!(e.state_of(t), Some(LocalRunState::Aborted));
+        assert_eq!(e.dump().unwrap().get(&obj(1)), Some(&v(10)));
+    }
+
+    #[test]
+    fn apply_and_prepare_engine_abort_leaves_no_prepare() {
+        // An engine-initiated failure mid-ops must leave the transaction
+        // rolled back with no durable prepare record.
+        let e = engine_with(&[(1, 10)]);
+        let t = e.begin().unwrap();
+        let err = e
+            .apply_and_prepare(
+                t,
+                &[
+                    Op::Increment {
+                        obj: obj(1),
+                        delta: 5,
+                    },
+                    Op::Read { obj: obj(99) },
+                ],
+            )
+            .expect_err("object 99 does not exist");
+        assert!(matches!(err, AmcError::NotFound(_)));
+        // Logical errors keep the transaction running; abort it and verify
+        // nothing prepared survives a crash.
+        e.abort(t, AbortReason::Intended).unwrap();
+        e.crash();
+        let report = e.recover().unwrap();
+        assert!(report.in_doubt.is_empty(), "{report:?}");
+        assert_eq!(e.dump().unwrap().get(&obj(1)), Some(&v(10)));
     }
 
     #[test]

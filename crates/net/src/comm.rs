@@ -616,6 +616,118 @@ impl LocalCommManager {
         Ok(Payload::Vote { gtx, vote })
     }
 
+    /// Handle a `SubmitPrepare` — the 1PC fast path: the final op dispatch
+    /// carries the prepare, so this reply doubles as the site's vote.
+    ///
+    /// * `solo`: the transaction touches only this site — commit locally
+    ///   with no global round. The commit-before machinery (forward marker,
+    ///   captured inverses, journal ordering) is reused verbatim, so a lost
+    ///   reply is safe: the coordinator presumes abort and its `Undo`
+    ///   obligation finds the inverse program and the exactly-once markers.
+    /// * piggyback under 2PC: run the ops **and** drive the engine to the
+    ///   ready state in one [`PreparableEngine::apply_and_prepare`] call —
+    ///   op records and the prepare record share one group-commit force,
+    ///   and recovery resurrects the prepare exactly like a classic one.
+    /// * piggyback under the portable protocols: their vote already rides
+    ///   the submit reply, so the ordinary submit path *is* the fast path.
+    pub fn handle_submit_prepare(
+        &self,
+        gtx: GlobalTxnId,
+        ops: Vec<Operation>,
+        solo: bool,
+        mode: SubmitMode,
+    ) -> AmcResult<Payload> {
+        if solo || mode != SubmitMode::TwoPhase {
+            let mode = if solo { SubmitMode::CommitBefore } else { mode };
+            return self.handle_submit(gtx, ops, mode);
+        }
+        self.stats.lock().submits += 1;
+        // Same duplicate/tombstone guard as `handle_submit`: a prior copy
+        // of this dispatch (at-least-once delivery) or a presumed abort
+        // answers idempotently without re-executing.
+        if let Some(w) = self.work.lock().get(&gtx) {
+            if let Some(vote) = w.vote {
+                let vote = if w.is_tombstone() {
+                    LocalVote::Aborted
+                } else {
+                    vote
+                };
+                let mut stats = self.stats.lock();
+                match vote {
+                    LocalVote::Ready | LocalVote::ReadyReadOnly => stats.votes_ready += 1,
+                    LocalVote::Aborted => stats.votes_aborted += 1,
+                }
+                return Ok(Payload::Vote { gtx, vote });
+            }
+        }
+        let Some(prep) = self.handle.preparable() else {
+            return Err(AmcError::Protocol(format!(
+                "{} runs a non-preparable engine under 2PC",
+                self.site
+            )));
+        };
+        // Read-only optimization, applied at the combined dispatch: nothing
+        // to prepare — commit now and drop out of the decision round.
+        let read_only = ops.iter().all(|op| !op.is_update());
+        let engine = self.handle.engine();
+        let mut outcome: Result<LocalTxnId, AbortReason> = Err(AbortReason::Injected);
+        for attempt in 0..=self.pre_vote_retries {
+            if read_only {
+                outcome = self.run_ops(&ops, true, None)?;
+            } else {
+                let ltx = engine.begin()?;
+                outcome = match prep.apply_and_prepare(ltx, &ops) {
+                    Ok(_) => Ok(ltx),
+                    Err(AmcError::Aborted(r)) => Err(r), // already rolled back
+                    Err(AmcError::SiteDown(s)) => return Err(AmcError::SiteDown(s)),
+                    Err(_logical) => {
+                        // NotFound / AlreadyExists etc.: an intended abort.
+                        engine.abort(ltx, AbortReason::Intended)?;
+                        Err(AbortReason::Intended)
+                    }
+                };
+            }
+            match outcome {
+                Ok(_) => break,
+                Err(ref r) if r.is_erroneous() && attempt < self.pre_vote_retries => {
+                    // Pre-vote retry: no vote has been cast yet.
+                    self.stats.lock().pre_vote_retries += 1;
+                    self.backoff(attempt + 1);
+                    continue;
+                }
+                Err(_) => break,
+            }
+        }
+        let (vote, ltx, committed) = match outcome {
+            Ok(ltx) if read_only => (LocalVote::ReadyReadOnly, Some(ltx), true),
+            Ok(ltx) => (LocalVote::Ready, Some(ltx), false),
+            Err(_) => (LocalVote::Aborted, None, false),
+        };
+        let w = Work {
+            ops,
+            mode,
+            ltx,
+            committed_locally: committed,
+            vote: Some(vote),
+            inverse_ops: Vec::new(),
+            recovered: false,
+        };
+        self.journal_record(gtx, &w);
+        self.work.lock().insert(gtx, w);
+        {
+            let mut stats = self.stats.lock();
+            match vote {
+                LocalVote::Ready | LocalVote::ReadyReadOnly => stats.votes_ready += 1,
+                LocalVote::Aborted => stats.votes_aborted += 1,
+            }
+        }
+        if vote == LocalVote::Ready {
+            // The §5 blocking hazard starts at the piggybacked prepare too.
+            self.obs.emit(Some(gtx), self.site, EventKind::BlockEnter);
+        }
+        Ok(Payload::Vote { gtx, vote })
+    }
+
     /// Handle a `Prepare` inquiry.
     ///
     /// * 2PC: drive the engine to the ready state (requires a preparable
@@ -1330,6 +1442,138 @@ mod tests {
         .unwrap();
         mgr.handle_decision(gtx(1), GlobalVerdict::Abort).unwrap();
         assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(10)));
+    }
+
+    #[test]
+    fn submit_prepare_piggybacks_the_vote_in_one_exchange() {
+        let (mgr, engine) = manager_with(&[(1, 10)]);
+        let p = mgr
+            .handle_submit_prepare(
+                gtx(1),
+                vec![Op::Increment {
+                    obj: obj(1),
+                    delta: 5,
+                }],
+                false,
+                SubmitMode::TwoPhase,
+            )
+            .unwrap();
+        assert_eq!(
+            p,
+            Payload::Vote {
+                gtx: gtx(1),
+                vote: LocalVote::Ready
+            }
+        );
+        // The engine is already in the ready state — no Prepare round needed.
+        let ltx = mgr.local_txn_of(gtx(1)).unwrap();
+        assert_eq!(engine.state_of(ltx), Some(LocalRunState::Ready));
+        // A late Prepare inquiry (retransmission) answers idempotently.
+        let p = mgr.handle_prepare(gtx(1)).unwrap();
+        assert_eq!(
+            p,
+            Payload::Vote {
+                gtx: gtx(1),
+                vote: LocalVote::Ready
+            }
+        );
+        mgr.handle_decision(gtx(1), GlobalVerdict::Commit).unwrap();
+        assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(15)));
+    }
+
+    #[test]
+    fn submit_prepare_duplicate_answers_idempotently() {
+        let (mgr, engine) = manager_with(&[(1, 10)]);
+        let ops = vec![Op::Increment {
+            obj: obj(1),
+            delta: 5,
+        }];
+        let first = mgr
+            .handle_submit_prepare(gtx(1), ops.clone(), false, SubmitMode::TwoPhase)
+            .unwrap();
+        let second = mgr
+            .handle_submit_prepare(gtx(1), ops, false, SubmitMode::TwoPhase)
+            .unwrap();
+        assert_eq!(first, second);
+        mgr.handle_decision(gtx(1), GlobalVerdict::Commit).unwrap();
+        assert_eq!(
+            engine.dump().unwrap().get(&obj(1)),
+            Some(&v(15)),
+            "applied exactly once"
+        );
+    }
+
+    #[test]
+    fn submit_prepare_solo_commits_locally_with_undo_obligations() {
+        let (mgr, engine) = manager_with(&[(1, 10)]);
+        let p = mgr
+            .handle_submit_prepare(
+                gtx(1),
+                vec![Op::Increment {
+                    obj: obj(1),
+                    delta: 5,
+                }],
+                true,
+                SubmitMode::TwoPhase,
+            )
+            .unwrap();
+        assert_eq!(
+            p,
+            Payload::Vote {
+                gtx: gtx(1),
+                vote: LocalVote::Ready
+            }
+        );
+        // Committed at once, marker written — no global round needed.
+        assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(15)));
+        assert!(mgr.marker_present(forward_marker(gtx(1))).unwrap());
+        // If the reply had been lost, the coordinator's presumed-abort
+        // obligation still finds the captured inverse program.
+        mgr.handle_undo(gtx(1), vec![]).unwrap();
+        assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(10)));
+    }
+
+    #[test]
+    fn submit_prepare_intended_failure_votes_abort() {
+        let (mgr, engine) = manager_with(&[(1, 10)]);
+        let p = mgr
+            .handle_submit_prepare(
+                gtx(1),
+                vec![Op::Read { obj: obj(99) }],
+                false,
+                SubmitMode::TwoPhase,
+            )
+            .unwrap();
+        assert_eq!(
+            p,
+            Payload::Vote {
+                gtx: gtx(1),
+                vote: LocalVote::Aborted
+            }
+        );
+        assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(10)));
+    }
+
+    #[test]
+    fn submit_prepare_read_only_commits_and_drops_out() {
+        let (mgr, engine) = manager_with(&[(1, 10)]);
+        let p = mgr
+            .handle_submit_prepare(
+                gtx(1),
+                vec![Op::Read { obj: obj(1) }],
+                false,
+                SubmitMode::TwoPhase,
+            )
+            .unwrap();
+        assert_eq!(
+            p,
+            Payload::Vote {
+                gtx: gtx(1),
+                vote: LocalVote::ReadyReadOnly
+            }
+        );
+        let ltx = mgr.local_txn_of(gtx(1)).unwrap();
+        assert_eq!(engine.state_of(ltx), Some(LocalRunState::Committed));
     }
 
     #[test]

@@ -23,6 +23,21 @@ pub enum Payload {
         /// The decomposed local program.
         ops: Vec<Operation>,
     },
+    /// Central → local: execute these operations **and** enter the ready
+    /// state in one exchange — the 1PC vote piggyback (*To Vote Before
+    /// Decide*): the site's reply doubles as its vote, so no separate
+    /// `prepare` round is needed. With `solo` set the transaction touches
+    /// only this site and the site commits locally with no global round at
+    /// all; the reply then acknowledges a finished local commit.
+    SubmitPrepare {
+        /// Global transaction.
+        gtx: GlobalTxnId,
+        /// The decomposed local program.
+        ops: Vec<Operation>,
+        /// True when this site is the transaction's only participant:
+        /// commit locally, skip the global decision round entirely.
+        solo: bool,
+    },
     /// Central → local: the `prepare` inquiry of Figs. 2/4/6.
     Prepare {
         /// Global transaction.
@@ -151,6 +166,7 @@ impl Payload {
     pub fn gtx(&self) -> GlobalTxnId {
         match self {
             Payload::Submit { gtx, .. }
+            | Payload::SubmitPrepare { gtx, .. }
             | Payload::Prepare { gtx }
             | Payload::Vote { gtx, .. }
             | Payload::Decision { gtx, .. }
@@ -171,6 +187,8 @@ impl Payload {
     pub fn label(&self) -> &'static str {
         match self {
             Payload::Submit { .. } => "submit",
+            Payload::SubmitPrepare { solo: false, .. } => "submit-prepare",
+            Payload::SubmitPrepare { solo: true, .. } => "submit-solo",
             Payload::Prepare { .. } => "prepare",
             Payload::Vote {
                 vote: LocalVote::Ready,
@@ -253,6 +271,24 @@ mod tests {
     fn labels_match_paper_vocabulary() {
         assert_eq!(Payload::Prepare { gtx: gtx(1) }.label(), "prepare");
         assert_eq!(
+            Payload::SubmitPrepare {
+                gtx: gtx(1),
+                ops: vec![],
+                solo: false
+            }
+            .label(),
+            "submit-prepare"
+        );
+        assert_eq!(
+            Payload::SubmitPrepare {
+                gtx: gtx(1),
+                ops: vec![],
+                solo: true
+            }
+            .label(),
+            "submit-solo"
+        );
+        assert_eq!(
             Payload::Vote {
                 gtx: gtx(1),
                 vote: LocalVote::Ready
@@ -307,6 +343,11 @@ mod tests {
             Payload::Submit {
                 gtx: gtx(3),
                 ops: vec![],
+            },
+            Payload::SubmitPrepare {
+                gtx: gtx(3),
+                ops: vec![],
+                solo: false,
             },
             Payload::Prepare { gtx: gtx(3) },
             Payload::Vote {

@@ -99,6 +99,15 @@ pub trait FederationTransport: Send + Sync {
     fn supports_pipelining(&self) -> bool {
         false
     }
+
+    /// How many requests the sites answered with a load-shed
+    /// (`BufferExhausted`) since this transport was created. The
+    /// in-process transport never sheds; networked transports report
+    /// their clients' counters so a run's backpressure is visible in the
+    /// run-metric aggregates instead of being silently retried away.
+    fn load_sheds(&self) -> u64 {
+        0
+    }
 }
 
 /// Run one protocol message against a local communication manager. This is
@@ -111,6 +120,9 @@ pub fn dispatch_to_manager(
 ) -> AmcResult<Payload> {
     match payload {
         Payload::Submit { gtx, ops } => manager.handle_submit(gtx, ops, mode),
+        Payload::SubmitPrepare { gtx, ops, solo } => {
+            manager.handle_submit_prepare(gtx, ops, solo, mode)
+        }
         Payload::Prepare { gtx } => manager.handle_prepare(gtx),
         Payload::Decision { gtx, verdict } => manager.handle_decision(gtx, verdict),
         Payload::Redo { gtx, ops } => manager.handle_redo(gtx, ops),

@@ -158,6 +158,16 @@ pub enum EventKind {
         /// The site reconnected to.
         to: SiteId,
     },
+    /// The site deliberately shed the request under load (`BufferExhausted`
+    /// reply from an event-loop server past its in-flight cap). Distinct
+    /// from [`EventKind::RpcRetry`]: the site is healthy and answered; the
+    /// request was rejected as backpressure, not lost in transit.
+    RpcShed {
+        /// The site that shed the request.
+        to: SiteId,
+        /// 1-based attempt number that was shed.
+        attempt: u32,
+    },
     /// Restart recovery began replaying a durable log.
     RecoveryStart {
         /// Stable records found in the durable log at open.
@@ -202,6 +212,7 @@ impl EventKind {
             EventKind::Restart => "restart",
             EventKind::RpcRetry { .. } => "rpc-retry",
             EventKind::RpcReconnect { .. } => "rpc-reconnect",
+            EventKind::RpcShed { .. } => "rpc-shed",
             EventKind::RecoveryStart { .. } => "recovery-start",
             EventKind::ReplayedRecord { .. } => "replayed-record",
             EventKind::InDoubtResolved { .. } => "in-doubt-resolved",
@@ -265,6 +276,9 @@ impl fmt::Display for EventKind {
                 write!(f, "rpc-retry -> {to} (attempt {attempt} failed)")
             }
             EventKind::RpcReconnect { to } => write!(f, "rpc-reconnect -> {to}"),
+            EventKind::RpcShed { to, attempt } => {
+                write!(f, "rpc-shed -> {to} (attempt {attempt} load-shed)")
+            }
             EventKind::RecoveryStart { records } => {
                 write!(f, "recovery-start ({records} stable records)")
             }

@@ -17,7 +17,9 @@
 //!
 //! Exit status is nonzero when nothing committed. With `--events-out
 //! <path>` the client-side observability log is dumped as TSV
-//! (`seq  at_us  txn  site  event`) for `explain --events`.
+//! (`seq  at_us  txn  site  event`) for `explain --events` — rpc-shed
+//! and rpc-retry rows included, so backpressure and retry storms are
+//! attributable per transaction.
 
 use amc_core::{Federation, FederationConfig, TxnOutcome};
 use amc_net::transport::{AdminReply, AdminRequest, FederationTransport};
@@ -204,11 +206,12 @@ fn main() {
         .enumerate()
         .map(|(idx, addr)| (SiteId::new(idx as u32 + 1), *addr))
         .collect();
-    let transport = Arc::new(if mux {
+    let tcp = Arc::new(if mux {
         TcpTransport::new_mux(site_addrs, RetryPolicy::default(), obs.clone())
     } else {
         TcpTransport::new(site_addrs, RetryPolicy::default(), obs.clone())
     });
+    let transport = tcp.clone();
 
     // Wait for every site to answer a ping (servers may still be binding).
     let deadline = Instant::now() + Duration::from_secs(10);
@@ -302,10 +305,11 @@ fn main() {
     };
     let throughput = n as f64 / wall.as_secs_f64().max(1e-9);
     println!(
-        "committed={} aborted={} site_down={} throughput={:.1} txn/s p50={:.2}ms p99={:.2}ms",
+        "committed={} aborted={} site_down={} sheds={} throughput={:.1} txn/s p50={:.2}ms p99={:.2}ms",
         n,
         *aborted.lock(),
         *site_down.lock(),
+        tcp.sheds(),
         throughput,
         pct(0.50),
         pct(0.99),

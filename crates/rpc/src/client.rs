@@ -113,6 +113,8 @@ pub struct RpcClient {
     /// SplitMix64 state for backoff jitter (seeded per client, so two
     /// clients retrying the same outage desynchronise).
     jitter_state: AtomicU64,
+    /// Requests the site answered with a load-shed (`BufferExhausted`).
+    sheds: AtomicU64,
     obs: ObsSink,
 }
 
@@ -129,8 +131,29 @@ impl RpcClient {
             jitter_state: AtomicU64::new(
                 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(site.raw()) + 1),
             ),
+            sheds: AtomicU64::new(0),
             obs,
         }
+    }
+
+    /// How many requests the site answered with a load-shed
+    /// (`BufferExhausted`) since this client was created.
+    pub fn sheds(&self) -> u64 {
+        self.sheds.load(Ordering::Relaxed)
+    }
+
+    /// Record one load-shed answer: counted and traced so backpressure is
+    /// attributable per transaction in `explain --events`.
+    fn note_shed(&self, gtx: Option<amc_types::GlobalTxnId>) {
+        self.sheds.fetch_add(1, Ordering::Relaxed);
+        self.obs.emit(
+            gtx,
+            SiteId::CENTRAL,
+            EventKind::RpcShed {
+                to: self.site,
+                attempt: 1,
+            },
+        );
     }
 
     /// Next jitter word (SplitMix64).
@@ -183,7 +206,12 @@ impl RpcClient {
                 );
                 Ok(payload)
             }
-            Frame::ErrorReply { error, .. } => Err(error),
+            Frame::ErrorReply { error, .. } => {
+                if matches!(error, AmcError::BufferExhausted) {
+                    self.note_shed(Some(gtx));
+                }
+                Err(error)
+            }
             other => Err(AmcError::Protocol(format!(
                 "site answered {label} with a non-protocol frame {other:?}"
             ))),
@@ -198,7 +226,12 @@ impl RpcClient {
         })?;
         match reply {
             Frame::AdminReply { reply, .. } => Ok(reply),
-            Frame::ErrorReply { error, .. } => Err(error),
+            Frame::ErrorReply { error, .. } => {
+                if matches!(error, AmcError::BufferExhausted) {
+                    self.note_shed(None);
+                }
+                Err(error)
+            }
             other => Err(AmcError::Protocol(format!(
                 "site answered admin with a non-admin frame {other:?}"
             ))),

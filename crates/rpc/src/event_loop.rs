@@ -50,6 +50,16 @@ use std::time::Duration;
 /// answered "overloaded" now than queued towards a timeout.
 pub const MAX_IN_FLIGHT_PER_CONN: usize = 64;
 
+/// Cap on bytes buffered as un-flushed replies for one connection. A
+/// peer that keeps sending requests while never reading replies piles
+/// output up here; past this bound the connection is closed (its
+/// unread replies are dropped with it) rather than letting one stalled
+/// reader grow the server's memory without limit. Honest clients never
+/// get near it: [`MAX_IN_FLIGHT_PER_CONN`] bounds outstanding real
+/// replies, and shed replies only accumulate while the peer floods
+/// without reading — exactly the behaviour this cap punishes.
+pub const MAX_WBUF_BYTES: usize = 256 * 1024;
+
 /// Epoll tokens 0/1 are the listener and the waker; connections start
 /// above them.
 const TOKEN_LISTENER: u64 = 0;
@@ -71,6 +81,9 @@ pub struct EventServerStats {
     pub load_sheds: u64,
     /// Requests dispatched to the worker pool.
     pub dispatched: u64,
+    /// Connections closed because a stalled reader let its write buffer
+    /// exceed [`MAX_WBUF_BYTES`].
+    pub wbuf_overflows: u64,
 }
 
 #[derive(Default)]
@@ -79,6 +92,7 @@ struct SharedStats {
     peak: AtomicU64,
     load_sheds: AtomicU64,
     dispatched: AtomicU64,
+    wbuf_overflows: AtomicU64,
 }
 
 /// A dispatch job: which connection asked, and what it asked.
@@ -232,6 +246,7 @@ impl EventServer {
             peak_connections: self.stats.peak.load(Ordering::Relaxed),
             load_sheds: self.stats.load_sheds.load(Ordering::Relaxed),
             dispatched: self.stats.dispatched.load(Ordering::Relaxed),
+            wbuf_overflows: self.stats.wbuf_overflows.load(Ordering::Relaxed),
         }
     }
 
@@ -448,6 +463,15 @@ fn read_ready(
             Err(_) => return true,
         }
     }
+    // Shed replies landed in the write buffer above; a peer that floods
+    // requests while never reading replies must not grow it without
+    // bound. Give the socket one chance to take the backlog, then close.
+    if conn.wbuf.len() - conn.wpos > MAX_WBUF_BYTES
+        && (flush(conn).is_err() || conn.wbuf.len() - conn.wpos > MAX_WBUF_BYTES)
+    {
+        stats.wbuf_overflows.fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
     if !jobs.is_empty() {
         let n = jobs.len();
         let mut q = pool.jobs.lock();
@@ -489,7 +513,17 @@ fn drain_completions(
     for token in touched {
         let dead = {
             let conn = conns.get_mut(&token).expect("touched conns exist");
-            flush(conn).is_err()
+            if flush(conn).is_err() {
+                true
+            } else if conn.wbuf.len() - conn.wpos > MAX_WBUF_BYTES {
+                // The socket would not take the backlog: the peer has
+                // stopped reading. Close rather than buffer without
+                // bound; its unread replies die with the connection.
+                stats.wbuf_overflows.fetch_add(1, Ordering::Relaxed);
+                true
+            } else {
+                false
+            }
         };
         finish_or_update(poller, conns, token, dead, stats);
     }

@@ -48,7 +48,7 @@ pub mod transport;
 pub mod wire;
 
 pub use client::{RetryPolicy, RpcClient};
-pub use event_loop::{EventServer, EventServerStats, MAX_IN_FLIGHT_PER_CONN};
+pub use event_loop::{EventServer, EventServerStats, MAX_IN_FLIGHT_PER_CONN, MAX_WBUF_BYTES};
 pub use mux::MuxClient;
 pub use recovery::{FileWorkJournal, SiteRecoveryManager};
 pub use server::SiteServer;

@@ -152,6 +152,7 @@ pub struct MuxClient {
     next_req: AtomicU64,
     ever_connected: AtomicBool,
     jitter_state: AtomicU64,
+    sheds: AtomicU64,
     obs: ObsSink,
 }
 
@@ -170,6 +171,7 @@ impl MuxClient {
             jitter_state: AtomicU64::new(
                 0xD1B5_4A32_D192_ED03u64.wrapping_mul(u64::from(site.raw()) + 1),
             ),
+            sheds: AtomicU64::new(0),
             obs,
         }
     }
@@ -177,6 +179,13 @@ impl MuxClient {
     /// The site this client fronts.
     pub fn site(&self) -> SiteId {
         self.site
+    }
+
+    /// How many requests the site answered with a load-shed
+    /// (`BufferExhausted`) since this client was created — retried and
+    /// terminal sheds both count.
+    pub fn sheds(&self) -> u64 {
+        self.sheds.load(Ordering::Relaxed)
     }
 
     /// Point the client at a new address; the current channel (if any)
@@ -255,9 +264,27 @@ impl MuxClient {
                 // The server shedding load is an answer, not a transport
                 // failure — but it IS retryable: back off and try again
                 // rather than bubbling an overload spike up as an abort.
-                Err(Some(AmcError::BufferExhausted)) | Err(None)
-                    if attempt < self.policy.max_attempts =>
-                {
+                // Every shed is counted and traced distinctly from a
+                // transport retry so backpressure stays observable.
+                Err(Some(AmcError::BufferExhausted)) => {
+                    self.sheds.fetch_add(1, Ordering::Relaxed);
+                    self.obs.emit(
+                        gtx,
+                        SiteId::CENTRAL,
+                        EventKind::RpcShed {
+                            to: self.site,
+                            attempt,
+                        },
+                    );
+                    if attempt == self.policy.max_attempts {
+                        return Err(AmcError::BufferExhausted);
+                    }
+                    std::thread::sleep(RetryPolicy::jittered(
+                        self.policy.backoff_after(attempt),
+                        self.jitter_word(),
+                    ));
+                }
+                Err(None) if attempt < self.policy.max_attempts => {
                     self.obs.emit(
                         gtx,
                         SiteId::CENTRAL,
@@ -326,8 +353,31 @@ impl MuxClient {
                 // other pending request stay healthy. A late reply to
                 // this id is dropped by the reader.
                 drop(reply);
-                chan.pending.lock().remove(&req_id);
-                return Err(None);
+                if chan.pending.lock().remove(&req_id).is_some() {
+                    return Err(None);
+                }
+                // The withdraw lost a race: this id is no longer pending
+                // because the reader (or poison) already claimed it. The
+                // reader fills the slot right after unpending, so the
+                // reply is ours — reporting a timeout here would discard
+                // an answer that arrived in time and retry a request the
+                // site already served.
+                reply = slot.reply.lock();
+                loop {
+                    if let Some(frame) = reply.take() {
+                        return match frame {
+                            Frame::ErrorReply { error, .. } => Err(Some(error)),
+                            other => Ok(other),
+                        };
+                    }
+                    if chan.dead.load(Ordering::SeqCst) {
+                        // Poison drained the table without a fill.
+                        drop(reply);
+                        self.discard(&chan);
+                        return Err(None);
+                    }
+                    slot.cv.wait_for(&mut reply, READ_TICK);
+                }
             }
             slot.cv.wait_for(&mut reply, deadline - now);
         }
@@ -394,5 +444,113 @@ impl Drop for MuxClient {
         if let Some(h) = self.reader.lock().take() {
             let _ = h.join();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// The timeout-withdraw vs reader-completion race, replayed by hand:
+    /// the reader has already pulled the caller's id out of `pending`
+    /// (so the withdraw at the deadline finds nothing) but the slot fill
+    /// lands only after the deadline — exactly what happens when the
+    /// reply's bytes arrive while the caller holds the slot lock for its
+    /// final deadline check. The caller must claim the reply rather than
+    /// report a timeout for a request the site answered.
+    #[test]
+    fn timed_out_caller_claims_a_reply_the_reader_already_unpended() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let policy = RetryPolicy {
+            request_timeout: Duration::from_millis(50),
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        };
+        let client = Arc::new(MuxClient::new(
+            SiteId::new(1),
+            addr,
+            policy,
+            ObsSink::disabled(),
+        ));
+        let caller = {
+            let client = Arc::clone(&client);
+            std::thread::spawn(move || client.admin(AdminRequest::Ping))
+        };
+        // Act as the server: accept and read the request, which proves
+        // the caller's slot is registered (insert happens before write).
+        let (mut conn, _) = listener.accept().unwrap();
+        let frame = crate::wire::read_frame(&mut conn).unwrap();
+        let req_id = frame.req_id();
+        // The reader's winning interleaving: unpend before the caller's
+        // deadline, fill only after it.
+        let chan = client.chan.lock().clone().expect("channel dialed");
+        let slot = chan
+            .pending
+            .lock()
+            .remove(&req_id)
+            .expect("caller is pending");
+        std::thread::sleep(Duration::from_millis(120));
+        {
+            let mut reply = slot.reply.lock();
+            *reply = Some(Frame::AdminReply {
+                req_id,
+                reply: AdminReply::Pong,
+            });
+            slot.cv.notify_one();
+        }
+        let got = caller.join().unwrap();
+        assert_eq!(got.unwrap(), AdminReply::Pong);
+    }
+
+    /// Load-shed replies are retried away, but never invisibly: every
+    /// `BufferExhausted` answer bumps the client's shed counter and lands
+    /// in the observability log as a distinct `rpc-shed` event.
+    #[test]
+    fn shed_replies_are_counted_and_traced_even_when_the_retry_succeeds() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let policy = RetryPolicy {
+            request_timeout: Duration::from_millis(500),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            ..RetryPolicy::default()
+        };
+        let obs = ObsSink::enabled(64);
+        let client = Arc::new(MuxClient::new(SiteId::new(1), addr, policy, obs.clone()));
+        let caller = {
+            let client = Arc::clone(&client);
+            std::thread::spawn(move || client.admin(AdminRequest::Ping))
+        };
+        // Act as the server on one persistent connection: shed the first
+        // two attempts, answer the third.
+        let (mut conn, _) = listener.accept().unwrap();
+        for attempt in 0..3 {
+            let frame = crate::wire::read_frame(&mut conn).unwrap();
+            let req_id = frame.req_id();
+            let reply = if attempt < 2 {
+                Frame::ErrorReply {
+                    req_id,
+                    error: AmcError::BufferExhausted,
+                }
+            } else {
+                Frame::AdminReply {
+                    req_id,
+                    reply: AdminReply::Pong,
+                }
+            };
+            crate::wire::write_frame(&mut conn, &reply).unwrap();
+        }
+        let got = caller.join().unwrap();
+        assert_eq!(got.unwrap(), AdminReply::Pong);
+        assert_eq!(client.sheds(), 2, "both shed answers must be counted");
+        let shed_events = obs
+            .snapshot()
+            .events()
+            .filter(|e| matches!(e.kind, EventKind::RpcShed { .. }))
+            .count();
+        assert_eq!(shed_events, 2, "each shed must be traced as rpc-shed");
     }
 }

@@ -40,6 +40,13 @@ impl SiteClient {
             SiteClient::Mux(c) => c.set_addr(addr),
         }
     }
+
+    fn sheds(&self) -> u64 {
+        match self {
+            SiteClient::Blocking(c) => c.sheds(),
+            SiteClient::Mux(c) => c.sheds(),
+        }
+    }
 }
 
 /// The networked transport: the coordinator reaches every site through a
@@ -96,6 +103,12 @@ impl TcpTransport {
             c.set_addr(addr);
         }
     }
+
+    /// Total load-shed (`BufferExhausted`) answers across every site's
+    /// client, retried and terminal alike.
+    pub fn sheds(&self) -> u64 {
+        self.clients.values().map(SiteClient::sheds).sum()
+    }
 }
 
 impl FederationTransport for TcpTransport {
@@ -119,5 +132,9 @@ impl FederationTransport for TcpTransport {
 
     fn supports_pipelining(&self) -> bool {
         self.pipelining
+    }
+
+    fn load_sheds(&self) -> u64 {
+        self.sheds()
     }
 }

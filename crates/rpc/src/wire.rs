@@ -325,6 +325,12 @@ fn write_payload(w: &mut Writer, p: &Payload) {
             w.u64(gtx.raw());
             w.u8(verdict_tag(*verdict));
         }
+        Payload::SubmitPrepare { gtx, ops, solo } => {
+            w.u8(14);
+            w.u64(gtx.raw());
+            w.u8(u8::from(*solo));
+            write_ops(w, ops);
+        }
     }
 }
 
@@ -685,6 +691,11 @@ fn read_payload(r: &mut Reader<'_>) -> Result<Payload, WireError> {
         13 => Payload::PaxosDecided {
             gtx,
             verdict: read_verdict(r)?,
+        },
+        14 => Payload::SubmitPrepare {
+            gtx,
+            solo: r.u8()? != 0,
+            ops: read_ops(r)?,
         },
         t => return Err(WireError::BadTag("payload", t)),
     })

@@ -308,6 +308,127 @@ fn two_phase_commit_survives_kill_9() {
     kill9_run(ProtocolKind::TwoPhaseCommit);
 }
 
+/// The fast-path acceptance pin: a site killed -9 while holding a
+/// *piggybacked* prepare (`SubmitPrepare` applied + prepared, vote sent,
+/// decision still pending) must recover identically to one holding a
+/// classic prepare. The test plays coordinator itself over the raw
+/// transport so the in-doubt window is deterministic, runs the same
+/// transaction through both prepare flavours, and compares every
+/// observable: the resurrected in-doubt count, the re-inquiry vote, and
+/// the final committed state.
+#[test]
+fn killed_piggybacked_prepare_recovers_identically_to_classic() {
+    use amc::net::Payload;
+    use amc::types::{GlobalTxnId, GlobalVerdict, LocalVote};
+
+    let protocol = ProtocolKind::TwoPhaseCommit;
+    let site = SiteId::new(1);
+    let gtx = GlobalTxnId::new(7);
+    let ops = vec![Operation::Increment {
+        obj: obj(1, 0),
+        delta: 5,
+    }];
+
+    let ready = |p: &Payload| {
+        matches!(
+            p,
+            Payload::Vote {
+                vote: LocalVote::Ready,
+                ..
+            }
+        )
+    };
+    let run_lane = |tag: &str, piggyback: bool| -> (u64, BTreeMap<ObjectId, Value>) {
+        let wal_dir = fresh_dir(tag);
+        let proc = spawn_site(site.raw(), protocol, &wal_dir, "127.0.0.1:0");
+        let addrs = BTreeMap::from([(site, proc.addr)]);
+        let transport = TcpTransport::new(addrs.clone(), fast_policy(), ObsSink::disabled());
+        let data: Vec<(ObjectId, Value)> = (0..OBJS)
+            .map(|i| (obj(1, i), Value::counter(PER_OBJ)))
+            .collect();
+        transport
+            .admin(site, AdminRequest::Load(data))
+            .expect("load");
+        let vote = if piggyback {
+            transport
+                .call(
+                    site,
+                    Payload::SubmitPrepare {
+                        gtx,
+                        ops: ops.clone(),
+                        solo: false,
+                    },
+                )
+                .expect("submit-prepare")
+        } else {
+            let ack = transport
+                .call(
+                    site,
+                    Payload::Submit {
+                        gtx,
+                        ops: ops.clone(),
+                    },
+                )
+                .expect("submit");
+            assert!(ready(&ack), "{tag}: work ack {ack:?}");
+            transport
+                .call(site, Payload::Prepare { gtx })
+                .expect("prepare")
+        };
+        assert!(ready(&vote), "{tag}: vote {vote:?}");
+
+        // kill -9 inside the in-doubt window, then restart in place.
+        let addr = proc.addr;
+        drop(proc);
+        let revived = spawn_site(site.raw(), protocol, &wal_dir, &addr.to_string());
+        assert_eq!(revived.addr, addr, "{tag}: restart must reuse the port");
+        let transport = TcpTransport::new(addrs, fast_policy(), ObsSink::disabled());
+        let stats = match transport.admin(site, AdminRequest::Recovery) {
+            Ok(AdminReply::Recovery(Some(stats))) => stats,
+            other => panic!("{tag}: unexpected recovery reply {other:?}"),
+        };
+        // The coordinator's re-inquiry lands on the resurrected prepare...
+        let vote = transport
+            .call(site, Payload::Prepare { gtx })
+            .expect("re-inquiry");
+        assert!(ready(&vote), "{tag}: post-recovery vote {vote:?}");
+        // ...and the retransmitted decision completes the transaction.
+        let fin = transport
+            .call(
+                site,
+                Payload::Decision {
+                    gtx,
+                    verdict: GlobalVerdict::Commit,
+                },
+            )
+            .expect("decision");
+        assert!(matches!(fin, Payload::Finished { .. }), "{tag}: {fin:?}");
+        let dump = match transport.admin(site, AdminRequest::Dump) {
+            Ok(AdminReply::Dump(d)) => d,
+            other => panic!("{tag}: unexpected dump reply {other:?}"),
+        };
+        drop(revived);
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        (stats.in_doubt, dump)
+    };
+
+    let (fast_in_doubt, fast_dump) = run_lane("fastpath-kill", true);
+    let (classic_in_doubt, classic_dump) = run_lane("classic-kill", false);
+    assert_eq!(
+        fast_in_doubt, 1,
+        "the piggybacked prepare must be resurrected in doubt"
+    );
+    assert_eq!(fast_in_doubt, classic_in_doubt);
+    assert_eq!(
+        fast_dump, classic_dump,
+        "recovery outcomes diverge between prepare flavours"
+    );
+    assert_eq!(
+        fast_dump.get(&obj(1, 0)),
+        Some(&Value::counter(PER_OBJ + 5))
+    );
+}
+
 #[test]
 fn commit_after_survives_kill_9() {
     kill9_run(ProtocolKind::CommitAfter);

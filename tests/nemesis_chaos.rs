@@ -6,7 +6,7 @@
 //! violating schedule minimized to a handful of events.
 
 use amc::core::{FederationConfig, ProtocolKind, SimConfig, SimFederation, SimReport};
-use amc::sim::{generate_faults, shrink_faults, FaultPlan, NemesisConfig};
+use amc::sim::{generate_faults, shrink_faults, FaultPlan, LinkDir, NemesisConfig};
 use amc::types::{GlobalTxnId, GlobalVerdict, ObjectId, Operation, SimDuration, SiteId, Value};
 use amc::verify::{check_atomicity, check_state_equivalence};
 use std::collections::BTreeMap;
@@ -52,7 +52,24 @@ fn run_chaos(
     seed: u64,
     skip_decision_log: bool,
 ) -> (SimReport, BTreeMap<SiteId, BTreeMap<ObjectId, Value>>) {
-    let mut cfg = SimConfig::new(FederationConfig::uniform(2, protocol));
+    run_chaos_lane(protocol, false, faults, seed, skip_decision_log)
+}
+
+/// Like [`run_chaos`], with the 1PC fast path (vote piggyback) optionally
+/// enabled — the extra sweep lane proving a piggybacked prepare survives
+/// the same fault schedules a classic one does.
+fn run_chaos_lane(
+    protocol: ProtocolKind,
+    fast_path: bool,
+    faults: FaultPlan,
+    seed: u64,
+    skip_decision_log: bool,
+) -> (SimReport, BTreeMap<SiteId, BTreeMap<ObjectId, Value>>) {
+    let mut fed_cfg = FederationConfig::uniform(2, protocol);
+    if fast_path {
+        fed_cfg = fed_cfg.with_fast_path();
+    }
+    let mut cfg = SimConfig::new(fed_cfg);
     cfg.seed = seed;
     cfg.faults = faults;
     cfg.unsafe_skip_decision_log = skip_decision_log;
@@ -180,16 +197,42 @@ fn chaos_sweep_is_violation_free_across_200_seeds() {
     }
 }
 
+/// The fast-path lane of the sweep: same generated schedules, 2PC with the
+/// vote piggyback on. A site that crashes after applying the piggybacked op
+/// holds a durable prepare exactly like a classic one, so the oracle must
+/// stay silent across the whole fault zoo.
+#[test]
+fn fast_path_chaos_sweep_is_violation_free() {
+    let nemesis = NemesisConfig::default();
+    let protocol = ProtocolKind::TwoPhaseCommit;
+    for seed in 0..150u64 {
+        let plan = generate_faults(&nemesis, seed);
+        let (report, dumps) = run_chaos_lane(protocol, true, plan.clone(), seed, false);
+        let label = format!("2pc+fast-path seed {seed} ({} fault events)", plan.len());
+        let violations = oracle(protocol, &report, &dumps, &label);
+        assert!(
+            violations.is_empty(),
+            "{violations:?}\nplan: {:?}\nerrors: {:?}",
+            plan.events(),
+            report.errors
+        );
+    }
+}
+
 /// Determinism contract: re-running a seed reproduces the run bit-for-bit
-/// (outcomes, full message trace, network accounting, end time).
+/// (outcomes, full message trace, network accounting, end time) — in every
+/// protocol and in every fast-path configuration.
 #[test]
 fn chaos_runs_reproduce_per_seed() {
     let nemesis = NemesisConfig::default();
-    for protocol in ProtocolKind::ALL {
+    let mut lanes: Vec<(ProtocolKind, bool)> =
+        ProtocolKind::ALL.iter().map(|p| (*p, false)).collect();
+    lanes.push((ProtocolKind::TwoPhaseCommit, true));
+    for (protocol, fast_path) in lanes {
         for seed in 0..20u64 {
             let run = || {
                 let plan = generate_faults(&nemesis, seed);
-                let (report, dumps) = run_chaos(protocol, plan, seed, false);
+                let (report, dumps) = run_chaos_lane(protocol, fast_path, plan, seed, false);
                 (
                     report.outcomes,
                     report.net,
@@ -199,8 +242,51 @@ fn chaos_runs_reproduce_per_seed() {
                     dumps,
                 )
             };
-            assert_eq!(run(), run(), "{protocol} seed {seed} not reproducible");
+            assert_eq!(
+                run(),
+                run(),
+                "{protocol} (fast_path={fast_path}) seed {seed} not reproducible"
+            );
         }
+    }
+}
+
+/// The targeted fast-path lane from the issue: site 2 applies the
+/// piggybacked op (op + prepare forced in one batch at ~0.7 ms) but its
+/// READY vote is severed by a `ToCentral` partition, and the site then
+/// crashes before the coordinator ever hears from it. After restart the
+/// resurrected durable prepare must answer the coordinator's classic
+/// `Prepare` re-inquiry and the transfer must land exactly once.
+#[test]
+fn fast_path_crash_between_apply_and_vote_ack_recovers_the_piggybacked_prepare() {
+    let faults = FaultPlan::none()
+        .partition(SiteId::new(2), amc::types::SimTime(100), LinkDir::ToCentral)
+        .crash(SiteId::new(2), amc::types::SimTime(2_000))
+        .heal(SiteId::new(2), amc::types::SimTime(11_000))
+        .restart(SiteId::new(2), amc::types::SimTime(12_000));
+    let (report, dumps) = run_chaos_lane(ProtocolKind::TwoPhaseCommit, true, faults, 11, false);
+    let label = "2pc+fast-path vote-lost crash";
+    let violations = oracle(ProtocolKind::TwoPhaseCommit, &report, &dumps, label);
+    assert!(
+        violations.is_empty(),
+        "{violations:?}\nerrors: {:?}",
+        report.errors
+    );
+    assert_eq!(
+        report.outcomes.get(&GlobalTxnId::new(1)),
+        Some(&GlobalVerdict::Commit),
+        "{label}: the piggybacked prepare must survive the crash and commit"
+    );
+    assert_eq!(dumps[&SiteId::new(1)][&obj(1, 0)].counter, 90, "{label}");
+    assert_eq!(dumps[&SiteId::new(2)][&obj(2, 0)].counter, 110, "{label}");
+    // The remaining transfers run against the recovered site and must all
+    // resolve as commits too — recovery leaves no wedged manager state.
+    for i in 2..=OBJS {
+        assert_eq!(
+            report.outcomes.get(&GlobalTxnId::new(i)),
+            Some(&GlobalVerdict::Commit),
+            "{label}: G{i} after recovery"
+        );
     }
 }
 

@@ -32,8 +32,8 @@ use amc::rpc::{
 };
 use amc::types::{AmcError, GlobalTxnId, ObjectId, Operation, ProtocolKind, SiteId, Value};
 use std::collections::BTreeMap;
-use std::io::Write as _;
-use std::net::TcpStream;
+use std::io::{Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -307,7 +307,185 @@ fn event_server_sheds_load_past_the_in_flight_bound() {
     srv.shutdown();
 }
 
+/// A peer that floods requests while never reading a single reply must
+/// not grow the server's per-connection write buffer without bound: past
+/// `MAX_WBUF_BYTES` of unread replies the server closes the connection —
+/// and keeps serving everyone else. Mirrors the slow-writer test above,
+/// from the other side of the socket.
+#[test]
+fn event_server_closes_a_stalled_reader_instead_of_buffering_without_bound() {
+    let site = SiteId::new(1);
+    let mgr = manager(site, Duration::from_millis(200));
+    let srv = EventServer::spawn(
+        site,
+        Arc::clone(&mgr),
+        SubmitMode::CommitBefore,
+        "127.0.0.1:0",
+        ObsSink::disabled(),
+    )
+    .expect("bind loopback");
+    // A large committed state makes every Dump reply big, so a few
+    // unread replies overflow the bound even past the kernel's socket
+    // buffers.
+    let data: Vec<(ObjectId, Value)> = (0..40_000)
+        .map(|i| (obj(1, i), Value::counter(i as i64)))
+        .collect();
+    mgr.handle().engine().bulk_load(&data).unwrap();
+
+    let mut stalled = TcpStream::connect(srv.addr()).unwrap();
+    const DUMPS: u64 = 32;
+    let mut batch = Vec::new();
+    for i in 0..DUMPS {
+        batch.extend_from_slice(&amc::rpc::wire::encode_frame(&Frame::AdminRequest {
+            req_id: i,
+            req: AdminRequest::Dump,
+        }));
+    }
+    stalled.write_all(&batch).unwrap();
+    // Never read. The replies pile up server-side until the bound trips.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while srv.stats().wbuf_overflows == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "server never shed the stalled reader: {:?}",
+            srv.stats()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // The stalled connection was closed: draining what the kernel
+    // already buffered must end in EOF or a reset, not more replies
+    // forever.
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut sink = [0u8; 64 * 1024];
+    loop {
+        match stalled.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+    // Everyone else is still served.
+    let mut probe = TcpStream::connect(srv.addr()).unwrap();
+    probe
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .unwrap();
+    write_frame(
+        &mut probe,
+        &Frame::AdminRequest {
+            req_id: 99,
+            req: AdminRequest::Ping,
+        },
+    )
+    .unwrap();
+    let reply = read_until(&mut probe, Instant::now() + Duration::from_secs(5));
+    assert_eq!(
+        reply,
+        Frame::AdminReply {
+            req_id: 99,
+            reply: AdminReply::Pong
+        }
+    );
+    srv.shutdown();
+}
+
 // ------------------------------------------------------ mux end-to-end --
+
+/// Hammer the mux client's timeout path: a server whose reply delays
+/// straddle the client's request timeout forces constant races between
+/// the caller's deadline withdraw and the reader thread's completion.
+/// Every call must eventually succeed (retries absorb the genuinely
+/// late replies), none may panic, cross replies, or wedge the channel.
+#[test]
+fn mux_client_survives_short_timeouts_racing_delayed_replies() {
+    // A hand-rolled server so the reply delay is controllable: each
+    // request is answered from its own thread after a deterministic
+    // per-request delay spanning 2..26 ms around the client's 12 ms
+    // deadline. Accepts any number of connections so a client redial
+    // (poisoned channel) is also served.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            listener.set_nonblocking(true).unwrap();
+            std::thread::scope(|scope| {
+                while !stop.load(Ordering::Relaxed) {
+                    let (stream, _) = match listener.accept() {
+                        Ok(s) => s,
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                            continue;
+                        }
+                        Err(_) => return,
+                    };
+                    let stop = Arc::clone(&stop);
+                    scope.spawn(move || {
+                        stream.set_nonblocking(false).unwrap();
+                        let write_half =
+                            std::sync::Mutex::new(stream.try_clone().expect("clone socket"));
+                        let mut read_half = stream;
+                        read_half
+                            .set_read_timeout(Some(Duration::from_millis(100)))
+                            .unwrap();
+                        std::thread::scope(|replies| loop {
+                            if stop.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            let frame = match amc::rpc::wire::read_frame(&mut read_half) {
+                                Ok(f) => f,
+                                Err(e) if e.is_timeout() => continue,
+                                Err(_) => return,
+                            };
+                            let req_id = frame.req_id();
+                            let write_half = &write_half;
+                            replies.spawn(move || {
+                                std::thread::sleep(Duration::from_millis(2 + (req_id * 7) % 25));
+                                let _ = write_frame(
+                                    &mut *write_half.lock().unwrap(),
+                                    &Frame::AdminReply {
+                                        req_id,
+                                        reply: AdminReply::Pong,
+                                    },
+                                );
+                            });
+                        });
+                    });
+                }
+            });
+        })
+    };
+
+    let policy = RetryPolicy {
+        connect_timeout: Duration::from_millis(500),
+        request_timeout: Duration::from_millis(12),
+        max_attempts: 40,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(4),
+    };
+    let client = Arc::new(MuxClient::new(
+        SiteId::new(1),
+        addr,
+        policy,
+        ObsSink::disabled(),
+    ));
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let client = Arc::clone(&client);
+            scope.spawn(move || {
+                for _ in 0..40 {
+                    let reply = client.admin(AdminRequest::Ping).expect("eventually served");
+                    assert_eq!(reply, AdminReply::Pong);
+                }
+            });
+        }
+    });
+    stop.store(true, Ordering::Relaxed);
+    drop(client); // closes the socket; the connection handler sees EOF
+    server.join().unwrap();
+}
 
 /// Many threads calling through ONE `MuxClient` — one socket — all get
 /// their own answers back.

@@ -46,7 +46,7 @@ fn arb_op() -> impl Strategy<Value = Operation> {
 
 fn arb_payload() -> impl Strategy<Value = Payload> {
     (
-        0u8..7,
+        0u8..8,
         any::<u64>(),
         vec(arb_op(), 0..5),
         0u8..3,
@@ -56,6 +56,11 @@ fn arb_payload() -> impl Strategy<Value = Payload> {
             let gtx = GlobalTxnId::new(raw);
             match tag {
                 0 => Payload::Submit { gtx, ops },
+                7 => Payload::SubmitPrepare {
+                    gtx,
+                    ops,
+                    solo: commit,
+                },
                 1 => Payload::Prepare { gtx },
                 2 => Payload::Vote {
                     gtx,
@@ -180,6 +185,19 @@ fn each_payload_variant_round_trips() {
             inverse_ops: ops,
         },
         Payload::Finished { gtx },
+        Payload::SubmitPrepare {
+            gtx,
+            ops: vec![Operation::Increment {
+                obj: ObjectId::new(8),
+                delta: 4,
+            }],
+            solo: false,
+        },
+        Payload::SubmitPrepare {
+            gtx,
+            ops: vec![],
+            solo: true,
+        },
     ];
     for payload in payloads {
         for frame in [
@@ -275,6 +293,61 @@ fn golden_bytes_reply_vote_v1() {
     expect.push(2); // payload tag 2 = vote
     expect.extend_from_slice(&11u64.to_le_bytes());
     expect.push(2); // vote 2 = aborted (0 ready, 1 ready-read-only)
+    assert_eq!(encode_frame(&frame), expect);
+    assert_eq!(decode_frame(&expect).expect("decode"), frame);
+}
+
+/// The fast-path combined op+prepare dispatch: payload tag 14, then gtx,
+/// a solo flag byte, and the ops exactly as in a `Submit`.
+#[test]
+fn golden_bytes_request_submit_prepare_v1() {
+    let frame = Frame::Request {
+        req_id: 6,
+        payload: Payload::SubmitPrepare {
+            gtx: GlobalTxnId::new(13),
+            ops: vec![Operation::Increment {
+                obj: ObjectId::new(9),
+                delta: -3,
+            }],
+            solo: false,
+        },
+    };
+    let mut expect: Vec<u8> = Vec::new();
+    expect.extend_from_slice(&41u32.to_le_bytes());
+    expect.push(WIRE_VERSION);
+    expect.push(0); // frame kind 0 = request
+    expect.extend_from_slice(&6u64.to_le_bytes());
+    expect.push(14); // payload tag 14 = submit-prepare
+    expect.extend_from_slice(&13u64.to_le_bytes()); // gtx
+    expect.push(0); // solo flag: 0 = piggybacked vote, global round follows
+    expect.extend_from_slice(&1u32.to_le_bytes()); // op count
+    expect.push(2); // op tag 2 = increment
+    expect.extend_from_slice(&9u64.to_le_bytes()); // object id
+    expect.extend_from_slice(&(-3i64).to_le_bytes()); // delta
+    assert_eq!(encode_frame(&frame), expect);
+    assert_eq!(decode_frame(&expect).expect("decode"), frame);
+}
+
+/// The single-site bypass variant: identical layout with the solo flag set.
+#[test]
+fn golden_bytes_request_submit_solo_v1() {
+    let frame = Frame::Request {
+        req_id: 6,
+        payload: Payload::SubmitPrepare {
+            gtx: GlobalTxnId::new(13),
+            ops: vec![],
+            solo: true,
+        },
+    };
+    let mut expect: Vec<u8> = Vec::new();
+    expect.extend_from_slice(&24u32.to_le_bytes());
+    expect.push(WIRE_VERSION);
+    expect.push(0);
+    expect.extend_from_slice(&6u64.to_le_bytes());
+    expect.push(14);
+    expect.extend_from_slice(&13u64.to_le_bytes());
+    expect.push(1); // solo flag: 1 = commit locally, no global round
+    expect.extend_from_slice(&0u32.to_le_bytes()); // op count
     assert_eq!(encode_frame(&frame), expect);
     assert_eq!(decode_frame(&expect).expect("decode"), frame);
 }
