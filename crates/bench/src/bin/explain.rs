@@ -26,6 +26,9 @@
 //! The dump is the loadgen's client-side observability log (`seq  at_us
 //! txn  site  event`, one line per event — rpc retries, load-sheds and
 //! reconnects included); `--txn` filters it to one global transaction.
+//! Sharded-mode dumps (`amc-loadgen --coordinators`) carry `C<k>` in the
+//! site column, and `--coordinator <k>` filters to that shard slot's
+//! traffic.
 //!
 //! Exits non-zero when the requested timeline is empty.
 
@@ -48,6 +51,7 @@ struct Args {
     seed: Option<u64>,
     events: Option<String>,
     txn: Option<u64>,
+    coordinator: Option<u32>,
     protocol: ProtocolKind,
     skip_decision_log: bool,
 }
@@ -64,7 +68,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: explain --seed <u64> [--txn <1..={OBJS}>] \
          [--protocol 2pc|commit-after|commit-before] [--skip-decision-log]\n\
-         \x20      explain --events <dump.tsv> [--txn <gtx>]"
+         \x20      explain --events <dump.tsv> [--txn <gtx>] [--coordinator <k>]"
     );
     std::process::exit(2);
 }
@@ -73,6 +77,7 @@ fn parse_args() -> Args {
     let mut seed = None;
     let mut events = None;
     let mut txn = None;
+    let mut coordinator = None;
     let mut protocol = ProtocolKind::CommitBefore;
     let mut skip_decision_log = false;
     let mut it = std::env::args().skip(1);
@@ -96,6 +101,12 @@ fn parse_args() -> Args {
                     usage();
                 }
             }
+            "--coordinator" => {
+                coordinator = it.next().and_then(|v| v.parse().ok());
+                if coordinator.is_none() {
+                    usage();
+                }
+            }
             "--protocol" => {
                 let label = it.next().unwrap_or_default();
                 match ProtocolKind::ALL.iter().find(|p| p.label() == label) {
@@ -110,23 +121,32 @@ fn parse_args() -> Args {
     if seed.is_none() && events.is_none() {
         usage();
     }
+    if coordinator.is_some() && events.is_none() {
+        // The coordinator filter only makes sense on a sharded dump.
+        usage();
+    }
     Args {
         seed,
         events,
         txn,
+        coordinator,
         protocol,
         skip_decision_log,
     }
 }
 
 /// Explain a networked run from a loadgen `--events-out` TSV dump:
-/// `seq  at_us  txn  site  event`, txn rendered as `G<n>` (or `-`).
-fn explain_dump(path: &str, txn: Option<u64>) -> ExitCode {
+/// `seq  at_us  txn  site  event`, txn rendered as `G<n>` (or `-`) in
+/// site-server dumps and as the raw gtx in sharded dumps (where the site
+/// column is `C<slot>`).
+fn explain_dump(path: &str, txn: Option<u64>, coordinator: Option<u32>) -> ExitCode {
     let Ok(raw) = std::fs::read_to_string(path) else {
         eprintln!("cannot read {path}");
         return ExitCode::FAILURE;
     };
-    let wanted = txn.map(|t| format!("G{t}"));
+    // Sharded dumps carry the bare gtx; site-server dumps render `G<n>`.
+    let wanted = txn.map(|t| [format!("G{t}"), t.to_string()]);
+    let wanted_coord = coordinator.map(|k| format!("C{k}"));
     let mut shown = 0usize;
     let mut total = 0usize;
     let mut txns: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
@@ -146,7 +166,12 @@ fn explain_dump(path: &str, txn: Option<u64>) -> ExitCode {
             txns.insert(t.to_string());
         }
         if let Some(w) = &wanted {
-            if t != w {
+            if !w.iter().any(|w| t == w) {
+                continue;
+            }
+        }
+        if let Some(w) = &wanted_coord {
+            if site != w {
                 continue;
             }
         }
@@ -160,7 +185,13 @@ fn explain_dump(path: &str, txn: Option<u64>) -> ExitCode {
     );
     if shown == 0 {
         if let Some(w) = wanted {
-            eprintln!("(no events for {w} — transaction never reached the wire?)");
+            eprintln!(
+                "(no events for {} — transaction never reached the wire?)",
+                w[0]
+            );
+        }
+        if let Some(w) = wanted_coord {
+            eprintln!("(no events routed to coordinator {w})");
         }
         ExitCode::FAILURE
     } else {
@@ -171,7 +202,7 @@ fn explain_dump(path: &str, txn: Option<u64>) -> ExitCode {
 fn main() -> ExitCode {
     let args = parse_args();
     if let Some(path) = &args.events {
-        return explain_dump(path, args.txn);
+        return explain_dump(path, args.txn, args.coordinator);
     }
     let Some(seed) = args.seed else { usage() };
     let args = SimArgs {

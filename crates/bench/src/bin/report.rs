@@ -182,6 +182,11 @@ fn main() {
         for v in e12_paxos::verdicts(&windows, &costs) {
             println!("{v}");
         }
+        let linger = e12_paxos::run_linger(if quick { 25 } else { 60 }, 8);
+        print!("{}", e12_paxos::linger_table(&linger).render());
+        for v in e12_paxos::linger_verdicts(&linger) {
+            println!("{v}");
+        }
         println!();
     }
 
@@ -189,6 +194,19 @@ fn main() {
         let rows = e13_fastpath::run(if quick { 100 } else { 300 }, threads);
         print!("{}", e13_fastpath::table(&rows).render());
         for v in e13_fastpath::verdicts(&rows) {
+            println!("{v}");
+        }
+        println!();
+    }
+
+    if wants("e14") {
+        let scale = e14_shard::run_scaling(if quick { 30 } else { 80 }, &[1, 2, 4, 8]);
+        print!("{}", e14_shard::scaling_table(&scale).render());
+        let reconfig = e14_shard::run_reconfig(if quick { 80 } else { 200 });
+        print!("{}", e14_shard::reconfig_table(&reconfig).render());
+        let tcp = e14_shard::run_tcp(if quick { 120 } else { 400 }, 4);
+        print!("{}", e14_shard::tcp_table(&tcp).render());
+        for v in e14_shard::verdicts(&scale, &reconfig, &tcp) {
             println!("{v}");
         }
         println!();

@@ -1,0 +1,572 @@
+//! **E14 — sharded multi-coordinator scale-out with online
+//! reconfiguration** (amc-shard).
+//!
+//! The paper's Fig. 1 funnels every global transaction through one
+//! central system; E14 measures what the shard router buys back.
+//! Three lanes:
+//!
+//! * **Scale-out (weak scaling)** — each coordinator serves a fixed
+//!   client population (the central system's bounded multiprogramming
+//!   level), so the offered load grows with the coordinator count.
+//!   Because the coordinators share nothing on the commit path —
+//!   disjoint transaction-id ranges, independent state machines, only
+//!   the site fleet in common — aggregate txn/s should track the
+//!   coordinator count. The pinned claim: **≥ 2.5× at 4 coordinators
+//!   vs 1**.
+//! * **Online reconfiguration under chaos** — a site is added and an
+//!   original member retired *mid-workload*, with a nemesis kill landing
+//!   inside the data-migration window. The conservation oracle: the
+//!   user-counter sum and the user-object count are exactly preserved,
+//!   every member site lands on the new epoch, and no transaction is
+//!   left open.
+//! * **Coordinator RPC over TCP** — the same sharded fleet driven
+//!   through `amc-rpc`'s coordinator frames (kinds 5/6) on loopback TCP:
+//!   every transaction must come back committed from its owning
+//!   coordinator with a transaction id in that coordinator's disjoint
+//!   id range.
+
+use crate::table::{f2, TextTable};
+use amc_core::{coord_slot_of, TxnOutcome};
+use amc_rpc::{CoordClient, CoordInfo, CoordServer, RetryPolicy};
+use amc_shard::{ShardRouter, SiteChange};
+use amc_types::{ObjectId, Operation, ProtocolKind, SiteId, Value};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Fleet size for every lane.
+const SITES: u32 = 3;
+/// Initial counter value of every user object.
+const PER_OBJ: i64 = 100;
+/// Client threads per coordinator in the scaling lane: the fixed
+/// multiprogramming level of one central system.
+const CLIENTS_PER_COORD: usize = 2;
+/// Modelled one-way message latency in the scaling lane. The commit
+/// path is message-bound (as in the paper's LCA model), so this is the
+/// resource the coordinators spend in parallel.
+const SCALE_DELAY: Duration = Duration::from_micros(300);
+
+/// A per-site operation program, as `ShardRouter::run` takes it.
+type Program = BTreeMap<SiteId, Vec<Operation>>;
+
+fn obj(site: u32, idx: u64) -> ObjectId {
+    ObjectId::new(u64::from(site) * (1 << 32) + idx)
+}
+
+/// A sum-neutral 2-site transfer on nominal sites, disjoint per `idx`.
+fn transfer(from: u32, to: u32, idx: u64) -> Program {
+    BTreeMap::from([
+        (
+            SiteId::new(from),
+            vec![Operation::Increment {
+                obj: obj(from, idx),
+                delta: -1,
+            }],
+        ),
+        (
+            SiteId::new(to),
+            vec![Operation::Increment {
+                obj: obj(to, idx),
+                delta: 1,
+            }],
+        ),
+    ])
+}
+
+/// One weak-scaling point.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Coordinator count.
+    pub coordinators: u32,
+    /// Total client threads (coordinators × fixed population).
+    pub clients: usize,
+    /// Transactions offered (and expected to commit).
+    pub offered: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Aggregate committed transactions per second.
+    pub txn_per_s: f64,
+    /// Throughput relative to the 1-coordinator row.
+    pub speedup: f64,
+}
+
+/// Weak scaling over `n_values` coordinator counts: every coordinator
+/// gets its own `txns_per_coord` transactions (owner-affine by the shard
+/// map's hash rule) and its own fixed client population.
+pub fn run_scaling(txns_per_coord: usize, n_values: &[u32]) -> Vec<ScaleRow> {
+    let mut rows: Vec<ScaleRow> = Vec::new();
+    for &n in n_values {
+        let router = Arc::new(
+            ShardRouter::in_process(n, SITES, ProtocolKind::TwoPhaseCommit, SCALE_DELAY)
+                .expect("build router"),
+        );
+        // Draw disjoint transfers until every coordinator slot has its
+        // quota; ownership is the map's hash of the minimum key, so the
+        // draw is rejection sampling with a generous id budget.
+        let budget = (txns_per_coord * n as usize * 8) as u64;
+        let mut queues: Vec<VecDeque<Program>> = (0..n).map(|_| VecDeque::new()).collect();
+        let mut drawn = 0u64;
+        for idx in 0..budget {
+            let p = transfer((idx % 3) as u32 + 1, ((idx + 1) % 3) as u32 + 1, idx);
+            let owner = router.owner_of(&p) as usize;
+            if queues[owner].len() < txns_per_coord {
+                queues[owner].push_back(p);
+                drawn += 1;
+                if drawn == (txns_per_coord * n as usize) as u64 {
+                    break;
+                }
+            }
+        }
+        assert_eq!(
+            drawn,
+            (txns_per_coord * n as usize) as u64,
+            "id budget too small to fill every coordinator's quota"
+        );
+        for s in 1..=SITES {
+            let data: Vec<(ObjectId, Value)> = (0..budget)
+                .map(|i| (obj(s, i), Value::counter(PER_OBJ)))
+                .collect();
+            router.load_site(SiteId::new(s), &data).expect("load");
+        }
+
+        let committed = AtomicU64::new(0);
+        let queues: Vec<Mutex<VecDeque<Program>>> = queues.into_iter().map(Mutex::new).collect();
+        let started = Instant::now();
+        std::thread::scope(|s| {
+            for q in &queues {
+                for _ in 0..CLIENTS_PER_COORD {
+                    s.spawn(|| loop {
+                        let Some(p) = q.lock().pop_front() else {
+                            return;
+                        };
+                        if let Ok(r) = router.run(&p) {
+                            if r.outcome == TxnOutcome::Committed {
+                                committed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    });
+                }
+            }
+        });
+        let elapsed = started.elapsed();
+        let committed = committed.into_inner();
+        let txn_per_s = committed as f64 / elapsed.as_secs_f64();
+        let base = rows.first().map_or(txn_per_s, |r: &ScaleRow| r.txn_per_s);
+        rows.push(ScaleRow {
+            coordinators: n,
+            clients: n as usize * CLIENTS_PER_COORD,
+            offered: (txns_per_coord * n as usize) as u64,
+            committed,
+            txn_per_s,
+            speedup: txn_per_s / base,
+        });
+    }
+    rows
+}
+
+/// Outcome of the reconfiguration-under-chaos lane.
+#[derive(Debug, Clone)]
+pub struct ReconfigRow {
+    /// Workload transactions committed across the whole scenario.
+    pub committed: u64,
+    /// Workload transactions aborted (lock conflicts; sum-neutral).
+    pub aborted: u64,
+    /// Workload attempts that errored (must be 0 — the drain gate keeps
+    /// clients away from the chaos window).
+    pub errors: u64,
+    /// User objects migrated off the retired site.
+    pub migrated: usize,
+    /// Retries the migration/epoch path needed around the nemesis kill.
+    pub retries: usize,
+    /// Epoch after add + remove (starts at 1, so 3).
+    pub epoch: u64,
+    /// Final minus initial user-counter sum (must be 0).
+    pub sum_delta: i64,
+    /// Final minus initial user-object count (must be 0).
+    pub count_delta: i64,
+    /// Final-state obligations left open (must be 0).
+    pub open_txns: usize,
+    /// Whether every surviving member site reports the final epoch.
+    pub epochs_agree: bool,
+    /// Whether the retired site is gone from the fleet.
+    pub old_site_gone: bool,
+}
+
+/// Add site 4, then retire site 1 onto it mid-workload, with the
+/// successor knocked down by the nemesis just as the migration starts.
+pub fn run_reconfig(min_txns: u64) -> ReconfigRow {
+    let router = Arc::new(
+        ShardRouter::in_process(
+            2,
+            SITES,
+            ProtocolKind::TwoPhaseCommit,
+            Duration::from_micros(50),
+        )
+        .expect("build router"),
+    );
+    for s in 1..=SITES {
+        let data: Vec<(ObjectId, Value)> = (0..16)
+            .map(|i| (obj(s, i), Value::counter(PER_OBJ)))
+            .collect();
+        router.load_site(SiteId::new(s), &data).expect("load");
+    }
+    let sum0 = router.user_sum().expect("sum");
+    let count0 = router.user_object_count().expect("count") as i64;
+
+    let stop = AtomicBool::new(false);
+    let committed = AtomicU64::new(0);
+    let aborted = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let next = AtomicU64::new(0);
+    let (add_report, remove_report) = std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let p = transfer((i % 3) as u32 + 1, ((i + 1) % 3) as u32 + 1, i % 16);
+                    match router.run(&p) {
+                        Ok(r) if r.outcome == TxnOutcome::Committed => {
+                            committed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(_) => {
+                            aborted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+        // Let the workload flow on the original topology first.
+        while committed.load(Ordering::Relaxed) < min_txns / 4 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let add = router
+            .reconfigure(SiteChange::Add {
+                site: SiteId::new(4),
+            })
+            .expect("add site");
+
+        while committed.load(Ordering::Relaxed) < min_txns / 2 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Nemesis: the successor goes dark before the retirement starts,
+        // so the migration's first rounds fail and must retry; a revival
+        // thread brings it back inside the reconfiguration deadline.
+        router.fleet().set_down(SiteId::new(4), true);
+        let reviver = s.spawn(|| {
+            std::thread::sleep(Duration::from_millis(15));
+            router.fleet().set_down(SiteId::new(4), false);
+        });
+        let remove = router
+            .reconfigure(SiteChange::Remove {
+                old: SiteId::new(1),
+                successor: SiteId::new(4),
+            })
+            .expect("remove site");
+        reviver.join().expect("reviver");
+
+        // Workload continues on the new topology (nominal site 1 now
+        // rehomes to site 4) before the scenario winds down.
+        while committed.load(Ordering::Relaxed) < min_txns {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::Relaxed);
+        (add, remove)
+    });
+
+    let epochs_agree = [2u32, 3, 4]
+        .iter()
+        .all(|&s| router.site_epoch(SiteId::new(s)).ok() == Some(remove_report.epoch as i64));
+    ReconfigRow {
+        committed: committed.into_inner(),
+        aborted: aborted.into_inner(),
+        errors: errors.into_inner(),
+        migrated: remove_report.migrated,
+        retries: add_report.retries + remove_report.retries,
+        epoch: remove_report.epoch,
+        sum_delta: router.user_sum().expect("sum") - sum0,
+        count_delta: router.user_object_count().expect("count") as i64 - count0,
+        open_txns: router.pending_obligations(),
+        epochs_agree,
+        old_site_gone: !router.fleet().is_member(SiteId::new(1)),
+    }
+}
+
+/// Outcome of the coordinator-RPC-over-TCP lane.
+#[derive(Debug, Clone)]
+pub struct TcpRow {
+    /// Coordinator count (each behind its own TCP listener).
+    pub coordinators: u32,
+    /// Client threads.
+    pub clients: usize,
+    /// Transactions offered.
+    pub offered: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Aggregate committed transactions per second.
+    pub txn_per_s: f64,
+    /// Transactions whose id came back in the owning coordinator's
+    /// disjoint id range (must equal `offered`).
+    pub slot_matched: u64,
+    /// Coordinator slots that committed at least one transaction.
+    pub busy_coordinators: usize,
+}
+
+/// Drive a 2-coordinator sharded fleet through coordinator frames on
+/// loopback TCP.
+pub fn run_tcp(txns: usize, clients: usize) -> TcpRow {
+    const COORDS: u32 = 2;
+    let router = Arc::new(
+        ShardRouter::in_process(COORDS, SITES, ProtocolKind::TwoPhaseCommit, Duration::ZERO)
+            .expect("build router"),
+    );
+    for s in 1..=SITES {
+        let data: Vec<(ObjectId, Value)> = (0..txns as u64)
+            .map(|i| (obj(s, i), Value::counter(PER_OBJ)))
+            .collect();
+        router.load_site(SiteId::new(s), &data).expect("load");
+    }
+    let sites = router.map().sites();
+    let mut servers = Vec::new();
+    let mut tcp_clients = Vec::new();
+    for k in 0..COORDS {
+        let srv = CoordServer::spawn(
+            Arc::clone(router.coordinator(k)),
+            CoordInfo {
+                slot: k,
+                coordinators: COORDS,
+                epoch: router.epoch(),
+                sites: sites.clone(),
+            },
+            "127.0.0.1:0",
+        )
+        .expect("spawn coordinator server");
+        tcp_clients.push(Arc::new(CoordClient::new(
+            srv.addr(),
+            RetryPolicy::default(),
+        )));
+        servers.push(srv);
+    }
+
+    // Pre-route: each program is paired with its owning coordinator so
+    // worker threads just pop and dispatch.
+    let queue: Mutex<VecDeque<(u32, Program)>> = Mutex::new(
+        (0..txns as u64)
+            .map(|i| {
+                let p = transfer((i % 3) as u32 + 1, ((i + 1) % 3) as u32 + 1, i);
+                (router.owner_of(&p), p)
+            })
+            .collect(),
+    );
+    let committed = AtomicU64::new(0);
+    let slot_matched = AtomicU64::new(0);
+    let per_coord: Vec<AtomicU64> = (0..COORDS).map(|_| AtomicU64::new(0)).collect();
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..clients.max(1) {
+            s.spawn(|| loop {
+                let Some((owner, p)) = queue.lock().pop_front() else {
+                    return;
+                };
+                let Ok(report) = tcp_clients[owner as usize].exec(p) else {
+                    continue;
+                };
+                if report.outcome == TxnOutcome::Committed {
+                    committed.fetch_add(1, Ordering::Relaxed);
+                    per_coord[owner as usize].fetch_add(1, Ordering::Relaxed);
+                }
+                if coord_slot_of(report.gtx) == owner {
+                    slot_matched.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    for srv in servers {
+        srv.shutdown();
+    }
+    let committed = committed.into_inner();
+    TcpRow {
+        coordinators: COORDS,
+        clients,
+        offered: txns as u64,
+        committed,
+        txn_per_s: committed as f64 / elapsed.as_secs_f64(),
+        slot_matched: slot_matched.into_inner(),
+        busy_coordinators: per_coord
+            .iter()
+            .filter(|c| c.load(Ordering::Relaxed) > 0)
+            .count(),
+    }
+}
+
+/// Render the weak-scaling lane.
+pub fn scaling_table(rows: &[ScaleRow]) -> TextTable {
+    let mut t = TextTable::new(
+        "E14a — coordinator scale-out, weak scaling (2PC, 3 shared sites, \
+         2 clients/coordinator, 300µs legs)",
+        &[
+            "coordinators",
+            "clients",
+            "offered",
+            "committed",
+            "txn/s",
+            "speedup",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.coordinators.to_string(),
+            r.clients.to_string(),
+            r.offered.to_string(),
+            r.committed.to_string(),
+            format!("{:.1}", r.txn_per_s),
+            f2(r.speedup),
+        ]);
+    }
+    t
+}
+
+/// Render the reconfiguration-under-chaos lane.
+pub fn reconfig_table(r: &ReconfigRow) -> TextTable {
+    let mut t = TextTable::new(
+        "E14b — online reconfiguration under chaos (add site 4, retire site 1, \
+         nemesis kills the successor during migration)",
+        &[
+            "committed",
+            "aborted",
+            "errors",
+            "migrated",
+            "retries",
+            "epoch",
+            "sum Δ",
+            "objects Δ",
+            "open txns",
+        ],
+    );
+    t.row(vec![
+        r.committed.to_string(),
+        r.aborted.to_string(),
+        r.errors.to_string(),
+        r.migrated.to_string(),
+        r.retries.to_string(),
+        r.epoch.to_string(),
+        r.sum_delta.to_string(),
+        r.count_delta.to_string(),
+        r.open_txns.to_string(),
+    ]);
+    t
+}
+
+/// Render the TCP lane.
+pub fn tcp_table(r: &TcpRow) -> TextTable {
+    let mut t = TextTable::new(
+        "E14c — coordinator RPC over loopback TCP (frames 5/6, pre-routed clients)",
+        &[
+            "coordinators",
+            "clients",
+            "offered",
+            "committed",
+            "txn/s",
+            "slot-matched",
+            "busy coords",
+        ],
+    );
+    t.row(vec![
+        r.coordinators.to_string(),
+        r.clients.to_string(),
+        r.offered.to_string(),
+        r.committed.to_string(),
+        format!("{:.1}", r.txn_per_s),
+        r.slot_matched.to_string(),
+        r.busy_coordinators.to_string(),
+    ]);
+    t
+}
+
+/// The shape checks for this experiment.
+pub fn verdicts(scale: &[ScaleRow], reconfig: &ReconfigRow, tcp: &TcpRow) -> Vec<String> {
+    let mut out = Vec::new();
+
+    // E14-1: every scaling cell commits its full offered load (the
+    // transfers are disjoint, so nothing should abort).
+    let all_commit = scale.iter().all(|r| r.committed == r.offered);
+    out.push(format!(
+        "[{}] E14-1: every scaling cell commits its full offered load ({} cells)",
+        if all_commit { "PASS" } else { "FAIL" },
+        scale.len(),
+    ));
+
+    // E14-2: the pinned scale-out claim — aggregate txn/s at 4
+    // coordinators is at least 2.5× the single-coordinator figure.
+    let at = |n: u32| scale.iter().find(|r| r.coordinators == n);
+    let (one, four) = (at(1), at(4));
+    let speedup = match (one, four) {
+        (Some(a), Some(b)) if a.txn_per_s > 0.0 => b.txn_per_s / a.txn_per_s,
+        _ => 0.0,
+    };
+    out.push(format!(
+        "[{}] E14-2: aggregate txn/s at 4 coordinators >= 2.5x one coordinator ({:.2}x)",
+        if speedup >= 2.5 { "PASS" } else { "FAIL" },
+        speedup,
+    ));
+
+    // E14-3: reconfiguration conserves everything — sum, object count,
+    // agreed epochs, no open transactions, the retired site gone, and
+    // the workload never saw an error through the chaos window.
+    let conserved = reconfig.sum_delta == 0
+        && reconfig.count_delta == 0
+        && reconfig.open_txns == 0
+        && reconfig.epoch == 3
+        && reconfig.epochs_agree
+        && reconfig.old_site_gone
+        && reconfig.errors == 0;
+    out.push(format!(
+        "[{}] E14-3: mid-workload add+retire with nemesis kill conserves state \
+         (sum Δ={}, objects Δ={}, open={}, epoch={}, errors={})",
+        if conserved { "PASS" } else { "FAIL" },
+        reconfig.sum_delta,
+        reconfig.count_delta,
+        reconfig.open_txns,
+        reconfig.epoch,
+        reconfig.errors,
+    ));
+
+    // E14-4: the TCP lane commits everything, every reply's transaction
+    // id sits in its owning coordinator's disjoint range, and more than
+    // one coordinator did work.
+    let tcp_ok = tcp.committed == tcp.offered
+        && tcp.slot_matched == tcp.offered
+        && tcp.busy_coordinators > 1;
+    out.push(format!(
+        "[{}] E14-4: TCP lane commits {}/{} with {}/{} ids slot-matched across {} coordinators",
+        if tcp_ok { "PASS" } else { "FAIL" },
+        tcp.committed,
+        tcp.offered,
+        tcp.slot_matched,
+        tcp.offered,
+        tcp.busy_coordinators,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_lanes_pin_the_shard_shapes() {
+        let scale = run_scaling(12, &[1, 2, 4]);
+        let reconfig = run_reconfig(40);
+        let tcp = run_tcp(60, 4);
+        for v in verdicts(&scale, &reconfig, &tcp) {
+            assert!(v.starts_with("[PASS]"), "{v}");
+        }
+        assert_eq!(reconfig.migrated, 16, "site 1 held 16 user objects");
+        assert!(reconfig.retries > 0, "the nemesis kill must force retries");
+    }
+}

@@ -3,10 +3,35 @@
 use amc_engine::{OccEngine, TplConfig, TwoPLEngine};
 use amc_mlt::ConflictPolicy;
 use amc_net::{EngineHandle, LocalCommManager};
-use amc_types::{ProtocolKind, SiteId};
+use amc_types::{GlobalTxnId, ProtocolKind, SiteId};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Size of the global-transaction-id range owned by one coordinator of a
+/// sharded federation. Coordinator slot `k` allocates ids from
+/// `k * COORD_GTX_SPAN + 1` upward, so N independent coordinators can
+/// allocate concurrently without coordination and never collide — and any
+/// gtx seen in a log or trace names its coordinator via [`coord_slot_of`].
+/// 2^40 ids per slot leaves room for 2^21 slots below the reserved marker
+/// region (`MARKER_BIT = 1<<63`).
+pub const COORD_GTX_SPAN: u64 = 1 << 40;
+
+/// Which coordinator slot allocated `gtx` (slot 0 for unsharded runs,
+/// whose ids start at 1).
+pub fn coord_slot_of(gtx: GlobalTxnId) -> u32 {
+    (gtx.raw() / COORD_GTX_SPAN) as u32
+}
+
+/// Identity of one coordinator in a sharded (multi-coordinator)
+/// federation: which of the `coordinators` id-range slots it owns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoordIdentity {
+    /// This coordinator's slot, `0..coordinators`.
+    pub slot: u32,
+    /// Total number of coordinators in the topology.
+    pub coordinators: u32,
+}
 
 /// Paxos Commit (Gray & Lamport) for the central system: the commit
 /// decision is replicated across `2f+1` acceptors co-located with site
@@ -34,6 +59,12 @@ pub struct PaxosCommitConfig {
     /// `Federation::new`; TCP deployments mount acceptors in their site
     /// servers instead).
     pub log_dir: PathBuf,
+    /// Group-commit linger for the acceptor logs: accepts arriving within
+    /// this window of each other share one fsync instead of paying one
+    /// each (the `amc-wal` group-committer pattern applied to the Paxos
+    /// durability point). `None` keeps the historical sync-per-record
+    /// behaviour.
+    pub acceptor_linger: Option<Duration>,
 }
 
 impl PaxosCommitConfig {
@@ -45,7 +76,15 @@ impl PaxosCommitConfig {
             replica: 0,
             lease: Duration::from_millis(200),
             log_dir: log_dir.into(),
+            acceptor_linger: None,
         }
+    }
+
+    /// Batch acceptor-log fsyncs through a `linger`-long group-commit
+    /// window.
+    pub fn with_acceptor_linger(mut self, linger: Duration) -> Self {
+        self.acceptor_linger = Some(linger);
+        self
     }
 }
 
@@ -92,6 +131,10 @@ pub struct FederationConfig {
     /// prepare round. Default off; when off every runtime behaves
     /// exactly as before.
     pub fast_path: bool,
+    /// This instance's identity in a sharded multi-coordinator topology.
+    /// `None` (the default) is the classical single central system; its
+    /// transaction ids start at 1, identical to slot 0 of a sharded run.
+    pub coordinator: Option<CoordIdentity>,
 }
 
 impl FederationConfig {
@@ -106,7 +149,22 @@ impl FederationConfig {
             message_delay: Duration::ZERO,
             paxos: None,
             fast_path: false,
+            coordinator: None,
         }
+    }
+
+    /// Run this federation instance as coordinator `slot` of a
+    /// `coordinators`-wide sharded topology: its global transaction ids
+    /// are allocated from the slot's disjoint [`COORD_GTX_SPAN`] range, so
+    /// concurrent coordinators driving the same site fleet never collide.
+    pub fn sharded(mut self, slot: u32, coordinators: u32) -> Self {
+        assert!(slot < coordinators, "slot must be < coordinators");
+        assert!(
+            u64::from(coordinators) <= (1 << 21),
+            "id-range slots above 2^21 collide with the marker region"
+        );
+        self.coordinator = Some(CoordIdentity { slot, coordinators });
+        self
     }
 
     /// Enable the 1PC fast path (vote piggyback + single-site bypass).
@@ -222,6 +280,20 @@ mod tests {
         for p in [ProtocolKind::CommitAfter, ProtocolKind::CommitBefore] {
             assert!(FederationConfig::heterogeneous(2, p).is_runnable());
         }
+    }
+
+    #[test]
+    fn coord_slots_partition_the_gtx_space() {
+        assert_eq!(coord_slot_of(GlobalTxnId::new(1)), 0);
+        assert_eq!(coord_slot_of(GlobalTxnId::new(COORD_GTX_SPAN - 1)), 0);
+        assert_eq!(coord_slot_of(GlobalTxnId::new(COORD_GTX_SPAN + 1)), 1);
+        assert_eq!(coord_slot_of(GlobalTxnId::new(3 * COORD_GTX_SPAN + 7)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot must be < coordinators")]
+    fn sharded_rejects_out_of_range_slot() {
+        let _ = FederationConfig::uniform(2, ProtocolKind::CommitBefore).sharded(4, 4);
     }
 
     #[test]

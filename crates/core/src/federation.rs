@@ -154,7 +154,8 @@ impl Federation {
             .iter()
             .map(|a| {
                 let path = px.log_dir.join(format!("acceptor-{}.log", a.raw()));
-                let host = AcceptorHost::open(*a, path).expect("open acceptor log");
+                let host = AcceptorHost::open_with_linger(*a, path, px.acceptor_linger)
+                    .expect("open acceptor log");
                 (*a, host)
             })
             .collect();
@@ -182,12 +183,18 @@ impl Federation {
         transport: Arc<dyn FederationTransport>,
     ) -> Self {
         let l1 = L1LockManager::new(cfg.policy, cfg.l1_timeout);
+        // A sharded coordinator allocates from its slot's disjoint id
+        // range; slot 0 (and every unsharded federation) starts at 1.
+        let first_gtx = match &cfg.coordinator {
+            Some(id) => u64::from(id.slot) * crate::config::COORD_GTX_SPAN + 1,
+            None => 1,
+        };
         Federation {
             cfg,
             managers,
             transport,
             l1,
-            next_gtx: AtomicU64::new(1),
+            next_gtx: AtomicU64::new(first_gtx),
             history: Mutex::new(History::new()),
             trace: Mutex::new(MessageTrace::new()),
             seq: AtomicU64::new(1),

@@ -36,7 +36,9 @@ pub mod metrics;
 pub mod simdrive;
 
 pub use amc_types::ProtocolKind;
-pub use config::{FederationConfig, PaxosCommitConfig};
+pub use config::{
+    coord_slot_of, CoordIdentity, FederationConfig, PaxosCommitConfig, COORD_GTX_SPAN,
+};
 pub use coordinator::{CoordAction, CoordEvent, Coordinator};
 pub use federation::{submit_mode_for, Federation, TxnOutcome};
 pub use metrics::RunMetrics;

@@ -1,0 +1,186 @@
+//! A federation transport with **mutable site membership**.
+//!
+//! The historical [`InProcessTransport`](crate::transport::InProcessTransport)
+//! freezes its manager map at construction — fine for a fixed fleet, useless
+//! for online reconfiguration. [`FleetTransport`] keeps the same dispatch
+//! semantics (a message is a function call with `message_delay` slept on
+//! each leg) but puts the membership behind a lock so sites can be added
+//! and removed *while coordinators are driving traffic*, and adds a
+//! nemesis-style down-set so chaos tests can crash a site mid-migration
+//! without tearing down its manager.
+//!
+//! Every coordinator of a sharded federation holds the **same**
+//! `Arc<FleetTransport>`, so a membership change made by the reconfiguration
+//! protocol is observed by all shards at once; transactions already past
+//! the membership read (in flight on the old epoch) are exactly the ones
+//! the router's drain gate waits out.
+
+use crate::comm::{LocalCommManager, SubmitMode};
+use crate::message::Payload;
+use crate::transport::{
+    admin_to_manager, dispatch_to_manager, AdminReply, AdminRequest, FederationTransport,
+};
+use amc_types::{AmcError, AmcResult, SiteId};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// An in-process transport whose site fleet can change while it is in use.
+pub struct FleetTransport {
+    members: RwLock<BTreeMap<SiteId, Arc<LocalCommManager>>>,
+    /// Sites currently simulated as crashed: calls answer `SiteDown`
+    /// without reaching the manager, exactly like a dead TCP peer.
+    down: RwLock<BTreeSet<SiteId>>,
+    mode: SubmitMode,
+    message_delay: Duration,
+}
+
+impl FleetTransport {
+    /// Wrap the initial fleet; protocol submits will use `mode`.
+    pub fn new(
+        managers: BTreeMap<SiteId, Arc<LocalCommManager>>,
+        mode: SubmitMode,
+        message_delay: Duration,
+    ) -> Self {
+        FleetTransport {
+            members: RwLock::new(managers),
+            down: RwLock::new(BTreeSet::new()),
+            mode,
+            message_delay,
+        }
+    }
+
+    /// Add `site` to the fleet (idempotent: re-adding replaces the manager).
+    pub fn add_site(&self, site: SiteId, manager: Arc<LocalCommManager>) {
+        self.members.write().insert(site, manager);
+        self.down.write().remove(&site);
+    }
+
+    /// Remove `site` from the fleet, returning its manager if it was a
+    /// member. Calls to a removed site fail with `SiteDown`.
+    pub fn remove_site(&self, site: SiteId) -> Option<Arc<LocalCommManager>> {
+        self.down.write().remove(&site);
+        self.members.write().remove(&site)
+    }
+
+    /// Simulate a crash (`down = true`) or a recovery (`down = false`) of a
+    /// member site. A down member stays in the fleet — its engine state is
+    /// retained — but every call to it answers `SiteDown`.
+    pub fn set_down(&self, site: SiteId, down: bool) {
+        if down {
+            self.down.write().insert(site);
+        } else {
+            self.down.write().remove(&site);
+        }
+    }
+
+    /// Whether `site` is currently a fleet member (regardless of up/down).
+    pub fn is_member(&self, site: SiteId) -> bool {
+        self.members.read().contains_key(&site)
+    }
+
+    /// The manager of `site`, if it is a member and not simulated down.
+    fn manager(&self, site: SiteId) -> AmcResult<Arc<LocalCommManager>> {
+        if self.down.read().contains(&site) {
+            return Err(AmcError::SiteDown(site));
+        }
+        self.members
+            .read()
+            .get(&site)
+            .cloned()
+            .ok_or(AmcError::SiteDown(site))
+    }
+}
+
+impl FederationTransport for FleetTransport {
+    fn sites(&self) -> Vec<SiteId> {
+        self.members.read().keys().copied().collect()
+    }
+
+    fn call(&self, to: SiteId, payload: Payload) -> AmcResult<Payload> {
+        let manager = self.manager(to)?;
+        // Request leg.
+        if !self.message_delay.is_zero() {
+            std::thread::sleep(self.message_delay);
+        }
+        let reply = dispatch_to_manager(&manager, payload, self.mode)?;
+        // Reply leg: the model charges both directions of the exchange.
+        if !self.message_delay.is_zero() {
+            std::thread::sleep(self.message_delay);
+        }
+        Ok(reply)
+    }
+
+    fn admin(&self, to: SiteId, req: AdminRequest) -> AmcResult<AdminReply> {
+        let manager = self.manager(to)?;
+        admin_to_manager(&manager, req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::EngineHandle;
+    use amc_engine::{TplConfig, TwoPLEngine};
+    use amc_types::{ObjectId, Value};
+
+    fn manager(site: u32) -> Arc<LocalCommManager> {
+        let engine = Arc::new(TwoPLEngine::new(TplConfig::default()));
+        Arc::new(LocalCommManager::new(
+            SiteId::new(site),
+            EngineHandle::Preparable(engine),
+        ))
+    }
+
+    fn fleet(sites: &[u32]) -> FleetTransport {
+        let members = sites
+            .iter()
+            .map(|&s| (SiteId::new(s), manager(s)))
+            .collect();
+        FleetTransport::new(members, SubmitMode::CommitBefore, Duration::ZERO)
+    }
+
+    #[test]
+    fn membership_changes_are_visible_in_sites() {
+        let t = fleet(&[1, 2]);
+        assert_eq!(t.sites(), vec![SiteId::new(1), SiteId::new(2)]);
+        t.add_site(SiteId::new(3), manager(3));
+        assert_eq!(
+            t.sites(),
+            vec![SiteId::new(1), SiteId::new(2), SiteId::new(3)]
+        );
+        assert!(t.remove_site(SiteId::new(1)).is_some());
+        assert_eq!(t.sites(), vec![SiteId::new(2), SiteId::new(3)]);
+        assert!(!t.is_member(SiteId::new(1)));
+    }
+
+    #[test]
+    fn removed_site_answers_site_down() {
+        let t = fleet(&[1]);
+        t.remove_site(SiteId::new(1));
+        let err = t.admin(SiteId::new(1), AdminRequest::Ping).unwrap_err();
+        assert!(matches!(err, AmcError::SiteDown(s) if s == SiteId::new(1)));
+    }
+
+    #[test]
+    fn down_site_answers_site_down_but_keeps_state() {
+        let t = fleet(&[1]);
+        let site = SiteId::new(1);
+        t.admin(
+            site,
+            AdminRequest::Load(vec![(ObjectId::new(5), Value::counter(9))]),
+        )
+        .unwrap();
+        t.set_down(site, true);
+        assert!(matches!(
+            t.admin(site, AdminRequest::Ping),
+            Err(AmcError::SiteDown(_))
+        ));
+        t.set_down(site, false);
+        match t.admin(site, AdminRequest::Dump).unwrap() {
+            AdminReply::Dump(d) => assert_eq!(d[&ObjectId::new(5)], Value::counter(9)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

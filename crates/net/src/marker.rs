@@ -20,6 +20,17 @@ use amc_types::{GlobalTxnId, ObjectId};
 const MARKER_BIT: u64 = 1 << 63;
 /// Second-highest bit distinguishes undo markers from forward markers.
 const UNDO_BIT: u64 = 1 << 62;
+/// Within the reserved region, this bit marks shard-configuration
+/// objects rather than per-transaction markers. Transaction ids stay far
+/// below `1 << 61`, so the sub-regions cannot collide.
+const EPOCH_BIT: u64 = 1 << 61;
+
+/// The shard-epoch object: one reserved counter per site whose value is
+/// the site's current shard-map epoch. An online reconfiguration bumps it
+/// on every site of the new fleet **in one global transaction**, so the
+/// epoch change commits (or aborts) atomically through the same machinery
+/// as any workload transaction.
+pub const EPOCH_OBJECT: ObjectId = ObjectId::new(MARKER_BIT | EPOCH_BIT);
 
 /// Marker inserted by a forward (or redone) local transaction of `gtx`.
 pub fn forward_marker(gtx: GlobalTxnId) -> ObjectId {

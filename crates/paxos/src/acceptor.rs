@@ -390,12 +390,17 @@ impl AcceptorState {
 /// An acceptor whose log lives in an [`amc_wal::DurableFile`].
 ///
 /// Invariant: a method returns only after the record it implies has been
-/// appended **and fsynced** — the caller may release the network reply the
-/// moment the method returns.
+/// appended — and, unless deferred-sync mode is on, **fsynced** — so the
+/// caller may release the network reply the moment the method returns. In
+/// deferred-sync mode the *host* owns the durability barrier: it batches
+/// the fsyncs of concurrent appenders through a group-commit linger and
+/// must not release any reply before the record's frame is covered by a
+/// completed fsync on [`DurableAcceptor::sync_handle`].
 #[derive(Debug)]
 pub struct DurableAcceptor {
     state: AcceptorState,
     file: DurableFile,
+    deferred_sync: bool,
 }
 
 impl DurableAcceptor {
@@ -412,13 +417,29 @@ impl DurableAcceptor {
         Ok(DurableAcceptor {
             state,
             file: opened.file,
+            deferred_sync: false,
         })
+    }
+
+    /// Hand the fsync responsibility to an external group-syncer:
+    /// `persist` appends without syncing, and the host fsyncs batches via
+    /// [`DurableAcceptor::sync_handle`]. See the struct docs' contract.
+    pub fn set_deferred_sync(&mut self, deferred: bool) {
+        self.deferred_sync = deferred;
+    }
+
+    /// A second handle to the log file for issuing batched fsyncs from
+    /// the group-syncer while this acceptor keeps appending.
+    pub fn sync_handle(&self) -> std::io::Result<std::fs::File> {
+        self.file.sync_handle()
     }
 
     fn persist(&mut self, rec: Option<Record>) {
         if let Some(rec) = rec {
             self.file.append(&frame(&rec.encode()));
-            self.file.sync();
+            if !self.deferred_sync {
+                self.file.sync();
+            }
         }
     }
 

@@ -21,22 +21,134 @@ use crate::acceptor::DurableAcceptor;
 use crate::ballot::Ballot;
 use amc_net::{AdminReply, AdminRequest, Payload};
 use amc_types::{AmcError, AmcResult, SiteId};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
+use std::fs::File;
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Group-commit for the acceptor log: concurrent appenders share one
+/// fsync instead of paying one each (the `amc-wal` group-committer's
+/// leader/follower pattern applied to the Paxos durability point).
+///
+/// Progress is measured in *frames appended*: a caller that appended
+/// frame `n` waits until a completed fsync covers at least `n` frames.
+/// The first waiter becomes the leader — it lingers briefly so followers
+/// pile on, reads the high-water mark, fsyncs once on a cloned handle
+/// (so appends under the acceptor lock continue concurrently), and
+/// releases every waiter at or below the mark.
+struct GroupSync {
+    handle: File,
+    linger: Duration,
+    state: Mutex<SyncState>,
+    cond: Condvar,
+}
+
+struct SyncState {
+    /// Highest frame count any appender has announced.
+    appended: usize,
+    /// Frame count covered by a completed fsync.
+    synced: usize,
+    /// Whether a leader is currently lingering/fsyncing.
+    syncing: bool,
+    /// Completed group fsyncs (observability: batching factor is
+    /// appends/fsyncs).
+    fsyncs: u64,
+}
+
+impl GroupSync {
+    fn new(handle: File, linger: Duration, already_durable: usize) -> GroupSync {
+        GroupSync {
+            handle,
+            linger,
+            state: Mutex::new(SyncState {
+                appended: already_durable,
+                synced: already_durable,
+                syncing: false,
+                fsyncs: 0,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Block until a completed fsync covers at least `watermark` frames.
+    fn wait_durable(&self, watermark: usize) {
+        let mut st = self.state.lock();
+        st.appended = st.appended.max(watermark);
+        loop {
+            if st.synced >= watermark {
+                return;
+            }
+            if st.syncing {
+                self.cond.wait(&mut st);
+                continue;
+            }
+            // Leader: linger so concurrent appenders join the batch, then
+            // pay one fsync for everything appended so far. The mark must
+            // be read *before* the fsync — frames appended while the
+            // fsync is in flight are not guaranteed covered by it.
+            st.syncing = true;
+            drop(st);
+            if !self.linger.is_zero() {
+                std::thread::sleep(self.linger);
+            }
+            let target = self.state.lock().appended;
+            self.handle
+                .sync_data()
+                .expect("acceptor-log group fsync (medium gone; cannot ack accepts)");
+            st = self.state.lock();
+            st.synced = st.synced.max(target);
+            st.syncing = false;
+            st.fsyncs += 1;
+            self.cond.notify_all();
+        }
+    }
+}
 
 /// A durable acceptor mounted at one site.
 pub struct AcceptorHost {
     site: SiteId,
     acceptor: Mutex<DurableAcceptor>,
+    group: Option<Arc<GroupSync>>,
 }
 
 impl AcceptorHost {
     /// Open the acceptor log at `path` (replaying any existing state) and
-    /// mount it at `site`.
+    /// mount it at `site`. Every record is fsynced individually.
     pub fn open(site: SiteId, path: impl AsRef<Path>) -> AmcResult<AcceptorHost> {
         Ok(AcceptorHost {
             site,
             acceptor: Mutex::new(DurableAcceptor::open(path)?),
+            group: None,
+        })
+    }
+
+    /// Like [`AcceptorHost::open`], but batch log fsyncs through a
+    /// `linger`-long group-commit window: an accept's reply is still
+    /// released only after its record is covered by a completed fsync,
+    /// but concurrent accepts share that fsync. `None` keeps the
+    /// sync-per-record behaviour.
+    pub fn open_with_linger(
+        site: SiteId,
+        path: impl AsRef<Path>,
+        linger: Option<Duration>,
+    ) -> AmcResult<AcceptorHost> {
+        let mut acceptor = DurableAcceptor::open(path)?;
+        let group = match linger {
+            Some(l) => {
+                let handle = acceptor.sync_handle().map_err(|e| {
+                    AmcError::TransientIo(format!("clone acceptor-log handle: {e}"))
+                })?;
+                let durable = acceptor.frame_count();
+                acceptor.set_deferred_sync(true);
+                Some(Arc::new(GroupSync::new(handle, l, durable)))
+            }
+            None => None,
+        };
+        Ok(AcceptorHost {
+            site,
+            acceptor: Mutex::new(acceptor),
+            group,
         })
     }
 
@@ -45,17 +157,45 @@ impl AcceptorHost {
         self.site
     }
 
+    /// Completed group fsyncs (0 when the host syncs per record).
+    pub fn group_fsyncs(&self) -> u64 {
+        self.group.as_ref().map_or(0, |g| g.state.lock().fsyncs)
+    }
+
+    /// Frames appended to the acceptor log so far. With `group_fsyncs`
+    /// this gives the group-commit batching factor (appends per fsync);
+    /// in sync-per-record mode every frame paid its own fsync.
+    pub fn log_frames(&self) -> usize {
+        self.acceptor.lock().frame_count()
+    }
+
+    /// Run `f` under the acceptor lock, then — in group-commit mode —
+    /// block outside the lock until the records it appended are covered
+    /// by a completed fsync. This is the durability barrier the struct
+    /// docs of [`DurableAcceptor`] require before a reply is released.
+    fn durably<R>(&self, f: impl FnOnce(&mut DurableAcceptor) -> R) -> R {
+        let (r, watermark) = {
+            let mut acceptor = self.acceptor.lock();
+            let r = f(&mut acceptor);
+            (r, acceptor.frame_count())
+        };
+        if let Some(group) = &self.group {
+            group.wait_durable(watermark);
+        }
+        r
+    }
+
     /// Intercept a request before normal dispatch. `Ok(Some(reply))`
     /// means the message was fully handled by the acceptor; `Ok(None)`
     /// means it must continue to the communication manager.
     pub fn pre_dispatch(&self, payload: &Payload) -> AmcResult<Option<Payload>> {
         match payload {
             Payload::PaxosRegister { gtx, participants } => {
-                self.acceptor.lock().register(*gtx, participants);
+                self.durably(|a| a.register(*gtx, participants));
                 Ok(Some(Payload::PaxosAck { gtx: *gtx }))
             }
             Payload::PaxosP1a { gtx, ballot } => {
-                let out = self.acceptor.lock().promise(*gtx, Ballot(*ballot));
+                let out = self.durably(|a| a.promise(*gtx, Ballot(*ballot)));
                 Ok(Some(Payload::PaxosP1b {
                     gtx: *gtx,
                     ballot: *ballot,
@@ -75,10 +215,7 @@ impl AcceptorHost {
                 ballot,
                 prepared,
             } => {
-                let accepted = self
-                    .acceptor
-                    .lock()
-                    .accept(*gtx, *site, Ballot(*ballot), *prepared);
+                let accepted = self.durably(|a| a.accept(*gtx, *site, Ballot(*ballot), *prepared));
                 Ok(Some(Payload::PaxosP2b {
                     gtx: *gtx,
                     site: *site,
@@ -87,13 +224,13 @@ impl AcceptorHost {
                 }))
             }
             Payload::PaxosDecided { gtx, verdict } => {
-                self.acceptor.lock().note_decision(*gtx, *verdict);
+                self.durably(|a| a.note_decision(*gtx, *verdict));
                 Ok(Some(Payload::PaxosAck { gtx: *gtx }))
             }
             Payload::Decision { gtx, verdict } => {
                 // Piggyback: a participant's decision closes its
                 // co-located acceptor's instances, no extra message.
-                self.acceptor.lock().note_decision(*gtx, *verdict);
+                self.durably(|a| a.note_decision(*gtx, *verdict));
                 Ok(None)
             }
             _ => Ok(None),
@@ -115,12 +252,11 @@ impl AcceptorHost {
     /// prepare-round votes land here.
     pub fn post_dispatch(&self, reply: &Payload) -> AmcResult<()> {
         if let Payload::Vote { gtx, vote } = reply {
-            let mut acceptor = self.acceptor.lock();
-            if acceptor.state().participants(*gtx).is_none() {
-                return Ok(());
-            }
-            let accepted = acceptor.accept(*gtx, self.site, Ballot::ZERO, vote.is_yes());
-            if !accepted {
+            let accepted = self.durably(|a| {
+                a.state().participants(*gtx)?;
+                Some(a.accept(*gtx, self.site, Ballot::ZERO, vote.is_yes()))
+            });
+            if accepted == Some(false) {
                 return Err(AmcError::Protocol(format!(
                     "paxos: {gtx} vote at {} superseded by a recovery ballot",
                     self.site
@@ -248,6 +384,52 @@ mod tests {
             None
         );
         assert_eq!(h.with_acceptor(|a| a.frame_count()), 0);
+    }
+
+    #[test]
+    fn linger_mode_is_durable_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("amc-paxos-host-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("linger-7.log");
+        let _ = std::fs::remove_file(&path);
+        let h = Arc::new(
+            AcceptorHost::open_with_linger(SiteId::new(7), &path, Some(Duration::from_micros(200)))
+                .unwrap(),
+        );
+        // Concurrent registered votes: each reply must wait for a covering
+        // fsync, and the batch shares them.
+        let handles: Vec<_> = (1..=8u64)
+            .map(|n| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    h.pre_dispatch(&Payload::PaxosRegister {
+                        gtx: gtx(n),
+                        participants: vec![SiteId::new(7)],
+                    })
+                    .unwrap();
+                    h.post_dispatch(&Payload::Vote {
+                        gtx: gtx(n),
+                        vote: LocalVote::Ready,
+                    })
+                    .unwrap();
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert!(h.group_fsyncs() >= 1);
+        // 16 records (8 registers + 8 accepts) reached the log; a plain
+        // reopen replays all of them.
+        drop(h);
+        let reopened = AcceptorHost::open(SiteId::new(7), &path).unwrap();
+        assert_eq!(reopened.with_acceptor(|a| a.frame_count()), 16);
+        for n in 1..=8u64 {
+            assert_eq!(
+                reopened.with_acceptor(|a| a.state().accepted(gtx(n), SiteId::new(7))),
+                Some((Ballot::ZERO, true))
+            );
+        }
     }
 
     #[test]

@@ -20,11 +20,20 @@
 //! (`seq  at_us  txn  site  event`) for `explain --events` — rpc-shed
 //! and rpc-retry rows included, so backpressure and retry storms are
 //! attributable per transaction.
+//!
+//! **Sharded mode** — `--coordinators <addr,addr,...>` targets running
+//! `amc-coord-server` processes instead of site servers. The generator
+//! discovers each coordinator's slot with `Describe`, routes every
+//! transaction to the coordinator owning its minimum key (the shard
+//! map's ownership rule), and sends whole programs as `Exec` frames.
+//! The summary gains one `coord k: ...` line per coordinator, and
+//! `--events-out` rows carry `C<k>` in the site column so
+//! `explain --events --coordinator <k>` can isolate one shard's traffic.
 
 use amc_core::{Federation, FederationConfig, TxnOutcome};
 use amc_net::transport::{AdminReply, AdminRequest, FederationTransport};
 use amc_obs::ObsSink;
-use amc_rpc::{RetryPolicy, TcpTransport};
+use amc_rpc::{CoordClient, RetryPolicy, TcpTransport};
 use amc_types::{ObjectId, Operation, ProtocolKind, SiteId, Value};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -36,7 +45,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: amc-loadgen --sites <addr,addr,...> \
          --protocol <2pc|commit-after|commit-before> [--txns <n>] [--clients <n>] \
-         [--objects <n>] [--seed <n>] [--events-out <path>] [--client <mux|pooled>]"
+         [--objects <n>] [--seed <n>] [--events-out <path>] [--client <mux|pooled>]\n\
+       or: amc-loadgen --coordinators <addr,addr,...> [--txns <n>] [--clients <n>] \
+         [--objects <n>] [--seed <n>] [--events-out <path>]"
     );
     std::process::exit(2);
 }
@@ -56,6 +67,20 @@ fn obj(site: u32, idx: u64) -> ObjectId {
 
 /// One decomposed global program: operations per participating site.
 type Program = BTreeMap<SiteId, Vec<Operation>>;
+
+/// The shard map's ownership rule, restated: hash (splitmix64) of the
+/// minimum object id touched, modulo the coordinator count. Must match
+/// `amc_shard::ShardMap::owner_of` byte for byte.
+fn owner_of(p: &Program, coordinators: u32) -> u32 {
+    let min_obj = p.values().flatten().map(|op| op.object().raw()).min();
+    match min_obj {
+        Some(o) => {
+            let mut state = o;
+            (mix(&mut state) % u64::from(coordinators)) as u32
+        }
+        None => 0,
+    }
+}
 
 /// One mixed program: mostly 2-site transfers, some single-site updates,
 /// ~1 in 8 read-only.
@@ -117,6 +142,7 @@ fn program(rng: &mut u64, sites: u32, objects: u64) -> Program {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addrs: Vec<SocketAddr> = Vec::new();
+    let mut coord_addrs: Vec<SocketAddr> = Vec::new();
     let mut protocol = None;
     let mut txns = 100usize;
     let mut clients = 4usize;
@@ -133,6 +159,14 @@ fn main() {
                 i += 1;
                 let list = args.get(i).unwrap_or_else(|| usage());
                 addrs = list
+                    .split(',')
+                    .map(|a| a.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--coordinators" => {
+                i += 1;
+                let list = args.get(i).unwrap_or_else(|| usage());
+                coord_addrs = list
                     .split(',')
                     .map(|a| a.parse().unwrap_or_else(|_| usage()))
                     .collect();
@@ -189,6 +223,11 @@ fn main() {
             _ => usage(),
         }
         i += 1;
+    }
+    if !coord_addrs.is_empty() {
+        // Sharded mode: protocol and site addresses live with the
+        // coordinator servers; everything routes through Exec frames.
+        run_sharded(coord_addrs, txns, clients, objects, seed, events_out);
     }
     if addrs.is_empty() {
         usage();
@@ -338,4 +377,243 @@ fn main() {
         eprintln!("no transaction committed");
         std::process::exit(1);
     }
+}
+
+/// One TSV event row produced in sharded mode: the site column carries
+/// `C<slot>` so `explain --events --coordinator <slot>` can filter.
+struct CoordEvent {
+    at_us: u64,
+    txn: Option<u64>,
+    coord: u32,
+    event: String,
+}
+
+/// Sharded mode: drive `amc-coord-server` processes through `Exec`
+/// frames, routing each program to the coordinator owning its minimum
+/// key. Never returns.
+fn run_sharded(
+    coord_addrs: Vec<SocketAddr>,
+    txns: usize,
+    clients: usize,
+    objects: u64,
+    seed: u64,
+    events_out: Option<String>,
+) -> ! {
+    let policy = RetryPolicy::default();
+    let conns: Vec<CoordClient> = coord_addrs
+        .iter()
+        .map(|a| CoordClient::new(*a, policy))
+        .collect();
+
+    // Wait for every coordinator, then discover slots and the fleet.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut by_slot: Vec<Option<(CoordClient, Vec<SiteId>)>> = Vec::new();
+    by_slot.resize_with(conns.len(), || None);
+    for (idx, client) in conns.into_iter().enumerate() {
+        let info = loop {
+            match client.describe() {
+                Ok(info) => break info,
+                _ if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(100)),
+                _ => {
+                    eprintln!("coordinator at {} never answered", coord_addrs[idx]);
+                    std::process::exit(1);
+                }
+            }
+        };
+        if info.coordinators as usize != coord_addrs.len() {
+            eprintln!(
+                "coordinator at {} expects {} coordinators, {} given",
+                coord_addrs[idx],
+                info.coordinators,
+                coord_addrs.len()
+            );
+            std::process::exit(1);
+        }
+        let slot = info.slot as usize;
+        if slot >= by_slot.len() || by_slot[slot].is_some() {
+            eprintln!("duplicate or out-of-range slot {slot}");
+            std::process::exit(1);
+        }
+        by_slot[slot] = Some((client, info.sites));
+    }
+    let mut coords: Vec<CoordClient> = Vec::new();
+    let mut fleet: Vec<SiteId> = Vec::new();
+    for (slot, entry) in by_slot.into_iter().enumerate() {
+        let Some((client, sites)) = entry else {
+            eprintln!("no coordinator announced slot {slot}");
+            std::process::exit(1);
+        };
+        if slot == 0 {
+            fleet = sites;
+        } else if fleet != sites {
+            eprintln!("coordinator slot {slot} drives a different site fleet");
+            std::process::exit(1);
+        }
+        coords.push(client);
+    }
+    let coordinators = coords.len() as u32;
+    let sites = fleet.len() as u32;
+    if sites == 0 {
+        eprintln!("coordinators drive an empty site fleet");
+        std::process::exit(1);
+    }
+
+    // Initial data travels as ordinary committed transactions (the
+    // generator has no site admin channel in sharded mode): batches of
+    // inserts through coordinator 0.
+    for s in 1..=sites {
+        for chunk in (0..objects).collect::<Vec<_>>().chunks(32) {
+            let ops: Vec<Operation> = chunk
+                .iter()
+                .map(|&i| Operation::Insert {
+                    obj: obj(s, i),
+                    value: Value::counter(100),
+                })
+                .collect();
+            let program = BTreeMap::from([(SiteId::new(s), ops)]);
+            match coords[0].exec(program) {
+                Ok(report) if report.outcome == TxnOutcome::Committed => {}
+                Ok(report) => {
+                    eprintln!("load site {s}: {:?}", report.outcome);
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("load site {s}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    let mut rng = seed;
+    let queue: Arc<Mutex<Vec<Program>>> = Arc::new(Mutex::new(
+        (0..txns)
+            .map(|_| program(&mut rng, sites, objects))
+            .collect(),
+    ));
+    let coords = Arc::new(coords);
+    let committed = Arc::new(Mutex::new(Vec::<Duration>::new()));
+    let aborted = Arc::new(Mutex::new(0u64));
+    let down = Arc::new(Mutex::new(0u64));
+    let per_coord: Arc<Vec<Mutex<(u64, u64)>>> = Arc::new(
+        (0..coordinators)
+            .map(|_| Mutex::new((0u64, 0u64)))
+            .collect(),
+    );
+    let events: Arc<Mutex<Vec<CoordEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let record = events_out.is_some();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients.max(1) {
+            let coords = Arc::clone(&coords);
+            let queue = Arc::clone(&queue);
+            let committed = Arc::clone(&committed);
+            let aborted = Arc::clone(&aborted);
+            let down = Arc::clone(&down);
+            let per_coord = Arc::clone(&per_coord);
+            let events = Arc::clone(&events);
+            scope.spawn(move || loop {
+                let Some(p) = queue.lock().pop() else { return };
+                let owner = owner_of(&p, coordinators);
+                for attempt in 0..5 {
+                    match coords[owner as usize].exec(p.clone()) {
+                        Ok(report) => {
+                            if record {
+                                events.lock().push(CoordEvent {
+                                    at_us: start.elapsed().as_micros() as u64,
+                                    txn: Some(report.gtx.raw()),
+                                    coord: owner,
+                                    event: format!(
+                                        "exec-done outcome={:?} latency_us={} messages={}",
+                                        report.outcome, report.latency_us, report.messages
+                                    ),
+                                });
+                            }
+                            match report.outcome {
+                                TxnOutcome::Committed => {
+                                    committed
+                                        .lock()
+                                        .push(Duration::from_micros(report.latency_us));
+                                    per_coord[owner as usize].lock().0 += 1;
+                                }
+                                TxnOutcome::L1Rejected(_) if attempt < 4 => continue,
+                                _ => {
+                                    *aborted.lock() += 1;
+                                    per_coord[owner as usize].lock().1 += 1;
+                                }
+                            }
+                            break;
+                        }
+                        Err(e) => {
+                            // Exec never retries inside the client (a
+                            // transaction is not idempotent); the failure
+                            // is final here too.
+                            if record {
+                                events.lock().push(CoordEvent {
+                                    at_us: start.elapsed().as_micros() as u64,
+                                    txn: None,
+                                    coord: owner,
+                                    event: format!("exec-failed {e}"),
+                                });
+                            }
+                            *down.lock() += 1;
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall = start.elapsed();
+
+    let mut lats = committed.lock().clone();
+    lats.sort();
+    let n = lats.len();
+    let pct = |p: f64| -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let idx = ((n as f64 - 1.0) * p).round() as usize;
+        lats[idx].as_secs_f64() * 1e3
+    };
+    let throughput = n as f64 / wall.as_secs_f64().max(1e-9);
+    println!(
+        "committed={} aborted={} coord_down={} throughput={:.1} txn/s p50={:.2}ms p99={:.2}ms",
+        n,
+        *aborted.lock(),
+        *down.lock(),
+        throughput,
+        pct(0.50),
+        pct(0.99),
+    );
+    for (k, stats) in per_coord.iter().enumerate() {
+        let (c, a) = *stats.lock();
+        println!("coord {k}: committed={c} aborted={a}");
+    }
+
+    if let Some(path) = events_out {
+        let mut rows = events.lock();
+        rows.sort_by_key(|e| e.at_us);
+        let mut out = String::new();
+        for (seq, e) in rows.iter().enumerate() {
+            let txn = e
+                .txn
+                .map(|g| g.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(
+                "{}\t{}\t{}\tC{}\t{}\n",
+                seq, e.at_us, txn, e.coord, e.event
+            ));
+        }
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if n == 0 {
+        eprintln!("no transaction committed");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }

@@ -17,6 +17,10 @@
 //!   reply writes, a worker pool for dispatch, and explicit per-connection
 //!   backpressure (excess requests are shed with `BufferExhausted`, not
 //!   queued). Same spawn surface and wire vocabulary as [`server`];
+//! * [`coord`] — the TCP **coordinator server** + client: one
+//!   [`amc_core::Federation`] shard slot behind a listener speaking the
+//!   coordinator frames (kinds `5`/`6`), so a remote router or load
+//!   generator drives whole global transactions in one round trip;
 //! * [`client`] — the connection-supervising **RPC client**: per-request
 //!   deadlines, capped exponential-backoff retries, automatic reconnect,
 //!   all surfaced as `amc-obs` events so `explain` works on networked
@@ -40,6 +44,7 @@
 #![deny(missing_docs)]
 
 pub mod client;
+pub mod coord;
 pub mod event_loop;
 pub mod mux;
 pub mod recovery;
@@ -48,6 +53,7 @@ pub mod transport;
 pub mod wire;
 
 pub use client::{RetryPolicy, RpcClient};
+pub use coord::{CoordClient, CoordInfo, CoordServer, ExecReport};
 pub use event_loop::{EventServer, EventServerStats, MAX_IN_FLIGHT_PER_CONN, MAX_WBUF_BYTES};
 pub use mux::MuxClient;
 pub use recovery::{FileWorkJournal, SiteRecoveryManager};

@@ -256,7 +256,13 @@ pub(crate) fn reply_for_frame(
                 Err(error) => Frame::ErrorReply { req_id, error },
             })
         }
-        Frame::Reply { .. } | Frame::AdminReply { .. } | Frame::ErrorReply { .. } => None,
+        // Coordinator frames belong to the router↔coordinator surface; a
+        // site server receiving one has a confused peer — drop it.
+        Frame::Reply { .. }
+        | Frame::AdminReply { .. }
+        | Frame::ErrorReply { .. }
+        | Frame::CoordRequest { .. }
+        | Frame::CoordReply { .. } => None,
     }
 }
 

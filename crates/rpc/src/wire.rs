@@ -10,9 +10,11 @@
 //! included), so a reader can always take exactly one frame off the
 //! stream. Frame kinds: `0` protocol request, `1` protocol reply (both
 //! bodies are a [`Payload`]), `2` admin request, `3` admin reply, `4`
-//! error reply (body is an [`AmcError`]). The request id is echoed
-//! verbatim in the reply so a client can detect stale replies on a reused
-//! connection.
+//! error reply (body is an [`AmcError`]), `5` coordinator request, `6`
+//! coordinator reply (bodies are [`CoordRequest`] / [`CoordReply`] — the
+//! router↔coordinator surface of the sharded topology). The request id
+//! is echoed verbatim in the reply so a client can detect stale replies
+//! on a reused connection.
 //!
 //! All integers are little-endian. Enums are `u8` tags. Vectors are a
 //! `u32` count followed by the elements. [`Value`]s reuse the fixed
@@ -20,6 +22,7 @@
 //! golden-bytes test (`tests/wire_codec.rs`): changing any of it must
 //! bump [`WIRE_VERSION`].
 
+use amc_core::TxnOutcome;
 use amc_net::transport::{AdminReply, AdminRequest};
 use amc_net::Payload;
 use amc_types::{
@@ -37,6 +40,53 @@ pub const WIRE_VERSION: u8 = 1;
 /// Upper bound on the post-prefix frame length: anything larger is a
 /// corrupt or hostile frame and the connection is dropped.
 pub const MAX_FRAME_LEN: u32 = 4 << 20;
+
+/// What a shard router (or any driver) asks of a coordinator server —
+/// the discovery/execution surface of the sharded topology (frame kind
+/// `5`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordRequest {
+    /// Liveness probe.
+    Ping,
+    /// Ask the coordinator who it is: slot, topology width, epoch, sites.
+    Describe,
+    /// Run one global transaction (per-site operation buckets) through
+    /// this coordinator's commit machinery.
+    Exec {
+        /// Operations per participating site, ascending by site.
+        per_site: BTreeMap<SiteId, Vec<Operation>>,
+    },
+}
+
+/// A coordinator server's answers (frame kind `6`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordReply {
+    /// The coordinator is alive.
+    Pong,
+    /// Discovery: this coordinator's identity and reachable fleet.
+    Coord {
+        /// The coordinator's id-range slot.
+        slot: u32,
+        /// Total coordinator count in the topology.
+        coordinators: u32,
+        /// The shard-map epoch this coordinator is serving.
+        epoch: u64,
+        /// The site fleet it drives, ascending.
+        sites: Vec<SiteId>,
+    },
+    /// An [`CoordRequest::Exec`] finished.
+    Done {
+        /// The global transaction id the attempt ran under (its id range
+        /// names the coordinator slot).
+        gtx: GlobalTxnId,
+        /// What happened.
+        outcome: TxnOutcome,
+        /// End-to-end latency at the coordinator, microseconds.
+        latency_us: u64,
+        /// Messages the coordinator exchanged with sites.
+        messages: u64,
+    },
+}
 
 /// One decoded frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +126,20 @@ pub enum Frame {
         /// What went wrong.
         error: AmcError,
     },
+    /// Router → coordinator request.
+    CoordRequest {
+        /// Echoed in the reply.
+        req_id: u64,
+        /// The coordinator request.
+        req: CoordRequest,
+    },
+    /// Coordinator → router reply.
+    CoordReply {
+        /// The request this answers.
+        req_id: u64,
+        /// The coordinator reply.
+        reply: CoordReply,
+    },
 }
 
 impl Frame {
@@ -86,7 +150,9 @@ impl Frame {
             | Frame::Reply { req_id, .. }
             | Frame::AdminRequest { req_id, .. }
             | Frame::AdminReply { req_id, .. }
-            | Frame::ErrorReply { req_id, .. } => *req_id,
+            | Frame::ErrorReply { req_id, .. }
+            | Frame::CoordRequest { req_id, .. }
+            | Frame::CoordReply { req_id, .. } => *req_id,
         }
     }
 }
@@ -448,6 +514,58 @@ fn write_admin_reply(w: &mut Writer, reply: &AdminReply) {
     }
 }
 
+fn write_coord_request(w: &mut Writer, req: &CoordRequest) {
+    match req {
+        CoordRequest::Ping => w.u8(0),
+        CoordRequest::Describe => w.u8(1),
+        CoordRequest::Exec { per_site } => {
+            w.u8(2);
+            w.u32(per_site.len() as u32);
+            for (site, ops) in per_site {
+                w.u32(site.raw());
+                write_ops(w, ops);
+            }
+        }
+    }
+}
+
+fn write_coord_reply(w: &mut Writer, reply: &CoordReply) {
+    match reply {
+        CoordReply::Pong => w.u8(0),
+        CoordReply::Coord {
+            slot,
+            coordinators,
+            epoch,
+            sites,
+        } => {
+            w.u8(1);
+            w.u32(*slot);
+            w.u32(*coordinators);
+            w.u64(*epoch);
+            write_sites(w, sites);
+        }
+        CoordReply::Done {
+            gtx,
+            outcome,
+            latency_us,
+            messages,
+        } => {
+            w.u8(2);
+            w.u64(gtx.raw());
+            match outcome {
+                TxnOutcome::Committed => w.u8(0),
+                TxnOutcome::Aborted => w.u8(1),
+                TxnOutcome::L1Rejected(reason) => {
+                    w.u8(2);
+                    w.u8(abort_reason_tag(*reason));
+                }
+            }
+            w.u64(*latency_us);
+            w.u64(*messages);
+        }
+    }
+}
+
 fn write_error(w: &mut Writer, e: &AmcError) {
     match e {
         AmcError::Aborted(r) => {
@@ -523,6 +641,16 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             w.u8(4);
             w.u64(*req_id);
             write_error(&mut w, error);
+        }
+        Frame::CoordRequest { req_id, req } => {
+            w.u8(5);
+            w.u64(*req_id);
+            write_coord_request(&mut w, req);
+        }
+        Frame::CoordReply { req_id, reply } => {
+            w.u8(6);
+            w.u64(*req_id);
+            write_coord_reply(&mut w, reply);
         }
     }
     let mut out = Vec::with_capacity(4 + w.buf.len());
@@ -813,6 +941,54 @@ fn read_admin_reply(r: &mut Reader<'_>) -> Result<AdminReply, WireError> {
     })
 }
 
+fn read_coord_request(r: &mut Reader<'_>) -> Result<CoordRequest, WireError> {
+    Ok(match r.u8()? {
+        0 => CoordRequest::Ping,
+        1 => CoordRequest::Describe,
+        2 => CoordRequest::Exec {
+            per_site: {
+                let n = r.u32()? as usize;
+                // Each site bucket is at least 8 bytes; bound the loop by
+                // what the frame actually carries.
+                if n > r.remaining() {
+                    return Err(WireError::Truncated);
+                }
+                let mut per_site = BTreeMap::new();
+                for _ in 0..n {
+                    let site = SiteId::new(r.u32()?);
+                    per_site.insert(site, read_ops(r)?);
+                }
+                per_site
+            },
+        },
+        t => return Err(WireError::BadTag("coord-request", t)),
+    })
+}
+
+fn read_coord_reply(r: &mut Reader<'_>) -> Result<CoordReply, WireError> {
+    Ok(match r.u8()? {
+        0 => CoordReply::Pong,
+        1 => CoordReply::Coord {
+            slot: r.u32()?,
+            coordinators: r.u32()?,
+            epoch: r.u64()?,
+            sites: read_sites(r)?,
+        },
+        2 => CoordReply::Done {
+            gtx: GlobalTxnId::new(r.u64()?),
+            outcome: match r.u8()? {
+                0 => TxnOutcome::Committed,
+                1 => TxnOutcome::Aborted,
+                2 => TxnOutcome::L1Rejected(read_abort_reason(r)?),
+                t => return Err(WireError::BadTag("txn-outcome", t)),
+            },
+            latency_us: r.u64()?,
+            messages: r.u64()?,
+        },
+        t => return Err(WireError::BadTag("coord-reply", t)),
+    })
+}
+
 fn read_error(r: &mut Reader<'_>) -> Result<AmcError, WireError> {
     Ok(match r.u8()? {
         0 => AmcError::Aborted(read_abort_reason(r)?),
@@ -863,6 +1039,14 @@ pub fn decode_frame_body(body: &[u8]) -> Result<Frame, WireError> {
         4 => Frame::ErrorReply {
             req_id,
             error: read_error(&mut r)?,
+        },
+        5 => Frame::CoordRequest {
+            req_id,
+            req: read_coord_request(&mut r)?,
+        },
+        6 => Frame::CoordReply {
+            req_id,
+            reply: read_coord_reply(&mut r)?,
         },
         t => return Err(WireError::BadTag("frame-kind", t)),
     };
@@ -1279,6 +1463,91 @@ mod tests {
         bytes[4] = 99; // bad version
         buf.extend(&bytes);
         assert_eq!(buf.next_frame(), Err(WireError::BadVersion(99)));
+    }
+
+    #[test]
+    fn round_trips_coordinator_frames() {
+        let frames = [
+            Frame::CoordRequest {
+                req_id: 1,
+                req: CoordRequest::Ping,
+            },
+            Frame::CoordRequest {
+                req_id: 2,
+                req: CoordRequest::Describe,
+            },
+            Frame::CoordRequest {
+                req_id: 3,
+                req: CoordRequest::Exec {
+                    per_site: BTreeMap::from([
+                        (
+                            SiteId::new(1),
+                            vec![Operation::Increment {
+                                obj: ObjectId::new(5),
+                                delta: -2,
+                            }],
+                        ),
+                        (
+                            SiteId::new(2),
+                            vec![Operation::Insert {
+                                obj: ObjectId::new(9),
+                                value: Value::counter(7),
+                            }],
+                        ),
+                    ]),
+                },
+            },
+            Frame::CoordReply {
+                req_id: 1,
+                reply: CoordReply::Pong,
+            },
+            Frame::CoordReply {
+                req_id: 2,
+                reply: CoordReply::Coord {
+                    slot: 2,
+                    coordinators: 4,
+                    epoch: 3,
+                    sites: vec![SiteId::new(1), SiteId::new(2), SiteId::new(4)],
+                },
+            },
+            Frame::CoordReply {
+                req_id: 3,
+                reply: CoordReply::Done {
+                    gtx: GlobalTxnId::new(2 * (1 << 40) + 17),
+                    outcome: TxnOutcome::Committed,
+                    latency_us: 840,
+                    messages: 12,
+                },
+            },
+            Frame::CoordReply {
+                req_id: 4,
+                reply: CoordReply::Done {
+                    gtx: GlobalTxnId::new(18),
+                    outcome: TxnOutcome::L1Rejected(AbortReason::LockTimeout),
+                    latency_us: 3,
+                    messages: 0,
+                },
+            },
+        ];
+        for frame in frames {
+            let bytes = encode_frame(&frame);
+            assert_eq!(decode_frame(&bytes).unwrap(), frame, "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_coord_site_count_does_not_allocate() {
+        // An Exec declaring u32::MAX site buckets in a tiny frame.
+        let mut w = Writer::new();
+        w.u8(WIRE_VERSION);
+        w.u8(5); // coord request
+        w.u64(1); // req id
+        w.u8(2); // exec
+        w.u32(u32::MAX); // site bucket count
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(w.buf.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&w.buf);
+        assert_eq!(decode_frame(&bytes), Err(WireError::Truncated));
     }
 
     #[test]

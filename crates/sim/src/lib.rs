@@ -19,6 +19,10 @@
 //! [`nemesis`] extends the hand-written schedules into chaos territory:
 //! composed crash/partition/loss-burst/torn-tail [`FaultPlan`]s, a seeded
 //! generator, and a shrinker that minimizes oracle-violating schedules.
+//! [`reconfig`] generates seeded **online-reconfiguration** schedules for
+//! the sharded router — topology changes at transaction-count offsets,
+//! optionally coupled with a site kill timed to land inside the data
+//! migration they trigger.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +30,7 @@
 pub mod failure;
 pub mod nemesis;
 pub mod queue;
+pub mod reconfig;
 pub mod rng;
 
 pub use failure::{FailureEvent, FailureKind, FailurePlan};
@@ -34,4 +39,5 @@ pub use nemesis::{
     LinkDir, NemesisConfig, TornTail,
 };
 pub use queue::EventQueue;
+pub use reconfig::{generate_reconfig, ReconfigConfig, ReconfigEvent, ReconfigPlan, ReconfigStep};
 pub use rng::{LatencyModel, SimRng};

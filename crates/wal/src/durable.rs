@@ -229,6 +229,16 @@ impl DurableFile {
             .unwrap_or_else(|e| panic!("WAL fsync of {}: {e}", self.path.display()));
     }
 
+    /// A second handle to the same open file, for issuing `fsync` from
+    /// another thread (a group-commit syncer) while this handle keeps
+    /// appending. `sync_data` on the clone flushes every byte already
+    /// written through either handle — file data is shared; only the seek
+    /// cursor is per-handle, and [`DurableFile::append`] never relies on
+    /// the cursor (it seeks explicitly on every write).
+    pub fn sync_handle(&self) -> std::io::Result<File> {
+        self.file.try_clone()
+    }
+
     /// Truncate the file to its first `keep` frames (mirrors a torn-tail
     /// pop of the in-memory stable prefix).
     ///

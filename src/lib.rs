@@ -77,6 +77,7 @@ pub use amc_net as net;
 pub use amc_obs as obs;
 pub use amc_paxos as paxos;
 pub use amc_rpc as rpc;
+pub use amc_shard as shard;
 pub use amc_sim as sim;
 pub use amc_storage as storage;
 pub use amc_types as types;

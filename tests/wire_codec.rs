@@ -9,11 +9,14 @@
 //!   the encoding must fail these tests — that is the prompt to bump
 //!   [`WIRE_VERSION`], not to silently break every deployed peer.
 
+use amc::core::TxnOutcome;
 use amc::net::transport::{AdminReply, AdminRequest};
 use amc::net::Payload;
-use amc::rpc::wire::{decode_frame, encode_frame, Frame};
+use amc::rpc::wire::{decode_frame, encode_frame, CoordReply, CoordRequest, Frame};
 use amc::rpc::WIRE_VERSION;
-use amc::types::{GlobalTxnId, GlobalVerdict, LocalVote, ObjectId, Operation, Value};
+use amc::types::{
+    AbortReason, GlobalTxnId, GlobalVerdict, LocalVote, ObjectId, Operation, SiteId, Value,
+};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -380,6 +383,127 @@ fn golden_bytes_value_layout_v1() {
     expect.extend_from_slice(&2u64.to_le_bytes());
     expect.extend_from_slice(&0x0A0B_0C0Di64.to_le_bytes()); // value.counter
     expect.extend_from_slice(&0xF00Du32.to_le_bytes()); // value.tag
+    assert_eq!(encode_frame(&frame), expect);
+    assert_eq!(decode_frame(&expect).expect("decode"), frame);
+}
+
+// ------------------------------------------- coordinator frames (5/6) --
+
+/// Frame kind 5, an `Exec`: tag 2, a u32 site count, then per site a
+/// u32 site id and the ops exactly as in a `Submit`.
+#[test]
+fn golden_bytes_coord_request_exec_v1() {
+    let frame = Frame::CoordRequest {
+        req_id: 3,
+        req: CoordRequest::Exec {
+            per_site: std::collections::BTreeMap::from([(
+                SiteId::new(2),
+                vec![Operation::Increment {
+                    obj: ObjectId::new(9),
+                    delta: -3,
+                }],
+            )]),
+        },
+    };
+    let mut expect: Vec<u8> = Vec::new();
+    expect.extend_from_slice(&40u32.to_le_bytes());
+    expect.push(WIRE_VERSION);
+    expect.push(5); // frame kind 5 = coordinator request
+    expect.extend_from_slice(&3u64.to_le_bytes()); // req id
+    expect.push(2); // coord-request tag 2 = exec
+    expect.extend_from_slice(&1u32.to_le_bytes()); // site count
+    expect.extend_from_slice(&2u32.to_le_bytes()); // site id
+    expect.extend_from_slice(&1u32.to_le_bytes()); // op count
+    expect.push(2); // op tag 2 = increment
+    expect.extend_from_slice(&9u64.to_le_bytes()); // object id
+    expect.extend_from_slice(&(-3i64).to_le_bytes()); // delta
+    assert_eq!(encode_frame(&frame), expect);
+    assert_eq!(decode_frame(&expect).expect("decode"), frame);
+}
+
+/// Frame kind 6, a `Coord` description: identity for discovery — slot,
+/// coordinator count, epoch, then the site list.
+#[test]
+fn golden_bytes_coord_reply_describe_v1() {
+    let frame = Frame::CoordReply {
+        req_id: 9,
+        reply: CoordReply::Coord {
+            slot: 1,
+            coordinators: 4,
+            epoch: 7,
+            sites: vec![SiteId::new(1), SiteId::new(2), SiteId::new(3)],
+        },
+    };
+    let mut expect: Vec<u8> = Vec::new();
+    expect.extend_from_slice(&43u32.to_le_bytes());
+    expect.push(WIRE_VERSION);
+    expect.push(6); // frame kind 6 = coordinator reply
+    expect.extend_from_slice(&9u64.to_le_bytes());
+    expect.push(1); // coord-reply tag 1 = coord description
+    expect.extend_from_slice(&1u32.to_le_bytes()); // slot
+    expect.extend_from_slice(&4u32.to_le_bytes()); // coordinators
+    expect.extend_from_slice(&7u64.to_le_bytes()); // epoch
+    expect.extend_from_slice(&3u32.to_le_bytes()); // site count
+    expect.extend_from_slice(&1u32.to_le_bytes());
+    expect.extend_from_slice(&2u32.to_le_bytes());
+    expect.extend_from_slice(&3u32.to_le_bytes());
+    assert_eq!(encode_frame(&frame), expect);
+    assert_eq!(decode_frame(&expect).expect("decode"), frame);
+}
+
+/// Frame kind 6, a `Done`: the transaction id (carrying the owning
+/// coordinator's disjoint-range slot in its high bits), a one-byte
+/// outcome, latency and message count.
+#[test]
+fn golden_bytes_coord_reply_done_v1() {
+    let gtx_raw = 2 * (1u64 << 40) + 17; // slot 2's id range
+    let frame = Frame::CoordReply {
+        req_id: 5,
+        reply: CoordReply::Done {
+            gtx: GlobalTxnId::new(gtx_raw),
+            outcome: TxnOutcome::Committed,
+            latency_us: 1234,
+            messages: 12,
+        },
+    };
+    let mut expect: Vec<u8> = Vec::new();
+    expect.extend_from_slice(&36u32.to_le_bytes());
+    expect.push(WIRE_VERSION);
+    expect.push(6);
+    expect.extend_from_slice(&5u64.to_le_bytes());
+    expect.push(2); // coord-reply tag 2 = done
+    expect.extend_from_slice(&gtx_raw.to_le_bytes()); // gtx
+    expect.push(0); // outcome 0 = committed (1 aborted, 2 l1-rejected+reason)
+    expect.extend_from_slice(&1234u64.to_le_bytes()); // latency µs
+    expect.extend_from_slice(&12u64.to_le_bytes()); // messages
+    assert_eq!(encode_frame(&frame), expect);
+    assert_eq!(decode_frame(&expect).expect("decode"), frame);
+}
+
+/// The L1-rejected outcome carries its abort reason as a trailing tag
+/// byte (2 = lock timeout).
+#[test]
+fn golden_bytes_coord_reply_l1_rejected_v1() {
+    let frame = Frame::CoordReply {
+        req_id: 5,
+        reply: CoordReply::Done {
+            gtx: GlobalTxnId::new(1),
+            outcome: TxnOutcome::L1Rejected(AbortReason::LockTimeout),
+            latency_us: 0,
+            messages: 0,
+        },
+    };
+    let mut expect: Vec<u8> = Vec::new();
+    expect.extend_from_slice(&37u32.to_le_bytes());
+    expect.push(WIRE_VERSION);
+    expect.push(6);
+    expect.extend_from_slice(&5u64.to_le_bytes());
+    expect.push(2);
+    expect.extend_from_slice(&1u64.to_le_bytes());
+    expect.push(2); // outcome 2 = l1-rejected
+    expect.push(2); // abort reason 2 = lock timeout
+    expect.extend_from_slice(&0u64.to_le_bytes());
+    expect.extend_from_slice(&0u64.to_le_bytes());
     assert_eq!(encode_frame(&frame), expect);
     assert_eq!(decode_frame(&expect).expect("decode"), frame);
 }
