@@ -211,4 +211,63 @@ fn main() {
         }
         println!();
     }
+
+    if wants("e15") {
+        let (n, clients) = if quick { (40, 4) } else { (160, 6) };
+        let contention = e15_regime::run_contention(n, clients);
+        print!(
+            "{}",
+            e15_regime::table(
+                "E15 — regime map, contention lane (hotkey mix, 48 hot counters/site)",
+                "theta",
+                &contention,
+            )
+            .render()
+        );
+        let fanout = e15_regime::run_fanout(n, clients);
+        print!(
+            "{}",
+            e15_regime::table(
+                "E15 — regime map, fan-out lane (tpcc-lite NewOrder, theta 0.6)",
+                "fan-out",
+                &fanout,
+            )
+            .render()
+        );
+        let aborts = e15_regime::run_aborts(n, clients);
+        print!(
+            "{}",
+            e15_regime::table(
+                "E15 — regime map, intended-abort lane (zipf mix, theta 0.6)",
+                "abort dial",
+                &aborts,
+            )
+            .render()
+        );
+        let wire = e15_regime::run_wire(if quick { 40 } else { 120 }, clients);
+        let wire_rows: Vec<e15_regime::Row> = wire.iter().map(|w| w.row.clone()).collect();
+        print!(
+            "{}",
+            e15_regime::table(
+                "E15 — regime map, wire lane (tpcc-lite escrow reserves, theta 0.9)",
+                "wire",
+                &wire_rows,
+            )
+            .render()
+        );
+        for lane in [
+            ("contention", &contention),
+            ("fan-out", &fanout),
+            ("aborts", &aborts),
+            ("wire", &wire_rows),
+        ] {
+            for w in e15_regime::winners(lane.0, lane.1) {
+                println!("{w}");
+            }
+        }
+        for v in e15_regime::verdicts(&contention, &fanout, &aborts, &wire) {
+            println!("{v}");
+        }
+        println!();
+    }
 }

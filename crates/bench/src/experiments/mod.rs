@@ -5,6 +5,7 @@ pub mod e11_recovery;
 pub mod e12_paxos;
 pub mod e13_fastpath;
 pub mod e14_shard;
+pub mod e15_regime;
 pub mod e1_concurrency;
 pub mod e2_redo;
 pub mod e3_abort_cost;

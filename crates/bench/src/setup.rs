@@ -5,7 +5,7 @@ use amc_engine::TplConfig;
 use amc_mlt::ConflictPolicy;
 use amc_types::{Operation, SiteId};
 use amc_wal::GroupCommitConfig;
-use amc_workload::{GlobalProgram, WorkloadGen, WorkloadSpec};
+use amc_workload::{GlobalProgram, MixGen, MixKind, MixSpec, WorkloadGen, WorkloadSpec};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -13,15 +13,12 @@ use std::time::Duration;
 /// A program batch in the form `run_concurrent` consumes.
 pub type ProgramBatch = Vec<(BTreeMap<SiteId, Vec<Operation>>, bool)>;
 
-/// Build a federation for `protocol` with `policy`, engines tuned for
-/// benchmarking (short lock timeouts so contention resolves quickly), and
-/// every site pre-loaded with the spec's initial data.
-pub fn build_federation(
-    protocol: ProtocolKind,
-    policy: ConflictPolicy,
-    spec: &WorkloadSpec,
-) -> Arc<Federation> {
-    let mut cfg = FederationConfig::uniform(spec.sites, protocol);
+/// The benchmark tuning every throughput experiment shares: short lock
+/// timeouts so contention resolves quickly, modelled 1991-scale service
+/// and message costs so protocol lock tenure matters. Factored out so
+/// E15 can apply identical tuning to `MixSpec`-driven federations.
+pub fn tuned_config(sites: u32, protocol: ProtocolKind, policy: ConflictPolicy) -> FederationConfig {
+    let mut cfg = FederationConfig::uniform(sites, protocol);
     cfg.policy = policy;
     cfg.tpl = TplConfig {
         buckets: 128,
@@ -50,6 +47,18 @@ pub fn build_federation(
     // is ~0.3 ms) — the 1991-scale ratio of communication to local work
     // that makes lock tenure matter.
     cfg.message_delay = Duration::from_micros(150);
+    cfg
+}
+
+/// Build a federation for `protocol` with `policy`, engines tuned for
+/// benchmarking ([`tuned_config`]), and every site pre-loaded with the
+/// spec's initial data.
+pub fn build_federation(
+    protocol: ProtocolKind,
+    policy: ConflictPolicy,
+    spec: &WorkloadSpec,
+) -> Arc<Federation> {
+    let cfg = tuned_config(spec.sites, protocol, policy);
     let mut fed = Federation::new(cfg);
     // Benchmarks skip the oracle bookkeeping; correctness runs (E6)
     // re-enable it explicitly.
@@ -82,6 +91,15 @@ pub fn build_recording_federation(
 /// Generate `n` programs as a batch.
 pub fn program_batch(spec: &WorkloadSpec, seed: u64, n: usize) -> ProgramBatch {
     let mut gen = WorkloadGen::new(spec.clone(), seed);
+    gen.programs(n)
+        .into_iter()
+        .map(|p: GlobalProgram| (p.per_site, p.intends_abort))
+        .collect()
+}
+
+/// Generate `n` programs of a contention-aware mix as a batch (E15).
+pub fn mix_batch(kind: MixKind, spec: &MixSpec, seed: u64, n: usize) -> ProgramBatch {
+    let mut gen = MixGen::new(kind, spec.clone(), seed);
     gen.programs(n)
         .into_iter()
         .map(|p: GlobalProgram| (p.per_site, p.intends_abort))

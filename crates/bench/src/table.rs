@@ -81,6 +81,12 @@ pub fn opt2(x: Option<f64>) -> String {
     x.map_or_else(|| "n=0".to_string(), f2)
 }
 
+/// Format an optional statistic with 3 decimals (rates/fractions), with
+/// the same `n=0` convention as [`opt2`].
+pub fn opt3(x: Option<f64>) -> String {
+    x.map_or_else(|| "n=0".to_string(), f3)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +119,7 @@ mod tests {
         assert_eq!(f3(1.2345), "1.234");
         assert_eq!(opt2(Some(1.2345)), "1.23");
         assert_eq!(opt2(None), "n=0");
+        assert_eq!(opt3(Some(0.1239)), "0.124");
+        assert_eq!(opt3(None), "n=0");
     }
 }

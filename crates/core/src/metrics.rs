@@ -171,6 +171,38 @@ impl RunMetrics {
         }
         Some((self.aborted_intended + self.aborted_erroneous) as f64 / total as f64)
     }
+
+    /// Fraction of attempts aborted by the transaction's own logic (the
+    /// §3.2/§3.3 intended aborts); `None` when nothing ran — the E15
+    /// tables render that as `n=0`, never as a fabricated `0.00`.
+    pub fn intended_abort_rate(&self) -> Option<f64> {
+        let total = self.committed + self.aborted_intended + self.aborted_erroneous;
+        if total == 0 {
+            return None;
+        }
+        Some(self.aborted_intended as f64 / total as f64)
+    }
+
+    /// Fraction of attempts aborted erroneously (contention casualties:
+    /// vote failures, prepare timeouts); `None` when nothing ran.
+    pub fn erroneous_abort_rate(&self) -> Option<f64> {
+        let total = self.committed + self.aborted_intended + self.aborted_erroneous;
+        if total == 0 {
+            return None;
+        }
+        Some(self.aborted_erroneous as f64 / total as f64)
+    }
+
+    /// Commits plus aborts per second — "completions": aborted work costs
+    /// wall time too, the denominator of the C3 (intended-abort) regime
+    /// comparison. `None` for a zero-length run.
+    pub fn completions_per_sec(&self) -> Option<f64> {
+        if self.wall.is_zero() {
+            return None;
+        }
+        let done = self.committed + self.aborted_intended + self.aborted_erroneous;
+        Some(done as f64 / self.wall.as_secs_f64())
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +234,31 @@ mod tests {
         assert_eq!(m.abort_rate(), None);
         assert_eq!(m.latency_p50_ms(), None);
         assert_eq!(m.l0_hold_p99_ms(), None);
+        // The PR 2 convention audited for the E15 columns: every rate
+        // whose denominator can be zero is an Option, never NaN/0.0.
+        assert_eq!(m.intended_abort_rate(), None);
+        assert_eq!(m.erroneous_abort_rate(), None);
+        assert_eq!(m.completions_per_sec(), None);
+        assert_eq!(m.sheds_per_commit(), None);
+        assert_eq!(m.forces_per_commit(), None);
+    }
+
+    #[test]
+    fn abort_rate_split_sums_to_the_total() {
+        let mut m = RunMetrics::new(ProtocolKind::CommitBefore);
+        m.committed = 60;
+        m.aborted_intended = 30;
+        m.aborted_erroneous = 10;
+        m.wall = Duration::from_secs(2);
+        assert!((m.intended_abort_rate().unwrap() - 0.3).abs() < 1e-9);
+        assert!((m.erroneous_abort_rate().unwrap() - 0.1).abs() < 1e-9);
+        assert!(
+            (m.intended_abort_rate().unwrap() + m.erroneous_abort_rate().unwrap()
+                - m.abort_rate().unwrap())
+            .abs()
+                < 1e-9
+        );
+        assert!((m.completions_per_sec().unwrap() - 50.0).abs() < 1e-9);
     }
 
     #[test]

@@ -935,6 +935,13 @@ impl LocalCommManager {
                     if let Some(ltx) = w.ltx {
                         match engine.state_of(ltx) {
                             Some(LocalRunState::Aborted) | None => {}
+                            // Read-only participant: it committed at its
+                            // vote and dropped out of the decision round.
+                            // The coordinator can still ship us the abort
+                            // when our ReadyReadOnly raced another site's
+                            // no vote — a read-only commit wrote nothing,
+                            // so the global abort needs no local work.
+                            Some(LocalRunState::Committed) if w.committed_locally => {}
                             _ => engine.abort(ltx, AbortReason::GlobalDecision)?,
                         }
                     }
@@ -1574,6 +1581,29 @@ mod tests {
         );
         let ltx = mgr.local_txn_of(gtx(1)).unwrap();
         assert_eq!(engine.state_of(ltx), Some(LocalRunState::Committed));
+    }
+
+    /// A read-only 2PC participant commits at its vote; if another site
+    /// then votes no, the coordinator can still ship us the global abort
+    /// (our ReadyReadOnly may not have reached it before it decided). A
+    /// read-only commit wrote nothing, so the abort must be a no-op — not
+    /// an `UnknownTxn` error from aborting a terminated transaction.
+    #[test]
+    fn abort_decision_after_read_only_local_commit_is_a_no_op() {
+        let (mgr, engine) = manager_with(&[(1, 10)]);
+        mgr.handle_submit_prepare(
+            gtx(1),
+            vec![Op::Read { obj: obj(1) }],
+            false,
+            SubmitMode::TwoPhase,
+        )
+        .unwrap();
+        let ltx = mgr.local_txn_of(gtx(1)).unwrap();
+        assert_eq!(engine.state_of(ltx), Some(LocalRunState::Committed));
+        let p = mgr.handle_decision(gtx(1), GlobalVerdict::Abort).unwrap();
+        assert_eq!(p, Payload::Finished { gtx: gtx(1) });
+        assert_eq!(engine.state_of(ltx), Some(LocalRunState::Committed));
+        assert_eq!(engine.dump().unwrap().get(&obj(1)), Some(&v(10)));
     }
 
     #[test]

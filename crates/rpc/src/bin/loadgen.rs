@@ -15,6 +15,18 @@
 //! committed=N aborted=N site_down=N throughput=T txn/s p50=Xms p99=Yms
 //! ```
 //!
+//! **Workload mixes** — `--workload
+//! {transfer|zipf|hotkey|tpcc-lite|read-heavy}` swaps the legacy mixed
+//! stream for one of the contention-aware engine's mixes
+//! (`amc_workload::mixes`), with `--theta` setting the Zipf skew
+//! (0 = uniform, 0.9–1.2 = hot; default 0.6). The stream is a pure
+//! function of `(workload, sites, objects, theta, seed)` — bit-identical
+//! to what the DES benchmarks (E15) replay for the same parameters — and
+//! the summary line gains `workload=/theta=` plus per-op-class counts
+//! (`ops_read=/ops_inc=/ops_write=/ops_reserve=`), so the tpcc-lite
+//! escrow reserves are visible end-to-end over real TCP. Mixes drive
+//! site mode only; sharded mode keeps the legacy stream.
+//!
 //! Exit status is nonzero when nothing committed. With `--events-out
 //! <path>` the client-side observability log is dumped as TSV
 //! (`seq  at_us  txn  site  event`) for `explain --events` — rpc-shed
@@ -35,6 +47,7 @@ use amc_net::transport::{AdminReply, AdminRequest, FederationTransport};
 use amc_obs::ObsSink;
 use amc_rpc::{CoordClient, RetryPolicy, TcpTransport};
 use amc_types::{ObjectId, Operation, ProtocolKind, SiteId, Value};
+use amc_workload::{MixGen, MixKind, MixSpec};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
@@ -45,7 +58,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: amc-loadgen --sites <addr,addr,...> \
          --protocol <2pc|commit-after|commit-before> [--txns <n>] [--clients <n>] \
-         [--objects <n>] [--seed <n>] [--events-out <path>] [--client <mux|pooled>]\n\
+         [--objects <n>] [--seed <n>] \
+         [--workload <transfer|zipf|hotkey|tpcc-lite|read-heavy>] [--theta <0..=2>] \
+         [--events-out <path>] [--client <mux|pooled>]\n\
        or: amc-loadgen --coordinators <addr,addr,...> [--txns <n>] [--clients <n>] \
          [--objects <n>] [--seed <n>] [--events-out <path>]"
     );
@@ -139,6 +154,27 @@ fn program(rng: &mut u64, sites: u32, objects: u64) -> Program {
     }
 }
 
+/// Per-op-class totals of a program stream: (reads, increments,
+/// writes/inserts/deletes, escrow reserves) — the summary columns that
+/// make a mix's shape visible from the wire side.
+fn op_class_counts(programs: &[Program]) -> (u64, u64, u64, u64) {
+    let mut reads = 0;
+    let mut incs = 0;
+    let mut writes = 0;
+    let mut reserves = 0;
+    for op in programs.iter().flat_map(|p| p.values()).flatten() {
+        match op {
+            Operation::Read { .. } => reads += 1,
+            Operation::Increment { .. } => incs += 1,
+            Operation::Write { .. } | Operation::Insert { .. } | Operation::Delete { .. } => {
+                writes += 1
+            }
+            Operation::Reserve { .. } => reserves += 1,
+        }
+    }
+    (reads, incs, writes, reserves)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addrs: Vec<SocketAddr> = Vec::new();
@@ -148,6 +184,8 @@ fn main() {
     let mut clients = 4usize;
     let mut objects = 50u64;
     let mut seed = 1u64;
+    let mut workload: Option<MixKind> = None;
+    let mut theta = 0.6f64;
     let mut events_out: Option<String> = None;
     // Mux by default: one pipelined connection per site regardless of
     // how many worker threads drive transactions through it.
@@ -208,6 +246,22 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--workload" => {
+                i += 1;
+                workload = Some(
+                    args.get(i)
+                        .and_then(|v| MixKind::parse(v))
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--theta" => {
+                i += 1;
+                theta = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t| (0.0..=2.0).contains(t))
+                    .unwrap_or_else(|| usage());
+            }
             "--events-out" => {
                 i += 1;
                 events_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
@@ -225,6 +279,10 @@ fn main() {
         i += 1;
     }
     if !coord_addrs.is_empty() {
+        if workload.is_some() {
+            eprintln!("--workload mixes drive --sites mode; sharded mode keeps the legacy stream");
+            std::process::exit(2);
+        }
         // Sharded mode: protocol and site addresses live with the
         // coordinator servers; everything routes through Exec frames.
         run_sharded(coord_addrs, txns, clients, objects, seed, events_out);
@@ -285,12 +343,36 @@ fn main() {
         transport.clone() as Arc<dyn FederationTransport>,
     ));
 
-    let mut rng = seed;
-    let queue: Arc<Mutex<Vec<Program>>> = Arc::new(Mutex::new(
-        (0..txns)
-            .map(|_| program(&mut rng, sites, objects))
-            .collect(),
-    ));
+    let programs: Vec<Program> = match workload {
+        Some(kind) => {
+            if objects < 8 {
+                eprintln!("--workload mixes need --objects >= 8");
+                std::process::exit(2);
+            }
+            // The same seeded stream the DES benchmarks (E15) replay for
+            // these parameters — determinism contract, DESIGN.md §14.
+            let spec = MixSpec {
+                sites,
+                objects_per_site: objects,
+                theta,
+                intended_abort_prob: 0.0,
+                max_fanout: sites.min(3),
+            };
+            MixGen::new(kind, spec, seed)
+                .programs(txns)
+                .into_iter()
+                .map(|p| p.per_site)
+                .collect()
+        }
+        None => {
+            let mut rng = seed;
+            (0..txns)
+                .map(|_| program(&mut rng, sites, objects))
+                .collect()
+        }
+    };
+    let op_counts = op_class_counts(&programs);
+    let queue: Arc<Mutex<Vec<Program>>> = Arc::new(Mutex::new(programs));
     let committed = Arc::new(Mutex::new(Vec::<Duration>::new()));
     let aborted = Arc::new(Mutex::new(0u64));
     let site_down = Arc::new(Mutex::new(0u64));
@@ -343,8 +425,21 @@ fn main() {
         lats[idx].as_secs_f64() * 1e3
     };
     let throughput = n as f64 / wall.as_secs_f64().max(1e-9);
+    // Legacy invocations keep the exact historical summary line; a mix
+    // appends its shape columns after the percentiles.
+    let mix_cols = match workload {
+        Some(kind) => {
+            let (reads, incs, writes, reserves) = op_counts;
+            format!(
+                " workload={} theta={theta} ops_read={reads} ops_inc={incs} \
+                 ops_write={writes} ops_reserve={reserves}",
+                kind.label(),
+            )
+        }
+        None => String::new(),
+    };
     println!(
-        "committed={} aborted={} site_down={} sheds={} throughput={:.1} txn/s p50={:.2}ms p99={:.2}ms",
+        "committed={} aborted={} site_down={} sheds={} throughput={:.1} txn/s p50={:.2}ms p99={:.2}ms{mix_cols}",
         n,
         *aborted.lock(),
         *site_down.lock(),

@@ -16,16 +16,29 @@
 //!   inserts (mixed commutativity);
 //! * **travel** — trip booking across airline/hotel/car databases
 //!   (read-check-then-write: the conservative end).
+//!
+//! On top of the scenario generators sits the **contention-aware workload
+//! engine** ([`mixes`]): a seeded Zipfian key stream ([`zipf::ZipfKeys`])
+//! feeding production-shaped mixes — balanced transfers, a generic skewed
+//! mix, hot-key commuting counters, a TPC-C-style `NewOrder` profile with
+//! escrow reserves, and read-heavy scans with short writers. The same
+//! streams drive the DES path, the threaded runtime, and `amc-loadgen`
+//! over TCP (determinism contract: DESIGN.md §14; regime map:
+//! OPERATORS.md).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod generator;
+pub mod mixes;
 pub mod program;
 pub mod scenario;
 pub mod transfers;
+pub mod zipf;
 
 pub use generator::{OpMix, WorkloadGen, WorkloadSpec};
+pub use mixes::{fingerprint, MixGen, MixKind, MixSpec};
 pub use program::{object, site_of_object, GlobalProgram, OBJECTS_PER_SITE_STRIDE};
 pub use scenario::Scenario;
 pub use transfers::{TransferGen, TransferSpec};
+pub use zipf::ZipfKeys;

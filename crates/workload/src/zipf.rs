@@ -1,0 +1,119 @@
+//! Seeded Zipfian key generation — the contention dial of the workload
+//! engine.
+//!
+//! Every contention-aware mix draws its keys from a [`ZipfKeys`] stream:
+//! a pure function of `(n, theta, seed)` built on the deterministic
+//! [`SimRng`], so a workload's access pattern is reproducible bit for bit
+//! on the discrete-event runtime, the threaded runtime, and the networked
+//! (`amc-loadgen`) runtime alike. `theta = 0` degenerates to uniform;
+//! `theta` around 0.9–1.2 concentrates most draws on a handful of hot
+//! keys — the regime where protocol choice starts to matter (see
+//! OPERATORS.md).
+
+use amc_sim::SimRng;
+
+/// A seeded stream of Zipf-distributed ranks in `[0, n)`.
+///
+/// Rank 0 is the hottest key; the top-1 key's draw frequency is monotone
+/// in `theta` (pinned by `tests/workload_mixes.rs`).
+///
+/// ```
+/// use amc_workload::ZipfKeys;
+///
+/// // Same (n, theta, seed) — same key stream, always.
+/// let a: Vec<u64> = ZipfKeys::new(1000, 0.9, 42).take(5).collect();
+/// let b: Vec<u64> = ZipfKeys::new(1000, 0.9, 42).take(5).collect();
+/// assert_eq!(a, b);
+///
+/// // Skew concentrates draws on low ranks: with theta = 1.2 the hottest
+/// // 1% of keys takes far more than 1% of the draws.
+/// let hot = ZipfKeys::new(1000, 1.2, 7).take(2000).filter(|&k| k < 10).count();
+/// assert!(hot > 400, "hot head got only {hot}/2000 draws");
+///
+/// // theta = 0 is uniform: every key stays in range, none dominates.
+/// let max = ZipfKeys::new(16, 0.0, 3).take(1000).max().unwrap();
+/// assert!(max < 16);
+/// ```
+#[derive(Debug)]
+pub struct ZipfKeys {
+    rng: SimRng,
+    n: u64,
+    theta: f64,
+}
+
+impl ZipfKeys {
+    /// A stream over `n` keys with skew `theta`, seeded deterministically.
+    pub fn new(n: u64, theta: f64, seed: u64) -> Self {
+        assert!(n > 0, "a key space needs at least one key");
+        assert!(
+            (0.0..=2.0).contains(&theta),
+            "theta {theta} outside the supported [0, 2] range"
+        );
+        ZipfKeys {
+            rng: SimRng::new(seed),
+            n,
+            theta,
+        }
+    }
+
+    /// Draw the next key.
+    pub fn draw(&mut self) -> u64 {
+        self.rng.zipf(self.n, self.theta)
+    }
+
+    /// The key-space size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The configured skew.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+}
+
+impl Iterator for ZipfKeys {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        Some(self.draw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a: Vec<u64> = ZipfKeys::new(100, 0.9, 11).take(64).collect();
+        let b: Vec<u64> = ZipfKeys::new(100, 0.9, 11).take(64).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a: Vec<u64> = ZipfKeys::new(1000, 0.9, 1).take(64).collect();
+        let b: Vec<u64> = ZipfKeys::new(1000, 0.9, 2).take(64).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn draws_stay_in_range() {
+        for theta in [0.0, 0.6, 1.2, 2.0] {
+            assert!(ZipfKeys::new(17, theta, 5).take(2000).all(|k| k < 17));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn empty_key_space_rejected() {
+        ZipfKeys::new(0, 0.5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the supported")]
+    fn wild_theta_rejected() {
+        ZipfKeys::new(10, 5.0, 1);
+    }
+}
